@@ -1,0 +1,53 @@
+//! Sample-based approximate query processing (AQP).
+//!
+//! This crate is the "off-the-shelf AQP engine" Verdict treats as a black
+//! box (paper Figure 2). It reproduces the `NoLearn` baseline of §8.1: an
+//! online-aggregation engine that pre-builds uniform random samples, splits
+//! them into batches, and refines a CLT-based estimate batch by batch. A
+//! time-bound façade (§7, Appendix C.2) sits on top: it converts a time
+//! budget into a number of batches using a deterministic cost model.
+//!
+//! The cost model ([`cost::CostModel`]) replaces the paper's EC2 cluster:
+//! "runtime" is simulated from tuples scanned, with a configurable
+//! multiplier for cold (SSD) versus cached (in-memory) data so that the
+//! cached/not-cached panels of Figure 4 can be regenerated deterministically.
+
+pub mod cost;
+pub mod engine;
+pub mod estimator;
+pub mod sample;
+pub mod stratified;
+
+pub use cost::{CostModel, SimulatedClock, StorageTier};
+pub use engine::{AqpEngine, OnlineAggregation, RawAnswer, TimeBoundEngine};
+pub use estimator::BatchEstimator;
+pub use sample::Sample;
+
+/// Errors surfaced by the AQP engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AqpError {
+    /// Underlying storage error.
+    Storage(verdict_storage::StorageError),
+    /// Requested an empty or invalid sample configuration.
+    InvalidConfig(String),
+}
+
+impl From<verdict_storage::StorageError> for AqpError {
+    fn from(e: verdict_storage::StorageError) -> Self {
+        AqpError::Storage(e)
+    }
+}
+
+impl std::fmt::Display for AqpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AqpError::Storage(e) => write!(f, "storage error: {e}"),
+            AqpError::InvalidConfig(m) => write!(f, "invalid AQP configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for AqpError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, AqpError>;

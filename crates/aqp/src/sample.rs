@@ -1,0 +1,217 @@
+//! Offline uniform random samples split into batches.
+//!
+//! `NoLearn` "creates random samples of the original tables offline and
+//! splits them into multiple batches of tuples" (paper §8.1). A [`Sample`]
+//! holds the sampled rows (a gathered sub-table), the sampling fraction,
+//! the base-table cardinality (needed to scale `FREQ` into `COUNT`), and
+//! the batch boundaries used by online aggregation.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use verdict_storage::Table;
+
+use crate::{AqpError, Result};
+
+/// A uniform row-level random sample of a base table.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    table: Table,
+    base_rows: usize,
+    fraction: f64,
+    batch_size: usize,
+}
+
+impl Sample {
+    /// Draws a uniform sample of `fraction ∈ (0, 1]` of `base`, shuffled so
+    /// that every prefix is itself a uniform sample, split into batches of
+    /// `batch_size` rows.
+    pub fn uniform<R: Rng>(
+        base: &Table,
+        fraction: f64,
+        batch_size: usize,
+        rng: &mut R,
+    ) -> Result<Sample> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(AqpError::InvalidConfig(format!(
+                "sample fraction must be in (0,1], got {fraction}"
+            )));
+        }
+        if batch_size == 0 {
+            return Err(AqpError::InvalidConfig("batch size must be positive".into()));
+        }
+        let n = base.num_rows();
+        let k = ((n as f64 * fraction).round() as usize).clamp(1, n.max(1));
+        let mut rows: Vec<usize> = (0..n).collect();
+        rows.shuffle(rng);
+        rows.truncate(k);
+        let table = base.gather(&rows)?;
+        Ok(Sample {
+            table,
+            base_rows: n,
+            fraction,
+            batch_size,
+        })
+    }
+
+    /// Assembles a sample from pre-gathered rows (stratified and other
+    /// custom builders).
+    pub fn from_parts(
+        table: Table,
+        base_rows: usize,
+        fraction: f64,
+        batch_size: usize,
+    ) -> Result<Sample> {
+        if batch_size == 0 {
+            return Err(AqpError::InvalidConfig("batch size must be positive".into()));
+        }
+        Ok(Sample {
+            table,
+            base_rows,
+            fraction,
+            batch_size,
+        })
+    }
+
+    /// Wraps an existing table as a "sample" covering the whole base table
+    /// (used for exact evaluation paths and tests).
+    pub fn full(base: &Table, batch_size: usize) -> Result<Sample> {
+        if batch_size == 0 {
+            return Err(AqpError::InvalidConfig("batch size must be positive".into()));
+        }
+        Ok(Sample {
+            table: base.clone(),
+            base_rows: base.num_rows(),
+            fraction: 1.0,
+            batch_size,
+        })
+    }
+
+    /// The sampled rows as a table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Cardinality of the base table the sample was drawn from.
+    pub fn base_rows(&self) -> usize {
+        self.base_rows
+    }
+
+    /// Sampling fraction requested at construction.
+    pub fn fraction(&self) -> f64 {
+        self.fraction
+    }
+
+    /// Number of sampled rows.
+    pub fn len(&self) -> usize {
+        self.table.num_rows()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.num_rows() == 0
+    }
+
+    /// Batch size in rows.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Number of batches (last batch may be short).
+    pub fn num_batches(&self) -> usize {
+        self.len().div_ceil(self.batch_size)
+    }
+
+    /// Row range `[start, end)` of batch `i`.
+    pub fn batch_range(&self, i: usize) -> std::ops::Range<usize> {
+        let start = i * self.batch_size;
+        let end = ((i + 1) * self.batch_size).min(self.len());
+        start..end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use verdict_storage::{ColumnDef, Schema, Table};
+
+    fn base(n: usize) -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::numeric_dimension("x"),
+            ColumnDef::measure("v"),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..n {
+            t.push_row(vec![(i as f64).into(), ((i * 2) as f64).into()])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn uniform_sample_size() {
+        let t = base(1000);
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = Sample::uniform(&t, 0.1, 25, &mut rng).unwrap();
+        assert_eq!(s.len(), 100);
+        assert_eq!(s.base_rows(), 1000);
+        assert_eq!(s.num_batches(), 4);
+    }
+
+    #[test]
+    fn batch_ranges_cover_sample() {
+        let t = base(103);
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = Sample::uniform(&t, 1.0, 10, &mut rng).unwrap();
+        assert_eq!(s.num_batches(), 11);
+        let total: usize = (0..s.num_batches()).map(|i| s.batch_range(i).len()).sum();
+        assert_eq!(total, 103);
+        assert_eq!(s.batch_range(10), 100..103);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let t = base(10);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(Sample::uniform(&t, 0.0, 10, &mut rng).is_err());
+        assert!(Sample::uniform(&t, 1.5, 10, &mut rng).is_err());
+        assert!(Sample::uniform(&t, 0.5, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn sample_rows_come_from_base() {
+        let t = base(50);
+        let mut rng = StdRng::seed_from_u64(42);
+        let s = Sample::uniform(&t, 0.2, 5, &mut rng).unwrap();
+        let xs = s.table().column("x").unwrap().numeric().unwrap();
+        for &x in xs {
+            assert!((0.0..50.0).contains(&x));
+            let v = s.table().column("v").unwrap().numeric().unwrap()
+                [xs.iter().position(|&y| y == x).unwrap()];
+            assert_eq!(v, 2.0 * x);
+        }
+    }
+
+    #[test]
+    fn sample_is_unbiased_roughly() {
+        // The sample mean of `v` should be close to the base mean.
+        let t = base(10_000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = Sample::uniform(&t, 0.05, 50, &mut rng).unwrap();
+        let vs = s.table().column("v").unwrap().numeric().unwrap();
+        let mean: f64 = vs.iter().sum::<f64>() / vs.len() as f64;
+        // Base mean of v = 2 * mean(0..9999) = 9999.
+        assert!((mean - 9999.0).abs() < 600.0, "sample mean {mean}");
+    }
+
+    #[test]
+    fn full_sample_covers_everything() {
+        let t = base(20);
+        let s = Sample::full(&t, 7).unwrap();
+        assert_eq!(s.len(), 20);
+        assert_eq!(s.fraction(), 1.0);
+        assert_eq!(s.num_batches(), 3);
+    }
+}

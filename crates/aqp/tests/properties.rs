@@ -1,0 +1,105 @@
+//! Property-based tests for the AQP engine's estimators: full-sample scans
+//! agree with exact aggregation, errors shrink monotonically with data,
+//! and the Horvitz–Thompson estimators are unbiased across seeds.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use verdict_aqp::{CostModel, OnlineAggregation, Sample, StorageTier};
+use verdict_storage::{AggregateFn, ColumnDef, Expr, Predicate, Schema, Table};
+
+fn table_from(rows: &[(f64, f64)]) -> Table {
+    let schema = Schema::new(vec![
+        ColumnDef::numeric_dimension("x"),
+        ColumnDef::measure("v"),
+    ])
+    .unwrap();
+    let mut t = Table::new(schema);
+    for &(x, v) in rows {
+        t.push_row(vec![x.into(), v.into()]).unwrap();
+    }
+    t
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    prop::collection::vec((0.0..100.0f64, -50.0..50.0f64), 1..150)
+}
+
+proptest! {
+    /// Scanning a "sample" that covers the full table reproduces the exact
+    /// aggregate for AVG/SUM/COUNT/FREQ.
+    #[test]
+    fn full_scan_is_exact(rows in rows_strategy(), lo in 0.0..100.0f64, w in 0.0..60.0f64) {
+        let t = table_from(&rows);
+        let p = Predicate::between("x", lo, lo + w);
+        let sample = Sample::full(&t, 16).unwrap();
+        let engine = OnlineAggregation::new(sample, CostModel::default(), StorageTier::Cached);
+        for agg in [
+            AggregateFn::Avg(Expr::col("v")),
+            AggregateFn::Sum(Expr::col("v")),
+            AggregateFn::Count,
+            AggregateFn::Freq,
+        ] {
+            let exact = agg.eval_exact(&t, &p).unwrap();
+            let mut session = engine.session(&agg, &p).unwrap();
+            let raw = session.run_to_completion().unwrap();
+            prop_assert!(
+                (raw.answer - exact).abs() < 1e-6 * (1.0 + exact.abs()),
+                "{}: raw {} vs exact {exact}",
+                agg.label(),
+                raw.answer
+            );
+        }
+    }
+
+    /// Error estimates never increase as more batches are consumed
+    /// (COUNT/SUM/FREQ use the full-scan accumulator; AVG after the first
+    /// match).
+    #[test]
+    fn errors_shrink_with_batches(rows in prop::collection::vec((0.0..100.0f64, -50.0..50.0f64), 50..150)) {
+        let t = table_from(&rows);
+        let sample = Sample::full(&t, 10).unwrap();
+        let engine = OnlineAggregation::new(sample, CostModel::default(), StorageTier::Cached);
+        let mut session = engine
+            .session(&AggregateFn::Sum(Expr::col("v")), &Predicate::True)
+            .unwrap();
+        let mut prev = f64::INFINITY;
+        let mut increases = 0;
+        while let Some(raw) = session.step() {
+            if raw.error.is_finite() && prev.is_finite() && raw.error > prev * 1.5 {
+                increases += 1;
+            }
+            if raw.error.is_finite() {
+                prev = raw.error;
+            }
+        }
+        // CLT errors can wobble when a batch adds variance, but must not
+        // repeatedly blow up.
+        prop_assert!(increases <= 2, "error increased sharply {increases} times");
+    }
+
+    /// The COUNT estimator is unbiased: averaged over many sample draws,
+    /// the estimate approaches the true count.
+    #[test]
+    fn count_estimator_unbiased(seed in 0u64..50) {
+        let rows: Vec<(f64, f64)> = (0..400).map(|i| ((i % 100) as f64, 1.0)).collect();
+        let t = table_from(&rows);
+        let p = Predicate::between("x", 0.0, 49.0);
+        let exact = AggregateFn::Count.eval_exact(&t, &p).unwrap();
+        let mut acc = 0.0;
+        let draws = 30;
+        for d in 0..draws {
+            let mut rng = StdRng::seed_from_u64(seed * 1000 + d);
+            let sample = Sample::uniform(&t, 0.25, 20, &mut rng).unwrap();
+            let engine =
+                OnlineAggregation::new(sample, CostModel::default(), StorageTier::Cached);
+            let mut session = engine.session(&AggregateFn::Count, &p).unwrap();
+            acc += session.run_to_completion().unwrap().answer;
+        }
+        let mean = acc / draws as f64;
+        prop_assert!(
+            (mean - exact).abs() < 0.12 * exact,
+            "mean estimate {mean} vs exact {exact}"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 6(d) + design ablation: inference cost vs synopsis size `n`,
+//! comparing the O(n²) fast path (Eqs. 11/12) against direct O(n³)
+//! conditioning (Eqs. 4/5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use verdict_core::covariance::AggMode;
+use verdict_core::inference::TrainedModel;
+use verdict_core::learning::PriorMean;
+use verdict_core::{DimensionSpec, KernelParams, Observation, Region, SchemaInfo};
+use verdict_storage::Predicate;
+
+fn setup(n: usize) -> (SchemaInfo, Vec<(Region, Observation)>, TrainedModel, Region) {
+    let schema = SchemaInfo::new(vec![DimensionSpec::numeric("t", 0.0, 100.0)]).unwrap();
+    let mut rng = StdRng::seed_from_u64(n as u64);
+    let entries: Vec<(Region, Observation)> = (0..n)
+        .map(|_| {
+            let lo = rng.gen::<f64>() * 90.0;
+            let region =
+                Region::from_predicate(&schema, &Predicate::between("t", lo, lo + 8.0)).unwrap();
+            (region, Observation::new(rng.gen::<f64>() * 10.0, 0.1))
+        })
+        .collect();
+    let model = TrainedModel::fit(
+        &schema,
+        AggMode::Avg,
+        &entries,
+        KernelParams::constant(1, 20.0, 4.0),
+        PriorMean::Constant(5.0),
+        1e-9,
+    )
+    .unwrap();
+    let query =
+        Region::from_predicate(&schema, &Predicate::between("t", 40.0, 55.0)).unwrap();
+    (schema, entries, model, query)
+}
+
+fn bench_inference_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference_vs_n");
+    for n in [10usize, 50, 100, 200, 400] {
+        let (schema, entries, model, query) = setup(n);
+        let raw = Observation::new(5.0, 0.2);
+        group.bench_with_input(BenchmarkId::new("fast_o_n2", n), &n, |b, _| {
+            b.iter(|| model.infer(&schema, &query, raw))
+        });
+        // The O(n³) reference is only worth timing at smaller n.
+        if n <= 200 {
+            group.bench_with_input(BenchmarkId::new("direct_o_n3", n), &n, |b, _| {
+                b.iter(|| model.infer_direct(&schema, &query, raw, &entries).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference_scaling);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Design ablation: the closed-form double integral of Appendix F.1
+//! versus numeric quadrature. The analytic form is what makes covariance
+//! assembly independent of domain size (Lemma 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use verdict_core::kernel::{double_integral_exp, double_integral_quadrature};
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("double_integral");
+    let (a, b1, c1, d, l) = (0.0, 7.0, 3.0, 12.0, 2.5);
+    group.bench_function("analytic_closed_form", |bch| {
+        bch.iter(|| double_integral_exp(a, b1, c1, d, l))
+    });
+    for steps in [32usize, 128, 512] {
+        group.bench_with_input(
+            BenchmarkId::new("quadrature", steps),
+            &steps,
+            |bch, &steps| bch.iter(|| double_integral_quadrature(a, b1, c1, d, l, steps)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_covariance_matrix(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use verdict_core::covariance::{covariance_matrix, AggMode};
+    use verdict_core::{DimensionSpec, KernelParams, Region, SchemaInfo};
+    use verdict_storage::Predicate;
+
+    let schema = SchemaInfo::new(vec![
+        DimensionSpec::numeric("a", 0.0, 100.0),
+        DimensionSpec::numeric("b", 0.0, 100.0),
+        DimensionSpec::categorical("c", 50),
+    ])
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(7);
+    let regions: Vec<Region> = (0..100)
+        .map(|_| {
+            let lo = rng.gen::<f64>() * 80.0;
+            Region::from_predicate(&schema, &Predicate::between("a", lo, lo + 15.0)).unwrap()
+        })
+        .collect();
+    let refs: Vec<&Region> = regions.iter().collect();
+    let params = KernelParams::constant(3, 20.0, 1.0);
+    c.bench_function("covariance_matrix_100x100_3dims", |bch| {
+        bch.iter(|| covariance_matrix(&schema, &params, AggMode::Avg, &refs))
+    });
+}
+
+criterion_group!(benches, bench_kernel, bench_covariance_matrix);
+criterion_main!(benches);

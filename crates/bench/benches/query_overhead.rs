@@ -1,0 +1,52 @@
+//! Table 5: wall-clock overhead added by Verdict's inference on top of
+//! the raw AQP path, at the paper's default synopsis scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use verdict_core::{
+    AggKey, DimensionSpec, Observation, Region, SchemaInfo, Snippet, Verdict, VerdictConfig,
+};
+use verdict_storage::Predicate;
+
+fn trained_engine(n: usize) -> (Verdict, Snippet) {
+    let schema = SchemaInfo::new(vec![DimensionSpec::numeric("t", 0.0, 100.0)]).unwrap();
+    let mut engine = Verdict::new(schema.clone(), VerdictConfig::default());
+    let mut rng = StdRng::seed_from_u64(5);
+    for _ in 0..n {
+        let lo = rng.gen::<f64>() * 90.0;
+        let region =
+            Region::from_predicate(&schema, &Predicate::between("t", lo, lo + 5.0)).unwrap();
+        engine.observe(
+            &Snippet::new(AggKey::avg("v"), region),
+            Observation::new(rng.gen::<f64>(), 0.05),
+        );
+    }
+    engine.train().unwrap();
+    let region =
+        Region::from_predicate(&schema, &Predicate::between("t", 30.0, 50.0)).unwrap();
+    (engine, Snippet::new(AggKey::avg("v"), region))
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verdict_overhead");
+    for n in [100usize, 400] {
+        let (mut engine, snippet) = trained_engine(n);
+        group.bench_function(format!("improve_n{n}"), |b| {
+            b.iter(|| engine.improve(&snippet, Observation::new(0.5, 0.1)))
+        });
+    }
+    // Offline costs for context: training at n=100.
+    group.sample_size(10);
+    group.bench_function("train_offline_n100", |b| {
+        b.iter_batched(
+            || trained_engine(100).0,
+            |mut engine| engine.train().unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

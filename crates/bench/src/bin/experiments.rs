@@ -1,0 +1,41 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! experiments all            # everything (a few minutes)
+//! experiments tab3 fig4      # selected artifacts
+//! ```
+
+use verdict_bench::experiments as ex;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        vec![
+            "fig1", "tab3", "fig4", "tab4", "fig5", "tab5", "fig6", "fig7", "fig9", "fig10",
+            "fig11", "fig12", "fig13",
+        ]
+    } else {
+        args.iter().map(|s| s.as_str()).collect()
+    };
+    for id in ids {
+        match id {
+            "fig1" => ex::fig1(),
+            "tab3" => ex::tab3(),
+            "fig4" => ex::fig4(),
+            "tab4" => ex::tab4(),
+            "fig5" => ex::fig5(),
+            "tab5" => ex::tab5(),
+            "fig6" => ex::fig6(),
+            "fig7" => ex::fig7(),
+            "fig9" => ex::fig9(),
+            "fig10" => ex::fig10(),
+            "fig11" => ex::fig11(),
+            "fig12" => ex::fig12(),
+            "fig13" => ex::fig13(),
+            other => eprintln!(
+                "unknown experiment {other}; known: fig1 tab3 fig4 tab4 fig5 tab5 fig6 fig7 \
+                 fig9 fig10 fig11 fig12 fig13"
+            ),
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Data-append generalization (paper Appendix D).
+//!
+//! When new tuples `r_a` are appended to a relation `r`, old snippet
+//! answers remain usable if Verdict lowers its confidence in them. With
+//! `s_k` the random difference between a new tuple's attribute value and an
+//! old one's (mean `µ_k`, variance `η²_k`), Lemma 3 gives the adjusted raw
+//! answer and error for an old `AVG(A_k)` snippet:
+//!
+//! ```text
+//! θ'  = θ + µ_k · |r_a| / (|r| + |r_a|)
+//! β'² = β² + (η_k · |r_a| / (|r| + |r_a|))²
+//! ```
+//!
+//! `µ_k` and `η²_k` are estimated from small samples of `r` and `r_a`.
+
+use verdict_stats::{mean, variance};
+
+use crate::snippet::Observation;
+use crate::synopsis::QuerySynopsis;
+
+/// The estimated shift distribution and table sizes for one append event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppendAdjustment {
+    /// Mean of the value shift `s_k`.
+    pub mu_shift: f64,
+    /// Standard deviation `η_k` of the value shift.
+    pub eta: f64,
+    /// `|r|`: rows before the append.
+    pub old_rows: usize,
+    /// `|r_a|`: appended rows.
+    pub appended_rows: usize,
+}
+
+impl AppendAdjustment {
+    /// Estimates the shift from value samples of the old and appended
+    /// tuples: `µ_k = mean(new) − mean(old)` and
+    /// `η²_k = var(new) + var(old)` (variance of the difference of
+    /// independent draws).
+    pub fn estimate(
+        old_values: &[f64],
+        new_values: &[f64],
+        old_rows: usize,
+        appended_rows: usize,
+    ) -> AppendAdjustment {
+        let mu_shift = mean(new_values) - mean(old_values);
+        let eta = (variance(new_values) + variance(old_values)).sqrt();
+        AppendAdjustment {
+            mu_shift,
+            eta,
+            old_rows,
+            appended_rows,
+        }
+    }
+
+    /// Fraction of the updated table that is new: `|r_a| / (|r| + |r_a|)`.
+    pub fn new_fraction(&self) -> f64 {
+        let total = self.old_rows + self.appended_rows;
+        if total == 0 {
+            0.0
+        } else {
+            self.appended_rows as f64 / total as f64
+        }
+    }
+
+    /// Applies Lemma 3 to one stored raw observation.
+    pub fn adjust(&self, obs: Observation) -> Observation {
+        let f = self.new_fraction();
+        let answer = obs.answer + self.mu_shift * f;
+        let extra = (self.eta * f).powi(2);
+        let error = if obs.error.is_finite() {
+            (obs.error * obs.error + extra).sqrt()
+        } else {
+            obs.error
+        };
+        Observation { answer, error }
+    }
+
+    /// Rewrites every observation in a synopsis in place (old snippets are
+    /// reinterpreted against the updated relation).
+    pub fn adjust_synopsis(&self, synopsis: &mut QuerySynopsis) {
+        for obs in synopsis.observations_mut() {
+            *obs = self.adjust(*obs);
+        }
+    }
+
+    /// Composes two successive appends into one adjustment relative to the
+    /// original relation (the synopsis must only be adjusted once per
+    /// event; this helper serves bookkeeping tests).
+    pub fn then(&self, later: &AppendAdjustment) -> AppendAdjustment {
+        AppendAdjustment {
+            mu_shift: self.mu_shift + later.mu_shift,
+            eta: (self.eta * self.eta + later.eta * later.eta).sqrt(),
+            old_rows: self.old_rows,
+            appended_rows: self.appended_rows + later.appended_rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{DimensionSpec, Region, SchemaInfo};
+    use verdict_storage::Predicate;
+
+    #[test]
+    fn no_shift_when_distributions_match() {
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        let adj = AppendAdjustment::estimate(&vals, &vals, 100, 10);
+        assert_eq!(adj.mu_shift, 0.0);
+        let o = adj.adjust(Observation::new(2.5, 0.1));
+        assert_eq!(o.answer, 2.5);
+        // Error still inflates: new tuples add uncertainty even with equal
+        // means (η > 0).
+        assert!(o.error > 0.1);
+    }
+
+    #[test]
+    fn answer_shifts_proportionally_to_append_size() {
+        let old = [0.0, 0.0];
+        let new = [10.0, 10.0];
+        let small = AppendAdjustment::estimate(&old, &new, 90, 10);
+        let large = AppendAdjustment::estimate(&old, &new, 50, 50);
+        let o = Observation::new(5.0, 0.1);
+        let s = small.adjust(o);
+        let l = large.adjust(o);
+        assert!((s.answer - 6.0).abs() < 1e-12, "{}", s.answer); // 5 + 10*0.1
+        assert!((l.answer - 10.0).abs() < 1e-12, "{}", l.answer); // 5 + 10*0.5
+    }
+
+    #[test]
+    fn error_never_decreases() {
+        let adj = AppendAdjustment::estimate(&[0.0, 1.0], &[5.0, 7.0], 80, 20);
+        for beta in [0.0, 0.1, 2.0] {
+            let o = adj.adjust(Observation::new(1.0, beta));
+            assert!(o.error >= beta);
+        }
+    }
+
+    #[test]
+    fn infinite_error_preserved() {
+        let adj = AppendAdjustment::estimate(&[0.0, 1.0], &[5.0, 7.0], 80, 20);
+        let o = adj.adjust(Observation::new(1.0, f64::INFINITY));
+        assert!(o.error.is_infinite());
+    }
+
+    #[test]
+    fn zero_rows_edge_case() {
+        let adj = AppendAdjustment {
+            mu_shift: 3.0,
+            eta: 1.0,
+            old_rows: 0,
+            appended_rows: 0,
+        };
+        assert_eq!(adj.new_fraction(), 0.0);
+    }
+
+    #[test]
+    fn synopsis_adjusted_in_place() {
+        let schema = SchemaInfo::new(vec![DimensionSpec::numeric("x", 0.0, 10.0)]).unwrap();
+        let region =
+            Region::from_predicate(&schema, &Predicate::between("x", 0.0, 5.0)).unwrap();
+        let mut syn = QuerySynopsis::new(10);
+        syn.record(region.clone(), Observation::new(1.0, 0.1));
+        let adj = AppendAdjustment {
+            mu_shift: 2.0,
+            eta: 0.5,
+            old_rows: 50,
+            appended_rows: 50,
+        };
+        adj.adjust_synopsis(&mut syn);
+        let o = syn.find(&region).unwrap();
+        assert!((o.answer - 2.0).abs() < 1e-12);
+        assert!(o.error > 0.1);
+    }
+
+    #[test]
+    fn composition_accumulates() {
+        let a = AppendAdjustment {
+            mu_shift: 1.0,
+            eta: 0.3,
+            old_rows: 100,
+            appended_rows: 10,
+        };
+        let b = AppendAdjustment {
+            mu_shift: 0.5,
+            eta: 0.4,
+            old_rows: 110,
+            appended_rows: 20,
+        };
+        let c = a.then(&b);
+        assert_eq!(c.mu_shift, 1.5);
+        assert!((c.eta - (0.09f64 + 0.16).sqrt()).abs() < 1e-12);
+        assert_eq!(c.appended_rows, 30);
+    }
+}

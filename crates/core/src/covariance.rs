@@ -1,0 +1,265 @@
+//! Covariance assembly between snippet answers (paper §4, Eqs. 8/10/16).
+//!
+//! Given the kernel parameters for an aggregate `g` and two predicate
+//! regions `F_i`, `F_j`, the covariance of the *exact* answers decomposes
+//! into a per-dimension product:
+//!
+//! ```text
+//! cov(θ̄_i, θ̄_j) = σ²_g · Π_k factor_k(F_{i,k}, F_{j,k})
+//! ```
+//!
+//! where `factor_k` is the analytic double integral over numeric ranges and
+//! the set-overlap count over categorical sets. `AVG` snippets use the
+//! normalized (mean-field) factors so the self-covariance of any region is
+//! at most `σ²_g`; `FREQ` snippets use the raw integrals of Eq. (10)/(16).
+
+use verdict_linalg::Matrix;
+
+use crate::kernel::{avg_numeric_factor, freq_numeric_factor, KernelParams};
+use crate::region::{DimKind, Region, SchemaInfo};
+use crate::snippet::AggKey;
+
+/// Aggregate semantics controlling normalization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggMode {
+    /// Mean-field semantics (normalized factors).
+    Avg,
+    /// Density semantics (unnormalized factors).
+    Freq,
+}
+
+impl AggMode {
+    /// Mode of an aggregate key.
+    pub fn of(key: &AggKey) -> AggMode {
+        match key {
+            AggKey::Avg(_) => AggMode::Avg,
+            AggKey::Freq => AggMode::Freq,
+        }
+    }
+}
+
+/// Covariance `cov(θ̄_i, θ̄_j)` between the exact answers of two snippets
+/// of the same aggregate function.
+pub fn snippet_covariance(
+    schema: &SchemaInfo,
+    params: &KernelParams,
+    mode: AggMode,
+    a: &Region,
+    b: &Region,
+) -> f64 {
+    debug_assert_eq!(params.lengthscales.len(), schema.len());
+    let mut cov = params.sigma2;
+    for (k, dim) in schema.dims().iter().enumerate() {
+        if cov == 0.0 {
+            return 0.0;
+        }
+        match &dim.kind {
+            DimKind::Numeric { .. } => {
+                let (a_lo, a_hi) = a.range(k).expect("region aligned to schema");
+                let (b_lo, b_hi) = b.range(k).expect("region aligned to schema");
+                let l = params.lengthscales[k];
+                let factor = match mode {
+                    AggMode::Avg => avg_numeric_factor(a_lo, a_hi, b_lo, b_hi, l),
+                    AggMode::Freq => freq_numeric_factor(a_lo, a_hi, b_lo, b_hi, l),
+                };
+                cov *= factor;
+            }
+            DimKind::Categorical { cardinality } => {
+                let overlap = a.set_overlap(b, k, *cardinality);
+                let factor = match mode {
+                    AggMode::Avg => {
+                        let sa = a.set_size(k, *cardinality);
+                        let sb = b.set_size(k, *cardinality);
+                        if sa == 0.0 || sb == 0.0 {
+                            0.0
+                        } else {
+                            overlap / (sa * sb)
+                        }
+                    }
+                    AggMode::Freq => overlap,
+                };
+                cov *= factor;
+            }
+        }
+    }
+    cov
+}
+
+/// Builds the `n × n` covariance matrix `K` with `K[i][j] =
+/// cov(θ̄_i, θ̄_j)` over the given regions.
+pub fn covariance_matrix(
+    schema: &SchemaInfo,
+    params: &KernelParams,
+    mode: AggMode,
+    regions: &[&Region],
+) -> Matrix {
+    let n = regions.len();
+    let mut k = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            let v = snippet_covariance(schema, params, mode, regions[i], regions[j]);
+            k.set(i, j, v);
+            k.set(j, i, v);
+        }
+    }
+    k
+}
+
+/// Builds `Σ_n = K + diag(β²)` — the covariance of the *raw* answers,
+/// which adds each snippet's independent sampling noise on the diagonal
+/// (paper Eq. 6).
+pub fn raw_covariance_matrix(
+    schema: &SchemaInfo,
+    params: &KernelParams,
+    mode: AggMode,
+    regions: &[&Region],
+    errors: &[f64],
+) -> Matrix {
+    debug_assert_eq!(regions.len(), errors.len());
+    let mut sigma = covariance_matrix(schema, params, mode, regions);
+    for (i, &beta) in errors.iter().enumerate() {
+        let b2 = if beta.is_finite() { beta * beta } else { 0.0 };
+        sigma.set(i, i, sigma.get(i, i) + b2);
+    }
+    sigma
+}
+
+/// Cross-covariance vector `k̄` between a new snippet's exact answer and
+/// each past snippet's raw answer. By Eq. (6), `cov(θ_i, θ̄_new) =
+/// cov(θ̄_i, θ̄_new)` (the sampling noise is independent), so no `β` term
+/// appears here.
+pub fn cross_covariance(
+    schema: &SchemaInfo,
+    params: &KernelParams,
+    mode: AggMode,
+    past: &[&Region],
+    new: &Region,
+) -> Vec<f64> {
+    past.iter()
+        .map(|r| snippet_covariance(schema, params, mode, r, new))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::DimensionSpec;
+    use verdict_storage::Predicate;
+
+    fn schema() -> SchemaInfo {
+        SchemaInfo::new(vec![
+            DimensionSpec::numeric("t", 0.0, 100.0),
+            DimensionSpec::categorical("c", 5),
+        ])
+        .unwrap()
+    }
+
+    fn region(lo: f64, hi: f64) -> Region {
+        Region::from_predicate(&schema(), &Predicate::between("t", lo, hi)).unwrap()
+    }
+
+    #[test]
+    fn self_covariance_at_most_sigma2_for_avg() {
+        let s = schema();
+        let p = KernelParams::constant(2, 10.0, 4.0);
+        let r = region(0.0, 50.0);
+        let v = snippet_covariance(&s, &p, AggMode::Avg, &r, &r);
+        assert!(v > 0.0 && v <= 4.0 + 1e-12, "{v}");
+    }
+
+    #[test]
+    fn covariance_decays_with_distance() {
+        let s = schema();
+        let p = KernelParams::constant(2, 5.0, 1.0);
+        let a = region(0.0, 10.0);
+        let near = region(10.0, 20.0);
+        let far = region(80.0, 90.0);
+        let cn = snippet_covariance(&s, &p, AggMode::Avg, &a, &near);
+        let cf = snippet_covariance(&s, &p, AggMode::Avg, &a, &far);
+        assert!(cn > cf, "{cn} vs {cf}");
+        assert!(cf >= 0.0);
+    }
+
+    #[test]
+    fn overlapping_regions_correlate_more() {
+        let s = schema();
+        let p = KernelParams::constant(2, 2.0, 1.0);
+        let a = region(0.0, 20.0);
+        let overlapping = region(10.0, 30.0);
+        let disjoint = region(30.0, 50.0);
+        let co = snippet_covariance(&s, &p, AggMode::Avg, &a, &overlapping);
+        let cd = snippet_covariance(&s, &p, AggMode::Avg, &a, &disjoint);
+        assert!(co > cd);
+    }
+
+    #[test]
+    fn categorical_disjoint_sets_zero_covariance() {
+        let s = schema();
+        let p = KernelParams::constant(2, 10.0, 1.0);
+        let a = Region::from_predicate(&s, &Predicate::cat_in("c", vec![0, 1])).unwrap();
+        let b = Region::from_predicate(&s, &Predicate::cat_in("c", vec![2, 3])).unwrap();
+        assert_eq!(snippet_covariance(&s, &p, AggMode::Avg, &a, &b), 0.0);
+        assert_eq!(snippet_covariance(&s, &p, AggMode::Freq, &a, &b), 0.0);
+    }
+
+    #[test]
+    fn freq_mode_scales_with_overlap_count() {
+        let s = schema();
+        let p = KernelParams::constant(2, 1e9, 1.0); // ~flat kernel
+        let a = Region::from_predicate(&s, &Predicate::cat_in("c", vec![0, 1, 2])).unwrap();
+        let b = Region::from_predicate(&s, &Predicate::cat_in("c", vec![1, 2, 3])).unwrap();
+        let cab = snippet_covariance(&s, &p, AggMode::Freq, &a, &b);
+        let caa = snippet_covariance(&s, &p, AggMode::Freq, &a, &a);
+        // overlap 2 vs 3 with identical numeric factors.
+        assert!((cab / caa - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_and_psd_diagonal() {
+        let s = schema();
+        let p = KernelParams::constant(2, 10.0, 2.0);
+        let regions = [region(0.0, 30.0), region(20.0, 50.0), region(40.0, 90.0)];
+        let refs: Vec<&Region> = regions.iter().collect();
+        let k = covariance_matrix(&s, &p, AggMode::Avg, &refs);
+        assert!(k.is_symmetric(1e-12));
+        for i in 0..3 {
+            assert!(k.get(i, i) > 0.0);
+        }
+    }
+
+    #[test]
+    fn raw_matrix_adds_beta_squared() {
+        let s = schema();
+        let p = KernelParams::constant(2, 10.0, 2.0);
+        let regions = [region(0.0, 30.0), region(20.0, 50.0)];
+        let refs: Vec<&Region> = regions.iter().collect();
+        let k = covariance_matrix(&s, &p, AggMode::Avg, &refs);
+        let sig = raw_covariance_matrix(&s, &p, AggMode::Avg, &refs, &[0.5, 0.2]);
+        assert!((sig.get(0, 0) - k.get(0, 0) - 0.25).abs() < 1e-12);
+        assert!((sig.get(1, 1) - k.get(1, 1) - 0.04).abs() < 1e-12);
+        assert_eq!(sig.get(0, 1), k.get(0, 1));
+    }
+
+    #[test]
+    fn infinite_error_treated_as_uninformative_diagonal() {
+        let s = schema();
+        let p = KernelParams::constant(2, 10.0, 2.0);
+        let regions = [region(0.0, 30.0)];
+        let refs: Vec<&Region> = regions.iter().collect();
+        let sig = raw_covariance_matrix(&s, &p, AggMode::Avg, &refs, &[f64::INFINITY]);
+        assert!(sig.get(0, 0).is_finite());
+    }
+
+    #[test]
+    fn cross_covariance_matches_pairwise() {
+        let s = schema();
+        let p = KernelParams::constant(2, 10.0, 2.0);
+        let a = region(0.0, 30.0);
+        let b = region(20.0, 50.0);
+        let new = region(25.0, 45.0);
+        let k = cross_covariance(&s, &p, AggMode::Avg, &[&a, &b], &new);
+        assert_eq!(k.len(), 2);
+        assert_eq!(k[0], snippet_covariance(&s, &p, AggMode::Avg, &a, &new));
+        assert_eq!(k[1], snippet_covariance(&s, &p, AggMode::Avg, &b, &new));
+    }
+}

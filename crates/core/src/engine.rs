@@ -1,0 +1,410 @@
+//! The `Verdict` engine: synopsis + model + inference behind one façade
+//! (paper Figure 2, Algorithms 1 and 2).
+
+use std::collections::HashMap;
+
+use verdict_stats::normal::confidence_multiplier;
+
+use crate::append::AppendAdjustment;
+use crate::covariance::AggMode;
+use crate::inference::TrainedModel;
+use crate::learning::learn_params;
+use crate::region::{Region, SchemaInfo};
+use crate::snippet::{AggKey, Observation, Snippet};
+use crate::synopsis::QuerySynopsis;
+use crate::validation::{clamp_freq_interval, validate, Verdict2};
+use crate::{Result, VerdictConfig};
+
+/// An improved answer `(θ̂, β̂)` plus provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImprovedAnswer {
+    /// Improved answer `θ̂_{n+1}`.
+    pub answer: f64,
+    /// Improved error `β̂_{n+1}` (never larger than the raw error,
+    /// Theorem 1).
+    pub error: f64,
+    /// Whether the model-based answer was used (false = validation
+    /// rejected it or no model was available, so raw passed through).
+    pub used_model: bool,
+}
+
+impl ImprovedAnswer {
+    /// Error bound `±α_δ · β̂` at confidence `delta` (§3.4).
+    pub fn bound(&self, delta: f64) -> f64 {
+        if self.error.is_finite() {
+            confidence_multiplier(delta) * self.error
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Confidence interval at `delta`; `is_freq` floors it at zero
+    /// (Appendix B).
+    pub fn interval(&self, delta: f64, is_freq: bool) -> (f64, f64) {
+        let b = self.bound(delta);
+        let (lo, hi) = (self.answer - b, self.answer + b);
+        if is_freq {
+            clamp_freq_interval(lo, hi)
+        } else {
+            (lo, hi)
+        }
+    }
+}
+
+/// Running counters for observability and the experiment harness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Snippets whose model answer was accepted.
+    pub improved: u64,
+    /// Snippets whose model answer was rejected by validation.
+    pub rejected: u64,
+    /// Snippets answered while no model was available.
+    pub passed_through: u64,
+    /// Snippets recorded into synopses.
+    pub observed: u64,
+}
+
+/// The Verdict engine (one per learned relation).
+#[derive(Debug)]
+pub struct Verdict {
+    schema: SchemaInfo,
+    config: VerdictConfig,
+    synopses: HashMap<AggKey, QuerySynopsis>,
+    models: HashMap<AggKey, TrainedModel>,
+    stats: EngineStats,
+}
+
+impl Verdict {
+    /// Creates an engine over the declared dimension universe.
+    pub fn new(schema: SchemaInfo, config: VerdictConfig) -> Self {
+        Verdict {
+            schema,
+            config,
+            synopses: HashMap::new(),
+            models: HashMap::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The dimension universe.
+    pub fn schema(&self) -> &SchemaInfo {
+        &self.schema
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &VerdictConfig {
+        &self.config
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Number of snippets retained for `key`.
+    pub fn synopsis_len(&self, key: &AggKey) -> usize {
+        self.synopses.get(key).map_or(0, |s| s.len())
+    }
+
+    /// Whether a trained model exists for `key`.
+    pub fn has_model(&self, key: &AggKey) -> bool {
+        self.models.contains_key(key)
+    }
+
+    /// Records a snippet's raw answer into the synopsis (Algorithm 2
+    /// line 6). The model is *not* refit here; call [`Verdict::train`]
+    /// (offline, Algorithm 1) to fold new snippets in.
+    pub fn observe(&mut self, snippet: &Snippet, obs: Observation) {
+        let synopsis = self
+            .synopses
+            .entry(snippet.key.clone())
+            .or_insert_with(|| QuerySynopsis::new(self.config.synopsis_capacity));
+        synopsis.record(snippet.region.clone(), obs);
+        self.stats.observed += 1;
+    }
+
+    /// Offline training (Algorithm 1): for every aggregate function with
+    /// enough snippets, learn correlation parameters by maximum likelihood,
+    /// then precompute `Σₙ⁻¹`.
+    pub fn train(&mut self) -> Result<()> {
+        let keys: Vec<AggKey> = self.synopses.keys().cloned().collect();
+        for key in keys {
+            self.train_key(&key)?;
+        }
+        Ok(())
+    }
+
+    /// Trains the model for one aggregate function.
+    pub fn train_key(&mut self, key: &AggKey) -> Result<()> {
+        let Some(synopsis) = self.synopses.get(key) else {
+            return Ok(());
+        };
+        if synopsis.len() < self.config.min_snippets_to_train {
+            self.models.remove(key);
+            return Ok(());
+        }
+        let mode = AggMode::of(key);
+
+        // Learn lengthscales on a bounded, most-recent subset …
+        let training = synopsis.most_recent(self.config.max_training_snippets);
+        let regions: Vec<&Region> = training.iter().map(|e| &e.region).collect();
+        let answers: Vec<f64> = training.iter().map(|e| e.observation.answer).collect();
+        let errors: Vec<f64> = training.iter().map(|e| e.observation.error).collect();
+        let learned = learn_params(&self.schema, mode, &regions, &answers, &errors, &self.config);
+
+        // … then fit the conditioning state on the full synopsis.
+        let entries: Vec<(Region, Observation)> = synopsis
+            .entries()
+            .iter()
+            .map(|e| (e.region.clone(), e.observation))
+            .collect();
+        let model = TrainedModel::fit(
+            &self.schema,
+            mode,
+            &entries,
+            learned.params,
+            learned.prior,
+            self.config.jitter,
+        )?;
+        self.models.insert(key.clone(), model);
+        Ok(())
+    }
+
+    /// Query-time improvement (Algorithm 2 lines 3–5): runs inference if a
+    /// model exists, validates the model-based answer, and returns either
+    /// the improved pair or the raw pair.
+    pub fn improve(&mut self, snippet: &Snippet, raw: Observation) -> ImprovedAnswer {
+        let Some(model) = self.models.get(&snippet.key) else {
+            self.stats.passed_through += 1;
+            return ImprovedAnswer {
+                answer: raw.answer,
+                error: raw.error,
+                used_model: false,
+            };
+        };
+        if snippet.region.is_degenerate() {
+            self.stats.passed_through += 1;
+            return ImprovedAnswer {
+                answer: raw.answer,
+                error: raw.error,
+                used_model: false,
+            };
+        }
+        let inference = model.infer(&self.schema, &snippet.region, raw);
+        let decision = if self.config.enable_validation {
+            validate(
+                &inference,
+                raw,
+                snippet.key.is_freq(),
+                self.config.validation_delta,
+            )
+        } else {
+            Verdict2::Accept
+        };
+        if decision.accepted() {
+            self.stats.improved += 1;
+            ImprovedAnswer {
+                answer: inference.model_answer,
+                error: inference.model_error,
+                used_model: true,
+            }
+        } else {
+            self.stats.rejected += 1;
+            ImprovedAnswer {
+                answer: raw.answer,
+                error: raw.error,
+                used_model: false,
+            }
+        }
+    }
+
+    /// Convenience: improve, then record the raw observation (the order of
+    /// Algorithm 2 — the synopsis stores raw, not improved, answers).
+    pub fn improve_and_observe(&mut self, snippet: &Snippet, raw: Observation) -> ImprovedAnswer {
+        let improved = self.improve(snippet, raw);
+        self.observe(snippet, raw);
+        improved
+    }
+
+    /// Applies a data-append adjustment (Appendix D) to the synopsis of
+    /// `key`, then refits the model so inference sees the inflated errors.
+    pub fn apply_append(&mut self, key: &AggKey, adjustment: &AppendAdjustment) -> Result<()> {
+        if let Some(synopsis) = self.synopses.get_mut(key) {
+            adjustment.adjust_synopsis(synopsis);
+        }
+        self.train_key(key)
+    }
+
+    /// Drops all learned state for `key` (tests, resets).
+    pub fn forget(&mut self, key: &AggKey) {
+        self.synopses.remove(key);
+        self.models.remove(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::DimensionSpec;
+    use verdict_storage::Predicate;
+
+    fn schema() -> SchemaInfo {
+        SchemaInfo::new(vec![DimensionSpec::numeric("t", 0.0, 100.0)]).unwrap()
+    }
+
+    fn snippet(lo: f64, hi: f64) -> Snippet {
+        Snippet::new(
+            AggKey::avg("v"),
+            Region::from_predicate(&schema(), &Predicate::between("t", lo, hi)).unwrap(),
+        )
+    }
+
+    fn trained_engine() -> Verdict {
+        let mut v = Verdict::new(schema(), VerdictConfig::default());
+        for i in 0..12 {
+            let lo = i as f64 * 8.0;
+            let ans = 10.0 + (lo / 25.0).sin() * 2.0;
+            v.observe(&snippet(lo, lo + 8.0), Observation::new(ans, 0.15));
+        }
+        v.train().unwrap();
+        v
+    }
+
+    #[test]
+    fn untrained_engine_passes_raw_through() {
+        let mut v = Verdict::new(schema(), VerdictConfig::default());
+        let raw = Observation::new(5.0, 1.0);
+        let imp = v.improve(&snippet(0.0, 10.0), raw);
+        assert!(!imp.used_model);
+        assert_eq!(imp.answer, 5.0);
+        assert_eq!(imp.error, 1.0);
+        assert_eq!(v.stats().passed_through, 1);
+    }
+
+    #[test]
+    fn trained_engine_improves_error() {
+        let mut v = trained_engine();
+        assert!(v.has_model(&AggKey::avg("v")));
+        let raw = Observation::new(10.5, 0.8);
+        let imp = v.improve(&snippet(10.0, 30.0), raw);
+        assert!(imp.used_model, "model should be accepted");
+        assert!(imp.error < 0.8, "error {} not improved", imp.error);
+    }
+
+    #[test]
+    fn theorem1_holds_through_engine() {
+        let mut v = trained_engine();
+        for (lo, hi, theta, beta) in [
+            (0.0, 50.0, 10.0, 0.5),
+            (90.0, 99.0, 11.0, 0.2),
+            (5.0, 6.0, 9.5, 2.0),
+        ] {
+            let imp = v.improve(&snippet(lo, hi), Observation::new(theta, beta));
+            assert!(imp.error <= beta + 1e-12);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_wild_model() {
+        // Poison the synopsis with answers near 10, then query with a raw
+        // answer wildly different and a tiny raw error: the model answer
+        // (pulled toward 10) falls outside the likely region of the raw
+        // answer, so validation must reject and return raw.
+        let mut v = trained_engine();
+        let raw = Observation::new(500.0, 0.05);
+        let imp = v.improve(&snippet(40.0, 60.0), raw);
+        assert!(!imp.used_model);
+        assert_eq!(imp.answer, 500.0);
+        assert!(v.stats().rejected >= 1);
+    }
+
+    #[test]
+    fn validation_can_be_disabled() {
+        let mut v = Verdict::new(schema(), VerdictConfig::without_validation());
+        for i in 0..12 {
+            let lo = i as f64 * 8.0;
+            v.observe(&snippet(lo, lo + 8.0), Observation::new(10.0, 0.15));
+        }
+        v.train().unwrap();
+        let raw = Observation::new(500.0, 0.05);
+        let imp = v.improve(&snippet(40.0, 60.0), raw);
+        assert!(imp.used_model, "validation disabled: model always used");
+    }
+
+    #[test]
+    fn min_snippets_gate_training() {
+        let mut v = Verdict::new(schema(), VerdictConfig::default());
+        v.observe(&snippet(0.0, 10.0), Observation::new(1.0, 0.1));
+        v.observe(&snippet(10.0, 20.0), Observation::new(2.0, 0.1));
+        v.train().unwrap();
+        assert!(!v.has_model(&AggKey::avg("v")));
+    }
+
+    #[test]
+    fn improve_and_observe_records_raw() {
+        let mut v = trained_engine();
+        let before = v.synopsis_len(&AggKey::avg("v"));
+        v.improve_and_observe(&snippet(33.0, 44.0), Observation::new(10.2, 0.3));
+        assert_eq!(v.synopsis_len(&AggKey::avg("v")), before + 1);
+        assert_eq!(v.stats().observed as usize, before + 1);
+    }
+
+    #[test]
+    fn degenerate_region_passes_through() {
+        let mut v = trained_engine();
+        let s = Snippet::new(
+            AggKey::avg("v"),
+            Region::from_predicate(&schema(), &Predicate::between("t", 60.0, 40.0)).unwrap(),
+        );
+        let imp = v.improve(&s, Observation::new(3.0, 0.4));
+        assert!(!imp.used_model);
+    }
+
+    #[test]
+    fn append_inflates_errors_and_keeps_model() {
+        let mut v = trained_engine();
+        let adj = AppendAdjustment {
+            mu_shift: 1.0,
+            eta: 0.5,
+            old_rows: 80,
+            appended_rows: 20,
+        };
+        v.apply_append(&AggKey::avg("v"), &adj).unwrap();
+        assert!(v.has_model(&AggKey::avg("v")));
+        // Improved error for a repeated region should now be larger than
+        // before the append (less trust in old answers).
+        let raw = Observation::new(10.5, 0.8);
+        let imp = v.improve(&snippet(10.0, 30.0), raw);
+        assert!(imp.error <= 0.8);
+    }
+
+    #[test]
+    fn bound_and_interval() {
+        let imp = ImprovedAnswer {
+            answer: 10.0,
+            error: 1.0,
+            used_model: true,
+        };
+        let b = imp.bound(0.95);
+        assert!((b - 1.959963984540054).abs() < 1e-9);
+        let (lo, hi) = imp.interval(0.95, false);
+        assert!((lo - (10.0 - b)).abs() < 1e-12);
+        assert!((hi - (10.0 + b)).abs() < 1e-12);
+        // FREQ clamping.
+        let imp = ImprovedAnswer {
+            answer: 0.01,
+            error: 0.05,
+            used_model: true,
+        };
+        let (lo, _) = imp.interval(0.95, true);
+        assert_eq!(lo, 0.0);
+    }
+
+    #[test]
+    fn forget_clears_state() {
+        let mut v = trained_engine();
+        v.forget(&AggKey::avg("v"));
+        assert!(!v.has_model(&AggKey::avg("v")));
+        assert_eq!(v.synopsis_len(&AggKey::avg("v")), 0);
+    }
+}

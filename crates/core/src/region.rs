@@ -1,0 +1,429 @@
+//! Predicate regions `F_i` over the dimension-attribute space.
+//!
+//! The paper (§4.1) represents each snippet's selection predicate as the
+//! product of per-attribute constraints: a range `(s_{i,k}, e_{i,k})` for
+//! each numeric dimension attribute (defaulting to the attribute's full
+//! domain when unconstrained) and a value set for each categorical
+//! dimension attribute (Appendix F.2). A [`Region`] is exactly that product,
+//! aligned against a declared [`SchemaInfo`] describing the dimension
+//! universe.
+
+use verdict_storage::predicate::ColumnConstraint;
+use verdict_storage::Predicate;
+
+use crate::{CoreError, Result};
+
+/// Kind and domain of one dimension attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DimKind {
+    /// Numeric attribute with domain `[lo, hi]`.
+    Numeric {
+        /// Domain minimum (`min(Ak)` in the paper).
+        lo: f64,
+        /// Domain maximum (`max(Ak)`).
+        hi: f64,
+    },
+    /// Categorical attribute with codes `0..cardinality`.
+    Categorical {
+        /// Number of distinct codes in the domain.
+        cardinality: u32,
+    },
+}
+
+/// One dimension attribute of the learned relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimensionSpec {
+    /// Attribute name (matches predicate column names).
+    pub name: String,
+    /// Kind and domain.
+    pub kind: DimKind,
+}
+
+impl DimensionSpec {
+    /// Numeric dimension helper.
+    pub fn numeric(name: &str, lo: f64, hi: f64) -> Self {
+        DimensionSpec {
+            name: name.to_owned(),
+            kind: DimKind::Numeric { lo, hi },
+        }
+    }
+
+    /// Categorical dimension helper.
+    pub fn categorical(name: &str, cardinality: u32) -> Self {
+        DimensionSpec {
+            name: name.to_owned(),
+            kind: DimKind::Categorical { cardinality },
+        }
+    }
+}
+
+/// The declared dimension universe Verdict learns over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaInfo {
+    dims: Vec<DimensionSpec>,
+}
+
+impl SchemaInfo {
+    /// Builds a schema description; dimension names must be unique.
+    pub fn new(dims: Vec<DimensionSpec>) -> Result<Self> {
+        for (i, d) in dims.iter().enumerate() {
+            if dims[..i].iter().any(|p| p.name == d.name) {
+                return Err(CoreError::SchemaMismatch(format!(
+                    "duplicate dimension {}",
+                    d.name
+                )));
+            }
+            if let DimKind::Numeric { lo, hi } = d.kind {
+                if !(lo <= hi) {
+                    return Err(CoreError::SchemaMismatch(format!(
+                        "dimension {} has empty domain [{lo}, {hi}]",
+                        d.name
+                    )));
+                }
+            }
+        }
+        Ok(SchemaInfo { dims })
+    }
+
+    /// Derives the dimension universe from a concrete table: numeric
+    /// dimension columns contribute their observed `[min, max]` domain
+    /// (the paper's `(min(Ak), max(Ak))` default, §4.1) and categorical
+    /// columns their dictionary cardinality. Measure columns are skipped.
+    pub fn from_table(table: &verdict_storage::Table) -> Result<SchemaInfo> {
+        use verdict_storage::{AttributeRole, ColumnType};
+        let mut dims = Vec::new();
+        for def in table.schema().columns() {
+            if def.role != AttributeRole::Dimension {
+                continue;
+            }
+            match def.ty {
+                ColumnType::Numeric => {
+                    let (lo, hi) = table.column_bounds(&def.name)?;
+                    dims.push(DimensionSpec::numeric(&def.name, lo, hi));
+                }
+                ColumnType::Categorical => {
+                    let col = table.column(&def.name)?;
+                    let observed = col.cardinality().unwrap_or(0);
+                    // Codes need not be dense: size the domain by the
+                    // largest observed code as well.
+                    let max_code = col
+                        .categorical()?
+                        .iter()
+                        .copied()
+                        .max()
+                        .map_or(0, |m| m as usize + 1);
+                    dims.push(DimensionSpec::categorical(
+                        &def.name,
+                        observed.max(max_code) as u32,
+                    ));
+                }
+            }
+        }
+        SchemaInfo::new(dims)
+    }
+
+    /// Dimension specs in declaration order.
+    pub fn dims(&self) -> &[DimensionSpec] {
+        &self.dims
+    }
+
+    /// Number of dimensions (the paper's `l`).
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether there are no dimensions.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    /// Index of a dimension by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.dims.iter().position(|d| d.name == name)
+    }
+
+    /// Indices of numeric dimensions (lengthscales are learned for these).
+    pub fn numeric_indices(&self) -> Vec<usize> {
+        self.dims
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| matches!(d.kind, DimKind::Numeric { .. }))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Per-dimension constraint inside a region.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DimConstraint {
+    /// Numeric interval `[lo, hi]` (clamped to the domain).
+    Range {
+        /// Interval start `s_{i,k}`.
+        lo: f64,
+        /// Interval end `e_{i,k}`.
+        hi: f64,
+    },
+    /// Categorical code set; `None` means the full domain (paper F.2: a
+    /// universal set).
+    Set(Option<Vec<u32>>),
+}
+
+/// A snippet's predicate region `F_i`, aligned to a [`SchemaInfo`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Region {
+    constraints: Vec<DimConstraint>,
+}
+
+impl Region {
+    /// The unconstrained region (whole domain) for `schema`.
+    pub fn full(schema: &SchemaInfo) -> Region {
+        let constraints = schema
+            .dims()
+            .iter()
+            .map(|d| match &d.kind {
+                DimKind::Numeric { lo, hi } => DimConstraint::Range { lo: *lo, hi: *hi },
+                DimKind::Categorical { .. } => DimConstraint::Set(None),
+            })
+            .collect();
+        Region { constraints }
+    }
+
+    /// Builds the region for `predicate` against `schema`: ranges are
+    /// intersected with the domain; unconstrained dimensions default to the
+    /// full domain (§4.1). Predicate columns that are not declared
+    /// dimensions are an error (the caller's type checker should have
+    /// rejected the query).
+    pub fn from_predicate(schema: &SchemaInfo, predicate: &Predicate) -> Result<Region> {
+        let mut region = Region::full(schema);
+        let nf = predicate.normal_form()?;
+        for (col, constraint) in nf {
+            let Some(idx) = schema.index_of(&col) else {
+                return Err(CoreError::SchemaMismatch(format!(
+                    "predicate references undeclared dimension {col}"
+                )));
+            };
+            match (&schema.dims()[idx].kind, constraint) {
+                (DimKind::Numeric { lo, hi }, ColumnConstraint::Range(r)) => {
+                    let s = r.lo.max(*lo);
+                    let e = r.hi.min(*hi);
+                    region.constraints[idx] = DimConstraint::Range { lo: s, hi: e };
+                }
+                (DimKind::Categorical { cardinality }, ColumnConstraint::In(codes)) => {
+                    let codes: Vec<u32> =
+                        codes.into_iter().filter(|c| c < cardinality).collect();
+                    region.constraints[idx] = DimConstraint::Set(Some(codes));
+                }
+                (DimKind::Numeric { .. }, ColumnConstraint::In(_)) => {
+                    return Err(CoreError::SchemaMismatch(format!(
+                        "categorical constraint on numeric dimension {col}"
+                    )))
+                }
+                (DimKind::Categorical { .. }, ColumnConstraint::Range(_)) => {
+                    return Err(CoreError::SchemaMismatch(format!(
+                        "range constraint on categorical dimension {col}"
+                    )))
+                }
+            }
+        }
+        Ok(region)
+    }
+
+    /// Per-dimension constraints (parallel to the schema's dims).
+    pub fn constraints(&self) -> &[DimConstraint] {
+        &self.constraints
+    }
+
+    /// The numeric interval of dimension `idx` (domain interval for
+    /// categorical dims is an error).
+    pub fn range(&self, idx: usize) -> Option<(f64, f64)> {
+        match &self.constraints[idx] {
+            DimConstraint::Range { lo, hi } => Some((*lo, *hi)),
+            DimConstraint::Set(_) => None,
+        }
+    }
+
+    /// Volume `|F_i|`: the product of numeric widths and categorical set
+    /// sizes (Appendix F.3 uses the numeric part for FREQ priors; the
+    /// categorical part enters normalized AVG covariances).
+    ///
+    /// Zero-width numeric intervals (equality predicates) contribute a
+    /// small positive floor relative to the domain so FREQ densities stay
+    /// finite.
+    pub fn volume(&self, schema: &SchemaInfo) -> f64 {
+        let mut v = 1.0;
+        for (c, d) in self.constraints.iter().zip(schema.dims()) {
+            match (c, &d.kind) {
+                (DimConstraint::Range { lo, hi }, DimKind::Numeric { lo: dlo, hi: dhi }) => {
+                    let width = (hi - lo).max(0.0);
+                    let domain = (dhi - dlo).max(f64::MIN_POSITIVE);
+                    // Equality predicates: treat as a sliver 1e-6 of domain.
+                    let floor = domain * 1e-6;
+                    v *= width.max(floor);
+                }
+                (DimConstraint::Set(set), DimKind::Categorical { cardinality }) => {
+                    let size = match set {
+                        Some(s) => s.len() as f64,
+                        None => *cardinality as f64,
+                    };
+                    v *= size.max(1e-12);
+                }
+                _ => unreachable!("region constraints parallel schema dims"),
+            }
+        }
+        v
+    }
+
+    /// Whether the region selects nothing (empty range or empty set).
+    pub fn is_degenerate(&self) -> bool {
+        self.constraints.iter().any(|c| match c {
+            DimConstraint::Range { lo, hi } => lo > hi,
+            DimConstraint::Set(Some(s)) => s.is_empty(),
+            DimConstraint::Set(None) => false,
+        })
+    }
+
+    /// Size of the categorical overlap `|F_{i,k} ∩ F_{j,k}|` on dimension
+    /// `idx` (both operands may be the universal set).
+    pub fn set_overlap(&self, other: &Region, idx: usize, cardinality: u32) -> f64 {
+        let a = match &self.constraints[idx] {
+            DimConstraint::Set(s) => s,
+            DimConstraint::Range { .. } => panic!("set_overlap on numeric dimension"),
+        };
+        let b = match &other.constraints[idx] {
+            DimConstraint::Set(s) => s,
+            DimConstraint::Range { .. } => panic!("set_overlap on numeric dimension"),
+        };
+        match (a, b) {
+            (None, None) => cardinality as f64,
+            (Some(s), None) | (None, Some(s)) => s.len() as f64,
+            (Some(s1), Some(s2)) => {
+                // Both sorted (Predicate::cat_in sorts; filter preserves order).
+                let mut i = 0;
+                let mut j = 0;
+                let mut count = 0usize;
+                while i < s1.len() && j < s2.len() {
+                    match s1[i].cmp(&s2[j]) {
+                        std::cmp::Ordering::Less => i += 1,
+                        std::cmp::Ordering::Greater => j += 1,
+                        std::cmp::Ordering::Equal => {
+                            count += 1;
+                            i += 1;
+                            j += 1;
+                        }
+                    }
+                }
+                count as f64
+            }
+        }
+    }
+
+    /// Size `|F_{i,k}|` of the categorical constraint on dimension `idx`.
+    pub fn set_size(&self, idx: usize, cardinality: u32) -> f64 {
+        match &self.constraints[idx] {
+            DimConstraint::Set(None) => cardinality as f64,
+            DimConstraint::Set(Some(s)) => s.len() as f64,
+            DimConstraint::Range { .. } => panic!("set_size on numeric dimension"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> SchemaInfo {
+        SchemaInfo::new(vec![
+            DimensionSpec::numeric("week", 0.0, 100.0),
+            DimensionSpec::categorical("region", 4),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn full_region_covers_domain() {
+        let s = schema();
+        let r = Region::full(&s);
+        assert_eq!(r.range(0), Some((0.0, 100.0)));
+        assert_eq!(r.volume(&s), 100.0 * 4.0);
+        assert!(!r.is_degenerate());
+    }
+
+    #[test]
+    fn from_predicate_clamps_to_domain() {
+        let s = schema();
+        let p = Predicate::between("week", -50.0, 20.0);
+        let r = Region::from_predicate(&s, &p).unwrap();
+        assert_eq!(r.range(0), Some((0.0, 20.0)));
+    }
+
+    #[test]
+    fn from_predicate_with_cat_constraint() {
+        let s = schema();
+        let p = Predicate::cat_in("region", vec![1, 3, 9]); // 9 outside domain
+        let r = Region::from_predicate(&s, &p).unwrap();
+        assert_eq!(r.set_size(1, 4), 2.0);
+        assert_eq!(r.volume(&s), 100.0 * 2.0);
+    }
+
+    #[test]
+    fn undeclared_dimension_is_error() {
+        let s = schema();
+        let p = Predicate::between("nope", 0.0, 1.0);
+        assert!(Region::from_predicate(&s, &p).is_err());
+    }
+
+    #[test]
+    fn kind_mismatch_is_error() {
+        let s = schema();
+        assert!(Region::from_predicate(&s, &Predicate::cat_eq("week", 1)).is_err());
+        assert!(Region::from_predicate(&s, &Predicate::between("region", 0.0, 1.0)).is_err());
+    }
+
+    #[test]
+    fn set_overlap_cases() {
+        let s = schema();
+        let full = Region::full(&s);
+        let a = Region::from_predicate(&s, &Predicate::cat_in("region", vec![0, 1])).unwrap();
+        let b = Region::from_predicate(&s, &Predicate::cat_in("region", vec![1, 2])).unwrap();
+        assert_eq!(full.set_overlap(&full, 1, 4), 4.0);
+        assert_eq!(a.set_overlap(&full, 1, 4), 2.0);
+        assert_eq!(a.set_overlap(&b, 1, 4), 1.0);
+        let c = Region::from_predicate(&s, &Predicate::cat_in("region", vec![3])).unwrap();
+        assert_eq!(a.set_overlap(&c, 1, 4), 0.0);
+    }
+
+    #[test]
+    fn zero_width_range_volume_floored() {
+        let s = schema();
+        let p = Predicate::between("week", 50.0, 50.0);
+        let r = Region::from_predicate(&s, &p).unwrap();
+        assert!(r.volume(&s) > 0.0);
+        assert!(r.volume(&s) < 1.0);
+    }
+
+    #[test]
+    fn degenerate_detection() {
+        let s = schema();
+        let p = Predicate::between("week", 60.0, 40.0);
+        let r = Region::from_predicate(&s, &p).unwrap();
+        assert!(r.is_degenerate());
+        let p = Predicate::cat_in("region", vec![]);
+        let r = Region::from_predicate(&s, &p).unwrap();
+        assert!(r.is_degenerate());
+    }
+
+    #[test]
+    fn duplicate_dim_rejected() {
+        assert!(SchemaInfo::new(vec![
+            DimensionSpec::numeric("x", 0.0, 1.0),
+            DimensionSpec::numeric("x", 0.0, 2.0),
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn numeric_indices_listed() {
+        let s = schema();
+        assert_eq!(s.numeric_indices(), vec![0]);
+    }
+}

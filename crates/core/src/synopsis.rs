@@ -1,0 +1,218 @@
+//! The query synopsis `Q_n` (paper Definition 2): past snippets with their
+//! raw answers and errors, capped per aggregate function with LRU eviction
+//! (§2.3: "the query synopsis retains a maximum of C_g query snippets by
+//! following a least recently used snippet replacement policy").
+
+use crate::region::Region;
+use crate::snippet::Observation;
+
+/// One retained snippet record.
+#[derive(Debug, Clone)]
+pub struct SynopsisEntry {
+    /// The snippet's predicate region.
+    pub region: Region,
+    /// The raw answer/error pair from the AQP engine.
+    pub observation: Observation,
+    /// Monotone recency stamp (larger = more recent).
+    stamp: u64,
+}
+
+/// LRU-capped store of past snippets for one aggregate function.
+#[derive(Debug, Clone)]
+pub struct QuerySynopsis {
+    entries: Vec<SynopsisEntry>,
+    capacity: usize,
+    clock: u64,
+}
+
+impl QuerySynopsis {
+    /// Creates a synopsis with the given capacity (`C_g`).
+    pub fn new(capacity: usize) -> Self {
+        QuerySynopsis {
+            entries: Vec::new(),
+            capacity: capacity.max(1),
+            clock: 0,
+        }
+    }
+
+    /// Number of retained snippets (`n`).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the synopsis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Capacity `C_g`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Retained entries in insertion order.
+    pub fn entries(&self) -> &[SynopsisEntry] {
+        &self.entries
+    }
+
+    /// Mutable access to the stored observations (data-append adjustment
+    /// rewrites θ/β in place, Appendix D).
+    pub fn observations_mut(&mut self) -> impl Iterator<Item = &mut Observation> {
+        self.entries.iter_mut().map(|e| &mut e.observation)
+    }
+
+    /// Records a snippet observation.
+    ///
+    /// If an identical region is already present, the entry is refreshed:
+    /// its recency is bumped and the observation with the *smaller* error
+    /// wins (re-running a query on a larger sample should never degrade the
+    /// synopsis). Otherwise the snippet is appended, evicting the
+    /// least-recently-used entry when at capacity.
+    pub fn record(&mut self, region: Region, observation: Observation) {
+        self.clock += 1;
+        if let Some(existing) = self.entries.iter_mut().find(|e| e.region == region) {
+            existing.stamp = self.clock;
+            if observation.error < existing.observation.error {
+                existing.observation = observation;
+            }
+            return;
+        }
+        if self.entries.len() >= self.capacity {
+            // Evict the least recently used entry.
+            if let Some((idx, _)) = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+            {
+                self.entries.remove(idx);
+            }
+        }
+        self.entries.push(SynopsisEntry {
+            region,
+            observation,
+            stamp: self.clock,
+        });
+    }
+
+    /// Marks an entry as used (refreshes recency without changing data).
+    pub fn touch(&mut self, index: usize) {
+        self.clock += 1;
+        if let Some(e) = self.entries.get_mut(index) {
+            e.stamp = self.clock;
+        }
+    }
+
+    /// Looks up the stored observation for an identical region.
+    pub fn find(&self, region: &Region) -> Option<&Observation> {
+        self.entries
+            .iter()
+            .find(|e| &e.region == region)
+            .map(|e| &e.observation)
+    }
+
+    /// Drops every entry.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// The `k` most recent entries (for bounded training sets).
+    pub fn most_recent(&self, k: usize) -> Vec<&SynopsisEntry> {
+        let mut refs: Vec<&SynopsisEntry> = self.entries.iter().collect();
+        refs.sort_by_key(|e| std::cmp::Reverse(e.stamp));
+        refs.truncate(k);
+        refs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{DimensionSpec, Region, SchemaInfo};
+    use verdict_storage::Predicate;
+
+    fn schema() -> SchemaInfo {
+        SchemaInfo::new(vec![DimensionSpec::numeric("x", 0.0, 100.0)]).unwrap()
+    }
+
+    fn region(lo: f64, hi: f64) -> Region {
+        Region::from_predicate(&schema(), &Predicate::between("x", lo, hi)).unwrap()
+    }
+
+    #[test]
+    fn record_and_find() {
+        let mut s = QuerySynopsis::new(10);
+        s.record(region(0.0, 10.0), Observation::new(5.0, 0.1));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.find(&region(0.0, 10.0)).unwrap().answer, 5.0);
+        assert!(s.find(&region(0.0, 11.0)).is_none());
+    }
+
+    #[test]
+    fn duplicate_region_keeps_better_error() {
+        let mut s = QuerySynopsis::new(10);
+        s.record(region(0.0, 10.0), Observation::new(5.0, 0.5));
+        s.record(region(0.0, 10.0), Observation::new(5.2, 0.1));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.find(&region(0.0, 10.0)).unwrap().error, 0.1);
+        // A worse re-observation does not overwrite.
+        s.record(region(0.0, 10.0), Observation::new(9.9, 2.0));
+        assert_eq!(s.find(&region(0.0, 10.0)).unwrap().answer, 5.2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut s = QuerySynopsis::new(2);
+        s.record(region(0.0, 1.0), Observation::new(1.0, 0.1));
+        s.record(region(1.0, 2.0), Observation::new(2.0, 0.1));
+        // Refresh the first entry, making the second the LRU victim.
+        s.record(region(0.0, 1.0), Observation::new(1.0, 0.05));
+        s.record(region(2.0, 3.0), Observation::new(3.0, 0.1));
+        assert_eq!(s.len(), 2);
+        assert!(s.find(&region(0.0, 1.0)).is_some());
+        assert!(s.find(&region(1.0, 2.0)).is_none());
+        assert!(s.find(&region(2.0, 3.0)).is_some());
+    }
+
+    #[test]
+    fn touch_refreshes_recency() {
+        let mut s = QuerySynopsis::new(2);
+        s.record(region(0.0, 1.0), Observation::new(1.0, 0.1));
+        s.record(region(1.0, 2.0), Observation::new(2.0, 0.1));
+        s.touch(0);
+        s.record(region(2.0, 3.0), Observation::new(3.0, 0.1));
+        assert!(s.find(&region(0.0, 1.0)).is_some());
+        assert!(s.find(&region(1.0, 2.0)).is_none());
+    }
+
+    #[test]
+    fn most_recent_ordering() {
+        let mut s = QuerySynopsis::new(10);
+        for i in 0..5 {
+            s.record(
+                region(i as f64, i as f64 + 1.0),
+                Observation::new(i as f64, 0.1),
+            );
+        }
+        let top2 = s.most_recent(2);
+        assert_eq!(top2.len(), 2);
+        assert_eq!(top2[0].observation.answer, 4.0);
+        assert_eq!(top2[1].observation.answer, 3.0);
+    }
+
+    #[test]
+    fn capacity_minimum_one() {
+        let mut s = QuerySynopsis::new(0);
+        s.record(region(0.0, 1.0), Observation::new(1.0, 0.1));
+        s.record(region(1.0, 2.0), Observation::new(2.0, 0.1));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = QuerySynopsis::new(5);
+        s.record(region(0.0, 1.0), Observation::new(1.0, 0.1));
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,185 @@
+//! Property-based tests for the Verdict inference engine.
+//!
+//! These check the paper's formal claims on randomized inputs:
+//! - Theorem 1: the improved error never exceeds the raw error;
+//! - the O(n²) inference (Eqs. 11/12) agrees with direct O(n³)
+//!   conditioning (Eqs. 4/5);
+//! - snippet covariance matrices are symmetric positive semi-definite;
+//! - the synopsis never exceeds its capacity.
+
+use proptest::prelude::*;
+use verdict_core::covariance::{covariance_matrix, snippet_covariance, AggMode};
+use verdict_core::inference::TrainedModel;
+use verdict_core::learning::PriorMean;
+use verdict_core::{
+    AggKey, DimensionSpec, KernelParams, Observation, QuerySynopsis, Region, SchemaInfo, Snippet,
+    Verdict, VerdictConfig,
+};
+use verdict_linalg::Cholesky;
+use verdict_storage::Predicate;
+
+const DOMAIN: f64 = 100.0;
+
+fn schema() -> SchemaInfo {
+    SchemaInfo::new(vec![DimensionSpec::numeric("t", 0.0, DOMAIN)]).unwrap()
+}
+
+fn region(lo: f64, hi: f64) -> Region {
+    let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+    Region::from_predicate(&schema(), &Predicate::between("t", lo, hi)).unwrap()
+}
+
+/// Strategy: a list of (lo, width, answer, error) snippet observations.
+fn snippets_strategy(
+    max_n: usize,
+) -> impl Strategy<Value = Vec<(f64, f64, f64, f64)>> {
+    prop::collection::vec(
+        (0.0..90.0f64, 1.0..30.0f64, -5.0..25.0f64, 0.01..2.0f64),
+        2..max_n,
+    )
+}
+
+fn build_entries(raw: &[(f64, f64, f64, f64)]) -> Vec<(Region, Observation)> {
+    raw.iter()
+        .map(|&(lo, w, ans, err)| (region(lo, (lo + w).min(DOMAIN)), Observation::new(ans, err)))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn theorem1_improved_error_bounded_by_raw(
+        snips in snippets_strategy(12),
+        q_lo in 0.0..90.0f64,
+        q_w in 1.0..30.0f64,
+        q_ans in -5.0..25.0f64,
+        q_err in 0.0..2.0f64,
+        lengthscale in 1.0..60.0f64,
+    ) {
+        let s = schema();
+        let entries = build_entries(&snips);
+        let model = TrainedModel::fit(
+            &s,
+            AggMode::Avg,
+            &entries,
+            KernelParams::constant(1, lengthscale, 2.0),
+            PriorMean::Constant(5.0),
+            1e-9,
+        )
+        .unwrap();
+        let raw = Observation::new(q_ans, q_err);
+        let inf = model.infer(&s, &region(q_lo, q_lo + q_w), raw);
+        prop_assert!(
+            inf.model_error <= q_err + 1e-9,
+            "β̈ = {} > β = {}",
+            inf.model_error,
+            q_err
+        );
+    }
+
+    #[test]
+    fn fast_inference_equals_direct(
+        snips in snippets_strategy(8),
+        q_lo in 0.0..90.0f64,
+        q_w in 1.0..30.0f64,
+        q_ans in -5.0..25.0f64,
+        q_err in 0.05..2.0f64,
+        lengthscale in 2.0..60.0f64,
+    ) {
+        let s = schema();
+        let entries = build_entries(&snips);
+        let model = TrainedModel::fit(
+            &s,
+            AggMode::Avg,
+            &entries,
+            KernelParams::constant(1, lengthscale, 2.0),
+            PriorMean::Constant(5.0),
+            1e-12,
+        )
+        .unwrap();
+        let raw = Observation::new(q_ans, q_err);
+        let r = region(q_lo, q_lo + q_w);
+        let fast = model.infer(&s, &r, raw);
+        let direct = model.infer_direct(&s, &r, raw, &entries).unwrap();
+        let scale = 1.0 + fast.model_answer.abs();
+        prop_assert!(
+            (fast.model_answer - direct.model_answer).abs() < 1e-5 * scale,
+            "answers: fast {} direct {}",
+            fast.model_answer,
+            direct.model_answer
+        );
+        prop_assert!(
+            (fast.model_error - direct.model_error).abs() < 1e-5,
+            "errors: fast {} direct {}",
+            fast.model_error,
+            direct.model_error
+        );
+    }
+
+    #[test]
+    fn covariance_matrix_is_psd(
+        snips in snippets_strategy(10),
+        lengthscale in 0.5..80.0f64,
+    ) {
+        let s = schema();
+        let entries = build_entries(&snips);
+        let regions: Vec<&Region> = entries.iter().map(|(r, _)| r).collect();
+        let params = KernelParams::constant(1, lengthscale, 1.5);
+        let mut k = covariance_matrix(&s, &params, AggMode::Avg, &regions);
+        prop_assert!(k.is_symmetric(1e-9));
+        // PSD: Cholesky succeeds after adding a tiny ridge.
+        k.add_diagonal(1e-8 * k.max_abs().max(1.0));
+        prop_assert!(Cholesky::new(&k).is_ok(), "covariance not PSD");
+    }
+
+    #[test]
+    fn covariance_is_symmetric_and_cauchy_schwarz(
+        a_lo in 0.0..90.0f64, a_w in 0.5..30.0f64,
+        b_lo in 0.0..90.0f64, b_w in 0.5..30.0f64,
+        lengthscale in 0.5..80.0f64,
+    ) {
+        let s = schema();
+        let params = KernelParams::constant(1, lengthscale, 3.0);
+        let a = region(a_lo, (a_lo + a_w).min(DOMAIN));
+        let b = region(b_lo, (b_lo + b_w).min(DOMAIN));
+        let cab = snippet_covariance(&s, &params, AggMode::Avg, &a, &b);
+        let cba = snippet_covariance(&s, &params, AggMode::Avg, &b, &a);
+        prop_assert!((cab - cba).abs() < 1e-9);
+        let caa = snippet_covariance(&s, &params, AggMode::Avg, &a, &a);
+        let cbb = snippet_covariance(&s, &params, AggMode::Avg, &b, &b);
+        prop_assert!(cab * cab <= caa * cbb * (1.0 + 1e-6) + 1e-12,
+            "Cauchy-Schwarz violated: {cab}^2 > {caa}*{cbb}");
+    }
+
+    #[test]
+    fn synopsis_never_exceeds_capacity(
+        cap in 1usize..20,
+        inserts in prop::collection::vec((0.0..90.0f64, 1.0..10.0f64, -5.0..5.0f64), 0..60),
+    ) {
+        let mut syn = QuerySynopsis::new(cap);
+        for (lo, w, ans) in inserts {
+            syn.record(region(lo, (lo + w).min(DOMAIN)), Observation::new(ans, 0.1));
+            prop_assert!(syn.len() <= cap);
+        }
+    }
+
+    #[test]
+    fn engine_improvement_is_theorem1_safe_end_to_end(
+        snips in snippets_strategy(10),
+        q_lo in 0.0..90.0f64,
+        q_w in 1.0..30.0f64,
+        q_ans in -5.0..25.0f64,
+        q_err in 0.01..2.0f64,
+    ) {
+        let mut v = Verdict::new(schema(), VerdictConfig::default());
+        for (lo, w, ans, err) in snips {
+            let snip = Snippet::new(AggKey::avg("x"), region(lo, (lo + w).min(DOMAIN)));
+            v.observe(&snip, Observation::new(ans, err));
+        }
+        v.train().unwrap();
+        let snip = Snippet::new(AggKey::avg("x"), region(q_lo, q_lo + q_w));
+        let imp = v.improve(&snip, Observation::new(q_ans, q_err));
+        prop_assert!(imp.error <= q_err + 1e-9, "β̂ {} > β {q_err}", imp.error);
+    }
+}

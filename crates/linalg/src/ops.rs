@@ -1,0 +1,100 @@
+//! Free-standing vector operations used throughout the inference engine.
+
+use crate::Matrix;
+
+/// Dot product of two equal-length slices.
+///
+/// Panics in debug builds if the lengths differ; in release the shorter
+/// length wins (both callers in this workspace pass equal lengths).
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+/// Element-wise difference `a - b` into a new vector.
+#[inline]
+pub fn vec_sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(x, y)| x - y).collect()
+}
+
+/// Matrix-vector product convenience wrapper that panics on shape mismatch.
+///
+/// Use [`Matrix::matvec`] when the caller wants a recoverable error.
+#[inline]
+pub fn mat_vec(m: &Matrix, v: &[f64]) -> Vec<f64> {
+    m.matvec(v).expect("mat_vec: dimension mismatch")
+}
+
+/// Quadratic form `vᵀ M v` without materializing `M v`.
+///
+/// This is the hot operation of Verdict's inference: `k̄ᵀ Σ⁻¹ k̄` in
+/// Eq. (11) of the paper.
+pub fn quadratic_form(m: &Matrix, v: &[f64]) -> f64 {
+    debug_assert_eq!(m.rows(), v.len());
+    debug_assert_eq!(m.cols(), v.len());
+    let mut acc = 0.0;
+    for i in 0..m.rows() {
+        acc += v[i] * dot(m.row(i), v);
+    }
+    acc
+}
+
+/// Bilinear form `aᵀ M b`.
+pub fn bilinear_form(a: &[f64], m: &Matrix, b: &[f64]) -> f64 {
+    debug_assert_eq!(m.rows(), a.len());
+    debug_assert_eq!(m.cols(), b.len());
+    let mut acc = 0.0;
+    for i in 0..m.rows() {
+        acc += a[i] * dot(m.row(i), b);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_known_value() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+    }
+
+    #[test]
+    fn dot_empty_is_zero() {
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn vec_sub_elementwise() {
+        assert_eq!(vec_sub(&[3.0, 5.0], &[1.0, 2.0]), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn quadratic_form_identity_is_norm_squared() {
+        let m = Matrix::identity(3);
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(quadratic_form(&m, &v), 14.0);
+    }
+
+    #[test]
+    fn quadratic_form_matches_explicit_product() {
+        let m = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]).unwrap();
+        let v = [1.0, -1.0];
+        // v^T M v = [1,-1] [[2,1],[1,3]] [1,-1]^T = 2 - 1 - 1 + 3 = 3
+        assert!((quadratic_form(&m, &v) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bilinear_form_mixed_vectors() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 2.0]).unwrap();
+        assert_eq!(bilinear_form(&[1.0, 1.0], &m, &[3.0, 4.0]), 3.0 + 8.0);
+    }
+
+    #[test]
+    fn mat_vec_matches_matvec() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(mat_vec(&m, &[1.0, 1.0]), vec![3.0, 7.0]);
+    }
+}

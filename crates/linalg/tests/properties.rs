@@ -1,0 +1,79 @@
+//! Property-based tests for the linear-algebra kernel.
+
+use proptest::prelude::*;
+use verdict_linalg::cholesky::spd_solve;
+use verdict_linalg::{quadratic_form, Cholesky, Matrix};
+
+/// Builds a random SPD matrix `A = B Bᵀ + d·I` from a flat value vector.
+fn spd_from(values: &[f64], n: usize) -> Matrix {
+    let b = Matrix::from_fn(n, n, |i, j| values[i * n + j]);
+    let mut a = b.matmul(&b.transpose()).unwrap();
+    a.add_diagonal(0.5);
+    a
+}
+
+fn spd_strategy(max_n: usize) -> impl Strategy<Value = (usize, Vec<f64>)> {
+    (1..=max_n).prop_flat_map(|n| {
+        (
+            Just(n),
+            prop::collection::vec(-3.0..3.0f64, n * n..=n * n),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn cholesky_reconstructs((n, vals) in spd_strategy(8)) {
+        let a = spd_from(&vals, n);
+        let c = Cholesky::new(&a).unwrap();
+        let l = c.factor();
+        let rec = l.matmul(&l.transpose()).unwrap();
+        let scale = a.max_abs().max(1.0);
+        prop_assert!(a.frobenius_distance(&rec) < 1e-8 * scale * n as f64);
+    }
+
+    #[test]
+    fn solve_satisfies_system((n, vals) in spd_strategy(8), bvals in prop::collection::vec(-5.0..5.0f64, 8)) {
+        let a = spd_from(&vals, n);
+        let b = &bvals[..n];
+        let x = spd_solve(&a, b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (got, want) in ax.iter().zip(b.iter()) {
+            prop_assert!((got - want).abs() < 1e-6 * a.max_abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn inverse_is_two_sided((n, vals) in spd_strategy(6)) {
+        let a = spd_from(&vals, n);
+        let inv = Cholesky::new(&a).unwrap().inverse().unwrap();
+        let left = inv.matmul(&a).unwrap();
+        let right = a.matmul(&inv).unwrap();
+        let id = Matrix::identity(n);
+        prop_assert!(left.frobenius_distance(&id) < 1e-6 * n as f64);
+        prop_assert!(right.frobenius_distance(&id) < 1e-6 * n as f64);
+    }
+
+    #[test]
+    fn quadratic_form_of_spd_is_nonnegative((n, vals) in spd_strategy(8), v in prop::collection::vec(-5.0..5.0f64, 8)) {
+        let a = spd_from(&vals, n);
+        let q = quadratic_form(&a, &v[..n]);
+        prop_assert!(q >= -1e-9);
+    }
+
+    #[test]
+    fn log_det_matches_inverse_relation((n, vals) in spd_strategy(6)) {
+        // log det(A) = -log det(A^{ -1 })
+        let a = spd_from(&vals, n);
+        let c = Cholesky::new(&a).unwrap();
+        let inv = c.inverse().unwrap();
+        let cinv = Cholesky::new_with_jitter(&inv, 1e-12, 6).unwrap();
+        prop_assert!((c.log_det() + cinv.log_det()).abs() < 1e-5 * n as f64);
+    }
+
+    #[test]
+    fn transpose_is_involution(rows in 1usize..6, cols in 1usize..6, seed in 0u64..1000) {
+        let m = Matrix::from_fn(rows, cols, |i, j| ((i * 31 + j * 17 + seed as usize) % 13) as f64);
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+}

@@ -1,0 +1,224 @@
+//! Query → snippet decomposition (paper §2.3, Figure 3).
+//!
+//! A query with multiple aggregates and/or a `GROUP BY` becomes one snippet
+//! per (aggregate function × group value): the group value is appended to
+//! the `WHERE` clause as an equality predicate and the group columns are
+//! dropped. Verdict only generates snippets for the first `N_max` groups of
+//! the answer set to bound its overhead.
+
+use verdict_storage::{AggregateFn, GroupKey, Predicate, Table};
+
+use crate::ast::{Query, ScalarExpr, SelectItem};
+use crate::resolve::{group_equality, to_expr, to_predicate};
+use crate::{Result, SqlError};
+
+/// One decomposed snippet: a single-aggregate, no-group query.
+#[derive(Debug, Clone)]
+pub struct SnippetSpec {
+    /// The user-facing aggregate.
+    pub agg: AggregateFn,
+    /// Conjunction of the query predicate and the group-value equalities.
+    pub predicate: Predicate,
+    /// The group key this snippet belongs to (`None` for ungrouped
+    /// queries), used to reassemble the result set.
+    pub group: Option<GroupKey>,
+    /// Index of the aggregate in the original select list.
+    pub agg_index: usize,
+}
+
+/// A fully decomposed query.
+#[derive(Debug, Clone)]
+pub struct DecomposedQuery {
+    /// Snippets in (group-major, aggregate-minor) order.
+    pub snippets: Vec<SnippetSpec>,
+    /// Whether the `N_max` cap dropped groups (those rows keep their raw
+    /// answers, Algorithm 2 lines 8–9).
+    pub truncated: bool,
+}
+
+/// Decomposes a checked query. `group_keys` lists the group values present
+/// in the (approximate) answer set — for ungrouped queries pass `&[]`.
+pub fn decompose(
+    query: &Query,
+    table: &Table,
+    group_keys: &[GroupKey],
+    nmax: usize,
+) -> Result<DecomposedQuery> {
+    let base_predicate = match &query.where_clause {
+        Some(w) => to_predicate(w, table)?,
+        None => Predicate::True,
+    };
+    let group_cols: Vec<&str> = query
+        .group_by
+        .iter()
+        .map(|g| match g {
+            ScalarExpr::Column { name, .. } => Ok(name.as_str()),
+            other => Err(SqlError::Resolve(format!(
+                "group-by expression {} is not a column",
+                other.display()
+            ))),
+        })
+        .collect::<Result<_>>()?;
+
+    let aggs: Vec<(usize, AggregateFn)> = query
+        .select
+        .iter()
+        .enumerate()
+        .filter_map(|(i, item)| match item {
+            SelectItem::Aggregate { func, arg } => Some(build_aggregate(func, arg).map(|a| (i, a))),
+            SelectItem::Column(_) => None,
+        })
+        .collect::<Result<_>>()?;
+    if aggs.is_empty() {
+        return Err(SqlError::Resolve("query has no aggregates".into()));
+    }
+
+    let mut snippets = Vec::new();
+    let mut truncated = false;
+
+    if group_cols.is_empty() {
+        for (agg_index, agg) in &aggs {
+            snippets.push(SnippetSpec {
+                agg: agg.clone(),
+                predicate: base_predicate.clone(),
+                group: None,
+                agg_index: *agg_index,
+            });
+        }
+    } else {
+        for (gi, key) in group_keys.iter().enumerate() {
+            if gi >= nmax {
+                truncated = true;
+                break;
+            }
+            if key.len() != group_cols.len() {
+                return Err(SqlError::Resolve(format!(
+                    "group key arity {} does not match {} group columns",
+                    key.len(),
+                    group_cols.len()
+                )));
+            }
+            let mut predicate = base_predicate.clone();
+            for (col, value) in group_cols.iter().zip(key.iter()) {
+                predicate = predicate.and(group_equality(table, col, value)?);
+            }
+            for (agg_index, agg) in &aggs {
+                snippets.push(SnippetSpec {
+                    agg: agg.clone(),
+                    predicate: predicate.clone(),
+                    group: Some(key.clone()),
+                    agg_index: *agg_index,
+                });
+            }
+        }
+    }
+    Ok(DecomposedQuery {
+        snippets,
+        truncated,
+    })
+}
+
+fn build_aggregate(func: &crate::ast::AggFunc, arg: &ScalarExpr) -> Result<AggregateFn> {
+    use crate::ast::AggFunc;
+    Ok(match func {
+        AggFunc::Avg => AggregateFn::Avg(to_expr(arg)?),
+        AggFunc::Sum => AggregateFn::Sum(to_expr(arg)?),
+        AggFunc::Count => AggregateFn::Count,
+        AggFunc::Min | AggFunc::Max => {
+            return Err(SqlError::Resolve(
+                "MIN/MAX should have been rejected by the checker".into(),
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use verdict_storage::{ColumnDef, Schema, Value};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::numeric_dimension("week"),
+            ColumnDef::categorical_dimension("region"),
+            ColumnDef::measure("rev"),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for (w, r, v) in [
+            (1.0, "us", 10.0),
+            (2.0, "eu", 20.0),
+            (3.0, "us", 30.0),
+            (4.0, "jp", 40.0),
+        ] {
+            t.push_row(vec![w.into(), r.into(), v.into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn figure3_decomposition_shape() {
+        // Figure 3: 1 query with AVG + SUM grouped by a column with 2
+        // values → 4 snippets, each with the group equality added.
+        let t = table();
+        let q = parse_query(
+            "SELECT region, AVG(rev), SUM(rev) FROM t WHERE week > 0 GROUP BY region",
+        )
+        .unwrap();
+        let us = Value::Cat(t.column("region").unwrap().code_of("us").unwrap());
+        let eu = Value::Cat(t.column("region").unwrap().code_of("eu").unwrap());
+        let d = decompose(&q, &t, &[vec![us], vec![eu]], 1000).unwrap();
+        assert_eq!(d.snippets.len(), 4);
+        assert!(!d.truncated);
+        // First group's snippets select only `us` rows.
+        let rows = d.snippets[0].predicate.selected_rows(&t).unwrap();
+        assert_eq!(rows, vec![0, 2]);
+        // Aggregate alternates within a group.
+        assert!(matches!(d.snippets[0].agg, AggregateFn::Avg(_)));
+        assert!(matches!(d.snippets[1].agg, AggregateFn::Sum(_)));
+    }
+
+    #[test]
+    fn ungrouped_query_one_snippet_per_aggregate() {
+        let t = table();
+        let q = parse_query("SELECT COUNT(*), AVG(rev) FROM t WHERE week <= 2").unwrap();
+        let d = decompose(&q, &t, &[], 1000).unwrap();
+        assert_eq!(d.snippets.len(), 2);
+        assert!(d.snippets.iter().all(|s| s.group.is_none()));
+    }
+
+    #[test]
+    fn nmax_caps_groups() {
+        let t = table();
+        let q = parse_query("SELECT week, COUNT(*) FROM t GROUP BY week").unwrap();
+        let keys: Vec<GroupKey> = (1..=4).map(|w| vec![Value::Num(w as f64)]).collect();
+        let d = decompose(&q, &t, &keys, 2).unwrap();
+        assert_eq!(d.snippets.len(), 2);
+        assert!(d.truncated);
+    }
+
+    #[test]
+    fn group_key_arity_checked() {
+        let t = table();
+        let q = parse_query("SELECT week, COUNT(*) FROM t GROUP BY week").unwrap();
+        let bad_key: Vec<GroupKey> = vec![vec![Value::Num(1.0), Value::Num(2.0)]];
+        assert!(decompose(&q, &t, &bad_key, 10).is_err());
+    }
+
+    #[test]
+    fn numeric_group_by_becomes_point_predicate() {
+        let t = table();
+        let q = parse_query("SELECT week, SUM(rev) FROM t GROUP BY week").unwrap();
+        let d = decompose(&q, &t, &[vec![Value::Num(3.0)]], 10).unwrap();
+        let rows = d.snippets[0].predicate.selected_rows(&t).unwrap();
+        assert_eq!(rows, vec![2]);
+    }
+
+    #[test]
+    fn no_aggregates_is_error() {
+        let t = table();
+        let q = parse_query("SELECT week FROM t").unwrap();
+        assert!(decompose(&q, &t, &[], 10).is_err());
+    }
+}

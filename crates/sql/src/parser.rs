@@ -1,0 +1,513 @@
+//! Recursive-descent parser for flat analytic `SELECT` queries.
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query    := SELECT item (',' item)* FROM ident join* where? group? having? ';'?
+//! item     := agg '(' (expr | '*') ')' | expr
+//! agg      := AVG | SUM | COUNT | MIN | MAX
+//! join     := JOIN ident ON expr '=' expr
+//! where    := WHERE pred
+//! group    := GROUP BY expr (',' expr)*
+//! having   := HAVING pred
+//! pred     := or ; or := and (OR and)* ; and := unary (AND unary)*
+//! unary    := NOT unary | '(' pred ')' | atom
+//! atom     := expr cmp expr | expr BETWEEN expr AND expr
+//!           | expr IN '(' (literal | SELECT …) (',' literal)* ')'
+//!           | expr LIKE string
+//! expr     := term (('+'|'-') term)* ; term := factor (('*'|'/') factor)*
+//! factor   := number | string | column | '(' expr ')' | '-' factor | '*'
+//! column   := ident ('.' ident)?
+//! ```
+//!
+//! Sub-queries (a nested `SELECT` in `IN (...)` or anywhere else) set
+//! `Query::has_subquery` so the type checker can report them; their tokens
+//! are skipped to the matching `)`.
+
+use crate::ast::{
+    AggFunc, ArithOp, CmpOp, JoinClause, Query, ScalarExpr, SelectItem, WherePred,
+};
+use crate::lexer::{tokenize, Token};
+use crate::{Result, SqlError};
+
+/// Parses one SQL statement.
+pub fn parse_query(sql: &str) -> Result<Query> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        has_subquery: false,
+    };
+    p.query()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    has_subquery: bool,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, message: impl Into<String>) -> SqlError {
+        SqlError::Parse {
+            position: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        match self.next() {
+            Some(t) if t.is_kw(kw) => Ok(()),
+            other => Err(self.error(format!("expected keyword {kw}, found {other:?}"))),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Token) -> Result<()> {
+        match self.next() {
+            Some(t) if t == tok => Ok(()),
+            other => Err(self.error(format!("expected {tok:?}, found {other:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.error(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        self.expect_kw("select")?;
+        let mut select = vec![self.select_item()?];
+        while matches!(self.peek(), Some(Token::Comma)) {
+            self.pos += 1;
+            select.push(self.select_item()?);
+        }
+        self.expect_kw("from")?;
+        let from = self.ident()?;
+
+        let mut joins = Vec::new();
+        loop {
+            // Accept `JOIN`, `INNER JOIN`, `LEFT JOIN` (treated alike).
+            if self.eat_kw("inner") || self.eat_kw("left") {
+                self.expect_kw("join")?;
+            } else if !self.eat_kw("join") {
+                break;
+            }
+            let table = self.ident()?;
+            self.expect_kw("on")?;
+            let left = self.expr()?;
+            self.expect(Token::Eq)?;
+            let right = self.expr()?;
+            joins.push(JoinClause { table, left, right });
+        }
+
+        let where_clause = if self.eat_kw("where") {
+            Some(self.pred()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            group_by.push(self.expr()?);
+            while matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+                group_by.push(self.expr()?);
+            }
+        }
+
+        let having = if self.eat_kw("having") {
+            Some(self.pred()?)
+        } else {
+            None
+        };
+
+        if matches!(self.peek(), Some(Token::Semicolon)) {
+            self.pos += 1;
+        }
+        if let Some(t) = self.peek() {
+            return Err(self.error(format!("trailing tokens starting at {t:?}")));
+        }
+        Ok(Query {
+            select,
+            from,
+            joins,
+            where_clause,
+            group_by,
+            having,
+            has_subquery: self.has_subquery,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        // Aggregate call: IDENT '(' … with IDENT an aggregate name.
+        if let Some(Token::Ident(name)) = self.peek() {
+            let func = match name.to_ascii_lowercase().as_str() {
+                "avg" => Some(AggFunc::Avg),
+                "sum" => Some(AggFunc::Sum),
+                "count" => Some(AggFunc::Count),
+                "min" => Some(AggFunc::Min),
+                "max" => Some(AggFunc::Max),
+                _ => None,
+            };
+            if let Some(func) = func {
+                if matches!(self.tokens.get(self.pos + 1), Some(Token::LParen)) {
+                    self.pos += 2; // name + '('
+                    let arg = if matches!(self.peek(), Some(Token::Star)) {
+                        self.pos += 1;
+                        ScalarExpr::Star
+                    } else {
+                        self.expr()?
+                    };
+                    self.expect(Token::RParen)?;
+                    return Ok(SelectItem::Aggregate { func, arg });
+                }
+            }
+        }
+        Ok(SelectItem::Column(self.expr()?))
+    }
+
+    fn pred(&mut self) -> Result<WherePred> {
+        let mut lhs = self.pred_and()?;
+        while self.eat_kw("or") {
+            let rhs = self.pred_and()?;
+            lhs = WherePred::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn pred_and(&mut self) -> Result<WherePred> {
+        let mut lhs = self.pred_unary()?;
+        while self.eat_kw("and") {
+            let rhs = self.pred_unary()?;
+            lhs = WherePred::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn pred_unary(&mut self) -> Result<WherePred> {
+        if self.eat_kw("not") {
+            return Ok(WherePred::Not(Box::new(self.pred_unary()?)));
+        }
+        // Parenthesized predicate vs parenthesized expression: try the
+        // predicate first, backtracking on failure.
+        if matches!(self.peek(), Some(Token::LParen)) {
+            let save = self.pos;
+            self.pos += 1;
+            if let Ok(inner) = self.pred() {
+                if matches!(self.peek(), Some(Token::RParen)) {
+                    self.pos += 1;
+                    return Ok(inner);
+                }
+            }
+            self.pos = save;
+        }
+        self.pred_atom()
+    }
+
+    fn pred_atom(&mut self) -> Result<WherePred> {
+        let lhs = self.expr()?;
+        if self.eat_kw("between") {
+            let lo = self.expr()?;
+            self.expect_kw("and")?;
+            let hi = self.expr()?;
+            return Ok(WherePred::Between { expr: lhs, lo, hi });
+        }
+        if self.eat_kw("in") {
+            self.expect(Token::LParen)?;
+            if self.peek().is_some_and(|t| t.is_kw("select")) {
+                // Sub-query: flag it and skip to the matching ')'.
+                self.has_subquery = true;
+                self.skip_to_matching_rparen()?;
+                return Ok(WherePred::InList {
+                    expr: lhs,
+                    list: Vec::new(),
+                });
+            }
+            let mut list = vec![self.expr()?];
+            while matches!(self.peek(), Some(Token::Comma)) {
+                self.pos += 1;
+                list.push(self.expr()?);
+            }
+            self.expect(Token::RParen)?;
+            return Ok(WherePred::InList { expr: lhs, list });
+        }
+        if self.eat_kw("like") {
+            match self.next() {
+                Some(Token::StringLit(pattern)) => {
+                    return Ok(WherePred::Like { expr: lhs, pattern })
+                }
+                other => return Err(self.error(format!("expected pattern, found {other:?}"))),
+            }
+        }
+        let op = match self.next() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::NotEq) => CmpOp::NotEq,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::LtEq) => CmpOp::LtEq,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::GtEq) => CmpOp::GtEq,
+            other => return Err(self.error(format!("expected comparison, found {other:?}"))),
+        };
+        let rhs = self.expr()?;
+        Ok(WherePred::Cmp { op, lhs, rhs })
+    }
+
+    fn skip_to_matching_rparen(&mut self) -> Result<()> {
+        let mut depth = 1;
+        while depth > 0 {
+            match self.next() {
+                Some(Token::LParen) => depth += 1,
+                Some(Token::RParen) => depth -= 1,
+                Some(_) => {}
+                None => return Err(self.error("unterminated sub-query")),
+            }
+        }
+        Ok(())
+    }
+
+    fn expr(&mut self) -> Result<ScalarExpr> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => ArithOp::Add,
+                Some(Token::Minus) => ArithOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.term()?;
+            lhs = ScalarExpr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<ScalarExpr> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => ArithOp::Mul,
+                Some(Token::Slash) => ArithOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.factor()?;
+            lhs = ScalarExpr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<ScalarExpr> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(ScalarExpr::Number(n)),
+            Some(Token::StringLit(s)) => Ok(ScalarExpr::String(s)),
+            Some(Token::Minus) => Ok(ScalarExpr::Neg(Box::new(self.factor()?))),
+            Some(Token::LParen) => {
+                if self.peek().is_some_and(|t| t.is_kw("select")) {
+                    self.has_subquery = true;
+                    self.skip_to_matching_rparen()?;
+                    return Ok(ScalarExpr::Number(f64::NAN));
+                }
+                let e = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            Some(Token::Ident(first)) => {
+                // Aggregate call (only meaningful inside HAVING predicates).
+                let func = match first.to_ascii_lowercase().as_str() {
+                    "avg" => Some(AggFunc::Avg),
+                    "sum" => Some(AggFunc::Sum),
+                    "count" => Some(AggFunc::Count),
+                    "min" => Some(AggFunc::Min),
+                    "max" => Some(AggFunc::Max),
+                    _ => None,
+                };
+                if let Some(func) = func {
+                    if matches!(self.peek(), Some(Token::LParen)) {
+                        self.pos += 1;
+                        let arg = if matches!(self.peek(), Some(Token::Star)) {
+                            self.pos += 1;
+                            ScalarExpr::Star
+                        } else {
+                            self.expr()?
+                        };
+                        self.expect(Token::RParen)?;
+                        return Ok(ScalarExpr::AggCall {
+                            func,
+                            arg: Box::new(arg),
+                        });
+                    }
+                }
+                if matches!(self.peek(), Some(Token::Dot)) {
+                    self.pos += 1;
+                    let name = self.ident()?;
+                    Ok(ScalarExpr::Column {
+                        table: Some(first),
+                        name,
+                    })
+                } else {
+                    Ok(ScalarExpr::Column {
+                        table: None,
+                        name: first,
+                    })
+                }
+            }
+            other => Err(self.error(format!("expected expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure3_query() {
+        let q = parse_query(
+            "select A1, AVG(A2), SUM(A3) from r where A2 > 10 group by A1;",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 3);
+        assert_eq!(q.aggregates().len(), 2);
+        assert_eq!(q.from, "r");
+        assert_eq!(q.group_by, vec![ScalarExpr::col("A1")]);
+        assert!(q.where_clause.is_some());
+        assert!(!q.has_subquery);
+    }
+
+    #[test]
+    fn parses_count_star() {
+        let q = parse_query("SELECT COUNT(*) FROM t").unwrap();
+        match &q.select[0] {
+            SelectItem::Aggregate { func, arg } => {
+                assert_eq!(*func, AggFunc::Count);
+                assert_eq!(*arg, ScalarExpr::Star);
+            }
+            _ => panic!("expected aggregate"),
+        }
+    }
+
+    #[test]
+    fn parses_derived_attribute_aggregate() {
+        let q = parse_query("SELECT SUM(price * (1 - discount)) FROM lineitem").unwrap();
+        let (_, arg) = q.aggregates()[0];
+        assert_eq!(arg.display(), "(price * (1 - discount))");
+    }
+
+    #[test]
+    fn parses_joins() {
+        let q = parse_query(
+            "SELECT SUM(l.price) FROM lineitem JOIN orders ON lineitem.okey = orders.okey \
+             JOIN customer ON orders.ckey = customer.ckey WHERE customer.segment = 'GOLD'",
+        )
+        .unwrap();
+        assert_eq!(q.joins.len(), 2);
+        assert_eq!(q.joins[0].table, "orders");
+    }
+
+    #[test]
+    fn parses_between_and_in() {
+        let q = parse_query(
+            "SELECT COUNT(*) FROM t WHERE a BETWEEN 1 AND 5 AND b IN ('x', 'y')",
+        )
+        .unwrap();
+        match q.where_clause.unwrap() {
+            WherePred::And(l, r) => {
+                assert!(matches!(*l, WherePred::Between { .. }));
+                assert!(matches!(*r, WherePred::InList { .. }));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_or_and_like() {
+        let q = parse_query(
+            "SELECT AVG(x) FROM t WHERE a = 1 OR b LIKE '%Apple%'",
+        )
+        .unwrap();
+        assert!(matches!(q.where_clause.unwrap(), WherePred::Or(_, _)));
+    }
+
+    #[test]
+    fn flags_subquery() {
+        let q = parse_query(
+            "SELECT AVG(x) FROM t WHERE k IN (SELECT k FROM u WHERE z > 3)",
+        )
+        .unwrap();
+        assert!(q.has_subquery);
+    }
+
+    #[test]
+    fn parses_having_with_aggregate() {
+        let q = parse_query(
+            "SELECT g, COUNT(*) FROM t GROUP BY g HAVING COUNT(*) > 10",
+        )
+        .unwrap();
+        match q.having.unwrap() {
+            WherePred::Cmp { lhs, .. } => {
+                assert_eq!(lhs.display(), "COUNT(*)");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let q = parse_query("SELECT g, COUNT(*) FROM t GROUP BY g HAVING g > 10").unwrap();
+        assert!(q.having.is_some());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_query("SELECT FROM").is_err());
+        assert!(parse_query("lineitem").is_err());
+        assert!(parse_query("SELECT a FROM t WHERE").is_err());
+        assert!(parse_query("SELECT a FROM t extra garbage").is_err());
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let q = parse_query("SELECT SUM(a + b * c) FROM t").unwrap();
+        let (_, arg) = q.aggregates()[0];
+        assert_eq!(arg.display(), "(a + (b * c))");
+    }
+
+    #[test]
+    fn parenthesized_predicates() {
+        let q = parse_query("SELECT AVG(x) FROM t WHERE (a = 1 AND b = 2) OR c = 3").unwrap();
+        assert!(matches!(q.where_clause.unwrap(), WherePred::Or(_, _)));
+    }
+
+    #[test]
+    fn not_predicate() {
+        let q = parse_query("SELECT AVG(x) FROM t WHERE NOT a = 1").unwrap();
+        assert!(matches!(q.where_clause.unwrap(), WherePred::Not(_)));
+    }
+}

@@ -1,0 +1,320 @@
+//! Binds checked AST fragments against a concrete table: scalar
+//! expressions become storage [`Expr`]s and predicates become storage
+//! [`Predicate`]s, with categorical string literals resolved to dictionary
+//! codes.
+
+use verdict_storage::{ColumnType, Expr, Predicate, Table, Value};
+
+use crate::ast::{CmpOp, ScalarExpr, WherePred};
+use crate::{Result, SqlError};
+
+/// Converts a scalar expression into a storage expression.
+///
+/// Qualified columns (`t.col`) resolve by their unqualified name — queries
+/// run against denormalized tables where names are already unique.
+pub fn to_expr(e: &ScalarExpr) -> Result<Expr> {
+    Ok(match e {
+        ScalarExpr::Column { name, .. } => Expr::col(name),
+        ScalarExpr::Number(n) => Expr::Const(*n),
+        ScalarExpr::Binary { op, lhs, rhs } => {
+            let l = Box::new(to_expr(lhs)?);
+            let r = Box::new(to_expr(rhs)?);
+            match op {
+                crate::ast::ArithOp::Add => Expr::Add(l, r),
+                crate::ast::ArithOp::Sub => Expr::Sub(l, r),
+                crate::ast::ArithOp::Mul => Expr::Mul(l, r),
+                crate::ast::ArithOp::Div => Expr::Div(l, r),
+            }
+        }
+        ScalarExpr::Neg(inner) => Expr::Neg(Box::new(to_expr(inner)?)),
+        other => {
+            return Err(SqlError::Resolve(format!(
+                "expression {} cannot be evaluated per-row",
+                other.display()
+            )))
+        }
+    })
+}
+
+/// Extracts `(column_name, literal)` from a comparison, normalizing the
+/// order so the column is on the left; `flipped` reports whether the
+/// operands were swapped (so `<` becomes `>` etc.).
+fn column_literal<'a>(
+    lhs: &'a ScalarExpr,
+    rhs: &'a ScalarExpr,
+) -> Option<(&'a str, &'a ScalarExpr, bool)> {
+    match (lhs, rhs) {
+        (ScalarExpr::Column { name, .. }, lit) if is_literal(lit) => Some((name, lit, false)),
+        (lit, ScalarExpr::Column { name, .. }) if is_literal(lit) => Some((name, lit, true)),
+        _ => None,
+    }
+}
+
+fn is_literal(e: &ScalarExpr) -> bool {
+    matches!(
+        e,
+        ScalarExpr::Number(_) | ScalarExpr::String(_) | ScalarExpr::Neg(_)
+    )
+}
+
+fn literal_number(e: &ScalarExpr) -> Option<f64> {
+    match e {
+        ScalarExpr::Number(n) => Some(*n),
+        ScalarExpr::Neg(inner) => literal_number(inner).map(|n| -n),
+        _ => None,
+    }
+}
+
+/// Resolves a literal against a categorical column's dictionary. Unknown
+/// labels map to an empty set (matches nothing) rather than an error —
+/// a query can legitimately probe a value absent from the data.
+fn categorical_codes(table: &Table, col: &str, lit: &ScalarExpr) -> Result<Vec<u32>> {
+    let column = table.column(col)?;
+    Ok(match lit {
+        ScalarExpr::String(s) => match column.code_of(s) {
+            Some(c) => vec![c],
+            None => vec![],
+        },
+        ScalarExpr::Number(n) => vec![*n as u32],
+        other => {
+            return Err(SqlError::Resolve(format!(
+                "cannot use {} as a categorical literal",
+                other.display()
+            )))
+        }
+    })
+}
+
+/// Converts a checked `WHERE` tree into a storage predicate against
+/// `table`. Callers must run the support checker first: disjunction,
+/// negation, and `LIKE` reach here only through bugs and return errors.
+pub fn to_predicate(pred: &WherePred, table: &Table) -> Result<Predicate> {
+    match pred {
+        WherePred::And(l, r) => {
+            Ok(to_predicate(l, table)?.and(to_predicate(r, table)?))
+        }
+        WherePred::Or(_, _) => Err(SqlError::Resolve("disjunction is unsupported".into())),
+        WherePred::Not(_) => Err(SqlError::Resolve("negation is unsupported".into())),
+        WherePred::Like { .. } => Err(SqlError::Resolve("LIKE is unsupported".into())),
+        WherePred::Between { expr, lo, hi } => {
+            let ScalarExpr::Column { name, .. } = expr else {
+                return Err(SqlError::Resolve("BETWEEN needs a column".into()));
+            };
+            let (Some(lo), Some(hi)) = (literal_number(lo), literal_number(hi)) else {
+                return Err(SqlError::Resolve("BETWEEN needs numeric bounds".into()));
+            };
+            Ok(Predicate::between(name, lo, hi))
+        }
+        WherePred::InList { expr, list } => {
+            let ScalarExpr::Column { name, .. } = expr else {
+                return Err(SqlError::Resolve("IN needs a column".into()));
+            };
+            let mut codes = Vec::with_capacity(list.len());
+            for lit in list {
+                codes.extend(categorical_codes(table, name, lit)?);
+            }
+            Ok(Predicate::cat_in(name, codes))
+        }
+        WherePred::Cmp { op, lhs, rhs } => {
+            let Some((name, lit, flipped)) = column_literal(lhs, rhs) else {
+                return Err(SqlError::Resolve(
+                    "comparison must be column vs literal".into(),
+                ));
+            };
+            let op = if flipped { flip(*op) } else { *op };
+            let col_ty = table.schema().column(name)?.ty;
+            match col_ty {
+                ColumnType::Numeric => {
+                    let Some(v) = literal_number(lit) else {
+                        return Err(SqlError::Resolve(format!(
+                            "numeric column {name} compared to non-numeric literal"
+                        )));
+                    };
+                    Ok(match op {
+                        CmpOp::Eq => Predicate::between(name, v, v),
+                        CmpOp::Lt => Predicate::less_than(name, v, false),
+                        CmpOp::LtEq => Predicate::less_than(name, v, true),
+                        CmpOp::Gt => Predicate::greater_than(name, v, false),
+                        CmpOp::GtEq => Predicate::greater_than(name, v, true),
+                        CmpOp::NotEq => {
+                            return Err(SqlError::Resolve(
+                                "numeric <> creates a disjunctive region".into(),
+                            ))
+                        }
+                    })
+                }
+                ColumnType::Categorical => {
+                    let codes = categorical_codes(table, name, lit)?;
+                    match op {
+                        CmpOp::Eq => Ok(Predicate::cat_in(name, codes)),
+                        CmpOp::NotEq => {
+                            // Complement within the observed dictionary.
+                            let card = table
+                                .column(name)?
+                                .cardinality()
+                                .unwrap_or(0) as u32;
+                            let all: Vec<u32> = (0..card)
+                                .filter(|c| !codes.contains(c))
+                                .collect();
+                            Ok(Predicate::cat_in(name, all))
+                        }
+                        _ => Err(SqlError::Resolve(format!(
+                            "ordered comparison on categorical column {name}"
+                        ))),
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::LtEq => CmpOp::GtEq,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::GtEq => CmpOp::LtEq,
+        other => other,
+    }
+}
+
+/// Builds the equality predicate for one group-by value (decomposition
+/// step, Figure 3: "each groupby column value is added as an equality
+/// predicate").
+pub fn group_equality(table: &Table, col: &str, value: &Value) -> Result<Predicate> {
+    let col_ty = table.schema().column(col)?.ty;
+    match (col_ty, value) {
+        (ColumnType::Numeric, Value::Num(v)) => Ok(Predicate::between(col, *v, *v)),
+        (ColumnType::Categorical, Value::Cat(c)) => Ok(Predicate::cat_eq(col, *c)),
+        (ColumnType::Categorical, Value::Str(s)) => {
+            let code = table
+                .column(col)?
+                .code_of(s)
+                .ok_or_else(|| SqlError::Resolve(format!("unknown label {s} in {col}")))?;
+            Ok(Predicate::cat_eq(col, code))
+        }
+        _ => Err(SqlError::Resolve(format!(
+            "group value {value} does not match column {col}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use verdict_storage::{ColumnDef, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::numeric_dimension("week"),
+            ColumnDef::categorical_dimension("region"),
+            ColumnDef::measure("rev"),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for (w, r, v) in [(1.0, "us", 10.0), (2.0, "eu", 20.0), (3.0, "jp", 30.0)] {
+            t.push_row(vec![w.into(), r.into(), v.into()]).unwrap();
+        }
+        t
+    }
+
+    fn where_of(sql: &str) -> WherePred {
+        parse_query(sql).unwrap().where_clause.unwrap()
+    }
+
+    #[test]
+    fn numeric_range_resolution() {
+        let t = table();
+        let p = to_predicate(&where_of("SELECT AVG(rev) FROM t WHERE week > 1"), &t).unwrap();
+        assert_eq!(p.selected_rows(&t).unwrap(), vec![1, 2]);
+        let p = to_predicate(
+            &where_of("SELECT AVG(rev) FROM t WHERE week BETWEEN 1 AND 2"),
+            &t,
+        )
+        .unwrap();
+        assert_eq!(p.selected_rows(&t).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn flipped_comparison() {
+        let t = table();
+        let p = to_predicate(&where_of("SELECT AVG(rev) FROM t WHERE 2 >= week"), &t).unwrap();
+        assert_eq!(p.selected_rows(&t).unwrap(), vec![0, 1]);
+    }
+
+    #[test]
+    fn categorical_equality_and_in() {
+        let t = table();
+        let p = to_predicate(
+            &where_of("SELECT AVG(rev) FROM t WHERE region = 'eu'"),
+            &t,
+        )
+        .unwrap();
+        assert_eq!(p.selected_rows(&t).unwrap(), vec![1]);
+        let p = to_predicate(
+            &where_of("SELECT AVG(rev) FROM t WHERE region IN ('us', 'jp')"),
+            &t,
+        )
+        .unwrap();
+        assert_eq!(p.selected_rows(&t).unwrap(), vec![0, 2]);
+    }
+
+    #[test]
+    fn unknown_label_matches_nothing() {
+        let t = table();
+        let p = to_predicate(
+            &where_of("SELECT AVG(rev) FROM t WHERE region = 'mars'"),
+            &t,
+        )
+        .unwrap();
+        assert!(p.selected_rows(&t).unwrap().is_empty());
+    }
+
+    #[test]
+    fn categorical_not_equal_complements() {
+        let t = table();
+        let p = to_predicate(
+            &where_of("SELECT AVG(rev) FROM t WHERE region <> 'us'"),
+            &t,
+        )
+        .unwrap();
+        assert_eq!(p.selected_rows(&t).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn numeric_not_equal_rejected() {
+        let t = table();
+        assert!(to_predicate(&where_of("SELECT AVG(rev) FROM t WHERE week <> 1"), &t).is_err());
+    }
+
+    #[test]
+    fn conjunction_resolution() {
+        let t = table();
+        let p = to_predicate(
+            &where_of("SELECT AVG(rev) FROM t WHERE week >= 2 AND region = 'jp'"),
+            &t,
+        )
+        .unwrap();
+        assert_eq!(p.selected_rows(&t).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn expr_resolution() {
+        let q = parse_query("SELECT SUM(rev * (1 - 0.5)) FROM t").unwrap();
+        let (_, arg) = q.aggregates()[0];
+        let e = to_expr(arg).unwrap();
+        let t = table();
+        assert_eq!(e.eval_row(&t, 0).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn group_equality_predicates() {
+        let t = table();
+        let eu = t.column("region").unwrap().code_of("eu").unwrap();
+        let p = group_equality(&t, "region", &Value::Cat(eu)).unwrap();
+        assert_eq!(p.selected_rows(&t).unwrap(), vec![1]);
+        let p = group_equality(&t, "week", &Value::Num(3.0)).unwrap();
+        assert_eq!(p.selected_rows(&t).unwrap(), vec![2]);
+    }
+}

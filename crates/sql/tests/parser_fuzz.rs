@@ -1,0 +1,66 @@
+//! Property tests: the SQL front-end is total (never panics) and stable
+//! on its own output.
+
+use proptest::prelude::*;
+use verdict_sql::checker::JoinPolicy;
+use verdict_sql::{check_query, parse_query};
+
+proptest! {
+    /// The parser must return an error, never panic, on arbitrary input.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse_query(&input);
+    }
+
+    /// Arbitrary ASCII noise around a valid skeleton also must not panic.
+    #[test]
+    fn parser_never_panics_sqlish(
+        prefix in "[A-Za-z0-9_ ,()*<>=.'-]{0,40}",
+        suffix in "[A-Za-z0-9_ ,()*<>=.'-]{0,40}",
+    ) {
+        let sql = format!("SELECT {prefix} FROM t WHERE {suffix}");
+        let _ = parse_query(&sql);
+    }
+
+    /// Structurally valid generated queries parse, and the checker is
+    /// total on them.
+    #[test]
+    fn generated_queries_parse_and_check(
+        agg in prop::sample::select(vec!["AVG", "SUM", "COUNT", "MIN", "MAX"]),
+        col in "[a-z][a-z0-9_]{0,10}",
+        lo in -1e6..1e6f64,
+        width in 0.0..1e6f64,
+        use_group in any::<bool>(),
+    ) {
+        let arg = if agg == "COUNT" { "*".to_owned() } else { col.clone() };
+        let group = if use_group { format!(" GROUP BY {col}") } else { String::new() };
+        let sql = format!(
+            "SELECT {agg}({arg}) FROM t WHERE {col} BETWEEN {lo} AND {}{group}",
+            lo + width
+        );
+        let q = parse_query(&sql).expect("generated query parses");
+        let _ = check_query(&q, &JoinPolicy::none());
+        prop_assert_eq!(q.aggregates().len(), 1);
+    }
+
+    /// Numeric literals round-trip through the lexer.
+    #[test]
+    fn numeric_literals_roundtrip(x in -1e12..1e12f64) {
+        let sql = format!("SELECT AVG(v) FROM t WHERE c = {x}");
+        let q = parse_query(&sql).expect("parses");
+        let pred = q.where_clause.expect("has predicate");
+        match pred {
+            verdict_sql::WherePred::Cmp { rhs, .. } => {
+                match rhs {
+                    verdict_sql::ScalarExpr::Number(n) => prop_assert_eq!(n, x),
+                    verdict_sql::ScalarExpr::Neg(inner) => match *inner {
+                        verdict_sql::ScalarExpr::Number(n) => prop_assert_eq!(-n, x),
+                        other => prop_assert!(false, "unexpected {:?}", other),
+                    },
+                    other => prop_assert!(false, "unexpected {:?}", other),
+                }
+            }
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Distribution-free probability bounds.
+//!
+//! Verdict's model validation (paper Appendix B) needs the radius `t` such
+//! that a random answer with standard deviation `sigma` falls within
+//! `(center - t, center + t)` with probability at least `delta`. When the
+//! sampling distribution is taken as normal (CLT), the radius is
+//! `α_δ · sigma`; Chebyshev's inequality provides the assumption-free
+//! fallback `sigma / √(1 - δ)` the paper mentions alongside the CLT.
+
+use crate::normal::confidence_multiplier;
+
+/// Radius of the symmetric interval that contains a random variable with
+/// standard deviation `sigma` with probability at least `delta`, by
+/// Chebyshev's inequality.
+pub fn chebyshev_radius(sigma: f64, delta: f64) -> f64 {
+    assert!(
+        (0.0..1.0).contains(&delta),
+        "delta must be in [0,1), got {delta}"
+    );
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    sigma / (1.0 - delta).sqrt()
+}
+
+/// Radius of the symmetric `delta`-probability interval assuming normality.
+pub fn normal_radius(sigma: f64, delta: f64) -> f64 {
+    assert!(sigma >= 0.0, "sigma must be non-negative");
+    confidence_multiplier(delta) * sigma
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chebyshev_at_75_percent_is_2_sigma() {
+        assert!((chebyshev_radius(1.0, 0.75) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chebyshev_scales_with_sigma() {
+        assert_eq!(
+            chebyshev_radius(3.0, 0.5),
+            3.0 * chebyshev_radius(1.0, 0.5)
+        );
+    }
+
+    #[test]
+    fn normal_radius_95() {
+        assert!((normal_radius(2.0, 0.95) - 2.0 * 1.959963984540054).abs() < 1e-8);
+    }
+
+    #[test]
+    fn chebyshev_dominates_normal() {
+        // Chebyshev is looser than the normal bound at high confidence.
+        for delta in [0.9, 0.95, 0.99] {
+            assert!(chebyshev_radius(1.0, delta) > normal_radius(1.0, delta));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn chebyshev_rejects_delta_one() {
+        chebyshev_radius(1.0, 1.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Named-table registry.
+
+use std::collections::BTreeMap;
+
+use crate::{Result, StorageError, Table};
+
+/// A catalog of named tables, the root object handed to query engines.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a table under `name`.
+    pub fn register(&mut self, name: &str, table: Table) {
+        self.tables.insert(name.to_owned(), table);
+    }
+
+    /// Removes a table, returning it if present.
+    pub fn deregister(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(name)
+    }
+
+    /// Looks a table up by name.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
+    }
+
+    /// Mutable lookup (e.g. for data appends).
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColumnDef, Schema};
+
+    fn tiny_table() -> Table {
+        let schema = Schema::new(vec![ColumnDef::measure("x")]).unwrap();
+        let mut t = Table::new(schema);
+        t.push_row(vec![1.0.into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        assert!(c.is_empty());
+        c.register("sales", tiny_table());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.table("sales").unwrap().num_rows(), 1);
+        assert!(c.table("missing").is_err());
+    }
+
+    #[test]
+    fn mutable_access_appends() {
+        let mut c = Catalog::new();
+        c.register("t", tiny_table());
+        c.table_mut("t")
+            .unwrap()
+            .push_row(vec![2.0.into()])
+            .unwrap();
+        assert_eq!(c.table("t").unwrap().num_rows(), 2);
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut c = Catalog::new();
+        c.register("b", tiny_table());
+        c.register("a", tiny_table());
+        assert_eq!(c.table_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn deregister_removes() {
+        let mut c = Catalog::new();
+        c.register("t", tiny_table());
+        assert!(c.deregister("t").is_some());
+        assert!(c.deregister("t").is_none());
+        assert!(c.table("t").is_err());
+    }
+}

@@ -1,0 +1,238 @@
+//! Scalar expressions over numeric columns.
+//!
+//! Verdict supports aggregates over *derived* attributes (paper §2.2:
+//! "The arguments to these aggregates can also be a derived attribute",
+//! e.g. `SUM(revenue * discount)`). An [`Expr`] evaluates to one `f64` per
+//! row and is compiled against a table into a flat evaluation closure.
+
+use crate::{Result, StorageError, Table};
+
+/// A scalar arithmetic expression over numeric columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A numeric column reference.
+    Col(String),
+    /// A literal constant.
+    Const(f64),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Division (IEEE semantics; divide-by-zero yields ±inf/NaN).
+    Div(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Neg(Box<Expr>),
+}
+
+impl Expr {
+    /// Column reference helper.
+    pub fn col(name: &str) -> Expr {
+        Expr::Col(name.to_owned())
+    }
+
+    /// All column names referenced by the expression, in first-use order.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Expr::Col(c) => {
+                if !out.contains(&c.as_str()) {
+                    out.push(c);
+                }
+            }
+            Expr::Const(_) => {}
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                a.collect_columns(out);
+                b.collect_columns(out);
+            }
+            Expr::Neg(a) => a.collect_columns(out),
+        }
+    }
+
+    /// Evaluates the expression at one row of `table`.
+    pub fn eval_row(&self, table: &Table, row: usize) -> Result<f64> {
+        Ok(match self {
+            Expr::Col(name) => table.column(name)?.numeric()?[row],
+            Expr::Const(c) => *c,
+            Expr::Add(a, b) => a.eval_row(table, row)? + b.eval_row(table, row)?,
+            Expr::Sub(a, b) => a.eval_row(table, row)? - b.eval_row(table, row)?,
+            Expr::Mul(a, b) => a.eval_row(table, row)? * b.eval_row(table, row)?,
+            Expr::Div(a, b) => a.eval_row(table, row)? / b.eval_row(table, row)?,
+            Expr::Neg(a) => -a.eval_row(table, row)?,
+        })
+    }
+
+    /// Validates the expression against `table` (all referenced columns
+    /// exist and are numeric) and returns an evaluator closure over row
+    /// indices. This avoids per-row name lookups on hot aggregation paths.
+    pub fn compile<'t>(&self, table: &'t Table) -> Result<CompiledExpr<'t>> {
+        let node = self.compile_node(table)?;
+        Ok(CompiledExpr { node })
+    }
+
+    fn compile_node<'t>(&self, table: &'t Table) -> Result<Node<'t>> {
+        Ok(match self {
+            Expr::Col(name) => {
+                let data = table.column(name)?.numeric().map_err(|_| {
+                    StorageError::TypeError(format!(
+                        "expression references non-numeric column {name}"
+                    ))
+                })?;
+                Node::Col(data)
+            }
+            Expr::Const(c) => Node::Const(*c),
+            Expr::Add(a, b) => Node::Add(
+                Box::new(a.compile_node(table)?),
+                Box::new(b.compile_node(table)?),
+            ),
+            Expr::Sub(a, b) => Node::Sub(
+                Box::new(a.compile_node(table)?),
+                Box::new(b.compile_node(table)?),
+            ),
+            Expr::Mul(a, b) => Node::Mul(
+                Box::new(a.compile_node(table)?),
+                Box::new(b.compile_node(table)?),
+            ),
+            Expr::Div(a, b) => Node::Div(
+                Box::new(a.compile_node(table)?),
+                Box::new(b.compile_node(table)?),
+            ),
+            Expr::Neg(a) => Node::Neg(Box::new(a.compile_node(table)?)),
+        })
+    }
+}
+
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Col(c) => write!(f, "{c}"),
+            Expr::Const(v) => write!(f, "{v}"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Div(a, b) => write!(f, "({a} / {b})"),
+            Expr::Neg(a) => write!(f, "(-{a})"),
+        }
+    }
+}
+
+/// An expression bound to a table's column storage.
+pub struct CompiledExpr<'t> {
+    node: Node<'t>,
+}
+
+enum Node<'t> {
+    Col(&'t [f64]),
+    Const(f64),
+    Add(Box<Node<'t>>, Box<Node<'t>>),
+    Sub(Box<Node<'t>>, Box<Node<'t>>),
+    Mul(Box<Node<'t>>, Box<Node<'t>>),
+    Div(Box<Node<'t>>, Box<Node<'t>>),
+    Neg(Box<Node<'t>>),
+}
+
+impl CompiledExpr<'_> {
+    /// Evaluates at row `row`.
+    #[inline]
+    pub fn eval(&self, row: usize) -> f64 {
+        eval_node(&self.node, row)
+    }
+}
+
+fn eval_node(node: &Node<'_>, row: usize) -> f64 {
+    match node {
+        Node::Col(data) => data[row],
+        Node::Const(c) => *c,
+        Node::Add(a, b) => eval_node(a, row) + eval_node(b, row),
+        Node::Sub(a, b) => eval_node(a, row) - eval_node(b, row),
+        Node::Mul(a, b) => eval_node(a, row) * eval_node(b, row),
+        Node::Div(a, b) => eval_node(a, row) / eval_node(b, row),
+        Node::Neg(a) => -eval_node(a, row),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColumnDef, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::measure("price"),
+            ColumnDef::measure("discount"),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        t.push_row(vec![100.0.into(), 0.1.into()]).unwrap();
+        t.push_row(vec![50.0.into(), 0.5.into()]).unwrap();
+        t
+    }
+
+    #[test]
+    fn column_expr_reads_values() {
+        let t = table();
+        assert_eq!(Expr::col("price").eval_row(&t, 1).unwrap(), 50.0);
+    }
+
+    #[test]
+    fn derived_attribute() {
+        // price * (1 - discount), as in TPC-H Q1.
+        let t = table();
+        let e = Expr::Mul(
+            Box::new(Expr::col("price")),
+            Box::new(Expr::Sub(
+                Box::new(Expr::Const(1.0)),
+                Box::new(Expr::col("discount")),
+            )),
+        );
+        assert_eq!(e.eval_row(&t, 0).unwrap(), 90.0);
+        assert_eq!(e.eval_row(&t, 1).unwrap(), 25.0);
+    }
+
+    #[test]
+    fn compiled_matches_interpreted() {
+        let t = table();
+        let e = Expr::Div(
+            Box::new(Expr::Add(
+                Box::new(Expr::col("price")),
+                Box::new(Expr::Const(10.0)),
+            )),
+            Box::new(Expr::Neg(Box::new(Expr::col("discount")))),
+        );
+        let c = e.compile(&t).unwrap();
+        for row in 0..t.num_rows() {
+            assert_eq!(c.eval(row), e.eval_row(&t, row).unwrap());
+        }
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let t = table();
+        assert!(Expr::col("nope").eval_row(&t, 0).is_err());
+        assert!(Expr::col("nope").compile(&t).is_err());
+    }
+
+    #[test]
+    fn columns_deduplicated() {
+        let e = Expr::Add(
+            Box::new(Expr::col("a")),
+            Box::new(Expr::Mul(
+                Box::new(Expr::col("b")),
+                Box::new(Expr::col("a")),
+            )),
+        );
+        assert_eq!(e.columns(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn display_is_parenthesized() {
+        let e = Expr::Sub(Box::new(Expr::col("x")), Box::new(Expr::Const(2.0)));
+        assert_eq!(e.to_string(), "(x - 2)");
+    }
+}

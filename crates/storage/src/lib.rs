@@ -1,0 +1,69 @@
+//! In-memory columnar storage engine.
+//!
+//! This crate is the "data warehouse" substrate of the reproduction: the
+//! paper runs Verdict on Spark SQL over HDFS; we run it over an in-process
+//! columnar store. Tables are dictionary-encoded for categorical columns and
+//! plain `f64` vectors for numeric columns. The crate provides:
+//!
+//! - [`schema`]: column definitions with the paper's dimension/measure split
+//!   (§3.1: dimension attributes appear in predicates, measure attributes in
+//!   aggregates);
+//! - [`table`]: row-appendable columnar tables;
+//! - [`expr`]: scalar expressions so aggregates can target *derived*
+//!   attributes (§2.2, e.g. `revenue * discount`);
+//! - [`predicate`]: conjunctive selection predicates (ranges over numeric
+//!   dimensions, IN-sets over categorical ones) matching Verdict's supported
+//!   `where` clauses;
+//! - [`aggregate`]: exact AVG/SUM/COUNT/FREQ evaluation (ground truth for
+//!   experiments);
+//! - [`join`]: foreign-key hash joins between a fact table and dimension
+//!   tables (§2.2 item 2), plus full denormalization;
+//! - [`catalog`]: a named-table registry.
+
+pub mod aggregate;
+pub mod catalog;
+pub mod column;
+pub mod expr;
+pub mod join;
+pub mod predicate;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use aggregate::{eval_group_by, AggregateFn, GroupKey};
+pub use catalog::Catalog;
+pub use column::Column;
+pub use expr::Expr;
+pub use predicate::Predicate;
+pub use schema::{AttributeRole, ColumnDef, ColumnType, Schema};
+pub use table::Table;
+pub use value::Value;
+
+/// Errors raised by the storage engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// Referenced a column that does not exist.
+    UnknownColumn(String),
+    /// Referenced a table that does not exist in the catalog.
+    UnknownTable(String),
+    /// A row or operation did not match the table schema.
+    SchemaMismatch(String),
+    /// An expression was applied to an incompatible column type.
+    TypeError(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            StorageError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            StorageError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            StorageError::TypeError(m) => write!(f, "type error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

@@ -1,0 +1,425 @@
+//! Conjunctive selection predicates.
+//!
+//! Verdict's supported `where` clauses (paper §2.2) are conjunctions of
+//! equality/inequality comparisons over dimension attributes, including the
+//! `in` operator; disjunctions and textual `LIKE` filters are unsupported.
+//! [`Predicate`] mirrors exactly that class: a conjunction of numeric range
+//! constraints and categorical membership constraints.
+
+use std::collections::BTreeMap;
+
+use crate::{Result, StorageError, Table};
+
+/// A numeric interval constraint with per-bound inclusivity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumRange {
+    /// Lower bound (may be `-inf`).
+    pub lo: f64,
+    /// Upper bound (may be `+inf`).
+    pub hi: f64,
+    /// Whether `lo` itself satisfies the constraint.
+    pub lo_inclusive: bool,
+    /// Whether `hi` itself satisfies the constraint.
+    pub hi_inclusive: bool,
+}
+
+impl NumRange {
+    /// The unconstrained interval `(-inf, +inf)`.
+    pub fn unbounded() -> Self {
+        NumRange {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+            lo_inclusive: true,
+            hi_inclusive: true,
+        }
+    }
+
+    /// Closed interval `[lo, hi]`.
+    pub fn closed(lo: f64, hi: f64) -> Self {
+        NumRange {
+            lo,
+            hi,
+            lo_inclusive: true,
+            hi_inclusive: true,
+        }
+    }
+
+    /// Tests a value against the interval.
+    #[inline]
+    pub fn contains(&self, x: f64) -> bool {
+        let lo_ok = if self.lo_inclusive {
+            x >= self.lo
+        } else {
+            x > self.lo
+        };
+        let hi_ok = if self.hi_inclusive {
+            x <= self.hi
+        } else {
+            x < self.hi
+        };
+        lo_ok && hi_ok
+    }
+
+    /// Intersects two intervals (tightest bounds win).
+    pub fn intersect(&self, other: &NumRange) -> NumRange {
+        let (lo, lo_inclusive) = match self.lo.partial_cmp(&other.lo) {
+            Some(std::cmp::Ordering::Greater) => (self.lo, self.lo_inclusive),
+            Some(std::cmp::Ordering::Less) => (other.lo, other.lo_inclusive),
+            _ => (self.lo, self.lo_inclusive && other.lo_inclusive),
+        };
+        let (hi, hi_inclusive) = match self.hi.partial_cmp(&other.hi) {
+            Some(std::cmp::Ordering::Less) => (self.hi, self.hi_inclusive),
+            Some(std::cmp::Ordering::Greater) => (other.hi, other.hi_inclusive),
+            _ => (self.hi, self.hi_inclusive && other.hi_inclusive),
+        };
+        NumRange {
+            lo,
+            hi,
+            lo_inclusive,
+            hi_inclusive,
+        }
+    }
+
+    /// Whether no value can satisfy the interval.
+    pub fn is_empty(&self) -> bool {
+        self.lo > self.hi || (self.lo == self.hi && !(self.lo_inclusive && self.hi_inclusive))
+    }
+}
+
+/// A conjunctive predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Matches every row.
+    True,
+    /// Conjunction of sub-predicates.
+    And(Vec<Predicate>),
+    /// `lo (<|<=) column (<|<=) hi` over a numeric dimension.
+    NumRange {
+        /// Column name.
+        col: String,
+        /// Interval constraint.
+        range: NumRange,
+    },
+    /// `column IN (codes)` over a categorical dimension (equality is a
+    /// single-element set).
+    CatIn {
+        /// Column name.
+        col: String,
+        /// Allowed dictionary codes (sorted, deduplicated on construction).
+        codes: Vec<u32>,
+    },
+}
+
+impl Predicate {
+    /// `col BETWEEN lo AND hi` (closed interval).
+    pub fn between(col: &str, lo: f64, hi: f64) -> Predicate {
+        Predicate::NumRange {
+            col: col.to_owned(),
+            range: NumRange::closed(lo, hi),
+        }
+    }
+
+    /// `col > bound` (exclusive) or `col >= bound` (inclusive).
+    pub fn greater_than(col: &str, bound: f64, inclusive: bool) -> Predicate {
+        Predicate::NumRange {
+            col: col.to_owned(),
+            range: NumRange {
+                lo: bound,
+                hi: f64::INFINITY,
+                lo_inclusive: inclusive,
+                hi_inclusive: true,
+            },
+        }
+    }
+
+    /// `col < bound` (exclusive) or `col <= bound` (inclusive).
+    pub fn less_than(col: &str, bound: f64, inclusive: bool) -> Predicate {
+        Predicate::NumRange {
+            col: col.to_owned(),
+            range: NumRange {
+                lo: f64::NEG_INFINITY,
+                hi: bound,
+                lo_inclusive: true,
+                hi_inclusive: inclusive,
+            },
+        }
+    }
+
+    /// `col = code` for a categorical dimension.
+    pub fn cat_eq(col: &str, code: u32) -> Predicate {
+        Predicate::CatIn {
+            col: col.to_owned(),
+            codes: vec![code],
+        }
+    }
+
+    /// `col IN (codes)` for a categorical dimension.
+    pub fn cat_in(col: &str, mut codes: Vec<u32>) -> Predicate {
+        codes.sort_unstable();
+        codes.dedup();
+        Predicate::CatIn {
+            col: col.to_owned(),
+            codes,
+        }
+    }
+
+    /// Conjunction of `self` and `other`.
+    pub fn and(self, other: Predicate) -> Predicate {
+        match (self, other) {
+            (Predicate::True, p) | (p, Predicate::True) => p,
+            (Predicate::And(mut a), Predicate::And(b)) => {
+                a.extend(b);
+                Predicate::And(a)
+            }
+            (Predicate::And(mut a), p) => {
+                a.push(p);
+                Predicate::And(a)
+            }
+            (p, Predicate::And(mut b)) => {
+                b.insert(0, p);
+                Predicate::And(b)
+            }
+            (a, b) => Predicate::And(vec![a, b]),
+        }
+    }
+
+    /// Evaluates the predicate at one row.
+    pub fn eval_row(&self, table: &Table, row: usize) -> Result<bool> {
+        Ok(match self {
+            Predicate::True => true,
+            Predicate::And(ps) => {
+                for p in ps {
+                    if !p.eval_row(table, row)? {
+                        return Ok(false);
+                    }
+                }
+                true
+            }
+            Predicate::NumRange { col, range } => {
+                let x = table.column(col)?.numeric()?[row];
+                range.contains(x)
+            }
+            Predicate::CatIn { col, codes } => {
+                let c = table.column(col)?.categorical()?[row];
+                codes.binary_search(&c).is_ok()
+            }
+        })
+    }
+
+    /// Returns the indices of matching rows.
+    pub fn selected_rows(&self, table: &Table) -> Result<Vec<usize>> {
+        let nf = self.normal_form()?;
+        let mut out = Vec::new();
+        'rows: for row in 0..table.num_rows() {
+            for (col, constraint) in &nf {
+                match constraint {
+                    ColumnConstraint::Range(r) => {
+                        let x = table.column(col)?.numeric()?[row];
+                        if !r.contains(x) {
+                            continue 'rows;
+                        }
+                    }
+                    ColumnConstraint::In(codes) => {
+                        let c = table.column(col)?.categorical()?[row];
+                        if codes.binary_search(&c).is_err() {
+                            continue 'rows;
+                        }
+                    }
+                }
+            }
+            out.push(row);
+        }
+        Ok(out)
+    }
+
+    /// Flattens the conjunction into one constraint per column: numeric
+    /// ranges are intersected and categorical IN-sets intersected. This is
+    /// the form Verdict's predicate regions (and hence kernel integration)
+    /// consume.
+    pub fn normal_form(&self) -> Result<BTreeMap<String, ColumnConstraint>> {
+        let mut out = BTreeMap::new();
+        self.fold_into(&mut out)?;
+        Ok(out)
+    }
+
+    fn fold_into(&self, out: &mut BTreeMap<String, ColumnConstraint>) -> Result<()> {
+        match self {
+            Predicate::True => Ok(()),
+            Predicate::And(ps) => {
+                for p in ps {
+                    p.fold_into(out)?;
+                }
+                Ok(())
+            }
+            Predicate::NumRange { col, range } => {
+                match out.entry(col.clone()) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(ColumnConstraint::Range(range.clone()));
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => match e.get_mut() {
+                        ColumnConstraint::Range(r) => *r = r.intersect(range),
+                        ColumnConstraint::In(_) => {
+                            return Err(StorageError::TypeError(format!(
+                                "column {col} constrained both as numeric and categorical"
+                            )))
+                        }
+                    },
+                }
+                Ok(())
+            }
+            Predicate::CatIn { col, codes } => {
+                match out.entry(col.clone()) {
+                    std::collections::btree_map::Entry::Vacant(e) => {
+                        e.insert(ColumnConstraint::In(codes.clone()));
+                    }
+                    std::collections::btree_map::Entry::Occupied(mut e) => match e.get_mut() {
+                        ColumnConstraint::In(existing) => {
+                            existing.retain(|c| codes.binary_search(c).is_ok());
+                        }
+                        ColumnConstraint::Range(_) => {
+                            return Err(StorageError::TypeError(format!(
+                                "column {col} constrained both as numeric and categorical"
+                            )))
+                        }
+                    },
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Per-column constraint in normal form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnConstraint {
+    /// Intersected numeric interval.
+    Range(NumRange),
+    /// Intersected categorical code set (sorted).
+    In(Vec<u32>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ColumnDef, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::numeric_dimension("week"),
+            ColumnDef::categorical_dimension("region"),
+            ColumnDef::measure("rev"),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for (w, r, v) in [
+            (1.0, "us", 10.0),
+            (2.0, "eu", 20.0),
+            (3.0, "us", 30.0),
+            (4.0, "jp", 40.0),
+            (5.0, "eu", 50.0),
+        ] {
+            t.push_row(vec![w.into(), r.into(), v.into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn true_matches_all() {
+        let t = table();
+        assert_eq!(Predicate::True.selected_rows(&t).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn range_filters_rows() {
+        let t = table();
+        let p = Predicate::between("week", 2.0, 4.0);
+        assert_eq!(p.selected_rows(&t).unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn exclusive_bounds_respected() {
+        let t = table();
+        let p = Predicate::greater_than("week", 2.0, false);
+        assert_eq!(p.selected_rows(&t).unwrap(), vec![2, 3, 4]);
+        let p = Predicate::greater_than("week", 2.0, true);
+        assert_eq!(p.selected_rows(&t).unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cat_in_filters_rows() {
+        let t = table();
+        let us = t.column("region").unwrap().code_of("us").unwrap();
+        let eu = t.column("region").unwrap().code_of("eu").unwrap();
+        let p = Predicate::cat_in("region", vec![us, eu]);
+        assert_eq!(p.selected_rows(&t).unwrap(), vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn conjunction_intersects() {
+        let t = table();
+        let us = t.column("region").unwrap().code_of("us").unwrap();
+        let p = Predicate::between("week", 2.0, 5.0).and(Predicate::cat_eq("region", us));
+        assert_eq!(p.selected_rows(&t).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn and_with_true_simplifies() {
+        let p = Predicate::True.and(Predicate::between("week", 0.0, 1.0));
+        assert!(matches!(p, Predicate::NumRange { .. }));
+    }
+
+    #[test]
+    fn normal_form_intersects_ranges() {
+        let p = Predicate::greater_than("week", 2.0, true)
+            .and(Predicate::less_than("week", 4.0, true));
+        let nf = p.normal_form().unwrap();
+        match nf.get("week").unwrap() {
+            ColumnConstraint::Range(r) => {
+                assert_eq!(r.lo, 2.0);
+                assert_eq!(r.hi, 4.0);
+            }
+            _ => panic!("expected a range"),
+        }
+    }
+
+    #[test]
+    fn normal_form_intersects_in_sets() {
+        let p = Predicate::cat_in("region", vec![0, 1, 2]).and(Predicate::cat_in("region", vec![1, 2, 3]));
+        let nf = p.normal_form().unwrap();
+        assert_eq!(nf.get("region"), Some(&ColumnConstraint::In(vec![1, 2])));
+    }
+
+    #[test]
+    fn mixed_constraint_types_error() {
+        let p = Predicate::between("x", 0.0, 1.0).and(Predicate::cat_eq("x", 1));
+        assert!(p.normal_form().is_err());
+    }
+
+    #[test]
+    fn empty_intersection_detected() {
+        let r = NumRange::closed(0.0, 1.0).intersect(&NumRange::closed(2.0, 3.0));
+        assert!(r.is_empty());
+        let half_open = NumRange {
+            lo: 1.0,
+            hi: 1.0,
+            lo_inclusive: true,
+            hi_inclusive: false,
+        };
+        assert!(half_open.is_empty());
+        assert!(!NumRange::closed(1.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn eval_row_matches_selected_rows() {
+        let t = table();
+        let p = Predicate::between("week", 2.0, 4.0);
+        let selected = p.selected_rows(&t).unwrap();
+        for row in 0..t.num_rows() {
+            assert_eq!(
+                p.eval_row(&t, row).unwrap(),
+                selected.contains(&row),
+                "row {row}"
+            );
+        }
+    }
+}

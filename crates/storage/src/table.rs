@@ -1,0 +1,218 @@
+//! Row-appendable columnar tables.
+
+use crate::{Column, ColumnType, Result, Schema, StorageError, Value};
+
+/// An in-memory columnar table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Creates an empty table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        let columns = schema
+            .columns()
+            .iter()
+            .map(|c| match c.ty {
+                ColumnType::Numeric => Column::new_numeric(),
+                ColumnType::Categorical => Column::new_categorical(),
+            })
+            .collect();
+        Table {
+            schema,
+            columns,
+            rows: 0,
+        }
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Appends one row given in schema order.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "row has {} values, schema has {} columns",
+                row.len(),
+                self.schema.len()
+            )));
+        }
+        // Validate all values first so a failed push cannot leave ragged
+        // columns behind.
+        for (v, def) in row.iter().zip(self.schema.columns()) {
+            let ok = matches!(
+                (v, def.ty),
+                (Value::Num(_), ColumnType::Numeric)
+                    | (Value::Cat(_), ColumnType::Categorical)
+                    | (Value::Str(_), ColumnType::Categorical)
+            );
+            if !ok {
+                return Err(StorageError::TypeError(format!(
+                    "value {v} does not fit column {}",
+                    def.name
+                )));
+            }
+        }
+        for (v, col) in row.into_iter().zip(self.columns.iter_mut()) {
+            col.push(v)?;
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Column accessor by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        let i = self.schema.index_of(name)?;
+        Ok(&self.columns[i])
+    }
+
+    /// Column accessor by index.
+    pub fn column_at(&self, index: usize) -> &Column {
+        &self.columns[index]
+    }
+
+    /// Reads one full row (mostly for tests and debugging).
+    pub fn row(&self, row: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.get(row)).collect()
+    }
+
+    /// Reads one row, decoding categorical codes back to their string
+    /// labels when a label exists. Joins use this so output tables rebuild
+    /// consistent dictionaries.
+    pub fn row_decoded(&self, row: usize) -> Vec<Value> {
+        self.columns
+            .iter()
+            .map(|c| match c.get(row) {
+                Value::Cat(code) => match c.label_of(code) {
+                    Some(label) => Value::Str(label.to_owned()),
+                    None => Value::Cat(code),
+                },
+                v => v,
+            })
+            .collect()
+    }
+
+    /// Materializes a new table containing only `rows` (in the given order).
+    pub fn gather(&self, rows: &[usize]) -> Result<Table> {
+        let mut out = Table::new(self.schema.clone());
+        for (dst, src) in out.columns.iter_mut().zip(self.columns.iter()) {
+            dst.gather_from(src, rows)?;
+        }
+        out.rows = rows.len();
+        Ok(out)
+    }
+
+    /// Appends all rows of `other` (schemas must be identical).
+    pub fn append(&mut self, other: &Table) -> Result<()> {
+        if self.schema != other.schema {
+            return Err(StorageError::SchemaMismatch(
+                "append requires identical schemas".into(),
+            ));
+        }
+        let rows: Vec<usize> = (0..other.rows).collect();
+        for (dst, src) in self.columns.iter_mut().zip(other.columns.iter()) {
+            dst.gather_from(src, &rows)?;
+        }
+        self.rows += other.rows;
+        Ok(())
+    }
+
+    /// Observed min/max of a numeric column, used to default unconstrained
+    /// predicate ranges to `(min(Ak), max(Ak))` per the paper §4.1.
+    pub fn column_bounds(&self, name: &str) -> Result<(f64, f64)> {
+        self.column(name)?
+            .numeric_range()
+            .ok_or_else(|| StorageError::TypeError(format!("column {name} has no numeric range")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ColumnDef;
+
+    fn sales_table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::numeric_dimension("week"),
+            ColumnDef::categorical_dimension("region"),
+            ColumnDef::measure("revenue"),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        t.push_row(vec![1.0.into(), "us".into(), 100.0.into()])
+            .unwrap();
+        t.push_row(vec![2.0.into(), "eu".into(), 150.0.into()])
+            .unwrap();
+        t.push_row(vec![3.0.into(), "us".into(), 120.0.into()])
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn push_and_read_rows() {
+        let t = sales_table();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(
+            t.row(1),
+            vec![Value::Num(2.0), Value::Cat(1), Value::Num(150.0)]
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        let mut t = sales_table();
+        assert!(t.push_row(vec![1.0.into()]).is_err());
+        // A failed push must not corrupt row count.
+        assert_eq!(t.num_rows(), 3);
+    }
+
+    #[test]
+    fn rejects_type_mismatch_atomically() {
+        let mut t = sales_table();
+        let r = t.push_row(vec![1.0.into(), "us".into(), Value::Cat(1)]);
+        assert!(r.is_err());
+        assert_eq!(t.num_rows(), 3);
+        // Columns stay rectangular.
+        assert_eq!(t.column("week").unwrap().len(), 3);
+        assert_eq!(t.column("revenue").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn gather_preserves_order() {
+        let t = sales_table();
+        let g = t.gather(&[2, 0]).unwrap();
+        assert_eq!(g.num_rows(), 2);
+        assert_eq!(g.row(0)[0], Value::Num(3.0));
+        assert_eq!(g.row(1)[0], Value::Num(1.0));
+    }
+
+    #[test]
+    fn append_concatenates() {
+        let mut a = sales_table();
+        let b = sales_table();
+        a.append(&b).unwrap();
+        assert_eq!(a.num_rows(), 6);
+    }
+
+    #[test]
+    fn column_bounds_reports_min_max() {
+        let t = sales_table();
+        assert_eq!(t.column_bounds("week").unwrap(), (1.0, 3.0));
+        assert!(t.column_bounds("region").is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! The Figure 1 scenario: weekly n-gram counts queried by `SUM(count)`
+//! over week ranges.
+//!
+//! The paper's motivating example tracks occurrences of word patterns in
+//! tweets over ~100 weeks, with counts in the tens of millions. We generate
+//! a smooth weekly series with comparable shape and a row-per-observation
+//! table so range-sum queries exercise the full pipeline.
+
+use rand::Rng;
+use verdict_storage::{ColumnDef, Predicate, Schema, Table};
+
+use crate::synthetic::SmoothField;
+
+/// Number of weeks in the series (the paper plots weeks 1..100).
+pub const WEEKS: usize = 100;
+
+/// A generated weekly-count scenario.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    /// True weekly totals, index 0 = week 1.
+    pub weekly_totals: Vec<f64>,
+    /// Observation table: `week` dimension, `count` measure, multiple rows
+    /// per week (daily-ish granularity) so sampling has work to do.
+    pub table: Table,
+}
+
+/// Generates the scenario: a smooth base around `base` (default 30M in the
+/// paper's plot) with relative fluctuations of about ±one third, split into
+/// `rows_per_week` observation rows per week.
+pub fn generate<R: Rng>(base: f64, rows_per_week: usize, rng: &mut R) -> TimeSeries {
+    let field = SmoothField::sample(1.5, rng);
+    let weekly_totals: Vec<f64> = (0..WEEKS)
+        .map(|w| {
+            // Map week to the field's [0,10] domain; clamp the unit-variance
+            // field so totals stay within the paper's 20M–40M plot band.
+            let x = w as f64 / (WEEKS - 1) as f64 * 10.0;
+            base * (1.0 + 0.33 * field.at(x).clamp(-1.5, 1.5))
+        })
+        .collect();
+
+    let schema = Schema::new(vec![
+        ColumnDef::numeric_dimension("week"),
+        ColumnDef::measure("count"),
+    ])
+    .expect("valid schema");
+    let mut table = Table::new(schema);
+    for (w, &total) in weekly_totals.iter().enumerate() {
+        let per_row = total / rows_per_week as f64;
+        for _ in 0..rows_per_week {
+            // Split the weekly mass with ±20% per-row jitter that cancels
+            // in expectation.
+            let jitter = 1.0 + 0.2 * (rng.gen::<f64>() * 2.0 - 1.0);
+            table
+                .push_row(vec![((w + 1) as f64).into(), (per_row * jitter).into()])
+                .expect("row fits schema");
+        }
+    }
+    TimeSeries {
+        weekly_totals,
+        table,
+    }
+}
+
+impl TimeSeries {
+    /// The exact `SUM(count)` over weeks `[lo, hi]` (inclusive) from the
+    /// true weekly totals.
+    pub fn true_range_sum(&self, lo: usize, hi: usize) -> f64 {
+        self.weekly_totals[(lo - 1)..hi.min(WEEKS)].iter().sum()
+    }
+
+    /// The predicate selecting weeks `[lo, hi]`.
+    pub fn range_predicate(lo: usize, hi: usize) -> Predicate {
+        Predicate::between("week", lo as f64, hi as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use verdict_storage::{AggregateFn, Expr};
+
+    #[test]
+    fn generates_expected_shape() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let ts = generate(30e6, 10, &mut rng);
+        assert_eq!(ts.weekly_totals.len(), WEEKS);
+        assert_eq!(ts.table.num_rows(), WEEKS * 10);
+        for &t in &ts.weekly_totals {
+            assert!(t > 10e6 && t < 50e6, "weekly total {t} out of plot range");
+        }
+    }
+
+    #[test]
+    fn table_sums_approximate_weekly_totals() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let ts = generate(30e6, 50, &mut rng);
+        let p = TimeSeries::range_predicate(10, 20);
+        let table_sum = AggregateFn::Sum(Expr::col("count"))
+            .eval_exact(&ts.table, &p)
+            .unwrap();
+        let true_sum = ts.true_range_sum(10, 20);
+        let rel = (table_sum - true_sum).abs() / true_sum;
+        // Per-row jitter cancels in expectation; with 50 rows/week the
+        // realized sums track the weekly totals within a few percent.
+        assert!(rel < 0.05, "relative gap {rel}");
+    }
+
+    #[test]
+    fn range_predicate_selects_weeks() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let ts = generate(30e6, 3, &mut rng);
+        let rows = TimeSeries::range_predicate(1, 1)
+            .selected_rows(&ts.table)
+            .unwrap();
+        assert_eq!(rows.len(), 3);
+    }
+}

@@ -1,0 +1,123 @@
+//! # Verdict — Database Learning for approximate query processing
+//!
+//! A Rust reproduction of *"Database Learning: Toward a Database that
+//! Becomes Smarter Every Time"* (Park, Tajik, Cafarella, Mozafari —
+//! SIGMOD 2017). Verdict sits on top of a sample-based AQP engine, keeps a
+//! synopsis of past query answers, fits a maximum-entropy (Gaussian)
+//! model over them, and uses it to return **improved answers with smaller
+//! error bounds** — provably never worse than the raw AQP answer
+//! (Theorem 1).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use verdict::{Mode, SessionBuilder, StopPolicy};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! // A table with a numeric time dimension and a measure.
+//! let spec = verdict::workload::synthetic::SyntheticSpec {
+//!     rows: 20_000,
+//!     ..Default::default()
+//! };
+//! let table = verdict::workload::synthetic::generate_table(&spec, &mut rng);
+//!
+//! let mut session = SessionBuilder::new(table)
+//!     .sample_fraction(0.1)
+//!     .seed(7)
+//!     .build()
+//!     .expect("session");
+//!
+//! // Warm up the synopsis with a few queries, then train.
+//! for lo in [0.0_f64, 2.0, 4.0, 6.0] {
+//!     session
+//!         .execute(&format!("SELECT AVG(m) FROM t WHERE d0 BETWEEN {lo} AND {}", lo + 2.0),
+//!                  Mode::Verdict, StopPolicy::ScanAll)
+//!         .expect("query");
+//! }
+//! session.train().expect("train");
+//!
+//! // New queries now come back with improved (smaller) error bounds.
+//! let result = session
+//!     .execute("SELECT AVG(m) FROM t WHERE d0 BETWEEN 1 AND 3",
+//!              Mode::Verdict, StopPolicy::ScanAll)
+//!     .expect("query")
+//!     .unwrap_answered();
+//! let cell = &result.rows[0].values[0];
+//! assert!(cell.improved.error <= cell.raw_error);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`core`](verdict_core) | snippets, synopsis, kernel, learning, inference, validation, append |
+//! | [`aqp`](verdict_aqp) | uniform samples, online aggregation, time-bound engine, cost model |
+//! | [`sql`](verdict_sql) | parser, supported-query checker, snippet decomposition |
+//! | [`storage`](verdict_storage) | columnar tables, predicates, exact aggregation, FK joins |
+//! | [`workload`](verdict_workload) | synthetic / TPC-H-style / Customer1-style generators |
+//! | [`stats`](verdict_stats), [`linalg`](verdict_linalg) | math substrates |
+
+pub mod session;
+
+pub use session::{CellAnswer, Mode, QueryOutcome, QueryResult, ResultRow, SessionBuilder, StopPolicy, VerdictSession};
+
+// Re-export the sub-crates under stable names.
+pub use verdict_aqp as aqp;
+pub use verdict_core as core;
+pub use verdict_linalg as linalg;
+pub use verdict_sql as sql;
+pub use verdict_stats as stats;
+pub use verdict_storage as storage;
+pub use verdict_workload as workload;
+
+/// Errors surfaced by the session layer.
+#[derive(Debug)]
+pub enum Error {
+    /// SQL front-end failure.
+    Sql(verdict_sql::SqlError),
+    /// Inference-engine failure.
+    Core(verdict_core::CoreError),
+    /// AQP-engine failure.
+    Aqp(verdict_aqp::AqpError),
+    /// Storage failure.
+    Storage(verdict_storage::StorageError),
+}
+
+impl From<verdict_sql::SqlError> for Error {
+    fn from(e: verdict_sql::SqlError) -> Self {
+        Error::Sql(e)
+    }
+}
+impl From<verdict_core::CoreError> for Error {
+    fn from(e: verdict_core::CoreError) -> Self {
+        Error::Core(e)
+    }
+}
+impl From<verdict_aqp::AqpError> for Error {
+    fn from(e: verdict_aqp::AqpError) -> Self {
+        Error::Aqp(e)
+    }
+}
+impl From<verdict_storage::StorageError> for Error {
+    fn from(e: verdict_storage::StorageError) -> Self {
+        Error::Storage(e)
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Sql(e) => write!(f, "{e}"),
+            Error::Core(e) => write!(f, "{e}"),
+            Error::Aqp(e) => write!(f, "{e}"),
+            Error::Storage(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
