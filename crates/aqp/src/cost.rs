@@ -125,10 +125,7 @@ mod tests {
     #[test]
     fn query_includes_fixed_overhead() {
         let m = CostModel::default();
-        assert_eq!(
-            m.query_ns(0, StorageTier::Cached),
-            m.fixed_overhead_ns
-        );
+        assert_eq!(m.query_ns(0, StorageTier::Cached), m.fixed_overhead_ns);
     }
 
     #[test]

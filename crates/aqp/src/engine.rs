@@ -64,11 +64,7 @@ impl OnlineAggregation {
 
     /// Starts an online-aggregation session for one snippet. Each call to
     /// [`Session::step`] consumes one batch and yields the refined answer.
-    pub fn session<'e>(
-        &'e self,
-        agg: &AggregateFn,
-        predicate: &Predicate,
-    ) -> Result<Session<'e>> {
+    pub fn session<'e>(&'e self, agg: &AggregateFn, predicate: &Predicate) -> Result<Session<'e>> {
         let estimator =
             BatchEstimator::new(self.sample.table(), self.sample.base_rows(), agg, predicate)?;
         Ok(Session {

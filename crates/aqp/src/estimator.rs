@@ -188,8 +188,7 @@ mod tests {
     fn exact_when_full_table_scanned() {
         let t = table(100);
         let p = Predicate::between("x", 0.0, 49.0);
-        let mut e =
-            BatchEstimator::new(&t, 100, &AggregateFn::Count, &p).unwrap();
+        let mut e = BatchEstimator::new(&t, 100, &AggregateFn::Count, &p).unwrap();
         e.consume(0..100);
         let (ans, err) = e.current();
         assert_eq!(ans, 50.0);
@@ -213,13 +212,9 @@ mod tests {
     #[test]
     fn sum_ht_estimator_full_scan() {
         let t = table(100);
-        let mut e = BatchEstimator::new(
-            &t,
-            100,
-            &AggregateFn::Sum(Expr::col("v")),
-            &Predicate::True,
-        )
-        .unwrap();
+        let mut e =
+            BatchEstimator::new(&t, 100, &AggregateFn::Sum(Expr::col("v")), &Predicate::True)
+                .unwrap();
         e.consume(0..100);
         let (ans, _) = e.current();
         // sum of v over 100 rows = 10 full cycles of 0..9 = 450.

@@ -37,7 +37,9 @@ impl Sample {
             )));
         }
         if batch_size == 0 {
-            return Err(AqpError::InvalidConfig("batch size must be positive".into()));
+            return Err(AqpError::InvalidConfig(
+                "batch size must be positive".into(),
+            ));
         }
         let n = base.num_rows();
         let k = ((n as f64 * fraction).round() as usize).clamp(1, n.max(1));
@@ -62,7 +64,9 @@ impl Sample {
         batch_size: usize,
     ) -> Result<Sample> {
         if batch_size == 0 {
-            return Err(AqpError::InvalidConfig("batch size must be positive".into()));
+            return Err(AqpError::InvalidConfig(
+                "batch size must be positive".into(),
+            ));
         }
         Ok(Sample {
             table,
@@ -76,7 +80,9 @@ impl Sample {
     /// (used for exact evaluation paths and tests).
     pub fn full(base: &Table, batch_size: usize) -> Result<Sample> {
         if batch_size == 0 {
-            return Err(AqpError::InvalidConfig("batch size must be positive".into()));
+            return Err(AqpError::InvalidConfig(
+                "batch size must be positive".into(),
+            ));
         }
         Ok(Sample {
             table: base.clone(),

@@ -45,7 +45,9 @@ pub fn stratified<R: Rng>(
         )));
     }
     if batch_size == 0 {
-        return Err(AqpError::InvalidConfig("batch size must be positive".into()));
+        return Err(AqpError::InvalidConfig(
+            "batch size must be positive".into(),
+        ));
     }
     let codes = base.column(stratify_by)?.categorical()?;
     let mut strata: HashMap<u32, Vec<usize>> = HashMap::new();
@@ -138,7 +140,10 @@ mod tests {
                 misses += 1;
             }
         }
-        assert!(misses > 5, "uniform missed tiny stratum only {misses}/20 times");
+        assert!(
+            misses > 5,
+            "uniform missed tiny stratum only {misses}/20 times"
+        );
     }
 
     #[test]

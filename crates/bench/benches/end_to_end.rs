@@ -24,7 +24,10 @@ fn session() -> VerdictSession {
     for i in 0..10 {
         let lo = i as f64;
         s.execute(
-            &format!("SELECT AVG(m) FROM t WHERE d0 BETWEEN {lo} AND {}", lo + 1.0),
+            &format!(
+                "SELECT AVG(m) FROM t WHERE d0 BETWEEN {lo} AND {}",
+                lo + 1.0
+            ),
             Mode::Verdict,
             StopPolicy::ScanAll,
         )

@@ -31,8 +31,7 @@ fn setup(n: usize) -> (SchemaInfo, Vec<(Region, Observation)>, TrainedModel, Reg
         1e-9,
     )
     .unwrap();
-    let query =
-        Region::from_predicate(&schema, &Predicate::between("t", 40.0, 55.0)).unwrap();
+    let query = Region::from_predicate(&schema, &Predicate::between("t", 40.0, 55.0)).unwrap();
     (schema, entries, model, query)
 }
 

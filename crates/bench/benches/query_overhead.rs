@@ -23,8 +23,7 @@ fn trained_engine(n: usize) -> (Verdict, Snippet) {
         );
     }
     engine.train().unwrap();
-    let region =
-        Region::from_predicate(&schema, &Predicate::between("t", 30.0, 50.0)).unwrap();
+    let region = Region::from_predicate(&schema, &Predicate::between("t", 30.0, 50.0)).unwrap();
     (engine, Snippet::new(AggKey::avg("v"), region))
 }
 

@@ -38,7 +38,10 @@ pub fn fig1() {
         (68, 78),
         (90, 100),
     ];
-    println!("{:>8} {:>16} {:>12} {:>14}", "queries", "mean CI (SUM)", "coverage", "lengthscale");
+    println!(
+        "{:>8} {:>16} {:>12} {:>14}",
+        "queries", "mean CI (SUM)", "coverage", "lengthscale"
+    );
     for &n in &[2usize, 4, 8] {
         let entries: Vec<(Region, Observation)> = ranges[..n]
             .iter()
@@ -55,8 +58,15 @@ pub fn fig1() {
         let config = VerdictConfig::default();
         let learned = learn_params(&schema, AggMode::Avg, &regions, &answers, &errors, &config);
         let prior = estimate_prior_mean(AggMode::Avg, &schema, &regions, &answers);
-        let model = TrainedModel::fit(&schema, AggMode::Avg, &entries, learned.params.clone(), prior, 1e-9)
-            .expect("fit");
+        let model = TrainedModel::fit(
+            &schema,
+            AggMode::Avg,
+            &entries,
+            learned.params.clone(),
+            prior,
+            1e-9,
+        )
+        .expect("fit");
         let mut widths = Vec::new();
         let mut covered = 0usize;
         let weeks: Vec<usize> = (2..=100).step_by(2).collect();
@@ -131,7 +141,10 @@ pub fn tab3() {
 /// both datasets and both storage tiers — four panels.
 pub fn fig4() {
     header("Figure 4 — runtime vs error bound (top) and actual error (bottom)");
-    for (dataset, rows, n_queries) in [(Dataset::Customer1, 200_000, 120), (Dataset::Tpch, 200_000, 160)] {
+    for (dataset, rows, n_queries) in [
+        (Dataset::Customer1, 200_000, 120),
+        (Dataset::Tpch, 200_000, 160),
+    ] {
         for tier in [StorageTier::Cached, StorageTier::Ssd] {
             let tier_label = match tier {
                 StorageTier::Cached => "Cached",
@@ -282,7 +295,7 @@ pub fn fig5() {
     let mut pairs: Vec<(f64, f64)> = Vec::new();
     for sql in env.broad_test_queries(0.03) {
         for _ in 0..3 {
-            let budget = 2000 + rng.gen_range(0..16000);
+            let budget = 2000 + rng.gen_range(0..16000usize);
             if let Some(m) = env.measure(&sql, Mode::Verdict, StopPolicy::TupleBudget(budget)) {
                 if m.rel_bound.is_finite() && m.rel_bound > 0.0 {
                     pairs.push((m.rel_bound * 100.0, m.rel_actual * 100.0));
@@ -552,8 +565,8 @@ pub fn fig7() {
         "true ℓ", "est (n=20)", "est (n=50)", "est (n=100)"
     );
     let mut rng = StdRng::seed_from_u64(7);
-    let schema =
-        SchemaInfo::new(vec![verdict::core::DimensionSpec::numeric("x", 0.0, 10.0)]).expect("schema");
+    let schema = SchemaInfo::new(vec![verdict::core::DimensionSpec::numeric("x", 0.0, 10.0)])
+        .expect("schema");
     for true_w in [0.5, 1.0, 2.0, 3.0] {
         // Smoothing width w induces an SE lengthscale ≈ √2·w.
         let true_l = std::f64::consts::SQRT_2 * true_w;
@@ -604,8 +617,8 @@ pub fn fig9() {
         "scale", "no validation p50/p95", "with validation p50/p95"
     );
     let mut rng = StdRng::seed_from_u64(9);
-    let schema =
-        SchemaInfo::new(vec![verdict::core::DimensionSpec::numeric("x", 0.0, 10.0)]).expect("schema");
+    let schema = SchemaInfo::new(vec![verdict::core::DimensionSpec::numeric("x", 0.0, 10.0)])
+        .expect("schema");
     let field = SmoothField::sample(1.0, &mut rng);
     let true_l = std::f64::consts::SQRT_2;
 
@@ -663,9 +676,7 @@ pub fn fig9() {
         }
         let (_, nv50, nv95) = error_band(&ratios_noval);
         let (_, v50, v95) = error_band(&ratios_val);
-        println!(
-            "{scale:>7.1}x {nv50:>13.2} /{nv95:>10.2} {v50:>13.2} /{v95:>10.2}"
-        );
+        println!("{scale:>7.1}x {nv50:>13.2} /{nv95:>10.2} {v50:>13.2} /{v95:>10.2}");
     }
     println!("(correct when p95 ≤ 1; paper: validation keeps p95 below 1 at every scale)");
 }
@@ -675,8 +686,8 @@ pub fn fig9() {
 pub fn fig10() {
     header("Figure 10 — Verdict vs answer caching (Baseline2)");
     let mut rng = StdRng::seed_from_u64(10);
-    let schema =
-        SchemaInfo::new(vec![verdict::core::DimensionSpec::numeric("x", 0.0, 10.0)]).expect("schema");
+    let schema = SchemaInfo::new(vec![verdict::core::DimensionSpec::numeric("x", 0.0, 10.0)])
+        .expect("schema");
     let field = SmoothField::sample(1.2, &mut rng);
     let truth_of = |lo: f64, hi: f64| -> f64 {
         let steps = 40;
@@ -695,21 +706,23 @@ pub fn fig10() {
         .collect();
 
     println!("\n(a) error reduction vs sample size used for past queries");
-    println!("{:>12} {:>12} {:>12}", "past error", "Baseline2 %", "Verdict %");
+    println!(
+        "{:>12} {:>12} {:>12}",
+        "past error", "Baseline2 %", "Verdict %"
+    );
     for past_err in [0.2, 0.1, 0.05, 0.01] {
-        let (b2, vd) = cache_comparison(
-            &schema, &past_ranges, truth_of, past_err, 0.5, &mut rng,
-        );
+        let (b2, vd) = cache_comparison(&schema, &past_ranges, truth_of, past_err, 0.5, &mut rng);
         println!("{past_err:>12.2} {b2:>12.1} {vd:>12.1}");
     }
     println!("(smaller past error ≈ larger past sample; paper Fig 10(a) x-axis)");
 
     println!("\n(b) error reduction vs novel-query ratio");
-    println!("{:>12} {:>12} {:>12}", "novel %", "Baseline2 %", "Verdict %");
+    println!(
+        "{:>12} {:>12} {:>12}",
+        "novel %", "Baseline2 %", "Verdict %"
+    );
     for novel in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let (b2, vd) = cache_comparison(
-            &schema, &past_ranges, truth_of, 0.05, novel, &mut rng,
-        );
+        let (b2, vd) = cache_comparison(&schema, &past_ranges, truth_of, 0.05, novel, &mut rng);
         println!("{:>11.0}% {b2:>12.1} {vd:>12.1}", novel * 100.0);
     }
     println!("(paper: caching only helps repeated queries; Verdict helps both)");
@@ -780,7 +793,10 @@ fn cache_comparison(
 /// Figure 11 (Appendix C.2): error reduction over a time-bound AQP engine.
 pub fn fig11() {
     header("Figure 11 — error reduction for time-bound AQP engines");
-    println!("{:<12} {:<12} {:>18}", "Dataset", "Tier", "error reduction %");
+    println!(
+        "{:<12} {:<12} {:>18}",
+        "Dataset", "Tier", "error reduction %"
+    );
     for dataset in [Dataset::Customer1, Dataset::Tpch] {
         for tier in [StorageTier::Cached, StorageTier::Ssd] {
             let n_q = if dataset == Dataset::Tpch { 160 } else { 120 };
@@ -827,8 +843,8 @@ pub fn fig12() {
         "appended", "no-adj bound%", "adj bound%", "no-adj violations", "adj violations"
     );
     let mut rng = StdRng::seed_from_u64(12);
-    let schema =
-        SchemaInfo::new(vec![verdict::core::DimensionSpec::numeric("x", 0.0, 10.0)]).expect("schema");
+    let schema = SchemaInfo::new(vec![verdict::core::DimensionSpec::numeric("x", 0.0, 10.0)])
+        .expect("schema");
     let field = SmoothField::sample(1.2, &mut rng);
     let truth_of = |lo: f64, hi: f64| -> f64 {
         let steps = 40;
@@ -859,7 +875,8 @@ pub fn fig12() {
                 let hi = lo + 0.5 + rng.gen::<f64>() * 0.8;
                 let region = Region::from_predicate(&schema, &Predicate::between("x", lo, hi))
                     .expect("region");
-                let obs = Observation::new(truth_of(lo, hi) + 0.02 * (rng.gen::<f64>() - 0.5), 0.02);
+                let obs =
+                    Observation::new(truth_of(lo, hi) + 0.02 * (rng.gen::<f64>() - 0.5), 0.02);
                 engine.observe(&Snippet::new(AggKey::avg("v"), region), obs);
             }
             if adjusted {
@@ -882,8 +899,7 @@ pub fn fig12() {
                 let raw_err = 0.08;
                 // The raw answer samples the *updated* table.
                 let raw = Observation::new(truth + raw_err * (rng.gen::<f64>() - 0.5), raw_err);
-                let improved =
-                    engine.improve(&Snippet::new(AggKey::avg("v"), region), raw);
+                let improved = engine.improve(&Snippet::new(AggKey::avg("v"), region), raw);
                 let bound = improved.bound(0.95);
                 bounds.push(bound * 100.0);
                 total += 1;
@@ -896,9 +912,7 @@ pub fn fig12() {
 
         let (b_no, v_no) = run(false, &mut rng);
         let (b_adj, v_adj) = run(true, &mut rng);
-        println!(
-            "{append_pct:>9.0}% {b_no:>16.2} {b_adj:>16.2} {v_no:>17.1}% {v_adj:>17.1}%"
-        );
+        println!("{append_pct:>9.0}% {b_no:>16.2} {b_adj:>16.2} {v_no:>17.1}% {v_adj:>17.1}%");
     }
     println!("(paper: unadjusted bounds violate increasingly; adjusted stay valid)");
 }
@@ -936,11 +950,15 @@ pub fn fig13() {
     }
     // Histogram like the paper's bar chart.
     println!("{:>22} {:>12}", "correlation bucket", "% of datasets");
-    for (lo, hi) in [(-0.2, 0.0), (0.0, 0.2), (0.2, 0.4), (0.4, 0.6), (0.6, 0.8), (0.8, 1.01)] {
-        let count = correlations
-            .iter()
-            .filter(|&&c| c >= lo && c < hi)
-            .count();
+    for (lo, hi) in [
+        (-0.2, 0.0),
+        (0.0, 0.2),
+        (0.2, 0.4),
+        (0.4, 0.6),
+        (0.6, 0.8),
+        (0.8, 1.01),
+    ] {
+        let count = correlations.iter().filter(|&&c| c >= lo && c < hi).count();
         println!(
             "{:>10.1} – {:<9.1} {:>11.1}%",
             lo,

@@ -42,11 +42,18 @@ impl ExperimentEnv {
     ///
     /// `rows` controls the base-table size; `n_queries` the total workload
     /// (split half/half into train/test, like §8.3).
-    pub fn new(dataset: Dataset, rows: usize, n_queries: usize, tier: StorageTier, seed: u64) -> Self {
+    pub fn new(
+        dataset: Dataset,
+        rows: usize,
+        n_queries: usize,
+        tier: StorageTier,
+        seed: u64,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let (table, queries): (Table, Vec<String>) = match dataset {
             Dataset::Customer1 => {
-                let trace = verdict_workload::customer::generate_trace(rows, n_queries * 2, &mut rng);
+                let trace =
+                    verdict_workload::customer::generate_trace(rows, n_queries * 2, &mut rng);
                 // Keep only supported queries for runtime experiments; the
                 // unsupported ones are classified in tab3.
                 let qs: Vec<String> = trace
@@ -100,7 +107,9 @@ impl ExperimentEnv {
     pub fn warm_up(&mut self) {
         for (i, sql) in self.train_queries.clone().into_iter().enumerate() {
             self.session.set_active_sample(i);
-            let _ = self.session.execute(&sql, Mode::Verdict, StopPolicy::ScanAll);
+            let _ = self
+                .session
+                .execute(&sql, Mode::Verdict, StopPolicy::ScanAll);
         }
         self.session.train().expect("training succeeds");
     }
@@ -142,15 +151,13 @@ impl ExperimentEnv {
     /// Runs `sql` in `mode` under `policy`, returning
     /// `(answer, error_bound95, actual_rel_error, simulated_ns, tuples)`
     /// for the first cell, or `None` if unsupported/empty.
-    pub fn measure(
-        &mut self,
-        sql: &str,
-        mode: Mode,
-        policy: StopPolicy,
-    ) -> Option<Measurement> {
+    pub fn measure(&mut self, sql: &str, mode: Mode, policy: StopPolicy) -> Option<Measurement> {
         // Pin the sample by query text: both modes see the same sample for
         // a given query (fair comparison) while distinct queries rotate.
-        let idx = sql.len().wrapping_mul(31).wrapping_add(sql.as_bytes().iter().map(|&b| b as usize).sum::<usize>());
+        let idx = sql
+            .len()
+            .wrapping_mul(31)
+            .wrapping_add(sql.as_bytes().iter().map(|&b| b as usize).sum::<usize>());
         self.session.set_active_sample(idx);
         let exact = self.exact_answer(sql)?;
         let out = self.session.execute(sql, mode, policy).ok()?;

@@ -55,7 +55,11 @@ pub fn rank_candidates(
             CandidateScore { index, score }
         })
         .collect();
-    scores.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    scores.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     scores
 }
 
@@ -178,14 +182,18 @@ mod tests {
     fn batch_planning_spreads_out() {
         let m = model_with_coverage(&[(0.0, 5.0)]);
         let s = schema();
-        let candidates: Vec<Region> = (0..10).map(|i| {
-            let lo = i as f64 * 10.0;
-            region(lo, lo + 10.0)
-        }).collect();
-        let targets: Vec<Region> = (0..20).map(|i| {
-            let lo = i as f64 * 5.0;
-            region(lo, (lo + 5.0).min(100.0))
-        }).collect();
+        let candidates: Vec<Region> = (0..10)
+            .map(|i| {
+                let lo = i as f64 * 10.0;
+                region(lo, lo + 10.0)
+            })
+            .collect();
+        let targets: Vec<Region> = (0..20)
+            .map(|i| {
+                let lo = i as f64 * 5.0;
+                region(lo, (lo + 5.0).min(100.0))
+            })
+            .collect();
         let picks = plan_batch(&m, &s, &candidates, &targets, 0.1, 3);
         assert_eq!(picks.len(), 3);
         // Greedy picks should not all land adjacent to each other: the
@@ -195,18 +203,22 @@ mod tests {
             .map(|&i| candidates[i].range(0).unwrap().0)
             .collect();
         lows.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        assert!(lows[1] - lows[0] >= 10.0 || lows[2] - lows[1] >= 10.0,
-            "picks too clustered: {lows:?}");
+        assert!(
+            lows[1] - lows[0] >= 10.0 || lows[2] - lows[1] >= 10.0,
+            "picks too clustered: {lows:?}"
+        );
     }
 
     #[test]
     fn scores_sorted_descending() {
         let m = model_with_coverage(&[(0.0, 10.0)]);
         let s = schema();
-        let candidates: Vec<Region> = (0..5).map(|i| {
-            let lo = i as f64 * 20.0;
-            region(lo, lo + 10.0)
-        }).collect();
+        let candidates: Vec<Region> = (0..5)
+            .map(|i| {
+                let lo = i as f64 * 20.0;
+                region(lo, lo + 10.0)
+            })
+            .collect();
         let targets = vec![region(40.0, 60.0)];
         let ranked = rank_candidates(&m, &s, &candidates, &targets, 0.1);
         for pair in ranked.windows(2) {
@@ -221,7 +233,10 @@ mod tests {
         let mut covered: Vec<(Region, Observation)> = (0..6)
             .map(|i| {
                 let lo = i as f64 * 12.0;
-                (region(lo, lo + 10.0), Observation::new(5.0 + i as f64 * 0.3, 0.2))
+                (
+                    region(lo, lo + 10.0),
+                    Observation::new(5.0 + i as f64 * 0.3, 0.2),
+                )
             })
             .collect();
         let mut incremental = TrainedModel::fit(
@@ -274,7 +289,11 @@ mod tests {
         let s = schema();
         let mut m = model_with_coverage(&[(0.0, 10.0)]);
         let n_before = m.n();
-        m.absorb(&s, &region(50.0, 60.0), Observation::new(1.0, f64::INFINITY));
+        m.absorb(
+            &s,
+            &region(50.0, 60.0),
+            Observation::new(1.0, f64::INFINITY),
+        );
         assert_eq!(m.n(), n_before);
     }
 

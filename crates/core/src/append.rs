@@ -157,8 +157,7 @@ mod tests {
     #[test]
     fn synopsis_adjusted_in_place() {
         let schema = SchemaInfo::new(vec![DimensionSpec::numeric("x", 0.0, 10.0)]).unwrap();
-        let region =
-            Region::from_predicate(&schema, &Predicate::between("x", 0.0, 5.0)).unwrap();
+        let region = Region::from_predicate(&schema, &Predicate::between("x", 0.0, 5.0)).unwrap();
         let mut syn = QuerySynopsis::new(10);
         syn.record(region.clone(), Observation::new(1.0, 0.1));
         let adj = AppendAdjustment {

@@ -1,7 +1,7 @@
 //! Engine configuration.
 
 /// Tunables of the Verdict engine. Defaults follow the paper.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct VerdictConfig {
     /// Maximum snippets generated per query for group-by expansion
     /// (`N_max`, §2.3; default 1000).

@@ -64,14 +64,38 @@ pub struct EngineStats {
     pub observed: u64,
 }
 
+/// Callback invoked every time a snippet observation enters the synopsis.
+///
+/// This is the engine's durability hook: `verdict-store` implements it to
+/// append each observation to a write-ahead snippet log, so on-disk state
+/// tracks the in-memory synopsis incrementally instead of by whole-state
+/// rewrites.
+pub trait SnippetObserver {
+    /// Called after `observe` has recorded `(key, region, obs)`.
+    fn on_snippet_appended(&mut self, key: &AggKey, region: &Region, obs: Observation);
+}
+
 /// The Verdict engine (one per learned relation).
-#[derive(Debug)]
 pub struct Verdict {
     schema: SchemaInfo,
     config: VerdictConfig,
     synopses: HashMap<AggKey, QuerySynopsis>,
     models: HashMap<AggKey, TrainedModel>,
     stats: EngineStats,
+    observer: Option<Box<dyn SnippetObserver + Send>>,
+}
+
+impl std::fmt::Debug for Verdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Verdict")
+            .field("schema", &self.schema)
+            .field("config", &self.config)
+            .field("synopses", &self.synopses)
+            .field("models", &self.models)
+            .field("stats", &self.stats)
+            .field("observer", &self.observer.as_ref().map(|_| "set"))
+            .finish()
+    }
 }
 
 impl Verdict {
@@ -83,7 +107,24 @@ impl Verdict {
             synopses: HashMap::new(),
             models: HashMap::new(),
             stats: EngineStats::default(),
+            observer: None,
         }
+    }
+
+    /// Installs the append hook; subsequent [`Verdict::observe`] calls are
+    /// forwarded to it. Replaces any previous observer.
+    pub fn set_observer(&mut self, observer: Box<dyn SnippetObserver + Send>) {
+        self.observer = Some(observer);
+    }
+
+    /// Removes the append hook.
+    pub fn clear_observer(&mut self) {
+        self.observer = None;
+    }
+
+    /// Whether an append hook is installed.
+    pub fn has_observer(&self) -> bool {
+        self.observer.is_some()
     }
 
     /// The dimension universe.
@@ -121,6 +162,9 @@ impl Verdict {
             .or_insert_with(|| QuerySynopsis::new(self.config.synopsis_capacity));
         synopsis.record(snippet.region.clone(), obs);
         self.stats.observed += 1;
+        if let Some(observer) = self.observer.as_mut() {
+            observer.on_snippet_appended(&snippet.key, &snippet.region, obs);
+        }
     }
 
     /// Offline training (Algorithm 1): for every aggregate function with
@@ -150,7 +194,14 @@ impl Verdict {
         let regions: Vec<&Region> = training.iter().map(|e| &e.region).collect();
         let answers: Vec<f64> = training.iter().map(|e| e.observation.answer).collect();
         let errors: Vec<f64> = training.iter().map(|e| e.observation.error).collect();
-        let learned = learn_params(&self.schema, mode, &regions, &answers, &errors, &self.config);
+        let learned = learn_params(
+            &self.schema,
+            mode,
+            &regions,
+            &answers,
+            &errors,
+            &self.config,
+        );
 
         // … then fit the conditioning state on the full synopsis.
         let entries: Vec<(Region, Observation)> = synopsis
@@ -239,6 +290,77 @@ impl Verdict {
     pub fn forget(&mut self, key: &AggKey) {
         self.synopses.remove(key);
         self.models.remove(key);
+    }
+
+    /// Exports the complete learned state in deterministic (key-sorted)
+    /// order — the snapshot payload of the durable store.
+    pub fn export_state(&self) -> crate::persist::EngineState {
+        let mut synopses: Vec<(AggKey, QuerySynopsis)> = self
+            .synopses
+            .iter()
+            .map(|(k, s)| (k.clone(), s.clone()))
+            .collect();
+        synopses.sort_by(|(a, _), (b, _)| a.cmp(b));
+        let mut models: Vec<(AggKey, TrainedModel)> = self
+            .models
+            .iter()
+            .map(|(k, m)| (k.clone(), m.clone()))
+            .collect();
+        models.sort_by(|(a, _), (b, _)| a.cmp(b));
+        crate::persist::EngineState {
+            schema: self.schema.clone(),
+            synopses,
+            models,
+            stats: self.stats,
+        }
+    }
+
+    /// Encodes the complete learned state directly from the engine's
+    /// internals — byte-identical to `export_state().to_bytes()` but
+    /// without deep-cloning every synopsis and model first. This is the
+    /// checkpoint path's fast serializer.
+    pub fn state_bytes(&self) -> Vec<u8> {
+        use crate::persist::{Encoder, Persist};
+        let mut enc = Encoder::new();
+        self.schema.encode(&mut enc);
+        let mut keys: Vec<&AggKey> = self.synopses.keys().collect();
+        keys.sort();
+        enc.put_len(keys.len());
+        for key in keys {
+            key.encode(&mut enc);
+            self.synopses[key].encode(&mut enc);
+        }
+        let mut keys: Vec<&AggKey> = self.models.keys().collect();
+        keys.sort();
+        enc.put_len(keys.len());
+        for key in keys {
+            key.encode(&mut enc);
+            self.models[key].encode(&mut enc);
+        }
+        self.stats.encode(&mut enc);
+        enc.into_bytes()
+    }
+
+    /// Replaces all learned state with `state` (warm start from disk).
+    ///
+    /// The state's schema must match the engine's declared schema — a
+    /// synopsis learned over different dimensions would silently produce
+    /// wrong covariances.
+    ///
+    /// Note on counters: WAL replay restores only `stats.observed`
+    /// faithfully; `improved`/`rejected`/`passed_through` reflect the
+    /// last checkpoint, so across a crash they can trail the pre-crash
+    /// session's values. Answers and error bounds are unaffected.
+    pub fn restore_state(&mut self, state: crate::persist::EngineState) -> Result<()> {
+        if state.schema != self.schema {
+            return Err(crate::CoreError::SchemaMismatch(
+                "persisted state was learned over a different dimension universe".into(),
+            ));
+        }
+        self.synopses = state.synopses.into_iter().collect();
+        self.models = state.models.into_iter().collect();
+        self.stats = state.stats;
+        Ok(())
     }
 }
 

@@ -20,9 +20,7 @@
 use verdict_linalg::ops::{bilinear_form, dot};
 use verdict_linalg::{Cholesky, Matrix};
 
-use crate::covariance::{
-    cross_covariance, raw_covariance_matrix, snippet_covariance, AggMode,
-};
+use crate::covariance::{cross_covariance, raw_covariance_matrix, snippet_covariance, AggMode};
 use crate::kernel::KernelParams;
 use crate::learning::PriorMean;
 use crate::region::{Region, SchemaInfo};
@@ -97,9 +95,58 @@ impl TrainedModel {
         })
     }
 
+    /// Rebuilds a model from persisted parts (see [`crate::persist`]).
+    ///
+    /// The parts must come from a previously fitted model: `sigma_inv` is
+    /// trusted to be the inverse of the covariance of `regions` under
+    /// `params`, and `alpha = Σₙ⁻¹ (θ − µ)`. The persist layer checks the
+    /// shapes; semantic validity is the writer's responsibility.
+    pub fn from_parts(
+        mode: AggMode,
+        params: KernelParams,
+        prior: PriorMean,
+        regions: Vec<Region>,
+        observations: Vec<Observation>,
+        sigma_inv: Matrix,
+        alpha: Vec<f64>,
+    ) -> TrainedModel {
+        debug_assert_eq!(regions.len(), observations.len());
+        debug_assert_eq!(regions.len(), alpha.len());
+        debug_assert_eq!(sigma_inv.rows(), regions.len());
+        TrainedModel {
+            mode,
+            params,
+            prior,
+            regions,
+            observations,
+            sigma_inv,
+            alpha,
+        }
+    }
+
     /// Number of past snippets the model conditions on.
     pub fn n(&self) -> usize {
         self.regions.len()
+    }
+
+    /// The past snippet regions the model conditions on.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// The raw observations the model conditions on.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// The precomputed `Σₙ⁻¹`.
+    pub fn sigma_inv(&self) -> &Matrix {
+        &self.sigma_inv
+    }
+
+    /// The precomputed `α = Σₙ⁻¹ (θ − µ)`.
+    pub fn alpha(&self) -> &[f64] {
+        &self.alpha
     }
 
     /// The kernel parameters in use.
@@ -215,19 +262,14 @@ impl TrainedModel {
         errors.push(raw.error);
 
         // Σ_{n+1} over raw answers (Eq. 6 diagonal) …
-        let mut sigma = raw_covariance_matrix(schema, &self.params, self.mode, &all_regions, &errors);
+        let mut sigma =
+            raw_covariance_matrix(schema, &self.params, self.mode, &all_regions, &errors);
         let scale = sigma.max_abs().max(1.0);
         sigma.add_diagonal(1e-12 * scale);
         // … k̄_{n+1}: cov(raw answers, exact new answer). The (n+1)-th
         // entry is κ̄² (noise independent of the exact value).
         let kappa2 = snippet_covariance(schema, &self.params, self.mode, region, region);
-        let mut kbar = cross_covariance(
-            schema,
-            &self.params,
-            self.mode,
-            &all_regions[..n],
-            region,
-        );
+        let mut kbar = cross_covariance(schema, &self.params, self.mode, &all_regions[..n], region);
         kbar.push(kappa2);
 
         let mut observed: Vec<f64> = past.iter().map(|(_, o)| o.answer).collect();

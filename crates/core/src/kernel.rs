@@ -192,7 +192,11 @@ mod tests {
     #[test]
     fn avg_factor_bounded() {
         for l in [0.1, 1.0, 10.0] {
-            for (a, b, c, d) in [(0.0, 1.0, 0.5, 2.0), (0.0, 5.0, 0.0, 5.0), (1.0, 1.0, 0.0, 4.0)] {
+            for (a, b, c, d) in [
+                (0.0, 1.0, 0.5, 2.0),
+                (0.0, 5.0, 0.0, 5.0),
+                (1.0, 1.0, 0.0, 4.0),
+            ] {
                 let f = avg_numeric_factor(a, b, c, d, l);
                 assert!((0.0..=1.0).contains(&f), "factor {f}");
             }

@@ -193,14 +193,21 @@ pub fn learn_params(
             sigma2,
         };
         -log_marginal_likelihood(
-            schema, mode, regions, answers, errors, &params, &prior, config.jitter,
+            schema,
+            mode,
+            regions,
+            answers,
+            errors,
+            &params,
+            &prior,
+            config.jitter,
         )
     };
 
     let mut best: Option<(Vec<f64>, f64)> = None;
     for &start_factor in &config.lengthscale_starts {
         let x0 = vec![start_factor.ln(); numeric.len()];
-        let r = nelder_mead(&objective, &x0, 0.7, config.max_optimizer_iters, 1e-8);
+        let r = nelder_mead(objective, &x0, 0.7, config.max_optimizer_iters, 1e-8);
         if best.as_ref().is_none_or(|(_, v)| r.value < *v) {
             best = Some((r.x, r.value));
         }
@@ -279,7 +286,14 @@ mod tests {
         let params = KernelParams::constant(1, 30.0, 1.0);
         let prior = PriorMean::Constant(2.0);
         let ll = log_marginal_likelihood(
-            &s, AggMode::Avg, &refs, &answers, &errors, &params, &prior, 1e-9,
+            &s,
+            AggMode::Avg,
+            &refs,
+            &answers,
+            &errors,
+            &params,
+            &prior,
+            1e-9,
         );
         assert!(ll.is_finite(), "{ll}");
     }
@@ -289,24 +303,38 @@ mod tests {
         // Generate answers from a smooth function; a moderate lengthscale
         // should beat an absurdly small one.
         let s = schema();
-        let regions: Vec<Region> = (0..10).map(|i| {
-            let lo = i as f64 * 10.0;
-            region(lo, lo + 10.0)
-        }).collect();
-        let refs: Vec<&Region> = regions.iter().collect();
-        let answers: Vec<f64> = (0..10)
-            .map(|i| (i as f64 * 10.0 / 30.0).sin())
+        let regions: Vec<Region> = (0..10)
+            .map(|i| {
+                let lo = i as f64 * 10.0;
+                region(lo, lo + 10.0)
+            })
             .collect();
+        let refs: Vec<&Region> = regions.iter().collect();
+        let answers: Vec<f64> = (0..10).map(|i| (i as f64 * 10.0 / 30.0).sin()).collect();
         let errors = vec![0.05; 10];
         let prior = PriorMean::Constant(mean(&answers));
         let sigma2 = estimate_sigma2(AggMode::Avg, &s, &refs, &answers);
         let good = KernelParams::constant(1, 30.0, sigma2);
         let bad = KernelParams::constant(1, 0.01, sigma2);
         let ll_good = log_marginal_likelihood(
-            &s, AggMode::Avg, &refs, &answers, &errors, &good, &prior, 1e-9,
+            &s,
+            AggMode::Avg,
+            &refs,
+            &answers,
+            &errors,
+            &good,
+            &prior,
+            1e-9,
         );
         let ll_bad = log_marginal_likelihood(
-            &s, AggMode::Avg, &refs, &answers, &errors, &bad, &prior, 1e-9,
+            &s,
+            AggMode::Avg,
+            &refs,
+            &answers,
+            &errors,
+            &bad,
+            &prior,
+            1e-9,
         );
         assert!(ll_good > ll_bad, "good {ll_good} vs bad {ll_bad}");
     }

@@ -37,14 +37,16 @@ pub mod inference;
 pub mod kernel;
 pub mod learning;
 pub mod optimizer;
+pub mod persist;
 pub mod region;
 pub mod snippet;
 pub mod synopsis;
 pub mod validation;
 
 pub use config::VerdictConfig;
-pub use engine::{ImprovedAnswer, Verdict};
+pub use engine::{ImprovedAnswer, SnippetObserver, Verdict};
 pub use kernel::KernelParams;
+pub use persist::{EngineState, Persist, PersistError};
 pub use region::{DimKind, DimensionSpec, Region, SchemaInfo};
 pub use snippet::{AggKey, Observation, Snippet};
 pub use synopsis::QuerySynopsis;

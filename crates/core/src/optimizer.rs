@@ -49,7 +49,11 @@ pub fn nelder_mead(
 
         // Order the simplex by objective value.
         let mut order: Vec<usize> = (0..=dim).collect();
-        order.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&a, &b| {
+            values[a]
+                .partial_cmp(&values[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let best = order[0];
         let worst = order[dim];
         let second_worst = order[dim - 1];
@@ -147,7 +151,11 @@ pub fn multi_start(
     starts
         .iter()
         .map(|x0| nelder_mead(f, x0, initial_step, max_iters, tol))
-        .min_by(|a, b| a.value.partial_cmp(&b.value).unwrap_or(std::cmp::Ordering::Equal))
+        .min_by(|a, b| {
+            a.value
+                .partial_cmp(&b.value)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
         .expect("at least one start")
 }
 

@@ -74,7 +74,7 @@ impl SchemaInfo {
                 )));
             }
             if let DimKind::Numeric { lo, hi } = d.kind {
-                if !(lo <= hi) {
+                if lo > hi || lo.is_nan() || hi.is_nan() {
                     return Err(CoreError::SchemaMismatch(format!(
                         "dimension {} has empty domain [{lo}, {hi}]",
                         d.name
@@ -209,8 +209,7 @@ impl Region {
                     region.constraints[idx] = DimConstraint::Range { lo: s, hi: e };
                 }
                 (DimKind::Categorical { cardinality }, ColumnConstraint::In(codes)) => {
-                    let codes: Vec<u32> =
-                        codes.into_iter().filter(|c| c < cardinality).collect();
+                    let codes: Vec<u32> = codes.into_iter().filter(|c| c < cardinality).collect();
                     region.constraints[idx] = DimConstraint::Set(Some(codes));
                 }
                 (DimKind::Numeric { .. }, ColumnConstraint::In(_)) => {
@@ -231,6 +230,13 @@ impl Region {
     /// Per-dimension constraints (parallel to the schema's dims).
     pub fn constraints(&self) -> &[DimConstraint] {
         &self.constraints
+    }
+
+    /// Rebuilds a region from persisted constraints (see [`crate::persist`]).
+    /// The caller is responsible for alignment with the schema the region
+    /// was originally built against.
+    pub fn from_constraints(constraints: Vec<DimConstraint>) -> Region {
+        Region { constraints }
     }
 
     /// The numeric interval of dimension `idx` (domain interval for

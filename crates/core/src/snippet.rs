@@ -80,10 +80,7 @@ impl Observation {
 
     /// An exact observation (zero error), useful in tests.
     pub fn exact(answer: f64) -> Self {
-        Observation {
-            answer,
-            error: 0.0,
-        }
+        Observation { answer, error: 0.0 }
     }
 }
 

@@ -17,6 +17,22 @@ pub struct SynopsisEntry {
     stamp: u64,
 }
 
+impl SynopsisEntry {
+    /// The entry's recency stamp.
+    pub fn stamp(&self) -> u64 {
+        self.stamp
+    }
+
+    /// Rebuilds an entry from persisted parts (see [`crate::persist`]).
+    pub fn from_parts(region: Region, observation: Observation, stamp: u64) -> Self {
+        SynopsisEntry {
+            region,
+            observation,
+            stamp,
+        }
+    }
+}
+
 /// LRU-capped store of past snippets for one aggregate function.
 #[derive(Debug, Clone)]
 pub struct QuerySynopsis {
@@ -50,6 +66,23 @@ impl QuerySynopsis {
         self.capacity
     }
 
+    /// Current recency clock (equals the largest stamp handed out).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Rebuilds a synopsis from persisted parts (see [`crate::persist`]).
+    /// The clock is floored at the largest entry stamp so recency keeps
+    /// advancing monotonically after a reload.
+    pub fn from_parts(capacity: usize, clock: u64, entries: Vec<SynopsisEntry>) -> Self {
+        let max_stamp = entries.iter().map(|e| e.stamp).max().unwrap_or(0);
+        QuerySynopsis {
+            entries,
+            capacity: capacity.max(1),
+            clock: clock.max(max_stamp),
+        }
+    }
+
     /// Retained entries in insertion order.
     pub fn entries(&self) -> &[SynopsisEntry] {
         &self.entries
@@ -79,12 +112,7 @@ impl QuerySynopsis {
         }
         if self.entries.len() >= self.capacity {
             // Evict the least recently used entry.
-            if let Some((idx, _)) = self
-                .entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.stamp)
-            {
+            if let Some((idx, _)) = self.entries.iter().enumerate().min_by_key(|(_, e)| e.stamp) {
                 self.entries.remove(idx);
             }
         }

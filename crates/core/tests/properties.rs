@@ -30,9 +30,7 @@ fn region(lo: f64, hi: f64) -> Region {
 }
 
 /// Strategy: a list of (lo, width, answer, error) snippet observations.
-fn snippets_strategy(
-    max_n: usize,
-) -> impl Strategy<Value = Vec<(f64, f64, f64, f64)>> {
+fn snippets_strategy(max_n: usize) -> impl Strategy<Value = Vec<(f64, f64, f64, f64)>> {
     prop::collection::vec(
         (0.0..90.0f64, 1.0..30.0f64, -5.0..25.0f64, 0.01..2.0f64),
         2..max_n,

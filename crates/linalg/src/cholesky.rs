@@ -111,8 +111,8 @@ impl Cholesky {
         for j in 0..n {
             e[j] = 1.0;
             let col = self.solve(&e)?;
-            for i in 0..n {
-                inv.set(i, j, col[i]);
+            for (i, v) in col.iter().enumerate() {
+                inv.set(i, j, *v);
             }
             e[j] = 0.0;
         }
@@ -143,8 +143,8 @@ fn solve_upper_transposed(l: &Matrix, y: &[f64]) -> Result<Vec<f64>> {
     let mut x = vec![0.0; n];
     for i in (0..n).rev() {
         let mut s = y[i];
-        for k in (i + 1)..n {
-            s -= l.get(k, i) * x[k];
+        for (k, xk) in x.iter().enumerate().skip(i + 1) {
+            s -= l.get(k, i) * xk;
         }
         x[i] = s / l.get(i, i);
     }
@@ -167,12 +167,7 @@ mod tests {
 
     fn spd3() -> Matrix {
         // A = B^T B + I for B random-ish fixed values; known SPD.
-        Matrix::from_vec(
-            3,
-            3,
-            vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0],
-        )
-        .unwrap()
+        Matrix::from_vec(3, 3, vec![4.0, 2.0, 0.6, 2.0, 5.0, 1.0, 0.6, 1.0, 3.0]).unwrap()
     }
 
     #[test]

@@ -46,8 +46,8 @@ pub fn bilinear_form(a: &[f64], m: &Matrix, b: &[f64]) -> f64 {
     debug_assert_eq!(m.rows(), a.len());
     debug_assert_eq!(m.cols(), b.len());
     let mut acc = 0.0;
-    for i in 0..m.rows() {
-        acc += a[i] * dot(m.row(i), b);
+    for (i, ai) in a.iter().enumerate() {
+        acc += ai * dot(m.row(i), b);
     }
     acc
 }

@@ -13,12 +13,7 @@ fn spd_from(values: &[f64], n: usize) -> Matrix {
 }
 
 fn spd_strategy(max_n: usize) -> impl Strategy<Value = (usize, Vec<f64>)> {
-    (1..=max_n).prop_flat_map(|n| {
-        (
-            Just(n),
-            prop::collection::vec(-3.0..3.0f64, n * n..=n * n),
-        )
-    })
+    (1..=max_n).prop_flat_map(|n| (Just(n), prop::collection::vec(-3.0..3.0f64, n * n..=n * n)))
 }
 
 proptest! {

@@ -143,7 +143,7 @@ pub fn check_query(query: &Query, joins: &JoinPolicy) -> SupportVerdict {
                     name: _rn,
                 },
             ) => {
-                let fact_first = lt.as_deref().map_or(true, |t| t != j.table.as_str())
+                let fact_first = lt.as_deref().is_none_or(|t| t != j.table.as_str())
                     && rt.as_deref().is_some_and(|t| t == j.table.as_str());
                 if fact_first {
                     joins.allows(ln, &j.table)
@@ -311,10 +311,8 @@ mod tests {
 
     #[test]
     fn undeclared_join_unsupported() {
-        let q = parse_query(
-            "SELECT SUM(price) FROM lineitem JOIN weird ON lineitem.a = weird.b",
-        )
-        .unwrap();
+        let q = parse_query("SELECT SUM(price) FROM lineitem JOIN weird ON lineitem.a = weird.b")
+            .unwrap();
         match check_query(&q, &JoinPolicy::none()) {
             SupportVerdict::Unsupported(r) => {
                 assert!(r.contains(&UnsupportedReason::NonForeignKeyJoin))

@@ -162,10 +162,9 @@ mod tests {
         // Figure 3: 1 query with AVG + SUM grouped by a column with 2
         // values → 4 snippets, each with the group equality added.
         let t = table();
-        let q = parse_query(
-            "SELECT region, AVG(rev), SUM(rev) FROM t WHERE week > 0 GROUP BY region",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT region, AVG(rev), SUM(rev) FROM t WHERE week > 0 GROUP BY region")
+                .unwrap();
         let us = Value::Cat(t.column("region").unwrap().code_of("us").unwrap());
         let eu = Value::Cat(t.column("region").unwrap().code_of("eu").unwrap());
         let d = decompose(&q, &t, &[vec![us], vec![eu]], 1000).unwrap();

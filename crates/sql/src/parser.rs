@@ -24,9 +24,7 @@
 //! `Query::has_subquery` so the type checker can report them; their tokens
 //! are skipped to the matching `)`.
 
-use crate::ast::{
-    AggFunc, ArithOp, CmpOp, JoinClause, Query, ScalarExpr, SelectItem, WherePred,
-};
+use crate::ast::{AggFunc, ArithOp, CmpOp, JoinClause, Query, ScalarExpr, SelectItem, WherePred};
 use crate::lexer::{tokenize, Token};
 use crate::{Result, SqlError};
 
@@ -393,10 +391,8 @@ mod tests {
 
     #[test]
     fn parses_figure3_query() {
-        let q = parse_query(
-            "select A1, AVG(A2), SUM(A3) from r where A2 > 10 group by A1;",
-        )
-        .unwrap();
+        let q =
+            parse_query("select A1, AVG(A2), SUM(A3) from r where A2 > 10 group by A1;").unwrap();
         assert_eq!(q.select.len(), 3);
         assert_eq!(q.aggregates().len(), 2);
         assert_eq!(q.from, "r");
@@ -437,10 +433,8 @@ mod tests {
 
     #[test]
     fn parses_between_and_in() {
-        let q = parse_query(
-            "SELECT COUNT(*) FROM t WHERE a BETWEEN 1 AND 5 AND b IN ('x', 'y')",
-        )
-        .unwrap();
+        let q = parse_query("SELECT COUNT(*) FROM t WHERE a BETWEEN 1 AND 5 AND b IN ('x', 'y')")
+            .unwrap();
         match q.where_clause.unwrap() {
             WherePred::And(l, r) => {
                 assert!(matches!(*l, WherePred::Between { .. }));
@@ -452,28 +446,20 @@ mod tests {
 
     #[test]
     fn parses_or_and_like() {
-        let q = parse_query(
-            "SELECT AVG(x) FROM t WHERE a = 1 OR b LIKE '%Apple%'",
-        )
-        .unwrap();
+        let q = parse_query("SELECT AVG(x) FROM t WHERE a = 1 OR b LIKE '%Apple%'").unwrap();
         assert!(matches!(q.where_clause.unwrap(), WherePred::Or(_, _)));
     }
 
     #[test]
     fn flags_subquery() {
-        let q = parse_query(
-            "SELECT AVG(x) FROM t WHERE k IN (SELECT k FROM u WHERE z > 3)",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT AVG(x) FROM t WHERE k IN (SELECT k FROM u WHERE z > 3)").unwrap();
         assert!(q.has_subquery);
     }
 
     #[test]
     fn parses_having_with_aggregate() {
-        let q = parse_query(
-            "SELECT g, COUNT(*) FROM t GROUP BY g HAVING COUNT(*) > 10",
-        )
-        .unwrap();
+        let q = parse_query("SELECT g, COUNT(*) FROM t GROUP BY g HAVING COUNT(*) > 10").unwrap();
         match q.having.unwrap() {
             WherePred::Cmp { lhs, .. } => {
                 assert_eq!(lhs.display(), "COUNT(*)");

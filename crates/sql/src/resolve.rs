@@ -90,9 +90,7 @@ fn categorical_codes(table: &Table, col: &str, lit: &ScalarExpr) -> Result<Vec<u
 /// negation, and `LIKE` reach here only through bugs and return errors.
 pub fn to_predicate(pred: &WherePred, table: &Table) -> Result<Predicate> {
     match pred {
-        WherePred::And(l, r) => {
-            Ok(to_predicate(l, table)?.and(to_predicate(r, table)?))
-        }
+        WherePred::And(l, r) => Ok(to_predicate(l, table)?.and(to_predicate(r, table)?)),
         WherePred::Or(_, _) => Err(SqlError::Resolve("disjunction is unsupported".into())),
         WherePred::Not(_) => Err(SqlError::Resolve("negation is unsupported".into())),
         WherePred::Like { .. } => Err(SqlError::Resolve("LIKE is unsupported".into())),
@@ -149,13 +147,8 @@ pub fn to_predicate(pred: &WherePred, table: &Table) -> Result<Predicate> {
                         CmpOp::Eq => Ok(Predicate::cat_in(name, codes)),
                         CmpOp::NotEq => {
                             // Complement within the observed dictionary.
-                            let card = table
-                                .column(name)?
-                                .cardinality()
-                                .unwrap_or(0) as u32;
-                            let all: Vec<u32> = (0..card)
-                                .filter(|c| !codes.contains(c))
-                                .collect();
+                            let card = table.column(name)?.cardinality().unwrap_or(0) as u32;
+                            let all: Vec<u32> = (0..card).filter(|c| !codes.contains(c)).collect();
                             Ok(Predicate::cat_in(name, all))
                         }
                         _ => Err(SqlError::Resolve(format!(
@@ -246,11 +239,7 @@ mod tests {
     #[test]
     fn categorical_equality_and_in() {
         let t = table();
-        let p = to_predicate(
-            &where_of("SELECT AVG(rev) FROM t WHERE region = 'eu'"),
-            &t,
-        )
-        .unwrap();
+        let p = to_predicate(&where_of("SELECT AVG(rev) FROM t WHERE region = 'eu'"), &t).unwrap();
         assert_eq!(p.selected_rows(&t).unwrap(), vec![1]);
         let p = to_predicate(
             &where_of("SELECT AVG(rev) FROM t WHERE region IN ('us', 'jp')"),
@@ -274,11 +263,7 @@ mod tests {
     #[test]
     fn categorical_not_equal_complements() {
         let t = table();
-        let p = to_predicate(
-            &where_of("SELECT AVG(rev) FROM t WHERE region <> 'us'"),
-            &t,
-        )
-        .unwrap();
+        let p = to_predicate(&where_of("SELECT AVG(rev) FROM t WHERE region <> 'us'"), &t).unwrap();
         assert_eq!(p.selected_rows(&t).unwrap(), vec![1, 2]);
     }
 

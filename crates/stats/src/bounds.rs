@@ -38,10 +38,7 @@ mod tests {
 
     #[test]
     fn chebyshev_scales_with_sigma() {
-        assert_eq!(
-            chebyshev_radius(3.0, 0.5),
-            3.0 * chebyshev_radius(1.0, 0.5)
-        );
+        assert_eq!(chebyshev_radius(3.0, 0.5), 3.0 * chebyshev_radius(1.0, 0.5));
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! `erfc`, whose ~1e-7 *relative* error on an already tiny `erfc` keeps the
 //! absolute error of `erf` far below 1e-12.
 
-const TWO_OVER_SQRT_PI: f64 = 1.128_379_167_095_512_6;
+const TWO_OVER_SQRT_PI: f64 = std::f64::consts::FRAC_2_SQRT_PI;
 
 /// The error function `erf(x) = 2/√π ∫₀ˣ e^{-t²} dt`.
 pub fn erf(x: f64) -> f64 {
@@ -98,10 +98,7 @@ mod tests {
     fn matches_reference_table() {
         for &(x, want) in TABLE {
             let got = erf(x);
-            assert!(
-                (got - want).abs() < 1e-10,
-                "erf({x}) = {got}, want {want}"
-            );
+            assert!((got - want).abs() < 1e-10, "erf({x}) = {got}, want {want}");
         }
     }
 

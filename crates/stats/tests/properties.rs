@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 use verdict_stats::describe::correlation;
-use verdict_stats::{
-    erf, erfc, mean, normal_cdf, normal_quantile, percentile, variance, Welford,
-};
+use verdict_stats::{erf, erfc, mean, normal_cdf, normal_quantile, percentile, variance, Welford};
 
 proptest! {
     #[test]

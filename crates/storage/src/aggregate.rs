@@ -163,7 +163,9 @@ mod tests {
     fn avg_over_predicate() {
         let t = table();
         let p = Predicate::between("week", 1.0, 3.0);
-        let v = AggregateFn::Avg(Expr::col("rev")).eval_exact(&t, &p).unwrap();
+        let v = AggregateFn::Avg(Expr::col("rev"))
+            .eval_exact(&t, &p)
+            .unwrap();
         assert_eq!(v, 20.0);
     }
 
@@ -171,8 +173,12 @@ mod tests {
     fn sum_count_freq_relationship() {
         let t = table();
         let p = Predicate::between("week", 2.0, 4.0);
-        let sum = AggregateFn::Sum(Expr::col("rev")).eval_exact(&t, &p).unwrap();
-        let avg = AggregateFn::Avg(Expr::col("rev")).eval_exact(&t, &p).unwrap();
+        let sum = AggregateFn::Sum(Expr::col("rev"))
+            .eval_exact(&t, &p)
+            .unwrap();
+        let avg = AggregateFn::Avg(Expr::col("rev"))
+            .eval_exact(&t, &p)
+            .unwrap();
         let count = AggregateFn::Count.eval_exact(&t, &p).unwrap();
         let freq = AggregateFn::Freq.eval_exact(&t, &p).unwrap();
         assert_eq!(sum, 90.0);
@@ -186,10 +192,17 @@ mod tests {
         let t = table();
         let p = Predicate::between("week", 100.0, 200.0);
         assert_eq!(
-            AggregateFn::Avg(Expr::col("rev")).eval_exact(&t, &p).unwrap(),
+            AggregateFn::Avg(Expr::col("rev"))
+                .eval_exact(&t, &p)
+                .unwrap(),
             0.0
         );
-        assert_eq!(AggregateFn::Sum(Expr::col("rev")).eval_exact(&t, &p).unwrap(), 0.0);
+        assert_eq!(
+            AggregateFn::Sum(Expr::col("rev"))
+                .eval_exact(&t, &p)
+                .unwrap(),
+            0.0
+        );
         assert_eq!(AggregateFn::Count.eval_exact(&t, &p).unwrap(), 0.0);
         assert_eq!(AggregateFn::Freq.eval_exact(&t, &p).unwrap(), 0.0);
     }
@@ -228,7 +241,9 @@ mod tests {
     fn derived_attribute_aggregate() {
         let t = table();
         let doubled = Expr::Mul(Box::new(Expr::col("rev")), Box::new(Expr::Const(2.0)));
-        let v = AggregateFn::Sum(doubled).eval_exact(&t, &Predicate::True).unwrap();
+        let v = AggregateFn::Sum(doubled)
+            .eval_exact(&t, &Predicate::True)
+            .unwrap();
         assert_eq!(v, 200.0);
     }
 

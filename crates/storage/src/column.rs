@@ -37,6 +37,35 @@ impl Column {
         }
     }
 
+    /// Numeric column over the given data (bulk load / persistence).
+    pub fn from_numeric(data: Vec<f64>) -> Self {
+        Column::Numeric(data)
+    }
+
+    /// Categorical column from codes and an optional dictionary (bulk load
+    /// / persistence). The reverse index is rebuilt from `labels`.
+    pub fn from_categorical(codes: Vec<u32>, labels: Vec<String>) -> Self {
+        let index = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l.clone(), i as u32))
+            .collect();
+        Column::Categorical {
+            codes,
+            labels,
+            index,
+        }
+    }
+
+    /// The dictionary labels of a categorical column (`None` for numeric
+    /// columns). Codes without a label are valid and simply not covered.
+    pub fn labels(&self) -> Option<&[String]> {
+        match self {
+            Column::Categorical { labels, .. } => Some(labels),
+            Column::Numeric(_) => None,
+        }
+    }
+
     /// Number of rows.
     pub fn len(&self) -> usize {
         match self {

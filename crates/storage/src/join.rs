@@ -157,11 +157,7 @@ mod tests {
         let (fact, dim) = star();
         let mut fact2 = fact.clone();
         // Second dimension keyed by the same fact column for simplicity.
-        let denorm = denormalize(
-            &fact2,
-            &[(&dim, fk()), (&dim, fk())],
-        )
-        .unwrap();
+        let denorm = denormalize(&fact2, &[(&dim, fk()), (&dim, fk())]).unwrap();
         assert_eq!(denorm.num_rows(), 3);
         // Second join prefixes the clashing "segment" column.
         assert!(denorm.schema().index_of("segment").is_ok());

@@ -370,8 +370,8 @@ mod tests {
 
     #[test]
     fn normal_form_intersects_ranges() {
-        let p = Predicate::greater_than("week", 2.0, true)
-            .and(Predicate::less_than("week", 4.0, true));
+        let p =
+            Predicate::greater_than("week", 2.0, true).and(Predicate::less_than("week", 4.0, true));
         let nf = p.normal_form().unwrap();
         match nf.get("week").unwrap() {
             ColumnConstraint::Range(r) => {
@@ -384,7 +384,8 @@ mod tests {
 
     #[test]
     fn normal_form_intersects_in_sets() {
-        let p = Predicate::cat_in("region", vec![0, 1, 2]).and(Predicate::cat_in("region", vec![1, 2, 3]));
+        let p = Predicate::cat_in("region", vec![0, 1, 2])
+            .and(Predicate::cat_in("region", vec![1, 2, 3]));
         let nf = p.normal_form().unwrap();
         assert_eq!(nf.get("region"), Some(&ColumnConstraint::In(vec![1, 2])));
     }

@@ -180,10 +180,7 @@ mod tests {
 
     #[test]
     fn rejects_duplicate_names() {
-        let r = Schema::new(vec![
-            ColumnDef::measure("x"),
-            ColumnDef::measure("x"),
-        ]);
+        let r = Schema::new(vec![ColumnDef::measure("x"), ColumnDef::measure("x")]);
         assert!(r.is_err());
     }
 

@@ -28,6 +28,46 @@ impl Table {
         }
     }
 
+    /// Assembles a table directly from columns (bulk load / persistence).
+    ///
+    /// The columns must be given in schema order, match each declared
+    /// column type, and all have the same length.
+    pub fn from_columns(schema: Schema, columns: Vec<Column>) -> Result<Table> {
+        if columns.len() != schema.len() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "{} columns given, schema has {}",
+                columns.len(),
+                schema.len()
+            )));
+        }
+        let rows = columns.first().map_or(0, Column::len);
+        for (col, def) in columns.iter().zip(schema.columns()) {
+            let type_ok = matches!(
+                (col, def.ty),
+                (Column::Numeric(_), ColumnType::Numeric)
+                    | (Column::Categorical { .. }, ColumnType::Categorical)
+            );
+            if !type_ok {
+                return Err(StorageError::TypeError(format!(
+                    "column {} does not match its declared type",
+                    def.name
+                )));
+            }
+            if col.len() != rows {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "ragged columns: {} has {} rows, expected {rows}",
+                    def.name,
+                    col.len()
+                )));
+            }
+        }
+        Ok(Table {
+            schema,
+            columns,
+            rows,
+        })
+    }
+
     /// The table schema.
     pub fn schema(&self) -> &Schema {
         &self.schema

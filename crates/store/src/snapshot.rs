@@ -1,0 +1,434 @@
+//! Compacted snapshots (`snapshot-<gen>.vsnap`).
+//!
+//! A snapshot is the non-incremental half of durability: the complete
+//! session — base table, session parameters, and the engine's learned
+//! state including trained models — in one checksummed, atomically
+//! replaced file. Snapshots are written to a temporary file, fsynced, and
+//! renamed into place, so a crash mid-write can never damage an existing
+//! generation.
+
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use verdict_core::persist::{Decoder, Encoder, Persist};
+use verdict_core::{EngineState, VerdictConfig};
+use verdict_storage::Table;
+
+use crate::crc::crc32;
+use crate::tablecodec::{decode_table, encode_table};
+use crate::{Result, StoreError};
+
+/// File magic for snapshots.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"VDBLSNAP";
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Session construction parameters persisted alongside the learned state,
+/// so [`crate::SynopsisStore::open`] can rebuild an identical session —
+/// same sample draw, same batch geometry, same engine configuration —
+/// without the caller re-supplying anything.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionMeta {
+    /// Offline sampling fraction.
+    pub sample_fraction: f64,
+    /// Batch size in sample rows.
+    pub batch_size: u64,
+    /// RNG seed the offline samples were drawn with.
+    pub seed: u64,
+    /// Number of independent offline samples.
+    pub num_samples: u64,
+    /// Engine configuration.
+    pub config: VerdictConfig,
+}
+
+impl Persist for SessionMeta {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(self.sample_fraction);
+        enc.put_u64(self.batch_size);
+        enc.put_u64(self.seed);
+        enc.put_u64(self.num_samples);
+        self.config.encode(enc);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> verdict_core::persist::PersistResult<SessionMeta> {
+        Ok(SessionMeta {
+            sample_fraction: dec.take_f64()?,
+            batch_size: dec.take_u64()?,
+            seed: dec.take_u64()?,
+            num_samples: dec.take_u64()?,
+            config: VerdictConfig::decode(dec)?,
+        })
+    }
+}
+
+/// A fully decoded snapshot.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Highest log sequence number folded into this snapshot.
+    pub last_seq: u64,
+    /// Session construction parameters.
+    pub meta: SessionMeta,
+    /// Fingerprint of the store's (write-once) table file; binds the
+    /// snapshot to the base table it was learned from.
+    pub table_fp: u64,
+    /// The engine's learned state.
+    pub state: EngineState,
+}
+
+fn encode_snapshot_body(meta: &SessionMeta, table_fp: u64, state_bytes: &[u8]) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    meta.encode(&mut enc);
+    enc.put_u64(table_fp);
+    enc.put_bytes(state_bytes);
+    enc.into_bytes()
+}
+
+impl Snapshot {
+    fn decode_body(last_seq: u64, body: &[u8]) -> Result<Snapshot> {
+        let mut dec = Decoder::new(body);
+        let meta = SessionMeta::decode(&mut dec)?;
+        let table_fp = dec.take_u64()?;
+        let state = EngineState::decode(&mut dec)?;
+        if !dec.is_exhausted() {
+            return Err(StoreError::Corrupt(format!(
+                "{} trailing bytes in snapshot body",
+                dec.remaining()
+            )));
+        }
+        Ok(Snapshot {
+            last_seq,
+            meta,
+            table_fp,
+            state,
+        })
+    }
+}
+
+/// File magic for the write-once base-table file.
+pub const TABLE_MAGIC: [u8; 8] = *b"VDBLTABL";
+/// Current table-file format version.
+pub const TABLE_VERSION: u32 = 1;
+/// The table file's name inside a store directory.
+pub const TABLE_FILE: &str = "table.vtab";
+
+/// Fsyncs a directory so a preceding `rename` inside it is durable (on
+/// POSIX, rename durability requires syncing the parent directory, not
+/// just the file). Best-effort on platforms where directories cannot be
+/// opened for sync.
+pub fn sync_dir(dir: &Path) -> Result<()> {
+    match File::open(dir) {
+        Ok(d) => {
+            // Windows cannot fsync directories; treat that as best-effort.
+            let _ = d.sync_all();
+            Ok(())
+        }
+        Err(e) => Err(StoreError::Io(e)),
+    }
+}
+
+/// Writes the base table once at store creation (atomic: temp + fsync +
+/// rename + directory fsync). The table is immutable for the life of the
+/// store, so snapshots carry only its fingerprint and compaction never
+/// rewrites the (potentially large) data again.
+pub fn write_table_file(dir: &Path, table: &Table) -> Result<u64> {
+    let mut enc = Encoder::new();
+    encode_table(table, &mut enc);
+    let body = enc.into_bytes();
+    let fp = verdict_core::persist::fingerprint_bytes(&body);
+    let mut bytes = Vec::with_capacity(24 + body.len());
+    bytes.extend_from_slice(&TABLE_MAGIC);
+    bytes.extend_from_slice(&TABLE_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+    bytes.extend_from_slice(&body);
+    let final_path = dir.join(TABLE_FILE);
+    let tmp_path = dir.join("table.vtab.tmp");
+    {
+        let mut f = File::create(&tmp_path)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp_path, &final_path)?;
+    sync_dir(dir)?;
+    Ok(fp)
+}
+
+/// Reads and validates the store's base-table file, returning the table
+/// and its fingerprint.
+pub fn read_table_file(dir: &Path) -> Result<(Table, u64)> {
+    let path = dir.join(TABLE_FILE);
+    let mut bytes = Vec::new();
+    File::open(&path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < 24 {
+        return Err(StoreError::Corrupt("table file shorter than header".into()));
+    }
+    if bytes[..8] != TABLE_MAGIC {
+        return Err(StoreError::Corrupt("bad table-file magic".into()));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != TABLE_VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "unsupported table-file version {version}"
+        )));
+    }
+    let body_len = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let body_crc = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+    let body = bytes
+        .get(24..24 + body_len as usize)
+        .ok_or_else(|| StoreError::Corrupt("table file truncated".into()))?;
+    if bytes.len() as u64 != 24 + body_len {
+        return Err(StoreError::Corrupt("table file trailing bytes".into()));
+    }
+    if crc32(body) != body_crc {
+        return Err(StoreError::Corrupt("table file checksum mismatch".into()));
+    }
+    let mut dec = Decoder::new(body);
+    let table = decode_table(&mut dec)?;
+    if !dec.is_exhausted() {
+        return Err(StoreError::Corrupt("table file trailing body bytes".into()));
+    }
+    Ok((table, verdict_core::persist::fingerprint_bytes(body)))
+}
+
+/// Path of generation `gen` inside `dir`.
+pub fn snapshot_path(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(format!("snapshot-{gen:010}.vsnap"))
+}
+
+/// Parses a generation number out of a snapshot file name.
+pub fn parse_generation(name: &str) -> Option<u64> {
+    name.strip_prefix("snapshot-")?
+        .strip_suffix(".vsnap")?
+        .parse()
+        .ok()
+}
+
+/// Writes a snapshot as generation `gen` in `dir`, atomically (temp +
+/// fsync + rename + directory fsync). `state_bytes` is a pre-encoded
+/// [`EngineState`] (see `Verdict::state_bytes`), so large states are
+/// neither cloned nor re-encoded on the way in.
+pub fn write_snapshot(
+    dir: &Path,
+    gen: u64,
+    last_seq: u64,
+    meta: &SessionMeta,
+    table_fp: u64,
+    state_bytes: &[u8],
+) -> Result<PathBuf> {
+    let body = encode_snapshot_body(meta, table_fp, state_bytes);
+    let mut bytes = Vec::with_capacity(32 + body.len());
+    bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+    bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&last_seq.to_le_bytes());
+    bytes.extend_from_slice(&(body.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&crc32(&body).to_le_bytes());
+    bytes.extend_from_slice(&body);
+
+    let final_path = snapshot_path(dir, gen);
+    let tmp_path = final_path.with_extension("vsnap.tmp");
+    {
+        let mut f = File::create(&tmp_path)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp_path, &final_path)?;
+    // Without this, a crash can roll back the rename while the log
+    // truncation that follows it survives — losing folded records.
+    sync_dir(dir)?;
+    Ok(final_path)
+}
+
+/// Reads and validates one snapshot file.
+pub fn read_snapshot(path: &Path) -> Result<Snapshot> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    if bytes.len() < 32 {
+        return Err(StoreError::Corrupt("snapshot shorter than header".into()));
+    }
+    if bytes[..8] != SNAPSHOT_MAGIC {
+        return Err(StoreError::Corrupt("bad snapshot magic".into()));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != SNAPSHOT_VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "unsupported snapshot version {version}"
+        )));
+    }
+    let last_seq = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
+    let body_len = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
+    let body_crc = u32::from_le_bytes(bytes[28..32].try_into().unwrap());
+    let body = bytes
+        .get(32..32 + body_len as usize)
+        .ok_or_else(|| StoreError::Corrupt("snapshot body truncated".into()))?;
+    if bytes.len() as u64 != 32 + body_len {
+        return Err(StoreError::Corrupt("snapshot trailing bytes".into()));
+    }
+    if crc32(body) != body_crc {
+        return Err(StoreError::Corrupt("snapshot checksum mismatch".into()));
+    }
+    Snapshot::decode_body(last_seq, body)
+}
+
+/// All snapshot generations present in `dir`, ascending.
+pub fn list_generations(dir: &Path) -> Result<Vec<u64>> {
+    let mut gens = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(gen) = entry.file_name().to_str().and_then(parse_generation) {
+            gens.push(gen);
+        }
+    }
+    gens.sort_unstable();
+    Ok(gens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verdict_core::region::{DimensionSpec, SchemaInfo};
+    use verdict_core::{Verdict, VerdictConfig};
+    use verdict_storage::{ColumnDef, Schema, Value};
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("verdict-snap-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::numeric_dimension("t"),
+            ColumnDef::measure("v"),
+        ])
+        .unwrap();
+        let mut table = Table::new(schema);
+        for i in 0..50 {
+            table
+                .push_row(vec![Value::Num(i as f64), Value::Num(i as f64 * 3.0)])
+                .unwrap();
+        }
+        table
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        let info = SchemaInfo::new(vec![DimensionSpec::numeric("t", 0.0, 49.0)]).unwrap();
+        let engine = Verdict::new(info, VerdictConfig::default());
+        Snapshot {
+            last_seq: 17,
+            meta: SessionMeta {
+                sample_fraction: 0.1,
+                batch_size: 500,
+                seed: 9,
+                num_samples: 1,
+                config: VerdictConfig::default(),
+            },
+            table_fp: 0xDEAD_BEEF_F00D_CAFE,
+            state: engine.export_state(),
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let dir = tempdir("roundtrip");
+        let snap = sample_snapshot();
+        write_snapshot(
+            &dir,
+            3,
+            snap.last_seq,
+            &snap.meta,
+            snap.table_fp,
+            &snap.state.to_bytes(),
+        )
+        .unwrap();
+        let back = read_snapshot(&snapshot_path(&dir, 3)).unwrap();
+        assert_eq!(back.last_seq, 17);
+        assert_eq!(back.meta, snap.meta);
+        assert_eq!(back.table_fp, snap.table_fp);
+        assert_eq!(back.state.to_bytes(), snap.state.to_bytes());
+    }
+
+    #[test]
+    fn table_file_roundtrip_and_validation() {
+        let dir = tempdir("tablefile");
+        let table = sample_table();
+        let fp = write_table_file(&dir, &table).unwrap();
+        let (back, fp2) = read_table_file(&dir).unwrap();
+        assert_eq!(fp, fp2);
+        assert_eq!(back.num_rows(), 50);
+        assert_eq!(
+            back.column("v").unwrap().numeric().unwrap(),
+            table.column("v").unwrap().numeric().unwrap()
+        );
+        // Corruption is detected.
+        let path = dir.join(TABLE_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_table_file(&dir), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn corrupt_snapshot_detected() {
+        let dir = tempdir("corrupt");
+        let snap = sample_snapshot();
+        let path = write_snapshot(
+            &dir,
+            1,
+            snap.last_seq,
+            &snap.meta,
+            snap.table_fp,
+            &snap.state.to_bytes(),
+        )
+        .unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(read_snapshot(&path), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn truncated_snapshot_detected() {
+        let dir = tempdir("trunc");
+        let snap = sample_snapshot();
+        let path = write_snapshot(
+            &dir,
+            1,
+            snap.last_seq,
+            &snap.meta,
+            snap.table_fp,
+            &snap.state.to_bytes(),
+        )
+        .unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in [0, 8, 31, bytes.len() / 2, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(read_snapshot(&path).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn generation_listing_and_parsing() {
+        let dir = tempdir("gens");
+        let snap = sample_snapshot();
+        for gen in [2, 0, 7] {
+            write_snapshot(
+                &dir,
+                gen,
+                snap.last_seq,
+                &snap.meta,
+                snap.table_fp,
+                &snap.state.to_bytes(),
+            )
+            .unwrap();
+        }
+        std::fs::write(dir.join("unrelated.txt"), b"x").unwrap();
+        assert_eq!(list_generations(&dir).unwrap(), vec![0, 2, 7]);
+        assert_eq!(parse_generation("snapshot-0000000042.vsnap"), Some(42));
+        assert_eq!(parse_generation("snapshot-x.vsnap"), None);
+        assert_eq!(parse_generation("wal.vlog"), None);
+    }
+}

@@ -1,0 +1,741 @@
+//! The [`SynopsisStore`]: log + snapshots under one directory, with
+//! crash-safe recovery and a compaction policy.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use verdict_core::persist::{fingerprint, Persist};
+use verdict_core::snippet::{AggKey, Observation};
+use verdict_core::synopsis::QuerySynopsis;
+use verdict_core::{EngineState, Region, SnippetObserver};
+use verdict_storage::Table;
+
+use crate::log::{LogRecord, SnippetLog};
+use crate::snapshot::{
+    list_generations, read_snapshot, read_table_file, snapshot_path, write_snapshot,
+    write_table_file, SessionMeta, Snapshot,
+};
+use crate::{Result, StoreError};
+
+/// When and how the store compacts the log into a fresh snapshot.
+#[derive(Debug, Clone)]
+pub struct StorePolicy {
+    /// Compact once this many records accumulate in the log.
+    pub compact_after_records: u64,
+    /// Compact once the log grows past this many bytes.
+    pub compact_after_bytes: u64,
+    /// Snapshot generations retained after compaction (≥ 1); older ones
+    /// are deleted.
+    pub keep_generations: usize,
+    /// Fsync the log after every append (durability over throughput).
+    pub sync_appends: bool,
+}
+
+impl Default for StorePolicy {
+    fn default() -> Self {
+        StorePolicy {
+            compact_after_records: 1024,
+            compact_after_bytes: 1 << 20,
+            keep_generations: 2,
+            sync_appends: false,
+        }
+    }
+}
+
+/// What [`SynopsisStore::open`] recovered.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Session construction parameters from the snapshot.
+    pub meta: SessionMeta,
+    /// The base table from the snapshot.
+    pub table: Table,
+    /// Learned state: snapshot state with surviving log records replayed.
+    pub state: EngineState,
+    /// Forensics of the recovery.
+    pub report: RecoveryReport,
+}
+
+/// Details of one recovery pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Generation of the snapshot that was loaded.
+    pub snapshot_gen: u64,
+    /// Sequence number the snapshot had folded up to.
+    pub snapshot_last_seq: u64,
+    /// Log records replayed on top of the snapshot.
+    pub records_replayed: u64,
+    /// Log records skipped because the snapshot already contained them.
+    pub records_already_folded: u64,
+    /// Torn/corrupt log bytes truncated away.
+    pub torn_bytes: u64,
+    /// Newer snapshot generations that failed validation and were skipped.
+    pub skipped_generations: Vec<u64>,
+}
+
+/// A durable synopsis store rooted at one directory.
+#[derive(Debug)]
+pub struct SynopsisStore {
+    dir: PathBuf,
+    policy: StorePolicy,
+    log: SnippetLog,
+    next_seq: u64,
+    current_gen: u64,
+    schema_fp: u64,
+    table_fp: u64,
+    sticky_error: Option<StoreError>,
+    /// Advisory single-writer lock on `LOCK`, held for the store's
+    /// lifetime. The OS releases it when the process dies, so a crashed
+    /// writer never wedges the store.
+    _lock: std::fs::File,
+}
+
+impl SynopsisStore {
+    /// Whether `dir` already contains a store (any snapshot generation).
+    pub fn exists(dir: &Path) -> bool {
+        dir.is_dir()
+            && list_generations(dir)
+                .map(|g| !g.is_empty())
+                .unwrap_or(false)
+    }
+
+    /// Takes the store's exclusive writer lock. Two live sessions
+    /// appending to one log would overwrite each other's records (each
+    /// file handle tracks its own offset), so a second writer is refused
+    /// up front.
+    fn acquire_lock(dir: &Path) -> Result<std::fs::File> {
+        let lock = std::fs::OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(false)
+            .open(dir.join("LOCK"))?;
+        match lock.try_lock() {
+            Ok(()) => Ok(lock),
+            Err(std::fs::TryLockError::WouldBlock) => Err(StoreError::Mismatch(format!(
+                "the store in {} is locked by another live session",
+                dir.display()
+            ))),
+            Err(std::fs::TryLockError::Error(e)) => Err(StoreError::Io(e)),
+        }
+    }
+
+    /// Creates a fresh store in `dir` (created if missing) and writes the
+    /// initial snapshot. Fails if a store already exists there — reopen
+    /// with [`SynopsisStore::open`] instead.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        policy: StorePolicy,
+        meta: SessionMeta,
+        table: &Table,
+        state: &EngineState,
+    ) -> Result<SynopsisStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        if SynopsisStore::exists(&dir) {
+            return Err(StoreError::Mismatch(format!(
+                "a synopsis store already exists in {}; open it instead",
+                dir.display()
+            )));
+        }
+        // Even without snapshots, leftover store files mean this is the
+        // remains of an earlier store (e.g. snapshots deleted by hand);
+        // creating here would truncate a log that may hold live records.
+        for leftover in ["wal.vlog", crate::snapshot::TABLE_FILE] {
+            if dir.join(leftover).exists() {
+                return Err(StoreError::Mismatch(format!(
+                    "{} contains a leftover {leftover} but no snapshot; refusing to \
+                     overwrite it — move the file away or choose a fresh directory",
+                    dir.display()
+                )));
+            }
+        }
+        let lock = SynopsisStore::acquire_lock(&dir)?;
+        // The base table is immutable for the life of the store: written
+        // once here, fingerprinted into every snapshot, never rewritten
+        // by compaction.
+        let table_fp = write_table_file(&dir, table)?;
+        let schema_fp = fingerprint(&state.schema);
+        write_snapshot(&dir, 0, 0, &meta, table_fp, &state.to_bytes())?;
+        let log = SnippetLog::create(dir.join("wal.vlog"))?;
+        Ok(SynopsisStore {
+            dir,
+            policy,
+            log,
+            next_seq: 1,
+            current_gen: 0,
+            schema_fp,
+            table_fp,
+            sticky_error: None,
+            _lock: lock,
+        })
+    }
+
+    /// Opens an existing store: loads the newest valid snapshot (falling
+    /// back across corrupt generations), truncates the log's torn tail,
+    /// and replays surviving records into the returned state.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        policy: StorePolicy,
+    ) -> Result<(SynopsisStore, Recovered)> {
+        let dir = dir.into();
+        // Lock FIRST: selecting a snapshot while another writer is live
+        // could recover stale state (the writer may compact, prune the
+        // generation we just read, and truncate the log under us).
+        let lock = SynopsisStore::acquire_lock(&dir)?;
+        let mut gens = list_generations(&dir)?;
+        if gens.is_empty() {
+            return Err(StoreError::NotFound(format!(
+                "no snapshot in {}",
+                dir.display()
+            )));
+        }
+        gens.reverse();
+        let mut skipped = Vec::new();
+        let mut loaded = None;
+        for &gen in &gens {
+            match read_snapshot(&snapshot_path(&dir, gen)) {
+                Ok(snapshot) => {
+                    loaded = Some((gen, snapshot));
+                    break;
+                }
+                Err(_) => skipped.push(gen),
+            }
+        }
+        let Some((gen, snapshot)) = loaded else {
+            return Err(StoreError::Corrupt(format!(
+                "all {} snapshot generations in {} are corrupt",
+                gens.len(),
+                dir.display()
+            )));
+        };
+
+        let (table, table_fp) = read_table_file(&dir)?;
+        if snapshot.table_fp != table_fp {
+            return Err(StoreError::Mismatch(format!(
+                "snapshot generation {gen} was written against a different base table \
+                 (fingerprint {:#x} vs table file {:#x})",
+                snapshot.table_fp, table_fp
+            )));
+        }
+        let (log, scan) = SnippetLog::open(dir.join("wal.vlog"))?;
+        let Snapshot {
+            last_seq,
+            meta,
+            table_fp: _,
+            mut state,
+        } = snapshot;
+
+        // Replay records the snapshot has not folded yet. Replay mirrors
+        // `Verdict::observe`: same `record` semantics, same counter.
+        let mut replayed = 0u64;
+        let mut already_folded = 0u64;
+        let mut max_seq = last_seq;
+        for record in &scan.records {
+            max_seq = max_seq.max(record.seq);
+            if record.seq <= last_seq {
+                already_folded += 1;
+                continue;
+            }
+            apply_record(&mut state, &meta, record);
+            replayed += 1;
+        }
+
+        let report = RecoveryReport {
+            snapshot_gen: gen,
+            snapshot_last_seq: last_seq,
+            records_replayed: replayed,
+            records_already_folded: already_folded,
+            torn_bytes: scan.torn_bytes,
+            skipped_generations: skipped,
+        };
+        let store = SynopsisStore {
+            dir,
+            policy,
+            log,
+            next_seq: max_seq + 1,
+            current_gen: gen,
+            schema_fp: fingerprint(&state.schema),
+            table_fp,
+            sticky_error: None,
+            _lock: lock,
+        };
+        Ok((
+            store,
+            Recovered {
+                meta,
+                table,
+                state,
+                report,
+            },
+        ))
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The active snapshot generation.
+    pub fn current_generation(&self) -> u64 {
+        self.current_gen
+    }
+
+    /// The sequence number the next append will use.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The compaction policy.
+    pub fn policy(&self) -> &StorePolicy {
+        &self.policy
+    }
+
+    /// Replaces the compaction/durability policy (e.g. to apply a
+    /// builder override after [`SynopsisStore::open`]).
+    pub fn set_policy(&mut self, policy: StorePolicy) {
+        self.policy = policy;
+    }
+
+    /// Appends one snippet observation to the log, returning its sequence
+    /// number.
+    pub fn append_snippet(
+        &mut self,
+        key: &AggKey,
+        region: &Region,
+        observation: Observation,
+    ) -> Result<u64> {
+        let seq = self.next_seq;
+        let record = LogRecord {
+            seq,
+            key: key.clone(),
+            region: region.clone(),
+            observation,
+        };
+        self.log.append(&record)?;
+        if self.policy.sync_appends {
+            self.log.sync()?;
+        }
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Whether the compaction policy asks for a snapshot now.
+    pub fn needs_compaction(&self) -> bool {
+        self.log.appended_since_reset() >= self.policy.compact_after_records
+            || self.log.len_bytes() >= self.policy.compact_after_bytes
+    }
+
+    /// Writes a new snapshot generation folding everything appended so
+    /// far, truncates the log, and prunes old generations per policy.
+    ///
+    /// Snapshots carry only session metadata and learned state — the
+    /// (potentially large, immutable) base table lives in its own
+    /// write-once file, so compaction cost scales with the synopsis, not
+    /// the data.
+    pub fn snapshot(&mut self, meta: SessionMeta, state: &EngineState) -> Result<u64> {
+        self.snapshot_encoded(meta, fingerprint(&state.schema), &state.to_bytes())
+    }
+
+    /// Like [`SynopsisStore::snapshot`], but for a pre-encoded state (see
+    /// `Verdict::state_bytes`) — the checkpoint path uses this to avoid
+    /// deep-cloning the learned state just to serialize it.
+    pub fn snapshot_encoded(
+        &mut self,
+        meta: SessionMeta,
+        schema_fp: u64,
+        state_bytes: &[u8],
+    ) -> Result<u64> {
+        if schema_fp != self.schema_fp {
+            return Err(StoreError::Mismatch(
+                "snapshot state schema differs from the store's schema".into(),
+            ));
+        }
+        let gen = self.current_gen + 1;
+        write_snapshot(
+            &self.dir,
+            gen,
+            self.next_seq - 1,
+            &meta,
+            self.table_fp,
+            state_bytes,
+        )?;
+        self.current_gen = gen;
+        // The snapshot now covers every logged record; a crash past this
+        // point replays nothing (seq <= last_seq), so truncating the log
+        // is safe whether or not it completes.
+        self.log.reset()?;
+        self.prune_generations()?;
+        Ok(gen)
+    }
+
+    fn prune_generations(&self) -> Result<()> {
+        let gens = list_generations(&self.dir)?;
+        let keep = self.policy.keep_generations.max(1);
+        if gens.len() <= keep {
+            return Ok(());
+        }
+        for &gen in &gens[..gens.len() - keep] {
+            // Best-effort: a surviving stale generation is harmless.
+            let _ = std::fs::remove_file(snapshot_path(&self.dir, gen));
+        }
+        Ok(())
+    }
+
+    /// Durably syncs the log (fsync).
+    pub fn sync(&mut self) -> Result<()> {
+        self.log.sync()
+    }
+
+    /// Takes the first error a background append hit, if any. The
+    /// [`SnippetObserver`] interface cannot surface errors at the call
+    /// site, so failures park here for the session's next checkpoint.
+    pub fn take_error(&mut self) -> Option<StoreError> {
+        self.sticky_error.take()
+    }
+
+    /// Parks an error for later surfacing (first error wins). Used by the
+    /// observer hook and by callers that must not fail the operation in
+    /// flight (e.g. compaction piggybacked on a query).
+    pub fn park_error(&mut self, e: StoreError) {
+        self.sticky_error.get_or_insert(e);
+    }
+}
+
+/// Applies one log record to an [`EngineState`], mirroring
+/// `Verdict::observe` (same dedupe/LRU semantics, same counter).
+fn apply_record(state: &mut EngineState, meta: &SessionMeta, record: &LogRecord) {
+    let synopsis = match state.synopses.iter_mut().find(|(k, _)| k == &record.key) {
+        Some((_, s)) => s,
+        None => {
+            state.synopses.push((
+                record.key.clone(),
+                QuerySynopsis::new(meta.config.synopsis_capacity),
+            ));
+            state.synopses.sort_by(|(a, _), (b, _)| a.cmp(b));
+            &mut state
+                .synopses
+                .iter_mut()
+                .find(|(k, _)| k == &record.key)
+                .expect("just inserted")
+                .1
+        }
+    };
+    synopsis.record(record.region.clone(), record.observation);
+    state.stats.observed += 1;
+}
+
+/// Clonable, thread-safe handle to a [`SynopsisStore`], used to share the
+/// store between a session (checkpoints) and the engine's append hook.
+#[derive(Debug, Clone)]
+pub struct SharedStore {
+    inner: Arc<Mutex<SynopsisStore>>,
+}
+
+impl SharedStore {
+    /// Wraps a store.
+    pub fn new(store: SynopsisStore) -> SharedStore {
+        SharedStore {
+            inner: Arc::new(Mutex::new(store)),
+        }
+    }
+
+    /// Locks the store (poisoning is absorbed: the store's own state is
+    /// always consistent at rest).
+    pub fn lock(&self) -> MutexGuard<'_, SynopsisStore> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// An engine hook that appends every observed snippet to this store's
+    /// log.
+    pub fn observer(&self) -> Box<dyn SnippetObserver + Send> {
+        Box::new(LogObserver {
+            store: self.clone(),
+        })
+    }
+}
+
+struct LogObserver {
+    store: SharedStore,
+}
+
+impl SnippetObserver for LogObserver {
+    fn on_snippet_appended(&mut self, key: &AggKey, region: &Region, obs: Observation) {
+        let mut store = self.store.lock();
+        if let Err(e) = store.append_snippet(key, region, obs) {
+            store.park_error(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verdict_core::region::{DimensionSpec, SchemaInfo};
+    use verdict_core::{Persist, Snippet, Verdict, VerdictConfig};
+    use verdict_storage::{ColumnDef, Predicate, Schema, Value};
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("verdict-store-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn schema_info() -> SchemaInfo {
+        SchemaInfo::new(vec![DimensionSpec::numeric("t", 0.0, 100.0)]).unwrap()
+    }
+
+    fn small_table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::numeric_dimension("t"),
+            ColumnDef::measure("v"),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..20 {
+            t.push_row(vec![Value::Num(i as f64), Value::Num(1.0)])
+                .unwrap();
+        }
+        t
+    }
+
+    fn meta() -> SessionMeta {
+        SessionMeta {
+            sample_fraction: 0.1,
+            batch_size: 100,
+            seed: 1,
+            num_samples: 1,
+            config: VerdictConfig::default(),
+        }
+    }
+
+    fn region(lo: f64, hi: f64) -> Region {
+        Region::from_predicate(&schema_info(), &Predicate::between("t", lo, hi)).unwrap()
+    }
+
+    fn fresh_store(name: &str) -> (PathBuf, SynopsisStore) {
+        let dir = tempdir(name);
+        let engine = Verdict::new(schema_info(), VerdictConfig::default());
+        let store = SynopsisStore::create(
+            &dir,
+            StorePolicy::default(),
+            meta(),
+            &small_table(),
+            &engine.export_state(),
+        )
+        .unwrap();
+        (dir, store)
+    }
+
+    #[test]
+    fn create_then_open_replays_log() {
+        let (dir, mut store) = fresh_store("replay");
+        for i in 0..6 {
+            store
+                .append_snippet(
+                    &AggKey::avg("v"),
+                    &region(i as f64 * 10.0, i as f64 * 10.0 + 10.0),
+                    Observation::new(i as f64, 0.3),
+                )
+                .unwrap();
+        }
+        drop(store);
+        let (store, recovered) = SynopsisStore::open(&dir, StorePolicy::default()).unwrap();
+        assert_eq!(recovered.report.records_replayed, 6);
+        assert_eq!(recovered.report.torn_bytes, 0);
+        assert_eq!(recovered.state.stats.observed, 6);
+        let (_, synopsis) = &recovered.state.synopses[0];
+        assert_eq!(synopsis.len(), 6);
+        assert_eq!(store.next_seq(), 7);
+    }
+
+    #[test]
+    fn create_twice_refused() {
+        let (dir, store) = fresh_store("twice");
+        drop(store);
+        let engine = Verdict::new(schema_info(), VerdictConfig::default());
+        let err = SynopsisStore::create(
+            &dir,
+            StorePolicy::default(),
+            meta(),
+            &small_table(),
+            &engine.export_state(),
+        );
+        assert!(matches!(err, Err(StoreError::Mismatch(_))));
+    }
+
+    #[test]
+    fn snapshot_folds_log_and_prunes() {
+        let (dir, mut store) = fresh_store("fold");
+        let mut engine = Verdict::new(schema_info(), VerdictConfig::default());
+        for i in 0..5 {
+            let r = region(i as f64 * 10.0, i as f64 * 10.0 + 8.0);
+            let obs = Observation::new(10.0 + i as f64, 0.2);
+            engine.observe(&Snippet::new(AggKey::avg("v"), r.clone()), obs);
+            store.append_snippet(&AggKey::avg("v"), &r, obs).unwrap();
+        }
+        let gen = store.snapshot(meta(), &engine.export_state()).unwrap();
+        assert_eq!(gen, 1);
+        // Two more appends after the snapshot.
+        for i in 5..7 {
+            let r = region(i as f64 * 10.0, i as f64 * 10.0 + 8.0);
+            let obs = Observation::new(10.0 + i as f64, 0.2);
+            engine.observe(&Snippet::new(AggKey::avg("v"), r.clone()), obs);
+            store.append_snippet(&AggKey::avg("v"), &r, obs).unwrap();
+        }
+        drop(store);
+        let (_, recovered) = SynopsisStore::open(&dir, StorePolicy::default()).unwrap();
+        assert_eq!(recovered.report.snapshot_gen, 1);
+        assert_eq!(recovered.report.snapshot_last_seq, 5);
+        assert_eq!(recovered.report.records_replayed, 2);
+        let (_, synopsis) = &recovered.state.synopses[0];
+        assert_eq!(synopsis.len(), 7);
+        // Recovered state matches the live engine bit-for-bit.
+        assert_eq!(recovered.state.to_bytes(), engine.export_state().to_bytes());
+    }
+
+    #[test]
+    fn stale_log_records_not_double_applied() {
+        // Crash between snapshot write and log reset: simulate by writing
+        // a snapshot that already folds the log, then re-appending the log
+        // bytes from before the reset.
+        let (dir, mut store) = fresh_store("double");
+        let mut engine = Verdict::new(schema_info(), VerdictConfig::default());
+        let r = region(0.0, 10.0);
+        let obs = Observation::new(5.0, 0.2);
+        engine.observe(&Snippet::new(AggKey::avg("v"), r.clone()), obs);
+        store.append_snippet(&AggKey::avg("v"), &r, obs).unwrap();
+        let log_before = std::fs::read(dir.join("wal.vlog")).unwrap();
+        store.snapshot(meta(), &engine.export_state()).unwrap();
+        drop(store);
+        // Put the pre-snapshot log back: its single record has seq 1,
+        // which the snapshot's last_seq already covers.
+        std::fs::write(dir.join("wal.vlog"), &log_before).unwrap();
+        let (_, recovered) = SynopsisStore::open(&dir, StorePolicy::default()).unwrap();
+        assert_eq!(recovered.report.records_already_folded, 1);
+        assert_eq!(recovered.report.records_replayed, 0);
+        assert_eq!(recovered.state.stats.observed, 1);
+    }
+
+    #[test]
+    fn corrupt_newest_generation_falls_back() {
+        let (dir, mut store) = fresh_store("fallback");
+        let engine = Verdict::new(schema_info(), VerdictConfig::default());
+        store.snapshot(meta(), &engine.export_state()).unwrap();
+        drop(store);
+        // Corrupt generation 1; generation 0 must still load.
+        let path = snapshot_path(&dir, 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        let (_, recovered) = SynopsisStore::open(&dir, StorePolicy::default()).unwrap();
+        assert_eq!(recovered.report.snapshot_gen, 0);
+        assert_eq!(recovered.report.skipped_generations, vec![1]);
+    }
+
+    #[test]
+    fn compaction_trigger_by_records() {
+        let dir = tempdir("trigger");
+        let engine = Verdict::new(schema_info(), VerdictConfig::default());
+        let policy = StorePolicy {
+            compact_after_records: 3,
+            ..Default::default()
+        };
+        let mut store =
+            SynopsisStore::create(&dir, policy, meta(), &small_table(), &engine.export_state())
+                .unwrap();
+        assert!(!store.needs_compaction());
+        for i in 0..3 {
+            store
+                .append_snippet(
+                    &AggKey::Freq,
+                    &region(0.0, i as f64),
+                    Observation::new(0.1, 0.01),
+                )
+                .unwrap();
+        }
+        assert!(store.needs_compaction());
+        store.snapshot(meta(), &engine.export_state()).unwrap();
+        assert!(!store.needs_compaction());
+    }
+
+    #[test]
+    fn observer_appends_through_engine() {
+        let (dir, store) = fresh_store("observer");
+        let shared = SharedStore::new(store);
+        let mut engine = Verdict::new(schema_info(), VerdictConfig::default());
+        engine.set_observer(shared.observer());
+        for i in 0..4 {
+            engine.observe(
+                &Snippet::new(AggKey::avg("v"), region(i as f64, i as f64 + 1.0)),
+                Observation::new(i as f64, 0.5),
+            );
+        }
+        assert_eq!(shared.lock().next_seq(), 5);
+        drop(engine);
+        drop(shared);
+        let (_, recovered) = SynopsisStore::open(&dir, StorePolicy::default()).unwrap();
+        assert_eq!(recovered.report.records_replayed, 4);
+    }
+
+    #[test]
+    fn schema_mismatch_on_snapshot_refused() {
+        let (_dir, mut store) = fresh_store("mismatch");
+        let other = SchemaInfo::new(vec![DimensionSpec::numeric("x", 0.0, 1.0)]).unwrap();
+        let engine = Verdict::new(other, VerdictConfig::default());
+        let err = store.snapshot(meta(), &engine.export_state());
+        assert!(matches!(err, Err(StoreError::Mismatch(_))));
+    }
+
+    #[test]
+    fn create_refuses_leftover_wal_without_snapshots() {
+        // A dir whose snapshots were deleted but whose log survives must
+        // not be silently re-initialized (the log may hold live records).
+        let (dir, mut store) = fresh_store("leftover");
+        store
+            .append_snippet(
+                &AggKey::Freq,
+                &region(0.0, 1.0),
+                Observation::new(0.1, 0.01),
+            )
+            .unwrap();
+        drop(store);
+        for gen in list_generations(&dir).unwrap() {
+            std::fs::remove_file(snapshot_path(&dir, gen)).unwrap();
+        }
+        let engine = Verdict::new(schema_info(), VerdictConfig::default());
+        let err = SynopsisStore::create(
+            &dir,
+            StorePolicy::default(),
+            meta(),
+            &small_table(),
+            &engine.export_state(),
+        );
+        assert!(matches!(err, Err(StoreError::Mismatch(_))), "{err:?}");
+        // The log was not touched.
+        let (_, scan) = SnippetLog::open(dir.join("wal.vlog")).unwrap();
+        assert_eq!(scan.records.len(), 1);
+    }
+
+    #[test]
+    fn second_live_writer_refused() {
+        let (dir, store) = fresh_store("lock");
+        // A concurrent open while the first store is alive must fail:
+        // two writers would overwrite each other's log records.
+        let err = SynopsisStore::open(&dir, StorePolicy::default());
+        assert!(matches!(err, Err(StoreError::Mismatch(_))), "{err:?}");
+        drop(store);
+        // After the first writer is gone, the store opens normally.
+        assert!(SynopsisStore::open(&dir, StorePolicy::default()).is_ok());
+    }
+
+    #[test]
+    fn open_missing_dir_errors() {
+        let dir = tempdir("missing");
+        assert!(matches!(
+            SynopsisStore::open(&dir, StorePolicy::default()),
+            Err(StoreError::Io(_) | StoreError::NotFound(_))
+        ));
+    }
+}

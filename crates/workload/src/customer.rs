@@ -68,7 +68,9 @@ pub fn generate_table<R: Rng>(rows: usize, rng: &mut R) -> Table {
         let channel = CHANNELS[rng.gen_range(0..CHANNELS.len())];
         let status = STATUSES[rng.gen_range(0..STATUSES.len())];
         let x = (week - wlo) / (whi - wlo) * 10.0;
-        let value = 100.0 * (1.0 + 0.3 * trend.at(x)) * (1.0 + 0.15 * band)
+        let value = 100.0
+            * (1.0 + 0.3 * trend.at(x))
+            * (1.0 + 0.15 * band)
             * (1.0 + 0.05 * (rng.gen::<f64>() - 0.5));
         t.push_row(vec![
             week.into(),
@@ -200,8 +202,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         let trace = generate_trace(200, 300, &mut rng);
         for q in &trace.queries {
-            let parsed = parse_query(&q.sql)
-                .unwrap_or_else(|e| panic!("failed to parse: {e}\n{}", q.sql));
+            let parsed =
+                parse_query(&q.sql).unwrap_or_else(|e| panic!("failed to parse: {e}\n{}", q.sql));
             let verdict = check_query(&parsed, &JoinPolicy::none());
             assert_eq!(
                 verdict.is_supported(),

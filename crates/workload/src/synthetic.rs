@@ -244,8 +244,7 @@ impl QueryGen {
 
     /// Column index under the power-law access model.
     fn pick_column<R: Rng>(&self, total: usize, rng: &mut R) -> usize {
-        let frequent = ((total as f64 * self.frequent_fraction).round() as usize)
-            .clamp(1, total);
+        let frequent = ((total as f64 * self.frequent_fraction).round() as usize).clamp(1, total);
         // Probability mass: frequent columns share weight 1 each; the
         // remaining columns have weight 2^-(rank).
         let tail = total - frequent;

@@ -27,7 +27,13 @@ pub const RETURN_FLAGS: [&str; 3] = ["R", "A", "N"];
 /// Ship modes.
 pub const SHIP_MODES: [&str; 7] = ["AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB", "REG"];
 /// Market segments.
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 /// Regions.
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 /// Brands.
@@ -61,7 +67,9 @@ pub fn generate_denormalized<R: Rng>(rows: usize, rng: &mut R) -> Table {
     let mut t = Table::new(schema);
 
     let trend = SmoothField::sample(2.0, rng);
-    let brand_base: Vec<f64> = (0..BRANDS.len()).map(|_| 800.0 + rng.gen::<f64>() * 600.0).collect();
+    let brand_base: Vec<f64> = (0..BRANDS.len())
+        .map(|_| 800.0 + rng.gen::<f64>() * 600.0)
+        .collect();
     let (wlo, whi) = WEEK_RANGE;
 
     for _ in 0..rows {
@@ -222,7 +230,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         for t in templates() {
             let sql = instantiate(&t, &mut rng);
-            let q = parse_query(&sql).unwrap_or_else(|e| panic!("Q{} failed to parse: {e}\n{sql}", t.id));
+            let q = parse_query(&sql)
+                .unwrap_or_else(|e| panic!("Q{} failed to parse: {e}\n{sql}", t.id));
             let verdict = check_query(&q, &JoinPolicy::none());
             assert_eq!(
                 verdict.is_supported(),
@@ -252,10 +261,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(2);
         for sql in generate_supported_queries(28, &mut rng) {
             let q = parse_query(&sql).unwrap();
-            assert!(
-                check_query(&q, &JoinPolicy::none()).is_supported(),
-                "{sql}"
-            );
+            assert!(check_query(&q, &JoinPolicy::none()).is_supported(), "{sql}");
         }
     }
 

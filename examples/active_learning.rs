@@ -19,9 +19,7 @@ use verdict::workload::synthetic::SmoothField;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(61);
-    let schema = SchemaInfo::new(vec![verdict::core::DimensionSpec::numeric(
-        "t", 0.0, 100.0,
-    )])?;
+    let schema = SchemaInfo::new(vec![verdict::core::DimensionSpec::numeric("t", 0.0, 100.0)])?;
     let field = SmoothField::sample(1.5, &mut rng);
     let truth = |lo: f64, hi: f64| -> f64 {
         let steps = 40;
@@ -38,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let entries: Vec<(Region, Observation)> = (0..6)
         .map(|i| {
             let lo = i as f64 * 5.0;
-            (region(lo, lo + 5.0), Observation::new(truth(lo, lo + 5.0), 0.05))
+            (
+                region(lo, lo + 5.0),
+                Observation::new(truth(lo, lo + 5.0), 0.05),
+            )
         })
         .collect();
     let base = TrainedModel::fit(
@@ -52,8 +53,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Candidates: 20 ranges tiling the domain. Targets: a fine grid (what
     // future users might ask).
-    let candidates: Vec<Region> = (0..20).map(|i| region(i as f64 * 5.0, i as f64 * 5.0 + 5.0)).collect();
-    let targets: Vec<Region> = (0..50).map(|i| region(i as f64 * 2.0, i as f64 * 2.0 + 2.0)).collect();
+    let candidates: Vec<Region> = (0..20)
+        .map(|i| region(i as f64 * 5.0, i as f64 * 5.0 + 5.0))
+        .collect();
+    let targets: Vec<Region> = (0..50)
+        .map(|i| region(i as f64 * 2.0, i as f64 * 2.0 + 2.0))
+        .collect();
 
     let ranked = rank_candidates(&base, &schema, &candidates, &targets, 0.05);
     println!("top-5 candidate ranges by expected variance reduction:");
@@ -67,7 +72,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut active = base.clone();
     for &i in &picks {
         let (lo, hi) = candidates[i].range(0).unwrap();
-        active.absorb(&schema, &candidates[i], Observation::new(truth(lo, hi), 0.05));
+        active.absorb(
+            &schema,
+            &candidates[i],
+            Observation::new(truth(lo, hi), 0.05),
+        );
     }
 
     // Baseline: 5 random candidates.
@@ -75,7 +84,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for _ in 0..5 {
         let i = rng.gen_range(0..candidates.len());
         let (lo, hi) = candidates[i].range(0).unwrap();
-        random.absorb(&schema, &candidates[i], Observation::new(truth(lo, hi), 0.05));
+        random.absorb(
+            &schema,
+            &candidates[i],
+            Observation::new(truth(lo, hi), 0.05),
+        );
     }
 
     let avg_gamma = |m: &TrainedModel| -> f64 {

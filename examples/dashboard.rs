@@ -53,13 +53,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut answered = 0usize;
     let mut improved_count = 0usize;
     for q in &trace.queries[half..] {
-        let verdict::QueryOutcome::Answered(nl) =
-            session.execute(&q.sql, Mode::NoLearn, policy)?
+        let verdict::QueryOutcome::Answered(nl) = session.execute(&q.sql, Mode::NoLearn, policy)?
         else {
             continue;
         };
-        let verdict::QueryOutcome::Answered(vd) =
-            session.execute(&q.sql, Mode::Verdict, policy)?
+        let verdict::QueryOutcome::Answered(vd) = session.execute(&q.sql, Mode::Verdict, policy)?
         else {
             continue;
         };

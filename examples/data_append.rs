@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..10 {
         let lo = i as f64;
         session.execute(
-            &format!("SELECT AVG(m) FROM t WHERE d0 BETWEEN {lo} AND {}", lo + 1.0),
+            &format!(
+                "SELECT AVG(m) FROM t WHERE d0 BETWEEN {lo} AND {}",
+                lo + 1.0
+            ),
             Mode::Verdict,
             StopPolicy::ScanAll,
         )?;
@@ -62,10 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         adj.eta
     );
 
-    // Apply Lemma 3 to the AVG(m) synopsis and refit.
-    session
-        .verdict_mut()
-        .apply_append(&AggKey::avg("m"), &adj)?;
+    // Apply Lemma 3 to the AVG(m) synopsis and refit (the session-level
+    // method also checkpoints when a durable store is attached).
+    session.apply_append(&AggKey::avg("m"), &adj)?;
 
     // Query again: the improved answer reflects the drift and the error
     // bound inflates to stay correct.
@@ -74,8 +76,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .execute(sql, Mode::Verdict, StopPolicy::ScanAll)?
         .unwrap_answered();
     let cell = &r.rows[0].values[0];
-    let exact_old = AggregateFn::Avg(Expr::col("m"))
-        .eval_exact(&table, &Predicate::between("d0", 2.0, 4.0))?;
+    let exact_old =
+        AggregateFn::Avg(Expr::col("m")).eval_exact(&table, &Predicate::between("d0", 2.0, 4.0))?;
     // Ground truth after the (simulated) append.
     let exact_new = exact_old + adj.mu_shift * adj.new_fraction();
     println!("query: {sql}");

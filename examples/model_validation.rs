@@ -17,14 +17,15 @@ use verdict::workload::synthetic::SmoothField;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(88);
-    let schema =
-        SchemaInfo::new(vec![verdict::core::DimensionSpec::numeric("a1", 0.0, 1.0)])?;
+    let schema = SchemaInfo::new(vec![verdict::core::DimensionSpec::numeric("a1", 0.0, 1.0)])?;
     // A wiggly truth on [0, 1] (the paper's ν_g(t) curve in Fig. 8).
     let field = SmoothField::sample(0.4, &mut rng);
     let truth = |lo: f64, hi: f64| -> f64 {
         let steps = 50;
         (0..steps)
-            .map(|i| 2.5 + 1.5 * field.at((lo + (i as f64 + 0.5) / steps as f64 * (hi - lo)) * 10.0))
+            .map(|i| {
+                2.5 + 1.5 * field.at((lo + (i as f64 + 0.5) / steps as f64 * (hi - lo)) * 10.0)
+            })
             .sum::<f64>()
             / steps as f64
     };
@@ -109,7 +110,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 inf.prior_answer,
                 1.96 * inf.gamma,
                 raw.answer,
-                if decision.accepted() { "accept" } else { "REJECT" }
+                if decision.accepted() {
+                    "accept"
+                } else {
+                    "REJECT"
+                }
             );
         }
         println!("validation rejected {rejected}/5 model answers");

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("— warm-up: 10 range queries —");
     for i in 0..10 {
         let lo = i as f64;
-        let sql = format!("SELECT AVG(m) FROM t WHERE d0 BETWEEN {lo} AND {}", lo + 1.0);
+        let sql = format!(
+            "SELECT AVG(m) FROM t WHERE d0 BETWEEN {lo} AND {}",
+            lo + 1.0
+        );
         session.execute(&sql, Mode::Verdict, StopPolicy::ScanAll)?;
     }
     session.train()?;
@@ -39,8 +42,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sql = "SELECT AVG(m) FROM t WHERE d0 BETWEEN 2.5 AND 4.5";
     let policy = StopPolicy::ScanAll;
 
-    let baseline = session.execute(sql, Mode::NoLearn, policy)?.unwrap_answered();
-    let improved = session.execute(sql, Mode::Verdict, policy)?.unwrap_answered();
+    let baseline = session
+        .execute(sql, Mode::NoLearn, policy)?
+        .unwrap_answered();
+    let improved = session
+        .execute(sql, Mode::Verdict, policy)?
+        .unwrap_answered();
 
     let b = &baseline.rows[0].values[0];
     let v = &improved.rows[0].values[0];
@@ -69,8 +76,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         target: 0.01,
         delta: 0.95,
     };
-    let nl = session.execute(sql, Mode::NoLearn, target)?.unwrap_answered();
-    let vd = session.execute(sql, Mode::Verdict, target)?.unwrap_answered();
+    let nl = session
+        .execute(sql, Mode::NoLearn, target)?
+        .unwrap_answered();
+    let vd = session
+        .execute(sql, Mode::Verdict, target)?
+        .unwrap_answered();
     println!(
         "to reach a 1% error bound: NoLearn scanned {} tuples ({:.1} ms simulated), \
          Verdict scanned {} ({:.1} ms) — {:.1}x speedup",

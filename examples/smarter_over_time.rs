@@ -60,8 +60,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let model = TrainedModel::fit(&schema, AggMode::Avg, &entries, params, prior, 1e-9)?;
 
         // Sweep the timeline: model-only estimate ± 95% CI per week.
-        println!("\n=== after {n_queries} queries (lengthscale {:.1} weeks) ===", learned.params.lengthscales[0]);
-        println!("{:>5} {:>14} {:>14} {:>14}  {}", "week", "truth(SUM)", "model(SUM)", "95% CI ±", "");
+        println!(
+            "\n=== after {n_queries} queries (lengthscale {:.1} weeks) ===",
+            learned.params.lengthscales[0]
+        );
+        println!(
+            "{:>5} {:>14} {:>14} {:>14}",
+            "week", "truth(SUM)", "model(SUM)", "95% CI ±"
+        );
         let mut covered = 0usize;
         let mut width_sum = 0.0;
         for week in (5..=WEEKS).step_by(10) {

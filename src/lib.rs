@@ -56,12 +56,25 @@
 //! | [`aqp`](verdict_aqp) | uniform samples, online aggregation, time-bound engine, cost model |
 //! | [`sql`](verdict_sql) | parser, supported-query checker, snippet decomposition |
 //! | [`storage`](verdict_storage) | columnar tables, predicates, exact aggregation, FK joins |
+//! | [`store`](verdict_store) | durable synopsis store: snippet log, snapshots, crash recovery |
 //! | [`workload`](verdict_workload) | synthetic / TPC-H-style / Customer1-style generators |
 //! | [`stats`](verdict_stats), [`linalg`](verdict_linalg) | math substrates |
+//!
+//! ## Persistence
+//!
+//! Sessions can outlive the process. [`SessionBuilder::persist_to`]
+//! attaches a durable synopsis store: every observed snippet is logged,
+//! and training checkpoints the full model state. [`SessionBuilder::open`]
+//! warm-starts a session from such a store — the first query after reopen
+//! already enjoys the tightened error bounds the previous session earned
+//! (`cargo run --example persistence`).
 
 pub mod session;
 
-pub use session::{CellAnswer, Mode, QueryOutcome, QueryResult, ResultRow, SessionBuilder, StopPolicy, VerdictSession};
+pub use session::{
+    CellAnswer, Mode, QueryOutcome, QueryResult, ResultRow, SessionBuilder, StopPolicy,
+    VerdictSession,
+};
 
 // Re-export the sub-crates under stable names.
 pub use verdict_aqp as aqp;
@@ -70,6 +83,7 @@ pub use verdict_linalg as linalg;
 pub use verdict_sql as sql;
 pub use verdict_stats as stats;
 pub use verdict_storage as storage;
+pub use verdict_store as store;
 pub use verdict_workload as workload;
 
 /// Errors surfaced by the session layer.
@@ -83,6 +97,8 @@ pub enum Error {
     Aqp(verdict_aqp::AqpError),
     /// Storage failure.
     Storage(verdict_storage::StorageError),
+    /// Durable-store failure.
+    Store(verdict_store::StoreError),
 }
 
 impl From<verdict_sql::SqlError> for Error {
@@ -105,6 +121,11 @@ impl From<verdict_storage::StorageError> for Error {
         Error::Storage(e)
     }
 }
+impl From<verdict_store::StoreError> for Error {
+    fn from(e: verdict_store::StoreError) -> Self {
+        Error::Store(e)
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -113,6 +134,7 @@ impl std::fmt::Display for Error {
             Error::Core(e) => write!(f, "{e}"),
             Error::Aqp(e) => write!(f, "{e}"),
             Error::Storage(e) => write!(f, "{e}"),
+            Error::Store(e) => write!(f, "{e}"),
         }
     }
 }

@@ -17,6 +17,8 @@
 //! `Mode::NoLearn` bypasses step 4's inference, giving the paper's
 //! baseline within the identical pipeline.
 
+use std::path::{Path, PathBuf};
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -25,8 +27,11 @@ use verdict_core::{
     AggKey, ImprovedAnswer, Observation, Region, SchemaInfo, Snippet, Verdict, VerdictConfig,
 };
 use verdict_sql::checker::JoinPolicy;
-use verdict_sql::{check_query, decompose, parse_query, SnippetSpec, SupportVerdict, UnsupportedReason};
+use verdict_sql::{
+    check_query, decompose, parse_query, SnippetSpec, SupportVerdict, UnsupportedReason,
+};
 use verdict_storage::{eval_group_by, AggregateFn, Expr, GroupKey, Predicate, Table};
+use verdict_store::{RecoveryReport, SessionMeta, SharedStore, StorePolicy, SynopsisStore};
 
 use crate::{Error, Result};
 
@@ -134,6 +139,21 @@ pub struct SessionBuilder {
     config: VerdictConfig,
     join_policy: JoinPolicy,
     num_samples: usize,
+    persist: Option<PathBuf>,
+    store_policy: StorePolicy,
+    recovered: Option<RecoveredState>,
+}
+
+/// What [`SessionBuilder::open`] carried out of recovery, held until
+/// `build()` wires it into the session.
+struct RecoveredState {
+    store: SharedStore,
+    state: verdict_core::EngineState,
+    report: RecoveryReport,
+    /// The metadata the store was opened with, kept to detect builder
+    /// overrides that would desynchronize the redrawn sample from the
+    /// recovered synopsis.
+    meta: SessionMeta,
 }
 
 impl SessionBuilder {
@@ -149,7 +169,65 @@ impl SessionBuilder {
             config: VerdictConfig::default(),
             join_policy: JoinPolicy::none(),
             num_samples: 1,
+            persist: None,
+            store_policy: StorePolicy::default(),
+            recovered: None,
         }
+    }
+
+    /// Warm-starts a builder from a durable synopsis store previously
+    /// created with [`SessionBuilder::persist_to`].
+    ///
+    /// Recovery loads the newest valid snapshot (base table, session
+    /// parameters, synopses, trained models), truncates any torn tail off
+    /// the snippet log, and replays surviving records. The resulting
+    /// session answers its very first query with the error bounds the
+    /// previous session had earned — the cold-start problem the paper's
+    /// "smarter every time" promise otherwise hits at every restart.
+    ///
+    /// Storage tier and cost model are not persisted; set them on the
+    /// returned builder if they matter.
+    pub fn open(path: impl AsRef<Path>) -> Result<SessionBuilder> {
+        let path = path.as_ref();
+        let (store, recovered) =
+            SynopsisStore::open(path, StorePolicy::default()).map_err(Error::Store)?;
+        let meta = recovered.meta;
+        Ok(SessionBuilder {
+            table: recovered.table,
+            sample_fraction: meta.sample_fraction,
+            batch_size: meta.batch_size as usize,
+            seed: meta.seed,
+            tier: StorageTier::Cached,
+            cost: CostModel::default(),
+            config: meta.config.clone(),
+            join_policy: JoinPolicy::none(),
+            num_samples: meta.num_samples as usize,
+            persist: Some(path.to_path_buf()),
+            store_policy: StorePolicy::default(),
+            recovered: Some(RecoveredState {
+                store: SharedStore::new(store),
+                state: recovered.state,
+                report: recovered.report,
+                meta,
+            }),
+        })
+    }
+
+    /// Attaches a durable synopsis store at `path` (created on build).
+    ///
+    /// Every snippet the session observes is appended to the store's
+    /// write-ahead log; [`VerdictSession::train`] and the compaction
+    /// policy checkpoint the full state. Fails at build time if a store
+    /// already exists at `path` — reopen with [`SessionBuilder::open`].
+    pub fn persist_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.persist = Some(path.into());
+        self
+    }
+
+    /// Overrides the store's compaction/durability policy.
+    pub fn store_policy(mut self, policy: StorePolicy) -> Self {
+        self.store_policy = policy;
+        self
     }
 
     /// Sampling fraction for the offline uniform sample (default 10%).
@@ -206,7 +284,9 @@ impl SessionBuilder {
     }
 
     /// Builds the session: draws the sample and derives the dimension
-    /// universe from the base table.
+    /// universe from the base table. With persistence configured, also
+    /// creates the store (fresh build) or restores the learned state and
+    /// installs the append hook (warm start).
     pub fn build(self) -> Result<VerdictSession> {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut engines = Vec::with_capacity(self.num_samples);
@@ -214,20 +294,104 @@ impl SessionBuilder {
             let sample =
                 Sample::uniform(&self.table, self.sample_fraction, self.batch_size, &mut rng)
                     .map_err(Error::Aqp)?;
-            engines.push(OnlineAggregation::new(
-                sample,
-                self.cost.clone(),
-                self.tier,
-            ));
+            engines.push(OnlineAggregation::new(sample, self.cost.clone(), self.tier));
         }
         let schema = SchemaInfo::from_table(&self.table)?;
-        let verdict = Verdict::new(schema, self.config);
+        let meta = SessionMeta {
+            sample_fraction: self.sample_fraction,
+            batch_size: self.batch_size as u64,
+            seed: self.seed,
+            num_samples: self.num_samples as u64,
+            config: self.config.clone(),
+        };
+        let mut verdict = Verdict::new(schema, self.config);
+
+        let (store, recovery) = match (self.recovered, &self.persist) {
+            (
+                Some(RecoveredState {
+                    store,
+                    state,
+                    report,
+                    meta: opened_meta,
+                }),
+                persist,
+            ) => {
+                // Warm start: the snapshot's learned state replaces the
+                // blank engine, then new observations keep flowing to the
+                // same log.
+                //
+                // Sample identity is load-bearing: the recovered synopsis
+                // holds raw answers drawn from the sample the persisted
+                // parameters describe. Overriding seed / fraction / batch
+                // size / sample count after open() would silently redraw a
+                // different sample and rewrite the stored meta — refuse.
+                if meta.sample_fraction != opened_meta.sample_fraction
+                    || meta.batch_size != opened_meta.batch_size
+                    || meta.seed != opened_meta.seed
+                    || meta.num_samples != opened_meta.num_samples
+                {
+                    return Err(Error::Store(verdict_store::StoreError::Mismatch(
+                        "sample parameters (seed, sample_fraction, batch_size, num_samples) \
+                         cannot be overridden on a warm-started session: the persisted \
+                         synopsis was observed through the stored sample"
+                            .into(),
+                    )));
+                }
+                // The engine config is equally load-bearing: WAL replay
+                // applies records under the *stored* config (synopsis
+                // capacity drives eviction), so a divergent live config
+                // would make post-crash recovery disagree with the live
+                // session.
+                if meta.config != opened_meta.config {
+                    return Err(Error::Store(verdict_store::StoreError::Mismatch(
+                        "verdict_config cannot be overridden on a warm-started session: \
+                         log replay applies records under the stored configuration"
+                            .into(),
+                    )));
+                }
+                {
+                    let mut guard = store.lock();
+                    // A persist_to() after open() would silently split the
+                    // session from its recovered store — refuse instead.
+                    if persist.as_deref().is_some_and(|p| p != guard.dir()) {
+                        return Err(Error::Store(verdict_store::StoreError::Mismatch(format!(
+                            "session was opened from {} but persist_to names {}; \
+                                 a warm-started session always writes to its own store",
+                            guard.dir().display(),
+                            persist.as_deref().unwrap_or(Path::new("?")).display()
+                        ))));
+                    }
+                    // Apply any store_policy() override made after open().
+                    guard.set_policy(self.store_policy.clone());
+                }
+                verdict.restore_state(state).map_err(Error::Core)?;
+                (Some(store), Some(report))
+            }
+            (None, Some(path)) => {
+                let store = SynopsisStore::create(
+                    path,
+                    self.store_policy,
+                    meta.clone(),
+                    &self.table,
+                    &verdict.export_state(),
+                )
+                .map_err(Error::Store)?;
+                (Some(SharedStore::new(store)), None)
+            }
+            (None, None) => (None, None),
+        };
+        if let Some(store) = &store {
+            verdict.set_observer(store.observer());
+        }
         Ok(VerdictSession {
             table: self.table,
             engines,
             active: 0,
             verdict,
             join_policy: self.join_policy,
+            store,
+            meta,
+            recovery,
         })
     }
 }
@@ -239,6 +403,9 @@ pub struct VerdictSession {
     active: usize,
     verdict: Verdict,
     join_policy: JoinPolicy,
+    store: Option<SharedStore>,
+    meta: SessionMeta,
+    recovery: Option<RecoveryReport>,
 }
 
 impl VerdictSession {
@@ -269,23 +436,103 @@ impl VerdictSession {
     }
 
     /// Mutable access to the inference engine (appends, config tweaks).
+    ///
+    /// On a persistent session, out-of-band mutations made through this
+    /// handle (e.g. `Verdict::apply_append`, `forget`) bypass the snippet
+    /// log — call [`VerdictSession::checkpoint`] afterwards, or use the
+    /// session-level wrappers ([`VerdictSession::apply_append`]) that do
+    /// it for you.
     pub fn verdict_mut(&mut self) -> &mut Verdict {
         &mut self.verdict
     }
 
-    /// Offline training pass (Algorithm 1).
+    /// Whether this session writes to a durable store.
+    pub fn is_persistent(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// The recovery report, when this session was warm-started with
+    /// [`SessionBuilder::open`].
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// Checkpoints the full learned state into a fresh snapshot
+    /// generation and truncates the snippet log. No-op without a store.
+    ///
+    /// Also surfaces any error a background log append or deferred
+    /// compaction hit since the last checkpoint (the observer hook has no
+    /// error channel of its own).
+    pub fn checkpoint(&mut self) -> Result<()> {
+        self.surface_store_error()?;
+        self.snapshot_now().map_err(Error::Store)
+    }
+
+    /// The one snapshot-writing path, shared by explicit checkpoints and
+    /// query-piggybacked compaction (which park the error instead of
+    /// propagating it). No-op without a store.
+    fn snapshot_now(&mut self) -> verdict_store::Result<()> {
+        let Some(store) = &self.store else {
+            return Ok(());
+        };
+        let schema_fp = verdict_core::persist::fingerprint(self.verdict.schema());
+        let state_bytes = self.verdict.state_bytes();
+        store
+            .lock()
+            .snapshot_encoded(self.meta.clone(), schema_fp, &state_bytes)?;
+        Ok(())
+    }
+
+    /// Surfaces any parked store error (failed background append or
+    /// deferred compaction failure) without writing anything.
+    fn surface_store_error(&self) -> Result<()> {
+        if let Some(store) = &self.store {
+            if let Some(e) = store.lock().take_error() {
+                return Err(Error::Store(e));
+            }
+        }
+        Ok(())
+    }
+
+    /// Offline training pass (Algorithm 1). Persistent sessions
+    /// checkpoint afterwards, so the (expensive) trained models are on
+    /// disk and a restarted session warm-starts without refitting.
     pub fn train(&mut self) -> Result<()> {
-        self.verdict.train().map_err(Error::Core)
+        self.verdict.train().map_err(Error::Core)?;
+        self.checkpoint()
+    }
+
+    /// Applies a data-append adjustment (Appendix D) to the synopsis of
+    /// `key` and refits its model, then — for persistent sessions —
+    /// checkpoints immediately: the adjustment rewrites stored
+    /// observations in place, which the incremental snippet log cannot
+    /// express, so only a fresh snapshot makes it durable.
+    pub fn apply_append(
+        &mut self,
+        key: &AggKey,
+        adjustment: &verdict_core::append::AppendAdjustment,
+    ) -> Result<()> {
+        self.verdict
+            .apply_append(key, adjustment)
+            .map_err(Error::Core)?;
+        self.checkpoint()
     }
 
     /// Exact (ground-truth) answer for an aggregate over the *base* table;
     /// used by experiments to report actual errors.
     pub fn exact(&self, agg: &AggregateFn, predicate: &Predicate) -> Result<f64> {
-        agg.eval_exact(&self.table, predicate).map_err(Error::Storage)
+        agg.eval_exact(&self.table, predicate)
+            .map_err(Error::Storage)
     }
 
     /// Parses, checks, decomposes, and answers a SQL query.
+    ///
+    /// Persistent sessions surface store failures (a failed background
+    /// log append, or a compaction that failed after an earlier query)
+    /// here, *before* doing any work — a computed answer is never thrown
+    /// away because persisting something else failed afterwards.
     pub fn execute(&mut self, sql: &str, mode: Mode, policy: StopPolicy) -> Result<QueryOutcome> {
+        self.surface_store_error()?;
         let query = parse_query(sql)?;
         if let SupportVerdict::Unsupported(reasons) = check_query(&query, &self.join_policy) {
             return Ok(QueryOutcome::Unsupported(reasons));
@@ -335,6 +582,24 @@ impl VerdictSession {
         }
 
         let simulated_ns = self.engine().simulated_ns(max_scanned);
+
+        // Fold the log into a fresh snapshot when the store's compaction
+        // policy asks for it, so the log never grows without bound. A
+        // compaction failure is parked rather than returned: the answer
+        // below is already computed and logged, and the error surfaces at
+        // the next execute()/checkpoint() call.
+        let compact = self
+            .store
+            .as_ref()
+            .is_some_and(|s| s.lock().needs_compaction());
+        if compact {
+            if let Err(e) = self.snapshot_now() {
+                if let Some(store) = &self.store {
+                    store.lock().park_error(e);
+                }
+            }
+        }
+
         Ok(QueryOutcome::Answered(QueryResult {
             rows,
             tuples_scanned: max_scanned,
@@ -367,14 +632,14 @@ impl VerdictSession {
 
         let tuple_cap = match policy {
             StopPolicy::TupleBudget(n) => n,
-            StopPolicy::TimeBudgetNs(ns) => engine
-                .cost_model()
-                .tuples_within(ns, engine.tier())
-                .max(1),
+            StopPolicy::TimeBudgetNs(ns) => {
+                engine.cost_model().tuples_within(ns, engine.tier()).max(1)
+            }
             _ => usize::MAX,
         };
 
-        let mut raw_primitives: Vec<Observation> = vec![Observation::new(0.0, f64::INFINITY); plan.primitives.len()];
+        let mut raw_primitives: Vec<Observation> =
+            vec![Observation::new(0.0, f64::INFINITY); plan.primitives.len()];
         let mut scanned = 0usize;
         let mut user_raw = (0.0, f64::INFINITY);
         let mut user_improved = ImprovedAnswer {
@@ -421,8 +686,7 @@ impl VerdictSession {
                 StopPolicy::ScanAll => false,
                 StopPolicy::RelativeErrorBound { target, delta } => {
                     let bound = user_improved.bound(delta);
-                    bound.is_finite()
-                        && bound / user_improved.answer.abs().max(1e-9) <= target
+                    bound.is_finite() && bound / user_improved.answer.abs().max(1e-9) <= target
                 }
                 StopPolicy::TupleBudget(_) | StopPolicy::TimeBudgetNs(_) => scanned >= tuple_cap,
             };
@@ -530,10 +794,7 @@ impl SnippetPlan {
     fn combine_raw(&self, raw: &[Observation], n_base: f64) -> (f64, f64) {
         match self.kind {
             PlanKind::Avg | PlanKind::Freq => (raw[0].answer, raw[0].error),
-            PlanKind::Count => (
-                (raw[0].answer * n_base).round(),
-                raw[0].error * n_base,
-            ),
+            PlanKind::Count => ((raw[0].answer * n_base).round(), raw[0].error * n_base),
             PlanKind::Sum => product_with_error(
                 raw[0].answer,
                 raw[0].error,
@@ -612,7 +873,9 @@ mod tests {
         let mut state = 1u64;
         for i in 0..rows {
             // Cheap deterministic pseudo-random stream.
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let u = (state >> 11) as f64 / (1u64 << 53) as f64;
             let week = 1.0 + (i % 100) as f64;
             let region = ["us", "eu", "jp"][i % 3];
@@ -669,7 +932,10 @@ mod tests {
         // Warm-up: overlapping range queries.
         for lo in (0..90).step_by(10) {
             s.execute(
-                &format!("SELECT AVG(rev) FROM t WHERE week BETWEEN {lo} AND {}", lo + 10),
+                &format!(
+                    "SELECT AVG(rev) FROM t WHERE week BETWEEN {lo} AND {}",
+                    lo + 10
+                ),
                 Mode::Verdict,
                 StopPolicy::ScanAll,
             )
@@ -763,7 +1029,10 @@ mod tests {
         let mut s = session(50_000);
         for lo in (0..95).step_by(5) {
             s.execute(
-                &format!("SELECT AVG(rev) FROM t WHERE week BETWEEN {lo} AND {}", lo + 5),
+                &format!(
+                    "SELECT AVG(rev) FROM t WHERE week BETWEEN {lo} AND {}",
+                    lo + 5
+                ),
                 Mode::Verdict,
                 StopPolicy::ScanAll,
             )
@@ -862,6 +1131,229 @@ mod tests {
         assert!(tight.simulated_ns <= 11_000_000.0 + 200.0 * 1000.0);
     }
 
+    fn temp_store(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("verdict-session-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn session_persistent(rows: usize, dir: &std::path::Path) -> VerdictSession {
+        let schema = Schema::new(vec![
+            ColumnDef::numeric_dimension("week"),
+            ColumnDef::categorical_dimension("region"),
+            ColumnDef::measure("rev"),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        let mut state = 1u64;
+        for i in 0..rows {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            let week = 1.0 + (i % 100) as f64;
+            let region = ["us", "eu", "jp"][i % 3];
+            let rev = 100.0 + 20.0 * (week / 15.0).sin() + 5.0 * (u - 0.5);
+            t.push_row(vec![week.into(), region.into(), rev.into()])
+                .unwrap();
+        }
+        SessionBuilder::new(t)
+            .sample_fraction(0.2)
+            .batch_size(200)
+            .seed(5)
+            .persist_to(dir)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn persistent_session_warm_starts_with_identical_bounds() {
+        let dir = temp_store("warm");
+        let sql = "SELECT AVG(rev) FROM t WHERE week BETWEEN 25 AND 45";
+        let (bound_before, raw_before) = {
+            let mut s = session_persistent(30_000, &dir);
+            assert!(s.is_persistent());
+            for lo in (0..90).step_by(10) {
+                s.execute(
+                    &format!(
+                        "SELECT AVG(rev) FROM t WHERE week BETWEEN {lo} AND {}",
+                        lo + 10
+                    ),
+                    Mode::Verdict,
+                    StopPolicy::ScanAll,
+                )
+                .unwrap();
+            }
+            s.train().unwrap();
+            let r = s
+                .execute(sql, Mode::Verdict, StopPolicy::ScanAll)
+                .unwrap()
+                .unwrap_answered();
+            let cell = &r.rows[0].values[0];
+            assert!(cell.improved.used_model);
+            (cell.improved.error, cell.raw_error)
+        };
+        // "Restart": a brand-new session recovered purely from disk.
+        let mut s = SessionBuilder::open(&dir).unwrap().build().unwrap();
+        let report = s.recovery_report().expect("warm start").clone();
+        assert!(report.records_replayed > 0 || report.snapshot_last_seq > 0);
+        let r = s
+            .execute(sql, Mode::Verdict, StopPolicy::ScanAll)
+            .unwrap()
+            .unwrap_answered();
+        let cell = &r.rows[0].values[0];
+        assert!(cell.improved.used_model, "model must survive the restart");
+        assert_eq!(
+            cell.improved.error.to_bits(),
+            bound_before.to_bits(),
+            "warm-started bound must match the pre-restart bound exactly"
+        );
+        assert_eq!(cell.raw_error.to_bits(), raw_before.to_bits());
+        assert!(cell.improved.error <= cell.raw_error);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cold_session_has_no_model_but_warm_does() {
+        let dir = temp_store("coldwarm");
+        {
+            let mut s = session_persistent(20_000, &dir);
+            for lo in (0..90).step_by(10) {
+                s.execute(
+                    &format!(
+                        "SELECT AVG(rev) FROM t WHERE week BETWEEN {lo} AND {}",
+                        lo + 10
+                    ),
+                    Mode::Verdict,
+                    StopPolicy::ScanAll,
+                )
+                .unwrap();
+            }
+            s.train().unwrap();
+        }
+        let warm = SessionBuilder::open(&dir).unwrap().build().unwrap();
+        assert!(warm.verdict().has_model(&AggKey::avg("rev")));
+        // A cold session over the same table knows nothing.
+        let cold = session(20_000);
+        assert!(!cold.verdict().has_model(&AggKey::avg("rev")));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_to_existing_store_refused() {
+        let dir = temp_store("exists");
+        {
+            let _ = session_persistent(1000, &dir);
+        }
+        let schema = Schema::new(vec![
+            ColumnDef::numeric_dimension("week"),
+            ColumnDef::measure("rev"),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..100 {
+            t.push_row(vec![(i as f64).into(), 1.0.into()]).unwrap();
+        }
+        let err = SessionBuilder::new(t).persist_to(&dir).build();
+        assert!(
+            matches!(err, Err(Error::Store(_))),
+            "must refuse to clobber"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopened_session_keeps_logging_and_compacting() {
+        let dir = temp_store("relog");
+        {
+            let mut s = session_persistent(5000, &dir);
+            s.execute(
+                "SELECT AVG(rev) FROM t WHERE week BETWEEN 1 AND 20",
+                Mode::Verdict,
+                StopPolicy::ScanAll,
+            )
+            .unwrap();
+        }
+        {
+            let mut s = SessionBuilder::open(&dir).unwrap().build().unwrap();
+            let observed_before = s.verdict().stats().observed;
+            s.execute(
+                "SELECT AVG(rev) FROM t WHERE week BETWEEN 30 AND 60",
+                Mode::Verdict,
+                StopPolicy::ScanAll,
+            )
+            .unwrap();
+            assert!(s.verdict().stats().observed > observed_before);
+            s.checkpoint().unwrap();
+        }
+        // Third generation of the session still sees everything.
+        let s = SessionBuilder::open(&dir).unwrap().build().unwrap();
+        assert_eq!(
+            s.recovery_report().unwrap().records_replayed,
+            0,
+            "checkpoint folded the log"
+        );
+        assert!(s.verdict().synopsis_len(&AggKey::avg("rev")) >= 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_policy_override_after_open_is_honored() {
+        let dir = temp_store("policy");
+        {
+            let mut s = session_persistent(5000, &dir);
+            s.execute(
+                "SELECT AVG(rev) FROM t WHERE week BETWEEN 1 AND 20",
+                Mode::Verdict,
+                StopPolicy::ScanAll,
+            )
+            .unwrap();
+        }
+        // Warm start with an aggressive compaction policy: every query
+        // must fold the log into a new snapshot generation.
+        {
+            let mut s = SessionBuilder::open(&dir)
+                .unwrap()
+                .store_policy(verdict_store::StorePolicy {
+                    compact_after_records: 1,
+                    ..Default::default()
+                })
+                .build()
+                .unwrap();
+            let gen_before = s.recovery_report().unwrap().snapshot_gen;
+            s.execute(
+                "SELECT AVG(rev) FROM t WHERE week BETWEEN 30 AND 50",
+                Mode::Verdict,
+                StopPolicy::ScanAll,
+            )
+            .unwrap();
+            drop(s);
+            let s = SessionBuilder::open(&dir).unwrap().build().unwrap();
+            assert!(
+                s.recovery_report().unwrap().snapshot_gen > gen_before,
+                "override must reach the store (gen did not advance)"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn persist_to_after_open_with_other_path_refused() {
+        let dir = temp_store("split");
+        {
+            let _s = session_persistent(2000, &dir);
+        }
+        let other = temp_store("split-other");
+        let err = SessionBuilder::open(&dir)
+            .unwrap()
+            .persist_to(&other)
+            .build();
+        assert!(matches!(err, Err(Error::Store(_))), "split stores refused");
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&other);
+    }
+
     #[test]
     fn count_answer_scales_to_base() {
         let mut s = session(10_000);
@@ -875,6 +1367,10 @@ mod tests {
             .unwrap_answered();
         let cell = &r.rows[0].values[0];
         // Weeks cycle 1..=100 → ~10% of rows.
-        assert!((cell.raw_answer - 1000.0).abs() < 150.0, "{}", cell.raw_answer);
+        assert!(
+            (cell.raw_answer - 1000.0).abs() < 150.0,
+            "{}",
+            cell.raw_answer
+        );
     }
 }

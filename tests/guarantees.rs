@@ -61,7 +61,9 @@ fn error_bounds_cover_truth_at_95pct() {
         let cell = &r.rows[0].values[0];
         let q = verdict_sql::parse_query(&sql).unwrap();
         let d = verdict_sql::decompose(&q, s.table(), &[], 1).unwrap();
-        let exact = s.exact(&d.snippets[0].agg, &d.snippets[0].predicate).unwrap();
+        let exact = s
+            .exact(&d.snippets[0].agg, &d.snippets[0].predicate)
+            .unwrap();
         if !cell.improved.bound(0.95).is_finite() {
             continue;
         }
@@ -96,7 +98,9 @@ fn improved_answers_reduce_actual_error_on_average() {
         let cell = &r.rows[0].values[0];
         let q = verdict_sql::parse_query(&sql).unwrap();
         let d = verdict_sql::decompose(&q, s.table(), &[], 1).unwrap();
-        let exact = s.exact(&d.snippets[0].agg, &d.snippets[0].predicate).unwrap();
+        let exact = s
+            .exact(&d.snippets[0].agg, &d.snippets[0].predicate)
+            .unwrap();
         raw_errs.push((cell.raw_answer - exact).abs());
         verdict_errs.push((cell.improved.answer - exact).abs());
     }
@@ -131,7 +135,9 @@ fn unseen_ranges_still_get_valid_answers() {
     let cell = &r.rows[0].values[0];
     let q = verdict_sql::parse_query(sql).unwrap();
     let d = verdict_sql::decompose(&q, s.table(), &[], 1).unwrap();
-    let exact = s.exact(&d.snippets[0].agg, &d.snippets[0].predicate).unwrap();
+    let exact = s
+        .exact(&d.snippets[0].agg, &d.snippets[0].predicate)
+        .unwrap();
     // 99.9%-ish sanity: answer within 5 bounds of truth.
     let bound = cell.improved.bound(0.95).max(cell.raw_error * 2.0);
     assert!(
@@ -158,7 +164,11 @@ fn freq_counts_never_negative() {
             continue;
         };
         let cell = &r.rows[0].values[0];
-        assert!(cell.improved.answer >= 0.0, "negative count {}", cell.improved.answer);
+        assert!(
+            cell.improved.answer >= 0.0,
+            "negative count {}",
+            cell.improved.answer
+        );
         let (lo_ci, _) = cell.improved.interval(0.95, true);
         assert!(lo_ci >= 0.0, "negative count CI {lo_ci}");
     }
@@ -179,6 +189,9 @@ fn nolearn_and_verdict_agree_when_untrained() {
     let ca = &a.rows[0].values[0];
     let cb = &b.rows[0].values[0];
     assert_eq!(ca.raw_answer, cb.raw_answer);
-    assert_eq!(cb.improved.answer, cb.raw_answer, "untrained = pass-through");
+    assert_eq!(
+        cb.improved.answer, cb.raw_answer,
+        "untrained = pass-through"
+    );
     assert!(!cb.improved.used_model);
 }

@@ -36,12 +36,10 @@ fn all_unsupported_tpch_templates_classified() {
     let mut rng = StdRng::seed_from_u64(4);
     for t in tpch::templates().into_iter().filter(|t| !t.supported) {
         let sql = tpch::instantiate(&t, &mut rng);
-        let out = session.execute(&sql, Mode::Verdict, StopPolicy::ScanAll).unwrap();
-        assert!(
-            !out.is_answered(),
-            "Q{} should be unsupported: {sql}",
-            t.id
-        );
+        let out = session
+            .execute(&sql, Mode::Verdict, StopPolicy::ScanAll)
+            .unwrap();
+        assert!(!out.is_answered(), "Q{} should be unsupported: {sql}", t.id);
     }
 }
 
@@ -51,7 +49,9 @@ fn theorem1_holds_across_tpch_workload() {
     let mut rng = StdRng::seed_from_u64(6);
     // Train on 30 queries.
     for sql in tpch::generate_supported_queries(30, &mut rng) {
-        session.execute(&sql, Mode::Verdict, StopPolicy::ScanAll).unwrap();
+        session
+            .execute(&sql, Mode::Verdict, StopPolicy::ScanAll)
+            .unwrap();
     }
     session.train().unwrap();
     // Every cell of every subsequent query obeys β̂ ≤ β.
@@ -82,7 +82,9 @@ fn group_by_query_returns_group_rows_with_improvements() {
     let mut session = tpch_session(30_000, 7);
     let mut rng = StdRng::seed_from_u64(8);
     for sql in tpch::generate_supported_queries(30, &mut rng) {
-        session.execute(&sql, Mode::Verdict, StopPolicy::ScanAll).unwrap();
+        session
+            .execute(&sql, Mode::Verdict, StopPolicy::ScanAll)
+            .unwrap();
     }
     session.train().unwrap();
     let result = session
@@ -111,7 +113,9 @@ fn answers_track_exact_values() {
     let cell = &result.rows[0].values[0];
     let q = verdict_sql::parse_query(sql).unwrap();
     let d = verdict_sql::decompose(&q, session.table(), &[], 1).unwrap();
-    let exact = session.exact(&d.snippets[0].agg, &d.snippets[0].predicate).unwrap();
+    let exact = session
+        .exact(&d.snippets[0].agg, &d.snippets[0].predicate)
+        .unwrap();
     let rel = (cell.raw_answer - exact).abs() / exact.abs();
     assert!(rel < 0.05, "relative error {rel}");
     // The 99.7% bound should cover the actual deviation.
@@ -122,8 +126,10 @@ fn answers_track_exact_values() {
 fn nmax_caps_group_snippets() {
     let mut rng = StdRng::seed_from_u64(10);
     let table = tpch::generate_denormalized(10_000, &mut rng);
-    let mut config = verdict_core::VerdictConfig::default();
-    config.nmax = 2;
+    let config = verdict_core::VerdictConfig {
+        nmax: 2,
+        ..Default::default()
+    };
     let mut session = SessionBuilder::new(table)
         .sample_fraction(0.2)
         .seed(10)

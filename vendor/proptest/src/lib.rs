@@ -1,0 +1,184 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the slice of proptest it uses: the [`proptest!`] macro, `prop_assert*`
+//! macros, range/tuple/string strategies, `prop::collection::vec`,
+//! `prop::sample::select`, `any::<T>()`, `Just`, and the `prop_map` /
+//! `prop_flat_map` combinators.
+//!
+//! Differences from upstream: cases are generated from a fixed seed (fully
+//! deterministic across runs) and failing inputs are *not* shrunk — the
+//! panic message reports the failing assertion instead. String strategies
+//! support the regex subset the workspace uses: a sequence of `.`, literal
+//! characters, and `[...]` classes, each with an optional `{m,n}` repeat.
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Configuration and failure plumbing for generated test cases.
+
+    /// Per-test configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Configuration running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; 64 keeps the offline suite fast
+            // while still exercising each property broadly.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed test case (assertion message).
+    #[derive(Debug)]
+    pub struct TestCaseError(pub String);
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl From<String> for TestCaseError {
+        fn from(s: String) -> Self {
+            TestCaseError(s)
+        }
+    }
+
+    /// Result type of a generated test-case closure.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+/// `prop::` namespace as re-exported by the prelude.
+pub mod prop {
+    pub use crate::strategy::collection;
+    pub use crate::strategy::sample;
+}
+
+pub mod prelude {
+    //! Everything a `use proptest::prelude::*;` test file expects.
+
+    pub use crate::prop;
+    pub use crate::strategy::{any, collection, sample, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines deterministic property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0.0..1.0f64) { prop_assert!(x < 1.0); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr)
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut __rng = $crate::strategy::TestRng::for_test(stringify!($name));
+                for __case in 0..config.cases {
+                    $(let $arg =
+                        $crate::strategy::Strategy::sample(&($strat), &mut __rng);)+
+                    let __result: $crate::test_runner::TestCaseResult = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(e) = __result {
+                        // Cases are seeded deterministically from the test
+                        // name, so "case k" is reproducible by rerunning.
+                        panic!(
+                            "proptest case {}/{} failed: {}",
+                            __case + 1,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a proptest body, failing the case (not
+/// panicking directly) so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `prop_assert!(a == b)` with a value-revealing message.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(l == r) {
+            return Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($lhs),
+                stringify!($rhs),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// `prop_assert!(a != b)` with a value-revealing message.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(l != r) {
+            return Err($crate::test_runner::TestCaseError(format!(
+                "assertion failed: {} != {} (both: {:?})",
+                stringify!($lhs),
+                stringify!($rhs),
+                l
+            )));
+        }
+    }};
+}
