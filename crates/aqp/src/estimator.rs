@@ -13,13 +13,19 @@
 //!   error `N · s_z / √n`;
 //! - `FREQ(*)` — `mean(z)` with binomial-style error `s_z / √n`.
 //!
-//! All four are maintained incrementally with Welford accumulators so the
-//! online-aggregation engine can emit an updated `(answer, error)` pair
-//! after every batch.
+//! All four are maintained incrementally — AVG and SUM with Welford
+//! accumulators, COUNT and FREQ from their indicator sufficient statistics
+//! — so the online-aggregation engine can emit an updated `(answer,
+//! error)` pair after every batch. Selection is evaluated per batch
+//! through a [`CompiledPredicate`] (column-bound, vectorizable) instead of
+//! pre-materializing a whole-table row mask; the shared-scan driver
+//! ([`crate::SharedScanDriver`]) reuses the same per-primitive estimate
+//! functions ([`avg_estimate`], [`freq_estimate`]) so the two paths agree
+//! bit for bit.
 
-use verdict_stats::Welford;
+use verdict_stats::{indicator_mean_se, Welford};
 use verdict_storage::expr::CompiledExpr;
-use verdict_storage::{AggregateFn, Predicate, Table};
+use verdict_storage::{AggregateFn, CompiledPredicate, Predicate, Table};
 
 use crate::Result;
 
@@ -32,18 +38,42 @@ enum Kind {
     Freq,
 }
 
+/// `(estimate, standard_error)` of the `AVG` primitive from its
+/// accumulator over matching rows; `n_scanned` gates the no-data case.
+pub(crate) fn avg_estimate(n_scanned: u64, matched: &Welford) -> (f64, f64) {
+    if n_scanned == 0 || matched.count() == 0 {
+        return (0.0, f64::INFINITY);
+    }
+    if matched.count() == 1 {
+        return (matched.mean(), f64::INFINITY);
+    }
+    (matched.mean(), matched.standard_error())
+}
+
+/// `(estimate, standard_error)` of the `FREQ` primitive from its
+/// indicator counts (`n_matched` matches out of `n_scanned` rows).
+pub(crate) fn freq_estimate(n_scanned: u64, n_matched: u64) -> (f64, f64) {
+    indicator_mean_se(n_scanned, n_matched)
+}
+
 /// Incremental estimator for one aggregate over a growing scanned prefix of
 /// a uniform sample.
 pub struct BatchEstimator<'t> {
     kind: Kind,
     /// Compiled measure expression (absent for COUNT/FREQ).
     expr: Option<CompiledExpr<'t>>,
-    /// Pre-evaluated predicate mask over the whole sample table.
-    mask: Vec<bool>,
+    /// Column-bound predicate, evaluated per batch.
+    pred: CompiledPredicate<'t>,
+    /// Per-batch selection bitmap scratch.
+    selbuf: Vec<bool>,
     /// Accumulator over matching rows only (AVG).
     matched: Welford,
-    /// Accumulator over all scanned rows of `z_i` (SUM/COUNT/FREQ).
+    /// Accumulator over all scanned rows of `z_i` (SUM).
     scanned: Welford,
+    /// Rows scanned so far.
+    n_scanned: u64,
+    /// Matching rows so far (COUNT/FREQ sufficient statistic).
+    n_matched: u64,
     /// Base-table cardinality `N`.
     base_rows: usize,
 }
@@ -64,52 +94,50 @@ impl<'t> BatchEstimator<'t> {
             AggregateFn::Count => (Kind::Count, None),
             AggregateFn::Freq => (Kind::Freq, None),
         };
-        let selected = predicate.selected_rows(sample_table)?;
-        let mut mask = vec![false; sample_table.num_rows()];
-        for r in selected {
-            mask[r] = true;
-        }
+        let pred = predicate.compile(sample_table)?;
         Ok(BatchEstimator {
             kind,
             expr,
-            mask,
+            pred,
+            selbuf: Vec::new(),
             matched: Welford::new(),
             scanned: Welford::new(),
+            n_scanned: 0,
+            n_matched: 0,
             base_rows,
         })
     }
 
     /// Feeds the rows in `range` (a batch of the sample).
     pub fn consume(&mut self, range: std::ops::Range<usize>) {
-        for row in range {
-            let is_match = self.mask[row];
-            match self.kind {
-                Kind::Avg => {
+        let start = range.start;
+        self.n_scanned += range.len() as u64;
+        self.pred.fill_matches(range, &mut self.selbuf);
+        match self.kind {
+            Kind::Avg => {
+                let expr = self.expr.as_ref().expect("AVG has expr");
+                for (i, &is_match) in self.selbuf.iter().enumerate() {
                     if is_match {
-                        let v = self.expr.as_ref().expect("AVG has expr").eval(row);
-                        self.matched.push(v);
+                        self.matched.push(expr.eval(start + i));
                     }
-                    // AVG still tracks scan progress for diagnostics.
-                    self.scanned.push(if is_match { 1.0 } else { 0.0 });
                 }
-                Kind::Sum => {
-                    let z = if is_match {
-                        self.expr.as_ref().expect("SUM has expr").eval(row)
-                    } else {
-                        0.0
-                    };
+            }
+            Kind::Sum => {
+                let expr = self.expr.as_ref().expect("SUM has expr");
+                for (i, &is_match) in self.selbuf.iter().enumerate() {
+                    let z = if is_match { expr.eval(start + i) } else { 0.0 };
                     self.scanned.push(z);
                 }
-                Kind::Count | Kind::Freq => {
-                    self.scanned.push(if is_match { 1.0 } else { 0.0 });
-                }
+            }
+            Kind::Count | Kind::Freq => {
+                self.n_matched += self.selbuf.iter().filter(|&&m| m).count() as u64;
             }
         }
     }
 
     /// Rows scanned so far.
     pub fn rows_scanned(&self) -> u64 {
-        self.scanned.count()
+        self.n_scanned
     }
 
     /// Current `(estimate, standard_error)` pair — the paper's raw answer
@@ -117,21 +145,12 @@ impl<'t> BatchEstimator<'t> {
     ///
     /// Before any data is scanned the estimate is `0` with infinite error.
     pub fn current(&self) -> (f64, f64) {
-        let n_scanned = self.scanned.count();
+        let n_scanned = self.n_scanned;
         if n_scanned == 0 {
             return (0.0, f64::INFINITY);
         }
         match self.kind {
-            Kind::Avg => {
-                let m = self.matched.count();
-                if m == 0 {
-                    (0.0, f64::INFINITY)
-                } else if m == 1 {
-                    (self.matched.mean(), f64::INFINITY)
-                } else {
-                    (self.matched.mean(), self.matched.standard_error())
-                }
-            }
+            Kind::Avg => avg_estimate(n_scanned, &self.matched),
             Kind::Sum => {
                 let scale = self.base_rows as f64;
                 if n_scanned == 1 {
@@ -145,22 +164,10 @@ impl<'t> BatchEstimator<'t> {
             }
             Kind::Count => {
                 let scale = self.base_rows as f64;
-                if n_scanned == 1 {
-                    ((scale * self.scanned.mean()).round(), f64::INFINITY)
-                } else {
-                    (
-                        (scale * self.scanned.mean()).round(),
-                        scale * self.scanned.standard_error(),
-                    )
-                }
+                let (p, se) = freq_estimate(n_scanned, self.n_matched);
+                ((scale * p).round(), scale * se)
             }
-            Kind::Freq => {
-                if n_scanned == 1 {
-                    (self.scanned.mean(), f64::INFINITY)
-                } else {
-                    (self.scanned.mean(), self.scanned.standard_error())
-                }
-            }
+            Kind::Freq => freq_estimate(n_scanned, self.n_matched),
         }
     }
 }

@@ -13,12 +13,14 @@
 //! cached/not-cached panels of Figure 4 can be regenerated deterministically.
 
 pub mod cost;
+pub mod driver;
 pub mod engine;
 pub mod estimator;
 pub mod sample;
 pub mod stratified;
 
 pub use cost::{CostModel, SimulatedClock, StorageTier};
+pub use driver::{ScanSpec, SharedScanDriver};
 pub use engine::{AqpEngine, OnlineAggregation, RawAnswer, TimeBoundEngine};
 pub use estimator::BatchEstimator;
 pub use sample::Sample;

@@ -227,46 +227,79 @@ impl Verdict {
     pub fn improve(&mut self, snippet: &Snippet, raw: Observation) -> ImprovedAnswer {
         let Some(model) = self.models.get(&snippet.key) else {
             self.stats.passed_through += 1;
-            return ImprovedAnswer {
-                answer: raw.answer,
-                error: raw.error,
-                used_model: false,
-            };
+            return pass_through(raw);
         };
         if snippet.region.is_degenerate() {
             self.stats.passed_through += 1;
-            return ImprovedAnswer {
-                answer: raw.answer,
-                error: raw.error,
-                used_model: false,
-            };
+            return pass_through(raw);
         }
         let inference = model.infer(&self.schema, &snippet.region, raw);
-        let decision = if self.config.enable_validation {
-            validate(
-                &inference,
-                raw,
-                snippet.key.is_freq(),
-                self.config.validation_delta,
-            )
-        } else {
-            Verdict2::Accept
-        };
-        if decision.accepted() {
-            self.stats.improved += 1;
-            ImprovedAnswer {
-                answer: inference.model_answer,
-                error: inference.model_error,
-                used_model: true,
-            }
-        } else {
-            self.stats.rejected += 1;
-            ImprovedAnswer {
-                answer: raw.answer,
-                error: raw.error,
-                used_model: false,
+        finish_inference(
+            &mut self.stats,
+            &self.config,
+            snippet.key.is_freq(),
+            &inference,
+            raw,
+        )
+    }
+
+    /// Batched query-time improvement: one improved answer per request, in
+    /// request order, identical to calling [`Verdict::improve`] per item.
+    ///
+    /// All cells of one query are improved in a single call: requests are
+    /// bucketed by aggregate key so each model is looked up once and its
+    /// inference setup (the past-region reference list) is assembled once
+    /// via [`TrainedModel::infer_many`] instead of once per cell — the
+    /// inference-side counterpart of the shared scan.
+    pub fn improve_batch(&mut self, requests: &[(Snippet, Observation)]) -> Vec<ImprovedAnswer> {
+        let mut out: Vec<Option<ImprovedAnswer>> = vec![None; requests.len()];
+        // Bucket request indices by key, preserving first-seen key order.
+        let mut keys: Vec<&AggKey> = Vec::new();
+        let mut buckets: Vec<Vec<usize>> = Vec::new();
+        for (i, (snippet, _)) in requests.iter().enumerate() {
+            match keys.iter().position(|k| **k == snippet.key) {
+                Some(b) => buckets[b].push(i),
+                None => {
+                    keys.push(&snippet.key);
+                    buckets.push(vec![i]);
+                }
             }
         }
+        for (key, bucket) in keys.iter().zip(&buckets) {
+            let Some(model) = self.models.get(*key) else {
+                for &i in bucket {
+                    self.stats.passed_through += 1;
+                    out[i] = Some(pass_through(requests[i].1));
+                }
+                continue;
+            };
+            let mut inferable: Vec<usize> = Vec::with_capacity(bucket.len());
+            for &i in bucket {
+                if requests[i].0.region.is_degenerate() {
+                    self.stats.passed_through += 1;
+                    out[i] = Some(pass_through(requests[i].1));
+                } else {
+                    inferable.push(i);
+                }
+            }
+            let items: Vec<(&crate::Region, Observation)> = inferable
+                .iter()
+                .map(|&i| (&requests[i].0.region, requests[i].1))
+                .collect();
+            let inferences = model.infer_many(&self.schema, &items);
+            for (&i, inference) in inferable.iter().zip(inferences.iter()) {
+                out[i] = Some(finish_inference(
+                    &mut self.stats,
+                    &self.config,
+                    key.is_freq(),
+                    inference,
+                    requests[i].1,
+                ));
+            }
+        }
+        out.into_iter()
+            .map(|o| o.expect("every request answered"))
+            .collect()
     }
 
     /// Convenience: improve, then record the raw observation (the order of
@@ -361,6 +394,42 @@ impl Verdict {
         self.models = state.models.into_iter().collect();
         self.stats = state.stats;
         Ok(())
+    }
+}
+
+/// Raw answer passed through unimproved.
+fn pass_through(raw: Observation) -> ImprovedAnswer {
+    ImprovedAnswer {
+        answer: raw.answer,
+        error: raw.error,
+        used_model: false,
+    }
+}
+
+/// Validation + stats tail shared by [`Verdict::improve`] and
+/// [`Verdict::improve_batch`] (Algorithm 2 lines 4–5).
+fn finish_inference(
+    stats: &mut EngineStats,
+    config: &VerdictConfig,
+    key_is_freq: bool,
+    inference: &crate::inference::ModelInference,
+    raw: Observation,
+) -> ImprovedAnswer {
+    let decision = if config.enable_validation {
+        validate(inference, raw, key_is_freq, config.validation_delta)
+    } else {
+        Verdict2::Accept
+    };
+    if decision.accepted() {
+        stats.improved += 1;
+        ImprovedAnswer {
+            answer: inference.model_answer,
+            error: inference.model_error,
+            used_model: true,
+        }
+    } else {
+        stats.rejected += 1;
+        pass_through(raw)
     }
 }
 
@@ -520,6 +589,44 @@ mod tests {
         };
         let (lo, _) = imp.interval(0.95, true);
         assert_eq!(lo, 0.0);
+    }
+
+    #[test]
+    fn improve_batch_matches_sequential_improve() {
+        // Same engine state, same inputs: batch answers must bit-match the
+        // per-snippet path, including stats counters.
+        let requests: Vec<(Snippet, Observation)> = vec![
+            (snippet(10.0, 30.0), Observation::new(10.5, 0.8)),
+            (snippet(0.0, 50.0), Observation::new(10.0, 0.5)),
+            (snippet(60.0, 40.0), Observation::new(3.0, 0.4)), // degenerate
+            (snippet(90.0, 99.0), Observation::new(500.0, 0.05)), // rejected
+            (
+                Snippet::new(AggKey::Freq, snippet(5.0, 6.0).region),
+                Observation::new(0.2, 0.1),
+            ), // no FREQ model: pass-through
+        ];
+        let mut sequential = trained_engine();
+        let expected: Vec<ImprovedAnswer> = requests
+            .iter()
+            .map(|(s, o)| sequential.improve(s, *o))
+            .collect();
+        let mut batched = trained_engine();
+        let got = batched.improve_batch(&requests);
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(expected.iter()) {
+            assert_eq!(g.answer.to_bits(), e.answer.to_bits());
+            assert_eq!(g.error.to_bits(), e.error.to_bits());
+            assert_eq!(g.used_model, e.used_model);
+        }
+        assert_eq!(batched.stats(), sequential.stats());
+    }
+
+    #[test]
+    fn improve_batch_empty_is_noop() {
+        let mut v = trained_engine();
+        let before = v.stats();
+        assert!(v.improve_batch(&[]).is_empty());
+        assert_eq!(v.stats(), before);
     }
 
     #[test]

@@ -167,7 +167,36 @@ impl TrainedModel {
     /// O(n²) inference (Eqs. 11/12). See the module docs for the formulas.
     pub fn infer(&self, schema: &SchemaInfo, region: &Region, raw: Observation) -> ModelInference {
         let refs: Vec<&Region> = self.regions.iter().collect();
-        let k = cross_covariance(schema, &self.params, self.mode, &refs, region);
+        self.infer_with_refs(schema, &refs, region, raw)
+    }
+
+    /// Batched O(n²) inference: one inference per `(region, raw)` item,
+    /// identical to calling [`TrainedModel::infer`] per item, but the
+    /// model-side setup (the past-region reference list consumed by every
+    /// cross-covariance evaluation) is assembled once and shared across
+    /// the whole batch. This is the inference half of answering all cells
+    /// of a `GROUP BY` query against one model in one go.
+    pub fn infer_many(
+        &self,
+        schema: &SchemaInfo,
+        items: &[(&Region, Observation)],
+    ) -> Vec<ModelInference> {
+        let refs: Vec<&Region> = self.regions.iter().collect();
+        items
+            .iter()
+            .map(|(region, raw)| self.infer_with_refs(schema, &refs, region, *raw))
+            .collect()
+    }
+
+    /// Shared body of [`TrainedModel::infer`] / [`TrainedModel::infer_many`].
+    fn infer_with_refs(
+        &self,
+        schema: &SchemaInfo,
+        refs: &[&Region],
+        region: &Region,
+        raw: Observation,
+    ) -> ModelInference {
+        let k = cross_covariance(schema, &self.params, self.mode, refs, region);
         let kappa2 = snippet_covariance(schema, &self.params, self.mode, region, region);
         let mu_new = self.prior.of(schema, region);
 

@@ -1,10 +1,20 @@
-//! Query → snippet decomposition (paper §2.3, Figure 3).
+//! Query → snippet decomposition (paper §2.3, Figure 3) and shared-scan
+//! planning.
 //!
 //! A query with multiple aggregates and/or a `GROUP BY` becomes one snippet
 //! per (aggregate function × group value): the group value is appended to
 //! the `WHERE` clause as an equality predicate and the group columns are
 //! dropped. Verdict only generates snippets for the first `N_max` groups of
 //! the answer set to bound its overhead.
+//!
+//! [`decompose`] materializes that per-snippet view literally (each snippet
+//! carries its own full predicate) and is kept as the reference executor's
+//! input. [`plan_scan`] emits the shared-scan form of the same
+//! decomposition: one [`ScanPlan`] per query holding the base predicate,
+//! the group keys, and a *deduplicated* list of primitive streams —
+//! `SUM(e)` and `COUNT(*)` share one `FREQ(*)` stream, `SUM(e)` and
+//! `AVG(e)` share one `AVG(e)` stream — so the executor can answer every
+//! cell from a single sample pass.
 
 use verdict_storage::{AggregateFn, GroupKey, Predicate, Table};
 
@@ -48,18 +58,91 @@ pub fn decompose(
         Some(w) => to_predicate(w, table)?,
         None => Predicate::True,
     };
-    let group_cols: Vec<&str> = query
+    let group_cols = group_columns(query)?;
+    let aggs = select_aggregates(query)?;
+
+    let expansion = expand_groups(table, &base_predicate, &group_cols, group_keys, nmax)?;
+    let mut snippets = Vec::new();
+    for (group, predicate) in &expansion.groups {
+        for (agg_index, agg) in &aggs {
+            snippets.push(SnippetSpec {
+                agg: agg.clone(),
+                predicate: predicate.clone(),
+                group: group.clone(),
+                agg_index: *agg_index,
+            });
+        }
+    }
+    Ok(DecomposedQuery {
+        snippets,
+        truncated: expansion.truncated,
+    })
+}
+
+/// The group expansion shared by [`decompose`] and [`plan_scan`]: the
+/// groups kept after the `N_max` cap, each with its full predicate
+/// (base ∧ group-value equalities, Figure 3). Ungrouped queries expand to
+/// the single implicit group `(None, base)`. Keeping this in one place is
+/// load-bearing: the parity contract between the two executors requires
+/// identical predicates per group.
+struct GroupExpansion {
+    groups: Vec<(Option<GroupKey>, Predicate)>,
+    truncated: bool,
+}
+
+fn expand_groups(
+    table: &Table,
+    base_predicate: &Predicate,
+    group_cols: &[String],
+    group_keys: &[GroupKey],
+    nmax: usize,
+) -> Result<GroupExpansion> {
+    if group_cols.is_empty() {
+        return Ok(GroupExpansion {
+            groups: vec![(None, base_predicate.clone())],
+            truncated: false,
+        });
+    }
+    let mut groups = Vec::new();
+    let mut truncated = false;
+    for (gi, key) in group_keys.iter().enumerate() {
+        if gi >= nmax {
+            truncated = true;
+            break;
+        }
+        if key.len() != group_cols.len() {
+            return Err(SqlError::Resolve(format!(
+                "group key arity {} does not match {} group columns",
+                key.len(),
+                group_cols.len()
+            )));
+        }
+        let mut predicate = base_predicate.clone();
+        for (col, value) in group_cols.iter().zip(key.iter()) {
+            predicate = predicate.and(group_equality(table, col, value)?);
+        }
+        groups.push((Some(key.clone()), predicate));
+    }
+    Ok(GroupExpansion { groups, truncated })
+}
+
+/// The grouping column names of a checked query (must be plain columns).
+fn group_columns(query: &Query) -> Result<Vec<String>> {
+    query
         .group_by
         .iter()
         .map(|g| match g {
-            ScalarExpr::Column { name, .. } => Ok(name.as_str()),
+            ScalarExpr::Column { name, .. } => Ok(name.clone()),
             other => Err(SqlError::Resolve(format!(
                 "group-by expression {} is not a column",
                 other.display()
             ))),
         })
-        .collect::<Result<_>>()?;
+        .collect()
+}
 
+/// The `(select-list index, aggregate)` pairs of a checked query.
+fn select_aggregates(query: &Query) -> Result<Vec<(usize, AggregateFn)>> {
     let aggs: Vec<(usize, AggregateFn)> = query
         .select
         .iter()
@@ -72,48 +155,152 @@ pub fn decompose(
     if aggs.is_empty() {
         return Err(SqlError::Resolve("query has no aggregates".into()));
     }
+    Ok(aggs)
+}
 
-    let mut snippets = Vec::new();
-    let mut truncated = false;
+/// How one user-facing aggregate is recovered from primitive streams
+/// (§2.3: `AVG → avg`, `COUNT → N·freq`, `SUM → avg × N·freq`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combiner {
+    /// `AVG(e)`: the avg stream directly.
+    Avg,
+    /// `COUNT(*)`: the freq stream scaled by the base cardinality.
+    Count,
+    /// `SUM(e)`: avg stream × scaled freq stream.
+    Sum,
+    /// Raw `FREQ(*)` exposed directly (internal/tests).
+    Freq,
+}
 
-    if group_cols.is_empty() {
-        for (agg_index, agg) in &aggs {
-            snippets.push(SnippetSpec {
-                agg: agg.clone(),
-                predicate: base_predicate.clone(),
-                group: None,
-                agg_index: *agg_index,
-            });
-        }
-    } else {
-        for (gi, key) in group_keys.iter().enumerate() {
-            if gi >= nmax {
-                truncated = true;
-                break;
-            }
-            if key.len() != group_cols.len() {
-                return Err(SqlError::Resolve(format!(
-                    "group key arity {} does not match {} group columns",
-                    key.len(),
-                    group_cols.len()
-                )));
-            }
-            let mut predicate = base_predicate.clone();
-            for (col, value) in group_cols.iter().zip(key.iter()) {
-                predicate = predicate.and(group_equality(table, col, value)?);
-            }
-            for (agg_index, agg) in &aggs {
-                snippets.push(SnippetSpec {
-                    agg: agg.clone(),
-                    predicate: predicate.clone(),
-                    group: Some(key.clone()),
-                    agg_index: *agg_index,
-                });
+/// One user-facing aggregate of a [`ScanPlan`], wired to the primitive
+/// stream(s) it reads.
+#[derive(Debug, Clone)]
+pub struct AggregateSpec {
+    /// Index of the aggregate in the original select list.
+    pub agg_index: usize,
+    /// The user-facing aggregate.
+    pub agg: AggregateFn,
+    /// How primitive streams combine into the user-facing answer.
+    pub combiner: Combiner,
+    /// Index into [`ScanPlan::primitives`] of the `AVG` stream (if read).
+    pub avg_prim: Option<usize>,
+    /// Index into [`ScanPlan::primitives`] of the `FREQ` stream (if read).
+    pub freq_prim: Option<usize>,
+}
+
+/// The shared-scan form of a decomposed query: everything one sample pass
+/// needs to answer all `groups × aggregates` cells.
+#[derive(Debug, Clone)]
+pub struct ScanPlan {
+    /// The query predicate without group equalities (what the scan
+    /// evaluates per row).
+    pub base_predicate: Predicate,
+    /// Group-by columns (empty for ungrouped queries).
+    pub group_cols: Vec<String>,
+    /// The groups answered, in result-row order (`[None]` for ungrouped
+    /// queries), capped at `N_max`.
+    pub groups: Vec<Option<GroupKey>>,
+    /// Full per-group predicate (base ∧ group equalities) — the snippet
+    /// predicate used for model regions and synopsis recording; the scan
+    /// itself never evaluates these.
+    pub group_predicates: Vec<Predicate>,
+    /// Deduplicated primitive streams (`AVG(e)` / `FREQ(*)`): at most one
+    /// `FREQ` stream per query and one `AVG` stream per distinct measure
+    /// expression, shared by every aggregate and every group.
+    pub primitives: Vec<AggregateFn>,
+    /// The user-facing aggregates, in select-list order.
+    pub aggregates: Vec<AggregateSpec>,
+    /// Whether the `N_max` cap dropped groups.
+    pub truncated: bool,
+}
+
+impl ScanPlan {
+    /// Total result cells (`groups × aggregates`).
+    pub fn num_cells(&self) -> usize {
+        self.groups.len() * self.aggregates.len()
+    }
+}
+
+/// Plans one shared scan for a checked query. `group_keys` lists the group
+/// values present in the (approximate) answer set — for ungrouped queries
+/// pass `&[]`. Cells beyond the first `N_max` groups are dropped, exactly
+/// like [`decompose`].
+pub fn plan_scan(
+    query: &Query,
+    table: &Table,
+    group_keys: &[GroupKey],
+    nmax: usize,
+) -> Result<ScanPlan> {
+    let base_predicate = match &query.where_clause {
+        Some(w) => to_predicate(w, table)?,
+        None => Predicate::True,
+    };
+    let group_cols = group_columns(query)?;
+    let aggs = select_aggregates(query)?;
+
+    // Deduplicate primitive streams across the select list.
+    fn avg_index_of(primitives: &mut Vec<AggregateFn>, e: &verdict_storage::Expr) -> usize {
+        let key = AggregateFn::Avg(e.clone());
+        match primitives.iter().position(|p| *p == key) {
+            Some(i) => i,
+            None => {
+                primitives.push(key);
+                primitives.len() - 1
             }
         }
     }
-    Ok(DecomposedQuery {
-        snippets,
+    fn freq_index_of(primitives: &mut Vec<AggregateFn>, freq: &mut Option<usize>) -> usize {
+        *freq.get_or_insert_with(|| {
+            primitives.push(AggregateFn::Freq);
+            primitives.len() - 1
+        })
+    }
+    let mut primitives: Vec<AggregateFn> = Vec::new();
+    let mut freq_index: Option<usize> = None;
+    let aggregates: Vec<AggregateSpec> = aggs
+        .iter()
+        .map(|(agg_index, agg)| {
+            let (combiner, avg_prim, freq_prim) = match agg {
+                AggregateFn::Avg(e) => {
+                    (Combiner::Avg, Some(avg_index_of(&mut primitives, e)), None)
+                }
+                AggregateFn::Count => (
+                    Combiner::Count,
+                    None,
+                    Some(freq_index_of(&mut primitives, &mut freq_index)),
+                ),
+                AggregateFn::Sum(e) => {
+                    let a = avg_index_of(&mut primitives, e);
+                    let f = freq_index_of(&mut primitives, &mut freq_index);
+                    (Combiner::Sum, Some(a), Some(f))
+                }
+                AggregateFn::Freq => (
+                    Combiner::Freq,
+                    None,
+                    Some(freq_index_of(&mut primitives, &mut freq_index)),
+                ),
+            };
+            AggregateSpec {
+                agg_index: *agg_index,
+                agg: agg.clone(),
+                combiner,
+                avg_prim,
+                freq_prim,
+            }
+        })
+        .collect();
+
+    let expansion = expand_groups(table, &base_predicate, &group_cols, group_keys, nmax)?;
+    let truncated = expansion.truncated;
+    let (groups, group_predicates) = expansion.groups.into_iter().unzip();
+
+    Ok(ScanPlan {
+        base_predicate,
+        group_cols,
+        groups,
+        group_predicates,
+        primitives,
+        aggregates,
         truncated,
     })
 }
@@ -219,5 +406,80 @@ mod tests {
         let t = table();
         let q = parse_query("SELECT week FROM t").unwrap();
         assert!(decompose(&q, &t, &[], 10).is_err());
+        let q = parse_query("SELECT week FROM t").unwrap();
+        assert!(plan_scan(&q, &t, &[], 10).is_err());
+    }
+
+    #[test]
+    fn plan_dedups_primitive_streams() {
+        // AVG(rev), SUM(rev), COUNT(*) need only two streams: AVG(rev)
+        // (shared by AVG and SUM) and FREQ (shared by SUM and COUNT).
+        let t = table();
+        let q = parse_query(
+            "SELECT region, AVG(rev), SUM(rev), COUNT(*) FROM t WHERE week > 0 GROUP BY region",
+        )
+        .unwrap();
+        let us = Value::Cat(t.column("region").unwrap().code_of("us").unwrap());
+        let plan = plan_scan(&q, &t, &[vec![us]], 1000).unwrap();
+        assert_eq!(plan.primitives.len(), 2);
+        assert!(matches!(plan.primitives[0], AggregateFn::Avg(_)));
+        assert!(matches!(plan.primitives[1], AggregateFn::Freq));
+        assert_eq!(plan.aggregates.len(), 3);
+        let [avg, sum, count] = &plan.aggregates[..] else {
+            panic!("three aggregates");
+        };
+        assert_eq!(
+            (avg.combiner, avg.avg_prim, avg.freq_prim),
+            (Combiner::Avg, Some(0), None)
+        );
+        assert_eq!(
+            (sum.combiner, sum.avg_prim, sum.freq_prim),
+            (Combiner::Sum, Some(0), Some(1))
+        );
+        assert_eq!(
+            (count.combiner, count.avg_prim, count.freq_prim),
+            (Combiner::Count, None, Some(1))
+        );
+        assert_eq!(plan.num_cells(), 3);
+    }
+
+    #[test]
+    fn plan_distinct_measures_get_distinct_streams() {
+        let t = table();
+        let q = parse_query("SELECT SUM(rev), SUM(rev * 2) FROM t").unwrap();
+        let plan = plan_scan(&q, &t, &[], 10).unwrap();
+        // Two distinct AVG streams plus one shared FREQ stream.
+        assert_eq!(plan.primitives.len(), 3);
+        assert_eq!(plan.aggregates[0].freq_prim, plan.aggregates[1].freq_prim);
+        assert_ne!(plan.aggregates[0].avg_prim, plan.aggregates[1].avg_prim);
+    }
+
+    #[test]
+    fn plan_matches_decompose_shape() {
+        // Same groups, same truncation, and per-group predicates equal to
+        // the per-snippet predicates of the legacy decomposition.
+        let t = table();
+        let q =
+            parse_query("SELECT region, AVG(rev), SUM(rev) FROM t WHERE week > 0 GROUP BY region")
+                .unwrap();
+        let us = Value::Cat(t.column("region").unwrap().code_of("us").unwrap());
+        let eu = Value::Cat(t.column("region").unwrap().code_of("eu").unwrap());
+        let keys = [vec![us], vec![eu]];
+        let d = decompose(&q, &t, &keys, 1).unwrap();
+        let plan = plan_scan(&q, &t, &keys, 1).unwrap();
+        assert!(plan.truncated && d.truncated);
+        assert_eq!(plan.groups.len(), 1);
+        assert_eq!(plan.group_predicates[0], d.snippets[0].predicate);
+        assert_eq!(plan.num_cells(), d.snippets.len());
+    }
+
+    #[test]
+    fn ungrouped_plan_has_one_implicit_group() {
+        let t = table();
+        let q = parse_query("SELECT COUNT(*), AVG(rev) FROM t WHERE week <= 2").unwrap();
+        let plan = plan_scan(&q, &t, &[], 1000).unwrap();
+        assert_eq!(plan.groups, vec![None]);
+        assert_eq!(plan.group_predicates, vec![plan.base_predicate.clone()]);
+        assert!(plan.group_cols.is_empty());
     }
 }

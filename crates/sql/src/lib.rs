@@ -25,7 +25,9 @@ pub mod resolve;
 
 pub use ast::{AggFunc, Query, ScalarExpr, SelectItem, WherePred};
 pub use checker::{check_query, SupportVerdict, UnsupportedReason};
-pub use decompose::{decompose, DecomposedQuery, SnippetSpec};
+pub use decompose::{
+    decompose, plan_scan, AggregateSpec, Combiner, DecomposedQuery, ScanPlan, SnippetSpec,
+};
 pub use parser::parse_query;
 
 /// Errors from the SQL front-end.

@@ -51,6 +51,32 @@ pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
     c / (vx.sqrt() * vy.sqrt())
 }
 
+/// Mean and CLT standard error of an indicator (0/1) stream from its
+/// sufficient statistics: `n` observations of which `m` were ones.
+///
+/// For a 0/1 stream the Welford state collapses algebraically: the mean is
+/// `p = m/n` and the sum of squared deviations is `n·p·(1−p)`, so the
+/// standard error of the mean is `√(p(1−p)/(n−1))`. Maintaining the two
+/// counters instead of pushing a 0/1 into a [`Welford`] per row is what
+/// lets the shared-scan executor update a FREQ cell only when its group
+/// matches (O(1) per row) instead of pushing zeros into every group's
+/// accumulator (O(groups) per row).
+///
+/// Conventions match [`Welford`]: `(0.0, ∞)` before any observation and
+/// infinite error at `n = 1`.
+pub fn indicator_mean_se(n: u64, m: u64) -> (f64, f64) {
+    debug_assert!(m <= n, "indicator matches {m} exceed observations {n}");
+    if n == 0 {
+        return (0.0, f64::INFINITY);
+    }
+    let p = m as f64 / n as f64;
+    if n == 1 {
+        return (p, f64::INFINITY);
+    }
+    let se = (p * (1.0 - p) / (n - 1) as f64).sqrt();
+    (p, se)
+}
+
 /// Numerically stable streaming mean/variance accumulator (Welford 1962).
 #[derive(Debug, Clone, Default)]
 pub struct Welford {
@@ -207,6 +233,33 @@ mod tests {
         empty.merge(&before);
         assert_eq!(empty.mean(), before.mean());
         assert_eq!(empty.count(), 2);
+    }
+
+    #[test]
+    fn indicator_counts_match_welford_stream() {
+        // Same answer as pushing the 0/1 stream into a Welford, up to
+        // floating-point noise, across a spread of (n, m) shapes.
+        for (n, m) in [(2u64, 1u64), (10, 0), (10, 10), (97, 13), (1000, 500)] {
+            let mut w = Welford::new();
+            for i in 0..n {
+                w.push(if i < m { 1.0 } else { 0.0 });
+            }
+            let (mean, se) = indicator_mean_se(n, m);
+            assert!((mean - w.mean()).abs() < 1e-12, "mean n={n} m={m}");
+            assert!(
+                (se - w.standard_error()).abs() < 1e-12,
+                "se n={n} m={m}: {se} vs {}",
+                w.standard_error()
+            );
+        }
+    }
+
+    #[test]
+    fn indicator_edge_conventions() {
+        assert_eq!(indicator_mean_se(0, 0), (0.0, f64::INFINITY));
+        let (mean, se) = indicator_mean_se(1, 1);
+        assert_eq!(mean, 1.0);
+        assert!(se.is_infinite());
     }
 
     #[test]

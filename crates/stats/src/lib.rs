@@ -20,7 +20,7 @@ pub mod normal;
 pub mod percentile;
 
 pub use bounds::chebyshev_radius;
-pub use describe::{covariance, mean, variance, Welford};
+pub use describe::{covariance, indicator_mean_se, mean, variance, Welford};
 pub use erf::{erf, erfc};
 pub use normal::{confidence_multiplier, normal_cdf, normal_pdf, normal_quantile};
 pub use percentile::percentile;

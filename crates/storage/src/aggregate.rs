@@ -108,9 +108,10 @@ pub fn eval_group_by(
     Ok(out)
 }
 
-/// Total-order wrapper so `Value` can key a `BTreeMap`.
+/// Total-order wrapper so `Value` can key a `BTreeMap` (shared with the
+/// scan module so group enumeration orders keys identically everywhere).
 #[derive(Debug, Clone, PartialEq)]
-struct OrdValue(Value);
+pub(crate) struct OrdValue(pub(crate) Value);
 
 impl Eq for OrdValue {}
 

@@ -13,7 +13,10 @@
 //!   attributes (§2.2, e.g. `revenue * discount`);
 //! - [`predicate`]: conjunctive selection predicates (ranges over numeric
 //!   dimensions, IN-sets over categorical ones) matching Verdict's supported
-//!   `where` clauses;
+//!   `where` clauses, compilable to column-bound form for vectorized
+//!   per-batch evaluation;
+//! - [`scan`]: shared-scan building blocks — one-pass group-key
+//!   enumeration and row → group-index mapping;
 //! - [`aggregate`]: exact AVG/SUM/COUNT/FREQ evaluation (ground truth for
 //!   experiments);
 //! - [`join`]: foreign-key hash joins between a fact table and dimension
@@ -26,6 +29,7 @@ pub mod column;
 pub mod expr;
 pub mod join;
 pub mod predicate;
+pub mod scan;
 pub mod schema;
 pub mod table;
 pub mod value;
@@ -34,7 +38,8 @@ pub use aggregate::{eval_group_by, AggregateFn, GroupKey};
 pub use catalog::Catalog;
 pub use column::Column;
 pub use expr::Expr;
-pub use predicate::Predicate;
+pub use predicate::{CompiledPredicate, Predicate};
+pub use scan::{distinct_group_keys, GroupIndexer};
 pub use schema::{AttributeRole, ColumnDef, ColumnType, Schema};
 pub use table::Table;
 pub use value::Value;

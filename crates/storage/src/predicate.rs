@@ -298,6 +298,101 @@ pub enum ColumnConstraint {
     In(Vec<u32>),
 }
 
+impl Predicate {
+    /// Binds the predicate's normal form to a table's column storage for
+    /// vectorized batch evaluation: per-column constraints hold direct
+    /// `&[f64]` / `&[u32]` slices, so selection runs column-at-a-time over
+    /// a row range with no name lookups and no whole-table
+    /// [`Predicate::selected_rows`] pre-pass.
+    pub fn compile<'t>(&self, table: &'t Table) -> Result<CompiledPredicate<'t>> {
+        let mut constraints = Vec::new();
+        for (col, constraint) in self.normal_form()? {
+            match constraint {
+                ColumnConstraint::Range(range) => {
+                    let data = table.column(&col)?.numeric()?;
+                    constraints.push(CompiledConstraint::Range { data, range });
+                }
+                ColumnConstraint::In(codes) => {
+                    let data = table.column(&col)?.categorical()?;
+                    constraints.push(CompiledConstraint::In { data, codes });
+                }
+            }
+        }
+        Ok(CompiledPredicate { constraints })
+    }
+}
+
+/// One normal-form constraint bound to its column slice.
+enum CompiledConstraint<'t> {
+    /// Numeric interval over a `f64` column.
+    Range {
+        /// The column data.
+        data: &'t [f64],
+        /// The interval.
+        range: NumRange,
+    },
+    /// Membership over a dictionary-coded column (codes sorted).
+    In {
+        /// The column data (codes).
+        data: &'t [u32],
+        /// Allowed codes, sorted.
+        codes: Vec<u32>,
+    },
+}
+
+/// A predicate bound to one table for vectorized evaluation.
+pub struct CompiledPredicate<'t> {
+    constraints: Vec<CompiledConstraint<'t>>,
+}
+
+impl CompiledPredicate<'_> {
+    /// Evaluates the predicate at one row.
+    #[inline]
+    pub fn matches(&self, row: usize) -> bool {
+        self.constraints.iter().all(|c| match c {
+            CompiledConstraint::Range { data, range } => range.contains(data[row]),
+            CompiledConstraint::In { data, codes } => match codes.as_slice() {
+                [] => false,
+                [only] => data[row] == *only,
+                many => many.binary_search(&data[row]).is_ok(),
+            },
+        })
+    }
+
+    /// Fills `out` with the selection bitmap for the rows in `range`,
+    /// column-at-a-time: `out` is resized to `range.len()` and `out[i]`
+    /// reports whether row `range.start + i` matches. Each constraint
+    /// sweeps its own contiguous column slice, which the compiler can
+    /// auto-vectorize; rows rejected by an earlier constraint are still
+    /// touched but cost one AND.
+    pub fn fill_matches(&self, range: std::ops::Range<usize>, out: &mut Vec<bool>) {
+        out.clear();
+        out.resize(range.len(), true);
+        for c in &self.constraints {
+            match c {
+                CompiledConstraint::Range { data, range: r } => {
+                    for (flag, &x) in out.iter_mut().zip(&data[range.clone()]) {
+                        *flag &= r.contains(x);
+                    }
+                }
+                CompiledConstraint::In { data, codes } => match codes.as_slice() {
+                    [] => out.iter_mut().for_each(|f| *f = false),
+                    [only] => {
+                        for (flag, &c) in out.iter_mut().zip(&data[range.clone()]) {
+                            *flag &= c == *only;
+                        }
+                    }
+                    many => {
+                        for (flag, &c) in out.iter_mut().zip(&data[range.clone()]) {
+                            *flag &= many.binary_search(&c).is_ok();
+                        }
+                    }
+                },
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -408,6 +503,50 @@ mod tests {
         };
         assert!(half_open.is_empty());
         assert!(!NumRange::closed(1.0, 1.0).is_empty());
+    }
+
+    #[test]
+    fn compiled_matches_agree_with_eval_row() {
+        let t = table();
+        let us = t.column("region").unwrap().code_of("us").unwrap();
+        let eu = t.column("region").unwrap().code_of("eu").unwrap();
+        let preds = [
+            Predicate::True,
+            Predicate::between("week", 2.0, 4.0),
+            Predicate::cat_in("region", vec![us, eu]),
+            Predicate::cat_in("region", vec![]),
+            Predicate::between("week", 2.0, 5.0).and(Predicate::cat_eq("region", us)),
+        ];
+        for p in &preds {
+            let c = p.compile(&t).unwrap();
+            for row in 0..t.num_rows() {
+                assert_eq!(
+                    c.matches(row),
+                    p.eval_row(&t, row).unwrap(),
+                    "{p:?} row {row}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fill_matches_agrees_with_per_row_matches() {
+        let t = table();
+        let us = t.column("region").unwrap().code_of("us").unwrap();
+        let p = Predicate::between("week", 2.0, 5.0).and(Predicate::cat_eq("region", us));
+        let c = p.compile(&t).unwrap();
+        let mut buf = Vec::new();
+        for (start, end) in [(0, 5), (1, 4), (3, 3), (4, 5)] {
+            c.fill_matches(start..end, &mut buf);
+            assert_eq!(buf.len(), end - start);
+            for (i, &flag) in buf.iter().enumerate() {
+                assert_eq!(
+                    flag,
+                    c.matches(start + i),
+                    "range {start}..{end} offset {i}"
+                );
+            }
+        }
     }
 
     #[test]

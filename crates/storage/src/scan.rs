@@ -1,0 +1,330 @@
+//! Shared-scan building blocks: group enumeration and row → group mapping.
+//!
+//! The shared-scan executor answers every cell of a `GROUP BY` query from
+//! one pass over the sample. That pass needs two things from the storage
+//! layer besides predicate evaluation ([`crate::predicate::CompiledPredicate`]):
+//!
+//! - [`distinct_group_keys`]: enumerate the group keys present in the
+//!   (filtered) table in one pass, without running any aggregate — the
+//!   executor previously abused `eval_group_by(.., Count)` for this;
+//! - [`GroupIndexer`]: map each row to the index of its group key in that
+//!   enumeration, so a single scan can route a row's contribution to the
+//!   right accumulator cell.
+//!
+//! Both order groups exactly like [`crate::aggregate::eval_group_by`]
+//! (key-sorted under the same total order), so result rows keep their
+//! historical ordering.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::aggregate::OrdValue;
+use crate::{Column, GroupKey, Predicate, Result, StorageError, Table, Value};
+
+/// Enumerates the distinct group keys of `group_cols` among the rows of
+/// `table` matching `predicate`, sorted by key. One pass, no aggregate
+/// machinery, no whole-table row-index materialization.
+pub fn distinct_group_keys(
+    table: &Table,
+    predicate: &Predicate,
+    group_cols: &[String],
+) -> Result<Vec<GroupKey>> {
+    let pred = predicate.compile(table)?;
+    let cols: Vec<&Column> = group_cols
+        .iter()
+        .map(|c| table.column(c))
+        .collect::<Result<_>>()?;
+    let mut keys: BTreeSet<Vec<OrdValue>> = BTreeSet::new();
+    for row in 0..table.num_rows() {
+        if !pred.matches(row) {
+            continue;
+        }
+        // Canonicalize -0.0 to 0.0: the two zeros are equal under the
+        // group-equality predicate, so enumerating them as two keys would
+        // produce two result rows claiming the same rows.
+        let key: Vec<OrdValue> = cols
+            .iter()
+            .map(|c| match c.get(row) {
+                Value::Num(v) => OrdValue(Value::Num(if v == 0.0 { 0.0 } else { v })),
+                other => OrdValue(other),
+            })
+            .collect();
+        keys.insert(key);
+    }
+    Ok(keys
+        .into_iter()
+        .map(|k| k.into_iter().map(|v| v.0).collect())
+        .collect())
+}
+
+/// Maps rows to group indices during a shared scan.
+///
+/// Built once per query from the group columns and the enumerated group
+/// keys; [`GroupIndexer::group_of`] then resolves a row to the index of
+/// its key in O(columns) with one hash lookup, instead of re-evaluating a
+/// per-group equality predicate for every (row × group) pair.
+pub struct GroupIndexer<'t> {
+    cols: Vec<GroupCol<'t>>,
+    /// Key parts (numeric bits / categorical codes) → group index. The
+    /// overwhelmingly common single-column `GROUP BY` gets a scalar-keyed
+    /// map so the per-row lookup allocates nothing.
+    map: KeyMap,
+}
+
+enum KeyMap {
+    One(HashMap<u64, usize>),
+    Many(HashMap<Vec<u64>, usize>),
+}
+
+enum GroupCol<'t> {
+    Num(&'t [f64]),
+    Cat(&'t [u32]),
+}
+
+/// Canonical key part for one row's group value: numeric values by
+/// IEEE-754 bits (`-0.0` folded into `0.0` so the two equal zeros land in
+/// one group), categorical values by code. `None` for numeric NaN: under
+/// the group-equality predicate (`col BETWEEN v AND v`) a NaN never
+/// equals anything, so a NaN row belongs to no group.
+fn key_part(col: &GroupCol<'_>, row: usize) -> Option<u64> {
+    match col {
+        GroupCol::Num(data) => {
+            let x = data[row];
+            if x.is_nan() {
+                None
+            } else {
+                Some((if x == 0.0 { 0.0f64 } else { x }).to_bits())
+            }
+        }
+        GroupCol::Cat(data) => Some(u64::from(data[row])),
+    }
+}
+
+impl<'t> GroupIndexer<'t> {
+    /// Binds `group_cols` of `table` and indexes `keys` (as returned by
+    /// [`distinct_group_keys`]) by position. A key whose label or type
+    /// does not fit the column is an error; duplicate keys keep the first
+    /// position.
+    pub fn new(table: &'t Table, group_cols: &[String], keys: &[GroupKey]) -> Result<Self> {
+        let mut cols = Vec::with_capacity(group_cols.len());
+        for name in group_cols {
+            let col = table.column(name)?;
+            cols.push(match col {
+                Column::Numeric(_) => GroupCol::Num(col.numeric()?),
+                Column::Categorical { .. } => GroupCol::Cat(col.categorical()?),
+            });
+        }
+        // `None` marks a key no row can ever match (NaN numeric value or
+        // an unknown categorical label): it gets no map entry, so its
+        // cells stay empty — exactly what the per-snippet equality
+        // predicate produces for such keys.
+        let parts_of_key = |key: &GroupKey| -> Result<Option<Vec<u64>>> {
+            let mut parts = Vec::with_capacity(key.len());
+            for (value, (col, name)) in key.iter().zip(cols.iter().zip(group_cols.iter())) {
+                let part = match (col, value) {
+                    (GroupCol::Num(_), Value::Num(v)) => {
+                        if v.is_nan() {
+                            return Ok(None);
+                        }
+                        (if *v == 0.0 { 0.0f64 } else { *v }).to_bits()
+                    }
+                    (GroupCol::Cat(_), Value::Cat(c)) => u64::from(*c),
+                    (GroupCol::Cat(_), Value::Str(s)) => match table.column(name)?.code_of(s) {
+                        Some(c) => u64::from(c),
+                        None => return Ok(None),
+                    },
+                    _ => {
+                        return Err(StorageError::TypeError(format!(
+                            "group value {value} does not match column {name}"
+                        )))
+                    }
+                };
+                parts.push(part);
+            }
+            Ok(Some(parts))
+        };
+        let mut map = if group_cols.len() == 1 {
+            KeyMap::One(HashMap::with_capacity(keys.len()))
+        } else {
+            KeyMap::Many(HashMap::with_capacity(keys.len()))
+        };
+        for (gi, key) in keys.iter().enumerate() {
+            if key.len() != group_cols.len() {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "group key arity {} does not match {} group columns",
+                    key.len(),
+                    group_cols.len()
+                )));
+            }
+            let Some(parts) = parts_of_key(key)? else {
+                continue;
+            };
+            match &mut map {
+                KeyMap::One(m) => {
+                    m.entry(parts[0]).or_insert(gi);
+                }
+                KeyMap::Many(m) => {
+                    m.entry(parts).or_insert(gi);
+                }
+            }
+        }
+        Ok(GroupIndexer { cols, map })
+    }
+
+    /// The group index of `row`, or `None` when the row's key was not
+    /// among the indexed keys (e.g. groups dropped by the `N_max` cap, or
+    /// a NaN group value, which equals no key).
+    #[inline]
+    pub fn group_of(&self, row: usize) -> Option<usize> {
+        match &self.map {
+            KeyMap::One(m) => m.get(&key_part(&self.cols[0], row)?).copied(),
+            KeyMap::Many(m) => {
+                let parts: Vec<u64> = self
+                    .cols
+                    .iter()
+                    .map(|c| key_part(c, row))
+                    .collect::<Option<_>>()?;
+                m.get(&parts).copied()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{eval_group_by, AggregateFn, ColumnDef, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::numeric_dimension("week"),
+            ColumnDef::categorical_dimension("region"),
+            ColumnDef::measure("rev"),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for (w, r, v) in [
+            (1.0, "us", 10.0),
+            (2.0, "eu", 20.0),
+            (1.0, "us", 30.0),
+            (4.0, "jp", 40.0),
+            (2.0, "us", 50.0),
+        ] {
+            t.push_row(vec![w.into(), r.into(), v.into()]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn distinct_keys_match_eval_group_by_enumeration() {
+        let t = table();
+        for cols in [
+            vec!["region".to_owned()],
+            vec!["week".to_owned()],
+            vec!["week".to_owned(), "region".to_owned()],
+        ] {
+            for pred in [Predicate::True, Predicate::between("week", 1.0, 2.0)] {
+                let fast = distinct_group_keys(&t, &pred, &cols).unwrap();
+                let slow: Vec<GroupKey> = eval_group_by(&t, &pred, &cols, &AggregateFn::Count)
+                    .unwrap()
+                    .into_iter()
+                    .map(|(k, _)| k)
+                    .collect();
+                assert_eq!(fast, slow, "cols {cols:?} pred {pred:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_selection_yields_no_keys() {
+        let t = table();
+        let keys = distinct_group_keys(
+            &t,
+            &Predicate::between("week", 50.0, 60.0),
+            &["region".to_owned()],
+        )
+        .unwrap();
+        assert!(keys.is_empty());
+    }
+
+    #[test]
+    fn indexer_routes_rows_to_their_keys() {
+        let t = table();
+        let cols = vec!["week".to_owned(), "region".to_owned()];
+        let keys = distinct_group_keys(&t, &Predicate::True, &cols).unwrap();
+        let idx = GroupIndexer::new(&t, &cols, &keys).unwrap();
+        for row in 0..t.num_rows() {
+            let gi = idx.group_of(row).expect("every row's key was enumerated");
+            let key = &keys[gi];
+            assert_eq!(key[0], t.column("week").unwrap().get(row));
+            assert_eq!(key[1], t.column("region").unwrap().get(row));
+        }
+    }
+
+    #[test]
+    fn indexer_returns_none_for_unindexed_keys() {
+        let t = table();
+        let cols = vec!["region".to_owned()];
+        let keys = distinct_group_keys(&t, &Predicate::True, &cols).unwrap();
+        // Drop the last group (as the N_max cap does).
+        let capped = &keys[..keys.len() - 1];
+        let idx = GroupIndexer::new(&t, &cols, capped).unwrap();
+        let dropped: Vec<usize> = (0..t.num_rows())
+            .filter(|&r| idx.group_of(r).is_none())
+            .collect();
+        assert!(!dropped.is_empty(), "capped group must be unmapped");
+    }
+
+    #[test]
+    fn indexer_resolves_string_group_values() {
+        let t = table();
+        let cols = vec!["region".to_owned()];
+        let keys: Vec<GroupKey> = vec![vec![Value::Str("eu".into())]];
+        let idx = GroupIndexer::new(&t, &cols, &keys).unwrap();
+        assert_eq!(idx.group_of(1), Some(0));
+        assert_eq!(idx.group_of(0), None);
+        // Unknown labels match nothing rather than erroring.
+        let idx = GroupIndexer::new(&t, &cols, &[vec![Value::Str("mars".into())]]).unwrap();
+        assert_eq!(idx.group_of(0), None);
+    }
+
+    #[test]
+    fn signed_zero_folds_into_one_group_and_nan_matches_nothing() {
+        let schema = Schema::new(vec![
+            ColumnDef::numeric_dimension("k"),
+            ColumnDef::measure("v"),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for (k, v) in [(0.0, 1.0), (-0.0, 2.0), (f64::NAN, 3.0), (1.0, 4.0)] {
+            t.push_row(vec![k.into(), v.into()]).unwrap();
+        }
+        let cols = vec!["k".to_owned()];
+        let keys = distinct_group_keys(&t, &Predicate::True, &cols).unwrap();
+        // -0.0 canonicalized into 0.0: groups are {0.0, 1.0, NaN}, not four.
+        assert_eq!(keys.len(), 3, "{keys:?}");
+        let idx = GroupIndexer::new(&t, &cols, &keys).unwrap();
+        // Both zero rows land in the single zero group.
+        assert_eq!(idx.group_of(0), idx.group_of(1));
+        assert!(idx.group_of(0).is_some());
+        // The NaN row belongs to no group (equality never holds), and the
+        // enumerated NaN key matches no row — its cells stay empty, like
+        // the per-snippet `BETWEEN NaN AND NaN` predicate.
+        assert_eq!(idx.group_of(2), None);
+        let nan_gi = keys
+            .iter()
+            .position(|k| matches!(k[0], Value::Num(v) if v.is_nan()))
+            .expect("NaN key enumerated");
+        assert!(
+            (0..t.num_rows()).all(|r| idx.group_of(r) != Some(nan_gi)),
+            "no row may route to the NaN group"
+        );
+    }
+
+    #[test]
+    fn indexer_rejects_type_mismatch_and_arity() {
+        let t = table();
+        let cols = vec!["week".to_owned()];
+        assert!(GroupIndexer::new(&t, &cols, &[vec![Value::Cat(1)]]).is_err());
+        assert!(GroupIndexer::new(&t, &cols, &[vec![Value::Num(1.0), Value::Num(2.0)]]).is_err());
+    }
+}

@@ -3,34 +3,56 @@
 //! A [`VerdictSession`] owns the base table, a uniform sample served by an
 //! online-aggregation AQP engine (`NoLearn`), and a [`verdict_core::Verdict`]
 //! inference engine. [`VerdictSession::execute`] implements the paper's
-//! runtime dataflow (Figure 2 / Algorithm 2):
+//! runtime dataflow (Figure 2 / Algorithm 2) as a **shared scan**: every
+//! snippet of a query is answered from the *same* single pass over the
+//! sample. The dataflow is `ScanPlan → SharedScanDriver → improve_batch`:
 //!
 //! 1. parse and type-check the query (§2.2);
-//! 2. decompose it into snippets — one per aggregate × group value,
-//!    capped at `N_max` (Figure 3);
-//! 3. answer each snippet with the AQP engine, batch by batch;
-//! 4. after each batch, improve the raw answer with the model and stop as
-//!    soon as the [`StopPolicy`] is met (this is where Verdict's speedup
-//!    comes from: the target error is reached after fewer batches);
-//! 5. record the raw answers into the query synopsis.
+//! 2. enumerate the groups present in the sample's answer set in one pass
+//!    ([`verdict_storage::distinct_group_keys`], §2.3) and plan the scan
+//!    ([`verdict_sql::plan_scan`]): the decomposition of Figure 3 with its
+//!    primitive streams deduplicated — `SUM` and `COUNT` share one
+//!    `FREQ(*)` stream, `SUM` and `AVG` share one `AVG(e)` stream — and
+//!    groups capped at `N_max`;
+//! 3. drive one batch cursor over the sample
+//!    ([`verdict_aqp::SharedScanDriver`]): each batch evaluates the base
+//!    predicate as a selection bitmap, routes every matching row to its
+//!    group's accumulators, and refines all `groups × aggregates` cells at
+//!    once — scan work is independent of the number of cells, where the
+//!    per-snippet pipeline rescanned the sample `O(G × A)` times;
+//! 4. after each batch, improve the live cells' raw answers with the
+//!    learned models in one [`verdict_core::Verdict::improve_batch`] call
+//!    and *freeze* each cell as soon as it meets the [`StopPolicy`]; the
+//!    scan stops when every cell is frozen (this is where Verdict's
+//!    speedup comes from: the target error is reached after fewer
+//!    batches);
+//! 5. record the frozen raw answers into the query synopsis, in the same
+//!    per-snippet order the paper's Algorithm 2 produces.
 //!
 //! `Mode::NoLearn` bypasses step 4's inference, giving the paper's
-//! baseline within the identical pipeline.
+//! baseline within the identical pipeline. The pre-shared-scan executor
+//! survives as [`VerdictSession::execute_legacy`] — the reference
+//! implementation the parity test suite holds `execute` against, cell for
+//! cell and bit for bit.
 
 use std::path::{Path, PathBuf};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use verdict_aqp::{AqpEngine, AqpError, CostModel, OnlineAggregation, Sample, StorageTier};
+use verdict_aqp::{
+    AqpEngine, AqpError, CostModel, OnlineAggregation, Sample, ScanSpec, SharedScanDriver,
+    StorageTier,
+};
 use verdict_core::{
     AggKey, ImprovedAnswer, Observation, Region, SchemaInfo, Snippet, Verdict, VerdictConfig,
 };
 use verdict_sql::checker::JoinPolicy;
 use verdict_sql::{
-    check_query, decompose, parse_query, SnippetSpec, SupportVerdict, UnsupportedReason,
+    check_query, decompose, parse_query, plan_scan, Combiner, Query, ScanPlan, SnippetSpec,
+    SupportVerdict, UnsupportedReason,
 };
-use verdict_storage::{eval_group_by, AggregateFn, Expr, GroupKey, Predicate, Table};
+use verdict_storage::{distinct_group_keys, AggregateFn, Expr, GroupKey, Predicate, Table};
 use verdict_store::{RecoveryReport, SessionMeta, SharedStore, StorePolicy, SynopsisStore};
 
 use crate::{Error, Result};
@@ -93,7 +115,9 @@ pub struct ResultRow {
 pub struct QueryResult {
     /// Result rows.
     pub rows: Vec<ResultRow>,
-    /// Tuples scanned, counted once per shared scan (the widest cell).
+    /// Sample tuples visited by the query's one shared scan. Every cell
+    /// is answered from this single pass, so this is the query's real
+    /// scan work, not a `max` over per-cell scans.
     pub tuples_scanned: usize,
     /// Simulated wall-clock for the query under the session's cost model.
     pub simulated_ns: f64,
@@ -525,7 +549,8 @@ impl VerdictSession {
             .map_err(Error::Storage)
     }
 
-    /// Parses, checks, decomposes, and answers a SQL query.
+    /// Parses, checks, plans, and answers a SQL query from one shared
+    /// sample scan (see the module docs for the dataflow).
     ///
     /// Persistent sessions surface store failures (a failed background
     /// log append, or a compaction that failed after an earlier query)
@@ -537,43 +562,49 @@ impl VerdictSession {
         if let SupportVerdict::Unsupported(reasons) = check_query(&query, &self.join_policy) {
             return Ok(QueryOutcome::Unsupported(reasons));
         }
+        let plan = self.plan(&query)?;
+        let result = self.run_shared(&plan, mode, policy)?;
+        self.maybe_compact();
+        Ok(QueryOutcome::Answered(result))
+    }
 
-        // Enumerate group values from the sample (the AQP engine's result
-        // set determines the groups, §2.3).
-        let sample_table = self.engine().sample().table();
-        let group_keys: Vec<GroupKey> = if query.group_by.is_empty() {
-            Vec::new()
-        } else {
-            let base_pred = match &query.where_clause {
-                Some(w) => verdict_sql::resolve::to_predicate(w, sample_table)?,
-                None => Predicate::True,
-            };
-            let cols: Vec<String> = query
-                .group_by
-                .iter()
-                .filter_map(|g| match g {
-                    verdict_sql::ScalarExpr::Column { name, .. } => Some(name.clone()),
-                    _ => None,
-                })
-                .collect();
-            eval_group_by(sample_table, &base_pred, &cols, &AggregateFn::Count)
-                .map_err(Error::Storage)?
-                .into_iter()
-                .map(|(k, _)| k)
-                .collect()
-        };
+    /// Answers a SQL query with the pre-shared-scan executor: one
+    /// independent lock-step scan per snippet (aggregate × group), exactly
+    /// as `execute` worked before the shared-scan refactor.
+    ///
+    /// Kept as the reference implementation: the parity test suite holds
+    /// [`VerdictSession::execute`] to this path's answers cell for cell,
+    /// and the `groupby_scaling` benchmark measures the `O(G × A)` → `O(1)`
+    /// scan reduction against it. Note the legacy cost accounting: each
+    /// snippet re-scans the sample, so a time budget is spent *per
+    /// snippet*, not per query.
+    pub fn execute_legacy(
+        &mut self,
+        sql: &str,
+        mode: Mode,
+        policy: StopPolicy,
+    ) -> Result<QueryOutcome> {
+        self.surface_store_error()?;
+        let query = parse_query(sql)?;
+        if let SupportVerdict::Unsupported(reasons) = check_query(&query, &self.join_policy) {
+            return Ok(QueryOutcome::Unsupported(reasons));
+        }
 
+        let sample_table = self.engines[self.active].sample().table();
+        let group_keys = Self::enumerate_groups(&query, sample_table)?;
         let nmax = self.verdict.config().nmax;
         let decomposed = decompose(&query, sample_table, &group_keys, nmax)?;
 
-        // Answer snippets, regrouping into result rows.
+        // Answer snippets one at a time, regrouping into result rows.
+        // Keys are compared by identity (bits), not `==`: a NaN group key
+        // is one group, even though `NaN != NaN`.
         let mut rows: Vec<ResultRow> = Vec::new();
         let mut max_scanned = 0usize;
         for spec in &decomposed.snippets {
             let cell = self.answer_snippet(spec, mode, policy)?;
             max_scanned = max_scanned.max(cell.tuples_scanned);
             match rows.last_mut() {
-                Some(row) if row.group == spec.group => row.values.push(cell),
+                Some(row) if same_group(&row.group, &spec.group) => row.values.push(cell),
                 _ => rows.push(ResultRow {
                     group: spec.group.clone(),
                     values: vec![cell],
@@ -582,12 +613,51 @@ impl VerdictSession {
         }
 
         let simulated_ns = self.engine().simulated_ns(max_scanned);
+        self.maybe_compact();
 
-        // Fold the log into a fresh snapshot when the store's compaction
-        // policy asks for it, so the log never grows without bound. A
-        // compaction failure is parked rather than returned: the answer
-        // below is already computed and logged, and the error surfaces at
-        // the next execute()/checkpoint() call.
+        Ok(QueryOutcome::Answered(QueryResult {
+            rows,
+            tuples_scanned: max_scanned,
+            simulated_ns,
+            truncated: decomposed.truncated,
+        }))
+    }
+
+    /// Enumerates the group values present in the sample's answer set (the
+    /// AQP engine's result set determines the groups, §2.3) in one pass.
+    fn enumerate_groups(query: &Query, sample_table: &Table) -> Result<Vec<GroupKey>> {
+        if query.group_by.is_empty() {
+            return Ok(Vec::new());
+        }
+        let base_pred = match &query.where_clause {
+            Some(w) => verdict_sql::resolve::to_predicate(w, sample_table)?,
+            None => Predicate::True,
+        };
+        let cols: Vec<String> = query
+            .group_by
+            .iter()
+            .filter_map(|g| match g {
+                verdict_sql::ScalarExpr::Column { name, .. } => Some(name.clone()),
+                _ => None,
+            })
+            .collect();
+        distinct_group_keys(sample_table, &base_pred, &cols).map_err(Error::Storage)
+    }
+
+    /// Plans one shared scan for a checked query.
+    fn plan(&self, query: &Query) -> Result<ScanPlan> {
+        let sample_table = self.engines[self.active].sample().table();
+        let group_keys = Self::enumerate_groups(query, sample_table)?;
+        let nmax = self.verdict.config().nmax;
+        Ok(plan_scan(query, sample_table, &group_keys, nmax)?)
+    }
+
+    /// Folds the log into a fresh snapshot when the store's compaction
+    /// policy asks for it, so the log never grows without bound. A
+    /// compaction failure is parked rather than returned: the answer is
+    /// already computed and logged, and the error surfaces at the next
+    /// `execute()`/`checkpoint()` call.
+    fn maybe_compact(&mut self) {
         let compact = self
             .store
             .as_ref()
@@ -599,13 +669,202 @@ impl VerdictSession {
                 }
             }
         }
+    }
 
-        Ok(QueryOutcome::Answered(QueryResult {
+    /// Runs one shared scan to answer every cell of `plan` under the given
+    /// mode and stop policy.
+    fn run_shared(
+        &mut self,
+        plan: &ScanPlan,
+        mode: Mode,
+        policy: StopPolicy,
+    ) -> Result<QueryResult> {
+        let num_groups = plan.groups.len();
+        let num_aggs = plan.aggregates.len();
+        let num_cells = num_groups * num_aggs;
+        if num_cells == 0 {
+            // A grouped query whose predicate selects no sample rows: no
+            // result rows, and (exactly like the per-snippet path) nothing
+            // to scan.
+            return Ok(QueryResult {
+                rows: Vec::new(),
+                tuples_scanned: 0,
+                simulated_ns: self.engine().simulated_ns(0),
+                truncated: plan.truncated,
+            });
+        }
+
+        let engine = &self.engines[self.active];
+        let n_base = engine.sample().base_rows() as f64;
+
+        // Model keys of the primitive streams and regions of the groups.
+        let prim_keys: Vec<AggKey> = plan
+            .primitives
+            .iter()
+            .map(|p| match p {
+                AggregateFn::Avg(e) => AggKey::avg(&e.to_string()),
+                AggregateFn::Freq => AggKey::Freq,
+                _ => unreachable!("plan primitives are AVG/FREQ"),
+            })
+            .collect();
+        let regions: Vec<Option<Region>> = plan
+            .group_predicates
+            .iter()
+            .map(|p| Region::from_predicate(self.verdict.schema(), p).ok())
+            .collect();
+
+        let scan_groups: Vec<GroupKey> = plan.groups.iter().flatten().cloned().collect();
+        let mut driver = engine
+            .shared_scan(&ScanSpec {
+                predicate: &plan.base_predicate,
+                group_cols: &plan.group_cols,
+                groups: &scan_groups,
+                primitives: &plan.primitives,
+            })
+            .map_err(Error::Aqp)?;
+
+        // The stop policy bounds the *one* query-wide scan: a tuple or
+        // time budget buys one prefix of the sample regardless of how many
+        // cells the query has (the per-snippet path spent the budget per
+        // snippet, G×A times over).
+        let tuple_cap = match policy {
+            StopPolicy::TupleBudget(n) => n,
+            StopPolicy::TimeBudgetNs(ns) => {
+                engine.cost_model().tuples_within(ns, engine.tier()).max(1)
+            }
+            _ => usize::MAX,
+        };
+
+        // Per-cell stop tracking: a frozen cell holds the snapshot it had
+        // when it met the policy; the scan stops when all cells froze.
+        let mut frozen: Vec<Option<FrozenCell>> = (0..num_cells).map(|_| None).collect();
+        let mut live = num_cells;
+        // Snapshots of the cells that did NOT meet the bound at the most
+        // recent evaluation, kept so an exhausted scan can finalize from
+        // them instead of re-running the whole inference pass at the same
+        // scan position.
+        let mut last_unmet: Vec<(usize, FrozenCell)> = Vec::new();
+
+        loop {
+            if !driver.step() {
+                break;
+            }
+            let scanned = driver.tuples_scanned();
+            match policy {
+                StopPolicy::ScanAll => {}
+                StopPolicy::TupleBudget(_) | StopPolicy::TimeBudgetNs(_) => {
+                    if scanned >= tuple_cap {
+                        break;
+                    }
+                }
+                StopPolicy::RelativeErrorBound { target, delta } => {
+                    // Evaluate every live cell against the bound; freeze
+                    // those that meet it.
+                    let evaluated = evaluate_live_cells(
+                        &mut self.verdict,
+                        plan,
+                        &driver,
+                        &prim_keys,
+                        &regions,
+                        mode,
+                        n_base,
+                        &frozen,
+                    );
+                    last_unmet.clear();
+                    for (cell, snapshot) in evaluated {
+                        let bound = snapshot.improved.bound(delta);
+                        let met = bound.is_finite()
+                            && bound / snapshot.improved.answer.abs().max(1e-9) <= target;
+                        if met {
+                            frozen[cell] = Some(snapshot);
+                            live -= 1;
+                        } else {
+                            last_unmet.push((cell, snapshot));
+                        }
+                    }
+                    if live == 0 {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Finalize the cells still live at the end of the scan. If the
+        // loop's last evaluation already ran at this exact scan position
+        // (sample exhausted under RelativeErrorBound), reuse its
+        // snapshots rather than repeating the inference pass.
+        let final_scanned = driver.tuples_scanned();
+        let finalized: Vec<(usize, FrozenCell)> =
+            if !last_unmet.is_empty() && last_unmet[0].1.scanned == final_scanned {
+                last_unmet
+            } else {
+                evaluate_live_cells(
+                    &mut self.verdict,
+                    plan,
+                    &driver,
+                    &prim_keys,
+                    &regions,
+                    mode,
+                    n_base,
+                    &frozen,
+                )
+            };
+        for (cell, snapshot) in finalized {
+            frozen[cell] = Some(snapshot);
+        }
+        let tuples_scanned = driver.tuples_scanned();
+        drop(driver);
+
+        // Record the raw primitive observations into the synopsis (Verdict
+        // stores raw answers, not improved ones — Algorithm 2 line 6), in
+        // the per-snippet order of the Figure 3 decomposition.
+        if mode == Mode::Verdict {
+            for g in 0..num_groups {
+                let Some(region) = &regions[g] else { continue };
+                for (a, spec) in plan.aggregates.iter().enumerate() {
+                    let cell = frozen[g * num_aggs + a].as_ref().expect("finalized");
+                    for (key, obs) in cell_prim_indices(spec)
+                        .map(|p| &prim_keys[p])
+                        .zip(cell.raw_prims.iter())
+                    {
+                        if obs.error.is_finite() {
+                            let snippet = Snippet::new(key.clone(), region.clone());
+                            self.verdict.observe(&snippet, *obs);
+                        }
+                    }
+                }
+            }
+        }
+
+        // One real scan: the cost model charges the single pass, not the
+        // widest of G×A independent passes.
+        let simulated_ns = self.engine().simulated_ns(tuples_scanned);
+
+        let mut rows: Vec<ResultRow> = Vec::with_capacity(num_groups);
+        let mut slots = frozen.into_iter();
+        for group in &plan.groups {
+            let mut values = Vec::with_capacity(num_aggs);
+            for _ in 0..num_aggs {
+                let cell = slots.next().flatten().expect("finalized");
+                values.push(CellAnswer {
+                    improved: cell.improved,
+                    raw_answer: cell.user_raw.0,
+                    raw_error: cell.user_raw.1,
+                    tuples_scanned: cell.scanned,
+                });
+            }
+            rows.push(ResultRow {
+                group: group.clone(),
+                values,
+            });
+        }
+
+        Ok(QueryResult {
             rows,
-            tuples_scanned: max_scanned,
+            tuples_scanned,
             simulated_ns,
-            truncated: decomposed.truncated,
-        }))
+            truncated: plan.truncated,
+        })
     }
 
     /// Answers one snippet under the given mode and stop policy.
@@ -717,6 +976,194 @@ impl VerdictSession {
     }
 }
 
+/// The state of one result cell frozen at its stop point: the raw
+/// primitive observations (what the synopsis records), the combined
+/// user-facing raw pair, the (possibly model-improved) answer, and the
+/// scan position where the cell stopped.
+struct FrozenCell {
+    raw_prims: Vec<Observation>,
+    user_raw: (f64, f64),
+    improved: ImprovedAnswer,
+    scanned: usize,
+}
+
+/// The primitive-stream indices one aggregate reads, in the canonical
+/// AVG-before-FREQ order of the §2.3 decomposition (`SUM → [avg, freq]`).
+fn cell_prim_indices(spec: &verdict_sql::AggregateSpec) -> impl Iterator<Item = usize> + '_ {
+    spec.avg_prim.iter().chain(spec.freq_prim.iter()).copied()
+}
+
+/// Snapshots and improves every still-live cell at the driver's current
+/// scan position. Improvement runs as one [`Verdict::improve_batch`] call
+/// across all live cells (cells whose predicate has no region pass raw
+/// through, like the per-snippet path). Returns `(cell index, snapshot)`
+/// pairs; cell indices are group-major (`g * num_aggs + a`).
+#[allow(clippy::too_many_arguments)]
+fn evaluate_live_cells(
+    verdict: &mut Verdict,
+    plan: &ScanPlan,
+    driver: &SharedScanDriver<'_>,
+    prim_keys: &[AggKey],
+    regions: &[Option<Region>],
+    mode: Mode,
+    n_base: f64,
+    frozen: &[Option<FrozenCell>],
+) -> Vec<(usize, FrozenCell)> {
+    let num_aggs = plan.aggregates.len();
+    let scanned = driver.tuples_scanned();
+
+    // Snapshot raw primitive observations per live cell.
+    let mut cells: Vec<(usize, Vec<Observation>)> = Vec::new();
+    for (cell, slot) in frozen.iter().enumerate() {
+        if slot.is_some() {
+            continue;
+        }
+        let (g, a) = (cell / num_aggs, cell % num_aggs);
+        let raw_prims: Vec<Observation> = cell_prim_indices(&plan.aggregates[a])
+            .map(|p| {
+                let r = driver.raw(g, p);
+                Observation::new(r.answer, r.error)
+            })
+            .collect();
+        cells.push((cell, raw_prims));
+    }
+
+    // Improve all live cells' primitives in one batched inference pass.
+    let improved_prims: Vec<Vec<ImprovedAnswer>> = match mode {
+        Mode::NoLearn => Vec::new(),
+        Mode::Verdict => {
+            let mut requests: Vec<(Snippet, Observation)> = Vec::new();
+            let mut spans: Vec<Option<(usize, usize)>> = Vec::with_capacity(cells.len());
+            for (cell, raw_prims) in &cells {
+                let (g, a) = (cell / num_aggs, cell % num_aggs);
+                let Some(region) = &regions[g] else {
+                    spans.push(None);
+                    continue;
+                };
+                let start = requests.len();
+                for (p, obs) in cell_prim_indices(&plan.aggregates[a]).zip(raw_prims.iter()) {
+                    requests.push((Snippet::new(prim_keys[p].clone(), region.clone()), *obs));
+                }
+                spans.push(Some((start, requests.len())));
+            }
+            let answers = verdict.improve_batch(&requests);
+            spans
+                .into_iter()
+                .map(|span| match span {
+                    Some((start, end)) => answers[start..end].to_vec(),
+                    None => Vec::new(),
+                })
+                .collect()
+        }
+    };
+
+    cells
+        .into_iter()
+        .enumerate()
+        .map(|(i, (cell, raw_prims))| {
+            let a = cell % num_aggs;
+            let combiner = plan.aggregates[a].combiner;
+            let user_raw = combine_raw(combiner, &raw_prims, n_base);
+            let improved = match mode {
+                Mode::NoLearn => raw_as_improved(user_raw),
+                Mode::Verdict => {
+                    if improved_prims[i].is_empty() {
+                        raw_as_improved(user_raw)
+                    } else {
+                        combine_improved(combiner, &improved_prims[i], n_base)
+                    }
+                }
+            };
+            (
+                cell,
+                FrozenCell {
+                    raw_prims,
+                    user_raw,
+                    improved,
+                    scanned,
+                },
+            )
+        })
+        .collect()
+}
+
+/// Group-key equality by value *identity*: numeric parts compare by bits
+/// (so a NaN key equals itself and a run of snippets for one NaN group
+/// reassembles into one result row), with `-0.0` folded into `0.0`.
+fn same_group(a: &Option<GroupKey>, b: &Option<GroupKey>) -> bool {
+    fn num_bits(v: f64) -> u64 {
+        (if v == 0.0 { 0.0f64 } else { v }).to_bits()
+    }
+    match (a, b) {
+        (None, None) => true,
+        (Some(ka), Some(kb)) => {
+            ka.len() == kb.len()
+                && ka.iter().zip(kb.iter()).all(|(va, vb)| {
+                    use verdict_storage::Value;
+                    match (va, vb) {
+                        (Value::Num(x), Value::Num(y)) => num_bits(*x) == num_bits(*y),
+                        _ => va == vb,
+                    }
+                })
+        }
+        _ => false,
+    }
+}
+
+/// A raw `(answer, error)` pair wrapped as an unimproved answer.
+fn raw_as_improved(raw: (f64, f64)) -> ImprovedAnswer {
+    ImprovedAnswer {
+        answer: raw.0,
+        error: raw.1,
+        used_model: false,
+    }
+}
+
+/// Combines raw primitive observations (AVG-before-FREQ order) into the
+/// user-facing raw `(answer, error)` pair (§2.3 recovery formulas).
+fn combine_raw(combiner: Combiner, raw: &[Observation], n_base: f64) -> (f64, f64) {
+    match combiner {
+        Combiner::Avg | Combiner::Freq => (raw[0].answer, raw[0].error),
+        Combiner::Count => ((raw[0].answer * n_base).round(), raw[0].error * n_base),
+        Combiner::Sum => product_with_error(
+            raw[0].answer,
+            raw[0].error,
+            raw[1].answer * n_base,
+            raw[1].error * n_base,
+        ),
+    }
+}
+
+/// Recombines per-primitive improved answers into the user-facing
+/// improved answer (same recovery formulas as [`combine_raw`]).
+fn combine_improved(
+    combiner: Combiner,
+    improved: &[ImprovedAnswer],
+    n_base: f64,
+) -> ImprovedAnswer {
+    match combiner {
+        Combiner::Avg | Combiner::Freq => improved[0],
+        Combiner::Count => ImprovedAnswer {
+            answer: (improved[0].answer * n_base).round().max(0.0),
+            error: improved[0].error * n_base,
+            used_model: improved[0].used_model,
+        },
+        Combiner::Sum => {
+            let (answer, error) = product_with_error(
+                improved[0].answer,
+                improved[0].error,
+                (improved[1].answer * n_base).max(0.0),
+                improved[1].error * n_base,
+            );
+            ImprovedAnswer {
+                answer,
+                error,
+                used_model: improved[0].used_model || improved[1].used_model,
+            }
+        }
+    }
+}
+
 /// One internal primitive: `AVG(expr)` or `FREQ(*)` with its model key.
 struct Primitive {
     key: AggKey,
@@ -734,19 +1181,13 @@ impl Primitive {
 }
 
 /// How a user-facing aggregate maps onto internal primitives (§2.3):
-/// `AVG → [avg]`, `COUNT → [freq]`, `SUM → [avg, freq]`.
+/// `AVG → [avg]`, `COUNT → [freq]`, `SUM → [avg, freq]`. Used by the
+/// legacy per-snippet executor; the shared-scan path gets the same
+/// mapping (deduplicated) from [`verdict_sql::plan_scan`]. Both recombine
+/// through the same [`combine_raw`] / [`combine_improved`] functions.
 struct SnippetPlan {
     primitives: Vec<Primitive>,
-    kind: PlanKind,
-}
-
-#[derive(Clone, Copy, PartialEq, Eq)]
-enum PlanKind {
-    Avg,
-    Count,
-    Sum,
-    /// Raw `FREQ(*)` exposed directly (internal/tests).
-    Freq,
+    combiner: Combiner,
 }
 
 impl SnippetPlan {
@@ -757,14 +1198,14 @@ impl SnippetPlan {
                     key: AggKey::avg(&e.to_string()),
                     expr: Some(e.clone()),
                 }],
-                kind: PlanKind::Avg,
+                combiner: Combiner::Avg,
             },
             AggregateFn::Count => SnippetPlan {
                 primitives: vec![Primitive {
                     key: AggKey::Freq,
                     expr: None,
                 }],
-                kind: PlanKind::Count,
+                combiner: Combiner::Count,
             },
             AggregateFn::Sum(e) => SnippetPlan {
                 primitives: vec![
@@ -777,14 +1218,14 @@ impl SnippetPlan {
                         expr: None,
                     },
                 ],
-                kind: PlanKind::Sum,
+                combiner: Combiner::Sum,
             },
             AggregateFn::Freq => SnippetPlan {
                 primitives: vec![Primitive {
                     key: AggKey::Freq,
                     expr: None,
                 }],
-                kind: PlanKind::Freq,
+                combiner: Combiner::Freq,
             },
         }
     }
@@ -792,16 +1233,7 @@ impl SnippetPlan {
     /// Combines raw primitive observations into the user-facing raw
     /// `(answer, error)` pair.
     fn combine_raw(&self, raw: &[Observation], n_base: f64) -> (f64, f64) {
-        match self.kind {
-            PlanKind::Avg | PlanKind::Freq => (raw[0].answer, raw[0].error),
-            PlanKind::Count => ((raw[0].answer * n_base).round(), raw[0].error * n_base),
-            PlanKind::Sum => product_with_error(
-                raw[0].answer,
-                raw[0].error,
-                raw[1].answer * n_base,
-                raw[1].error * n_base,
-            ),
-        }
+        combine_raw(self.combiner, raw, n_base)
     }
 
     /// Improves each primitive with the model, then recombines.
@@ -821,27 +1253,7 @@ impl SnippetPlan {
                 verdict.improve(&snippet, *obs)
             })
             .collect();
-        match self.kind {
-            PlanKind::Avg | PlanKind::Freq => improved[0],
-            PlanKind::Count => ImprovedAnswer {
-                answer: (improved[0].answer * n_base).round().max(0.0),
-                error: improved[0].error * n_base,
-                used_model: improved[0].used_model,
-            },
-            PlanKind::Sum => {
-                let (answer, error) = product_with_error(
-                    improved[0].answer,
-                    improved[0].error,
-                    (improved[1].answer * n_base).max(0.0),
-                    improved[1].error * n_base,
-                );
-                ImprovedAnswer {
-                    answer,
-                    error,
-                    used_model: improved[0].used_model || improved[1].used_model,
-                }
-            }
-        }
+        combine_improved(self.combiner, &improved, n_base)
     }
 }
 

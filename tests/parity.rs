@@ -1,0 +1,413 @@
+//! Executor parity: the shared-scan path (`execute`) must return answers,
+//! errors, scan accounting, and synopsis contents identical to the legacy
+//! per-snippet path (`execute_legacy`) for arbitrary supported queries —
+//! the refactor changes *how much work* a query costs, never *what it
+//! answers*. Plus the regression tests for the shared-scan cost
+//! semantics: a stop-policy budget bounds the one query-wide scan instead
+//! of being spent per snippet.
+
+use proptest::prelude::*;
+use verdict::aqp::AqpEngine;
+use verdict::{Mode, QueryOutcome, QueryResult, SessionBuilder, StopPolicy, VerdictSession};
+use verdict_storage::{ColumnDef, Schema, Table};
+
+const REGIONS: [&str; 10] = ["r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9"];
+
+/// A deterministic table: numeric `week` dimension (1..=25), categorical
+/// `region` dimension (10 labels), `rev` measure.
+fn base_table(rows: usize) -> Table {
+    let schema = Schema::new(vec![
+        ColumnDef::numeric_dimension("week"),
+        ColumnDef::categorical_dimension("region"),
+        ColumnDef::measure("rev"),
+    ])
+    .unwrap();
+    let mut t = Table::new(schema);
+    let mut state = 0x9e3779b97f4a7c15u64;
+    for i in 0..rows {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+        let week = 1.0 + (i % 25) as f64;
+        let region = REGIONS[i % REGIONS.len()];
+        let rev = 50.0 + 10.0 * (week / 4.0).sin() + 8.0 * (u - 0.5);
+        t.push_row(vec![week.into(), region.into(), rev.into()])
+            .unwrap();
+    }
+    t
+}
+
+/// Two sessions over the identical table and sample, one per executor.
+fn session_pair(rows: usize) -> (VerdictSession, VerdictSession) {
+    let build = || {
+        SessionBuilder::new(base_table(rows))
+            .sample_fraction(0.25)
+            .batch_size(150)
+            .seed(17)
+            .build()
+            .unwrap()
+    };
+    (build(), build())
+}
+
+#[derive(Debug, Clone)]
+struct QuerySpec {
+    sql: String,
+    policy: StopPolicy,
+}
+
+/// Random supported queries: 1–3 aggregates (deduplication exercised by
+/// AVG+SUM+COUNT combinations), optional GROUP BY on either dimension,
+/// random week range, and a random stop policy.
+fn query_spec() -> impl Strategy<Value = QuerySpec> {
+    (0u32..20, 1u32..=25, 1u32..8, 0u32..3, 0u32..4).prop_map(
+        |(lo, width, agg_mask, group, policy)| {
+            let mut aggs: Vec<&str> = Vec::new();
+            if agg_mask & 1 != 0 {
+                aggs.push("AVG(rev)");
+            }
+            if agg_mask & 2 != 0 {
+                aggs.push("SUM(rev)");
+            }
+            if agg_mask & 4 != 0 {
+                aggs.push("COUNT(*)");
+            }
+            let (select_prefix, group_clause) = match group {
+                1 => ("region, ", " GROUP BY region"),
+                2 => ("week, ", " GROUP BY week"),
+                _ => ("", ""),
+            };
+            let hi = lo + width;
+            let sql = format!(
+                "SELECT {select_prefix}{} FROM t WHERE week BETWEEN {lo} AND {hi}{group_clause}",
+                aggs.join(", "),
+            );
+            let policy = match policy {
+                0 => StopPolicy::ScanAll,
+                1 => StopPolicy::TupleBudget(700),
+                2 => StopPolicy::TimeBudgetNs(12_000_000.0),
+                _ => StopPolicy::RelativeErrorBound {
+                    target: 0.05,
+                    delta: 0.95,
+                },
+            };
+            QuerySpec { sql, policy }
+        },
+    )
+}
+
+/// Group-key equality by bit identity (a NaN key equals itself; the two
+/// executors enumerate keys from the same pass, so bits match exactly).
+fn groups_identical(
+    a: &Option<verdict_storage::GroupKey>,
+    b: &Option<verdict_storage::GroupKey>,
+) -> bool {
+    use verdict_storage::Value;
+    match (a, b) {
+        (None, None) => true,
+        (Some(ka), Some(kb)) => {
+            ka.len() == kb.len()
+                && ka.iter().zip(kb.iter()).all(|(x, y)| match (x, y) {
+                    (Value::Num(x), Value::Num(y)) => x.to_bits() == y.to_bits(),
+                    _ => x == y,
+                })
+        }
+        _ => false,
+    }
+}
+
+/// Bitwise comparison of two query results, cell for cell.
+fn assert_results_match(shared: &QueryResult, legacy: &QueryResult, sql: &str) {
+    assert_eq!(shared.rows.len(), legacy.rows.len(), "{sql}");
+    assert_eq!(shared.truncated, legacy.truncated, "{sql}");
+    assert_eq!(shared.tuples_scanned, legacy.tuples_scanned, "{sql}");
+    for (rs, rl) in shared.rows.iter().zip(legacy.rows.iter()) {
+        assert!(
+            groups_identical(&rs.group, &rl.group),
+            "{sql}: {:?} vs {:?}",
+            rs.group,
+            rl.group
+        );
+        assert_eq!(rs.values.len(), rl.values.len(), "{sql}");
+        for (cs, cl) in rs.values.iter().zip(rl.values.iter()) {
+            assert_eq!(
+                cs.raw_answer.to_bits(),
+                cl.raw_answer.to_bits(),
+                "raw answer diverged: {} vs {} for {sql}",
+                cs.raw_answer,
+                cl.raw_answer
+            );
+            assert_eq!(
+                cs.raw_error.to_bits(),
+                cl.raw_error.to_bits(),
+                "raw error diverged: {} vs {} for {sql}",
+                cs.raw_error,
+                cl.raw_error
+            );
+            assert_eq!(
+                cs.improved.answer.to_bits(),
+                cl.improved.answer.to_bits(),
+                "improved answer diverged: {} vs {} for {sql}",
+                cs.improved.answer,
+                cl.improved.answer
+            );
+            assert_eq!(
+                cs.improved.error.to_bits(),
+                cl.improved.error.to_bits(),
+                "improved error diverged for {sql}"
+            );
+            assert_eq!(cs.improved.used_model, cl.improved.used_model, "{sql}");
+            assert_eq!(cs.tuples_scanned, cl.tuples_scanned, "{sql}");
+        }
+    }
+}
+
+/// The recorded synopses (raw observations, in recording order) must be
+/// identical: the shared scan feeds the learned state exactly what the
+/// per-snippet path did.
+fn assert_synopses_match(shared: &VerdictSession, legacy: &VerdictSession) {
+    let a = shared.verdict().export_state();
+    let b = legacy.verdict().export_state();
+    assert_eq!(a.synopses.len(), b.synopses.len(), "synopsis key sets");
+    for ((ka, sa), (kb, sb)) in a.synopses.iter().zip(b.synopses.iter()) {
+        assert_eq!(ka, kb);
+        assert_eq!(sa.len(), sb.len(), "synopsis length for {ka}");
+        for (ea, eb) in sa.entries().iter().zip(sb.entries().iter()) {
+            assert_eq!(ea.region, eb.region, "region for {ka}");
+            assert_eq!(
+                ea.observation.answer.to_bits(),
+                eb.observation.answer.to_bits(),
+                "recorded answer for {ka}"
+            );
+            assert_eq!(
+                ea.observation.error.to_bits(),
+                eb.observation.error.to_bits(),
+                "recorded error for {ka}"
+            );
+        }
+    }
+}
+
+fn run_pair(
+    shared: &mut VerdictSession,
+    legacy: &mut VerdictSession,
+    sql: &str,
+    mode: Mode,
+    policy: StopPolicy,
+) {
+    let out_s = shared.execute(sql, mode, policy).unwrap();
+    let out_l = legacy.execute_legacy(sql, mode, policy).unwrap();
+    match (out_s, out_l) {
+        (QueryOutcome::Answered(rs), QueryOutcome::Answered(rl)) => {
+            assert_results_match(&rs, &rl, sql)
+        }
+        (QueryOutcome::Unsupported(_), QueryOutcome::Unsupported(_)) => {}
+        _ => panic!("support classification diverged for {sql}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// NoLearn mode: raw pipeline parity over a random query sequence.
+    #[test]
+    fn shared_scan_matches_legacy_nolearn(specs in prop::collection::vec(query_spec(), 18..=18)) {
+        let (mut shared, mut legacy) = session_pair(6_000);
+        for spec in &specs {
+            run_pair(&mut shared, &mut legacy, &spec.sql, Mode::NoLearn, spec.policy);
+        }
+    }
+
+    /// Verdict mode: inference + validation + synopsis recording parity,
+    /// with models trained mid-sequence so later queries engage them.
+    #[test]
+    fn shared_scan_matches_legacy_verdict(specs in prop::collection::vec(query_spec(), 12..=12)) {
+        let (mut shared, mut legacy) = session_pair(6_000);
+        // Warm-up: overlapping range queries populate the synopses
+        // identically through both executors.
+        for lo in (0..24).step_by(3) {
+            let sql = format!(
+                "SELECT AVG(rev), COUNT(*) FROM t WHERE week BETWEEN {lo} AND {}",
+                lo + 4
+            );
+            run_pair(&mut shared, &mut legacy, &sql, Mode::Verdict, StopPolicy::ScanAll);
+        }
+        assert_synopses_match(&shared, &legacy);
+        shared.train().unwrap();
+        legacy.train().unwrap();
+        // Guard against trivial parity: the trained model must actually
+        // engage on an overlapping query, on both paths.
+        let probe = "SELECT AVG(rev) FROM t WHERE week BETWEEN 5 AND 15";
+        let ps = shared.execute(probe, Mode::Verdict, StopPolicy::ScanAll)
+            .unwrap().unwrap_answered();
+        let pl = legacy.execute_legacy(probe, Mode::Verdict, StopPolicy::ScanAll)
+            .unwrap().unwrap_answered();
+        prop_assert!(ps.rows[0].values[0].improved.used_model, "model must engage");
+        assert_results_match(&ps, &pl, probe);
+        for spec in &specs {
+            run_pair(&mut shared, &mut legacy, &spec.sql, Mode::Verdict, spec.policy);
+        }
+        assert_synopses_match(&shared, &legacy);
+    }
+}
+
+/// Acceptance: a query with ≥8 groups × 2 aggregates is answered from one
+/// shared scan — `tuples_scanned` is at most the sample size (the
+/// per-snippet path did G×A× that much real scan work) — and bit-matches
+/// the legacy executor.
+#[test]
+fn eight_groups_two_aggregates_one_scan() {
+    let (mut shared, mut legacy) = session_pair(8_000);
+    let sql = "SELECT region, AVG(rev), SUM(rev) FROM t GROUP BY region";
+    let rs = shared
+        .execute(sql, Mode::NoLearn, StopPolicy::ScanAll)
+        .unwrap()
+        .unwrap_answered();
+    assert!(rs.rows.len() >= 8, "{} groups", rs.rows.len());
+    assert_eq!(rs.rows[0].values.len(), 2);
+    assert!(
+        rs.tuples_scanned <= shared.engine().sample().len(),
+        "one scan: {} > sample {}",
+        rs.tuples_scanned,
+        shared.engine().sample().len()
+    );
+    let rl = legacy
+        .execute_legacy(sql, Mode::NoLearn, StopPolicy::ScanAll)
+        .unwrap()
+        .unwrap_answered();
+    assert_results_match(&rs, &rl, sql);
+}
+
+/// Regression (stop-policy semantics): a time budget bounds the *single*
+/// query-wide scan. Under the per-snippet executor every snippet derived
+/// its own tuple cap, so a G×A query did G×A× the budgeted work; under
+/// the shared scan the same budget buys the same sample prefix whether
+/// the query has one cell or twenty.
+#[test]
+fn time_budget_bounds_the_single_query_wide_scan() {
+    let (mut s, _) = session_pair(20_000);
+    let budget = 12_000_000.0;
+    let policy = StopPolicy::TimeBudgetNs(budget);
+    let grouped = s
+        .execute(
+            "SELECT region, AVG(rev), SUM(rev) FROM t GROUP BY region",
+            Mode::NoLearn,
+            policy,
+        )
+        .unwrap()
+        .unwrap_answered();
+    assert!(grouped.rows.len() >= 8);
+    let ungrouped = s
+        .execute("SELECT AVG(rev) FROM t", Mode::NoLearn, policy)
+        .unwrap()
+        .unwrap_answered();
+    // Scan work is independent of G×A: 10 groups × 2 aggregates buys
+    // exactly the prefix a single-cell query buys.
+    assert_eq!(grouped.tuples_scanned, ungrouped.tuples_scanned);
+    // And that prefix is the budgeted cap, rounded up to a whole batch.
+    let cap = s
+        .engine()
+        .cost_model()
+        .tuples_within(budget, s.engine().tier());
+    let batch = 150;
+    assert!(
+        grouped.tuples_scanned <= cap.div_ceil(batch) * batch,
+        "scan {} exceeds budgeted cap {cap} (batch {batch})",
+        grouped.tuples_scanned
+    );
+    assert!(grouped.tuples_scanned > 0);
+    // The simulated clock charges that one scan, within one batch of the
+    // budget.
+    let one_batch_ns = s.engine().cost_model().scan_ns(batch, s.engine().tier());
+    assert!(
+        grouped.simulated_ns <= budget + one_batch_ns,
+        "simulated {} vs budget {budget}",
+        grouped.simulated_ns
+    );
+}
+
+/// Regression: a tuple budget likewise caps the one shared scan, and
+/// per-cell `tuples_scanned` reports the same stop point for every cell.
+#[test]
+fn tuple_budget_caps_shared_scan() {
+    let (mut s, _) = session_pair(20_000);
+    let r = s
+        .execute(
+            "SELECT region, AVG(rev), COUNT(*) FROM t GROUP BY region",
+            Mode::NoLearn,
+            StopPolicy::TupleBudget(600),
+        )
+        .unwrap()
+        .unwrap_answered();
+    assert!(
+        r.tuples_scanned >= 600 && r.tuples_scanned <= 750,
+        "{}",
+        r.tuples_scanned
+    );
+    for row in &r.rows {
+        for cell in &row.values {
+            assert_eq!(cell.tuples_scanned, r.tuples_scanned);
+        }
+    }
+}
+
+/// Parity on pathological numeric group keys: `-0.0` and `0.0` are equal
+/// under the group-equality predicate (one group, not two), and a NaN
+/// group key equals nothing (its row exists but all its cells are empty)
+/// — both executors must agree.
+#[test]
+fn signed_zero_and_nan_group_keys_agree() {
+    let build = || {
+        let schema = Schema::new(vec![
+            ColumnDef::numeric_dimension("k"),
+            ColumnDef::measure("v"),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..400 {
+            let k = match i % 4 {
+                0 => 0.0,
+                1 => -0.0,
+                2 => f64::NAN,
+                _ => 1.0,
+            };
+            t.push_row(vec![k.into(), ((i % 7) as f64).into()]).unwrap();
+        }
+        SessionBuilder::new(t)
+            .sample_fraction(1.0)
+            .batch_size(50)
+            .seed(2)
+            .build()
+            .unwrap()
+    };
+    let (mut shared, mut legacy) = (build(), build());
+    let sql = "SELECT k, COUNT(*), AVG(v) FROM t GROUP BY k";
+    let rs = shared
+        .execute(sql, Mode::NoLearn, StopPolicy::ScanAll)
+        .unwrap()
+        .unwrap_answered();
+    let rl = legacy
+        .execute_legacy(sql, Mode::NoLearn, StopPolicy::ScanAll)
+        .unwrap()
+        .unwrap_answered();
+    assert_results_match(&rs, &rl, sql);
+    // Three groups: {0.0 (both zeros), 1.0, NaN}; the zero group owns
+    // half the table, the NaN group's cells are empty.
+    assert_eq!(
+        rs.rows.len(),
+        3,
+        "{:?}",
+        rs.rows.iter().map(|r| &r.group).collect::<Vec<_>>()
+    );
+    let zero_row = &rs.rows[0];
+    assert!((zero_row.values[0].raw_answer - 200.0).abs() < 1e-9);
+    let nan_row = rs
+        .rows
+        .iter()
+        .find(
+            |r| matches!(r.group.as_deref(), Some([verdict_storage::Value::Num(v)]) if v.is_nan()),
+        )
+        .expect("NaN group row present");
+    assert_eq!(nan_row.values[0].raw_answer, 0.0, "NaN key matches no row");
+}
