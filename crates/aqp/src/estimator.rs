@@ -20,7 +20,7 @@
 //! through a [`CompiledPredicate`] (column-bound, vectorizable) instead of
 //! pre-materializing a whole-table row mask; the shared-scan driver
 //! ([`crate::SharedScanDriver`]) reuses the same per-primitive estimate
-//! functions ([`avg_estimate`], [`freq_estimate`]) so the two paths agree
+//! functions (`avg_estimate`, `freq_estimate`) so the two paths agree
 //! bit for bit.
 
 use verdict_stats::{indicator_mean_se, Welford};

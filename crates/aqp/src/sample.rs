@@ -5,6 +5,15 @@
 //! holds the sampled rows (a gathered sub-table), the sampling fraction,
 //! the base-table cardinality (needed to scale `FREQ` into `COUNT`), and
 //! the batch boundaries used by online aggregation.
+//!
+//! The sampled rows live behind an `Arc`: a sample is immutable once
+//! drawn, so cloning a `Sample` (engine snapshots, concurrent sessions
+//! handing one sample to many reader threads) shares the gathered table
+//! instead of copying it. Scan state lives in per-query cursors
+//! ([`crate::SharedScanDriver`], [`crate::engine::Session`]), never in the
+//! sample itself.
+
+use std::sync::Arc;
 
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -15,7 +24,7 @@ use crate::{AqpError, Result};
 /// A uniform row-level random sample of a base table.
 #[derive(Debug, Clone)]
 pub struct Sample {
-    table: Table,
+    table: Arc<Table>,
     base_rows: usize,
     fraction: f64,
     batch_size: usize,
@@ -48,7 +57,7 @@ impl Sample {
         rows.truncate(k);
         let table = base.gather(&rows)?;
         Ok(Sample {
-            table,
+            table: Arc::new(table),
             base_rows: n,
             fraction,
             batch_size,
@@ -69,7 +78,7 @@ impl Sample {
             ));
         }
         Ok(Sample {
-            table,
+            table: Arc::new(table),
             base_rows,
             fraction,
             batch_size,
@@ -85,7 +94,7 @@ impl Sample {
             ));
         }
         Ok(Sample {
-            table: base.clone(),
+            table: Arc::new(base.clone()),
             base_rows: base.num_rows(),
             fraction: 1.0,
             batch_size,
@@ -95,6 +104,12 @@ impl Sample {
     /// The sampled rows as a table.
     pub fn table(&self) -> &Table {
         &self.table
+    }
+
+    /// The shared handle to the sampled rows (cheap to clone; what
+    /// [`Sample::clone`] itself shares).
+    pub fn table_arc(&self) -> Arc<Table> {
+        Arc::clone(&self.table)
     }
 
     /// Cardinality of the base table the sample was drawn from.
@@ -219,5 +234,18 @@ mod tests {
         assert_eq!(s.len(), 20);
         assert_eq!(s.fraction(), 1.0);
         assert_eq!(s.num_batches(), 3);
+    }
+
+    #[test]
+    fn clone_shares_rows_and_crosses_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Sample>();
+        assert_send_sync::<crate::OnlineAggregation>();
+        let t = base(100);
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = Sample::uniform(&t, 0.5, 10, &mut rng).unwrap();
+        let c = s.clone();
+        // Cloning shares the gathered rows, not a deep copy.
+        assert!(Arc::ptr_eq(&s.table_arc(), &c.table_arc()));
     }
 }

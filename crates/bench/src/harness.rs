@@ -106,7 +106,10 @@ impl ExperimentEnv {
     /// (the paper's first-half pass, §8.3).
     pub fn warm_up(&mut self) {
         for (i, sql) in self.train_queries.clone().into_iter().enumerate() {
-            self.session.set_active_sample(i);
+            let idx = i % self.session.num_samples();
+            self.session
+                .set_active_sample(idx)
+                .expect("index in range by construction");
             let _ = self
                 .session
                 .execute(&sql, Mode::Verdict, StopPolicy::ScanAll);
@@ -157,8 +160,11 @@ impl ExperimentEnv {
         let idx = sql
             .len()
             .wrapping_mul(31)
-            .wrapping_add(sql.as_bytes().iter().map(|&b| b as usize).sum::<usize>());
-        self.session.set_active_sample(idx);
+            .wrapping_add(sql.as_bytes().iter().map(|&b| b as usize).sum::<usize>())
+            % self.session.num_samples();
+        self.session
+            .set_active_sample(idx)
+            .expect("index in range by construction");
         let exact = self.exact_answer(sql)?;
         let out = self.session.execute(sql, mode, policy).ok()?;
         let QueryOutcome::Answered(result) = out else {

@@ -1,0 +1,367 @@
+//! The read-path / learn-path split: immutable published snapshots of the
+//! learned state, and the serialized learner that produces them.
+//!
+//! The paper's engine *answers* queries from frozen state — trained models
+//! (Algorithm 1 output) plus the synopsis — and only *mutates* that state
+//! when a new snippet is absorbed or a model is retrained. This module
+//! makes the split explicit so any number of threads can read while one
+//! writer learns:
+//!
+//! - [`EngineSnapshot`] — an immutable copy of a [`Verdict`]'s learned
+//!   state at one [`epoch`](EngineSnapshot::epoch), sharing per-key state
+//!   with the engine copy-on-write (publishing clones `Arc` handles, not
+//!   synopses or models). `Send + Sync`; share it behind an `Arc` and run
+//!   inference from as many threads as you like via
+//!   [`EngineSnapshot::view`].
+//! - [`SnapshotCell`] — a hand-rolled arc-swap: the single place the
+//!   *current* snapshot lives. Readers [`load`](SnapshotCell::load) an
+//!   `Arc` (brief lock, no copying); the writer
+//!   [`store`](SnapshotCell::store)s a fresh snapshot atomically. Epochs
+//!   only move forward.
+//! - [`Learner`] — the serialized write path: owns the live [`Verdict`],
+//!   absorbs snippet observations, retrains, and publishes new snapshots
+//!   into its cell. Exactly one `Learner` exists per engine; wrap it in a
+//!   `Mutex` to serialize writers.
+//!
+//! Readers never block the learner and the learner never blocks readers
+//! beyond the instant of the `Arc` swap. A query that read epoch `e` is
+//! answered entirely from that epoch's state even if the learner publishes
+//! `e + 1` mid-scan — snapshot isolation for free, because snapshots are
+//! immutable.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use crate::engine::{EngineStats, EngineView, Verdict};
+use crate::inference::TrainedModel;
+use crate::region::SchemaInfo;
+use crate::snippet::{AggKey, Observation, Snippet};
+use crate::synopsis::QuerySynopsis;
+use crate::{Result, VerdictConfig};
+
+/// An immutable snapshot of the learned state at one epoch.
+///
+/// Everything the query-time read path consumes — schema, config, trained
+/// models — plus the synopsis contents for introspection. Constructed by
+/// [`Verdict::publish`]; shared via `Arc` through a [`SnapshotCell`].
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    pub(crate) epoch: u64,
+    pub(crate) schema: SchemaInfo,
+    pub(crate) config: VerdictConfig,
+    /// Per-key state is shared with the engine via `Arc`: publishing
+    /// copies only the map of handles, and the engine clones a key's
+    /// entry on its next write (copy-on-write), so snapshot cost does not
+    /// grow with the sizes of untouched synopses and models.
+    pub(crate) synopses: HashMap<AggKey, Arc<QuerySynopsis>>,
+    pub(crate) models: HashMap<AggKey, Arc<TrainedModel>>,
+    pub(crate) stats: EngineStats,
+}
+
+impl EngineSnapshot {
+    /// The epoch of the learned state this snapshot froze.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The dimension universe.
+    pub fn schema(&self) -> &SchemaInfo {
+        &self.schema
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &VerdictConfig {
+        &self.config
+    }
+
+    /// The engine counters as of the snapshot.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Number of snippets the snapshot's synopsis retains for `key`.
+    pub fn synopsis_len(&self, key: &AggKey) -> usize {
+        self.synopses.get(key).map_or(0, |s| s.len())
+    }
+
+    /// Whether the snapshot carries a trained model for `key`.
+    pub fn has_model(&self, key: &AggKey) -> bool {
+        self.models.contains_key(key)
+    }
+
+    /// The read view over this snapshot — same inference code as the live
+    /// engine's [`Verdict::view`], so answers agree bit for bit.
+    pub fn view(&self) -> EngineView<'_> {
+        EngineView::from_parts(&self.schema, &self.config, &self.models)
+    }
+
+    /// Encodes the snapshot's learned state, byte-identical to
+    /// [`Verdict::state_bytes`] on the engine the snapshot was published
+    /// from — two states are bit-identical iff these bytes are equal
+    /// (both go through the same crate-internal encoder).
+    pub fn state_bytes(&self) -> Vec<u8> {
+        crate::engine::encode_state(&self.schema, &self.synopses, &self.models, &self.stats)
+    }
+}
+
+impl Verdict {
+    /// Publishes the current learned state as an immutable snapshot
+    /// stamped with the current epoch. Cheap: per-key state is shared
+    /// (`Arc`); the engine clones an entry only when it next mutates it.
+    pub fn publish(&self) -> EngineSnapshot {
+        EngineSnapshot {
+            epoch: self.epoch(),
+            schema: self.schema().clone(),
+            config: self.config().clone(),
+            synopses: self.synopses_cloned(),
+            models: self.models_cloned(),
+            stats: self.stats(),
+        }
+    }
+}
+
+/// The one place the current snapshot lives: an arc-swap hand-rolled from
+/// `Mutex<Arc<EngineSnapshot>>` (no registry dependencies). The lock is
+/// held only for the pointer copy, never across inference or a scan.
+#[derive(Debug)]
+pub struct SnapshotCell {
+    slot: Mutex<Arc<EngineSnapshot>>,
+}
+
+impl SnapshotCell {
+    /// Creates a cell holding `snapshot`.
+    pub fn new(snapshot: EngineSnapshot) -> Self {
+        SnapshotCell {
+            slot: Mutex::new(Arc::new(snapshot)),
+        }
+    }
+
+    /// The current snapshot. Cheap: clones the `Arc`, not the state.
+    pub fn load(&self) -> Arc<EngineSnapshot> {
+        self.lock().clone()
+    }
+
+    /// The epoch of the current snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.lock().epoch
+    }
+
+    /// Atomically replaces the current snapshot. Publishes are expected to
+    /// come from one serialized writer; a snapshot older than the current
+    /// one is refused (the cell keeps the newest), so a late store can
+    /// never roll visible state backwards.
+    pub fn store(&self, snapshot: Arc<EngineSnapshot>) {
+        let mut slot = self.lock();
+        if snapshot.epoch >= slot.epoch {
+            *slot = snapshot;
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Arc<EngineSnapshot>> {
+        // A panic while holding the lock can only poison a pointer swap;
+        // the Arc inside is always a complete snapshot.
+        self.slot
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+/// The serialized learn path: the live engine plus the cell its snapshots
+/// are published through.
+///
+/// All mutation of learned state funnels through one `Learner` (callers
+/// wrap it in a `Mutex` for multi-threaded writers): snippet absorption,
+/// retraining, append adjustments. Each mutating batch republishes, so
+/// readers observe epochs in the order the writer produced them.
+#[derive(Debug)]
+pub struct Learner {
+    engine: Verdict,
+    cell: Arc<SnapshotCell>,
+}
+
+impl Learner {
+    /// Wraps a live engine and publishes its current state as the first
+    /// snapshot.
+    pub fn new(engine: Verdict) -> Learner {
+        let cell = Arc::new(SnapshotCell::new(engine.publish()));
+        Learner { engine, cell }
+    }
+
+    /// The cell readers load snapshots from. Hold your own `Arc` clone;
+    /// the learner keeps publishing into the same cell.
+    pub fn cell(&self) -> Arc<SnapshotCell> {
+        Arc::clone(&self.cell)
+    }
+
+    /// The current published snapshot.
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.cell.load()
+    }
+
+    /// The live engine (read-only).
+    pub fn engine(&self) -> &Verdict {
+        &self.engine
+    }
+
+    /// Escape hatch to the live engine. Mutations made through this handle
+    /// are **not visible to readers** until [`Learner::republish`] — use
+    /// the learner's own methods where one exists.
+    pub fn engine_mut(&mut self) -> &mut Verdict {
+        &mut self.engine
+    }
+
+    /// Folds a read path's counter delta into the engine (no epoch bump,
+    /// no republish: counters are observability, not learned state —
+    /// they reach readers with the next published snapshot).
+    pub fn merge_read_stats(&mut self, delta: EngineStats) {
+        self.engine.merge_read_stats(delta);
+    }
+
+    /// Absorbs one query's recorded snippet observations (Algorithm 2
+    /// line 6) plus its read-stats delta, then republishes once for the
+    /// whole batch. Observations are applied in slice order, so the
+    /// engine's append hook (WAL persistence) sees exactly the order the
+    /// serial session would have produced.
+    pub fn absorb(&mut self, recorded: &[(Snippet, Observation)], read_stats: EngineStats) {
+        self.engine.merge_read_stats(read_stats);
+        for (snippet, obs) in recorded {
+            self.engine.observe(snippet, *obs);
+        }
+        self.republish();
+    }
+
+    /// Offline training pass (Algorithm 1), then republish.
+    pub fn train(&mut self) -> Result<()> {
+        let result = self.engine.train();
+        self.republish();
+        result
+    }
+
+    /// Publishes the engine's current state into the cell.
+    pub fn republish(&mut self) {
+        self.cell.store(Arc::new(self.engine.publish()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::region::{DimensionSpec, Region};
+    use verdict_storage::Predicate;
+
+    fn schema() -> SchemaInfo {
+        SchemaInfo::new(vec![DimensionSpec::numeric("t", 0.0, 100.0)]).unwrap()
+    }
+
+    fn snippet(lo: f64, hi: f64) -> Snippet {
+        Snippet::new(
+            AggKey::avg("v"),
+            Region::from_predicate(&schema(), &Predicate::between("t", lo, hi)).unwrap(),
+        )
+    }
+
+    fn seeded_engine() -> Verdict {
+        let mut v = Verdict::new(schema(), VerdictConfig::default());
+        for i in 0..12 {
+            let lo = i as f64 * 8.0;
+            let ans = 10.0 + (lo / 25.0).sin() * 2.0;
+            v.observe(&snippet(lo, lo + 8.0), Observation::new(ans, 0.15));
+        }
+        v.train().unwrap();
+        v
+    }
+
+    #[test]
+    fn snapshot_answers_match_live_engine() {
+        let mut live = seeded_engine();
+        let snap = live.publish();
+        assert_eq!(snap.epoch(), live.epoch());
+        assert!(snap.has_model(&AggKey::avg("v")));
+        let raw = Observation::new(10.5, 0.8);
+        let mut delta = EngineStats::default();
+        let from_snap = snap.view().improve(&snippet(10.0, 30.0), raw, &mut delta);
+        let from_live = live.improve(&snippet(10.0, 30.0), raw);
+        assert_eq!(from_snap.answer.to_bits(), from_live.answer.to_bits());
+        assert_eq!(from_snap.error.to_bits(), from_live.error.to_bits());
+        assert_eq!(from_snap.used_model, from_live.used_model);
+        assert_eq!(delta.improved, 1);
+    }
+
+    #[test]
+    fn snapshot_is_isolated_from_later_mutations() {
+        let mut live = seeded_engine();
+        let before = live.publish();
+        let n_before = before.synopsis_len(&AggKey::avg("v"));
+        live.observe(&snippet(0.0, 99.0), Observation::new(10.0, 0.2));
+        assert_eq!(before.synopsis_len(&AggKey::avg("v")), n_before);
+        assert!(live.epoch() > before.epoch());
+    }
+
+    #[test]
+    fn cell_swaps_and_refuses_stale() {
+        let mut engine = seeded_engine();
+        let cell = SnapshotCell::new(engine.publish());
+        let old = cell.load();
+        engine.observe(&snippet(1.0, 2.0), Observation::new(9.0, 0.3));
+        let new = Arc::new(engine.publish());
+        cell.store(Arc::clone(&new));
+        assert_eq!(cell.epoch(), new.epoch());
+        // A stale snapshot cannot roll the cell backwards.
+        cell.store(old);
+        assert_eq!(cell.epoch(), new.epoch());
+    }
+
+    #[test]
+    fn learner_absorb_publishes_monotone_epochs() {
+        let learner = Learner::new(seeded_engine());
+        let cell = learner.cell();
+        let e0 = cell.epoch();
+        let mut learner = learner;
+        learner.absorb(
+            &[(snippet(3.0, 9.0), Observation::new(10.1, 0.2))],
+            EngineStats::default(),
+        );
+        let e1 = cell.epoch();
+        assert!(e1 > e0);
+        learner.train().unwrap();
+        assert!(cell.epoch() > e1);
+        assert_eq!(
+            learner.snapshot().synopsis_len(&AggKey::avg("v")),
+            learner.engine().synopsis_len(&AggKey::avg("v"))
+        );
+    }
+
+    #[test]
+    fn stats_merge_reaches_next_snapshot() {
+        let mut learner = Learner::new(seeded_engine());
+        let delta = EngineStats {
+            improved: 3,
+            rejected: 1,
+            passed_through: 2,
+            observed: 0,
+        };
+        let stats_before = learner.snapshot().stats();
+        learner.merge_read_stats(delta);
+        // Not republished yet: readers still see the old counters.
+        assert_eq!(learner.snapshot().stats(), stats_before);
+        learner.republish();
+        let stats_after = learner.snapshot().stats();
+        assert_eq!(stats_after.improved, stats_before.improved + 3);
+        assert_eq!(stats_after.passed_through, stats_before.passed_through + 2);
+    }
+
+    #[test]
+    fn snapshot_state_bytes_match_engine_state_bytes() {
+        let live = seeded_engine();
+        let snap = live.publish();
+        assert_eq!(snap.state_bytes(), live.state_bytes());
+    }
+
+    #[test]
+    fn snapshot_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EngineSnapshot>();
+        assert_send_sync::<SnapshotCell>();
+        assert_send_sync::<Arc<EngineSnapshot>>();
+    }
+}

@@ -2,6 +2,7 @@
 //! (paper Figure 2, Algorithms 1 and 2).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use verdict_stats::normal::confidence_multiplier;
 
@@ -64,6 +65,24 @@ pub struct EngineStats {
     pub observed: u64,
 }
 
+impl EngineStats {
+    /// Folds another counter set into this one. Read-path inference runs
+    /// against immutable state and accumulates its counters into a local
+    /// delta; the learn path merges that delta here, so concurrent readers
+    /// never need write access to the engine.
+    pub fn merge(&mut self, delta: EngineStats) {
+        self.improved += delta.improved;
+        self.rejected += delta.rejected;
+        self.passed_through += delta.passed_through;
+        self.observed += delta.observed;
+    }
+
+    /// Whether every counter is zero (a merge would be a no-op).
+    pub fn is_zero(&self) -> bool {
+        *self == EngineStats::default()
+    }
+}
+
 /// Callback invoked every time a snippet observation enters the synopsis.
 ///
 /// This is the engine's durability hook: `verdict-store` implements it to
@@ -79,10 +98,152 @@ pub trait SnippetObserver {
 pub struct Verdict {
     schema: SchemaInfo,
     config: VerdictConfig,
-    synopses: HashMap<AggKey, QuerySynopsis>,
-    models: HashMap<AggKey, TrainedModel>,
+    /// Per-key learned state lives behind `Arc`s so publishing a
+    /// snapshot shares every untouched key; mutation clones only the key
+    /// it touches (`Arc::make_mut` — copy-on-write).
+    synopses: HashMap<AggKey, Arc<QuerySynopsis>>,
+    models: HashMap<AggKey, Arc<TrainedModel>>,
     stats: EngineStats,
+    /// Monotone version of the learned state: bumped by every mutation
+    /// (observe, train, append adjustment, forget, restore). A published
+    /// [`crate::concurrent::EngineSnapshot`] carries the epoch it was cut
+    /// at, so readers can tell exactly which learned state answered them.
+    epoch: u64,
     observer: Option<Box<dyn SnippetObserver + Send>>,
+}
+
+/// A borrowed, immutable view of the learned state — everything the
+/// query-time *read path* (Algorithm 2 lines 3–5) needs, and nothing it
+/// may mutate. Both the live [`Verdict`] and a published
+/// [`crate::concurrent::EngineSnapshot`] project to this view, so the
+/// serial and concurrent executors run the *same* inference code and
+/// agree bit for bit.
+///
+/// Inference bumps observability counters; a view accumulates them into a
+/// caller-provided [`EngineStats`] delta instead of mutating the engine,
+/// which the learn path later folds in via [`EngineStats::merge`].
+#[derive(Clone, Copy)]
+pub struct EngineView<'a> {
+    schema: &'a SchemaInfo,
+    config: &'a VerdictConfig,
+    models: &'a HashMap<AggKey, Arc<TrainedModel>>,
+}
+
+impl<'a> EngineView<'a> {
+    /// Assembles a view from its parts (crate-internal: used by `Verdict`
+    /// and `EngineSnapshot`).
+    pub(crate) fn from_parts(
+        schema: &'a SchemaInfo,
+        config: &'a VerdictConfig,
+        models: &'a HashMap<AggKey, Arc<TrainedModel>>,
+    ) -> Self {
+        EngineView {
+            schema,
+            config,
+            models,
+        }
+    }
+
+    /// The dimension universe.
+    pub fn schema(&self) -> &'a SchemaInfo {
+        self.schema
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &'a VerdictConfig {
+        self.config
+    }
+
+    /// Whether a trained model exists for `key`.
+    pub fn has_model(&self, key: &AggKey) -> bool {
+        self.models.contains_key(key)
+    }
+
+    /// Query-time improvement (Algorithm 2 lines 3–5) against immutable
+    /// state: runs inference if a model exists, validates the model-based
+    /// answer, and returns either the improved pair or the raw pair.
+    /// Counter bumps go into `stats`.
+    pub fn improve(
+        &self,
+        snippet: &Snippet,
+        raw: Observation,
+        stats: &mut EngineStats,
+    ) -> ImprovedAnswer {
+        let Some(model) = self.models.get(&snippet.key) else {
+            stats.passed_through += 1;
+            return pass_through(raw);
+        };
+        if snippet.region.is_degenerate() {
+            stats.passed_through += 1;
+            return pass_through(raw);
+        }
+        let inference = model.infer(self.schema, &snippet.region, raw);
+        finish_inference(stats, self.config, snippet.key.is_freq(), &inference, raw)
+    }
+
+    /// Batched query-time improvement against immutable state: one
+    /// improved answer per request, in request order, identical to calling
+    /// [`EngineView::improve`] per item.
+    ///
+    /// All cells of one query are improved in a single call: requests are
+    /// bucketed by aggregate key so each model is looked up once and its
+    /// inference setup (the past-region reference list) is assembled once
+    /// via [`TrainedModel::infer_many`] instead of once per cell — the
+    /// inference-side counterpart of the shared scan.
+    pub fn improve_batch(
+        &self,
+        requests: &[(Snippet, Observation)],
+        stats: &mut EngineStats,
+    ) -> Vec<ImprovedAnswer> {
+        let mut out: Vec<Option<ImprovedAnswer>> = vec![None; requests.len()];
+        // Bucket request indices by key, preserving first-seen key order.
+        let mut keys: Vec<&AggKey> = Vec::new();
+        let mut buckets: Vec<Vec<usize>> = Vec::new();
+        for (i, (snippet, _)) in requests.iter().enumerate() {
+            match keys.iter().position(|k| **k == snippet.key) {
+                Some(b) => buckets[b].push(i),
+                None => {
+                    keys.push(&snippet.key);
+                    buckets.push(vec![i]);
+                }
+            }
+        }
+        for (key, bucket) in keys.iter().zip(&buckets) {
+            let Some(model) = self.models.get(*key) else {
+                for &i in bucket {
+                    stats.passed_through += 1;
+                    out[i] = Some(pass_through(requests[i].1));
+                }
+                continue;
+            };
+            let mut inferable: Vec<usize> = Vec::with_capacity(bucket.len());
+            for &i in bucket {
+                if requests[i].0.region.is_degenerate() {
+                    stats.passed_through += 1;
+                    out[i] = Some(pass_through(requests[i].1));
+                } else {
+                    inferable.push(i);
+                }
+            }
+            let items: Vec<(&crate::Region, Observation)> = inferable
+                .iter()
+                .map(|&i| (&requests[i].0.region, requests[i].1))
+                .collect();
+            let inferences = model.infer_many(self.schema, &items);
+            for (&i, inference) in inferable.iter().zip(inferences.iter()) {
+                out[i] = Some(finish_inference(
+                    stats,
+                    self.config,
+                    key.is_freq(),
+                    inference,
+                    requests[i].1,
+                ));
+            }
+        }
+        out.into_iter()
+            .map(|o| o.expect("every request answered"))
+            .collect()
+    }
 }
 
 impl std::fmt::Debug for Verdict {
@@ -107,8 +268,27 @@ impl Verdict {
             synopses: HashMap::new(),
             models: HashMap::new(),
             stats: EngineStats::default(),
+            epoch: 0,
             observer: None,
         }
+    }
+
+    /// The immutable read view of the current learned state. All
+    /// query-time inference goes through this view; see [`EngineView`].
+    pub fn view(&self) -> EngineView<'_> {
+        EngineView::from_parts(&self.schema, &self.config, &self.models)
+    }
+
+    /// The current epoch of the learned state (see the `epoch` field).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Folds a read path's counter delta into the engine's stats (see
+    /// [`EngineView`]). Not a learned-state mutation: the epoch does not
+    /// move.
+    pub fn merge_read_stats(&mut self, delta: EngineStats) {
+        self.stats.merge(delta);
     }
 
     /// Installs the append hook; subsequent [`Verdict::observe`] calls are
@@ -152,6 +332,17 @@ impl Verdict {
         self.models.contains_key(key)
     }
 
+    /// Shared handles to the synopses (snapshot publishing — clones the
+    /// `Arc`s, not the entries).
+    pub(crate) fn synopses_cloned(&self) -> HashMap<AggKey, Arc<QuerySynopsis>> {
+        self.synopses.clone()
+    }
+
+    /// Shared handles to the trained models (snapshot publishing).
+    pub(crate) fn models_cloned(&self) -> HashMap<AggKey, Arc<TrainedModel>> {
+        self.models.clone()
+    }
+
     /// Records a snippet's raw answer into the synopsis (Algorithm 2
     /// line 6). The model is *not* refit here; call [`Verdict::train`]
     /// (offline, Algorithm 1) to fold new snippets in.
@@ -159,9 +350,12 @@ impl Verdict {
         let synopsis = self
             .synopses
             .entry(snippet.key.clone())
-            .or_insert_with(|| QuerySynopsis::new(self.config.synopsis_capacity));
-        synopsis.record(snippet.region.clone(), obs);
+            .or_insert_with(|| Arc::new(QuerySynopsis::new(self.config.synopsis_capacity)));
+        // Copy-on-write: clones this one synopsis only if a published
+        // snapshot still shares it.
+        Arc::make_mut(synopsis).record(snippet.region.clone(), obs);
         self.stats.observed += 1;
+        self.epoch += 1;
         if let Some(observer) = self.observer.as_mut() {
             observer.on_snippet_appended(&snippet.key, &snippet.region, obs);
         }
@@ -180,6 +374,7 @@ impl Verdict {
 
     /// Trains the model for one aggregate function.
     pub fn train_key(&mut self, key: &AggKey) -> Result<()> {
+        self.epoch += 1;
         let Some(synopsis) = self.synopses.get(key) else {
             return Ok(());
         };
@@ -217,89 +412,36 @@ impl Verdict {
             learned.prior,
             self.config.jitter,
         )?;
-        self.models.insert(key.clone(), model);
+        self.models.insert(key.clone(), Arc::new(model));
         Ok(())
     }
 
     /// Query-time improvement (Algorithm 2 lines 3–5): runs inference if a
     /// model exists, validates the model-based answer, and returns either
     /// the improved pair or the raw pair.
+    ///
+    /// Serial convenience over [`EngineView::improve`]: the read runs
+    /// against [`Verdict::view`] and the counter delta is merged back
+    /// immediately.
     pub fn improve(&mut self, snippet: &Snippet, raw: Observation) -> ImprovedAnswer {
-        let Some(model) = self.models.get(&snippet.key) else {
-            self.stats.passed_through += 1;
-            return pass_through(raw);
-        };
-        if snippet.region.is_degenerate() {
-            self.stats.passed_through += 1;
-            return pass_through(raw);
-        }
-        let inference = model.infer(&self.schema, &snippet.region, raw);
-        finish_inference(
-            &mut self.stats,
-            &self.config,
-            snippet.key.is_freq(),
-            &inference,
-            raw,
-        )
+        let mut delta = EngineStats::default();
+        let answer = EngineView::from_parts(&self.schema, &self.config, &self.models)
+            .improve(snippet, raw, &mut delta);
+        self.stats.merge(delta);
+        answer
     }
 
     /// Batched query-time improvement: one improved answer per request, in
     /// request order, identical to calling [`Verdict::improve`] per item.
     ///
-    /// All cells of one query are improved in a single call: requests are
-    /// bucketed by aggregate key so each model is looked up once and its
-    /// inference setup (the past-region reference list) is assembled once
-    /// via [`TrainedModel::infer_many`] instead of once per cell — the
-    /// inference-side counterpart of the shared scan.
+    /// Serial convenience over [`EngineView::improve_batch`], which holds
+    /// the batching rationale.
     pub fn improve_batch(&mut self, requests: &[(Snippet, Observation)]) -> Vec<ImprovedAnswer> {
-        let mut out: Vec<Option<ImprovedAnswer>> = vec![None; requests.len()];
-        // Bucket request indices by key, preserving first-seen key order.
-        let mut keys: Vec<&AggKey> = Vec::new();
-        let mut buckets: Vec<Vec<usize>> = Vec::new();
-        for (i, (snippet, _)) in requests.iter().enumerate() {
-            match keys.iter().position(|k| **k == snippet.key) {
-                Some(b) => buckets[b].push(i),
-                None => {
-                    keys.push(&snippet.key);
-                    buckets.push(vec![i]);
-                }
-            }
-        }
-        for (key, bucket) in keys.iter().zip(&buckets) {
-            let Some(model) = self.models.get(*key) else {
-                for &i in bucket {
-                    self.stats.passed_through += 1;
-                    out[i] = Some(pass_through(requests[i].1));
-                }
-                continue;
-            };
-            let mut inferable: Vec<usize> = Vec::with_capacity(bucket.len());
-            for &i in bucket {
-                if requests[i].0.region.is_degenerate() {
-                    self.stats.passed_through += 1;
-                    out[i] = Some(pass_through(requests[i].1));
-                } else {
-                    inferable.push(i);
-                }
-            }
-            let items: Vec<(&crate::Region, Observation)> = inferable
-                .iter()
-                .map(|&i| (&requests[i].0.region, requests[i].1))
-                .collect();
-            let inferences = model.infer_many(&self.schema, &items);
-            for (&i, inference) in inferable.iter().zip(inferences.iter()) {
-                out[i] = Some(finish_inference(
-                    &mut self.stats,
-                    &self.config,
-                    key.is_freq(),
-                    inference,
-                    requests[i].1,
-                ));
-            }
-        }
-        out.into_iter()
-            .map(|o| o.expect("every request answered"))
-            .collect()
+        let mut delta = EngineStats::default();
+        let answers = EngineView::from_parts(&self.schema, &self.config, &self.models)
+            .improve_batch(requests, &mut delta);
+        self.stats.merge(delta);
+        answers
     }
 
     /// Convenience: improve, then record the raw observation (the order of
@@ -314,13 +456,14 @@ impl Verdict {
     /// `key`, then refits the model so inference sees the inflated errors.
     pub fn apply_append(&mut self, key: &AggKey, adjustment: &AppendAdjustment) -> Result<()> {
         if let Some(synopsis) = self.synopses.get_mut(key) {
-            adjustment.adjust_synopsis(synopsis);
+            adjustment.adjust_synopsis(Arc::make_mut(synopsis));
         }
         self.train_key(key)
     }
 
     /// Drops all learned state for `key` (tests, resets).
     pub fn forget(&mut self, key: &AggKey) {
+        self.epoch += 1;
         self.synopses.remove(key);
         self.models.remove(key);
     }
@@ -331,13 +474,13 @@ impl Verdict {
         let mut synopses: Vec<(AggKey, QuerySynopsis)> = self
             .synopses
             .iter()
-            .map(|(k, s)| (k.clone(), s.clone()))
+            .map(|(k, s)| (k.clone(), (**s).clone()))
             .collect();
         synopses.sort_by(|(a, _), (b, _)| a.cmp(b));
         let mut models: Vec<(AggKey, TrainedModel)> = self
             .models
             .iter()
-            .map(|(k, m)| (k.clone(), m.clone()))
+            .map(|(k, m)| (k.clone(), (**m).clone()))
             .collect();
         models.sort_by(|(a, _), (b, _)| a.cmp(b));
         crate::persist::EngineState {
@@ -353,25 +496,7 @@ impl Verdict {
     /// without deep-cloning every synopsis and model first. This is the
     /// checkpoint path's fast serializer.
     pub fn state_bytes(&self) -> Vec<u8> {
-        use crate::persist::{Encoder, Persist};
-        let mut enc = Encoder::new();
-        self.schema.encode(&mut enc);
-        let mut keys: Vec<&AggKey> = self.synopses.keys().collect();
-        keys.sort();
-        enc.put_len(keys.len());
-        for key in keys {
-            key.encode(&mut enc);
-            self.synopses[key].encode(&mut enc);
-        }
-        let mut keys: Vec<&AggKey> = self.models.keys().collect();
-        keys.sort();
-        enc.put_len(keys.len());
-        for key in keys {
-            key.encode(&mut enc);
-            self.models[key].encode(&mut enc);
-        }
-        self.stats.encode(&mut enc);
-        enc.into_bytes()
+        encode_state(&self.schema, &self.synopses, &self.models, &self.stats)
     }
 
     /// Replaces all learned state with `state` (warm start from disk).
@@ -390,11 +515,52 @@ impl Verdict {
                 "persisted state was learned over a different dimension universe".into(),
             ));
         }
-        self.synopses = state.synopses.into_iter().collect();
-        self.models = state.models.into_iter().collect();
+        self.synopses = state
+            .synopses
+            .into_iter()
+            .map(|(k, s)| (k, Arc::new(s)))
+            .collect();
+        self.models = state
+            .models
+            .into_iter()
+            .map(|(k, m)| (k, Arc::new(m)))
+            .collect();
         self.stats = state.stats;
+        self.epoch += 1;
         Ok(())
     }
+}
+
+/// The one deterministic (key-sorted) encoding of a learned state, used
+/// by both [`Verdict::state_bytes`] and
+/// [`crate::concurrent::EngineSnapshot::state_bytes`] — two states are
+/// bit-identical iff these bytes are equal, and keeping a single encoder
+/// means the two paths cannot drift apart.
+pub(crate) fn encode_state(
+    schema: &SchemaInfo,
+    synopses: &HashMap<AggKey, Arc<QuerySynopsis>>,
+    models: &HashMap<AggKey, Arc<TrainedModel>>,
+    stats: &EngineStats,
+) -> Vec<u8> {
+    use crate::persist::{Encoder, Persist};
+    let mut enc = Encoder::new();
+    schema.encode(&mut enc);
+    let mut keys: Vec<&AggKey> = synopses.keys().collect();
+    keys.sort();
+    enc.put_len(keys.len());
+    for key in keys {
+        key.encode(&mut enc);
+        synopses[key].encode(&mut enc);
+    }
+    let mut keys: Vec<&AggKey> = models.keys().collect();
+    keys.sort();
+    enc.put_len(keys.len());
+    for key in keys {
+        key.encode(&mut enc);
+        models[key].encode(&mut enc);
+    }
+    stats.encode(&mut enc);
+    enc.into_bytes()
 }
 
 /// Raw answer passed through unimproved.

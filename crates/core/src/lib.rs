@@ -30,6 +30,7 @@
 
 pub mod active;
 pub mod append;
+pub mod concurrent;
 pub mod config;
 pub mod covariance;
 pub mod engine;
@@ -43,8 +44,9 @@ pub mod snippet;
 pub mod synopsis;
 pub mod validation;
 
+pub use concurrent::{EngineSnapshot, Learner, SnapshotCell};
 pub use config::VerdictConfig;
-pub use engine::{ImprovedAnswer, SnippetObserver, Verdict};
+pub use engine::{EngineStats, EngineView, ImprovedAnswer, SnippetObserver, Verdict};
 pub use kernel::KernelParams;
 pub use persist::{EngineState, Persist, PersistError};
 pub use region::{DimKind, DimensionSpec, Region, SchemaInfo};

@@ -10,7 +10,7 @@
 //! - [`checker`]: the supported-query type checker of §2.2 — decides
 //!   whether Verdict can learn from/improve a query and reports the exact
 //!   reason when it cannot (disjunction, `LIKE`, `MIN`/`MAX`, nesting, …);
-//! - [`decompose`]: query → snippets (Figure 3): one snippet per
+//! - [`decompose()`]: query → snippets (Figure 3): one snippet per
 //!   (aggregate function × group value), with group values injected as
 //!   equality predicates and capped at `N_max`;
 //! - [`resolve`]: binds checked predicates/aggregates against a concrete

@@ -2,13 +2,13 @@
 //!
 //! Everything Verdict needs from a statistics library, implemented in-tree:
 //!
-//! - [`erf`]: the error function, needed by the closed-form double integral
+//! - [`erf()`]: the error function, needed by the closed-form double integral
 //!   of the squared-exponential covariance (paper Appendix F.1);
 //! - [`normal`]: Gaussian pdf/cdf/quantile and the confidence-interval
 //!   multiplier `α_δ` of §3.4;
 //! - [`describe`]: streaming and batch descriptive statistics (Welford
 //!   accumulators back the AQP engine's CLT error estimates);
-//! - [`percentile`]: order statistics used when reporting error
+//! - [`percentile()`]: order statistics used when reporting error
 //!   distributions (Figure 5);
 //! - [`bounds`]: Chebyshev fallback bound used by model validation
 //!   (Appendix B).

@@ -1,0 +1,320 @@
+//! Snapshot-isolated concurrent sessions: many reader threads, one
+//! serialized learn path.
+//!
+//! A [`ConcurrentSession`] is the multi-threaded face of the engine. It is
+//! `Send + Sync + Clone`; hand clones to as many threads as you like and
+//! call [`ConcurrentSession::execute`] from all of them. The design is the
+//! read/learn split the paper implies (answers come from frozen state;
+//! only absorbing a snippet mutates it):
+//!
+//! - **Read path** (lock-free beyond one pointer copy): each query loads
+//!   the current [`EngineSnapshot`] from a [`SnapshotCell`] and answers
+//!   every cell from that immutable state with a per-query scan cursor
+//!   over the shared sample — the same `plan → shared scan →
+//!   improve_batch` core the serial [`crate::VerdictSession`] drives. The
+//!   snapshot's epoch is stamped into [`crate::QueryResult::epoch`].
+//! - **Learn path** (serialized): the raw snippet observations a
+//!   `Mode::Verdict` query produces are absorbed under one writer mutex —
+//!   synopsis append, WAL append (via the engine's observer hook into the
+//!   shared store), and snapshot republish happen in writer-lock order,
+//!   so persisted sequence numbers are exactly what a serial session
+//!   would have written. [`ConcurrentSession::train`] retrains and
+//!   publishes under the same lock.
+//!
+//! A query that loaded epoch `e` keeps answering from epoch `e` even if a
+//! writer publishes `e + 1` mid-scan: snapshot isolation, for free,
+//! because snapshots are immutable. Readers never wait for the learner
+//! (loads are a mutex-guarded pointer copy) and writers never wait for
+//! readers (they publish a fresh `Arc`, they don't mutate shared state in
+//! place).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use verdict_aqp::OnlineAggregation;
+use verdict_core::concurrent::{EngineSnapshot, Learner, SnapshotCell};
+use verdict_sql::checker::JoinPolicy;
+use verdict_sql::{check_query, parse_query, SupportVerdict};
+use verdict_storage::Table;
+use verdict_store::{RecoveryReport, SessionMeta, SharedStore};
+
+use crate::session::{
+    plan_shared_scan, run_shared_read, ReadOutcome, SampleRotation, SessionParts,
+};
+use crate::{Error, Mode, QueryOutcome, Result, StopPolicy};
+
+/// Outcome of the read path before the learn path runs.
+enum ReadAttempt {
+    Read(ReadOutcome),
+    Unsupported(Vec<verdict_sql::UnsupportedReason>),
+}
+
+/// The serialized learn path: the learner plus what checkpointing needs.
+struct Writer {
+    learner: Learner,
+    meta: SessionMeta,
+}
+
+/// Shared state behind every clone of a [`ConcurrentSession`].
+struct Inner {
+    table: Table,
+    /// Immutable after build: each engine wraps one offline sample; scan
+    /// state lives in per-query cursors, so `&OnlineAggregation` is all a
+    /// reader needs.
+    engines: Vec<OnlineAggregation>,
+    join_policy: JoinPolicy,
+    rotation: SampleRotation,
+    /// The sample `Fixed` rotation and pinned (`execute_at`) reads scan:
+    /// the active sample the originating serial session was promoted
+    /// with, so answers do not shift across `into_concurrent()`.
+    fixed_sample: usize,
+    /// Next sample index under round-robin rotation.
+    next_sample: AtomicUsize,
+    /// Where readers load the current snapshot from (the learner inside
+    /// `writer` publishes into the same cell).
+    cell: Arc<SnapshotCell>,
+    /// The durable store, outside the writer lock: its own mutex
+    /// serializes appends, and parked-error checks must not block on a
+    /// training writer.
+    store: Option<SharedStore>,
+    writer: Mutex<Writer>,
+    recovery: Option<RecoveryReport>,
+}
+
+/// A `Send + Sync` session serving queries from any number of threads.
+///
+/// Created by [`crate::VerdictSession::into_concurrent`] or
+/// [`crate::SessionBuilder::build_concurrent`]. Cloning is cheap (one
+/// `Arc`); all clones share the samples, the snapshot cell, and the
+/// serialized writer.
+#[derive(Clone)]
+pub struct ConcurrentSession {
+    inner: Arc<Inner>,
+}
+
+impl ConcurrentSession {
+    pub(crate) fn from_parts(parts: SessionParts) -> ConcurrentSession {
+        let learner = Learner::new(parts.verdict);
+        let cell = learner.cell();
+        ConcurrentSession {
+            inner: Arc::new(Inner {
+                table: parts.table,
+                engines: parts.engines,
+                join_policy: parts.join_policy,
+                rotation: parts.rotation,
+                fixed_sample: parts.active,
+                next_sample: AtomicUsize::new(parts.active),
+                cell,
+                store: parts.store,
+                writer: Mutex::new(Writer {
+                    learner,
+                    meta: parts.meta,
+                }),
+                recovery: parts.recovery,
+            }),
+        }
+    }
+
+    /// The base table.
+    pub fn table(&self) -> &Table {
+        &self.inner.table
+    }
+
+    /// Number of independent offline samples.
+    pub fn num_samples(&self) -> usize {
+        self.inner.engines.len()
+    }
+
+    /// The AQP engine over sample `index` (panics if out of range).
+    pub fn engine(&self, index: usize) -> &OnlineAggregation {
+        &self.inner.engines[index]
+    }
+
+    /// Whether this session writes to a durable store.
+    pub fn is_persistent(&self) -> bool {
+        self.inner.store.is_some()
+    }
+
+    /// The recovery report, when the originating session was warm-started.
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.inner.recovery.as_ref()
+    }
+
+    /// The current published snapshot of the learned state. Pin it to run
+    /// a batch of queries against one epoch via
+    /// [`ConcurrentSession::execute_at`].
+    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
+        self.inner.cell.load()
+    }
+
+    /// The epoch of the current published snapshot. Monotone: it never
+    /// decreases over the session's lifetime.
+    pub fn epoch(&self) -> u64 {
+        self.inner.cell.epoch()
+    }
+
+    /// Which sample the next `execute` scans: round-robin advances one
+    /// shared counter; `Fixed` always scans the sample the session was
+    /// promoted with.
+    fn pick_sample(&self) -> usize {
+        match self.inner.rotation {
+            SampleRotation::Fixed => self.inner.fixed_sample,
+            SampleRotation::RoundRobin => {
+                self.inner.next_sample.fetch_add(1, Ordering::Relaxed) % self.inner.engines.len()
+            }
+        }
+    }
+
+    fn lock_writer(&self) -> MutexGuard<'_, Writer> {
+        // Writer state is consistent at rest; a poisoned lock only means
+        // another thread panicked between mutations.
+        self.inner
+            .writer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Surfaces any error a background WAL append or deferred compaction
+    /// parked since the last check (same contract as the serial session).
+    fn surface_store_error(&self) -> Result<()> {
+        if let Some(store) = &self.inner.store {
+            if let Some(e) = store.lock().take_error() {
+                return Err(Error::Store(e));
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses, plans, and answers a SQL query from the **current**
+    /// snapshot, then funnels what the query learned (raw snippet
+    /// observations + counter deltas) through the serialized writer and
+    /// republishes. Safe to call from any number of threads.
+    ///
+    /// `Mode::NoLearn` queries never touch the writer: they are pure
+    /// reads and scale with the thread count.
+    pub fn execute(&self, sql: &str, mode: Mode, policy: StopPolicy) -> Result<QueryOutcome> {
+        self.surface_store_error()?;
+        let snapshot = self.snapshot();
+        let engine = &self.inner.engines[self.pick_sample()];
+        let read = match self.read_at(engine, &snapshot, sql, mode, policy)? {
+            ReadAttempt::Unsupported(reasons) => return Ok(QueryOutcome::Unsupported(reasons)),
+            ReadAttempt::Read(read) => read,
+        };
+        if !(read.recorded.is_empty() && read.stats.is_zero()) {
+            // Learn path: one serialized absorb per query. Synopsis
+            // appends (and through the observer hook, WAL appends) happen
+            // in writer-lock order; the batch republishes once.
+            self.lock_writer()
+                .learner
+                .absorb(&read.recorded, read.stats);
+            self.maybe_compact();
+        }
+        Ok(QueryOutcome::Answered(read.result))
+    }
+
+    /// Answers a SQL query from a caller-pinned snapshot, with learning
+    /// **skipped**: nothing is absorbed, no counters move, the writer is
+    /// never touched, and the rotation counter does not advance. Pinned
+    /// reads always scan the session's fixed sample, so every answer is a
+    /// pure function of `snapshot` — a batch of calls against one pinned
+    /// snapshot is bit-identical to a serial session holding the same
+    /// state, regardless of what writers publish or which samples
+    /// interleaved `execute` calls rotate through in the meantime.
+    pub fn execute_at(
+        &self,
+        snapshot: &EngineSnapshot,
+        sql: &str,
+        mode: Mode,
+        policy: StopPolicy,
+    ) -> Result<QueryOutcome> {
+        let engine = &self.inner.engines[self.inner.fixed_sample];
+        match self.read_at(engine, snapshot, sql, mode, policy)? {
+            ReadAttempt::Read(read) => Ok(QueryOutcome::Answered(read.result)),
+            ReadAttempt::Unsupported(reasons) => Ok(QueryOutcome::Unsupported(reasons)),
+        }
+    }
+
+    /// The shared read path: parse → check → plan → one shared scan over
+    /// `engine`'s sample at `snapshot`'s state.
+    fn read_at(
+        &self,
+        engine: &OnlineAggregation,
+        snapshot: &EngineSnapshot,
+        sql: &str,
+        mode: Mode,
+        policy: StopPolicy,
+    ) -> Result<ReadAttempt> {
+        let query = parse_query(sql)?;
+        if let SupportVerdict::Unsupported(reasons) = check_query(&query, &self.inner.join_policy) {
+            return Ok(ReadAttempt::Unsupported(reasons));
+        }
+        let plan = plan_shared_scan(&query, engine, snapshot.config().nmax)?;
+        let read = run_shared_read(
+            engine,
+            snapshot.view(),
+            &plan,
+            mode,
+            policy,
+            snapshot.epoch(),
+        )?;
+        Ok(ReadAttempt::Read(read))
+    }
+
+    /// Offline training pass (Algorithm 1) under the writer lock, then —
+    /// for persistent sessions — a checkpoint, so the trained models are
+    /// on disk. The new snapshot (with models) is published before this
+    /// returns; queries in flight keep their pre-training epoch.
+    pub fn train(&self) -> Result<()> {
+        self.surface_store_error()?;
+        let mut writer = self.lock_writer();
+        writer.learner.train().map_err(Error::Core)?;
+        self.snapshot_now(&mut writer).map_err(Error::Store)
+    }
+
+    /// Checkpoints the full learned state into a fresh snapshot
+    /// generation and truncates the snippet log. No-op without a store.
+    pub fn checkpoint(&self) -> Result<()> {
+        self.surface_store_error()?;
+        let mut writer = self.lock_writer();
+        self.snapshot_now(&mut writer).map_err(Error::Store)
+    }
+
+    /// The one store-snapshot path (explicit checkpoints and piggybacked
+    /// compaction), mirroring the serial session's. Caller holds the
+    /// writer lock, so the encoded state cannot move underneath the write.
+    fn snapshot_now(&self, writer: &mut Writer) -> verdict_store::Result<()> {
+        let Some(store) = &self.inner.store else {
+            return Ok(());
+        };
+        let engine = writer.learner.engine();
+        let schema_fp = verdict_core::persist::fingerprint(engine.schema());
+        let state_bytes = engine.state_bytes();
+        store
+            .lock()
+            .snapshot_encoded(writer.meta.clone(), schema_fp, &state_bytes)?;
+        Ok(())
+    }
+
+    /// Folds the log into a fresh snapshot when the store's compaction
+    /// policy asks for it; failures park in the store and surface at the
+    /// next `execute`/`checkpoint` (same contract as the serial session).
+    fn maybe_compact(&self) {
+        let Some(store) = &self.inner.store else {
+            return;
+        };
+        if !store.lock().needs_compaction() {
+            return;
+        }
+        let mut writer = self.lock_writer();
+        if let Err(e) = self.snapshot_now(&mut writer) {
+            store.lock().park_error(e);
+        }
+    }
+}
+
+// Compile-time proof of the headline property: a session handle crosses
+// threads. (All fields are Send + Sync; this keeps it that way.)
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ConcurrentSession>();
+};

@@ -52,13 +52,13 @@
 //!
 //! | Crate | Contents |
 //! |---|---|
-//! | [`core`](verdict_core) | snippets, synopsis, kernel, learning, inference, validation, append |
-//! | [`aqp`](verdict_aqp) | uniform samples, online aggregation, time-bound engine, cost model |
-//! | [`sql`](verdict_sql) | parser, supported-query checker, snippet decomposition |
-//! | [`storage`](verdict_storage) | columnar tables, predicates, exact aggregation, FK joins |
-//! | [`store`](verdict_store) | durable synopsis store: snippet log, snapshots, crash recovery |
-//! | [`workload`](verdict_workload) | synthetic / TPC-H-style / Customer1-style generators |
-//! | [`stats`](verdict_stats), [`linalg`](verdict_linalg) | math substrates |
+//! | [`verdict_core`] | snippets, synopsis, kernel, learning, inference, validation, append, read/learn split |
+//! | [`verdict_aqp`] | uniform samples, online aggregation, time-bound engine, cost model |
+//! | [`verdict_sql`] | parser, supported-query checker, snippet decomposition |
+//! | [`verdict_storage`] | columnar tables, predicates, exact aggregation, FK joins |
+//! | [`verdict_store`] | durable synopsis store: snippet log, snapshots, crash recovery |
+//! | [`verdict_workload`] | synthetic / TPC-H-style / Customer1-style generators |
+//! | [`verdict_stats`], [`verdict_linalg`] | math substrates |
 //!
 //! ## Persistence
 //!
@@ -69,11 +69,13 @@
 //! already enjoys the tightened error bounds the previous session earned
 //! (`cargo run --example persistence`).
 
+pub mod concurrent;
 pub mod session;
 
+pub use concurrent::ConcurrentSession;
 pub use session::{
-    CellAnswer, Mode, QueryOutcome, QueryResult, ResultRow, SessionBuilder, StopPolicy,
-    VerdictSession,
+    CellAnswer, Mode, QueryOutcome, QueryResult, ResultRow, SampleRotation, SessionBuilder,
+    StopPolicy, VerdictSession,
 };
 
 // Re-export the sub-crates under stable names.

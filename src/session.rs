@@ -34,6 +34,28 @@
 //! survives as [`VerdictSession::execute_legacy`] — the reference
 //! implementation the parity test suite holds `execute` against, cell for
 //! cell and bit for bit.
+//!
+//! ## Read path vs. learn path
+//!
+//! The pipeline above is split into a pure **read path** and a serialized
+//! **learn path**. The read path (`run_shared_read`) answers every cell
+//! from immutable state — an engine's sample with a per-query scan
+//! cursor, plus a [`verdict_core::EngineView`] of the learned state — and
+//! *returns* what the query learned (raw snippet observations for the
+//! synopsis, inference counters) instead of writing it anywhere. The
+//! learn path absorbs those observations: synopsis append, WAL append on
+//! persistent sessions, epoch bump.
+//!
+//! [`VerdictSession`] is the **serial** convenience wrapper: `&mut self`
+//! trivially serializes both paths, and its learn path applies
+//! observations immediately after each query. None of its methods are
+//! callable concurrently — in particular [`VerdictSession::verdict_mut`]
+//! hands out direct mutable engine access and exists *only* on this
+//! serial wrapper. [`crate::ConcurrentSession`] drives the same
+//! planner→scan→infer core from any number of threads against published
+//! [`verdict_core::EngineSnapshot`]s, funneling the learn path through
+//! one writer mutex; see [`crate::concurrent`] for the dataflow and
+//! which operations are concurrent-safe.
 
 use std::path::{Path, PathBuf};
 
@@ -45,7 +67,8 @@ use verdict_aqp::{
     StorageTier,
 };
 use verdict_core::{
-    AggKey, ImprovedAnswer, Observation, Region, SchemaInfo, Snippet, Verdict, VerdictConfig,
+    AggKey, EngineStats, EngineView, ImprovedAnswer, Observation, Region, SchemaInfo, Snippet,
+    Verdict, VerdictConfig,
 };
 use verdict_sql::checker::JoinPolicy;
 use verdict_sql::{
@@ -56,6 +79,21 @@ use verdict_storage::{distinct_group_keys, AggregateFn, Expr, GroupKey, Predicat
 use verdict_store::{RecoveryReport, SessionMeta, SharedStore, StorePolicy, SynopsisStore};
 
 use crate::{Error, Result};
+
+/// How a multi-sample session picks the offline sample each query scans.
+///
+/// The paper's engine "creates random samples of the original tables
+/// offline"; rotating across them keeps the sampling errors of different
+/// snippets independent — the `β_i ⊥ β_j` assumption behind Eq. (6). With
+/// `Fixed`, queries keep scanning the currently active sample until
+/// [`VerdictSession::set_active_sample`] changes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SampleRotation {
+    /// Keep scanning the active sample (manual control; default).
+    Fixed,
+    /// Advance to the next sample after every answered query.
+    RoundRobin,
+}
 
 /// Whether inference improves answers (`Verdict`) or not (`NoLearn`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,6 +161,12 @@ pub struct QueryResult {
     pub simulated_ns: f64,
     /// Whether the `N_max` cap dropped groups.
     pub truncated: bool,
+    /// Epoch of the learned state this query read (see
+    /// [`verdict_core::EngineSnapshot`]): on a serial session, the
+    /// engine's epoch when the read began; on a
+    /// [`crate::ConcurrentSession`], the epoch of the published snapshot
+    /// that answered every cell.
+    pub epoch: u64,
 }
 
 /// Outcome of `execute`: answered, or classified unsupported.
@@ -163,6 +207,7 @@ pub struct SessionBuilder {
     config: VerdictConfig,
     join_policy: JoinPolicy,
     num_samples: usize,
+    rotation: SampleRotation,
     persist: Option<PathBuf>,
     store_policy: StorePolicy,
     recovered: Option<RecoveredState>,
@@ -193,6 +238,7 @@ impl SessionBuilder {
             config: VerdictConfig::default(),
             join_policy: JoinPolicy::none(),
             num_samples: 1,
+            rotation: SampleRotation::Fixed,
             persist: None,
             store_policy: StorePolicy::default(),
             recovered: None,
@@ -226,6 +272,7 @@ impl SessionBuilder {
             config: meta.config.clone(),
             join_policy: JoinPolicy::none(),
             num_samples: meta.num_samples as usize,
+            rotation: SampleRotation::Fixed,
             persist: Some(path.to_path_buf()),
             store_policy: StorePolicy::default(),
             recovered: Some(RecoveredState {
@@ -304,6 +351,16 @@ impl SessionBuilder {
     /// errors across the synopsis and makes conditioning overconfident.
     pub fn num_samples(mut self, k: usize) -> Self {
         self.num_samples = k.max(1);
+        self
+    }
+
+    /// Automatic sample rotation across queries (default
+    /// [`SampleRotation::Fixed`]). With [`SampleRotation::RoundRobin`] a
+    /// multi-sample session advances its active sample after every
+    /// answered query, so the independent-error property of Eq. (6)
+    /// arrives without manual [`VerdictSession::set_active_sample`] calls.
+    pub fn sample_rotation(mut self, rotation: SampleRotation) -> Self {
+        self.rotation = rotation;
         self
     }
 
@@ -411,12 +468,19 @@ impl SessionBuilder {
             table: self.table,
             engines,
             active: 0,
+            rotation: self.rotation,
             verdict,
             join_policy: self.join_policy,
             store,
             meta,
             recovery,
         })
+    }
+
+    /// Builds a [`crate::ConcurrentSession`] directly — shorthand for
+    /// `build()?.into_concurrent()`.
+    pub fn build_concurrent(self) -> Result<crate::ConcurrentSession> {
+        Ok(self.build()?.into_concurrent())
     }
 }
 
@@ -425,11 +489,26 @@ pub struct VerdictSession {
     table: Table,
     engines: Vec<OnlineAggregation>,
     active: usize,
+    rotation: SampleRotation,
     verdict: Verdict,
     join_policy: JoinPolicy,
     store: Option<SharedStore>,
     meta: SessionMeta,
     recovery: Option<RecoveryReport>,
+}
+
+/// The pieces a [`VerdictSession`] decomposes into when it is promoted to
+/// a [`crate::ConcurrentSession`] (crate-internal).
+pub(crate) struct SessionParts {
+    pub(crate) table: Table,
+    pub(crate) engines: Vec<OnlineAggregation>,
+    pub(crate) active: usize,
+    pub(crate) rotation: SampleRotation,
+    pub(crate) verdict: Verdict,
+    pub(crate) join_policy: JoinPolicy,
+    pub(crate) store: Option<SharedStore>,
+    pub(crate) meta: SessionMeta,
+    pub(crate) recovery: Option<RecoveryReport>,
 }
 
 impl VerdictSession {
@@ -448,10 +527,46 @@ impl VerdictSession {
         self.engines.len()
     }
 
+    /// Index of the sample the next query will scan.
+    pub fn active_sample(&self) -> usize {
+        self.active
+    }
+
     /// Selects which offline sample subsequent queries scan. Rotating
-    /// across queries keeps snippet errors independent (Eq. 6).
-    pub fn set_active_sample(&mut self, index: usize) {
-        self.active = index % self.engines.len();
+    /// across queries keeps snippet errors independent (Eq. 6); see also
+    /// [`SessionBuilder::sample_rotation`] for automatic rotation.
+    ///
+    /// An out-of-range index is an error. (Earlier versions silently
+    /// wrapped with `%`, which masked caller bugs: a session built with
+    /// one sample accepted any index and always scanned sample 0, so the
+    /// independence the caller thought they were buying never existed.)
+    pub fn set_active_sample(&mut self, index: usize) -> Result<()> {
+        if index >= self.engines.len() {
+            return Err(Error::Aqp(AqpError::InvalidConfig(format!(
+                "sample index {index} out of range: session has {} sample(s)",
+                self.engines.len()
+            ))));
+        }
+        self.active = index;
+        Ok(())
+    }
+
+    /// Promotes this session into a [`crate::ConcurrentSession`] that
+    /// serves queries from any number of threads (read path) while
+    /// funneling learning through one serialized writer. The current
+    /// learned state becomes the first published snapshot.
+    pub fn into_concurrent(self) -> crate::ConcurrentSession {
+        crate::ConcurrentSession::from_parts(SessionParts {
+            table: self.table,
+            engines: self.engines,
+            active: self.active,
+            rotation: self.rotation,
+            verdict: self.verdict,
+            join_policy: self.join_policy,
+            store: self.store,
+            meta: self.meta,
+            recovery: self.recovery,
+        })
     }
 
     /// The inference engine.
@@ -460,6 +575,12 @@ impl VerdictSession {
     }
 
     /// Mutable access to the inference engine (appends, config tweaks).
+    ///
+    /// **Serial-only escape hatch.** It exists on this wrapper precisely
+    /// because `&mut self` serializes everything; a
+    /// [`crate::ConcurrentSession`] deliberately has no equivalent —
+    /// direct engine mutation would bypass the writer lock and the
+    /// snapshot publish, so concurrent readers would never see it.
     ///
     /// On a persistent session, out-of-band mutations made through this
     /// handle (e.g. `Verdict::apply_append`, `forget`) bypass the snippet
@@ -563,9 +684,36 @@ impl VerdictSession {
             return Ok(QueryOutcome::Unsupported(reasons));
         }
         let plan = self.plan(&query)?;
-        let result = self.run_shared(&plan, mode, policy)?;
+        // Read path: answer every cell from immutable state (the engine's
+        // current view). The read neither observes nor bumps counters —
+        // it returns what the learn path should absorb.
+        let read = run_shared_read(
+            &self.engines[self.active],
+            self.verdict.view(),
+            &plan,
+            mode,
+            policy,
+            self.verdict.epoch(),
+        )?;
+        // Learn path (serialized trivially here — `&mut self`): fold the
+        // counter delta in, then record the raw snippet observations in
+        // the same per-snippet order Algorithm 2 produces (this is what
+        // appends to the WAL on persistent sessions).
+        self.verdict.merge_read_stats(read.stats);
+        for (snippet, obs) in &read.recorded {
+            self.verdict.observe(snippet, *obs);
+        }
         self.maybe_compact();
-        Ok(QueryOutcome::Answered(result))
+        self.advance_rotation();
+        Ok(QueryOutcome::Answered(read.result))
+    }
+
+    /// Advances the active sample after an answered query when the session
+    /// was built with [`SampleRotation::RoundRobin`].
+    fn advance_rotation(&mut self) {
+        if self.rotation == SampleRotation::RoundRobin {
+            self.active = (self.active + 1) % self.engines.len();
+        }
     }
 
     /// Answers a SQL query with the pre-shared-scan executor: one
@@ -589,9 +737,12 @@ impl VerdictSession {
         if let SupportVerdict::Unsupported(reasons) = check_query(&query, &self.join_policy) {
             return Ok(QueryOutcome::Unsupported(reasons));
         }
+        // The legacy path interleaves reads and synopsis writes per
+        // snippet, so the epoch it "read" is pinned at query start.
+        let epoch = self.verdict.epoch();
 
         let sample_table = self.engines[self.active].sample().table();
-        let group_keys = Self::enumerate_groups(&query, sample_table)?;
+        let group_keys = enumerate_groups(&query, sample_table)?;
         let nmax = self.verdict.config().nmax;
         let decomposed = decompose(&query, sample_table, &group_keys, nmax)?;
 
@@ -614,42 +765,24 @@ impl VerdictSession {
 
         let simulated_ns = self.engine().simulated_ns(max_scanned);
         self.maybe_compact();
+        self.advance_rotation();
 
         Ok(QueryOutcome::Answered(QueryResult {
             rows,
             tuples_scanned: max_scanned,
             simulated_ns,
             truncated: decomposed.truncated,
+            epoch,
         }))
-    }
-
-    /// Enumerates the group values present in the sample's answer set (the
-    /// AQP engine's result set determines the groups, §2.3) in one pass.
-    fn enumerate_groups(query: &Query, sample_table: &Table) -> Result<Vec<GroupKey>> {
-        if query.group_by.is_empty() {
-            return Ok(Vec::new());
-        }
-        let base_pred = match &query.where_clause {
-            Some(w) => verdict_sql::resolve::to_predicate(w, sample_table)?,
-            None => Predicate::True,
-        };
-        let cols: Vec<String> = query
-            .group_by
-            .iter()
-            .filter_map(|g| match g {
-                verdict_sql::ScalarExpr::Column { name, .. } => Some(name.clone()),
-                _ => None,
-            })
-            .collect();
-        distinct_group_keys(sample_table, &base_pred, &cols).map_err(Error::Storage)
     }
 
     /// Plans one shared scan for a checked query.
     fn plan(&self, query: &Query) -> Result<ScanPlan> {
-        let sample_table = self.engines[self.active].sample().table();
-        let group_keys = Self::enumerate_groups(query, sample_table)?;
-        let nmax = self.verdict.config().nmax;
-        Ok(plan_scan(query, sample_table, &group_keys, nmax)?)
+        plan_shared_scan(
+            query,
+            &self.engines[self.active],
+            self.verdict.config().nmax,
+        )
     }
 
     /// Folds the log into a fresh snapshot when the store's compaction
@@ -670,203 +803,252 @@ impl VerdictSession {
             }
         }
     }
+}
 
-    /// Runs one shared scan to answer every cell of `plan` under the given
-    /// mode and stop policy.
-    fn run_shared(
-        &mut self,
-        plan: &ScanPlan,
-        mode: Mode,
-        policy: StopPolicy,
-    ) -> Result<QueryResult> {
-        let num_groups = plan.groups.len();
-        let num_aggs = plan.aggregates.len();
-        let num_cells = num_groups * num_aggs;
-        if num_cells == 0 {
-            // A grouped query whose predicate selects no sample rows: no
-            // result rows, and (exactly like the per-snippet path) nothing
-            // to scan.
-            return Ok(QueryResult {
+/// Enumerates the group values present in the sample's answer set (the
+/// AQP engine's result set determines the groups, §2.3) in one pass.
+fn enumerate_groups(query: &Query, sample_table: &Table) -> Result<Vec<GroupKey>> {
+    if query.group_by.is_empty() {
+        return Ok(Vec::new());
+    }
+    let base_pred = match &query.where_clause {
+        Some(w) => verdict_sql::resolve::to_predicate(w, sample_table)?,
+        None => Predicate::True,
+    };
+    let cols: Vec<String> = query
+        .group_by
+        .iter()
+        .filter_map(|g| match g {
+            verdict_sql::ScalarExpr::Column { name, .. } => Some(name.clone()),
+            _ => None,
+        })
+        .collect();
+    distinct_group_keys(sample_table, &base_pred, &cols).map_err(Error::Storage)
+}
+
+/// Plans one shared scan for a checked query against one engine's sample
+/// (shared by the serial and concurrent sessions).
+pub(crate) fn plan_shared_scan(
+    query: &Query,
+    engine: &OnlineAggregation,
+    nmax: usize,
+) -> Result<ScanPlan> {
+    let sample_table = engine.sample().table();
+    let group_keys = enumerate_groups(query, sample_table)?;
+    Ok(plan_scan(query, sample_table, &group_keys, nmax)?)
+}
+
+/// What one read-path execution produced: the answered result, the raw
+/// snippet observations the learn path should absorb (Algorithm 2 line 6
+/// — empty under `Mode::NoLearn`), and the inference counter delta.
+///
+/// The read path never mutates engine state; the caller decides where the
+/// recorded observations go (a serial session's own engine, or a
+/// concurrent session's serialized writer) and in what transaction.
+pub(crate) struct ReadOutcome {
+    pub(crate) result: QueryResult,
+    pub(crate) recorded: Vec<(Snippet, Observation)>,
+    pub(crate) stats: EngineStats,
+}
+
+/// Runs one shared scan to answer every cell of `plan` under the given
+/// mode and stop policy, entirely against immutable state: an engine's
+/// sample (per-query cursor) and a read view of the learned state. This
+/// is the planner→scan→infer core both [`VerdictSession::execute`] and
+/// [`crate::ConcurrentSession`] drive; `epoch` is stamped into the result
+/// so callers can tell which learned state answered.
+pub(crate) fn run_shared_read(
+    engine: &OnlineAggregation,
+    view: EngineView<'_>,
+    plan: &ScanPlan,
+    mode: Mode,
+    policy: StopPolicy,
+    epoch: u64,
+) -> Result<ReadOutcome> {
+    let mut stats = EngineStats::default();
+    let num_groups = plan.groups.len();
+    let num_aggs = plan.aggregates.len();
+    let num_cells = num_groups * num_aggs;
+    if num_cells == 0 {
+        // A grouped query whose predicate selects no sample rows: no
+        // result rows, and (exactly like the per-snippet path) nothing
+        // to scan.
+        return Ok(ReadOutcome {
+            result: QueryResult {
                 rows: Vec::new(),
                 tuples_scanned: 0,
-                simulated_ns: self.engine().simulated_ns(0),
+                simulated_ns: engine.simulated_ns(0),
                 truncated: plan.truncated,
-            });
+                epoch,
+            },
+            recorded: Vec::new(),
+            stats,
+        });
+    }
+
+    let n_base = engine.sample().base_rows() as f64;
+
+    // Model keys of the primitive streams and regions of the groups.
+    let prim_keys: Vec<AggKey> = plan
+        .primitives
+        .iter()
+        .map(|p| match p {
+            AggregateFn::Avg(e) => AggKey::avg(&e.to_string()),
+            AggregateFn::Freq => AggKey::Freq,
+            _ => unreachable!("plan primitives are AVG/FREQ"),
+        })
+        .collect();
+    let regions: Vec<Option<Region>> = plan
+        .group_predicates
+        .iter()
+        .map(|p| Region::from_predicate(view.schema(), p).ok())
+        .collect();
+
+    let scan_groups: Vec<GroupKey> = plan.groups.iter().flatten().cloned().collect();
+    let mut driver = engine
+        .shared_scan(&ScanSpec {
+            predicate: &plan.base_predicate,
+            group_cols: &plan.group_cols,
+            groups: &scan_groups,
+            primitives: &plan.primitives,
+        })
+        .map_err(Error::Aqp)?;
+
+    // The stop policy bounds the *one* query-wide scan: a tuple or
+    // time budget buys one prefix of the sample regardless of how many
+    // cells the query has (the per-snippet path spent the budget per
+    // snippet, G×A times over).
+    let tuple_cap = match policy {
+        StopPolicy::TupleBudget(n) => n,
+        StopPolicy::TimeBudgetNs(ns) => engine.cost_model().tuples_within(ns, engine.tier()).max(1),
+        _ => usize::MAX,
+    };
+
+    // Per-cell stop tracking: a frozen cell holds the snapshot it had
+    // when it met the policy; the scan stops when all cells froze.
+    let mut frozen: Vec<Option<FrozenCell>> = (0..num_cells).map(|_| None).collect();
+    let mut live = num_cells;
+    // Snapshots of the cells that did NOT meet the bound at the most
+    // recent evaluation, kept so an exhausted scan can finalize from
+    // them instead of re-running the whole inference pass at the same
+    // scan position.
+    let mut last_unmet: Vec<(usize, FrozenCell)> = Vec::new();
+
+    loop {
+        if !driver.step() {
+            break;
         }
-
-        let engine = &self.engines[self.active];
-        let n_base = engine.sample().base_rows() as f64;
-
-        // Model keys of the primitive streams and regions of the groups.
-        let prim_keys: Vec<AggKey> = plan
-            .primitives
-            .iter()
-            .map(|p| match p {
-                AggregateFn::Avg(e) => AggKey::avg(&e.to_string()),
-                AggregateFn::Freq => AggKey::Freq,
-                _ => unreachable!("plan primitives are AVG/FREQ"),
-            })
-            .collect();
-        let regions: Vec<Option<Region>> = plan
-            .group_predicates
-            .iter()
-            .map(|p| Region::from_predicate(self.verdict.schema(), p).ok())
-            .collect();
-
-        let scan_groups: Vec<GroupKey> = plan.groups.iter().flatten().cloned().collect();
-        let mut driver = engine
-            .shared_scan(&ScanSpec {
-                predicate: &plan.base_predicate,
-                group_cols: &plan.group_cols,
-                groups: &scan_groups,
-                primitives: &plan.primitives,
-            })
-            .map_err(Error::Aqp)?;
-
-        // The stop policy bounds the *one* query-wide scan: a tuple or
-        // time budget buys one prefix of the sample regardless of how many
-        // cells the query has (the per-snippet path spent the budget per
-        // snippet, G×A times over).
-        let tuple_cap = match policy {
-            StopPolicy::TupleBudget(n) => n,
-            StopPolicy::TimeBudgetNs(ns) => {
-                engine.cost_model().tuples_within(ns, engine.tier()).max(1)
+        let scanned = driver.tuples_scanned();
+        match policy {
+            StopPolicy::ScanAll => {}
+            StopPolicy::TupleBudget(_) | StopPolicy::TimeBudgetNs(_) => {
+                if scanned >= tuple_cap {
+                    break;
+                }
             }
-            _ => usize::MAX,
+            StopPolicy::RelativeErrorBound { target, delta } => {
+                // Evaluate every live cell against the bound; freeze
+                // those that meet it.
+                let evaluated = evaluate_live_cells(
+                    view, &mut stats, plan, &driver, &prim_keys, &regions, mode, n_base, &frozen,
+                );
+                last_unmet.clear();
+                for (cell, snapshot) in evaluated {
+                    let bound = snapshot.improved.bound(delta);
+                    let met = bound.is_finite()
+                        && bound / snapshot.improved.answer.abs().max(1e-9) <= target;
+                    if met {
+                        frozen[cell] = Some(snapshot);
+                        live -= 1;
+                    } else {
+                        last_unmet.push((cell, snapshot));
+                    }
+                }
+                if live == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Finalize the cells still live at the end of the scan. If the
+    // loop's last evaluation already ran at this exact scan position
+    // (sample exhausted under RelativeErrorBound), reuse its
+    // snapshots rather than repeating the inference pass.
+    let final_scanned = driver.tuples_scanned();
+    let finalized: Vec<(usize, FrozenCell)> =
+        if !last_unmet.is_empty() && last_unmet[0].1.scanned == final_scanned {
+            last_unmet
+        } else {
+            evaluate_live_cells(
+                view, &mut stats, plan, &driver, &prim_keys, &regions, mode, n_base, &frozen,
+            )
         };
+    for (cell, snapshot) in finalized {
+        frozen[cell] = Some(snapshot);
+    }
+    let tuples_scanned = driver.tuples_scanned();
+    drop(driver);
 
-        // Per-cell stop tracking: a frozen cell holds the snapshot it had
-        // when it met the policy; the scan stops when all cells froze.
-        let mut frozen: Vec<Option<FrozenCell>> = (0..num_cells).map(|_| None).collect();
-        let mut live = num_cells;
-        // Snapshots of the cells that did NOT meet the bound at the most
-        // recent evaluation, kept so an exhausted scan can finalize from
-        // them instead of re-running the whole inference pass at the same
-        // scan position.
-        let mut last_unmet: Vec<(usize, FrozenCell)> = Vec::new();
-
-        loop {
-            if !driver.step() {
-                break;
-            }
-            let scanned = driver.tuples_scanned();
-            match policy {
-                StopPolicy::ScanAll => {}
-                StopPolicy::TupleBudget(_) | StopPolicy::TimeBudgetNs(_) => {
-                    if scanned >= tuple_cap {
-                        break;
-                    }
-                }
-                StopPolicy::RelativeErrorBound { target, delta } => {
-                    // Evaluate every live cell against the bound; freeze
-                    // those that meet it.
-                    let evaluated = evaluate_live_cells(
-                        &mut self.verdict,
-                        plan,
-                        &driver,
-                        &prim_keys,
-                        &regions,
-                        mode,
-                        n_base,
-                        &frozen,
-                    );
-                    last_unmet.clear();
-                    for (cell, snapshot) in evaluated {
-                        let bound = snapshot.improved.bound(delta);
-                        let met = bound.is_finite()
-                            && bound / snapshot.improved.answer.abs().max(1e-9) <= target;
-                        if met {
-                            frozen[cell] = Some(snapshot);
-                            live -= 1;
-                        } else {
-                            last_unmet.push((cell, snapshot));
-                        }
-                    }
-                    if live == 0 {
-                        break;
+    // Collect the raw primitive observations the synopsis should record
+    // (Verdict stores raw answers, not improved ones — Algorithm 2
+    // line 6), in the per-snippet order of the Figure 3 decomposition.
+    // The learn path applies them; the read path stays pure.
+    let mut recorded: Vec<(Snippet, Observation)> = Vec::new();
+    if mode == Mode::Verdict {
+        for g in 0..num_groups {
+            let Some(region) = &regions[g] else { continue };
+            for (a, spec) in plan.aggregates.iter().enumerate() {
+                let cell = frozen[g * num_aggs + a].as_ref().expect("finalized");
+                for (key, obs) in cell_prim_indices(spec)
+                    .map(|p| &prim_keys[p])
+                    .zip(cell.raw_prims.iter())
+                {
+                    if obs.error.is_finite() {
+                        recorded.push((Snippet::new(key.clone(), region.clone()), *obs));
                     }
                 }
             }
         }
+    }
 
-        // Finalize the cells still live at the end of the scan. If the
-        // loop's last evaluation already ran at this exact scan position
-        // (sample exhausted under RelativeErrorBound), reuse its
-        // snapshots rather than repeating the inference pass.
-        let final_scanned = driver.tuples_scanned();
-        let finalized: Vec<(usize, FrozenCell)> =
-            if !last_unmet.is_empty() && last_unmet[0].1.scanned == final_scanned {
-                last_unmet
-            } else {
-                evaluate_live_cells(
-                    &mut self.verdict,
-                    plan,
-                    &driver,
-                    &prim_keys,
-                    &regions,
-                    mode,
-                    n_base,
-                    &frozen,
-                )
-            };
-        for (cell, snapshot) in finalized {
-            frozen[cell] = Some(snapshot);
-        }
-        let tuples_scanned = driver.tuples_scanned();
-        drop(driver);
+    // One real scan: the cost model charges the single pass, not the
+    // widest of G×A independent passes.
+    let simulated_ns = engine.simulated_ns(tuples_scanned);
 
-        // Record the raw primitive observations into the synopsis (Verdict
-        // stores raw answers, not improved ones — Algorithm 2 line 6), in
-        // the per-snippet order of the Figure 3 decomposition.
-        if mode == Mode::Verdict {
-            for g in 0..num_groups {
-                let Some(region) = &regions[g] else { continue };
-                for (a, spec) in plan.aggregates.iter().enumerate() {
-                    let cell = frozen[g * num_aggs + a].as_ref().expect("finalized");
-                    for (key, obs) in cell_prim_indices(spec)
-                        .map(|p| &prim_keys[p])
-                        .zip(cell.raw_prims.iter())
-                    {
-                        if obs.error.is_finite() {
-                            let snippet = Snippet::new(key.clone(), region.clone());
-                            self.verdict.observe(&snippet, *obs);
-                        }
-                    }
-                }
-            }
-        }
-
-        // One real scan: the cost model charges the single pass, not the
-        // widest of G×A independent passes.
-        let simulated_ns = self.engine().simulated_ns(tuples_scanned);
-
-        let mut rows: Vec<ResultRow> = Vec::with_capacity(num_groups);
-        let mut slots = frozen.into_iter();
-        for group in &plan.groups {
-            let mut values = Vec::with_capacity(num_aggs);
-            for _ in 0..num_aggs {
-                let cell = slots.next().flatten().expect("finalized");
-                values.push(CellAnswer {
-                    improved: cell.improved,
-                    raw_answer: cell.user_raw.0,
-                    raw_error: cell.user_raw.1,
-                    tuples_scanned: cell.scanned,
-                });
-            }
-            rows.push(ResultRow {
-                group: group.clone(),
-                values,
+    let mut rows: Vec<ResultRow> = Vec::with_capacity(num_groups);
+    let mut slots = frozen.into_iter();
+    for group in &plan.groups {
+        let mut values = Vec::with_capacity(num_aggs);
+        for _ in 0..num_aggs {
+            let cell = slots.next().flatten().expect("finalized");
+            values.push(CellAnswer {
+                improved: cell.improved,
+                raw_answer: cell.user_raw.0,
+                raw_error: cell.user_raw.1,
+                tuples_scanned: cell.scanned,
             });
         }
+        rows.push(ResultRow {
+            group: group.clone(),
+            values,
+        });
+    }
 
-        Ok(QueryResult {
+    Ok(ReadOutcome {
+        result: QueryResult {
             rows,
             tuples_scanned,
             simulated_ns,
             truncated: plan.truncated,
-        })
-    }
+            epoch,
+        },
+        recorded,
+        stats,
+    })
+}
 
+impl VerdictSession {
     /// Answers one snippet under the given mode and stop policy.
     fn answer_snippet(
         &mut self,
@@ -994,13 +1176,15 @@ fn cell_prim_indices(spec: &verdict_sql::AggregateSpec) -> impl Iterator<Item = 
 }
 
 /// Snapshots and improves every still-live cell at the driver's current
-/// scan position. Improvement runs as one [`Verdict::improve_batch`] call
-/// across all live cells (cells whose predicate has no region pass raw
-/// through, like the per-snippet path). Returns `(cell index, snapshot)`
+/// scan position. Improvement runs as one [`EngineView::improve_batch`]
+/// call across all live cells (cells whose predicate has no region pass
+/// raw through, like the per-snippet path), against immutable state —
+/// counter bumps land in `stats`. Returns `(cell index, snapshot)`
 /// pairs; cell indices are group-major (`g * num_aggs + a`).
 #[allow(clippy::too_many_arguments)]
 fn evaluate_live_cells(
-    verdict: &mut Verdict,
+    view: EngineView<'_>,
+    stats: &mut EngineStats,
     plan: &ScanPlan,
     driver: &SharedScanDriver<'_>,
     prim_keys: &[AggKey],
@@ -1046,7 +1230,7 @@ fn evaluate_live_cells(
                 }
                 spans.push(Some((start, requests.len())));
             }
-            let answers = verdict.improve_batch(&requests);
+            let answers = view.improve_batch(&requests, stats);
             spans
                 .into_iter()
                 .map(|span| match span {
@@ -1499,7 +1683,7 @@ mod tests {
         let sql = "SELECT AVG(rev) FROM t WHERE week <= 50";
         let mut answers = Vec::new();
         for i in 0..3 {
-            s.set_active_sample(i);
+            s.set_active_sample(i).unwrap();
             let r = s
                 .execute(sql, Mode::NoLearn, StopPolicy::TupleBudget(400))
                 .unwrap()
@@ -1511,13 +1695,74 @@ mod tests {
             answers[0] != answers[1] || answers[1] != answers[2],
             "rotation produced identical answers: {answers:?}"
         );
-        // Index wraps around.
-        s.set_active_sample(3);
-        let r = s
-            .execute(sql, Mode::NoLearn, StopPolicy::TupleBudget(400))
-            .unwrap()
-            .unwrap_answered();
-        assert_eq!(r.rows[0].values[0].raw_answer, answers[0]);
+        // An out-of-range index is refused, not wrapped: silent `% 3`
+        // masked caller bugs (the active sample stays untouched).
+        assert!(s.set_active_sample(3).is_err());
+        assert_eq!(s.active_sample(), 2);
+    }
+
+    #[test]
+    fn round_robin_rotation_advances_per_query() {
+        let mut s = SessionBuilder::new(base_rotation_table())
+            .sample_fraction(0.2)
+            .batch_size(100)
+            .num_samples(3)
+            .sample_rotation(SampleRotation::RoundRobin)
+            .seed(4)
+            .build()
+            .unwrap();
+        let sql = "SELECT AVG(rev) FROM t WHERE week <= 50";
+        assert_eq!(s.active_sample(), 0);
+        let mut answers = Vec::new();
+        for expect_next in [1, 2, 0, 1] {
+            let r = s
+                .execute(sql, Mode::NoLearn, StopPolicy::TupleBudget(400))
+                .unwrap()
+                .unwrap_answered();
+            answers.push(r.rows[0].values[0].raw_answer);
+            assert_eq!(s.active_sample(), expect_next, "advances after the query");
+        }
+        // Queries 0 and 3 hit sample 0 again: identical answers; the
+        // middle queries saw different samples, so some answer differs.
+        assert_eq!(answers[0].to_bits(), answers[3].to_bits());
+        assert!(
+            answers[0] != answers[1] || answers[1] != answers[2],
+            "rotation must change the scanned sample: {answers:?}"
+        );
+        // Unsupported queries do not advance the rotation.
+        let before = s.active_sample();
+        let out = s
+            .execute(
+                "SELECT AVG(rev) FROM t WHERE region LIKE '%u%'",
+                Mode::NoLearn,
+                StopPolicy::ScanAll,
+            )
+            .unwrap();
+        assert!(!out.is_answered());
+        assert_eq!(s.active_sample(), before);
+    }
+
+    fn base_rotation_table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::numeric_dimension("week"),
+            ColumnDef::categorical_dimension("region"),
+            ColumnDef::measure("rev"),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        let mut state = 9u64;
+        for i in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            let region = ["us", "eu", "jp"][i % 3];
+            t.push_row(vec![
+                ((i % 100) as f64).into(),
+                region.into(),
+                (10.0 * u).into(),
+            ])
+            .unwrap();
+        }
+        t
     }
 
     #[test]

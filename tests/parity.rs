@@ -4,7 +4,10 @@
 //! the refactor changes *how much work* a query costs, never *what it
 //! answers*. Plus the regression tests for the shared-scan cost
 //! semantics: a stop-policy budget bounds the one query-wide scan instead
-//! of being spent per snippet.
+//! of being spent per snippet. And since the concurrent engine drives the
+//! *same* planner→scan→infer core against a published snapshot, the suite
+//! also holds multithreaded reads at a fixed epoch to the serial path,
+//! bit for bit.
 
 use proptest::prelude::*;
 use verdict::aqp::AqpEngine;
@@ -350,6 +353,145 @@ fn tuple_budget_caps_shared_scan() {
             assert_eq!(cell.tuples_scanned, r.tuples_scanned);
         }
     }
+}
+
+/// Acceptance (snapshot-isolated concurrency): queries served from many
+/// threads at one pinned snapshot epoch are bit-identical — answer,
+/// error, and improved bound — to a serial session holding the same
+/// learned state, across modes and stop policies. Learning is deferred
+/// (the pinned reads absorb nothing), so every thread reads exactly the
+/// published epoch it pinned.
+#[test]
+fn concurrent_reads_at_fixed_epoch_match_serial() {
+    let build = || {
+        SessionBuilder::new(base_table(6_000))
+            .sample_fraction(0.25)
+            .batch_size(150)
+            .seed(17)
+            .build()
+            .unwrap()
+    };
+    let warm_up = |s: &mut VerdictSession| {
+        for lo in (0..24).step_by(3) {
+            let sql = format!(
+                "SELECT AVG(rev), COUNT(*) FROM t WHERE week BETWEEN {lo} AND {}",
+                lo + 4
+            );
+            s.execute(&sql, Mode::Verdict, StopPolicy::ScanAll).unwrap();
+        }
+        s.train().unwrap();
+    };
+    let mut serial = build();
+    warm_up(&mut serial);
+    let concurrent = {
+        let mut s = build();
+        warm_up(&mut s);
+        s.into_concurrent()
+    };
+    let snapshot = concurrent.snapshot();
+
+    // A mixed workload: grouped/ungrouped, every aggregate family, every
+    // stop policy. The serial session observes between queries, but
+    // answers depend only on the trained models, so the pinned snapshot
+    // (same post-training state) must reproduce them exactly.
+    let workload: Vec<(String, Mode, StopPolicy)> = (0..16)
+        .map(|i| {
+            let lo = (i * 5) % 20;
+            let sql = match i % 4 {
+                0 => format!(
+                    "SELECT AVG(rev) FROM t WHERE week BETWEEN {lo} AND {}",
+                    lo + 8
+                ),
+                1 => format!(
+                    "SELECT region, AVG(rev), SUM(rev) FROM t WHERE week BETWEEN {lo} AND {} \
+                     GROUP BY region",
+                    lo + 10
+                ),
+                2 => format!("SELECT SUM(rev), COUNT(*) FROM t WHERE week <= {}", lo + 12),
+                _ => "SELECT week, COUNT(*) FROM t GROUP BY week".to_owned(),
+            };
+            let mode = if i % 3 == 0 {
+                Mode::NoLearn
+            } else {
+                Mode::Verdict
+            };
+            let policy = match i % 4 {
+                0 => StopPolicy::ScanAll,
+                1 => StopPolicy::TupleBudget(700),
+                2 => StopPolicy::TimeBudgetNs(12_000_000.0),
+                _ => StopPolicy::RelativeErrorBound {
+                    target: 0.05,
+                    delta: 0.95,
+                },
+            };
+            (sql, mode, policy)
+        })
+        .collect();
+
+    let serial_results: Vec<QueryResult> = workload
+        .iter()
+        .map(|(sql, mode, policy)| {
+            serial
+                .execute(sql, *mode, *policy)
+                .unwrap()
+                .unwrap_answered()
+        })
+        .collect();
+    // Guard against trivial parity: the model must engage somewhere.
+    assert!(
+        serial_results
+            .iter()
+            .flat_map(|r| r.rows.iter())
+            .flat_map(|row| row.values.iter())
+            .any(|c| c.improved.used_model),
+        "workload never engaged the trained model"
+    );
+
+    const THREADS: usize = 4;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let concurrent = &concurrent;
+                let snapshot = &snapshot;
+                let workload = &workload;
+                scope.spawn(move || {
+                    workload
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| i % THREADS == t)
+                        .map(|(i, (sql, mode, policy))| {
+                            let r = concurrent
+                                .execute_at(snapshot, sql, *mode, *policy)
+                                .unwrap()
+                                .unwrap_answered();
+                            (i, r)
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, got) in handle.join().unwrap() {
+                let (sql, _, _) = &workload[i];
+                assert_eq!(got.epoch, snapshot.epoch(), "read a different epoch: {sql}");
+                let want = &serial_results[i];
+                assert_results_match(&got, want, sql);
+                // The acceptance criterion names the improved *bound*
+                // explicitly: same error at the same confidence.
+                for (rg, rw) in got.rows.iter().zip(want.rows.iter()) {
+                    for (cg, cw) in rg.values.iter().zip(rw.values.iter()) {
+                        assert_eq!(
+                            cg.improved.bound(0.95).to_bits(),
+                            cw.improved.bound(0.95).to_bits(),
+                            "improved bound diverged for {sql}"
+                        );
+                    }
+                }
+            }
+        }
+    });
+    // Deferred learning: the pinned reads left the published state alone.
+    assert_eq!(concurrent.epoch(), snapshot.epoch());
 }
 
 /// Parity on pathological numeric group keys: `-0.0` and `0.0` are equal

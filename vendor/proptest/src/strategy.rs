@@ -359,7 +359,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use rand::Rng;
 
-    /// Size bound accepted by [`vec`].
+    /// Size bound accepted by [`vec()`].
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
@@ -399,7 +399,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
