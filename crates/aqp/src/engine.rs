@@ -62,6 +62,20 @@ impl OnlineAggregation {
         self.cost.query_ns(tuples, self.tier)
     }
 
+    /// Admits the appended tail of the grown base table into this
+    /// engine's maintained sample (see [`Sample::absorb_appended`]).
+    /// Returns the rows admitted.
+    pub fn absorb_appended(
+        &mut self,
+        base: &verdict_storage::Table,
+        first_row_index: u64,
+        seed: u64,
+        sample_index: u64,
+    ) -> Result<usize> {
+        self.sample
+            .absorb_appended(base, first_row_index, seed, sample_index)
+    }
+
     /// Starts an online-aggregation session for one snippet. Each call to
     /// [`Session::step`] consumes one batch and yields the refined answer.
     pub fn session<'e>(&'e self, agg: &AggregateFn, predicate: &Predicate) -> Result<Session<'e>> {

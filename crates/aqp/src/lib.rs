@@ -23,7 +23,7 @@ pub use cost::{CostModel, SimulatedClock, StorageTier};
 pub use driver::{ScanSpec, SharedScanDriver};
 pub use engine::{AqpEngine, OnlineAggregation, RawAnswer, TimeBoundEngine};
 pub use estimator::BatchEstimator;
-pub use sample::Sample;
+pub use sample::{appended_row_admitted, Sample};
 
 /// Errors surfaced by the AQP engine.
 #[derive(Debug, Clone, PartialEq)]

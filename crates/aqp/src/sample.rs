@@ -16,7 +16,7 @@
 use std::sync::Arc;
 
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 use verdict_storage::Table;
 
 use crate::{AqpError, Result};
@@ -40,6 +40,27 @@ impl Sample {
         batch_size: usize,
         rng: &mut R,
     ) -> Result<Sample> {
+        let n = base.num_rows();
+        Sample::uniform_prefix(base, n, fraction, batch_size, rng)
+    }
+
+    /// Draws a uniform sample of the first `prefix_rows` rows of `base`,
+    /// consuming exactly the RNG stream [`Sample::uniform`] would consume
+    /// over a `prefix_rows`-row table.
+    ///
+    /// This is the warm-start half of sample maintenance: a session whose
+    /// table has grown through ingests re-draws the *original* sample from
+    /// the original row prefix (same seed → bit-identical draw), then
+    /// re-admits the appended tail through
+    /// [`Sample::absorb_appended`] — reproducing the live session's
+    /// maintained sample exactly.
+    pub fn uniform_prefix<R: Rng>(
+        base: &Table,
+        prefix_rows: usize,
+        fraction: f64,
+        batch_size: usize,
+        rng: &mut R,
+    ) -> Result<Sample> {
         if !(fraction > 0.0 && fraction <= 1.0) {
             return Err(AqpError::InvalidConfig(format!(
                 "sample fraction must be in (0,1], got {fraction}"
@@ -50,7 +71,13 @@ impl Sample {
                 "batch size must be positive".into(),
             ));
         }
-        let n = base.num_rows();
+        if prefix_rows > base.num_rows() {
+            return Err(AqpError::InvalidConfig(format!(
+                "sample prefix of {prefix_rows} rows exceeds the table's {}",
+                base.num_rows()
+            )));
+        }
+        let n = prefix_rows;
         let k = ((n as f64 * fraction).round() as usize).clamp(1, n.max(1));
         let mut rows: Vec<usize> = (0..n).collect();
         rows.shuffle(rng);
@@ -62,6 +89,53 @@ impl Sample {
             fraction,
             batch_size,
         })
+    }
+
+    /// Admits the appended tail of a grown base table into the maintained
+    /// sample: rows `first_row_index..base.num_rows()` of `base`, which
+    /// must already contain the ingested batch.
+    ///
+    /// Each appended row enters the sample independently with probability
+    /// equal to the sampling `fraction`, so the sample stays an honest
+    /// uniform sample of the *grown* table: original rows were included
+    /// with probability `≈ fraction` at draw time, and appended rows get
+    /// exactly the same inclusion probability. `base_rows` grows to the
+    /// whole new table size either way, keeping `FREQ → COUNT` scaling
+    /// correct.
+    ///
+    /// The sample first adopts `base`'s categorical dictionaries and then
+    /// pushes admitted rows as raw codes, so a sample code always decodes
+    /// to the same label as the base-table code — even when an
+    /// *unadmitted* row introduced a new label. (Pushing raw label
+    /// strings instead would grow the sample's dictionary in admission
+    /// order and silently diverge from the base table's.)
+    ///
+    /// Admission is decided by [`appended_row_admitted`] — a pure function
+    /// of `(seed, sample_index, absolute row index, fraction)` rather than
+    /// a streaming RNG, so crash-recovery replay admits *exactly* the rows
+    /// the live session admitted regardless of how the batches were cut.
+    ///
+    /// Returns the number of rows admitted.
+    pub fn absorb_appended(
+        &mut self,
+        base: &Table,
+        first_row_index: u64,
+        seed: u64,
+        sample_index: u64,
+    ) -> Result<usize> {
+        let table = Arc::make_mut(&mut self.table);
+        table
+            .sync_dictionaries_from(base)
+            .map_err(AqpError::Storage)?;
+        let mut admitted = 0usize;
+        for r in first_row_index as usize..base.num_rows() {
+            if appended_row_admitted(seed, sample_index, r as u64, self.fraction) {
+                table.push_row(base.row(r)).map_err(AqpError::Storage)?;
+                admitted += 1;
+            }
+        }
+        self.base_rows = base.num_rows();
+        Ok(admitted)
     }
 
     /// Assembles a sample from pre-gathered rows (stratified and other
@@ -150,6 +224,31 @@ impl Sample {
     }
 }
 
+/// Whether appended base-table row `row_index` enters sample
+/// `sample_index` of a session seeded with `seed`, at inclusion
+/// probability `fraction`.
+///
+/// Deliberately a pure function of its arguments (a fresh deterministic
+/// RNG per decision) instead of a draw from a long-lived streaming RNG:
+/// a streaming RNG's state would depend on how ingests were batched and
+/// on everything else the session ever drew, so crash-recovery replay
+/// could not reproduce the sample. With per-row derivation, replaying the
+/// WAL's ingest records — whatever batch boundaries survived — admits
+/// exactly the rows the live session admitted.
+pub fn appended_row_admitted(seed: u64, sample_index: u64, row_index: u64, fraction: f64) -> bool {
+    // FNV-1a over the three coordinates decorrelates neighboring rows and
+    // samples before the RNG expands the hash.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for word in [seed, sample_index, row_index] {
+        for byte in word.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(h);
+    rng.gen_bool(fraction.clamp(0.0, 1.0))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +333,161 @@ mod tests {
         assert_eq!(s.len(), 20);
         assert_eq!(s.fraction(), 1.0);
         assert_eq!(s.num_batches(), 3);
+    }
+
+    #[test]
+    fn uniform_prefix_matches_uniform_over_prefix_table() {
+        // Drawing a prefix sample from a grown table must bit-match the
+        // draw the original (ungrown) table produced: same RNG stream,
+        // same row indices, same gathered values.
+        let small = base(400);
+        let mut grown = small.clone();
+        for i in 0..250 {
+            grown
+                .push_row(vec![((1000 + i) as f64).into(), 0.0.into()])
+                .unwrap();
+        }
+        let mut rng_a = StdRng::seed_from_u64(21);
+        let mut rng_b = StdRng::seed_from_u64(21);
+        let a = Sample::uniform(&small, 0.25, 50, &mut rng_a).unwrap();
+        let b = Sample::uniform_prefix(&grown, 400, 0.25, 50, &mut rng_b).unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.base_rows(), b.base_rows());
+        let xa = a.table().column("x").unwrap().numeric().unwrap();
+        let xb = b.table().column("x").unwrap().numeric().unwrap();
+        assert_eq!(xa, xb);
+        // And the two generators end in the same RNG state.
+        assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+        // An over-long prefix is refused.
+        assert!(Sample::uniform_prefix(&small, 401, 0.25, 50, &mut rng_a).is_err());
+    }
+
+    #[test]
+    fn absorb_appended_admits_at_sampling_fraction() {
+        let mut t = base(2000);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut s = Sample::uniform(&t, 0.2, 50, &mut rng).unwrap();
+        let before = s.len();
+        for i in 0..5000 {
+            t.push_row(vec![((2000 + i) as f64).into(), 1.0.into()])
+                .unwrap();
+        }
+        let admitted = s.absorb_appended(&t, 2000, 5, 0).unwrap();
+        assert_eq!(s.len(), before + admitted);
+        assert_eq!(s.base_rows(), 7000);
+        // Binomial(5000, 0.2): far tails only.
+        assert!(
+            (700..=1300).contains(&admitted),
+            "admitted {admitted} of 5000 at fraction 0.2"
+        );
+    }
+
+    #[test]
+    fn absorb_is_batch_boundary_invariant() {
+        // Admission depends only on the absolute row index, so splitting
+        // one ingest into many batches yields the identical sample.
+        let t = base(100);
+        let grow = |t: &Table, upto: usize| {
+            let mut g = t.clone();
+            for i in 0..upto {
+                g.push_row(vec![((100 + i) as f64).into(), (i as f64).into()])
+                    .unwrap();
+            }
+            g
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let whole = {
+            let mut s = Sample::uniform(&t, 0.5, 10, &mut rng).unwrap();
+            s.absorb_appended(&grow(&t, 60), 100, 9, 3).unwrap();
+            s
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let split = {
+            let mut s = Sample::uniform(&t, 0.5, 10, &mut rng).unwrap();
+            for (start, len) in [(0usize, 13usize), (13, 1), (14, 30), (44, 16)] {
+                s.absorb_appended(&grow(&t, start + len), 100 + start as u64, 9, 3)
+                    .unwrap();
+            }
+            s
+        };
+        assert_eq!(whole.len(), split.len());
+        assert_eq!(whole.base_rows(), split.base_rows());
+        assert_eq!(
+            whole.table().column("x").unwrap().numeric().unwrap(),
+            split.table().column("x").unwrap().numeric().unwrap()
+        );
+    }
+
+    #[test]
+    fn absorb_keeps_one_dictionary_with_the_base_table() {
+        // An unadmitted row introduces label "first-new" before an
+        // admitted row introduces "second-new": the sample must still
+        // encode labels with the *base table's* codes, not its own
+        // admission-order codes.
+        let schema = crate::Sample::full(
+            &{
+                let schema = verdict_storage::Schema::new(vec![
+                    verdict_storage::ColumnDef::categorical_dimension("g"),
+                    verdict_storage::ColumnDef::measure("v"),
+                ])
+                .unwrap();
+                let mut t = Table::new(schema);
+                for i in 0..40 {
+                    t.push_row(vec![["a", "b"][i % 2].into(), (i as f64).into()])
+                        .unwrap();
+                }
+                t
+            },
+            10,
+        )
+        .unwrap();
+        let mut base = schema.table().clone();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut s = Sample::uniform(&base, 0.5, 10, &mut rng).unwrap();
+        // Find one unadmitted and one later admitted appended index.
+        let unadmitted = (40u64..)
+            .find(|&r| !appended_row_admitted(2, 0, r, 0.5))
+            .unwrap();
+        let admitted = (unadmitted + 1..)
+            .find(|&r| appended_row_admitted(2, 0, r, 0.5))
+            .unwrap();
+        for r in 40..=admitted {
+            let label = if r == unadmitted {
+                "first-new"
+            } else if r == admitted {
+                "second-new"
+            } else {
+                "a"
+            };
+            base.push_row(vec![label.into(), (r as f64).into()])
+                .unwrap();
+        }
+        s.absorb_appended(&base, 40, 2, 0).unwrap();
+        // One shared dictionary: identical labels in identical order.
+        assert_eq!(
+            s.table().column("g").unwrap().labels().unwrap(),
+            base.column("g").unwrap().labels().unwrap()
+        );
+        // The admitted row's code decodes to the right label through
+        // either table.
+        let sample_g = s.table().column("g").unwrap();
+        let last = sample_g.categorical().unwrap().last().copied().unwrap();
+        assert_eq!(sample_g.label_of(last), Some("second-new"));
+        assert_eq!(base.column("g").unwrap().label_of(last), Some("second-new"));
+    }
+
+    #[test]
+    fn admission_is_deterministic_and_decorrelated() {
+        let a = appended_row_admitted(7, 0, 123, 0.3);
+        assert_eq!(a, appended_row_admitted(7, 0, 123, 0.3));
+        // Different samples of the same session make independent choices:
+        // over many rows the two decision streams must disagree somewhere.
+        let disagree = (0..500)
+            .filter(|&i| appended_row_admitted(7, 0, i, 0.5) != appended_row_admitted(7, 1, i, 0.5))
+            .count();
+        assert!(disagree > 100, "streams nearly identical: {disagree}");
+        assert!(!appended_row_admitted(7, 0, 9, 0.0));
+        assert!(appended_row_admitted(7, 0, 9, 1.0));
     }
 
     #[test]

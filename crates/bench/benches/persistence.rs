@@ -27,6 +27,7 @@ fn meta() -> SessionMeta {
         batch_size: 500,
         seed: 7,
         num_samples: 1,
+        original_rows: 5_000,
         config: VerdictConfig::default(),
     }
 }
@@ -122,8 +123,9 @@ fn bench_snapshot(c: &mut Criterion) {
     let (mut store, recovered) = SynopsisStore::open(&dir, StorePolicy::default()).unwrap();
     let state = recovered.state;
     let m = recovered.meta;
+    let table = recovered.table;
     group.bench_function("write_snapshot_trained_5k_rows", |b| {
-        b.iter(|| store.snapshot(m.clone(), &state).unwrap())
+        b.iter(|| store.snapshot(m.clone(), &state, &table).unwrap())
     });
     group.finish();
     let _ = std::fs::remove_dir_all(&dir);

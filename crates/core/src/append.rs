@@ -36,17 +36,55 @@ impl AppendAdjustment {
     /// tuples: `µ_k = mean(new) − mean(old)` and
     /// `η²_k = var(new) + var(old)` (variance of the difference of
     /// independent draws).
+    ///
+    /// **Units.** `µ_k` and `η_k` are in the units of the aggregated
+    /// attribute itself (for an `AVG(A_k)` synopsis: the units of `A_k`;
+    /// for a `FREQ(*)` synopsis: relative frequency in `[0, 1]`). The
+    /// adjusted answer moves by `µ_k · |r_a| / (|r| + |r_a|)` — the shift
+    /// scaled by the *fraction of the updated table that is new* — and the
+    /// error inflates in quadrature by `η_k` times the same fraction.
+    ///
+    /// **Edge cases.** With either value sample empty there is no evidence
+    /// of a shift, so the estimate degrades to the identity (`µ = 0`,
+    /// `η = 0`) rather than inventing a phantom shift from the other
+    /// slice's mean. Zero-row inputs (`|r| + |r_a| = 0`) make
+    /// [`AppendAdjustment::new_fraction`] zero, so [`AppendAdjustment::adjust`]
+    /// is likewise the identity.
     pub fn estimate(
         old_values: &[f64],
         new_values: &[f64],
         old_rows: usize,
         appended_rows: usize,
     ) -> AppendAdjustment {
+        if old_values.is_empty() || new_values.is_empty() {
+            return AppendAdjustment {
+                mu_shift: 0.0,
+                eta: 0.0,
+                old_rows,
+                appended_rows,
+            };
+        }
         let mu_shift = mean(new_values) - mean(old_values);
         let eta = (variance(new_values) + variance(old_values)).sqrt();
         AppendAdjustment {
             mu_shift,
             eta,
+            old_rows,
+            appended_rows,
+        }
+    }
+
+    /// The worst-case shift adjustment for a `FREQ(*)` synopsis, whose
+    /// per-tuple "attribute" is a region-membership indicator the ingest
+    /// path cannot evaluate per stored region. The indicator difference
+    /// `s ∈ {−1, 0, 1}` between a new and an old tuple has unknown mean,
+    /// so `µ = 0`, and its variance is at most `p(1−p) + q(1−q) ≤ 1/2`
+    /// for Bernoulli membership rates `p, q` — hence `η = 1/√2`, the
+    /// conservative (never under-covering) bound.
+    pub fn freq_worst_case(old_rows: usize, appended_rows: usize) -> AppendAdjustment {
+        AppendAdjustment {
+            mu_shift: 0.0,
+            eta: std::f64::consts::FRAC_1_SQRT_2,
             old_rows,
             appended_rows,
         }
@@ -76,11 +114,21 @@ impl AppendAdjustment {
     }
 
     /// Rewrites every observation in a synopsis in place (old snippets are
-    /// reinterpreted against the updated relation).
-    pub fn adjust_synopsis(&self, synopsis: &mut QuerySynopsis) {
+    /// reinterpreted against the updated relation). Returns the number of
+    /// snippets adjusted, so a caller can tell an applied adjustment from
+    /// one that found nothing to rewrite.
+    pub fn adjust_synopsis(&self, synopsis: &mut QuerySynopsis) -> usize {
+        let mut adjusted = 0;
         for obs in synopsis.observations_mut() {
             *obs = self.adjust(*obs);
+            adjusted += 1;
         }
+        adjusted
+    }
+
+    /// Whether applying this adjustment is a no-op (`µ = 0`, `η = 0`).
+    pub fn is_identity(&self) -> bool {
+        self.mu_shift == 0.0 && self.eta == 0.0
     }
 
     /// Composes two successive appends into one adjustment relative to the

@@ -47,6 +47,7 @@ use crate::{Result, VerdictConfig};
 #[derive(Debug, Clone)]
 pub struct EngineSnapshot {
     pub(crate) epoch: u64,
+    pub(crate) data_epoch: u64,
     pub(crate) schema: SchemaInfo,
     pub(crate) config: VerdictConfig,
     /// Per-key state is shared with the engine via `Arc`: publishing
@@ -62,6 +63,13 @@ impl EngineSnapshot {
     /// The epoch of the learned state this snapshot froze.
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The data epoch the frozen state describes: how many ingested
+    /// batches it has been adjusted for. A pinned read is bit-reproducible
+    /// only against the table/sample version with the same data epoch.
+    pub fn data_epoch(&self) -> u64 {
+        self.data_epoch
     }
 
     /// The dimension universe.
@@ -111,6 +119,7 @@ impl Verdict {
     pub fn publish(&self) -> EngineSnapshot {
         EngineSnapshot {
             epoch: self.epoch(),
+            data_epoch: self.data_epoch(),
             schema: self.schema().clone(),
             config: self.config().clone(),
             synopses: self.synopses_cloned(),

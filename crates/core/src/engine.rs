@@ -109,6 +109,11 @@ pub struct Verdict {
     /// [`crate::concurrent::EngineSnapshot`] carries the epoch it was cut
     /// at, so readers can tell exactly which learned state answered them.
     epoch: u64,
+    /// Monotone version of the *data* the learned state describes: bumped
+    /// once per ingested batch ([`Verdict::apply_ingest`]). Published
+    /// snapshots carry it so a pinned concurrent read can be matched to
+    /// the exact table/sample version it answered from.
+    data_epoch: u64,
     observer: Option<Box<dyn SnippetObserver + Send>>,
 }
 
@@ -269,6 +274,7 @@ impl Verdict {
             models: HashMap::new(),
             stats: EngineStats::default(),
             epoch: 0,
+            data_epoch: 0,
             observer: None,
         }
     }
@@ -282,6 +288,18 @@ impl Verdict {
     /// The current epoch of the learned state (see the `epoch` field).
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// The current data epoch: how many ingested batches this engine's
+    /// learned state has been adjusted for (see the `data_epoch` field).
+    pub fn data_epoch(&self) -> u64 {
+        self.data_epoch
+    }
+
+    /// Sets the data epoch (warm start: a recovered store reports how many
+    /// ingest events its state has folded).
+    pub fn set_data_epoch(&mut self, data_epoch: u64) {
+        self.data_epoch = data_epoch;
     }
 
     /// Folds a read path's counter delta into the engine's stats (see
@@ -378,41 +396,14 @@ impl Verdict {
         let Some(synopsis) = self.synopses.get(key) else {
             return Ok(());
         };
-        if synopsis.len() < self.config.min_snippets_to_train {
-            self.models.remove(key);
-            return Ok(());
+        match fit_model(&self.schema, &self.config, key, synopsis)? {
+            Some(model) => {
+                self.models.insert(key.clone(), Arc::new(model));
+            }
+            None => {
+                self.models.remove(key);
+            }
         }
-        let mode = AggMode::of(key);
-
-        // Learn lengthscales on a bounded, most-recent subset …
-        let training = synopsis.most_recent(self.config.max_training_snippets);
-        let regions: Vec<&Region> = training.iter().map(|e| &e.region).collect();
-        let answers: Vec<f64> = training.iter().map(|e| e.observation.answer).collect();
-        let errors: Vec<f64> = training.iter().map(|e| e.observation.error).collect();
-        let learned = learn_params(
-            &self.schema,
-            mode,
-            &regions,
-            &answers,
-            &errors,
-            &self.config,
-        );
-
-        // … then fit the conditioning state on the full synopsis.
-        let entries: Vec<(Region, Observation)> = synopsis
-            .entries()
-            .iter()
-            .map(|e| (e.region.clone(), e.observation))
-            .collect();
-        let model = TrainedModel::fit(
-            &self.schema,
-            mode,
-            &entries,
-            learned.params,
-            learned.prior,
-            self.config.jitter,
-        )?;
-        self.models.insert(key.clone(), Arc::new(model));
         Ok(())
     }
 
@@ -452,13 +443,113 @@ impl Verdict {
         improved
     }
 
-    /// Applies a data-append adjustment (Appendix D) to the synopsis of
-    /// `key`, then refits the model so inference sees the inflated errors.
-    pub fn apply_append(&mut self, key: &AggKey, adjustment: &AppendAdjustment) -> Result<()> {
-        if let Some(synopsis) = self.synopses.get_mut(key) {
-            adjustment.adjust_synopsis(Arc::make_mut(synopsis));
+    /// Applies a data-append adjustment (Appendix D, Lemma 3) to the
+    /// synopsis of `key`, then refits the model so inference sees the
+    /// inflated errors.
+    ///
+    /// Returns the number of snippets that were rewritten. A key with no
+    /// synopsis adjusts **zero** snippets — that is not an error (the
+    /// append simply predates any learning for this aggregate), but it is
+    /// visible to the caller instead of a silent `Ok(())`. Units: see
+    /// [`AppendAdjustment::estimate`] — `µ`/`η` are in the aggregate's own
+    /// value units, and both are scaled by `|r_a| / (|r| + |r_a|)` before
+    /// touching a stored `(θ, β)`.
+    pub fn apply_append(&mut self, key: &AggKey, adjustment: &AppendAdjustment) -> Result<usize> {
+        let staged = self.stage_ingest(&[(key.clone(), *adjustment)])?;
+        let adjusted = staged.adjusted;
+        // Single-key commit: install without the batch-level data-epoch
+        // bump (manual adjustments are not ingest events).
+        self.install_staged(staged);
+        self.epoch += 1;
+        Ok(adjusted)
+    }
+
+    /// Phase 1 of an ingest: computes every adjusted synopsis and refit
+    /// model **without mutating the engine**. All fallible work (model
+    /// fitting can fail on a degenerate covariance) happens here, so a
+    /// caller can order `stage → WAL append → commit` and a failure at
+    /// any step leaves memory and disk consistent — nothing is ever
+    /// half-applied, and a WAL record is never written for an adjustment
+    /// the live engine then failed to apply.
+    ///
+    /// Callers must pass a deterministic key order (the session sorts by
+    /// `AggKey`), because WAL replay re-applies the same slice in the same
+    /// order and the states must match bit for bit.
+    pub fn stage_ingest(&self, adjustments: &[(AggKey, AppendAdjustment)]) -> Result<StagedIngest> {
+        let mut entries = Vec::with_capacity(adjustments.len());
+        let mut adjusted = 0usize;
+        for (key, adjustment) in adjustments {
+            match self.synopses.get(key) {
+                Some(synopsis) => {
+                    let mut synopsis = (**synopsis).clone();
+                    adjusted += adjustment.adjust_synopsis(&mut synopsis);
+                    let model = fit_model(&self.schema, &self.config, key, &synopsis)?;
+                    entries.push((key.clone(), Some(Arc::new(synopsis)), model.map(Arc::new)));
+                }
+                // No synopsis: nothing to adjust, and (matching
+                // `train_key` on a missing synopsis) any existing model
+                // is left untouched.
+                None => entries.push((key.clone(), None, None)),
+            }
         }
-        self.train_key(key)
+        Ok(StagedIngest { entries, adjusted })
+    }
+
+    /// Phase 2 of an ingest: installs a staged batch. Infallible, so it
+    /// can run *after* the WAL append. Bumps the data epoch once for the
+    /// whole batch. Returns the total snippets adjusted.
+    pub fn commit_ingest(&mut self, staged: StagedIngest) -> usize {
+        let adjusted = staged.adjusted;
+        self.install_staged(staged);
+        self.data_epoch += 1;
+        self.epoch += 1;
+        adjusted
+    }
+
+    fn install_staged(&mut self, staged: StagedIngest) {
+        for (key, synopsis, model) in staged.entries {
+            // A key with no synopsis staged nothing; any existing model
+            // stays (mirrors `train_key`).
+            let Some(synopsis) = synopsis else { continue };
+            self.synopses.insert(key.clone(), synopsis);
+            match model {
+                Some(model) => {
+                    self.models.insert(key, model);
+                }
+                None => {
+                    // An adjusted synopsis too small to train: the stale
+                    // model (fit before the adjustment) must go.
+                    self.models.remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Applies one ingested batch's adjustments across every affected
+    /// aggregate (the engine-side half of the ingest pipeline stage):
+    /// per-key Lemma 3 rewrites plus model refits, in slice order, then
+    /// one data-epoch bump for the whole batch. Convenience for
+    /// [`Verdict::stage_ingest`] + [`Verdict::commit_ingest`]; atomic —
+    /// an error mutates nothing.
+    pub fn apply_ingest(&mut self, adjustments: &[(AggKey, AppendAdjustment)]) -> Result<usize> {
+        let staged = self.stage_ingest(adjustments)?;
+        Ok(self.commit_ingest(staged))
+    }
+
+    /// The retained synopsis for `key`, if any (introspection: ingest
+    /// invariant tests compare stored observations before and after an
+    /// adjustment).
+    pub fn synopsis(&self, key: &AggKey) -> Option<&QuerySynopsis> {
+        self.synopses.get(key).map(|s| s.as_ref())
+    }
+
+    /// All aggregates with a retained synopsis, sorted. The ingest path
+    /// iterates this to build a deterministic adjustment list ("all
+    /// affected aggregates" must mean the same thing at replay).
+    pub fn synopsis_keys(&self) -> Vec<AggKey> {
+        let mut keys: Vec<AggKey> = self.synopses.keys().cloned().collect();
+        keys.sort();
+        keys
     }
 
     /// Drops all learned state for `key` (tests, resets).
@@ -561,6 +652,63 @@ pub(crate) fn encode_state(
     }
     stats.encode(&mut enc);
     enc.into_bytes()
+}
+
+/// A fully computed but not-yet-installed ingest batch: every adjusted
+/// synopsis and refit model, produced by [`Verdict::stage_ingest`] and
+/// installed by [`Verdict::commit_ingest`]. Holding one does not block
+/// reads — it references nothing inside the engine.
+#[derive(Debug)]
+pub struct StagedIngest {
+    /// Per key: the adjusted synopsis (`None` = key had no synopsis) and
+    /// the refit model (`None` = too small to train → remove stale).
+    entries: Vec<StagedEntry>,
+    /// Snippets rewritten across all keys.
+    adjusted: usize,
+}
+
+/// One staged per-key rewrite (see [`StagedIngest`]).
+type StagedEntry = (
+    AggKey,
+    Option<Arc<QuerySynopsis>>,
+    Option<Arc<TrainedModel>>,
+);
+
+/// The one model-fitting routine (Algorithm 1 for one key): learns
+/// lengthscales on a bounded, most-recent subset, then fits the
+/// conditioning state on the full synopsis. `Ok(None)` means the synopsis
+/// is too small to train — the caller removes any stale model. Pure with
+/// respect to engine state, so staged (pre-commit) fits and `train_key`
+/// share it and cannot drift.
+fn fit_model(
+    schema: &SchemaInfo,
+    config: &VerdictConfig,
+    key: &AggKey,
+    synopsis: &QuerySynopsis,
+) -> Result<Option<TrainedModel>> {
+    if synopsis.len() < config.min_snippets_to_train {
+        return Ok(None);
+    }
+    let mode = AggMode::of(key);
+    let training = synopsis.most_recent(config.max_training_snippets);
+    let regions: Vec<&Region> = training.iter().map(|e| &e.region).collect();
+    let answers: Vec<f64> = training.iter().map(|e| e.observation.answer).collect();
+    let errors: Vec<f64> = training.iter().map(|e| e.observation.error).collect();
+    let learned = learn_params(schema, mode, &regions, &answers, &errors, config);
+    let entries: Vec<(Region, Observation)> = synopsis
+        .entries()
+        .iter()
+        .map(|e| (e.region.clone(), e.observation))
+        .collect();
+    let model = TrainedModel::fit(
+        schema,
+        mode,
+        &entries,
+        learned.params,
+        learned.prior,
+        config.jitter,
+    )?;
+    Ok(Some(model))
 }
 
 /// Raw answer passed through unimproved.

@@ -46,7 +46,7 @@ pub mod validation;
 
 pub use concurrent::{EngineSnapshot, Learner, SnapshotCell};
 pub use config::VerdictConfig;
-pub use engine::{EngineStats, EngineView, ImprovedAnswer, SnippetObserver, Verdict};
+pub use engine::{EngineStats, EngineView, ImprovedAnswer, SnippetObserver, StagedIngest, Verdict};
 pub use kernel::KernelParams;
 pub use persist::{EngineState, Persist, PersistError};
 pub use region::{DimKind, DimensionSpec, Region, SchemaInfo};

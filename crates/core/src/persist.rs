@@ -307,6 +307,24 @@ impl Persist for Observation {
     }
 }
 
+impl Persist for crate::append::AppendAdjustment {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_f64(self.mu_shift);
+        enc.put_f64(self.eta);
+        enc.put_u64(self.old_rows as u64);
+        enc.put_u64(self.appended_rows as u64);
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> PersistResult<crate::append::AppendAdjustment> {
+        Ok(crate::append::AppendAdjustment {
+            mu_shift: dec.take_f64()?,
+            eta: dec.take_f64()?,
+            old_rows: dec.take_u64()? as usize,
+            appended_rows: dec.take_u64()? as usize,
+        })
+    }
+}
+
 impl Persist for DimConstraint {
     fn encode(&self, enc: &mut Encoder) {
         match self {

@@ -181,3 +181,116 @@ proptest! {
         prop_assert!(imp.error <= q_err + 1e-9, "β̂ {} > β {q_err}", imp.error);
     }
 }
+
+// ---------------------------------------------------------------------
+// Appendix D (Lemma 3): data-append adjustments.
+// ---------------------------------------------------------------------
+
+use verdict_core::append::AppendAdjustment;
+
+proptest! {
+    /// Lemma-3 invariant: the adjusted error `β'` is never smaller than
+    /// `β`, for arbitrary shift estimates and table sizes — old answers
+    /// only ever lose confidence when data is appended, never gain it.
+    #[test]
+    fn lemma3_adjusted_error_never_shrinks(
+        mu in -1e3..1e3f64,
+        eta in 0.0..1e3f64,
+        old_rows in 0usize..1_000_000,
+        appended in 0usize..1_000_000,
+        theta in -1e6..1e6f64,
+        beta in 0.0..1e4f64,
+    ) {
+        let adj = AppendAdjustment { mu_shift: mu, eta, old_rows, appended_rows: appended };
+        let out = adj.adjust(Observation::new(theta, beta));
+        prop_assert!(out.error >= beta, "β' {} < β {beta}", out.error);
+        // And the answer moves by exactly µ · |r_a| / (|r| + |r_a|).
+        let f = adj.new_fraction();
+        prop_assert_eq!(out.answer.to_bits(), (theta + mu * f).to_bits());
+    }
+
+    /// `estimate` with an empty value sample on either side degrades to
+    /// the identity adjustment rather than inventing a phantom shift.
+    #[test]
+    fn estimate_empty_slices_are_identity(
+        values in prop::collection::vec(-1e3..1e3f64, 0..20),
+        old_rows in 0usize..10_000,
+        appended in 0usize..10_000,
+        theta in -1e3..1e3f64,
+        beta in 0.0..10.0f64,
+    ) {
+        for (old, new) in [
+            (&values[..], &[][..]),
+            (&[][..], &values[..]),
+            (&[][..], &[][..]),
+        ] {
+            let adj = AppendAdjustment::estimate(old, new, old_rows, appended);
+            prop_assert!(adj.is_identity(), "empty slice produced {adj:?}");
+            let out = adj.adjust(Observation::new(theta, beta));
+            prop_assert_eq!(out.answer.to_bits(), theta.to_bits());
+            prop_assert_eq!(out.error.to_bits(), beta.to_bits());
+        }
+    }
+
+    /// A zero-row table (`|r| + |r_a| = 0`) makes every adjustment the
+    /// identity regardless of the estimated shift: the new fraction is 0.
+    #[test]
+    fn zero_row_tables_adjust_nothing(
+        mu in -1e3..1e3f64,
+        eta in 0.0..1e3f64,
+        theta in -1e3..1e3f64,
+        beta in 0.0..10.0f64,
+    ) {
+        let adj = AppendAdjustment { mu_shift: mu, eta, old_rows: 0, appended_rows: 0 };
+        prop_assert_eq!(adj.new_fraction(), 0.0);
+        let out = adj.adjust(Observation::new(theta, beta));
+        prop_assert_eq!(out.answer.to_bits(), theta.to_bits());
+        prop_assert_eq!(out.error.to_bits(), beta.to_bits());
+    }
+
+    /// `µ = 0` with `η = 0` is a no-op on every observation, and the
+    /// engine-level apply reports exactly how many snippets it touched
+    /// (zero for a key with no synopsis — visible, not silent).
+    #[test]
+    fn mu_zero_identity_and_visible_counts(
+        raw in snippets_strategy(12),
+        old_rows in 1usize..10_000,
+        appended in 1usize..10_000,
+    ) {
+        let mut v = Verdict::new(schema(), VerdictConfig::default());
+        for (lo, w, ans, err) in &raw {
+            v.observe(
+                &Snippet::new(AggKey::avg("x"), region(*lo, lo + w)),
+                Observation::new(*ans, *err),
+            );
+        }
+        let before: Vec<Observation> = v
+            .synopsis(&AggKey::avg("x"))
+            .unwrap()
+            .entries()
+            .iter()
+            .map(|e| e.observation)
+            .collect();
+        let identity = AppendAdjustment {
+            mu_shift: 0.0,
+            eta: 0.0,
+            old_rows,
+            appended_rows: appended,
+        };
+        let adjusted = v.apply_append(&AggKey::avg("x"), &identity).unwrap();
+        prop_assert_eq!(adjusted, before.len());
+        let after: Vec<Observation> = v
+            .synopsis(&AggKey::avg("x"))
+            .unwrap()
+            .entries()
+            .iter()
+            .map(|e| e.observation)
+            .collect();
+        for (b, a) in before.iter().zip(after.iter()) {
+            prop_assert_eq!(b.answer.to_bits(), a.answer.to_bits());
+            prop_assert_eq!(b.error.to_bits(), a.error.to_bits());
+        }
+        // A key with no synopsis adjusts zero snippets — and says so.
+        prop_assert_eq!(v.apply_append(&AggKey::Freq, &identity).unwrap(), 0);
+    }
+}

@@ -163,6 +163,54 @@ impl Column {
         }
     }
 
+    /// Adopts `other`'s categorical dictionary, which must be an
+    /// append-only extension of this column's (same labels in the same
+    /// order, possibly with new ones at the end). No-op for numeric
+    /// columns.
+    ///
+    /// This is how a maintained sample keeps *one* dictionary with its
+    /// base table: the base encodes an ingested batch first (assigning
+    /// any new codes), the sample adopts the grown dictionary, and
+    /// admitted rows are then pushed as raw codes — so a sample code
+    /// always means the same label as the base-table code, regardless of
+    /// which rows happened to be admitted.
+    pub fn sync_dictionary_from(&mut self, other: &Column) -> Result<()> {
+        match (self, other) {
+            (Column::Numeric(_), Column::Numeric(_)) => Ok(()),
+            (
+                Column::Categorical {
+                    labels: dst_labels,
+                    index: dst_index,
+                    ..
+                },
+                Column::Categorical {
+                    labels: src_labels,
+                    index: src_index,
+                    ..
+                },
+            ) => {
+                if dst_labels.len() > src_labels.len()
+                    || dst_labels
+                        .iter()
+                        .zip(src_labels.iter())
+                        .any(|(a, b)| a != b)
+                {
+                    return Err(StorageError::SchemaMismatch(
+                        "cannot sync dictionaries: the source is not an append-only \
+                         extension of this column's dictionary"
+                            .into(),
+                    ));
+                }
+                dst_labels.clone_from(src_labels);
+                dst_index.clone_from(src_index);
+                Ok(())
+            }
+            _ => Err(StorageError::TypeError(
+                "dictionary sync between mismatched column types".into(),
+            )),
+        }
+    }
+
     /// Appends the rows of `other` selected by `rows` (gather).
     pub fn gather_from(&mut self, other: &Column, rows: &[usize]) -> Result<()> {
         match (self, other) {

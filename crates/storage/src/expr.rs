@@ -32,6 +32,27 @@ impl Expr {
         Expr::Col(name.to_owned())
     }
 
+    /// Parses the textual form produced by this type's `Display` impl
+    /// (fully parenthesized: `(a + (b * 2))`, `(-x)`, bare columns and
+    /// constants) back into an [`Expr`].
+    ///
+    /// `AggKey::Avg` stores only the *string* form of the aggregated
+    /// expression; the ingest path uses this inverse to re-evaluate a
+    /// persisted aggregate over new data without carrying the structured
+    /// expression alongside every key.
+    pub fn parse(s: &str) -> Result<Expr> {
+        let mut p = ExprParser { src: s, pos: 0 };
+        let e = p.expr()?;
+        p.skip_ws();
+        if p.pos != p.src.len() {
+            return Err(StorageError::TypeError(format!(
+                "trailing input at byte {} of expression {s:?}",
+                p.pos
+            )));
+        }
+        Ok(e)
+    }
+
     /// All column names referenced by the expression, in first-use order.
     pub fn columns(&self) -> Vec<&str> {
         let mut out = Vec::new();
@@ -118,6 +139,94 @@ impl std::fmt::Display for Expr {
             Expr::Mul(a, b) => write!(f, "({a} * {b})"),
             Expr::Div(a, b) => write!(f, "({a} / {b})"),
             Expr::Neg(a) => write!(f, "(-{a})"),
+        }
+    }
+}
+
+/// Recursive-descent parser for the `Display` grammar of [`Expr`].
+struct ExprParser<'s> {
+    src: &'s str,
+    pos: usize,
+}
+
+impl ExprParser<'_> {
+    fn skip_ws(&mut self) {
+        while self.src[self.pos..].starts_with(char::is_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn expect(&mut self, c: char) -> Result<()> {
+        if self.peek() == Some(c) {
+            self.pos += c.len_utf8();
+            Ok(())
+        } else {
+            Err(StorageError::TypeError(format!(
+                "expected {c:?} at byte {} of expression {:?}",
+                self.pos, self.src
+            )))
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.skip_ws();
+        if self.peek() == Some('(') {
+            self.expect('(')?;
+            self.skip_ws();
+            // `(-x)` is unary negation; `(a - b)` parses a left operand
+            // first (negative *constants* print without parentheses, so a
+            // '-' directly after '(' can only be Neg).
+            if self.peek() == Some('-') {
+                self.expect('-')?;
+                let inner = self.expr()?;
+                self.skip_ws();
+                self.expect(')')?;
+                return Ok(Expr::Neg(Box::new(inner)));
+            }
+            let left = self.expr()?;
+            self.skip_ws();
+            let op = self.peek().ok_or_else(|| {
+                StorageError::TypeError(format!("unterminated expression {:?}", self.src))
+            })?;
+            self.pos += op.len_utf8();
+            let right = self.expr()?;
+            self.skip_ws();
+            self.expect(')')?;
+            let (l, r) = (Box::new(left), Box::new(right));
+            return match op {
+                '+' => Ok(Expr::Add(l, r)),
+                '-' => Ok(Expr::Sub(l, r)),
+                '*' => Ok(Expr::Mul(l, r)),
+                '/' => Ok(Expr::Div(l, r)),
+                _ => Err(StorageError::TypeError(format!(
+                    "unknown operator {op:?} in expression {:?}",
+                    self.src
+                ))),
+            };
+        }
+        // Atom: a constant or a column name, delimited by whitespace or
+        // parentheses (Display always space-separates operators).
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() || c == '(' || c == ')' {
+                break;
+            }
+            self.pos += c.len_utf8();
+        }
+        let token = &self.src[start..self.pos];
+        if token.is_empty() {
+            return Err(StorageError::TypeError(format!(
+                "empty token at byte {start} of expression {:?}",
+                self.src
+            )));
+        }
+        match token.parse::<f64>() {
+            Ok(v) => Ok(Expr::Const(v)),
+            Err(_) => Ok(Expr::Col(token.to_owned())),
         }
     }
 }
@@ -234,5 +343,39 @@ mod tests {
     fn display_is_parenthesized() {
         let e = Expr::Sub(Box::new(Expr::col("x")), Box::new(Expr::Const(2.0)));
         assert_eq!(e.to_string(), "(x - 2)");
+    }
+
+    #[test]
+    fn parse_inverts_display() {
+        let exprs = vec![
+            Expr::col("price"),
+            Expr::Const(3.25),
+            Expr::Const(-2.0),
+            Expr::Add(Box::new(Expr::col("a")), Box::new(Expr::col("b"))),
+            Expr::Neg(Box::new(Expr::col("x"))),
+            Expr::Div(
+                Box::new(Expr::Sub(
+                    Box::new(Expr::col("price")),
+                    Box::new(Expr::Const(1.5)),
+                )),
+                Box::new(Expr::Mul(
+                    Box::new(Expr::col("discount")),
+                    Box::new(Expr::Neg(Box::new(Expr::Const(4.0)))),
+                )),
+            ),
+        ];
+        for e in exprs {
+            let s = e.to_string();
+            let back = Expr::parse(&s).unwrap_or_else(|err| panic!("parse {s:?}: {err}"));
+            assert_eq!(back, e, "round trip of {s:?}");
+            assert_eq!(back.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        for bad in ["", "(a +", "(a ? b)", "(a + b) trailing", "( )"] {
+            assert!(Expr::parse(bad).is_err(), "{bad:?} must not parse");
+        }
     }
 }

@@ -1,6 +1,20 @@
 //! Row-appendable columnar tables.
 
+use std::sync::OnceLock;
+
 use crate::{Column, ColumnType, Result, Schema, StorageError, Value};
+
+/// Lazily computed per-column statistics, cached on the table and
+/// invalidated whenever rows are appended (ranges and cardinalities are
+/// `O(rows)` to recompute, and callers like predicate-range defaulting ask
+/// for them repeatedly between mutations).
+#[derive(Debug, Clone, Default)]
+struct ColumnStats {
+    /// `(min, max)` of a numeric column; `None` for categorical/empty.
+    numeric_range: Option<(f64, f64)>,
+    /// Distinct-code count of a categorical column; `None` for numeric.
+    cardinality: Option<usize>,
+}
 
 /// An in-memory columnar table.
 #[derive(Debug, Clone)]
@@ -8,12 +22,15 @@ pub struct Table {
     schema: Schema,
     columns: Vec<Column>,
     rows: usize,
+    /// One lazily filled stats slot per column; a mutation replaces the
+    /// slot with an empty one (see [`Table::invalidate_stats`]).
+    stats: Vec<OnceLock<ColumnStats>>,
 }
 
 impl Table {
     /// Creates an empty table with the given schema.
     pub fn new(schema: Schema) -> Self {
-        let columns = schema
+        let columns: Vec<Column> = schema
             .columns()
             .iter()
             .map(|c| match c.ty {
@@ -21,10 +38,12 @@ impl Table {
                 ColumnType::Categorical => Column::new_categorical(),
             })
             .collect();
+        let stats = fresh_stats(columns.len());
         Table {
             schema,
             columns,
             rows: 0,
+            stats,
         }
     }
 
@@ -61,10 +80,12 @@ impl Table {
                 )));
             }
         }
+        let stats = fresh_stats(columns.len());
         Ok(Table {
             schema,
             columns,
             rows,
+            stats,
         })
     }
 
@@ -112,7 +133,61 @@ impl Table {
             col.push(v)?;
         }
         self.rows += 1;
+        self.invalidate_stats();
         Ok(())
+    }
+
+    /// Appends a batch of rows atomically: every row is validated against
+    /// the schema *before* any value is stored, so a bad row in the middle
+    /// of a batch can never leave a partial append behind. This is the
+    /// ingest path's entry point into the storage layer.
+    pub fn push_rows(&mut self, rows: &[Vec<Value>]) -> Result<()> {
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != self.schema.len() {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "batch row {i} has {} values, schema has {} columns",
+                    row.len(),
+                    self.schema.len()
+                )));
+            }
+            for (v, def) in row.iter().zip(self.schema.columns()) {
+                let ok = matches!(
+                    (v, def.ty),
+                    (Value::Num(_), ColumnType::Numeric)
+                        | (Value::Cat(_), ColumnType::Categorical)
+                        | (Value::Str(_), ColumnType::Categorical)
+                );
+                if !ok {
+                    return Err(StorageError::TypeError(format!(
+                        "batch row {i}: value {v} does not fit column {}",
+                        def.name
+                    )));
+                }
+            }
+        }
+        for row in rows {
+            for (v, col) in row.iter().zip(self.columns.iter_mut()) {
+                col.push(v.clone())?;
+            }
+            self.rows += 1;
+        }
+        self.invalidate_stats();
+        Ok(())
+    }
+
+    /// Drops every cached per-column statistic; the next
+    /// [`Table::column_bounds`] / [`Table::column_cardinality`] call
+    /// recomputes from the (now larger) data.
+    fn invalidate_stats(&mut self) {
+        self.stats = fresh_stats(self.columns.len());
+    }
+
+    /// The cached stats slot for column `i`, computing it on first use.
+    fn stats_of(&self, i: usize) -> &ColumnStats {
+        self.stats[i].get_or_init(|| ColumnStats {
+            numeric_range: self.columns[i].numeric_range(),
+            cardinality: self.columns[i].cardinality(),
+        })
     }
 
     /// Column accessor by name.
@@ -169,16 +244,48 @@ impl Table {
             dst.gather_from(src, &rows)?;
         }
         self.rows += other.rows;
+        self.invalidate_stats();
         Ok(())
     }
 
     /// Observed min/max of a numeric column, used to default unconstrained
     /// predicate ranges to `(min(Ak), max(Ak))` per the paper §4.1.
+    /// Cached; appends invalidate the cache.
     pub fn column_bounds(&self, name: &str) -> Result<(f64, f64)> {
-        self.column(name)?
-            .numeric_range()
+        let i = self.schema.index_of(name)?;
+        self.stats_of(i)
+            .numeric_range
             .ok_or_else(|| StorageError::TypeError(format!("column {name} has no numeric range")))
     }
+
+    /// Adopts `other`'s categorical dictionaries column by column (see
+    /// [`Column::sync_dictionary_from`]); schemas must be identical.
+    pub fn sync_dictionaries_from(&mut self, other: &Table) -> Result<()> {
+        if self.schema != other.schema {
+            return Err(StorageError::SchemaMismatch(
+                "dictionary sync requires identical schemas".into(),
+            ));
+        }
+        for (dst, src) in self.columns.iter_mut().zip(other.columns.iter()) {
+            dst.sync_dictionary_from(src)?;
+        }
+        self.invalidate_stats();
+        Ok(())
+    }
+
+    /// Distinct-code count of a categorical column. Cached; appends
+    /// invalidate the cache.
+    pub fn column_cardinality(&self, name: &str) -> Result<usize> {
+        let i = self.schema.index_of(name)?;
+        self.stats_of(i)
+            .cardinality
+            .ok_or_else(|| StorageError::TypeError(format!("column {name} is not categorical")))
+    }
+}
+
+/// A fresh (empty) stats slot per column.
+fn fresh_stats(n: usize) -> Vec<OnceLock<ColumnStats>> {
+    (0..n).map(|_| OnceLock::new()).collect()
 }
 
 #[cfg(test)]
@@ -254,5 +361,46 @@ mod tests {
         let t = sales_table();
         assert_eq!(t.column_bounds("week").unwrap(), (1.0, 3.0));
         assert!(t.column_bounds("region").is_err());
+    }
+
+    #[test]
+    fn push_rows_appends_batch() {
+        let mut t = sales_table();
+        t.push_rows(&[
+            vec![4.0.into(), "jp".into(), 90.0.into()],
+            vec![5.0.into(), "us".into(), 95.0.into()],
+        ])
+        .unwrap();
+        assert_eq!(t.num_rows(), 5);
+        assert_eq!(t.row(4)[0], Value::Num(5.0));
+    }
+
+    #[test]
+    fn push_rows_is_atomic() {
+        let mut t = sales_table();
+        // Second row is malformed: nothing from the batch may land.
+        let err = t.push_rows(&[
+            vec![4.0.into(), "jp".into(), 90.0.into()],
+            vec![5.0.into(), 1.0.into(), 95.0.into()],
+        ]);
+        assert!(err.is_err());
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.column("week").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn cached_stats_invalidate_on_append() {
+        let mut t = sales_table();
+        assert_eq!(t.column_bounds("week").unwrap(), (1.0, 3.0));
+        assert_eq!(t.column_cardinality("region").unwrap(), 2);
+        assert!(t.column_cardinality("week").is_err());
+        t.push_rows(&[vec![9.0.into(), "jp".into(), 1.0.into()]])
+            .unwrap();
+        assert_eq!(t.column_bounds("week").unwrap(), (1.0, 9.0));
+        assert_eq!(t.column_cardinality("region").unwrap(), 3);
+        // Single-row pushes invalidate too.
+        t.push_row(vec![0.5.into(), "us".into(), 1.0.into()])
+            .unwrap();
+        assert_eq!(t.column_bounds("week").unwrap(), (0.5, 9.0));
     }
 }

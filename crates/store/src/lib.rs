@@ -25,13 +25,17 @@
 //!   records with `seq > snapshot.last_seq` are replayed into the
 //!   synopsis.
 //!
-//! ## On-disk format (version 1)
+//! ## On-disk format (version 2)
 //!
 //! All integers little-endian; all floats raw IEEE-754 bits (bit-exact
 //! round trips). Payload encodings come from [`verdict_core::persist`].
+//! Version 2 replaced v1's write-once `table.vtab` with **table
+//! generations** and added **ingest records** to the WAL, so the store
+//! can persist an evolving relation.
 //!
 //! ```text
-//! table.vtab (written once at store creation; never rewritten):
+//! table-<gen>.vtab (immutable once written; a checkpoint that folds
+//!                   ingest records writes the next generation):
 //!   magic    8B  "VDBLTABL"
 //!   version  u32 = 1
 //!   body_len u64
@@ -39,30 +43,44 @@
 //!   body         Table (schema + columns)
 //!
 //! snapshot-<gen>.vsnap:
-//!   magic    8B  "VDBLSNAP"
-//!   version  u32 = 1
-//!   last_seq u64   highest log sequence folded into this snapshot
-//!   body_len u64
-//!   body_crc u32   CRC-32 (ISO-HDLC) of body
-//!   body         SessionMeta ++ table_fp u64 ++ EngineState
+//!   magic     8B  "VDBLSNAP"
+//!   version   u32 = 2
+//!   last_seq  u64   highest log sequence folded into this snapshot
+//!   table_gen u64   table generation the state was learned against
+//!   body_len  u64
+//!   body_crc  u32   CRC-32 (ISO-HDLC) of body
+//!   body          SessionMeta ++ table_fp u64 ++ data_epoch u64
+//!                 ++ EngineState
 //!
 //! wal.vlog:
 //!   magic    8B  "VDBLWLOG"
-//!   version  u32 = 1
+//!   version  u32 = 2
 //!   reserved u32 = 0
 //!   records:
 //!     len u32 | crc u32 | payload   (crc over payload)
 //!     payload = tag u8 = 1 | seq u64 | AggKey | Region | Observation
+//!             | tag u8 = 2 | seq u64 | rows | adjustments
+//!       rows        = count u64, then per row: count u64, then per value
+//!                     tag u8 (0 = Num f64, 1 = Cat u32, 2 = Str)
+//!       adjustments = count u64, then per entry: AggKey ++
+//!                     AppendAdjustment (µ f64, η f64, |r| u64, |r_a| u64)
 //!
 //! LOCK: advisory single-writer lock (flock'd while a session is live;
 //!       released automatically by the OS on process death)
 //! ```
 //!
 //! Snapshots carry only the session metadata and learned state; the
-//! (potentially large, immutable) base table is written once and bound
-//! to each snapshot by its FNV-1a fingerprint, so compaction cost scales
-//! with the synopsis rather than the data. A log whose header carries an
-//! unknown (newer) version or foreign magic is refused, never truncated.
+//! (potentially large) base table lives in immutable generation files
+//! bound to each snapshot by generation number and FNV-1a fingerprint. A
+//! checkpoint rewrites the table **only** when ingest records landed
+//! since the previous generation, so compaction cost on a non-evolving
+//! table still scales with the synopsis rather than the data. An ingest
+//! record carries the appended rows *and* the synopsis adjustments the
+//! live engine applied, so recovery replays exactly what the live
+//! session did — a torn ingest frame recovers to the last complete
+//! batch, with table, sample, and synopses mutually consistent. A log or
+//! snapshot whose header carries an unknown version or foreign magic is
+//! refused, never truncated.
 
 pub mod crc;
 pub mod log;

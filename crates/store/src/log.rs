@@ -1,43 +1,52 @@
-//! The append-only snippet log (`wal.vlog`).
+//! The append-only write-ahead log (`wal.vlog`).
 //!
 //! Records are framed `len u32 | crc u32 | payload` after a fixed file
 //! header. The log is the incremental half of durability: every snippet
-//! the engine observes lands here immediately, and a snapshot later folds
-//! the accumulated records away.
+//! the engine observes — and, since format v2, every ingested row batch
+//! with its synopsis adjustments — lands here immediately, and a snapshot
+//! later folds the accumulated records away.
 //!
 //! Recovery tolerates *any* torn tail: a partial header, a partial frame,
 //! a length pointing past EOF, or a checksum mismatch all terminate the
 //! scan at the last valid record, and the file is truncated back to that
-//! prefix so subsequent appends extend a clean log.
+//! prefix so subsequent appends extend a clean log. A torn ingest frame
+//! therefore recovers to the *last complete batch*: the record carries
+//! the rows and the adjustments together, so a batch is either wholly
+//! replayed or wholly absent.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-use verdict_core::persist::{Decoder, Encoder, Persist};
+use verdict_core::append::AppendAdjustment;
+use verdict_core::persist::{Decoder, Encoder, Persist, PersistError};
 use verdict_core::snippet::{AggKey, Observation};
 use verdict_core::Region;
+use verdict_storage::Value;
 
 use crate::crc::crc32;
 use crate::{Result, StoreError};
 
-/// File magic for the snippet log.
+/// File magic for the write-ahead log.
 pub const LOG_MAGIC: [u8; 8] = *b"VDBLWLOG";
-/// Current log format version.
-pub const LOG_VERSION: u32 = 1;
+/// Current log format version (v2 added ingest records and table
+/// generations; v1 logs are refused, never truncated).
+pub const LOG_VERSION: u32 = 2;
 /// Header: magic + version + reserved word.
 pub const LOG_HEADER_LEN: u64 = 16;
 /// Upper bound on a single record payload; lengths above this are treated
-/// as corruption rather than attempted allocations.
+/// as corruption rather than attempted allocations. Oversized ingest
+/// batches are refused at append time — split them.
 pub const MAX_RECORD_LEN: u32 = 16 * 1024 * 1024;
 
 /// Record type tag for snippet appends.
 const TAG_SNIPPET: u8 = 1;
+/// Record type tag for ingested row batches.
+const TAG_INGEST: u8 = 2;
 
-/// One recovered log record: a snippet observation with its sequence
-/// number.
+/// A snippet observation with its sequence number.
 #[derive(Debug, Clone, PartialEq)]
-pub struct LogRecord {
+pub struct SnippetRecord {
     /// Monotone sequence number assigned at append time.
     pub seq: u64,
     /// Aggregate the snippet belongs to.
@@ -48,40 +57,150 @@ pub struct LogRecord {
     pub observation: Observation,
 }
 
+/// One ingested row batch: the rows that were appended to the base table
+/// plus the Lemma-3 adjustments the live session applied to each affected
+/// synopsis. Logging the *computed* adjustments (rather than re-deriving
+/// them at replay) makes recovery bit-identical by construction — replay
+/// applies exactly what the live engine applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestRecord {
+    /// Monotone sequence number assigned at append time.
+    pub seq: u64,
+    /// The appended rows, in schema order, exactly as pushed.
+    pub rows: Vec<Vec<Value>>,
+    /// Per-aggregate synopsis adjustments, in the (sorted) order the live
+    /// engine applied them.
+    pub adjustments: Vec<(AggKey, AppendAdjustment)>,
+}
+
+/// One recovered log record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogRecord {
+    /// A snippet observation (Algorithm 2 line 6).
+    Snippet(SnippetRecord),
+    /// An ingested row batch with its synopsis adjustments (Appendix D).
+    Ingest(IngestRecord),
+}
+
 impl LogRecord {
-    fn encode_payload(&self) -> Vec<u8> {
+    /// The record's monotone sequence number.
+    pub fn seq(&self) -> u64 {
+        match self {
+            LogRecord::Snippet(r) => r.seq,
+            LogRecord::Ingest(r) => r.seq,
+        }
+    }
+
+    pub(crate) fn encode_payload(&self) -> Vec<u8> {
         let mut enc = Encoder::new();
-        enc.put_u8(TAG_SNIPPET);
-        enc.put_u64(self.seq);
-        self.key.encode(&mut enc);
-        self.region.encode(&mut enc);
-        self.observation.encode(&mut enc);
+        match self {
+            LogRecord::Snippet(r) => {
+                enc.put_u8(TAG_SNIPPET);
+                enc.put_u64(r.seq);
+                r.key.encode(&mut enc);
+                r.region.encode(&mut enc);
+                r.observation.encode(&mut enc);
+            }
+            LogRecord::Ingest(r) => {
+                enc.put_u8(TAG_INGEST);
+                enc.put_u64(r.seq);
+                enc.put_len(r.rows.len());
+                for row in &r.rows {
+                    enc.put_len(row.len());
+                    for v in row {
+                        encode_value(v, &mut enc);
+                    }
+                }
+                enc.put_len(r.adjustments.len());
+                for (key, adj) in &r.adjustments {
+                    key.encode(&mut enc);
+                    adj.encode(&mut enc);
+                }
+            }
+        }
         enc.into_bytes()
     }
 
     fn decode_payload(payload: &[u8]) -> Result<LogRecord> {
         let mut dec = Decoder::new(payload);
         let tag = dec.take_u8()?;
-        if tag != TAG_SNIPPET {
-            return Err(StoreError::Corrupt(format!("unknown record tag {tag}")));
-        }
-        let seq = dec.take_u64()?;
-        let key = AggKey::decode(&mut dec)?;
-        let region = Region::decode(&mut dec)?;
-        let observation = Observation::decode(&mut dec)?;
+        let record = match tag {
+            TAG_SNIPPET => {
+                let seq = dec.take_u64()?;
+                let key = AggKey::decode(&mut dec)?;
+                let region = Region::decode(&mut dec)?;
+                let observation = Observation::decode(&mut dec)?;
+                LogRecord::Snippet(SnippetRecord {
+                    seq,
+                    key,
+                    region,
+                    observation,
+                })
+            }
+            TAG_INGEST => {
+                let seq = dec.take_u64()?;
+                let n_rows = dec.take_len()?;
+                let mut rows = Vec::with_capacity(n_rows.min(1 << 20));
+                for _ in 0..n_rows {
+                    let n_vals = dec.take_len()?;
+                    let mut row = Vec::with_capacity(n_vals.min(1 << 10));
+                    for _ in 0..n_vals {
+                        row.push(decode_value(&mut dec)?);
+                    }
+                    rows.push(row);
+                }
+                let n_adj = dec.take_len()?;
+                let mut adjustments = Vec::with_capacity(n_adj.min(1 << 10));
+                for _ in 0..n_adj {
+                    let key = AggKey::decode(&mut dec)?;
+                    let adj = AppendAdjustment::decode(&mut dec)?;
+                    adjustments.push((key, adj));
+                }
+                LogRecord::Ingest(IngestRecord {
+                    seq,
+                    rows,
+                    adjustments,
+                })
+            }
+            t => return Err(StoreError::Corrupt(format!("unknown record tag {t}"))),
+        };
         if !dec.is_exhausted() {
             return Err(StoreError::Corrupt(format!(
                 "{} trailing bytes in record",
                 dec.remaining()
             )));
         }
-        Ok(LogRecord {
-            seq,
-            key,
-            region,
-            observation,
-        })
+        Ok(record)
     }
+}
+
+/// Encodes one cell value exactly as the caller pushed it — a replayed
+/// `Str` rebuilds the table dictionary deterministically, a replayed
+/// `Cat`/`Num` reproduces the stored bits.
+fn encode_value(v: &Value, enc: &mut Encoder) {
+    match v {
+        Value::Num(x) => {
+            enc.put_u8(0);
+            enc.put_f64(*x);
+        }
+        Value::Cat(c) => {
+            enc.put_u8(1);
+            enc.put_u32(*c);
+        }
+        Value::Str(s) => {
+            enc.put_u8(2);
+            enc.put_str(s);
+        }
+    }
+}
+
+fn decode_value(dec: &mut Decoder<'_>) -> std::result::Result<Value, PersistError> {
+    Ok(match dec.take_u8()? {
+        0 => Value::Num(dec.take_f64()?),
+        1 => Value::Cat(dec.take_u32()?),
+        2 => Value::Str(dec.take_str()?),
+        t => return Err(PersistError::Corrupt(format!("Value tag {t}"))),
+    })
 }
 
 /// Outcome of validating the log's fixed file header.
@@ -242,7 +361,16 @@ impl SnippetLog {
             )));
         }
         let payload = record.encode_payload();
-        debug_assert!(payload.len() as u32 <= MAX_RECORD_LEN);
+        if payload.len() as u64 > MAX_RECORD_LEN as u64 {
+            // Scanners treat over-length frames as corruption, so writing
+            // one would make the record (and everything after it)
+            // unrecoverable. Refuse instead; the caller splits the batch.
+            return Err(StoreError::Mismatch(format!(
+                "record of {} bytes exceeds the {MAX_RECORD_LEN}-byte frame \
+                 limit; split the ingest batch",
+                payload.len()
+            )));
+        }
         let mut frame = Vec::with_capacity(8 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&payload).to_le_bytes());
@@ -345,13 +473,34 @@ mod tests {
     }
 
     fn record(seq: u64, lo: f64) -> LogRecord {
-        LogRecord {
+        LogRecord::Snippet(SnippetRecord {
             seq,
             key: AggKey::avg("v"),
             region: Region::from_predicate(&schema(), &Predicate::between("t", lo, lo + 5.0))
                 .unwrap(),
             observation: Observation::new(lo * 2.0, 0.25),
-        }
+        })
+    }
+
+    fn ingest_record(seq: u64, rows: usize) -> LogRecord {
+        LogRecord::Ingest(IngestRecord {
+            seq,
+            rows: (0..rows)
+                .map(|i| vec![Value::Num(i as f64), Value::Str(format!("label-{}", i % 3))])
+                .collect(),
+            adjustments: vec![
+                (
+                    AggKey::avg("v"),
+                    AppendAdjustment {
+                        mu_shift: 0.5,
+                        eta: 0.25,
+                        old_rows: 100,
+                        appended_rows: rows,
+                    },
+                ),
+                (AggKey::Freq, AppendAdjustment::freq_worst_case(100, rows)),
+            ],
+        })
     }
 
     fn tempdir(name: &str) -> PathBuf {
@@ -378,6 +527,57 @@ mod tests {
     }
 
     #[test]
+    fn ingest_records_roundtrip_interleaved() {
+        let dir = tempdir("ingest");
+        let path = dir.join("wal.vlog");
+        let mut log = SnippetLog::create(&path).unwrap();
+        let written = vec![
+            record(1, 0.0),
+            ingest_record(2, 4),
+            record(3, 5.0),
+            ingest_record(4, 0), // empty batch is legal and round-trips
+            record(5, 10.0),
+        ];
+        for r in &written {
+            log.append(r).unwrap();
+        }
+        drop(log);
+        let (_, scan) = SnippetLog::open(&path).unwrap();
+        assert_eq!(scan.records, written);
+        assert_eq!(scan.torn_bytes, 0);
+        match &scan.records[1] {
+            LogRecord::Ingest(r) => {
+                assert_eq!(r.rows.len(), 4);
+                assert_eq!(r.rows[1][1], Value::Str("label-1".into()));
+                assert_eq!(r.adjustments.len(), 2);
+                assert_eq!(r.adjustments[0].1.mu_shift, 0.5);
+            }
+            other => panic!("expected ingest record, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_record_refused_not_written() {
+        let dir = tempdir("oversize");
+        let path = dir.join("wal.vlog");
+        let mut log = SnippetLog::create(&path).unwrap();
+        // ~17 bytes per numeric cell: 2^21 single-cell rows overflow the
+        // 16 MiB frame limit.
+        let rows: Vec<Vec<Value>> = (0..(1 << 21)).map(|i| vec![Value::Num(i as f64)]).collect();
+        let big = LogRecord::Ingest(IngestRecord {
+            seq: 1,
+            rows,
+            adjustments: Vec::new(),
+        });
+        assert!(matches!(log.append(&big), Err(StoreError::Mismatch(_))));
+        // The log is untouched and still usable.
+        log.append(&record(1, 1.0)).unwrap();
+        drop(log);
+        let (_, scan) = SnippetLog::open(&path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+    }
+
+    #[test]
     fn torn_tail_truncated_at_every_offset() {
         let dir = tempdir("torn");
         let path = dir.join("wal.vlog");
@@ -393,7 +593,7 @@ mod tests {
             // whole frames before the cut.
             assert!(scan.valid_len <= cut as u64);
             for (i, r) in scan.records.iter().enumerate() {
-                assert_eq!(r.seq, i as u64);
+                assert_eq!(r.seq(), i as u64);
             }
         }
     }
@@ -463,7 +663,7 @@ mod tests {
         drop(log);
         let (_, scan) = SnippetLog::open(&path).unwrap();
         assert_eq!(scan.records.len(), 1);
-        assert_eq!(scan.records[0].seq, 3);
+        assert_eq!(scan.records[0].seq(), 3);
     }
 
     #[test]

@@ -21,8 +21,10 @@ use crate::{Result, StoreError};
 
 /// File magic for snapshots.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"VDBLSNAP";
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version (v2 added the table generation to the
+/// header and the data epoch + original row count to the body, replacing
+/// v1's write-once table assumption).
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Session construction parameters persisted alongside the learned state,
 /// so [`crate::SynopsisStore::open`] can rebuild an identical session —
@@ -38,6 +40,11 @@ pub struct SessionMeta {
     pub seed: u64,
     /// Number of independent offline samples.
     pub num_samples: u64,
+    /// Row count of the *original* base table, before any ingested batch.
+    /// Warm starts re-draw the original offline sample from this prefix of
+    /// the (grown) table, then re-admit the appended tail — reproducing
+    /// the live session's maintained sample bit for bit.
+    pub original_rows: u64,
     /// Engine configuration.
     pub config: VerdictConfig,
 }
@@ -48,6 +55,7 @@ impl Persist for SessionMeta {
         enc.put_u64(self.batch_size);
         enc.put_u64(self.seed);
         enc.put_u64(self.num_samples);
+        enc.put_u64(self.original_rows);
         self.config.encode(enc);
     }
 
@@ -57,6 +65,7 @@ impl Persist for SessionMeta {
             batch_size: dec.take_u64()?,
             seed: dec.take_u64()?,
             num_samples: dec.take_u64()?,
+            original_rows: dec.take_u64()?,
             config: VerdictConfig::decode(dec)?,
         })
     }
@@ -67,28 +76,40 @@ impl Persist for SessionMeta {
 pub struct Snapshot {
     /// Highest log sequence number folded into this snapshot.
     pub last_seq: u64,
+    /// Generation of the table file this snapshot was written against.
+    pub table_gen: u64,
     /// Session construction parameters.
     pub meta: SessionMeta,
-    /// Fingerprint of the store's (write-once) table file; binds the
-    /// snapshot to the base table it was learned from.
+    /// Fingerprint of the referenced table generation; binds the snapshot
+    /// to the base table (plus folded ingests) it was learned from.
     pub table_fp: u64,
+    /// Ingested batches folded into this snapshot (the engine's data
+    /// epoch at checkpoint time).
+    pub data_epoch: u64,
     /// The engine's learned state.
     pub state: EngineState,
 }
 
-fn encode_snapshot_body(meta: &SessionMeta, table_fp: u64, state_bytes: &[u8]) -> Vec<u8> {
+fn encode_snapshot_body(
+    meta: &SessionMeta,
+    table_fp: u64,
+    data_epoch: u64,
+    state_bytes: &[u8],
+) -> Vec<u8> {
     let mut enc = Encoder::new();
     meta.encode(&mut enc);
     enc.put_u64(table_fp);
+    enc.put_u64(data_epoch);
     enc.put_bytes(state_bytes);
     enc.into_bytes()
 }
 
 impl Snapshot {
-    fn decode_body(last_seq: u64, body: &[u8]) -> Result<Snapshot> {
+    fn decode_body(last_seq: u64, table_gen: u64, body: &[u8]) -> Result<Snapshot> {
         let mut dec = Decoder::new(body);
         let meta = SessionMeta::decode(&mut dec)?;
         let table_fp = dec.take_u64()?;
+        let data_epoch = dec.take_u64()?;
         let state = EngineState::decode(&mut dec)?;
         if !dec.is_exhausted() {
             return Err(StoreError::Corrupt(format!(
@@ -98,19 +119,54 @@ impl Snapshot {
         }
         Ok(Snapshot {
             last_seq,
+            table_gen,
             meta,
             table_fp,
+            data_epoch,
             state,
         })
     }
 }
 
-/// File magic for the write-once base-table file.
+/// File magic for base-table generation files.
 pub const TABLE_MAGIC: [u8; 8] = *b"VDBLTABL";
 /// Current table-file format version.
 pub const TABLE_VERSION: u32 = 1;
-/// The table file's name inside a store directory.
-pub const TABLE_FILE: &str = "table.vtab";
+/// The v1 write-once table file name; recognized only so `create` refuses
+/// to clobber a legacy store's data.
+pub const LEGACY_TABLE_FILE: &str = "table.vtab";
+
+/// Path of table generation `gen` inside `dir`.
+pub fn table_path(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(format!("table-{gen:010}.vtab"))
+}
+
+/// Parses a generation number out of a table file name.
+pub fn parse_table_generation(name: &str) -> Option<u64> {
+    name.strip_prefix("table-")?
+        .strip_suffix(".vtab")?
+        .parse()
+        .ok()
+}
+
+/// Whether `name` is any store table file (a generation or the legacy
+/// write-once name).
+pub fn is_table_file(name: &str) -> bool {
+    name == LEGACY_TABLE_FILE || parse_table_generation(name).is_some()
+}
+
+/// All table generations present in `dir`, ascending.
+pub fn list_table_generations(dir: &Path) -> Result<Vec<u64>> {
+    let mut gens = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(gen) = entry.file_name().to_str().and_then(parse_table_generation) {
+            gens.push(gen);
+        }
+    }
+    gens.sort_unstable();
+    Ok(gens)
+}
 
 /// Fsyncs a directory so a preceding `rename` inside it is durable (on
 /// POSIX, rename durability requires syncing the parent directory, not
@@ -127,11 +183,13 @@ pub fn sync_dir(dir: &Path) -> Result<()> {
     }
 }
 
-/// Writes the base table once at store creation (atomic: temp + fsync +
-/// rename + directory fsync). The table is immutable for the life of the
-/// store, so snapshots carry only its fingerprint and compaction never
-/// rewrites the (potentially large) data again.
-pub fn write_table_file(dir: &Path, table: &Table) -> Result<u64> {
+/// Writes one table generation (atomic: temp + fsync + rename + directory
+/// fsync). A generation is immutable once written: ingests accumulate in
+/// the WAL, and the next checkpoint folds them into a *new* generation —
+/// checkpoints without intervening ingests keep referencing the old
+/// generation, so compaction cost still scales with the synopsis, not the
+/// data, on a non-evolving table.
+pub fn write_table_file(dir: &Path, gen: u64, table: &Table) -> Result<u64> {
     let mut enc = Encoder::new();
     encode_table(table, &mut enc);
     let body = enc.into_bytes();
@@ -142,8 +200,8 @@ pub fn write_table_file(dir: &Path, table: &Table) -> Result<u64> {
     bytes.extend_from_slice(&(body.len() as u64).to_le_bytes());
     bytes.extend_from_slice(&crc32(&body).to_le_bytes());
     bytes.extend_from_slice(&body);
-    let final_path = dir.join(TABLE_FILE);
-    let tmp_path = dir.join("table.vtab.tmp");
+    let final_path = table_path(dir, gen);
+    let tmp_path = final_path.with_extension("vtab.tmp");
     {
         let mut f = File::create(&tmp_path)?;
         f.write_all(&bytes)?;
@@ -154,10 +212,10 @@ pub fn write_table_file(dir: &Path, table: &Table) -> Result<u64> {
     Ok(fp)
 }
 
-/// Reads and validates the store's base-table file, returning the table
-/// and its fingerprint.
-pub fn read_table_file(dir: &Path) -> Result<(Table, u64)> {
-    let path = dir.join(TABLE_FILE);
+/// Reads and validates one table generation, returning the table and its
+/// fingerprint.
+pub fn read_table_file(dir: &Path, gen: u64) -> Result<(Table, u64)> {
+    let path = table_path(dir, gen);
     let mut bytes = Vec::new();
     File::open(&path)?.read_to_end(&mut bytes)?;
     if bytes.len() < 24 {
@@ -207,20 +265,27 @@ pub fn parse_generation(name: &str) -> Option<u64> {
 /// Writes a snapshot as generation `gen` in `dir`, atomically (temp +
 /// fsync + rename + directory fsync). `state_bytes` is a pre-encoded
 /// [`EngineState`] (see `Verdict::state_bytes`), so large states are
-/// neither cloned nor re-encoded on the way in.
+/// neither cloned nor re-encoded on the way in. `table_gen` names the
+/// table generation the state was learned against; it sits in the header
+/// so pruning can pair snapshots with their tables without decoding
+/// bodies.
+#[allow(clippy::too_many_arguments)]
 pub fn write_snapshot(
     dir: &Path,
     gen: u64,
     last_seq: u64,
+    table_gen: u64,
     meta: &SessionMeta,
     table_fp: u64,
+    data_epoch: u64,
     state_bytes: &[u8],
 ) -> Result<PathBuf> {
-    let body = encode_snapshot_body(meta, table_fp, state_bytes);
-    let mut bytes = Vec::with_capacity(32 + body.len());
+    let body = encode_snapshot_body(meta, table_fp, data_epoch, state_bytes);
+    let mut bytes = Vec::with_capacity(40 + body.len());
     bytes.extend_from_slice(&SNAPSHOT_MAGIC);
     bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
     bytes.extend_from_slice(&last_seq.to_le_bytes());
+    bytes.extend_from_slice(&table_gen.to_le_bytes());
     bytes.extend_from_slice(&(body.len() as u64).to_le_bytes());
     bytes.extend_from_slice(&crc32(&body).to_le_bytes());
     bytes.extend_from_slice(&body);
@@ -243,7 +308,7 @@ pub fn write_snapshot(
 pub fn read_snapshot(path: &Path) -> Result<Snapshot> {
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
-    if bytes.len() < 32 {
+    if bytes.len() < 40 {
         return Err(StoreError::Corrupt("snapshot shorter than header".into()));
     }
     if bytes[..8] != SNAPSHOT_MAGIC {
@@ -256,18 +321,38 @@ pub fn read_snapshot(path: &Path) -> Result<Snapshot> {
         )));
     }
     let last_seq = u64::from_le_bytes(bytes[12..20].try_into().unwrap());
-    let body_len = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
-    let body_crc = u32::from_le_bytes(bytes[28..32].try_into().unwrap());
+    let table_gen = u64::from_le_bytes(bytes[20..28].try_into().unwrap());
+    let body_len = u64::from_le_bytes(bytes[28..36].try_into().unwrap());
+    let body_crc = u32::from_le_bytes(bytes[36..40].try_into().unwrap());
     let body = bytes
-        .get(32..32 + body_len as usize)
+        .get(40..40 + body_len as usize)
         .ok_or_else(|| StoreError::Corrupt("snapshot body truncated".into()))?;
-    if bytes.len() as u64 != 32 + body_len {
+    if bytes.len() as u64 != 40 + body_len {
         return Err(StoreError::Corrupt("snapshot trailing bytes".into()));
     }
     if crc32(body) != body_crc {
         return Err(StoreError::Corrupt("snapshot checksum mismatch".into()));
     }
-    Snapshot::decode_body(last_seq, body)
+    Snapshot::decode_body(last_seq, table_gen, body)
+}
+
+/// Reads only the table generation out of a snapshot's header (cheap peek
+/// used when pruning table generations; the body is not validated).
+pub fn snapshot_table_gen(path: &Path) -> Result<u64> {
+    let mut header = [0u8; 40];
+    let mut f = File::open(path)?;
+    f.read_exact(&mut header)
+        .map_err(|_| StoreError::Corrupt("snapshot shorter than header".into()))?;
+    if header[..8] != SNAPSHOT_MAGIC {
+        return Err(StoreError::Corrupt("bad snapshot magic".into()));
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    if version != SNAPSHOT_VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "unsupported snapshot version {version}"
+        )));
+    }
+    Ok(u64::from_le_bytes(header[20..28].try_into().unwrap()))
 }
 
 /// All snapshot generations present in `dir`, ascending.
@@ -317,14 +402,17 @@ mod tests {
         let engine = Verdict::new(info, VerdictConfig::default());
         Snapshot {
             last_seq: 17,
+            table_gen: 3,
             meta: SessionMeta {
                 sample_fraction: 0.1,
                 batch_size: 500,
                 seed: 9,
                 num_samples: 1,
+                original_rows: 50,
                 config: VerdictConfig::default(),
             },
             table_fp: 0xDEAD_BEEF_F00D_CAFE,
+            data_epoch: 2,
             state: engine.export_state(),
         }
     }
@@ -337,24 +425,29 @@ mod tests {
             &dir,
             3,
             snap.last_seq,
+            snap.table_gen,
             &snap.meta,
             snap.table_fp,
+            snap.data_epoch,
             &snap.state.to_bytes(),
         )
         .unwrap();
         let back = read_snapshot(&snapshot_path(&dir, 3)).unwrap();
         assert_eq!(back.last_seq, 17);
+        assert_eq!(back.table_gen, 3);
+        assert_eq!(back.data_epoch, 2);
         assert_eq!(back.meta, snap.meta);
         assert_eq!(back.table_fp, snap.table_fp);
         assert_eq!(back.state.to_bytes(), snap.state.to_bytes());
+        assert_eq!(snapshot_table_gen(&snapshot_path(&dir, 3)).unwrap(), 3);
     }
 
     #[test]
     fn table_file_roundtrip_and_validation() {
         let dir = tempdir("tablefile");
         let table = sample_table();
-        let fp = write_table_file(&dir, &table).unwrap();
-        let (back, fp2) = read_table_file(&dir).unwrap();
+        let fp = write_table_file(&dir, 0, &table).unwrap();
+        let (back, fp2) = read_table_file(&dir, 0).unwrap();
         assert_eq!(fp, fp2);
         assert_eq!(back.num_rows(), 50);
         assert_eq!(
@@ -362,12 +455,15 @@ mod tests {
             table.column("v").unwrap().numeric().unwrap()
         );
         // Corruption is detected.
-        let path = dir.join(TABLE_FILE);
+        let path = table_path(&dir, 0);
         let mut bytes = std::fs::read(&path).unwrap();
         let mid = bytes.len() / 2;
         bytes[mid] ^= 0x10;
         std::fs::write(&path, &bytes).unwrap();
-        assert!(matches!(read_table_file(&dir), Err(StoreError::Corrupt(_))));
+        assert!(matches!(
+            read_table_file(&dir, 0),
+            Err(StoreError::Corrupt(_))
+        ));
     }
 
     #[test]
@@ -378,8 +474,10 @@ mod tests {
             &dir,
             1,
             snap.last_seq,
+            snap.table_gen,
             &snap.meta,
             snap.table_fp,
+            snap.data_epoch,
             &snap.state.to_bytes(),
         )
         .unwrap();
@@ -398,13 +496,15 @@ mod tests {
             &dir,
             1,
             snap.last_seq,
+            snap.table_gen,
             &snap.meta,
             snap.table_fp,
+            snap.data_epoch,
             &snap.state.to_bytes(),
         )
         .unwrap();
         let bytes = std::fs::read(&path).unwrap();
-        for cut in [0, 8, 31, bytes.len() / 2, bytes.len() - 1] {
+        for cut in [0, 8, 31, 39, bytes.len() / 2, bytes.len() - 1] {
             std::fs::write(&path, &bytes[..cut]).unwrap();
             assert!(read_snapshot(&path).is_err(), "cut {cut}");
         }
@@ -419,8 +519,10 @@ mod tests {
                 &dir,
                 gen,
                 snap.last_seq,
+                snap.table_gen,
                 &snap.meta,
                 snap.table_fp,
+                snap.data_epoch,
                 &snap.state.to_bytes(),
             )
             .unwrap();
@@ -430,5 +532,10 @@ mod tests {
         assert_eq!(parse_generation("snapshot-0000000042.vsnap"), Some(42));
         assert_eq!(parse_generation("snapshot-x.vsnap"), None);
         assert_eq!(parse_generation("wal.vlog"), None);
+        assert_eq!(parse_table_generation("table-0000000005.vtab"), Some(5));
+        assert_eq!(parse_table_generation("table.vtab"), None);
+        assert!(is_table_file("table.vtab"));
+        assert!(is_table_file("table-0000000001.vtab"));
+        assert!(!is_table_file("snapshot-0000000001.vsnap"));
     }
 }

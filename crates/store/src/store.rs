@@ -4,16 +4,17 @@
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, MutexGuard};
 
+use verdict_core::append::AppendAdjustment;
 use verdict_core::persist::{fingerprint, Persist};
-use verdict_core::snippet::{AggKey, Observation};
-use verdict_core::synopsis::QuerySynopsis;
-use verdict_core::{EngineState, Region, SnippetObserver};
-use verdict_storage::Table;
+use verdict_core::snippet::{AggKey, Observation, Snippet};
+use verdict_core::{EngineState, Region, SnippetObserver, Verdict};
+use verdict_storage::{Table, Value};
 
-use crate::log::{LogRecord, SnippetLog};
+use crate::log::{IngestRecord, LogRecord, SnippetLog, SnippetRecord};
 use crate::snapshot::{
-    list_generations, read_snapshot, read_table_file, snapshot_path, write_snapshot,
-    write_table_file, SessionMeta, Snapshot,
+    is_table_file, list_generations, list_table_generations, read_snapshot, read_table_file,
+    snapshot_path, snapshot_table_gen, table_path, write_snapshot, write_table_file, SessionMeta,
+    Snapshot,
 };
 use crate::{Result, StoreError};
 
@@ -47,10 +48,14 @@ impl Default for StorePolicy {
 pub struct Recovered {
     /// Session construction parameters from the snapshot.
     pub meta: SessionMeta,
-    /// The base table from the snapshot.
+    /// The base table: the snapshot's table generation with every
+    /// surviving ingest record's rows re-appended.
     pub table: Table,
     /// Learned state: snapshot state with surviving log records replayed.
     pub state: EngineState,
+    /// Data epoch after replay (snapshot's folded ingests + replayed
+    /// ingest records).
+    pub data_epoch: u64,
     /// Forensics of the recovery.
     pub report: RecoveryReport,
 }
@@ -64,6 +69,10 @@ pub struct RecoveryReport {
     pub snapshot_last_seq: u64,
     /// Log records replayed on top of the snapshot.
     pub records_replayed: u64,
+    /// Of those, ingest records (each one whole row batch).
+    pub ingests_replayed: u64,
+    /// Base-table rows re-appended by replayed ingest records.
+    pub rows_appended: u64,
     /// Log records skipped because the snapshot already contained them.
     pub records_already_folded: u64,
     /// Torn/corrupt log bytes truncated away.
@@ -80,6 +89,13 @@ pub struct SynopsisStore {
     log: SnippetLog,
     next_seq: u64,
     current_gen: u64,
+    /// Generation of the newest written table file.
+    current_table_gen: u64,
+    /// Whether ingest records have landed since the newest table file was
+    /// written: the next snapshot must fold them into a new generation.
+    table_dirty: bool,
+    /// Ingested batches this store has logged or folded.
+    data_epoch: u64,
     schema_fp: u64,
     table_fp: u64,
     sticky_error: Option<StoreError>,
@@ -139,8 +155,18 @@ impl SynopsisStore {
         // Even without snapshots, leftover store files mean this is the
         // remains of an earlier store (e.g. snapshots deleted by hand);
         // creating here would truncate a log that may hold live records.
-        for leftover in ["wal.vlog", crate::snapshot::TABLE_FILE] {
-            if dir.join(leftover).exists() {
+        let mut leftovers: Vec<String> = vec!["wal.vlog".into()];
+        if let Ok(entries) = std::fs::read_dir(&dir) {
+            for entry in entries.flatten() {
+                if let Some(name) = entry.file_name().to_str() {
+                    if is_table_file(name) {
+                        leftovers.push(name.to_owned());
+                    }
+                }
+            }
+        }
+        for leftover in leftovers {
+            if dir.join(&leftover).exists() {
                 return Err(StoreError::Mismatch(format!(
                     "{} contains a leftover {leftover} but no snapshot; refusing to \
                      overwrite it — move the file away or choose a fresh directory",
@@ -149,12 +175,12 @@ impl SynopsisStore {
             }
         }
         let lock = SynopsisStore::acquire_lock(&dir)?;
-        // The base table is immutable for the life of the store: written
-        // once here, fingerprinted into every snapshot, never rewritten
-        // by compaction.
-        let table_fp = write_table_file(&dir, table)?;
+        // Table generation 0 is the original base table; later ingests
+        // accumulate in the WAL and fold into fresh generations at
+        // checkpoint time.
+        let table_fp = write_table_file(&dir, 0, table)?;
         let schema_fp = fingerprint(&state.schema);
-        write_snapshot(&dir, 0, 0, &meta, table_fp, &state.to_bytes())?;
+        write_snapshot(&dir, 0, 0, 0, &meta, table_fp, 0, &state.to_bytes())?;
         let log = SnippetLog::create(dir.join("wal.vlog"))?;
         Ok(SynopsisStore {
             dir,
@@ -162,6 +188,9 @@ impl SynopsisStore {
             log,
             next_seq: 1,
             current_gen: 0,
+            current_table_gen: 0,
+            table_dirty: false,
+            data_epoch: 0,
             schema_fp,
             table_fp,
             sticky_error: None,
@@ -208,41 +237,79 @@ impl SynopsisStore {
             )));
         };
 
-        let (table, table_fp) = read_table_file(&dir)?;
+        let (mut table, table_fp) = read_table_file(&dir, snapshot.table_gen)?;
         if snapshot.table_fp != table_fp {
             return Err(StoreError::Mismatch(format!(
                 "snapshot generation {gen} was written against a different base table \
-                 (fingerprint {:#x} vs table file {:#x})",
-                snapshot.table_fp, table_fp
+                 (fingerprint {:#x} vs table generation {} {:#x})",
+                snapshot.table_fp, snapshot.table_gen, table_fp
             )));
         }
         let (log, scan) = SnippetLog::open(dir.join("wal.vlog"))?;
         let Snapshot {
             last_seq,
+            table_gen,
             meta,
             table_fp: _,
-            mut state,
+            data_epoch: mut replayed_data_epoch,
+            state,
         } = snapshot;
 
-        // Replay records the snapshot has not folded yet. Replay mirrors
-        // `Verdict::observe`: same `record` semantics, same counter.
+        // Replay records the snapshot has not folded yet — through a real
+        // engine, so replay runs the *same* code the live session ran:
+        // `observe` for snippet records (same dedupe/LRU semantics, same
+        // counter), `apply_append` for each logged ingest adjustment
+        // (same Lemma-3 rewrite, same model refit). That is what makes a
+        // crashed session reopen to bit-identical state.
+        let mut engine = Verdict::new(state.schema.clone(), meta.config.clone());
+        engine
+            .restore_state(state)
+            .map_err(|e| StoreError::Corrupt(format!("snapshot state rejected: {e}")))?;
         let mut replayed = 0u64;
+        let mut ingests_replayed = 0u64;
+        let mut rows_appended = 0u64;
         let mut already_folded = 0u64;
         let mut max_seq = last_seq;
         for record in &scan.records {
-            max_seq = max_seq.max(record.seq);
-            if record.seq <= last_seq {
+            max_seq = max_seq.max(record.seq());
+            if record.seq() <= last_seq {
                 already_folded += 1;
                 continue;
             }
-            apply_record(&mut state, &meta, record);
+            match record {
+                LogRecord::Snippet(r) => {
+                    engine.observe(
+                        &Snippet::new(r.key.clone(), r.region.clone()),
+                        r.observation,
+                    );
+                }
+                LogRecord::Ingest(r) => {
+                    table.push_rows(&r.rows).map_err(|e| {
+                        StoreError::Corrupt(format!("ingest record seq {} replay: {e}", r.seq))
+                    })?;
+                    for (key, adjustment) in &r.adjustments {
+                        engine.apply_append(key, adjustment).map_err(|e| {
+                            StoreError::Corrupt(format!(
+                                "ingest record seq {} refit of {key:?}: {e}",
+                                r.seq
+                            ))
+                        })?;
+                    }
+                    ingests_replayed += 1;
+                    rows_appended += r.rows.len() as u64;
+                    replayed_data_epoch += 1;
+                }
+            }
             replayed += 1;
         }
+        let state = engine.export_state();
 
         let report = RecoveryReport {
             snapshot_gen: gen,
             snapshot_last_seq: last_seq,
             records_replayed: replayed,
+            ingests_replayed,
+            rows_appended,
             records_already_folded: already_folded,
             torn_bytes: scan.torn_bytes,
             skipped_generations: skipped,
@@ -253,6 +320,9 @@ impl SynopsisStore {
             log,
             next_seq: max_seq + 1,
             current_gen: gen,
+            current_table_gen: table_gen,
+            table_dirty: ingests_replayed > 0,
+            data_epoch: replayed_data_epoch,
             schema_fp: fingerprint(&state.schema),
             table_fp,
             sticky_error: None,
@@ -264,6 +334,7 @@ impl SynopsisStore {
                 meta,
                 table,
                 state,
+                data_epoch: replayed_data_epoch,
                 report,
             },
         ))
@@ -295,6 +366,11 @@ impl SynopsisStore {
         self.policy = policy;
     }
 
+    /// The store's data epoch: ingested batches logged or folded so far.
+    pub fn data_epoch(&self) -> u64 {
+        self.data_epoch
+    }
+
     /// Appends one snippet observation to the log, returning its sequence
     /// number.
     pub fn append_snippet(
@@ -304,17 +380,43 @@ impl SynopsisStore {
         observation: Observation,
     ) -> Result<u64> {
         let seq = self.next_seq;
-        let record = LogRecord {
+        let record = LogRecord::Snippet(SnippetRecord {
             seq,
             key: key.clone(),
             region: region.clone(),
             observation,
-        };
+        });
         self.log.append(&record)?;
         if self.policy.sync_appends {
             self.log.sync()?;
         }
         self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Appends one ingested row batch — the rows plus the synopsis
+    /// adjustments the live engine is about to apply — to the log,
+    /// returning its sequence number. The caller logs *before* mutating
+    /// in-memory state, so a refused append (e.g. an oversized batch)
+    /// leaves memory and disk consistent.
+    pub fn append_ingest(
+        &mut self,
+        rows: &[Vec<Value>],
+        adjustments: &[(AggKey, AppendAdjustment)],
+    ) -> Result<u64> {
+        let seq = self.next_seq;
+        let record = LogRecord::Ingest(IngestRecord {
+            seq,
+            rows: rows.to_vec(),
+            adjustments: adjustments.to_vec(),
+        });
+        self.log.append(&record)?;
+        if self.policy.sync_appends {
+            self.log.sync()?;
+        }
+        self.next_seq += 1;
+        self.data_epoch += 1;
+        self.table_dirty = true;
         Ok(seq)
     }
 
@@ -327,12 +429,18 @@ impl SynopsisStore {
     /// Writes a new snapshot generation folding everything appended so
     /// far, truncates the log, and prunes old generations per policy.
     ///
-    /// Snapshots carry only session metadata and learned state — the
-    /// (potentially large, immutable) base table lives in its own
-    /// write-once file, so compaction cost scales with the synopsis, not
-    /// the data.
-    pub fn snapshot(&mut self, meta: SessionMeta, state: &EngineState) -> Result<u64> {
-        self.snapshot_encoded(meta, fingerprint(&state.schema), &state.to_bytes())
+    /// Snapshots carry only session metadata and learned state; `table`
+    /// is written out as a fresh table generation **only when ingest
+    /// records landed since the last one** (the snapshot then references
+    /// it by generation + fingerprint). On a non-evolving table,
+    /// compaction cost still scales with the synopsis, not the data.
+    pub fn snapshot(
+        &mut self,
+        meta: SessionMeta,
+        state: &EngineState,
+        table: &Table,
+    ) -> Result<u64> {
+        self.snapshot_encoded(meta, fingerprint(&state.schema), &state.to_bytes(), table)
     }
 
     /// Like [`SynopsisStore::snapshot`], but for a pre-encoded state (see
@@ -343,6 +451,7 @@ impl SynopsisStore {
         meta: SessionMeta,
         schema_fp: u64,
         state_bytes: &[u8],
+        table: &Table,
     ) -> Result<u64> {
         if schema_fp != self.schema_fp {
             return Err(StoreError::Mismatch(
@@ -350,12 +459,23 @@ impl SynopsisStore {
             ));
         }
         let gen = self.current_gen + 1;
+        // Fold pending ingests into a new table generation first: if the
+        // table write fails, no snapshot references it, and if the crash
+        // lands between the two writes, recovery uses the old snapshot →
+        // old table generation → WAL replay of the ingest records.
+        if self.table_dirty {
+            self.table_fp = write_table_file(&self.dir, gen, table)?;
+            self.current_table_gen = gen;
+            self.table_dirty = false;
+        }
         write_snapshot(
             &self.dir,
             gen,
             self.next_seq - 1,
+            self.current_table_gen,
             &meta,
             self.table_fp,
+            self.data_epoch,
             state_bytes,
         )?;
         self.current_gen = gen;
@@ -370,12 +490,31 @@ impl SynopsisStore {
     fn prune_generations(&self) -> Result<()> {
         let gens = list_generations(&self.dir)?;
         let keep = self.policy.keep_generations.max(1);
-        if gens.len() <= keep {
-            return Ok(());
+        if gens.len() > keep {
+            for &gen in &gens[..gens.len() - keep] {
+                // Best-effort: a surviving stale generation is harmless.
+                let _ = std::fs::remove_file(snapshot_path(&self.dir, gen));
+            }
         }
-        for &gen in &gens[..gens.len() - keep] {
-            // Best-effort: a surviving stale generation is harmless.
-            let _ = std::fs::remove_file(snapshot_path(&self.dir, gen));
+        // Table generations referenced by no surviving snapshot can go
+        // too. The reference sits in each snapshot's header; if any
+        // surviving header cannot be peeked, keep everything (best
+        // effort — a stale table file is harmless, a missing one is not).
+        let snap_gens = list_generations(&self.dir)?;
+        let mut referenced = Vec::with_capacity(snap_gens.len());
+        for &gen in &snap_gens {
+            match snapshot_table_gen(&snapshot_path(&self.dir, gen)) {
+                Ok(tg) => referenced.push(tg),
+                Err(_) => return Ok(()),
+            }
+        }
+        let Some(&min_ref) = referenced.iter().min() else {
+            return Ok(());
+        };
+        for tg in list_table_generations(&self.dir)? {
+            if tg < min_ref {
+                let _ = std::fs::remove_file(table_path(&self.dir, tg));
+            }
         }
         Ok(())
     }
@@ -398,29 +537,6 @@ impl SynopsisStore {
     pub fn park_error(&mut self, e: StoreError) {
         self.sticky_error.get_or_insert(e);
     }
-}
-
-/// Applies one log record to an [`EngineState`], mirroring
-/// `Verdict::observe` (same dedupe/LRU semantics, same counter).
-fn apply_record(state: &mut EngineState, meta: &SessionMeta, record: &LogRecord) {
-    let synopsis = match state.synopses.iter_mut().find(|(k, _)| k == &record.key) {
-        Some((_, s)) => s,
-        None => {
-            state.synopses.push((
-                record.key.clone(),
-                QuerySynopsis::new(meta.config.synopsis_capacity),
-            ));
-            state.synopses.sort_by(|(a, _), (b, _)| a.cmp(b));
-            &mut state
-                .synopses
-                .iter_mut()
-                .find(|(k, _)| k == &record.key)
-                .expect("just inserted")
-                .1
-        }
-    };
-    synopsis.record(record.region.clone(), record.observation);
-    state.stats.observed += 1;
 }
 
 /// Clonable, thread-safe handle to a [`SynopsisStore`], used to share the
@@ -505,6 +621,7 @@ mod tests {
             batch_size: 100,
             seed: 1,
             num_samples: 1,
+            original_rows: 20,
             config: VerdictConfig::default(),
         }
     }
@@ -574,7 +691,9 @@ mod tests {
             engine.observe(&Snippet::new(AggKey::avg("v"), r.clone()), obs);
             store.append_snippet(&AggKey::avg("v"), &r, obs).unwrap();
         }
-        let gen = store.snapshot(meta(), &engine.export_state()).unwrap();
+        let gen = store
+            .snapshot(meta(), &engine.export_state(), &small_table())
+            .unwrap();
         assert_eq!(gen, 1);
         // Two more appends after the snapshot.
         for i in 5..7 {
@@ -606,7 +725,9 @@ mod tests {
         engine.observe(&Snippet::new(AggKey::avg("v"), r.clone()), obs);
         store.append_snippet(&AggKey::avg("v"), &r, obs).unwrap();
         let log_before = std::fs::read(dir.join("wal.vlog")).unwrap();
-        store.snapshot(meta(), &engine.export_state()).unwrap();
+        store
+            .snapshot(meta(), &engine.export_state(), &small_table())
+            .unwrap();
         drop(store);
         // Put the pre-snapshot log back: its single record has seq 1,
         // which the snapshot's last_seq already covers.
@@ -621,7 +742,9 @@ mod tests {
     fn corrupt_newest_generation_falls_back() {
         let (dir, mut store) = fresh_store("fallback");
         let engine = Verdict::new(schema_info(), VerdictConfig::default());
-        store.snapshot(meta(), &engine.export_state()).unwrap();
+        store
+            .snapshot(meta(), &engine.export_state(), &small_table())
+            .unwrap();
         drop(store);
         // Corrupt generation 1; generation 0 must still load.
         let path = snapshot_path(&dir, 1);
@@ -656,7 +779,9 @@ mod tests {
                 .unwrap();
         }
         assert!(store.needs_compaction());
-        store.snapshot(meta(), &engine.export_state()).unwrap();
+        store
+            .snapshot(meta(), &engine.export_state(), &small_table())
+            .unwrap();
         assert!(!store.needs_compaction());
     }
 
@@ -684,7 +809,7 @@ mod tests {
         let (_dir, mut store) = fresh_store("mismatch");
         let other = SchemaInfo::new(vec![DimensionSpec::numeric("x", 0.0, 1.0)]).unwrap();
         let engine = Verdict::new(other, VerdictConfig::default());
-        let err = store.snapshot(meta(), &engine.export_state());
+        let err = store.snapshot(meta(), &engine.export_state(), &small_table());
         assert!(matches!(err, Err(StoreError::Mismatch(_))));
     }
 

@@ -16,11 +16,16 @@
 //!   profile (21 contain aggregates; 14 are Verdict-supported = 63.6%);
 //! - [`customer`]: a Customer1-style trace generator matching the
 //!   paper's reported statistics (73.7% supported aggregate queries,
-//!   mostly COUNT(*), < 5 selection predicates per query).
+//!   mostly COUNT(*), < 5 selection predicates per query);
+//! - [`streaming`]: evolving-table batch streams for the ingest stage —
+//!   drifting measure means (concept drift, Appendix D) and growing
+//!   categorical cardinality.
 
 pub mod customer;
+pub mod streaming;
 pub mod synthetic;
 pub mod timeseries;
 pub mod tpch;
 
+pub use streaming::{DriftingMeanStream, GrowingCardinalityStream};
 pub use synthetic::{Distribution, SyntheticSpec};

@@ -1,0 +1,233 @@
+//! Streaming workload generators for the ingest pipeline stage.
+//!
+//! The evolving-table scenario needs data whose distribution *moves*:
+//! batches that arrive over time with a drifting measure mean (concept
+//! drift — the case Lemma 3's error widening exists for) or with a
+//! growing categorical domain (new group keys appearing after the sample
+//! was drawn). Each generator produces a base table plus an unbounded
+//! sequence of row batches shaped for `VerdictSession::ingest`.
+
+use rand::Rng;
+use verdict_storage::{ColumnDef, Schema, Table, Value};
+
+use crate::synthetic::{gaussian, SmoothField, NUMERIC_DOMAIN};
+
+/// Batches whose measure mean drifts linearly over time.
+///
+/// Rows look like the [`crate::synthetic`] tables — a numeric dimension
+/// `d0` in `[0, 10]` and a measure `m` that varies smoothly with `d0` —
+/// but every batch shifts `m` by another `drift_per_batch`: batch `k`
+/// draws `m = field(d0) + k · drift_per_batch + noise`. An engine that
+/// learned on the base table sees its old answers drift away at a known,
+/// controllable rate.
+#[derive(Debug, Clone)]
+pub struct DriftingMeanStream {
+    /// Rows per emitted batch.
+    pub batch_rows: usize,
+    /// Mean shift added to the measure with every batch.
+    pub drift_per_batch: f64,
+    /// Additive uniform observation noise on the measure.
+    pub noise: f64,
+    field: SmoothField,
+    batches_emitted: usize,
+}
+
+impl DriftingMeanStream {
+    /// Creates a stream; the smooth base field is sampled from `rng` with
+    /// smoothing width `smoothness`.
+    pub fn new<R: Rng>(
+        batch_rows: usize,
+        drift_per_batch: f64,
+        noise: f64,
+        smoothness: f64,
+        rng: &mut R,
+    ) -> DriftingMeanStream {
+        DriftingMeanStream {
+            batch_rows,
+            drift_per_batch,
+            noise,
+            field: SmoothField::sample(smoothness, rng),
+            batches_emitted: 0,
+        }
+    }
+
+    /// The schema every batch (and the base table) conforms to.
+    pub fn schema(&self) -> Schema {
+        Schema::new(vec![
+            ColumnDef::numeric_dimension("d0"),
+            ColumnDef::measure("m"),
+        ])
+        .expect("stream schema is valid")
+    }
+
+    /// Generates the base (pre-drift) table: `rows` rows at drift zero.
+    pub fn base_table<R: Rng>(&self, rows: usize, rng: &mut R) -> Table {
+        let mut table = Table::new(self.schema());
+        for _ in 0..rows {
+            table
+                .push_row(self.row(0.0, rng))
+                .expect("generated row fits schema");
+        }
+        table
+    }
+
+    /// Batches emitted so far.
+    pub fn batches_emitted(&self) -> usize {
+        self.batches_emitted
+    }
+
+    /// The drift the *next* batch will carry.
+    pub fn current_drift(&self) -> f64 {
+        (self.batches_emitted + 1) as f64 * self.drift_per_batch
+    }
+
+    /// Emits the next batch, one `drift_per_batch` further from the base
+    /// distribution.
+    pub fn next_batch<R: Rng>(&mut self, rng: &mut R) -> Vec<Vec<Value>> {
+        let drift = self.current_drift();
+        self.batches_emitted += 1;
+        (0..self.batch_rows).map(|_| self.row(drift, rng)).collect()
+    }
+
+    fn row<R: Rng>(&self, drift: f64, rng: &mut R) -> Vec<Value> {
+        let (lo, hi) = NUMERIC_DOMAIN;
+        let x = lo + rng.gen::<f64>() * (hi - lo);
+        let m = self.field.at(x) + drift + self.noise * (rng.gen::<f64>() * 2.0 - 1.0);
+        vec![x.into(), m.into()]
+    }
+}
+
+/// Batches that keep introducing previously unseen categorical labels.
+///
+/// The base table draws groups from `g0 .. g<initial_labels>`; every
+/// emitted batch adds `labels_per_batch` fresh labels to the live pool,
+/// so GROUP BY result sets grow over time and samples drawn before an
+/// ingest have never seen the newest groups — the growing-cardinality
+/// scenario for dictionary maintenance and group enumeration.
+#[derive(Debug, Clone)]
+pub struct GrowingCardinalityStream {
+    /// Rows per emitted batch.
+    pub batch_rows: usize,
+    /// Labels the base table draws from.
+    pub initial_labels: usize,
+    /// Fresh labels introduced by every batch.
+    pub labels_per_batch: usize,
+    /// Per-label measure offsets are drawn from a unit Gaussian; this
+    /// scales them.
+    pub group_spread: f64,
+    batches_emitted: usize,
+}
+
+impl GrowingCardinalityStream {
+    /// Creates a stream.
+    pub fn new(
+        batch_rows: usize,
+        initial_labels: usize,
+        labels_per_batch: usize,
+        group_spread: f64,
+    ) -> GrowingCardinalityStream {
+        GrowingCardinalityStream {
+            batch_rows,
+            initial_labels: initial_labels.max(1),
+            labels_per_batch,
+            group_spread,
+            batches_emitted: 0,
+        }
+    }
+
+    /// The schema every batch (and the base table) conforms to.
+    pub fn schema(&self) -> Schema {
+        Schema::new(vec![
+            ColumnDef::categorical_dimension("grp"),
+            ColumnDef::measure("m"),
+        ])
+        .expect("stream schema is valid")
+    }
+
+    /// Generates the base table over the initial label pool.
+    pub fn base_table<R: Rng>(&self, rows: usize, rng: &mut R) -> Table {
+        let mut table = Table::new(self.schema());
+        for _ in 0..rows {
+            table
+                .push_row(self.row(self.initial_labels, rng))
+                .expect("generated row fits schema");
+        }
+        table
+    }
+
+    /// Distinct labels the next batch draws from (initial + introduced).
+    pub fn live_labels(&self) -> usize {
+        self.initial_labels + (self.batches_emitted + 1) * self.labels_per_batch
+    }
+
+    /// Emits the next batch over a label pool grown by
+    /// `labels_per_batch`.
+    pub fn next_batch<R: Rng>(&mut self, rng: &mut R) -> Vec<Vec<Value>> {
+        let pool = self.live_labels();
+        self.batches_emitted += 1;
+        (0..self.batch_rows).map(|_| self.row(pool, rng)).collect()
+    }
+
+    fn row<R: Rng>(&self, pool: usize, rng: &mut R) -> Vec<Value> {
+        let g = rng.gen_range(0..pool);
+        // Per-label offset derived from the label id (stable across
+        // batches without storing an unbounded offset table).
+        let offset = ((g as f64 * 0.754_877_666_2).fract() - 0.5) * 2.0 * self.group_spread;
+        let m = offset + 0.1 * gaussian(rng);
+        vec![Value::Str(format!("g{g}")), m.into()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn drifting_stream_shifts_batch_means() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut stream = DriftingMeanStream::new(2_000, 0.5, 0.05, 1.5, &mut rng);
+        let base = stream.base_table(4_000, &mut rng);
+        let base_mean: f64 = base
+            .column("m")
+            .unwrap()
+            .numeric()
+            .unwrap()
+            .iter()
+            .sum::<f64>()
+            / base.num_rows() as f64;
+        let mean_of = |batch: &[Vec<Value>]| -> f64 {
+            batch.iter().map(|r| r[1].as_num().unwrap()).sum::<f64>() / batch.len() as f64
+        };
+        let b1 = stream.next_batch(&mut rng);
+        let b2 = stream.next_batch(&mut rng);
+        assert_eq!(stream.batches_emitted(), 2);
+        let (m1, m2) = (mean_of(&b1), mean_of(&b2));
+        // Batch k should sit ~ k * drift above the base mean.
+        assert!((m1 - base_mean - 0.5).abs() < 0.2, "batch 1 mean {m1}");
+        assert!((m2 - base_mean - 1.0).abs() < 0.2, "batch 2 mean {m2}");
+        // Rows conform to the schema (ingestable).
+        let mut t = stream.base_table(10, &mut rng);
+        t.push_rows(&b1).unwrap();
+    }
+
+    #[test]
+    fn growing_stream_introduces_new_labels() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut stream = GrowingCardinalityStream::new(3_000, 5, 3, 1.0);
+        let base = stream.base_table(2_000, &mut rng);
+        assert_eq!(base.column_cardinality("grp").unwrap(), 5);
+        let mut t = base.clone();
+        t.push_rows(&stream.next_batch(&mut rng)).unwrap();
+        let after_one = t.column_cardinality("grp").unwrap();
+        assert!(after_one > 5, "no new labels after batch 1: {after_one}");
+        t.push_rows(&stream.next_batch(&mut rng)).unwrap();
+        let after_two = t.column_cardinality("grp").unwrap();
+        assert!(
+            after_two > after_one,
+            "cardinality must keep growing: {after_one} → {after_two}"
+        );
+        assert!(after_two <= 5 + 2 * 3);
+    }
+}

@@ -1,18 +1,19 @@
 //! Snapshot-isolated concurrent sessions: many reader threads, one
-//! serialized learn path.
+//! serialized learn/ingest path.
 //!
 //! A [`ConcurrentSession`] is the multi-threaded face of the engine. It is
 //! `Send + Sync + Clone`; hand clones to as many threads as you like and
 //! call [`ConcurrentSession::execute`] from all of them. The design is the
 //! read/learn split the paper implies (answers come from frozen state;
-//! only absorbing a snippet mutates it):
+//! only absorbing a snippet mutates it), extended with an **ingest** path
+//! for evolving tables:
 //!
 //! - **Read path** (lock-free beyond one pointer copy): each query loads
-//!   the current [`EngineSnapshot`] from a [`SnapshotCell`] and answers
-//!   every cell from that immutable state with a per-query scan cursor
-//!   over the shared sample — the same `plan → shared scan →
-//!   improve_batch` core the serial [`crate::VerdictSession`] drives. The
-//!   snapshot's epoch is stamped into [`crate::QueryResult::epoch`].
+//!   the current [`SessionSnapshot`] — a *paired* immutable view of the
+//!   learned state ([`EngineSnapshot`]) and the data it describes (base
+//!   table + maintained samples at one data epoch) — and answers every
+//!   cell from that state with a per-query scan cursor. The snapshot's
+//!   epoch is stamped into [`crate::QueryResult::epoch`].
 //! - **Learn path** (serialized): the raw snippet observations a
 //!   `Mode::Verdict` query produces are absorbed under one writer mutex —
 //!   synopsis append, WAL append (via the engine's observer hook into the
@@ -20,28 +21,105 @@
 //!   so persisted sequence numbers are exactly what a serial session
 //!   would have written. [`ConcurrentSession::train`] retrains and
 //!   publishes under the same lock.
+//! - **Ingest path** (serialized with the learn path):
+//!   [`ConcurrentSession::ingest`] appends a row batch under the writer
+//!   mutex — WAL record first, then a *new* data set (grown table, samples
+//!   with the batch admitted) and a new engine snapshot (synopses widened
+//!   per Lemma 3, models refit) are published together as the next
+//!   [`SessionSnapshot`]. Readers never block: queries in flight keep the
+//!   data set and engine state they loaded.
 //!
 //! A query that loaded epoch `e` keeps answering from epoch `e` even if a
-//! writer publishes `e + 1` mid-scan: snapshot isolation, for free,
-//! because snapshots are immutable. Readers never wait for the learner
-//! (loads are a mutex-guarded pointer copy) and writers never wait for
-//! readers (they publish a fresh `Arc`, they don't mutate shared state in
-//! place).
+//! writer publishes `e + 1` mid-scan — and a query that loaded data epoch
+//! `d` keeps scanning data epoch `d`'s table and samples even if an ingest
+//! publishes `d + 1`: snapshot isolation over *both* the learned state and
+//! the data, for free, because both halves of a [`SessionSnapshot`] are
+//! immutable and paired atomically under the writer lock.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 
-use verdict_aqp::OnlineAggregation;
-use verdict_core::concurrent::{EngineSnapshot, Learner, SnapshotCell};
+use verdict_aqp::{AqpEngine, OnlineAggregation};
+use verdict_core::concurrent::{EngineSnapshot, Learner};
+use verdict_core::AggKey;
 use verdict_sql::checker::JoinPolicy;
 use verdict_sql::{check_query, parse_query, SupportVerdict};
-use verdict_storage::Table;
+use verdict_storage::{Table, Value};
 use verdict_store::{RecoveryReport, SessionMeta, SharedStore};
 
 use crate::session::{
-    plan_shared_scan, run_shared_read, ReadOutcome, SampleRotation, SessionParts,
+    plan_shared_scan, prepare_ingest, run_shared_read, IngestReport, ReadOutcome, SampleRotation,
+    SessionParts,
 };
 use crate::{Error, Mode, QueryOutcome, Result, StopPolicy};
+
+/// One immutable version of the session's *data*: the base table as of one
+/// data epoch, plus the maintained offline samples drawn from it. Ingest
+/// publishes a fresh `DataSet`; readers in flight keep the one they
+/// loaded.
+struct DataSet {
+    data_epoch: u64,
+    table: Arc<Table>,
+    engines: Vec<OnlineAggregation>,
+}
+
+/// An atomically paired view of the session at one instant: the learned
+/// state ([`EngineSnapshot`]) together with the table/sample version
+/// (`data_epoch`) that state describes.
+///
+/// Pin one with [`ConcurrentSession::snapshot`] and run any number of
+/// [`ConcurrentSession::execute_at`] reads against it: every answer is a
+/// pure function of the pair, bit-reproducible regardless of interleaved
+/// writers **or ingests** — the pair keeps the exact table and sample
+/// version alive even after newer data epochs are published.
+#[derive(Clone)]
+pub struct SessionSnapshot {
+    engine: Arc<EngineSnapshot>,
+    data: Arc<DataSet>,
+}
+
+impl SessionSnapshot {
+    /// The epoch of the learned state (see [`EngineSnapshot::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.engine.epoch()
+    }
+
+    /// The data epoch of the pinned table/sample version.
+    pub fn data_epoch(&self) -> u64 {
+        self.data.data_epoch
+    }
+
+    /// The pinned learned state.
+    pub fn engine_snapshot(&self) -> &EngineSnapshot {
+        &self.engine
+    }
+
+    /// The pinned base table.
+    pub fn table(&self) -> &Table {
+        &self.data.table
+    }
+
+    /// Encodes the pinned learned state (byte-identical to
+    /// `Verdict::state_bytes` on the engine it was published from).
+    pub fn state_bytes(&self) -> Vec<u8> {
+        self.engine.state_bytes()
+    }
+
+    /// Whether the pinned state carries a trained model for `key`.
+    pub fn has_model(&self, key: &AggKey) -> bool {
+        self.engine.has_model(key)
+    }
+
+    /// Snippets the pinned state retains for `key`.
+    pub fn synopsis_len(&self, key: &AggKey) -> usize {
+        self.engine.synopsis_len(key)
+    }
+
+    /// The engine counters as of the pinned state.
+    pub fn stats(&self) -> verdict_core::EngineStats {
+        self.engine.stats()
+    }
+}
 
 /// Outcome of the read path before the learn path runs.
 enum ReadAttempt {
@@ -49,7 +127,8 @@ enum ReadAttempt {
     Unsupported(Vec<verdict_sql::UnsupportedReason>),
 }
 
-/// The serialized learn path: the learner plus what checkpointing needs.
+/// The serialized write path: the learner plus what checkpointing and
+/// ingesting need.
 struct Writer {
     learner: Learner,
     meta: SessionMeta,
@@ -57,22 +136,20 @@ struct Writer {
 
 /// Shared state behind every clone of a [`ConcurrentSession`].
 struct Inner {
-    table: Table,
-    /// Immutable after build: each engine wraps one offline sample; scan
-    /// state lives in per-query cursors, so `&OnlineAggregation` is all a
-    /// reader needs.
-    engines: Vec<OnlineAggregation>,
     join_policy: JoinPolicy,
     rotation: SampleRotation,
     /// The sample `Fixed` rotation and pinned (`execute_at`) reads scan:
     /// the active sample the originating serial session was promoted
     /// with, so answers do not shift across `into_concurrent()`.
     fixed_sample: usize,
+    /// Number of maintained samples (constant for the session's life).
+    num_samples: usize,
     /// Next sample index under round-robin rotation.
     next_sample: AtomicUsize,
-    /// Where readers load the current snapshot from (the learner inside
-    /// `writer` publishes into the same cell).
-    cell: Arc<SnapshotCell>,
+    /// Where readers load the current paired snapshot from. Only the
+    /// writer stores into it (under the writer lock), so the engine half
+    /// and the data half can never be observed mismatched.
+    current: Mutex<SessionSnapshot>,
     /// The durable store, outside the writer lock: its own mutex
     /// serializes appends, and parked-error checks must not block on a
     /// training writer.
@@ -85,8 +162,8 @@ struct Inner {
 ///
 /// Created by [`crate::VerdictSession::into_concurrent`] or
 /// [`crate::SessionBuilder::build_concurrent`]. Cloning is cheap (one
-/// `Arc`); all clones share the samples, the snapshot cell, and the
-/// serialized writer.
+/// `Arc`); all clones share the samples, the published snapshot pair, and
+/// the serialized writer.
 #[derive(Clone)]
 pub struct ConcurrentSession {
     inner: Arc<Inner>,
@@ -94,17 +171,24 @@ pub struct ConcurrentSession {
 
 impl ConcurrentSession {
     pub(crate) fn from_parts(parts: SessionParts) -> ConcurrentSession {
+        let data = Arc::new(DataSet {
+            data_epoch: parts.verdict.data_epoch(),
+            table: Arc::new(parts.table),
+            engines: parts.engines,
+        });
         let learner = Learner::new(parts.verdict);
-        let cell = learner.cell();
+        let current = SessionSnapshot {
+            engine: learner.snapshot(),
+            data: Arc::clone(&data),
+        };
         ConcurrentSession {
             inner: Arc::new(Inner {
-                table: parts.table,
-                engines: parts.engines,
                 join_policy: parts.join_policy,
                 rotation: parts.rotation,
                 fixed_sample: parts.active,
+                num_samples: data.engines.len(),
                 next_sample: AtomicUsize::new(parts.active),
-                cell,
+                current: Mutex::new(current),
                 store: parts.store,
                 writer: Mutex::new(Writer {
                     learner,
@@ -115,19 +199,15 @@ impl ConcurrentSession {
         }
     }
 
-    /// The base table.
-    pub fn table(&self) -> &Table {
-        &self.inner.table
+    /// The current base table (the newest published data epoch). Cheap:
+    /// clones an `Arc`, not the rows.
+    pub fn table(&self) -> Arc<Table> {
+        Arc::clone(&self.current().data.table)
     }
 
     /// Number of independent offline samples.
     pub fn num_samples(&self) -> usize {
-        self.inner.engines.len()
-    }
-
-    /// The AQP engine over sample `index` (panics if out of range).
-    pub fn engine(&self, index: usize) -> &OnlineAggregation {
-        &self.inner.engines[index]
+        self.inner.num_samples
     }
 
     /// Whether this session writes to a durable store.
@@ -140,17 +220,48 @@ impl ConcurrentSession {
         self.inner.recovery.as_ref()
     }
 
-    /// The current published snapshot of the learned state. Pin it to run
-    /// a batch of queries against one epoch via
-    /// [`ConcurrentSession::execute_at`].
-    pub fn snapshot(&self) -> Arc<EngineSnapshot> {
-        self.inner.cell.load()
+    /// The current published snapshot pair — learned state plus the
+    /// table/sample version it describes. Pin it to run a batch of
+    /// queries against one epoch via [`ConcurrentSession::execute_at`].
+    pub fn snapshot(&self) -> SessionSnapshot {
+        self.current()
     }
 
     /// The epoch of the current published snapshot. Monotone: it never
     /// decreases over the session's lifetime.
     pub fn epoch(&self) -> u64 {
-        self.inner.cell.epoch()
+        self.current().epoch()
+    }
+
+    /// The data epoch of the current published snapshot: how many
+    /// ingested batches the visible table has absorbed. Monotone.
+    pub fn data_epoch(&self) -> u64 {
+        self.current().data_epoch()
+    }
+
+    /// Loads the current paired snapshot (brief lock, two `Arc` copies).
+    fn current(&self) -> SessionSnapshot {
+        self.inner
+            .current
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
+    }
+
+    /// Publishes the writer's current engine snapshot, paired with `data`
+    /// (or, when `data` is `None`, with the currently published data set).
+    /// Caller holds the writer lock, so pairs are never torn.
+    fn publish_locked(&self, writer: &Writer, data: Option<Arc<DataSet>>) {
+        let mut cur = self
+            .inner
+            .current
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let data = data.unwrap_or_else(|| Arc::clone(&cur.data));
+        *cur = SessionSnapshot {
+            engine: writer.learner.snapshot(),
+            data,
+        };
     }
 
     /// Which sample the next `execute` scans: round-robin advances one
@@ -160,7 +271,7 @@ impl ConcurrentSession {
         match self.inner.rotation {
             SampleRotation::Fixed => self.inner.fixed_sample,
             SampleRotation::RoundRobin => {
-                self.inner.next_sample.fetch_add(1, Ordering::Relaxed) % self.inner.engines.len()
+                self.inner.next_sample.fetch_add(1, Ordering::Relaxed) % self.inner.num_samples
             }
         }
     }
@@ -186,7 +297,7 @@ impl ConcurrentSession {
     }
 
     /// Parses, plans, and answers a SQL query from the **current**
-    /// snapshot, then funnels what the query learned (raw snippet
+    /// snapshot pair, then funnels what the query learned (raw snippet
     /// observations + counter deltas) through the serialized writer and
     /// republishes. Safe to call from any number of threads.
     ///
@@ -194,41 +305,45 @@ impl ConcurrentSession {
     /// reads and scale with the thread count.
     pub fn execute(&self, sql: &str, mode: Mode, policy: StopPolicy) -> Result<QueryOutcome> {
         self.surface_store_error()?;
-        let snapshot = self.snapshot();
-        let engine = &self.inner.engines[self.pick_sample()];
-        let read = match self.read_at(engine, &snapshot, sql, mode, policy)? {
+        let snapshot = self.current();
+        let engine = &snapshot.data.engines[self.pick_sample()];
+        let read = match self.read_at(engine, &snapshot.engine, sql, mode, policy)? {
             ReadAttempt::Unsupported(reasons) => return Ok(QueryOutcome::Unsupported(reasons)),
             ReadAttempt::Read(read) => read,
         };
         if !(read.recorded.is_empty() && read.stats.is_zero()) {
             // Learn path: one serialized absorb per query. Synopsis
             // appends (and through the observer hook, WAL appends) happen
-            // in writer-lock order; the batch republishes once.
-            self.lock_writer()
-                .learner
-                .absorb(&read.recorded, read.stats);
-            self.maybe_compact();
+            // in writer-lock order; the batch republishes once, paired
+            // with the current data set.
+            let mut writer = self.lock_writer();
+            writer.learner.absorb(&read.recorded, read.stats);
+            self.publish_locked(&writer, None);
+            self.maybe_compact(&mut writer);
         }
         Ok(QueryOutcome::Answered(read.result))
     }
 
-    /// Answers a SQL query from a caller-pinned snapshot, with learning
-    /// **skipped**: nothing is absorbed, no counters move, the writer is
-    /// never touched, and the rotation counter does not advance. Pinned
-    /// reads always scan the session's fixed sample, so every answer is a
-    /// pure function of `snapshot` — a batch of calls against one pinned
-    /// snapshot is bit-identical to a serial session holding the same
-    /// state, regardless of what writers publish or which samples
-    /// interleaved `execute` calls rotate through in the meantime.
+    /// Answers a SQL query from a caller-pinned snapshot pair, with
+    /// learning **skipped**: nothing is absorbed, no counters move, the
+    /// writer is never touched, and the rotation counter does not
+    /// advance. Pinned reads always scan the session's fixed sample *of
+    /// the pinned data epoch*, so every answer is a pure function of
+    /// `snapshot` — a batch of calls against one pinned snapshot is
+    /// bit-identical to a serial session holding the same state and
+    /// table, regardless of what writers publish, which samples
+    /// interleaved `execute` calls rotate through, or how many batches
+    /// concurrent [`ConcurrentSession::ingest`] calls append in the
+    /// meantime.
     pub fn execute_at(
         &self,
-        snapshot: &EngineSnapshot,
+        snapshot: &SessionSnapshot,
         sql: &str,
         mode: Mode,
         policy: StopPolicy,
     ) -> Result<QueryOutcome> {
-        let engine = &self.inner.engines[self.inner.fixed_sample];
-        match self.read_at(engine, snapshot, sql, mode, policy)? {
+        let engine = &snapshot.data.engines[self.inner.fixed_sample];
+        match self.read_at(engine, &snapshot.engine, sql, mode, policy)? {
             ReadAttempt::Read(read) => Ok(QueryOutcome::Answered(read.result)),
             ReadAttempt::Unsupported(reasons) => Ok(QueryOutcome::Unsupported(reasons)),
         }
@@ -260,6 +375,80 @@ impl ConcurrentSession {
         Ok(ReadAttempt::Read(read))
     }
 
+    /// Ingests a batch of new rows into the evolving table from any
+    /// thread, serialized with the learn path (readers never block).
+    ///
+    /// Same pipeline as [`crate::VerdictSession::ingest`] — validate,
+    /// estimate Lemma-3 adjustments against the fixed sample, WAL-log
+    /// rows + adjustments first, then grow the table, admit into every
+    /// sample, widen the synopses and refit. The grown table/samples and
+    /// the adjusted engine state are published **together** as the next
+    /// [`SessionSnapshot`], so no reader can ever observe the new table
+    /// with the old synopses or vice versa.
+    pub fn ingest(&self, rows: &[Vec<Value>]) -> Result<IngestReport> {
+        self.surface_store_error()?;
+        let mut writer = self.lock_writer();
+        let snapshot = self.current();
+        if rows.is_empty() {
+            return Ok(IngestReport {
+                appended_rows: 0,
+                admitted_rows: vec![0; self.inner.num_samples],
+                adjusted_keys: 0,
+                adjusted_snippets: 0,
+                skipped_keys: Vec::new(),
+                data_epoch: snapshot.data_epoch(),
+            });
+        }
+        let old = &snapshot.data;
+        // All fallible work first (validation, shift estimation, staged
+        // rewrites + refits) — shared with the serial path; the shift is
+        // estimated against the fixed sample (a concurrent session has
+        // no rotating "active" sample).
+        let prepared = prepare_ingest(
+            writer.learner.engine(),
+            &old.table,
+            old.engines[self.inner.fixed_sample].sample().table(),
+            rows,
+        )?;
+        if let Some(store) = &self.inner.store {
+            store
+                .lock()
+                .append_ingest(rows, &prepared.adjustments)
+                .map_err(Error::Store)?;
+        }
+        // Build the next data set copy-on-write: the table clones once,
+        // each sample's rows clone on its first admission.
+        let mut table = (*old.table).clone();
+        table.push_rows(rows).map_err(Error::Storage)?;
+        let mut engines = old.engines.clone();
+        let mut admitted_rows = Vec::with_capacity(engines.len());
+        for (i, engine) in engines.iter_mut().enumerate() {
+            admitted_rows.push(
+                engine
+                    .absorb_appended(&table, prepared.old_rows as u64, writer.meta.seed, i as u64)
+                    .map_err(Error::Aqp)?,
+            );
+        }
+        let adjusted_snippets = writer.learner.engine_mut().commit_ingest(prepared.staged);
+        writer.learner.republish();
+        let data = Arc::new(DataSet {
+            data_epoch: old.data_epoch + 1,
+            table: Arc::new(table),
+            engines,
+        });
+        let data_epoch = data.data_epoch;
+        self.publish_locked(&writer, Some(data));
+        self.maybe_compact(&mut writer);
+        Ok(IngestReport {
+            appended_rows: rows.len(),
+            admitted_rows,
+            adjusted_keys: prepared.adjustments.len(),
+            adjusted_snippets,
+            skipped_keys: prepared.skipped_keys,
+            data_epoch,
+        })
+    }
+
     /// Offline training pass (Algorithm 1) under the writer lock, then —
     /// for persistent sessions — a checkpoint, so the trained models are
     /// on disk. The new snapshot (with models) is published before this
@@ -268,11 +457,13 @@ impl ConcurrentSession {
         self.surface_store_error()?;
         let mut writer = self.lock_writer();
         writer.learner.train().map_err(Error::Core)?;
+        self.publish_locked(&writer, None);
         self.snapshot_now(&mut writer).map_err(Error::Store)
     }
 
     /// Checkpoints the full learned state into a fresh snapshot
-    /// generation and truncates the snippet log. No-op without a store.
+    /// generation and truncates the log (folding any WAL-pending ingests
+    /// into a new table generation). No-op without a store.
     pub fn checkpoint(&self) -> Result<()> {
         self.surface_store_error()?;
         let mut writer = self.lock_writer();
@@ -281,40 +472,44 @@ impl ConcurrentSession {
 
     /// The one store-snapshot path (explicit checkpoints and piggybacked
     /// compaction), mirroring the serial session's. Caller holds the
-    /// writer lock, so the encoded state cannot move underneath the write.
+    /// writer lock, so neither the encoded state nor the current data set
+    /// can move underneath the write.
     fn snapshot_now(&self, writer: &mut Writer) -> verdict_store::Result<()> {
         let Some(store) = &self.inner.store else {
             return Ok(());
         };
+        let table = Arc::clone(&self.current().data.table);
         let engine = writer.learner.engine();
         let schema_fp = verdict_core::persist::fingerprint(engine.schema());
         let state_bytes = engine.state_bytes();
         store
             .lock()
-            .snapshot_encoded(writer.meta.clone(), schema_fp, &state_bytes)?;
+            .snapshot_encoded(writer.meta.clone(), schema_fp, &state_bytes, &table)?;
         Ok(())
     }
 
     /// Folds the log into a fresh snapshot when the store's compaction
     /// policy asks for it; failures park in the store and surface at the
     /// next `execute`/`checkpoint` (same contract as the serial session).
-    fn maybe_compact(&self) {
+    /// Caller holds the writer lock.
+    fn maybe_compact(&self, writer: &mut Writer) {
         let Some(store) = &self.inner.store else {
             return;
         };
         if !store.lock().needs_compaction() {
             return;
         }
-        let mut writer = self.lock_writer();
-        if let Err(e) = self.snapshot_now(&mut writer) {
+        if let Err(e) = self.snapshot_now(writer) {
             store.lock().park_error(e);
         }
     }
 }
 
 // Compile-time proof of the headline property: a session handle crosses
-// threads. (All fields are Send + Sync; this keeps it that way.)
+// threads, and so does a pinned snapshot pair. (All fields are
+// Send + Sync; this keeps it that way.)
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<ConcurrentSession>();
+    assert_send_sync::<SessionSnapshot>();
 };

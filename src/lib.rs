@@ -68,14 +68,23 @@
 //! warm-starts a session from such a store — the first query after reopen
 //! already enjoys the tightened error bounds the previous session earned
 //! (`cargo run --example persistence`).
+//!
+//! ## Evolving tables
+//!
+//! Tables are not frozen: [`VerdictSession::ingest`] (and
+//! [`ConcurrentSession::ingest`]) appends row batches through the full
+//! stack — table growth, sample maintenance at the correct inclusion
+//! probability, WAL-logged recovery, and automatic Lemma-3 widening of
+//! every stored snippet so stale answers keep honest error bounds until
+//! the next retrain (`cargo run --example ingest`).
 
 pub mod concurrent;
 pub mod session;
 
-pub use concurrent::ConcurrentSession;
+pub use concurrent::{ConcurrentSession, SessionSnapshot};
 pub use session::{
-    CellAnswer, Mode, QueryOutcome, QueryResult, ResultRow, SampleRotation, SessionBuilder,
-    StopPolicy, VerdictSession,
+    CellAnswer, IngestReport, Mode, QueryOutcome, QueryResult, ResultRow, SampleRotation,
+    SessionBuilder, StopPolicy, VerdictSession,
 };
 
 // Re-export the sub-crates under stable names.

@@ -56,6 +56,16 @@
 //! [`verdict_core::EngineSnapshot`]s, funneling the learn path through
 //! one writer mutex; see [`crate::concurrent`] for the dataflow and
 //! which operations are concurrent-safe.
+//!
+//! ## The ingest path (evolving tables)
+//!
+//! Alongside read / learn / train sits the engine's fourth pipeline
+//! stage: [`VerdictSession::ingest`] appends a row batch to the base
+//! table, admits it into every maintained sample at the correct
+//! inclusion probability, WAL-logs rows + adjustments on persistent
+//! sessions, and widens every stored snippet per Appendix D's Lemma 3 so
+//! old answers stay usable with honest error bounds until the next
+//! retrain (`cargo run --release --example ingest`).
 
 use std::path::{Path, PathBuf};
 
@@ -75,10 +85,33 @@ use verdict_sql::{
     check_query, decompose, parse_query, plan_scan, Combiner, Query, ScanPlan, SnippetSpec,
     SupportVerdict, UnsupportedReason,
 };
-use verdict_storage::{distinct_group_keys, AggregateFn, Expr, GroupKey, Predicate, Table};
+use verdict_storage::{distinct_group_keys, AggregateFn, Expr, GroupKey, Predicate, Table, Value};
 use verdict_store::{RecoveryReport, SessionMeta, SharedStore, StorePolicy, SynopsisStore};
 
 use crate::{Error, Result};
+
+/// What one [`VerdictSession::ingest`] (or
+/// [`crate::ConcurrentSession::ingest`]) call did.
+#[derive(Debug, Clone)]
+pub struct IngestReport {
+    /// Rows appended to the base table.
+    pub appended_rows: usize,
+    /// Rows admitted into each maintained sample (index = sample index).
+    pub admitted_rows: Vec<usize>,
+    /// Aggregates whose synopses were adjusted (Lemma 3).
+    pub adjusted_keys: usize,
+    /// Stored snippets rewritten across all adjusted synopses. Zero is
+    /// meaningful: the append predates any learning.
+    pub adjusted_snippets: usize,
+    /// Aggregates whose synopses could **not** be adjusted because their
+    /// expression cannot be re-evaluated over the new data (e.g. a
+    /// non-numeric or vanished column). Their stored answers are now
+    /// stale-without-widening; retrain or
+    /// [`VerdictSession::apply_append`] them manually.
+    pub skipped_keys: Vec<AggKey>,
+    /// The engine's data epoch after this batch.
+    pub data_epoch: u64,
+}
 
 /// How a multi-sample session picks the offline sample each query scans.
 ///
@@ -223,6 +256,9 @@ struct RecoveredState {
     /// overrides that would desynchronize the redrawn sample from the
     /// recovered synopsis.
     meta: SessionMeta,
+    /// Ingested batches the recovered state has folded (snapshot +
+    /// replayed WAL ingest records).
+    data_epoch: u64,
 }
 
 impl SessionBuilder {
@@ -280,6 +316,7 @@ impl SessionBuilder {
                 state: recovered.state,
                 report: recovered.report,
                 meta,
+                data_epoch: recovered.data_epoch,
             }),
         })
     }
@@ -369,20 +406,53 @@ impl SessionBuilder {
     /// creates the store (fresh build) or restores the learned state and
     /// installs the append hook (warm start).
     pub fn build(self) -> Result<VerdictSession> {
+        // On a warm start the recovered table may have grown through
+        // ingested batches. The offline sample is rebuilt exactly as the
+        // live sessions maintained it: draw the *original* sample from
+        // the original row prefix (same seed → bit-identical draw), then
+        // re-admit the appended tail through the same deterministic
+        // per-row admission the ingest path used.
+        let original_rows = match &self.recovered {
+            Some(r) => r.meta.original_rows as usize,
+            None => self.table.num_rows(),
+        };
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut engines = Vec::with_capacity(self.num_samples);
         for _ in 0..self.num_samples {
-            let sample =
-                Sample::uniform(&self.table, self.sample_fraction, self.batch_size, &mut rng)
-                    .map_err(Error::Aqp)?;
+            let sample = Sample::uniform_prefix(
+                &self.table,
+                original_rows,
+                self.sample_fraction,
+                self.batch_size,
+                &mut rng,
+            )
+            .map_err(Error::Aqp)?;
             engines.push(OnlineAggregation::new(sample, self.cost.clone(), self.tier));
         }
-        let schema = SchemaInfo::from_table(&self.table)?;
+        if self.table.num_rows() > original_rows {
+            // Re-admission reads straight from the grown table: the
+            // sample adopts the table's dictionaries and stores admitted
+            // rows as raw codes, exactly as the live ingest path did.
+            for (i, engine) in engines.iter_mut().enumerate() {
+                engine
+                    .absorb_appended(&self.table, original_rows as u64, self.seed, i as u64)
+                    .map_err(Error::Aqp)?;
+            }
+        }
+        // The dimension universe is fixed at session creation. A warm
+        // start must reuse the *persisted* schema: deriving it from the
+        // recovered table would pick up bounds widened by ingested rows
+        // and spuriously reject the stored state as schema-mismatched.
+        let schema = match &self.recovered {
+            Some(r) => r.state.schema.clone(),
+            None => SchemaInfo::from_table(&self.table)?,
+        };
         let meta = SessionMeta {
             sample_fraction: self.sample_fraction,
             batch_size: self.batch_size as u64,
             seed: self.seed,
             num_samples: self.num_samples as u64,
+            original_rows: original_rows as u64,
             config: self.config.clone(),
         };
         let mut verdict = Verdict::new(schema, self.config);
@@ -394,6 +464,7 @@ impl SessionBuilder {
                     state,
                     report,
                     meta: opened_meta,
+                    data_epoch,
                 }),
                 persist,
             ) => {
@@ -446,6 +517,7 @@ impl SessionBuilder {
                     guard.set_policy(self.store_policy.clone());
                 }
                 verdict.restore_state(state).map_err(Error::Core)?;
+                verdict.set_data_epoch(data_epoch);
                 (Some(store), Some(report))
             }
             (None, Some(path)) => {
@@ -615,7 +687,8 @@ impl VerdictSession {
 
     /// The one snapshot-writing path, shared by explicit checkpoints and
     /// query-piggybacked compaction (which park the error instead of
-    /// propagating it). No-op without a store.
+    /// propagating it). No-op without a store. Ingested batches pending in
+    /// the WAL are folded into a fresh table generation here.
     fn snapshot_now(&mut self) -> verdict_store::Result<()> {
         let Some(store) = &self.store else {
             return Ok(());
@@ -624,7 +697,7 @@ impl VerdictSession {
         let state_bytes = self.verdict.state_bytes();
         store
             .lock()
-            .snapshot_encoded(self.meta.clone(), schema_fp, &state_bytes)?;
+            .snapshot_encoded(self.meta.clone(), schema_fp, &state_bytes, &self.table)?;
         Ok(())
     }
 
@@ -647,20 +720,107 @@ impl VerdictSession {
         self.checkpoint()
     }
 
-    /// Applies a data-append adjustment (Appendix D) to the synopsis of
-    /// `key` and refits its model, then — for persistent sessions —
-    /// checkpoints immediately: the adjustment rewrites stored
-    /// observations in place, which the incremental snippet log cannot
-    /// express, so only a fresh snapshot makes it durable.
+    /// Applies a data-append adjustment (Appendix D, Lemma 3) to the
+    /// synopsis of `key` and refits its model, then — for persistent
+    /// sessions — checkpoints immediately: a manual adjustment rewrites
+    /// stored observations in place without a WAL record, so only a fresh
+    /// snapshot makes it durable. (The [`VerdictSession::ingest`] path
+    /// logs its adjustments and does not need the eager checkpoint.)
+    ///
+    /// Returns how many stored snippets were adjusted; `0` means `key`
+    /// has no synopsis yet, which callers should treat as "nothing was
+    /// widened" rather than success-with-effect. Units as documented on
+    /// [`verdict_core::append::AppendAdjustment::estimate`]: `µ`/`η` are
+    /// in the aggregate's own value units (relative frequency for
+    /// `FREQ`), scaled by `|r_a| / (|r| + |r_a|)`.
     pub fn apply_append(
         &mut self,
         key: &AggKey,
         adjustment: &verdict_core::append::AppendAdjustment,
-    ) -> Result<()> {
-        self.verdict
+    ) -> Result<usize> {
+        let adjusted = self
+            .verdict
             .apply_append(key, adjustment)
             .map_err(Error::Core)?;
-        self.checkpoint()
+        self.checkpoint()?;
+        Ok(adjusted)
+    }
+
+    /// Ingests a batch of new rows into the evolving table — the engine's
+    /// fourth pipeline stage (read / learn / train / **ingest**).
+    ///
+    /// One call drives the full stack:
+    ///
+    /// 1. the batch is validated against the schema (atomically — a bad
+    ///    row rejects the whole batch before anything mutates);
+    /// 2. a Lemma-3 [`verdict_core::append::AppendAdjustment`] is
+    ///    estimated for every synopsis aggregate — per-column shift from
+    ///    the *current sample* vs the incoming batch for `AVG` keys, the
+    ///    conservative worst case for `FREQ`;
+    /// 3. the engine-side rewrites and model refits are **staged**
+    ///    (fallible work with no mutation), then on persistent sessions
+    ///    rows + adjustments are logged to the WAL (fail-fast: a refused
+    ///    append or a failed refit leaves memory and disk consistent;
+    ///    recovery replays complete batches only);
+    /// 4. the base table grows, every maintained sample admits the new
+    ///    rows at the correct inclusion probability (deterministic
+    ///    per-row admission, so recovery rebuilds the same sample), and
+    ///    the engine widens every affected synopsis and refits its
+    ///    models (`data_epoch` bumps once).
+    ///
+    /// Old answers stay usable with honestly wider error bounds;
+    /// [`VerdictSession::train`] re-tightens from fresh observations.
+    pub fn ingest(&mut self, rows: &[Vec<Value>]) -> Result<IngestReport> {
+        self.surface_store_error()?;
+        if rows.is_empty() {
+            return Ok(IngestReport {
+                appended_rows: 0,
+                admitted_rows: vec![0; self.engines.len()],
+                adjusted_keys: 0,
+                adjusted_snippets: 0,
+                skipped_keys: Vec::new(),
+                data_epoch: self.verdict.data_epoch(),
+            });
+        }
+        // All fallible work first (validation, shift estimation, staged
+        // synopsis rewrites + model refits), shared with the concurrent
+        // path; see `prepare_ingest` for the ordering rationale.
+        let prepared = prepare_ingest(
+            &self.verdict,
+            &self.table,
+            self.engines[self.active].sample().table(),
+            rows,
+        )?;
+        if let Some(store) = &self.store {
+            store
+                .lock()
+                .append_ingest(rows, &prepared.adjustments)
+                .map_err(Error::Store)?;
+        }
+        self.table.push_rows(rows).map_err(Error::Storage)?;
+        let mut admitted_rows = Vec::with_capacity(self.engines.len());
+        for (i, engine) in self.engines.iter_mut().enumerate() {
+            admitted_rows.push(
+                engine
+                    .absorb_appended(
+                        &self.table,
+                        prepared.old_rows as u64,
+                        self.meta.seed,
+                        i as u64,
+                    )
+                    .map_err(Error::Aqp)?,
+            );
+        }
+        let adjusted_snippets = self.verdict.commit_ingest(prepared.staged);
+        self.maybe_compact();
+        Ok(IngestReport {
+            appended_rows: rows.len(),
+            admitted_rows,
+            adjusted_keys: prepared.adjustments.len(),
+            adjusted_snippets,
+            skipped_keys: prepared.skipped_keys,
+            data_epoch: self.verdict.data_epoch(),
+        })
     }
 
     /// Exact (ground-truth) answer for an aggregate over the *base* table;
@@ -836,6 +996,123 @@ pub(crate) fn plan_shared_scan(
     let sample_table = engine.sample().table();
     let group_keys = enumerate_groups(query, sample_table)?;
     Ok(plan_scan(query, sample_table, &group_keys, nmax)?)
+}
+
+/// Everything fallible about one ingest, computed up front: the batch
+/// validated, every adjustment estimated, and the engine-side rewrites +
+/// refits staged (no engine mutation yet). Both session flavors order
+/// `prepare → WAL append → grow table → admit into samples → commit`, so
+/// a failure at any step — a bad row, an oversized WAL record, a refit
+/// that cannot factorize — leaves memory and disk fully consistent, and
+/// a WAL record is never written for an adjustment the engine then fails
+/// to apply.
+pub(crate) struct PreparedIngest {
+    /// Table rows before the batch.
+    pub(crate) old_rows: usize,
+    /// Per-aggregate Lemma-3 adjustments (what gets WAL-logged).
+    pub(crate) adjustments: Vec<(AggKey, verdict_core::append::AppendAdjustment)>,
+    /// Aggregates whose expression could not be re-evaluated.
+    pub(crate) skipped_keys: Vec<AggKey>,
+    /// The staged engine-side rewrites, ready to commit.
+    pub(crate) staged: verdict_core::StagedIngest,
+}
+
+/// Validates `rows` and stages the full engine-side effect of ingesting
+/// them (see [`PreparedIngest`]). `sample_table` is the sample the shift
+/// is estimated against: the serial session passes its *active* sample,
+/// the concurrent session its fixed sample — the estimates may differ
+/// across wrappers, which is sound because the chosen values are what
+/// gets WAL-logged and replayed.
+pub(crate) fn prepare_ingest(
+    verdict: &Verdict,
+    table: &Table,
+    sample_table: &Table,
+    rows: &[Vec<Value>],
+) -> Result<PreparedIngest> {
+    // Validation surface: materializing the batch as its own table both
+    // validates every row (atomically) and gives the shift estimator
+    // numeric columns to evaluate aggregate expressions over, before the
+    // main table is touched.
+    let mut batch_table = Table::new(table.schema().clone());
+    batch_table.push_rows(rows).map_err(Error::Storage)?;
+    let old_rows = table.num_rows();
+    let (adjustments, skipped_keys) = compute_ingest_adjustments(
+        &verdict.synopsis_keys(),
+        sample_table,
+        &batch_table,
+        old_rows,
+        rows.len(),
+    );
+    let staged = verdict.stage_ingest(&adjustments).map_err(Error::Core)?;
+    Ok(PreparedIngest {
+        old_rows,
+        adjustments,
+        skipped_keys,
+        staged,
+    })
+}
+
+/// Estimates one ingested batch's Lemma-3 adjustment per synopsis
+/// aggregate (shared by the serial and concurrent ingest paths).
+///
+/// For an `AVG(expr)` key the shift distribution is estimated from the
+/// expression evaluated over the **current sample** (a uniform stand-in
+/// for the old relation — the paper estimates `µ_k`, `η_k` "from small
+/// samples of `r` and `r_a`") versus the incoming batch. For `FREQ` the
+/// per-region indicator cannot be evaluated key-wide, so the conservative
+/// worst case applies. Keys whose expression cannot be parsed or
+/// evaluated over numeric columns are skipped and reported, never
+/// silently dropped.
+///
+/// The adjustment list is deterministic (keys pre-sorted by the caller
+/// via `Verdict::synopsis_keys`), and it is what gets WAL-logged — replay
+/// applies these exact values, so recomputation never has to agree with a
+/// sample state that no longer exists.
+pub(crate) fn compute_ingest_adjustments(
+    keys: &[AggKey],
+    sample_table: &Table,
+    batch_table: &Table,
+    old_rows: usize,
+    appended_rows: usize,
+) -> (
+    Vec<(AggKey, verdict_core::append::AppendAdjustment)>,
+    Vec<AggKey>,
+) {
+    use verdict_core::append::AppendAdjustment;
+    let mut adjustments = Vec::with_capacity(keys.len());
+    let mut skipped = Vec::new();
+    for key in keys {
+        match key {
+            AggKey::Freq => adjustments.push((
+                key.clone(),
+                AppendAdjustment::freq_worst_case(old_rows, appended_rows),
+            )),
+            AggKey::Avg(expr_str) => {
+                let adjustment = Expr::parse(expr_str).ok().and_then(|expr| {
+                    let old_values = eval_expr_column(&expr, sample_table)?;
+                    let new_values = eval_expr_column(&expr, batch_table)?;
+                    Some(AppendAdjustment::estimate(
+                        &old_values,
+                        &new_values,
+                        old_rows,
+                        appended_rows,
+                    ))
+                });
+                match adjustment {
+                    Some(a) => adjustments.push((key.clone(), a)),
+                    None => skipped.push(key.clone()),
+                }
+            }
+        }
+    }
+    (adjustments, skipped)
+}
+
+/// Evaluates `expr` over every row of `table`; `None` if the expression
+/// does not compile against the table (missing or non-numeric column).
+fn eval_expr_column(expr: &Expr, table: &Table) -> Option<Vec<f64>> {
+    let compiled = expr.compile(table).ok()?;
+    Some((0..table.num_rows()).map(|r| compiled.eval(r)).collect())
 }
 
 /// What one read-path execution produced: the answered result, the raw

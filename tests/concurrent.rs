@@ -143,6 +143,108 @@ fn stress_writers_and_readers_lose_nothing() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Writers, readers, **and an ingester** hammer one persistent session:
+/// (a) no snippet is lost, (b) every ingested batch lands exactly once —
+/// final table rows and data epoch account for all of them, (c) epochs
+/// and data epochs only move forward for every reader, and (d) a
+/// train + checkpoint + reopen recovers the evolved table *and* the
+/// learned state bit-identically.
+#[test]
+fn stress_writers_readers_and_ingester() {
+    const WRITERS: usize = 2;
+    const QUERIES_PER_WRITER: usize = 6;
+    const READERS: usize = 2;
+    const READS_PER_READER: usize = 25;
+    const INGESTS: usize = 5;
+    const ROWS_PER_INGEST: usize = 40;
+    const BASE_ROWS: usize = 20_000;
+
+    let dir = temp_store("ingest-stress");
+    let session = SessionBuilder::new(base_table(BASE_ROWS))
+        .sample_fraction(0.2)
+        .batch_size(200)
+        .seed(5)
+        .persist_to(&dir)
+        .build_concurrent()
+        .unwrap();
+
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let session = &session;
+            scope.spawn(move || writer_workload(session, w, QUERIES_PER_WRITER));
+        }
+        {
+            let session = &session;
+            scope.spawn(move || {
+                for k in 0..INGESTS {
+                    let rows: Vec<Vec<verdict_storage::Value>> = (0..ROWS_PER_INGEST)
+                        .map(|i| {
+                            let week = 1.0 + ((k * ROWS_PER_INGEST + i) % 100) as f64;
+                            let region = ["us", "eu", "jp"][i % 3];
+                            let rev = 110.0 + k as f64; // drifting upward
+                            vec![week.into(), region.into(), rev.into()]
+                        })
+                        .collect();
+                    let report = session.ingest(&rows).unwrap();
+                    assert_eq!(report.appended_rows, ROWS_PER_INGEST);
+                }
+            });
+        }
+        for _ in 0..READERS {
+            let session = &session;
+            scope.spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut last_data = 0u64;
+                for _ in 0..READS_PER_READER {
+                    let snap = session.snapshot();
+                    assert!(snap.epoch() >= last_epoch, "epoch went backwards");
+                    assert!(snap.data_epoch() >= last_data, "data epoch went backwards");
+                    last_epoch = snap.epoch();
+                    last_data = snap.data_epoch();
+                    let r = session
+                        .execute(
+                            "SELECT AVG(rev) FROM t WHERE week <= 50",
+                            Mode::NoLearn,
+                            StopPolicy::TupleBudget(400),
+                        )
+                        .unwrap()
+                        .unwrap_answered();
+                    assert!(r.rows[0].values[0].raw_error.is_finite());
+                }
+            });
+        }
+    });
+
+    // Every batch landed exactly once; every snippet survived.
+    assert_eq!(session.data_epoch(), INGESTS as u64);
+    assert_eq!(
+        session.table().num_rows(),
+        BASE_ROWS + INGESTS * ROWS_PER_INGEST
+    );
+    assert_eq!(
+        session.snapshot().stats().observed,
+        (WRITERS * QUERIES_PER_WRITER) as u64,
+        "lost snippets"
+    );
+
+    // Durability: the evolved table and learned state reopen
+    // bit-identically (train folds the WAL, including ingest records,
+    // into a fresh snapshot + table generation).
+    session.train().unwrap();
+    let expected_bytes = session.snapshot().state_bytes();
+    let expected_rows = session.table().num_rows();
+    drop(session);
+    let reopened = SessionBuilder::open(&dir).unwrap().build().unwrap();
+    assert_eq!(reopened.table().num_rows(), expected_rows);
+    assert_eq!(reopened.verdict().data_epoch(), INGESTS as u64);
+    assert_eq!(
+        reopened.verdict().state_bytes(),
+        expected_bytes,
+        "recovered state diverged from the in-memory state"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// `Mode::NoLearn` queries are pure reads: no counter moves, no epoch
 /// moves, no snippet recorded — the writer mutex is never taken.
 #[test]
