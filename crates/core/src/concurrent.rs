@@ -92,6 +92,14 @@ impl EngineSnapshot {
         self.synopses.get(key).map_or(0, |s| s.len())
     }
 
+    /// Every key the snapshot retains a synopsis for, sorted (the map
+    /// itself has no stable order).
+    pub fn synopsis_keys(&self) -> Vec<AggKey> {
+        let mut keys: Vec<AggKey> = self.synopses.keys().cloned().collect();
+        keys.sort();
+        keys
+    }
+
     /// Whether the snapshot carries a trained model for `key`.
     pub fn has_model(&self, key: &AggKey) -> bool {
         self.models.contains_key(key)

@@ -50,7 +50,7 @@ pub use engine::{EngineStats, EngineView, ImprovedAnswer, SnippetObserver, Stage
 pub use kernel::KernelParams;
 pub use persist::{EngineState, Persist, PersistError};
 pub use region::{DimKind, DimensionSpec, Region, SchemaInfo};
-pub use snippet::{AggKey, Observation, Snippet};
+pub use snippet::{AggKey, Observation, QualifiedAggKey, Snippet};
 pub use synopsis::QuerySynopsis;
 
 /// Errors raised by the inference engine.

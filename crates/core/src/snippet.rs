@@ -33,6 +33,55 @@ impl AggKey {
     pub fn is_freq(&self) -> bool {
         matches!(self, AggKey::Freq)
     }
+
+    /// Qualifies this key with the table it was learned over, yielding
+    /// its catalog-level identity.
+    pub fn qualify(&self, table: &str) -> QualifiedAggKey {
+        QualifiedAggKey::new(table, self.clone())
+    }
+}
+
+/// The catalog-level identity of a learned aggregate: an [`AggKey`]
+/// qualified by the table it was learned over.
+///
+/// Within one table's engine, keys are unqualified (`AVG(rev)`), exactly
+/// as before the multi-table catalog existed — which is what keeps
+/// single-table state bytes stable across the API generations. A
+/// multi-table `Database` holds one engine *per table*, so
+/// `orders.AVG(rev)` and `events.AVG(rev)` live in disjoint synopses and
+/// can never collide; this type is how the catalog surface names them.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QualifiedAggKey {
+    /// The table the aggregate was learned over.
+    pub table: String,
+    /// The per-table aggregate key.
+    pub key: AggKey,
+}
+
+impl QualifiedAggKey {
+    /// Constructs a qualified key.
+    pub fn new(table: impl Into<String>, key: AggKey) -> Self {
+        QualifiedAggKey {
+            table: table.into(),
+            key,
+        }
+    }
+
+    /// Key for `AVG` over a named measure expression of `table`.
+    pub fn avg(table: &str, expr: &str) -> Self {
+        QualifiedAggKey::new(table, AggKey::avg(expr))
+    }
+
+    /// Key for `FREQ(*)` of `table`.
+    pub fn freq(table: &str) -> Self {
+        QualifiedAggKey::new(table, AggKey::Freq)
+    }
+}
+
+impl std::fmt::Display for QualifiedAggKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.table, self.key)
+    }
 }
 
 impl std::fmt::Display for AggKey {
@@ -88,6 +137,19 @@ impl Observation {
 mod tests {
     use super::*;
     use crate::{DimensionSpec, SchemaInfo};
+
+    #[test]
+    fn qualified_keys_namespace_by_table() {
+        let orders = AggKey::avg("rev").qualify("orders");
+        let events = AggKey::avg("rev").qualify("events");
+        assert_ne!(orders, events, "same expression, different tables");
+        assert_eq!(orders.to_string(), "orders.AVG(rev)");
+        assert_eq!(
+            QualifiedAggKey::freq("events").to_string(),
+            "events.FREQ(*)"
+        );
+        assert_eq!(QualifiedAggKey::avg("orders", "rev"), orders);
+    }
 
     #[test]
     fn agg_key_display() {

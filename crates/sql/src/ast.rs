@@ -54,6 +54,10 @@ pub enum ScalarExpr {
     Neg(Box<ScalarExpr>),
     /// `*` inside `COUNT(*)`.
     Star,
+    /// `?` — a positional placeholder in a prepared statement, numbered
+    /// left to right from 0. Placeholders are only meaningful through
+    /// [`crate::prepared`]; the ad-hoc resolution path rejects them.
+    Placeholder(usize),
     /// An aggregate call appearing inside a `HAVING` predicate
     /// (e.g. `HAVING COUNT(*) > 10`). Verdict applies `HAVING` to the
     /// result set returned by the AQP engine (§2.2 item 4).
@@ -107,6 +111,7 @@ impl ScalarExpr {
             }
             ScalarExpr::Neg(e) => format!("(-{})", e.display()),
             ScalarExpr::Star => "*".to_owned(),
+            ScalarExpr::Placeholder(i) => format!("?{}", i + 1),
             ScalarExpr::AggCall { func, arg } => {
                 let name = match func {
                     AggFunc::Avg => "AVG",
@@ -140,7 +145,10 @@ impl ScalarExpr {
             }
             ScalarExpr::Neg(e) => e.collect(out),
             ScalarExpr::AggCall { arg, .. } => arg.collect(out),
-            ScalarExpr::Number(_) | ScalarExpr::String(_) | ScalarExpr::Star => {}
+            ScalarExpr::Number(_)
+            | ScalarExpr::String(_)
+            | ScalarExpr::Star
+            | ScalarExpr::Placeholder(_) => {}
         }
     }
 }
@@ -248,6 +256,8 @@ pub struct Query {
     /// Whether the statement contained a sub-query anywhere (the parser
     /// flags and skips it; the checker reports it as unsupported).
     pub has_subquery: bool,
+    /// Number of `?` placeholders in the statement (lexical order).
+    pub placeholders: usize,
 }
 
 impl Query {
@@ -325,6 +335,7 @@ mod tests {
             group_by: vec![ScalarExpr::col("g")],
             having: None,
             has_subquery: false,
+            placeholders: 0,
         };
         assert!(q.has_aggregate());
         assert_eq!(q.aggregates().len(), 1);

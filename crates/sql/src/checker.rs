@@ -18,8 +18,10 @@ use crate::ast::{Query, ScalarExpr, WherePred};
 
 /// Why a query cannot be improved by Verdict. The variants mirror the
 /// paper's stated exclusions; the generality experiment (Table 3) counts
-/// them per workload.
+/// them per workload. Non-exhaustive: the supported-query frontier moves
+/// as the engine grows, so downstream matches must keep a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum UnsupportedReason {
     /// No aggregate function in the select list.
     NoAggregate,
@@ -220,7 +222,9 @@ fn is_column_like(e: &ScalarExpr) -> bool {
 
 fn is_literal(e: &ScalarExpr) -> bool {
     match e {
-        ScalarExpr::Number(_) | ScalarExpr::String(_) => true,
+        // A placeholder stands where a literal will be bound, so prepared
+        // statements pass the same class check as their bound forms.
+        ScalarExpr::Number(_) | ScalarExpr::String(_) | ScalarExpr::Placeholder(_) => true,
         ScalarExpr::Neg(inner) => is_literal(inner),
         _ => false,
     }

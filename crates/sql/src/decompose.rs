@@ -85,12 +85,12 @@ pub fn decompose(
 /// the single implicit group `(None, base)`. Keeping this in one place is
 /// load-bearing: the parity contract between the two executors requires
 /// identical predicates per group.
-struct GroupExpansion {
-    groups: Vec<(Option<GroupKey>, Predicate)>,
-    truncated: bool,
+pub(crate) struct GroupExpansion {
+    pub(crate) groups: Vec<(Option<GroupKey>, Predicate)>,
+    pub(crate) truncated: bool,
 }
 
-fn expand_groups(
+pub(crate) fn expand_groups(
     table: &Table,
     base_predicate: &Predicate,
     group_cols: &[String],
@@ -127,7 +127,7 @@ fn expand_groups(
 }
 
 /// The grouping column names of a checked query (must be plain columns).
-fn group_columns(query: &Query) -> Result<Vec<String>> {
+pub(crate) fn group_columns(query: &Query) -> Result<Vec<String>> {
     query
         .group_by
         .iter()
@@ -236,6 +236,22 @@ pub fn plan_scan(
         None => Predicate::True,
     };
     let group_cols = group_columns(query)?;
+    let (primitives, aggregates) = plan_aggregates(query)?;
+    assemble_scan_plan(
+        base_predicate,
+        group_cols,
+        primitives,
+        aggregates,
+        table,
+        group_keys,
+        nmax,
+    )
+}
+
+/// The literal-independent half of [`plan_scan`]: maps the select list
+/// onto deduplicated primitive streams. Shared with the prepared-statement
+/// path, which computes this once at prepare time.
+pub(crate) fn plan_aggregates(query: &Query) -> Result<(Vec<AggregateFn>, Vec<AggregateSpec>)> {
     let aggs = select_aggregates(query)?;
 
     // Deduplicate primitive streams across the select list.
@@ -289,7 +305,22 @@ pub fn plan_scan(
             }
         })
         .collect();
+    Ok((primitives, aggregates))
+}
 
+/// Assembles a [`ScanPlan`] from pre-planned parts plus the bound base
+/// predicate and the enumerated groups. The final planning step shared by
+/// [`plan_scan`] and [`crate::prepared::PreparedQuery`].
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_scan_plan(
+    base_predicate: Predicate,
+    group_cols: Vec<String>,
+    primitives: Vec<AggregateFn>,
+    aggregates: Vec<AggregateSpec>,
+    table: &Table,
+    group_keys: &[GroupKey],
+    nmax: usize,
+) -> Result<ScanPlan> {
     let expansion = expand_groups(table, &base_predicate, &group_cols, group_keys, nmax)?;
     let truncated = expansion.truncated;
     let (groups, group_predicates) = expansion.groups.into_iter().unzip();

@@ -42,6 +42,8 @@ pub enum Token {
     Gt,
     /// `>=`
     GtEq,
+    /// `?` — a positional placeholder in a prepared statement.
+    Question,
 }
 
 impl Token {
@@ -138,6 +140,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>> {
             '.' => {
                 // `.5` style numbers are not supported; standalone dot.
                 tokens.push(Token::Dot);
+                i += 1;
+            }
+            '?' => {
+                tokens.push(Token::Question);
                 i += 1;
             }
             '\'' => {
@@ -277,5 +283,11 @@ mod tests {
     #[test]
     fn bad_character_is_error() {
         assert!(tokenize("SELECT @").is_err());
+    }
+
+    #[test]
+    fn question_mark_placeholder() {
+        let toks = tokenize("a BETWEEN ? AND ?").unwrap();
+        assert_eq!(toks.iter().filter(|t| **t == Token::Question).count(), 2);
     }
 }

@@ -14,13 +14,18 @@
 //!   (aggregate function × group value), with group values injected as
 //!   equality predicates and capped at `N_max`;
 //! - [`resolve`]: binds checked predicates/aggregates against a concrete
-//!   table (label → dictionary-code resolution, `Expr` construction).
+//!   table (label → dictionary-code resolution, `Expr` construction) and
+//!   resolves `FROM` names against a catalog of registered tables;
+//! - [`prepared`]: prepared statements — `?` placeholders compile into a
+//!   parameterized plan template once, and each execution only re-binds
+//!   literals (the hot serving path skips lex/parse/check/decompose).
 
 pub mod ast;
 pub mod checker;
 pub mod decompose;
 pub mod lexer;
 pub mod parser;
+pub mod prepared;
 pub mod resolve;
 
 pub use ast::{AggFunc, Query, ScalarExpr, SelectItem, WherePred};
@@ -29,6 +34,8 @@ pub use decompose::{
     decompose, plan_scan, AggregateSpec, Combiner, DecomposedQuery, ScanPlan, SnippetSpec,
 };
 pub use parser::parse_query;
+pub use prepared::{prepare_query, ParamKind, PreparedQuery};
+pub use resolve::resolve_from;
 
 /// Errors from the SQL front-end.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +56,28 @@ pub enum SqlError {
     },
     /// Semantic resolution error (unknown column/table, type mismatch).
     Resolve(String),
+    /// `FROM` (or a catalog lookup) names a table the catalog does not
+    /// know.
+    UnknownTable {
+        /// The unresolved table name.
+        name: String,
+        /// The catalog's registered table names.
+        known: Vec<String>,
+    },
+    /// A prepared statement was bound with the wrong number of parameters.
+    PlaceholderCount {
+        /// Placeholders in the statement.
+        expected: usize,
+        /// Parameters supplied to `bind`.
+        got: usize,
+    },
+    /// A bound parameter's type does not fit its placeholder's column.
+    PlaceholderType {
+        /// Zero-based placeholder index.
+        index: usize,
+        /// What was expected vs supplied.
+        message: String,
+    },
     /// Storage-layer error.
     Storage(verdict_storage::StorageError),
 }
@@ -69,6 +98,19 @@ impl std::fmt::Display for SqlError {
                 write!(f, "parse error at token {position}: {message}")
             }
             SqlError::Resolve(m) => write!(f, "resolution error: {m}"),
+            SqlError::UnknownTable { name, known } => {
+                write!(
+                    f,
+                    "unknown table {name}; catalog has [{}]",
+                    known.join(", ")
+                )
+            }
+            SqlError::PlaceholderCount { expected, got } => {
+                write!(f, "statement has {expected} placeholder(s), {got} bound")
+            }
+            SqlError::PlaceholderType { index, message } => {
+                write!(f, "parameter {index} type mismatch: {message}")
+            }
             SqlError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }

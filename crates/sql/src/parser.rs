@@ -35,6 +35,7 @@ pub fn parse_query(sql: &str) -> Result<Query> {
         tokens,
         pos: 0,
         has_subquery: false,
+        placeholders: 0,
     };
     p.query()
 }
@@ -43,6 +44,7 @@ struct Parser {
     tokens: Vec<Token>,
     pos: usize,
     has_subquery: bool,
+    placeholders: usize,
 }
 
 impl Parser {
@@ -157,6 +159,7 @@ impl Parser {
             group_by,
             having,
             has_subquery: self.has_subquery,
+            placeholders: self.placeholders,
         })
     }
 
@@ -329,6 +332,11 @@ impl Parser {
         match self.next() {
             Some(Token::Number(n)) => Ok(ScalarExpr::Number(n)),
             Some(Token::StringLit(s)) => Ok(ScalarExpr::String(s)),
+            Some(Token::Question) => {
+                let index = self.placeholders;
+                self.placeholders += 1;
+                Ok(ScalarExpr::Placeholder(index))
+            }
             Some(Token::Minus) => Ok(ScalarExpr::Neg(Box::new(self.factor()?))),
             Some(Token::LParen) => {
                 if self.peek().is_some_and(|t| t.is_kw("select")) {
@@ -468,6 +476,29 @@ mod tests {
         }
         let q = parse_query("SELECT g, COUNT(*) FROM t GROUP BY g HAVING g > 10").unwrap();
         assert!(q.having.is_some());
+    }
+
+    #[test]
+    fn placeholders_numbered_in_lexical_order() {
+        let q = parse_query("SELECT AVG(m) FROM orders WHERE d0 BETWEEN ? AND ? AND region = ?")
+            .unwrap();
+        assert_eq!(q.placeholders, 3);
+        match q.where_clause.unwrap() {
+            WherePred::And(l, r) => {
+                match *l {
+                    WherePred::Between { lo, hi, .. } => {
+                        assert_eq!(lo, ScalarExpr::Placeholder(0));
+                        assert_eq!(hi, ScalarExpr::Placeholder(1));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+                match *r {
+                    WherePred::Cmp { rhs, .. } => assert_eq!(rhs, ScalarExpr::Placeholder(2)),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,707 @@
+//! Prepared statements: parameterized plans compiled once, bound per run.
+//!
+//! [`prepare_query`] runs the literal-*independent* half of planning a
+//! single time — select-list → deduplicated primitive streams (the
+//! [`crate::plan_scan`] mapping), group columns, and the `WHERE` tree
+//! compiled against the table's schema into a [`PreparedQuery`] whose
+//! literal positions are slots. Each execution then only *binds*: slot
+//! values are substituted (with typed count/type errors), categorical
+//! labels resolve against the current dictionary, and the final
+//! [`ScanPlan`] is assembled without touching the lexer, parser, checker,
+//! or decomposer again.
+//!
+//! Binding mirrors [`crate::resolve::to_predicate`] constructor for
+//! constructor — including the quirks (an unknown categorical label
+//! matches nothing rather than erroring; `<>` complements within the
+//! *current* dictionary) — so a prepared execution is bit-identical to
+//! ad-hoc execution of the same statement with the literals inlined.
+//! Labels and complements are resolved at bind time, not prepare time, on
+//! purpose: ingest can extend a dictionary, and the prepared path must
+//! keep agreeing with the ad-hoc path afterwards.
+
+use verdict_storage::{AggregateFn, ColumnType, GroupKey, Predicate, Table, Value};
+
+use crate::ast::{CmpOp, Query, ScalarExpr, WherePred};
+use crate::decompose::{assemble_scan_plan, group_columns, plan_aggregates, AggregateSpec};
+use crate::{Result, ScanPlan, SqlError};
+
+/// What a placeholder slot accepts at bind time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamKind {
+    /// Compared against a numeric column: bind a [`Value::Num`].
+    Numeric,
+    /// Compared against a categorical column: bind a [`Value::Str`] label
+    /// (resolved through the dictionary; unknown labels match nothing,
+    /// exactly like an ad-hoc literal) or a raw [`Value::Cat`] code.
+    Categorical,
+}
+
+/// A numeric literal position: fixed at prepare time or bound per run.
+#[derive(Debug, Clone)]
+enum NumSlot {
+    Const(f64),
+    Param(usize),
+}
+
+/// A categorical literal position. Labels (and numeric codes) stay
+/// symbolic until bind so dictionary growth cannot desynchronize the
+/// prepared path from the ad-hoc path.
+#[derive(Debug, Clone)]
+enum CatSlot {
+    Label(String),
+    Code(u32),
+    Param(usize),
+}
+
+/// The `WHERE` tree compiled against a schema, with literal slots.
+/// Variants correspond one-to-one with the predicates
+/// [`crate::resolve::to_predicate`] can emit.
+#[derive(Debug, Clone)]
+enum PredTemplate {
+    True,
+    And(Box<PredTemplate>, Box<PredTemplate>),
+    Between {
+        col: String,
+        lo: NumSlot,
+        hi: NumSlot,
+    },
+    Less {
+        col: String,
+        bound: NumSlot,
+        inclusive: bool,
+    },
+    Greater {
+        col: String,
+        bound: NumSlot,
+        inclusive: bool,
+    },
+    /// `col = v` on a numeric column (binds to the point range `[v, v]`).
+    NumEq {
+        col: String,
+        value: NumSlot,
+    },
+    CatIn {
+        col: String,
+        items: Vec<CatSlot>,
+    },
+    /// `col <> v`: complement within the dictionary observed at bind time.
+    CatComplement {
+        col: String,
+        items: Vec<CatSlot>,
+    },
+}
+
+/// A statement prepared against one table: the plan's literal-independent
+/// parts plus the predicate template. `Clone`-cheap relative to planning;
+/// `Send + Sync` so one prepared statement can serve many threads.
+#[derive(Debug, Clone)]
+pub struct PreparedQuery {
+    group_cols: Vec<String>,
+    primitives: Vec<AggregateFn>,
+    aggregates: Vec<AggregateSpec>,
+    template: PredTemplate,
+    /// Accepted kind per placeholder index.
+    params: Vec<ParamKind>,
+}
+
+impl PreparedQuery {
+    /// Number of `?` placeholders the statement binds.
+    pub fn placeholder_count(&self) -> usize {
+        self.params.len()
+    }
+
+    /// The accepted kind of each placeholder, by index.
+    pub fn param_kinds(&self) -> &[ParamKind] {
+        &self.params
+    }
+
+    /// The statement's `GROUP BY` columns (empty when ungrouped). Callers
+    /// enumerate the groups present in their sample with the bound base
+    /// predicate before assembling the plan.
+    pub fn group_cols(&self) -> &[String] {
+        &self.group_cols
+    }
+
+    /// The deduplicated primitive streams the plan scans.
+    pub fn primitives(&self) -> &[AggregateFn] {
+        &self.primitives
+    }
+
+    /// Binds the statement's base predicate. `table` supplies the
+    /// dictionary for label resolution (pass the table the plan will
+    /// scan). Count and type mismatches return
+    /// [`SqlError::PlaceholderCount`] / [`SqlError::PlaceholderType`].
+    pub fn bind(&self, table: &Table, params: &[Value]) -> Result<Predicate> {
+        if params.len() != self.params.len() {
+            return Err(SqlError::PlaceholderCount {
+                expected: self.params.len(),
+                got: params.len(),
+            });
+        }
+        bind_template(&self.template, table, params)
+    }
+
+    /// Assembles the final [`ScanPlan`] from an already-bound base
+    /// predicate (see [`PreparedQuery::bind`]) and the enumerated group
+    /// keys — the whole SQL layer is skipped.
+    pub fn plan_bound(
+        &self,
+        base_predicate: Predicate,
+        table: &Table,
+        group_keys: &[GroupKey],
+        nmax: usize,
+    ) -> Result<ScanPlan> {
+        assemble_scan_plan(
+            base_predicate,
+            self.group_cols.clone(),
+            self.primitives.clone(),
+            self.aggregates.clone(),
+            table,
+            group_keys,
+            nmax,
+        )
+    }
+
+    /// Convenience: [`PreparedQuery::bind`] + [`PreparedQuery::plan_bound`].
+    pub fn plan(
+        &self,
+        table: &Table,
+        params: &[Value],
+        group_keys: &[GroupKey],
+        nmax: usize,
+    ) -> Result<ScanPlan> {
+        let base = self.bind(table, params)?;
+        self.plan_bound(base, table, group_keys, nmax)
+    }
+}
+
+/// Compiles a checked query into a [`PreparedQuery`] against `table`'s
+/// schema. Placeholders may appear only where predicate literals may;
+/// one anywhere else (select list, `GROUP BY`, `HAVING`, joins) is a
+/// resolution error.
+pub fn prepare_query(query: &Query, table: &Table) -> Result<PreparedQuery> {
+    let group_cols = group_columns(query)?;
+    let (primitives, aggregates) = plan_aggregates(query)?;
+    for item in &query.select {
+        let expr = match item {
+            crate::ast::SelectItem::Column(e) => e,
+            crate::ast::SelectItem::Aggregate { arg, .. } => arg,
+        };
+        reject_placeholders(expr, "the select list")?;
+    }
+    for g in &query.group_by {
+        reject_placeholders(g, "GROUP BY")?;
+    }
+    if let Some(h) = &query.having {
+        reject_placeholders_pred(h, "HAVING")?;
+    }
+    for j in &query.joins {
+        reject_placeholders(&j.left, "a join condition")?;
+        reject_placeholders(&j.right, "a join condition")?;
+    }
+
+    let mut params: Vec<Option<ParamKind>> = vec![None; query.placeholders];
+    let template = match &query.where_clause {
+        Some(w) => compile_template(w, table, &mut params)?,
+        None => PredTemplate::True,
+    };
+    let params = params
+        .into_iter()
+        .enumerate()
+        .map(|(i, kind)| {
+            kind.ok_or_else(|| {
+                SqlError::Resolve(format!(
+                    "placeholder {} appears outside the WHERE clause",
+                    i + 1
+                ))
+            })
+        })
+        .collect::<Result<Vec<ParamKind>>>()?;
+    Ok(PreparedQuery {
+        group_cols,
+        primitives,
+        aggregates,
+        template,
+        params,
+    })
+}
+
+fn reject_placeholders(e: &ScalarExpr, place: &str) -> Result<()> {
+    match e {
+        ScalarExpr::Placeholder(i) => Err(SqlError::Resolve(format!(
+            "placeholder {} cannot appear in {place}; only predicate \
+             literals are bindable",
+            i + 1
+        ))),
+        ScalarExpr::Binary { lhs, rhs, .. } => {
+            reject_placeholders(lhs, place)?;
+            reject_placeholders(rhs, place)
+        }
+        ScalarExpr::Neg(inner) => reject_placeholders(inner, place),
+        ScalarExpr::AggCall { arg, .. } => reject_placeholders(arg, place),
+        _ => Ok(()),
+    }
+}
+
+fn reject_placeholders_pred(p: &WherePred, place: &str) -> Result<()> {
+    match p {
+        WherePred::And(l, r) | WherePred::Or(l, r) => {
+            reject_placeholders_pred(l, place)?;
+            reject_placeholders_pred(r, place)
+        }
+        WherePred::Not(inner) => reject_placeholders_pred(inner, place),
+        WherePred::Cmp { lhs, rhs, .. } => {
+            reject_placeholders(lhs, place)?;
+            reject_placeholders(rhs, place)
+        }
+        WherePred::Between { expr, lo, hi } => {
+            reject_placeholders(expr, place)?;
+            reject_placeholders(lo, place)?;
+            reject_placeholders(hi, place)
+        }
+        WherePred::InList { expr, list } => {
+            reject_placeholders(expr, place)?;
+            list.iter().try_for_each(|e| reject_placeholders(e, place))
+        }
+        WherePred::Like { expr, .. } => reject_placeholders(expr, place),
+    }
+}
+
+/// A numeric literal or placeholder → slot; mirrors
+/// `resolve::literal_number` for the constant case.
+fn num_slot(e: &ScalarExpr, params: &mut [Option<ParamKind>]) -> Result<NumSlot> {
+    fn literal_number(e: &ScalarExpr) -> Option<f64> {
+        match e {
+            ScalarExpr::Number(n) => Some(*n),
+            ScalarExpr::Neg(inner) => literal_number(inner).map(|n| -n),
+            _ => None,
+        }
+    }
+    match e {
+        ScalarExpr::Placeholder(i) => {
+            claim(params, *i, ParamKind::Numeric)?;
+            Ok(NumSlot::Param(*i))
+        }
+        other => literal_number(other).map(NumSlot::Const).ok_or_else(|| {
+            SqlError::Resolve(format!("{} is not a numeric literal", other.display()))
+        }),
+    }
+}
+
+/// A categorical literal or placeholder → slot; mirrors
+/// `resolve::categorical_codes` for the constant cases.
+fn cat_slot(e: &ScalarExpr, params: &mut [Option<ParamKind>]) -> Result<CatSlot> {
+    match e {
+        ScalarExpr::String(s) => Ok(CatSlot::Label(s.clone())),
+        ScalarExpr::Number(n) => Ok(CatSlot::Code(*n as u32)),
+        ScalarExpr::Placeholder(i) => {
+            claim(params, *i, ParamKind::Categorical)?;
+            Ok(CatSlot::Param(*i))
+        }
+        other => Err(SqlError::Resolve(format!(
+            "cannot use {} as a categorical literal",
+            other.display()
+        ))),
+    }
+}
+
+fn claim(params: &mut [Option<ParamKind>], index: usize, kind: ParamKind) -> Result<()> {
+    let slot = params
+        .get_mut(index)
+        .ok_or_else(|| SqlError::Resolve(format!("placeholder index {index} out of range")))?;
+    *slot = Some(kind);
+    Ok(())
+}
+
+/// Compiles a checked `WHERE` tree into a template, resolving column
+/// names and types once. Structure mirrors `resolve::to_predicate` so
+/// binding emits the identical [`Predicate`].
+fn compile_template(
+    pred: &WherePred,
+    table: &Table,
+    params: &mut [Option<ParamKind>],
+) -> Result<PredTemplate> {
+    match pred {
+        WherePred::And(l, r) => Ok(PredTemplate::And(
+            Box::new(compile_template(l, table, params)?),
+            Box::new(compile_template(r, table, params)?),
+        )),
+        WherePred::Or(_, _) => Err(SqlError::Resolve("disjunction is unsupported".into())),
+        WherePred::Not(_) => Err(SqlError::Resolve("negation is unsupported".into())),
+        WherePred::Like { .. } => Err(SqlError::Resolve("LIKE is unsupported".into())),
+        WherePred::Between { expr, lo, hi } => {
+            let ScalarExpr::Column { name, .. } = expr else {
+                return Err(SqlError::Resolve("BETWEEN needs a column".into()));
+            };
+            expect_column_type(table, name, ColumnType::Numeric)?;
+            Ok(PredTemplate::Between {
+                col: name.clone(),
+                lo: num_slot(lo, params)?,
+                hi: num_slot(hi, params)?,
+            })
+        }
+        WherePred::InList { expr, list } => {
+            let ScalarExpr::Column { name, .. } = expr else {
+                return Err(SqlError::Resolve("IN needs a column".into()));
+            };
+            expect_column_type(table, name, ColumnType::Categorical)?;
+            let items = list
+                .iter()
+                .map(|lit| cat_slot(lit, params))
+                .collect::<Result<Vec<CatSlot>>>()?;
+            Ok(PredTemplate::CatIn {
+                col: name.clone(),
+                items,
+            })
+        }
+        WherePred::Cmp { op, lhs, rhs } => {
+            // Normalize the column to the left, like `to_predicate`.
+            let (name, lit, op) = match (lhs, rhs) {
+                (ScalarExpr::Column { name, .. }, lit) if !is_column(lit) => (name, lit, *op),
+                (lit, ScalarExpr::Column { name, .. }) if !is_column(lit) => (name, lit, flip(*op)),
+                _ => {
+                    return Err(SqlError::Resolve(
+                        "comparison must be column vs literal".into(),
+                    ))
+                }
+            };
+            let col_ty = table.schema().column(name)?.ty;
+            match col_ty {
+                ColumnType::Numeric => {
+                    let slot = num_slot(lit, params).map_err(|_| {
+                        SqlError::Resolve(format!(
+                            "numeric column {name} compared to non-numeric literal"
+                        ))
+                    })?;
+                    Ok(match op {
+                        CmpOp::Eq => PredTemplate::NumEq {
+                            col: name.clone(),
+                            value: slot,
+                        },
+                        CmpOp::Lt => PredTemplate::Less {
+                            col: name.clone(),
+                            bound: slot,
+                            inclusive: false,
+                        },
+                        CmpOp::LtEq => PredTemplate::Less {
+                            col: name.clone(),
+                            bound: slot,
+                            inclusive: true,
+                        },
+                        CmpOp::Gt => PredTemplate::Greater {
+                            col: name.clone(),
+                            bound: slot,
+                            inclusive: false,
+                        },
+                        CmpOp::GtEq => PredTemplate::Greater {
+                            col: name.clone(),
+                            bound: slot,
+                            inclusive: true,
+                        },
+                        CmpOp::NotEq => {
+                            return Err(SqlError::Resolve(
+                                "numeric <> creates a disjunctive region".into(),
+                            ))
+                        }
+                    })
+                }
+                ColumnType::Categorical => {
+                    let item = cat_slot(lit, params)?;
+                    match op {
+                        CmpOp::Eq => Ok(PredTemplate::CatIn {
+                            col: name.clone(),
+                            items: vec![item],
+                        }),
+                        CmpOp::NotEq => Ok(PredTemplate::CatComplement {
+                            col: name.clone(),
+                            items: vec![item],
+                        }),
+                        _ => Err(SqlError::Resolve(format!(
+                            "ordered comparison on categorical column {name}"
+                        ))),
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn is_column(e: &ScalarExpr) -> bool {
+    matches!(e, ScalarExpr::Column { .. })
+}
+
+fn expect_column_type(table: &Table, name: &str, ty: ColumnType) -> Result<()> {
+    let actual = table.schema().column(name)?.ty;
+    if actual != ty {
+        return Err(SqlError::Resolve(format!(
+            "column {name} is {actual:?}, expected {ty:?} here"
+        )));
+    }
+    Ok(())
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::LtEq => CmpOp::GtEq,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::GtEq => CmpOp::LtEq,
+        other => other,
+    }
+}
+
+fn bind_num(slot: &NumSlot, params: &[Value]) -> Result<f64> {
+    match slot {
+        NumSlot::Const(v) => Ok(*v),
+        NumSlot::Param(i) => match &params[*i] {
+            Value::Num(v) => Ok(*v),
+            other => Err(SqlError::PlaceholderType {
+                index: *i,
+                message: format!("numeric column placeholder bound with {other}"),
+            }),
+        },
+    }
+}
+
+/// Resolves one categorical slot to dictionary codes, mirroring
+/// `resolve::categorical_codes`: unknown labels map to no codes (matches
+/// nothing), numbers are raw codes.
+fn bind_cat(slot: &CatSlot, table: &Table, col: &str, params: &[Value]) -> Result<Vec<u32>> {
+    match slot {
+        CatSlot::Code(c) => Ok(vec![*c]),
+        CatSlot::Label(s) => Ok(match table.column(col)?.code_of(s) {
+            Some(c) => vec![c],
+            None => vec![],
+        }),
+        CatSlot::Param(i) => match &params[*i] {
+            Value::Str(s) => Ok(match table.column(col)?.code_of(s) {
+                Some(c) => vec![c],
+                None => vec![],
+            }),
+            Value::Cat(c) => Ok(vec![*c]),
+            Value::Num(n) => Ok(vec![*n as u32]),
+        },
+    }
+}
+
+fn bind_template(template: &PredTemplate, table: &Table, params: &[Value]) -> Result<Predicate> {
+    Ok(match template {
+        PredTemplate::True => Predicate::True,
+        PredTemplate::And(l, r) => {
+            bind_template(l, table, params)?.and(bind_template(r, table, params)?)
+        }
+        PredTemplate::Between { col, lo, hi } => {
+            Predicate::between(col, bind_num(lo, params)?, bind_num(hi, params)?)
+        }
+        PredTemplate::Less {
+            col,
+            bound,
+            inclusive,
+        } => Predicate::less_than(col, bind_num(bound, params)?, *inclusive),
+        PredTemplate::Greater {
+            col,
+            bound,
+            inclusive,
+        } => Predicate::greater_than(col, bind_num(bound, params)?, *inclusive),
+        PredTemplate::NumEq { col, value } => {
+            let v = bind_num(value, params)?;
+            Predicate::between(col, v, v)
+        }
+        PredTemplate::CatIn { col, items } => {
+            let mut codes = Vec::with_capacity(items.len());
+            for item in items {
+                codes.extend(bind_cat(item, table, col, params)?);
+            }
+            Predicate::cat_in(col, codes)
+        }
+        PredTemplate::CatComplement { col, items } => {
+            let mut codes = Vec::with_capacity(items.len());
+            for item in items {
+                codes.extend(bind_cat(item, table, col, params)?);
+            }
+            // Complement within the dictionary observed *now*, exactly
+            // like the ad-hoc `<>` path.
+            let card = table.column(col)?.cardinality().unwrap_or(0) as u32;
+            let all: Vec<u32> = (0..card).filter(|c| !codes.contains(c)).collect();
+            Predicate::cat_in(col, all)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::WherePred;
+    use crate::parser::parse_query;
+    use crate::resolve::to_predicate;
+    use verdict_storage::{ColumnDef, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::numeric_dimension("week"),
+            ColumnDef::categorical_dimension("region"),
+            ColumnDef::measure("rev"),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for (w, r, v) in [
+            (1.0, "us", 10.0),
+            (2.0, "eu", 20.0),
+            (3.0, "us", 30.0),
+            (4.0, "jp", 40.0),
+        ] {
+            t.push_row(vec![w.into(), r.into(), v.into()]).unwrap();
+        }
+        t
+    }
+
+    /// Substitutes bound params back into the AST so the ad-hoc resolver
+    /// can produce the reference predicate (test-only oracle).
+    fn substitute(pred: &WherePred, params: &[Value]) -> WherePred {
+        fn subst_expr(e: &ScalarExpr, params: &[Value]) -> ScalarExpr {
+            match e {
+                ScalarExpr::Placeholder(i) => match &params[*i] {
+                    Value::Num(n) => ScalarExpr::Number(*n),
+                    Value::Str(s) => ScalarExpr::String(s.clone()),
+                    Value::Cat(c) => ScalarExpr::Number(*c as f64),
+                },
+                other => other.clone(),
+            }
+        }
+        match pred {
+            WherePred::And(l, r) => WherePred::And(
+                Box::new(substitute(l, params)),
+                Box::new(substitute(r, params)),
+            ),
+            WherePred::Between { expr, lo, hi } => WherePred::Between {
+                expr: expr.clone(),
+                lo: subst_expr(lo, params),
+                hi: subst_expr(hi, params),
+            },
+            WherePred::InList { expr, list } => WherePred::InList {
+                expr: expr.clone(),
+                list: list.iter().map(|e| subst_expr(e, params)).collect(),
+            },
+            WherePred::Cmp { op, lhs, rhs } => WherePred::Cmp {
+                op: *op,
+                lhs: subst_expr(lhs, params),
+                rhs: subst_expr(rhs, params),
+            },
+            other => other.clone(),
+        }
+    }
+
+    /// Binding the template must emit the exact predicate the ad-hoc
+    /// resolver emits for the same statement with literals inlined.
+    fn assert_bind_matches_ad_hoc(sql: &str, params: &[Value]) {
+        let t = table();
+        let q = parse_query(sql).unwrap();
+        let prepared = prepare_query(&q, &t).unwrap();
+        let bound = prepared.bind(&t, params).unwrap();
+        let inlined = substitute(q.where_clause.as_ref().unwrap(), params);
+        let reference = to_predicate(&inlined, &t).unwrap();
+        assert_eq!(bound, reference, "{sql} with {params:?}");
+    }
+
+    #[test]
+    fn bound_predicates_match_ad_hoc_resolution() {
+        assert_bind_matches_ad_hoc(
+            "SELECT AVG(rev) FROM t WHERE week BETWEEN ? AND ?",
+            &[Value::Num(1.0), Value::Num(3.0)],
+        );
+        assert_bind_matches_ad_hoc(
+            "SELECT AVG(rev) FROM t WHERE week > ? AND region = ?",
+            &[Value::Num(2.0), Value::Str("us".into())],
+        );
+        assert_bind_matches_ad_hoc("SELECT AVG(rev) FROM t WHERE ? >= week", &[Value::Num(2.0)]);
+        assert_bind_matches_ad_hoc(
+            "SELECT AVG(rev) FROM t WHERE region <> ?",
+            &[Value::Str("eu".into())],
+        );
+        assert_bind_matches_ad_hoc(
+            "SELECT AVG(rev) FROM t WHERE region IN (?, 'jp')",
+            &[Value::Str("us".into())],
+        );
+        assert_bind_matches_ad_hoc("SELECT AVG(rev) FROM t WHERE week = ?", &[Value::Num(3.0)]);
+        // Unknown label matches nothing, same as ad hoc.
+        assert_bind_matches_ad_hoc(
+            "SELECT AVG(rev) FROM t WHERE region = ?",
+            &[Value::Str("mars".into())],
+        );
+        // Mixed constants and params.
+        assert_bind_matches_ad_hoc(
+            "SELECT AVG(rev) FROM t WHERE week BETWEEN 1 AND ? AND region = 'us'",
+            &[Value::Num(4.0)],
+        );
+    }
+
+    #[test]
+    fn wrong_count_is_typed_error() {
+        let t = table();
+        let q = parse_query("SELECT AVG(rev) FROM t WHERE week BETWEEN ? AND ?").unwrap();
+        let p = prepare_query(&q, &t).unwrap();
+        assert_eq!(p.placeholder_count(), 2);
+        match p.bind(&t, &[Value::Num(1.0)]).unwrap_err() {
+            SqlError::PlaceholderCount { expected, got } => {
+                assert_eq!((expected, got), (2, 1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_type_is_typed_error() {
+        let t = table();
+        let q = parse_query("SELECT AVG(rev) FROM t WHERE week > ?").unwrap();
+        let p = prepare_query(&q, &t).unwrap();
+        assert_eq!(p.param_kinds(), &[ParamKind::Numeric]);
+        match p.bind(&t, &[Value::Str("us".into())]).unwrap_err() {
+            SqlError::PlaceholderType { index, .. } => assert_eq!(index, 0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn placeholder_outside_where_refused() {
+        let t = table();
+        for sql in [
+            "SELECT AVG(?) FROM t",
+            "SELECT week, COUNT(*) FROM t GROUP BY week HAVING COUNT(*) > ?",
+        ] {
+            let q = parse_query(sql).unwrap();
+            assert!(prepare_query(&q, &t).is_err(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn prepared_plan_shape_matches_plan_scan() {
+        let t = table();
+        let sql_prepared = "SELECT AVG(rev), SUM(rev), COUNT(*) FROM t WHERE week BETWEEN ? AND ?";
+        let sql_inline = "SELECT AVG(rev), SUM(rev), COUNT(*) FROM t WHERE week BETWEEN 1 AND 3";
+        let qp = parse_query(sql_prepared).unwrap();
+        let qi = parse_query(sql_inline).unwrap();
+        let p = prepare_query(&qp, &t).unwrap();
+        let plan_p = p
+            .plan(&t, &[Value::Num(1.0), Value::Num(3.0)], &[], 100)
+            .unwrap();
+        let plan_i = crate::plan_scan(&qi, &t, &[], 100).unwrap();
+        assert_eq!(plan_p.base_predicate, plan_i.base_predicate);
+        assert_eq!(plan_p.primitives, plan_i.primitives);
+        assert_eq!(plan_p.group_predicates, plan_i.group_predicates);
+        assert_eq!(plan_p.num_cells(), plan_i.num_cells());
+    }
+
+    #[test]
+    fn grouped_prepared_plan_expands_groups() {
+        let t = table();
+        let q =
+            parse_query("SELECT region, COUNT(*) FROM t WHERE week >= ? GROUP BY region").unwrap();
+        let p = prepare_query(&q, &t).unwrap();
+        let us = Value::Cat(t.column("region").unwrap().code_of("us").unwrap());
+        let eu = Value::Cat(t.column("region").unwrap().code_of("eu").unwrap());
+        let keys = [vec![us], vec![eu]];
+        let plan = p.plan(&t, &[Value::Num(1.0)], &keys, 100).unwrap();
+        assert_eq!(plan.groups.len(), 2);
+        assert_eq!(plan.group_cols, vec!["region".to_owned()]);
+    }
+}

@@ -27,6 +27,13 @@ pub fn to_expr(e: &ScalarExpr) -> Result<Expr> {
             }
         }
         ScalarExpr::Neg(inner) => Expr::Neg(Box::new(to_expr(inner)?)),
+        ScalarExpr::Placeholder(_) => {
+            return Err(SqlError::Resolve(
+                "placeholders cannot appear inside an aggregate or grouping \
+                 expression; only predicate literals are bindable"
+                    .into(),
+            ))
+        }
         other => {
             return Err(SqlError::Resolve(format!(
                 "expression {} cannot be evaluated per-row",
@@ -34,6 +41,15 @@ pub fn to_expr(e: &ScalarExpr) -> Result<Expr> {
             )))
         }
     })
+}
+
+/// The error for a placeholder reaching the ad-hoc resolution path.
+fn unbound_placeholder() -> SqlError {
+    SqlError::Resolve(
+        "unbound placeholder: prepare the statement and bind parameters \
+         instead of executing it ad hoc"
+            .into(),
+    )
 }
 
 /// Extracts `(column_name, literal)` from a comparison, normalizing the
@@ -53,7 +69,10 @@ fn column_literal<'a>(
 fn is_literal(e: &ScalarExpr) -> bool {
     matches!(
         e,
-        ScalarExpr::Number(_) | ScalarExpr::String(_) | ScalarExpr::Neg(_)
+        ScalarExpr::Number(_)
+            | ScalarExpr::String(_)
+            | ScalarExpr::Neg(_)
+            | ScalarExpr::Placeholder(_)
     )
 }
 
@@ -76,6 +95,7 @@ fn categorical_codes(table: &Table, col: &str, lit: &ScalarExpr) -> Result<Vec<u
             None => vec![],
         },
         ScalarExpr::Number(n) => vec![*n as u32],
+        ScalarExpr::Placeholder(_) => return Err(unbound_placeholder()),
         other => {
             return Err(SqlError::Resolve(format!(
                 "cannot use {} as a categorical literal",
@@ -98,6 +118,10 @@ pub fn to_predicate(pred: &WherePred, table: &Table) -> Result<Predicate> {
             let ScalarExpr::Column { name, .. } = expr else {
                 return Err(SqlError::Resolve("BETWEEN needs a column".into()));
             };
+            if matches!(lo, ScalarExpr::Placeholder(_)) || matches!(hi, ScalarExpr::Placeholder(_))
+            {
+                return Err(unbound_placeholder());
+            }
             let (Some(lo), Some(hi)) = (literal_number(lo), literal_number(hi)) else {
                 return Err(SqlError::Resolve("BETWEEN needs numeric bounds".into()));
             };
@@ -120,6 +144,9 @@ pub fn to_predicate(pred: &WherePred, table: &Table) -> Result<Predicate> {
                 ));
             };
             let op = if flipped { flip(*op) } else { *op };
+            if matches!(lit, ScalarExpr::Placeholder(_)) {
+                return Err(unbound_placeholder());
+            }
             let col_ty = table.schema().column(name)?.ty;
             match col_ty {
                 ColumnType::Numeric => {
@@ -169,6 +196,26 @@ fn flip(op: CmpOp) -> CmpOp {
         CmpOp::GtEq => CmpOp::LtEq,
         other => other,
     }
+}
+
+/// Resolves a query's `FROM` name against a catalog of registered table
+/// names (case-insensitive, like every other identifier in this SQL
+/// dialect). Returns the index into `tables`.
+///
+/// `default` is the compatibility escape hatch for single-table fronts
+/// (the pre-catalog `VerdictSession` accepted — and ignored — any `FROM`
+/// name): when set, an unknown name resolves to that index instead of
+/// erroring. Catalog-built databases pass `None`, so a typo in `FROM`
+/// surfaces as [`SqlError::UnknownTable`] listing the registered names.
+pub fn resolve_from(name: &str, tables: &[String], default: Option<usize>) -> Result<usize> {
+    tables
+        .iter()
+        .position(|t| t.eq_ignore_ascii_case(name))
+        .or(default)
+        .ok_or_else(|| SqlError::UnknownTable {
+            name: name.to_owned(),
+            known: tables.to_vec(),
+        })
 }
 
 /// Builds the equality predicate for one group-by value (decomposition
@@ -291,6 +338,38 @@ mod tests {
         let e = to_expr(arg).unwrap();
         let t = table();
         assert_eq!(e.eval_row(&t, 0).unwrap(), 5.0);
+    }
+
+    #[test]
+    fn placeholders_refused_ad_hoc() {
+        let t = table();
+        for sql in [
+            "SELECT AVG(rev) FROM t WHERE week BETWEEN ? AND ?",
+            "SELECT AVG(rev) FROM t WHERE week > ?",
+            "SELECT AVG(rev) FROM t WHERE region = ?",
+            "SELECT AVG(rev) FROM t WHERE region IN (?, 'us')",
+        ] {
+            let err = to_predicate(&where_of(sql), &t).unwrap_err();
+            assert!(
+                matches!(&err, SqlError::Resolve(m) if m.contains("unbound placeholder")),
+                "{sql}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_resolution_against_catalog() {
+        let tables = vec!["orders".to_owned(), "events".to_owned()];
+        assert_eq!(resolve_from("orders", &tables, None).unwrap(), 0);
+        assert_eq!(resolve_from("EVENTS", &tables, None).unwrap(), 1);
+        assert_eq!(resolve_from("nope", &tables, Some(0)).unwrap(), 0);
+        match resolve_from("nope", &tables, None).unwrap_err() {
+            SqlError::UnknownTable { name, known } => {
+                assert_eq!(name, "nope");
+                assert_eq!(known, tables);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -25,7 +25,16 @@
 //!   records with `seq > snapshot.last_seq` are replayed into the
 //!   synopsis.
 //!
-//! ## On-disk format (version 2)
+//! ## Catalog layout (version 3)
+//!
+//! A multi-table `Database` persists under one root directory: a
+//! [`catalog`] manifest (`CATALOG`: magic `"VDBLCATL"`, version 3,
+//! CRC-checked ordered table names) plus one complete per-table store in
+//! `tables/<name>/`. Every per-table store is an ordinary v2 directory,
+//! so the WAL/snapshot/recovery machinery below applies per table
+//! unchanged, and a v2 single-table directory (no manifest) still opens.
+//!
+//! ## Per-table store format (version 2)
 //!
 //! All integers little-endian; all floats raw IEEE-754 bits (bit-exact
 //! round trips). Payload encodings come from [`verdict_core::persist`].
@@ -82,12 +91,14 @@
 //! snapshot whose header carries an unknown version or foreign magic is
 //! refused, never truncated.
 
+pub mod catalog;
 pub mod crc;
 pub mod log;
 pub mod snapshot;
 pub mod store;
 pub mod tablecodec;
 
+pub use catalog::{read_catalog, write_catalog, CatalogManifest};
 pub use snapshot::{SessionMeta, Snapshot};
 pub use store::{Recovered, RecoveryReport, SharedStore, StorePolicy, SynopsisStore};
 

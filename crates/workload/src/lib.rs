@@ -19,13 +19,18 @@
 //!   mostly COUNT(*), < 5 selection predicates per query);
 //! - [`streaming`]: evolving-table batch streams for the ingest stage —
 //!   drifting measure means (concept drift, Appendix D) and growing
-//!   categorical cardinality.
+//!   categorical cardinality;
+//! - [`multi`]: a two-table catalog workload (`orders` + `events`, with
+//!   deliberately different schemas and signal shapes) for the
+//!   multi-table `Database` front-end.
 
 pub mod customer;
+pub mod multi;
 pub mod streaming;
 pub mod synthetic;
 pub mod timeseries;
 pub mod tpch;
 
+pub use multi::TwoTableSpec;
 pub use streaming::{DriftingMeanStream, GrowingCardinalityStream};
 pub use synthetic::{Distribution, SyntheticSpec};

@@ -1,327 +1,137 @@
-//! Snapshot-isolated concurrent sessions: many reader threads, one
-//! serialized learn/ingest path.
+//! Snapshot-isolated concurrent sessions: the single-table face of the
+//! [`crate::Database`] engine.
 //!
-//! A [`ConcurrentSession`] is the multi-threaded face of the engine. It is
-//! `Send + Sync + Clone`; hand clones to as many threads as you like and
-//! call [`ConcurrentSession::execute`] from all of them. The design is the
-//! read/learn split the paper implies (answers come from frozen state;
-//! only absorbing a snippet mutates it), extended with an **ingest** path
-//! for evolving tables:
+//! A [`ConcurrentSession`] is a **thin wrapper over a one-table
+//! `Database`** — it holds a catalog with exactly one registered table
+//! (named `"t"`, with any `FROM` name resolving to it, matching the
+//! pre-catalog sessions) and delegates every operation to the shared
+//! per-table shard machinery in [`crate::database`]. The guarantees are
+//! therefore the database's, specialized to one table:
 //!
 //! - **Read path** (lock-free beyond one pointer copy): each query loads
 //!   the current [`SessionSnapshot`] — a *paired* immutable view of the
-//!   learned state ([`EngineSnapshot`]) and the data it describes (base
-//!   table + maintained samples at one data epoch) — and answers every
-//!   cell from that state with a per-query scan cursor. The snapshot's
-//!   epoch is stamped into [`crate::QueryResult::epoch`].
-//! - **Learn path** (serialized): the raw snippet observations a
-//!   `Mode::Verdict` query produces are absorbed under one writer mutex —
-//!   synopsis append, WAL append (via the engine's observer hook into the
-//!   shared store), and snapshot republish happen in writer-lock order,
-//!   so persisted sequence numbers are exactly what a serial session
-//!   would have written. [`ConcurrentSession::train`] retrains and
-//!   publishes under the same lock.
-//! - **Ingest path** (serialized with the learn path):
-//!   [`ConcurrentSession::ingest`] appends a row batch under the writer
-//!   mutex — WAL record first, then a *new* data set (grown table, samples
-//!   with the batch admitted) and a new engine snapshot (synopses widened
-//!   per Lemma 3, models refit) are published together as the next
-//!   [`SessionSnapshot`]. Readers never block: queries in flight keep the
-//!   data set and engine state they loaded.
+//!   learned state and the data it describes — and answers every cell
+//!   from that state. The snapshot's epoch is stamped into
+//!   [`crate::QueryResult::epoch`].
+//! - **Learn path** (serialized): raw snippet observations are absorbed
+//!   under the table's writer mutex — synopsis append, WAL append, and
+//!   snapshot republish happen in writer-lock order, so persisted
+//!   sequence numbers are exactly what a serial session would have
+//!   written.
+//! - **Ingest path** (serialized with the learn path): a grown table,
+//!   samples with the batch admitted, and the Lemma-3-widened engine
+//!   state are published together as the next [`SessionSnapshot`];
+//!   readers in flight keep the pair they loaded.
 //!
 //! A query that loaded epoch `e` keeps answering from epoch `e` even if a
-//! writer publishes `e + 1` mid-scan — and a query that loaded data epoch
-//! `d` keeps scanning data epoch `d`'s table and samples even if an ingest
-//! publishes `d + 1`: snapshot isolation over *both* the learned state and
-//! the data, for free, because both halves of a [`SessionSnapshot`] are
-//! immutable and paired atomically under the writer lock.
+//! writer publishes `e + 1` mid-scan — snapshot isolation over both the
+//! learned state and the data, because both halves of a
+//! [`SessionSnapshot`] are immutable and paired atomically.
+//!
+//! On a multi-table [`crate::Database`], this same machinery runs **per
+//! table**: reads on one table never serialize behind learning or ingest
+//! on another.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 
-use verdict_aqp::{AqpEngine, OnlineAggregation};
-use verdict_core::concurrent::{EngineSnapshot, Learner};
-use verdict_core::AggKey;
-use verdict_sql::checker::JoinPolicy;
-use verdict_sql::{check_query, parse_query, SupportVerdict};
 use verdict_storage::{Table, Value};
-use verdict_store::{RecoveryReport, SessionMeta, SharedStore};
+use verdict_store::RecoveryReport;
 
-use crate::session::{
-    plan_shared_scan, prepare_ingest, run_shared_read, IngestReport, ReadOutcome, SampleRotation,
-    SessionParts,
-};
-use crate::{Error, Mode, QueryOutcome, Result, StopPolicy};
+use crate::database::Database;
+use crate::query::QueryOptions;
+use crate::session::{IngestReport, SessionParts};
+use crate::{Mode, QueryOutcome, Result, StopPolicy};
 
-/// One immutable version of the session's *data*: the base table as of one
-/// data epoch, plus the maintained offline samples drawn from it. Ingest
-/// publishes a fresh `DataSet`; readers in flight keep the one they
-/// loaded.
-struct DataSet {
-    data_epoch: u64,
-    table: Arc<Table>,
-    engines: Vec<OnlineAggregation>,
-}
-
-/// An atomically paired view of the session at one instant: the learned
-/// state ([`EngineSnapshot`]) together with the table/sample version
-/// (`data_epoch`) that state describes.
-///
-/// Pin one with [`ConcurrentSession::snapshot`] and run any number of
-/// [`ConcurrentSession::execute_at`] reads against it: every answer is a
-/// pure function of the pair, bit-reproducible regardless of interleaved
-/// writers **or ingests** — the pair keeps the exact table and sample
-/// version alive even after newer data epochs are published.
-#[derive(Clone)]
-pub struct SessionSnapshot {
-    engine: Arc<EngineSnapshot>,
-    data: Arc<DataSet>,
-}
-
-impl SessionSnapshot {
-    /// The epoch of the learned state (see [`EngineSnapshot::epoch`]).
-    pub fn epoch(&self) -> u64 {
-        self.engine.epoch()
-    }
-
-    /// The data epoch of the pinned table/sample version.
-    pub fn data_epoch(&self) -> u64 {
-        self.data.data_epoch
-    }
-
-    /// The pinned learned state.
-    pub fn engine_snapshot(&self) -> &EngineSnapshot {
-        &self.engine
-    }
-
-    /// The pinned base table.
-    pub fn table(&self) -> &Table {
-        &self.data.table
-    }
-
-    /// Encodes the pinned learned state (byte-identical to
-    /// `Verdict::state_bytes` on the engine it was published from).
-    pub fn state_bytes(&self) -> Vec<u8> {
-        self.engine.state_bytes()
-    }
-
-    /// Whether the pinned state carries a trained model for `key`.
-    pub fn has_model(&self, key: &AggKey) -> bool {
-        self.engine.has_model(key)
-    }
-
-    /// Snippets the pinned state retains for `key`.
-    pub fn synopsis_len(&self, key: &AggKey) -> usize {
-        self.engine.synopsis_len(key)
-    }
-
-    /// The engine counters as of the pinned state.
-    pub fn stats(&self) -> verdict_core::EngineStats {
-        self.engine.stats()
-    }
-}
-
-/// Outcome of the read path before the learn path runs.
-enum ReadAttempt {
-    Read(ReadOutcome),
-    Unsupported(Vec<verdict_sql::UnsupportedReason>),
-}
-
-/// The serialized write path: the learner plus what checkpointing and
-/// ingesting need.
-struct Writer {
-    learner: Learner,
-    meta: SessionMeta,
-}
-
-/// Shared state behind every clone of a [`ConcurrentSession`].
-struct Inner {
-    join_policy: JoinPolicy,
-    rotation: SampleRotation,
-    /// The sample `Fixed` rotation and pinned (`execute_at`) reads scan:
-    /// the active sample the originating serial session was promoted
-    /// with, so answers do not shift across `into_concurrent()`.
-    fixed_sample: usize,
-    /// Number of maintained samples (constant for the session's life).
-    num_samples: usize,
-    /// Next sample index under round-robin rotation.
-    next_sample: AtomicUsize,
-    /// Where readers load the current paired snapshot from. Only the
-    /// writer stores into it (under the writer lock), so the engine half
-    /// and the data half can never be observed mismatched.
-    current: Mutex<SessionSnapshot>,
-    /// The durable store, outside the writer lock: its own mutex
-    /// serializes appends, and parked-error checks must not block on a
-    /// training writer.
-    store: Option<SharedStore>,
-    writer: Mutex<Writer>,
-    recovery: Option<RecoveryReport>,
-}
+pub use crate::database::SessionSnapshot;
 
 /// A `Send + Sync` session serving queries from any number of threads.
 ///
 /// Created by [`crate::VerdictSession::into_concurrent`] or
 /// [`crate::SessionBuilder::build_concurrent`]. Cloning is cheap (one
 /// `Arc`); all clones share the samples, the published snapshot pair, and
-/// the serialized writer.
+/// the serialized writer. Structurally this is a one-table
+/// [`crate::Database`] — use [`ConcurrentSession::into_database`] to keep
+/// the shared state and address it through the catalog API instead.
 #[derive(Clone)]
 pub struct ConcurrentSession {
-    inner: Arc<Inner>,
+    db: Database,
 }
 
 impl ConcurrentSession {
     pub(crate) fn from_parts(parts: SessionParts) -> ConcurrentSession {
-        let data = Arc::new(DataSet {
-            data_epoch: parts.verdict.data_epoch(),
-            table: Arc::new(parts.table),
-            engines: parts.engines,
-        });
-        let learner = Learner::new(parts.verdict);
-        let current = SessionSnapshot {
-            engine: learner.snapshot(),
-            data: Arc::clone(&data),
-        };
         ConcurrentSession {
-            inner: Arc::new(Inner {
-                join_policy: parts.join_policy,
-                rotation: parts.rotation,
-                fixed_sample: parts.active,
-                num_samples: data.engines.len(),
-                next_sample: AtomicUsize::new(parts.active),
-                current: Mutex::new(current),
-                store: parts.store,
-                writer: Mutex::new(Writer {
-                    learner,
-                    meta: parts.meta,
-                }),
-                recovery: parts.recovery,
-            }),
+            db: Database::from_session_parts(parts, "t", true),
         }
+    }
+
+    /// The one-table [`crate::Database`] this session wraps. The returned
+    /// handle shares all state with the session (same samples, same
+    /// learned state, same store).
+    ///
+    /// The table is named `"t"` and — unlike a catalog built through
+    /// [`crate::Database::builder`] or [`crate::VerdictSession::into_database`]
+    /// — keeps this session's lenient `FROM` resolution: any name
+    /// resolves to the one table, because queries written for the
+    /// session API (which ignored `FROM`) must keep working on the
+    /// unwrapped handle. For strict resolution, promote the serial
+    /// session with [`crate::VerdictSession::into_database`] instead.
+    pub fn into_database(self) -> Database {
+        self.db
     }
 
     /// The current base table (the newest published data epoch). Cheap:
     /// clones an `Arc`, not the rows.
     pub fn table(&self) -> Arc<Table> {
-        Arc::clone(&self.current().data.table)
+        Arc::clone(&self.db.sole_shard().current().data.table)
     }
 
     /// Number of independent offline samples.
     pub fn num_samples(&self) -> usize {
-        self.inner.num_samples
+        self.db.sole_shard().current().data.engines.len()
     }
 
     /// Whether this session writes to a durable store.
     pub fn is_persistent(&self) -> bool {
-        self.inner.store.is_some()
+        self.db.is_persistent()
     }
 
     /// The recovery report, when the originating session was warm-started.
     pub fn recovery_report(&self) -> Option<&RecoveryReport> {
-        self.inner.recovery.as_ref()
+        self.db
+            .recovery_report("t")
+            .expect("wrapper table is registered")
     }
 
     /// The current published snapshot pair — learned state plus the
     /// table/sample version it describes. Pin it to run a batch of
     /// queries against one epoch via [`ConcurrentSession::execute_at`].
     pub fn snapshot(&self) -> SessionSnapshot {
-        self.current()
+        self.db.sole_shard().current()
     }
 
-    /// The epoch of the current published snapshot. Monotone: it never
-    /// decreases over the session's lifetime.
+    /// The epoch of the current published snapshot. Monotone.
     pub fn epoch(&self) -> u64 {
-        self.current().epoch()
+        self.snapshot().epoch()
     }
 
     /// The data epoch of the current published snapshot: how many
     /// ingested batches the visible table has absorbed. Monotone.
     pub fn data_epoch(&self) -> u64 {
-        self.current().data_epoch()
-    }
-
-    /// Loads the current paired snapshot (brief lock, two `Arc` copies).
-    fn current(&self) -> SessionSnapshot {
-        self.inner
-            .current
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-            .clone()
-    }
-
-    /// Publishes the writer's current engine snapshot, paired with `data`
-    /// (or, when `data` is `None`, with the currently published data set).
-    /// Caller holds the writer lock, so pairs are never torn.
-    fn publish_locked(&self, writer: &Writer, data: Option<Arc<DataSet>>) {
-        let mut cur = self
-            .inner
-            .current
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        let data = data.unwrap_or_else(|| Arc::clone(&cur.data));
-        *cur = SessionSnapshot {
-            engine: writer.learner.snapshot(),
-            data,
-        };
-    }
-
-    /// Which sample the next `execute` scans: round-robin advances one
-    /// shared counter; `Fixed` always scans the sample the session was
-    /// promoted with.
-    fn pick_sample(&self) -> usize {
-        match self.inner.rotation {
-            SampleRotation::Fixed => self.inner.fixed_sample,
-            SampleRotation::RoundRobin => {
-                self.inner.next_sample.fetch_add(1, Ordering::Relaxed) % self.inner.num_samples
-            }
-        }
-    }
-
-    fn lock_writer(&self) -> MutexGuard<'_, Writer> {
-        // Writer state is consistent at rest; a poisoned lock only means
-        // another thread panicked between mutations.
-        self.inner
-            .writer
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
-    }
-
-    /// Surfaces any error a background WAL append or deferred compaction
-    /// parked since the last check (same contract as the serial session).
-    fn surface_store_error(&self) -> Result<()> {
-        if let Some(store) = &self.inner.store {
-            if let Some(e) = store.lock().take_error() {
-                return Err(Error::Store(e));
-            }
-        }
-        Ok(())
+        self.snapshot().data_epoch()
     }
 
     /// Parses, plans, and answers a SQL query from the **current**
-    /// snapshot pair, then funnels what the query learned (raw snippet
-    /// observations + counter deltas) through the serialized writer and
-    /// republishes. Safe to call from any number of threads.
+    /// snapshot pair, then funnels what the query learned through the
+    /// serialized writer and republishes. Safe to call from any number of
+    /// threads.
     ///
     /// `Mode::NoLearn` queries never touch the writer: they are pure
     /// reads and scale with the thread count.
     pub fn execute(&self, sql: &str, mode: Mode, policy: StopPolicy) -> Result<QueryOutcome> {
-        self.surface_store_error()?;
-        let snapshot = self.current();
-        let engine = &snapshot.data.engines[self.pick_sample()];
-        let read = match self.read_at(engine, &snapshot.engine, sql, mode, policy)? {
-            ReadAttempt::Unsupported(reasons) => return Ok(QueryOutcome::Unsupported(reasons)),
-            ReadAttempt::Read(read) => read,
-        };
-        if !(read.recorded.is_empty() && read.stats.is_zero()) {
-            // Learn path: one serialized absorb per query. Synopsis
-            // appends (and through the observer hook, WAL appends) happen
-            // in writer-lock order; the batch republishes once, paired
-            // with the current data set.
-            let mut writer = self.lock_writer();
-            writer.learner.absorb(&read.recorded, read.stats);
-            self.publish_locked(&writer, None);
-            self.maybe_compact(&mut writer);
-        }
-        Ok(QueryOutcome::Answered(read.result))
+        self.db.query(
+            sql,
+            &QueryOptions::new().with_mode(mode).with_policy(policy),
+        )
     }
 
     /// Answers a SQL query from a caller-pinned snapshot pair, with
@@ -329,12 +139,9 @@ impl ConcurrentSession {
     /// writer is never touched, and the rotation counter does not
     /// advance. Pinned reads always scan the session's fixed sample *of
     /// the pinned data epoch*, so every answer is a pure function of
-    /// `snapshot` — a batch of calls against one pinned snapshot is
-    /// bit-identical to a serial session holding the same state and
-    /// table, regardless of what writers publish, which samples
-    /// interleaved `execute` calls rotate through, or how many batches
-    /// concurrent [`ConcurrentSession::ingest`] calls append in the
-    /// meantime.
+    /// `snapshot` — bit-identical to a serial session holding the same
+    /// state and table, regardless of interleaved writers, rotations, or
+    /// ingests.
     pub fn execute_at(
         &self,
         snapshot: &SessionSnapshot,
@@ -342,37 +149,19 @@ impl ConcurrentSession {
         mode: Mode,
         policy: StopPolicy,
     ) -> Result<QueryOutcome> {
-        let engine = &snapshot.data.engines[self.inner.fixed_sample];
-        match self.read_at(engine, &snapshot.engine, sql, mode, policy)? {
-            ReadAttempt::Read(read) => Ok(QueryOutcome::Answered(read.result)),
-            ReadAttempt::Unsupported(reasons) => Ok(QueryOutcome::Unsupported(reasons)),
-        }
+        self.db.query(
+            sql,
+            &QueryOptions::new()
+                .with_mode(mode)
+                .with_policy(policy)
+                .pinned(snapshot.clone()),
+        )
     }
 
-    /// The shared read path: parse → check → plan → one shared scan over
-    /// `engine`'s sample at `snapshot`'s state.
-    fn read_at(
-        &self,
-        engine: &OnlineAggregation,
-        snapshot: &EngineSnapshot,
-        sql: &str,
-        mode: Mode,
-        policy: StopPolicy,
-    ) -> Result<ReadAttempt> {
-        let query = parse_query(sql)?;
-        if let SupportVerdict::Unsupported(reasons) = check_query(&query, &self.inner.join_policy) {
-            return Ok(ReadAttempt::Unsupported(reasons));
-        }
-        let plan = plan_shared_scan(&query, engine, snapshot.config().nmax)?;
-        let read = run_shared_read(
-            engine,
-            snapshot.view(),
-            &plan,
-            mode,
-            policy,
-            snapshot.epoch(),
-        )?;
-        Ok(ReadAttempt::Read(read))
+    /// Prepares a statement against this session's table — see
+    /// [`crate::Database::prepare`].
+    pub fn prepare(&self, sql: &str) -> Result<crate::Prepared> {
+        self.db.prepare(sql)
     }
 
     /// Ingests a batch of new rows into the evolving table from any
@@ -386,128 +175,27 @@ impl ConcurrentSession {
     /// [`SessionSnapshot`], so no reader can ever observe the new table
     /// with the old synopses or vice versa.
     pub fn ingest(&self, rows: &[Vec<Value>]) -> Result<IngestReport> {
-        self.surface_store_error()?;
-        let mut writer = self.lock_writer();
-        let snapshot = self.current();
-        if rows.is_empty() {
-            return Ok(IngestReport {
-                appended_rows: 0,
-                admitted_rows: vec![0; self.inner.num_samples],
-                adjusted_keys: 0,
-                adjusted_snippets: 0,
-                skipped_keys: Vec::new(),
-                data_epoch: snapshot.data_epoch(),
-            });
-        }
-        let old = &snapshot.data;
-        // All fallible work first (validation, shift estimation, staged
-        // rewrites + refits) — shared with the serial path; the shift is
-        // estimated against the fixed sample (a concurrent session has
-        // no rotating "active" sample).
-        let prepared = prepare_ingest(
-            writer.learner.engine(),
-            &old.table,
-            old.engines[self.inner.fixed_sample].sample().table(),
-            rows,
-        )?;
-        if let Some(store) = &self.inner.store {
-            store
-                .lock()
-                .append_ingest(rows, &prepared.adjustments)
-                .map_err(Error::Store)?;
-        }
-        // Build the next data set copy-on-write: the table clones once,
-        // each sample's rows clone on its first admission.
-        let mut table = (*old.table).clone();
-        table.push_rows(rows).map_err(Error::Storage)?;
-        let mut engines = old.engines.clone();
-        let mut admitted_rows = Vec::with_capacity(engines.len());
-        for (i, engine) in engines.iter_mut().enumerate() {
-            admitted_rows.push(
-                engine
-                    .absorb_appended(&table, prepared.old_rows as u64, writer.meta.seed, i as u64)
-                    .map_err(Error::Aqp)?,
-            );
-        }
-        let adjusted_snippets = writer.learner.engine_mut().commit_ingest(prepared.staged);
-        writer.learner.republish();
-        let data = Arc::new(DataSet {
-            data_epoch: old.data_epoch + 1,
-            table: Arc::new(table),
-            engines,
-        });
-        let data_epoch = data.data_epoch;
-        self.publish_locked(&writer, Some(data));
-        self.maybe_compact(&mut writer);
-        Ok(IngestReport {
-            appended_rows: rows.len(),
-            admitted_rows,
-            adjusted_keys: prepared.adjustments.len(),
-            adjusted_snippets,
-            skipped_keys: prepared.skipped_keys,
-            data_epoch,
-        })
+        self.db.ingest("t", rows)
     }
 
     /// Offline training pass (Algorithm 1) under the writer lock, then —
-    /// for persistent sessions — a checkpoint, so the trained models are
-    /// on disk. The new snapshot (with models) is published before this
-    /// returns; queries in flight keep their pre-training epoch.
+    /// for persistent sessions — a checkpoint. The new snapshot (with
+    /// models) is published before this returns; queries in flight keep
+    /// their pre-training epoch.
     pub fn train(&self) -> Result<()> {
-        self.surface_store_error()?;
-        let mut writer = self.lock_writer();
-        writer.learner.train().map_err(Error::Core)?;
-        self.publish_locked(&writer, None);
-        self.snapshot_now(&mut writer).map_err(Error::Store)
+        self.db.train("t")
     }
 
     /// Checkpoints the full learned state into a fresh snapshot
     /// generation and truncates the log (folding any WAL-pending ingests
     /// into a new table generation). No-op without a store.
     pub fn checkpoint(&self) -> Result<()> {
-        self.surface_store_error()?;
-        let mut writer = self.lock_writer();
-        self.snapshot_now(&mut writer).map_err(Error::Store)
-    }
-
-    /// The one store-snapshot path (explicit checkpoints and piggybacked
-    /// compaction), mirroring the serial session's. Caller holds the
-    /// writer lock, so neither the encoded state nor the current data set
-    /// can move underneath the write.
-    fn snapshot_now(&self, writer: &mut Writer) -> verdict_store::Result<()> {
-        let Some(store) = &self.inner.store else {
-            return Ok(());
-        };
-        let table = Arc::clone(&self.current().data.table);
-        let engine = writer.learner.engine();
-        let schema_fp = verdict_core::persist::fingerprint(engine.schema());
-        let state_bytes = engine.state_bytes();
-        store
-            .lock()
-            .snapshot_encoded(writer.meta.clone(), schema_fp, &state_bytes, &table)?;
-        Ok(())
-    }
-
-    /// Folds the log into a fresh snapshot when the store's compaction
-    /// policy asks for it; failures park in the store and surface at the
-    /// next `execute`/`checkpoint` (same contract as the serial session).
-    /// Caller holds the writer lock.
-    fn maybe_compact(&self, writer: &mut Writer) {
-        let Some(store) = &self.inner.store else {
-            return;
-        };
-        if !store.lock().needs_compaction() {
-            return;
-        }
-        if let Err(e) = self.snapshot_now(writer) {
-            store.lock().park_error(e);
-        }
+        self.db.checkpoint()
     }
 }
 
 // Compile-time proof of the headline property: a session handle crosses
-// threads, and so does a pinned snapshot pair. (All fields are
-// Send + Sync; this keeps it that way.)
+// threads, and so does a pinned snapshot pair.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<ConcurrentSession>();

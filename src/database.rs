@@ -1,0 +1,1077 @@
+//! The multi-table serving front-end: a [`Database`] catalog of learned
+//! tables.
+//!
+//! A `Database` owns, **per registered table**: the base table, its
+//! maintained offline samples, its query synopsis and trained models, and
+//! its serialized learn path. `FROM <name>` resolves against the catalog
+//! ([`verdict_sql::resolve_from`]), so one handle serves a whole schema:
+//!
+//! ```text
+//! let db = Database::builder()
+//!     .register_table("orders", orders)
+//!     .register_table("events", events)
+//!     .persist_to("analytics-db")
+//!     .build()?;
+//! db.query("SELECT AVG(m) FROM orders WHERE d0 BETWEEN 1 AND 3", &opts)?;
+//! db.query("SELECT COUNT(*) FROM events WHERE hour >= 6", &opts)?;
+//! ```
+//!
+//! ## Architecture
+//!
+//! Each table is an independent **shard**: the read path loads the
+//! shard's current published [`SessionSnapshot`] (a paired, immutable
+//! view of learned state + data) and answers from it lock-free; what the
+//! query learned funnels through the shard's own writer mutex. Because
+//! the mutex is per table, concurrent reads on `orders` never serialize
+//! behind an ingest on `events` — the learn paths of different tables are
+//! fully independent, as are their [`verdict_core::AggKey`] spaces (one
+//! engine per table, so `orders.AVG(m)` and `events.AVG(m)` are disjoint
+//! state by construction; see [`verdict_core::QualifiedAggKey`]).
+//!
+//! `Database` is `Send + Sync + Clone` (one `Arc`); the single-table
+//! [`crate::ConcurrentSession`] is a thin wrapper over it.
+//!
+//! ## Persistence (store layout v3)
+//!
+//! [`DatabaseBuilder::persist_to`] persists the whole catalog under one
+//! root directory: a `CATALOG` manifest plus one complete per-table
+//! synopsis store in `tables/<name>/` (each an ordinary format-v2 store —
+//! WAL, snapshot generations, crash recovery, all per table).
+//! [`Database::open`] warm-starts every table from that one directory; it
+//! also opens a legacy v2 single-table directory (the table is then named
+//! `"t"` and any `FROM` resolves to it, matching the pre-catalog
+//! sessions).
+//!
+//! ## Prepared statements
+//!
+//! [`Database::prepare`] runs parse → check → resolve → plan-template
+//! once; the returned [`crate::Prepared`] handle re-executes with only
+//! literal re-binding (see [`crate::query`]).
+
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use verdict_aqp::{AqpEngine, CostModel, OnlineAggregation, StorageTier};
+use verdict_core::concurrent::{EngineSnapshot, Learner};
+use verdict_core::{AggKey, QualifiedAggKey, SchemaInfo, Verdict, VerdictConfig};
+use verdict_sql::checker::JoinPolicy;
+use verdict_sql::{check_query, parse_query, resolve_from, SupportVerdict};
+use verdict_storage::{Table, Value};
+use verdict_store::catalog::{catalog_exists, is_valid_table_name, table_dir};
+use verdict_store::{
+    read_catalog, write_catalog, CatalogManifest, Recovered, RecoveryReport, SessionMeta,
+    SharedStore, StorePolicy, SynopsisStore,
+};
+
+use crate::query::{Prepared, QueryOptions};
+use crate::session::{
+    draw_engines, plan_shared_scan, prepare_ingest, run_shared_read, IngestReport, ReadOutcome,
+    SampleRotation, SessionParts,
+};
+use crate::{Error, QueryOutcome, Result};
+
+/// Catalog-level failures: registration and snapshot-pinning errors that
+/// are about the *database*, not about one statement's SQL. (Unknown
+/// table names — from `FROM` or a by-name API call — uniformly surface
+/// as [`verdict_sql::SqlError::UnknownTable`], which lists the catalog.)
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CatalogError {
+    /// A table name was registered twice (names are case-insensitive).
+    DuplicateTable(String),
+    /// A table name is not a valid identifier.
+    InvalidTableName(String),
+    /// The builder was asked to build a database with no tables.
+    NoTables,
+    /// A pinned snapshot from one table was used to query another.
+    SnapshotTableMismatch {
+        /// Table the snapshot was pinned from.
+        snapshot: String,
+        /// Table the query addressed.
+        query: String,
+    },
+}
+
+impl std::fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogError::DuplicateTable(name) => {
+                write!(f, "table {name} is already registered")
+            }
+            CatalogError::InvalidTableName(name) => write!(
+                f,
+                "invalid table name {name:?}: must be an identifier \
+                 ([A-Za-z_][A-Za-z0-9_]*, at most 64 bytes)"
+            ),
+            CatalogError::NoTables => f.write_str("a database needs at least one table"),
+            CatalogError::SnapshotTableMismatch { snapshot, query } => write!(
+                f,
+                "pinned snapshot belongs to table {snapshot}, query addresses {query}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {}
+
+/// One immutable version of a table's *data*: the base table as of one
+/// data epoch, plus the maintained offline samples drawn from it. Ingest
+/// publishes a fresh `DataSet`; readers in flight keep the one they
+/// loaded.
+pub(crate) struct DataSet {
+    pub(crate) data_epoch: u64,
+    pub(crate) table: Arc<Table>,
+    pub(crate) engines: Vec<OnlineAggregation>,
+}
+
+/// An atomically paired view of one table at one instant: the learned
+/// state ([`EngineSnapshot`]) together with the table/sample version
+/// (`data_epoch`) that state describes.
+///
+/// Pin one with [`Database::snapshot`] (or
+/// [`crate::ConcurrentSession::snapshot`]) and run any number of reads
+/// against it via [`QueryOptions::pinned`]: every answer is a pure
+/// function of the pair, bit-reproducible regardless of interleaved
+/// writers or ingests — the pair keeps the exact table and sample version
+/// alive even after newer epochs are published.
+#[derive(Clone)]
+pub struct SessionSnapshot {
+    pub(crate) table_name: Arc<str>,
+    pub(crate) engine: Arc<EngineSnapshot>,
+    pub(crate) data: Arc<DataSet>,
+}
+
+impl SessionSnapshot {
+    /// The catalog name of the table this snapshot pins.
+    pub fn table_name(&self) -> &str {
+        &self.table_name
+    }
+
+    /// The epoch of the learned state (see [`EngineSnapshot::epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.engine.epoch()
+    }
+
+    /// The data epoch of the pinned table/sample version.
+    pub fn data_epoch(&self) -> u64 {
+        self.data.data_epoch
+    }
+
+    /// The pinned learned state.
+    pub fn engine_snapshot(&self) -> &EngineSnapshot {
+        &self.engine
+    }
+
+    /// The pinned base table.
+    pub fn table(&self) -> &Table {
+        &self.data.table
+    }
+
+    /// Encodes the pinned learned state (byte-identical to
+    /// `Verdict::state_bytes` on the engine it was published from).
+    pub fn state_bytes(&self) -> Vec<u8> {
+        self.engine.state_bytes()
+    }
+
+    /// Whether the pinned state carries a trained model for `key`.
+    pub fn has_model(&self, key: &AggKey) -> bool {
+        self.engine.has_model(key)
+    }
+
+    /// Snippets the pinned state retains for `key`.
+    pub fn synopsis_len(&self, key: &AggKey) -> usize {
+        self.engine.synopsis_len(key)
+    }
+
+    /// The engine counters as of the pinned state.
+    pub fn stats(&self) -> verdict_core::EngineStats {
+        self.engine.stats()
+    }
+}
+
+/// The serialized write path of one shard: the learner plus what
+/// checkpointing and ingesting need.
+pub(crate) struct Writer {
+    pub(crate) learner: Learner,
+    pub(crate) meta: SessionMeta,
+}
+
+/// One table's full runtime: published snapshot pair, serialized writer,
+/// per-table durable store. The per-table unit of independence — nothing
+/// in here is shared across tables.
+pub(crate) struct Shard {
+    pub(crate) name: Arc<str>,
+    rotation: SampleRotation,
+    /// The sample `Fixed` rotation and pinned reads scan.
+    pub(crate) fixed_sample: usize,
+    num_samples: usize,
+    /// Next sample index under round-robin rotation.
+    next_sample: AtomicUsize,
+    /// Where readers load the current paired snapshot from. Only the
+    /// writer stores into it (under the writer lock), so the engine half
+    /// and the data half can never be observed mismatched.
+    current: Mutex<SessionSnapshot>,
+    /// The durable store, outside the writer lock: its own mutex
+    /// serializes appends, and parked-error checks must not block on a
+    /// training writer.
+    store: Option<SharedStore>,
+    writer: Mutex<Writer>,
+    recovery: Option<RecoveryReport>,
+}
+
+impl Shard {
+    /// Builds a shard from live parts, publishing the first snapshot.
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        name: &str,
+        table: Table,
+        engines: Vec<OnlineAggregation>,
+        active: usize,
+        rotation: SampleRotation,
+        verdict: Verdict,
+        store: Option<SharedStore>,
+        meta: SessionMeta,
+        recovery: Option<RecoveryReport>,
+    ) -> Arc<Shard> {
+        let data = Arc::new(DataSet {
+            data_epoch: verdict.data_epoch(),
+            table: Arc::new(table),
+            engines,
+        });
+        let learner = Learner::new(verdict);
+        let name: Arc<str> = Arc::from(name);
+        let current = SessionSnapshot {
+            table_name: Arc::clone(&name),
+            engine: learner.snapshot(),
+            data: Arc::clone(&data),
+        };
+        Arc::new(Shard {
+            name,
+            rotation,
+            fixed_sample: active,
+            num_samples: data.engines.len(),
+            next_sample: AtomicUsize::new(active),
+            current: Mutex::new(current),
+            store,
+            writer: Mutex::new(Writer { learner, meta }),
+            recovery,
+        })
+    }
+
+    /// Loads the current paired snapshot (brief lock, two `Arc` copies).
+    pub(crate) fn current(&self) -> SessionSnapshot {
+        self.current
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .clone()
+    }
+
+    /// Publishes the writer's current engine snapshot, paired with `data`
+    /// (or, when `data` is `None`, with the currently published data set).
+    /// Caller holds the writer lock, so pairs are never torn.
+    fn publish_locked(&self, writer: &Writer, data: Option<Arc<DataSet>>) {
+        let mut cur = self
+            .current
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        let data = data.unwrap_or_else(|| Arc::clone(&cur.data));
+        *cur = SessionSnapshot {
+            table_name: Arc::clone(&self.name),
+            engine: writer.learner.snapshot(),
+            data,
+        };
+    }
+
+    /// Which sample the next live query scans: round-robin advances one
+    /// shared counter; `Fixed` always scans the shard's fixed sample.
+    pub(crate) fn pick_sample(&self) -> usize {
+        match self.rotation {
+            SampleRotation::Fixed => self.fixed_sample,
+            SampleRotation::RoundRobin => {
+                self.next_sample.fetch_add(1, Ordering::Relaxed) % self.num_samples
+            }
+        }
+    }
+
+    fn lock_writer(&self) -> MutexGuard<'_, Writer> {
+        // Writer state is consistent at rest; a poisoned lock only means
+        // another thread panicked between mutations.
+        self.writer
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Surfaces any error a background WAL append or deferred compaction
+    /// parked since the last check.
+    pub(crate) fn surface_store_error(&self) -> Result<()> {
+        if let Some(store) = &self.store {
+            if let Some(e) = store.lock().take_error() {
+                return Err(Error::Store(e));
+            }
+        }
+        Ok(())
+    }
+
+    /// The learn path: one serialized absorb per query. Synopsis appends
+    /// (and through the observer hook, WAL appends) happen in writer-lock
+    /// order; the batch republishes once, paired with the current data
+    /// set. No-op for reads that learned nothing (`Mode::NoLearn`).
+    pub(crate) fn absorb_read(&self, read: &ReadOutcome) {
+        if read.recorded.is_empty() && read.stats.is_zero() {
+            return;
+        }
+        let mut writer = self.lock_writer();
+        writer.learner.absorb(&read.recorded, read.stats);
+        self.publish_locked(&writer, None);
+        self.maybe_compact(&mut writer);
+    }
+
+    /// Offline training pass (Algorithm 1) under the writer lock, then —
+    /// for persistent shards — a checkpoint.
+    fn train(&self) -> Result<()> {
+        self.surface_store_error()?;
+        let mut writer = self.lock_writer();
+        writer.learner.train().map_err(Error::Core)?;
+        self.publish_locked(&writer, None);
+        self.snapshot_now(&mut writer).map_err(Error::Store)
+    }
+
+    /// Checkpoints the learned state into a fresh snapshot generation and
+    /// truncates the log. No-op without a store.
+    fn checkpoint(&self) -> Result<()> {
+        self.surface_store_error()?;
+        let mut writer = self.lock_writer();
+        self.snapshot_now(&mut writer).map_err(Error::Store)
+    }
+
+    /// The one store-snapshot path (explicit checkpoints and piggybacked
+    /// compaction). Caller holds the writer lock, so neither the encoded
+    /// state nor the current data set can move underneath the write.
+    fn snapshot_now(&self, writer: &mut Writer) -> verdict_store::Result<()> {
+        let Some(store) = &self.store else {
+            return Ok(());
+        };
+        let table = Arc::clone(&self.current().data.table);
+        let engine = writer.learner.engine();
+        let schema_fp = verdict_core::persist::fingerprint(engine.schema());
+        let state_bytes = engine.state_bytes();
+        store
+            .lock()
+            .snapshot_encoded(writer.meta.clone(), schema_fp, &state_bytes, &table)?;
+        Ok(())
+    }
+
+    /// Folds the log into a fresh snapshot when the store's compaction
+    /// policy asks for it; failures park in the store and surface at the
+    /// next query/checkpoint. Caller holds the writer lock.
+    fn maybe_compact(&self, writer: &mut Writer) {
+        let Some(store) = &self.store else {
+            return;
+        };
+        if !store.lock().needs_compaction() {
+            return;
+        }
+        if let Err(e) = self.snapshot_now(writer) {
+            store.lock().park_error(e);
+        }
+    }
+
+    /// Ingests a row batch into this shard's evolving table, serialized
+    /// with its learn path (readers never block, other tables are not
+    /// involved at all).
+    fn ingest(&self, rows: &[Vec<Value>]) -> Result<IngestReport> {
+        self.surface_store_error()?;
+        let mut writer = self.lock_writer();
+        let snapshot = self.current();
+        if rows.is_empty() {
+            return Ok(IngestReport {
+                appended_rows: 0,
+                admitted_rows: vec![0; self.num_samples],
+                adjusted_keys: 0,
+                adjusted_snippets: 0,
+                skipped_keys: Vec::new(),
+                data_epoch: snapshot.data_epoch(),
+            });
+        }
+        let old = &snapshot.data;
+        // All fallible work first (validation, shift estimation, staged
+        // rewrites + refits) — shared with the serial session; the shift
+        // is estimated against the fixed sample.
+        let prepared = prepare_ingest(
+            writer.learner.engine(),
+            &old.table,
+            old.engines[self.fixed_sample].sample().table(),
+            rows,
+        )?;
+        if let Some(store) = &self.store {
+            store
+                .lock()
+                .append_ingest(rows, &prepared.adjustments)
+                .map_err(Error::Store)?;
+        }
+        // Build the next data set copy-on-write: the table clones once,
+        // each sample's rows clone on its first admission.
+        let mut table = (*old.table).clone();
+        table.push_rows(rows).map_err(Error::Storage)?;
+        let mut engines = old.engines.clone();
+        let mut admitted_rows = Vec::with_capacity(engines.len());
+        for (i, engine) in engines.iter_mut().enumerate() {
+            admitted_rows.push(
+                engine
+                    .absorb_appended(&table, prepared.old_rows as u64, writer.meta.seed, i as u64)
+                    .map_err(Error::Aqp)?,
+            );
+        }
+        let adjusted_snippets = writer.learner.engine_mut().commit_ingest(prepared.staged);
+        writer.learner.republish();
+        let data = Arc::new(DataSet {
+            data_epoch: old.data_epoch + 1,
+            table: Arc::new(table),
+            engines,
+        });
+        let data_epoch = data.data_epoch;
+        self.publish_locked(&writer, Some(data));
+        self.maybe_compact(&mut writer);
+        Ok(IngestReport {
+            appended_rows: rows.len(),
+            admitted_rows,
+            adjusted_keys: prepared.adjustments.len(),
+            adjusted_snippets,
+            skipped_keys: prepared.skipped_keys,
+            data_epoch,
+        })
+    }
+}
+
+struct DbInner {
+    shards: Vec<Arc<Shard>>,
+    /// Registration-order names, the catalog `FROM` resolves against.
+    names: Vec<String>,
+    /// Compatibility fallback: resolve unknown `FROM` names to this shard
+    /// (set by the single-table session wrappers, never by the builder).
+    default_table: Option<usize>,
+    join_policy: JoinPolicy,
+    /// Root directory of a persistent catalog (v3 layout), if any.
+    root: Option<PathBuf>,
+}
+
+/// A multi-table database handle: the catalog of learned tables.
+///
+/// `Send + Sync + Clone` — clone it into as many threads as you like; all
+/// clones share the per-table shards. See the [module docs](self) for the
+/// architecture.
+#[derive(Clone)]
+pub struct Database {
+    inner: Arc<DbInner>,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.inner.names)
+            .field("persistent", &self.is_persistent())
+            .finish()
+    }
+}
+
+/// Per-table construction knobs (sampling geometry, engine config).
+/// Defaults match [`crate::SessionBuilder`]'s.
+#[derive(Debug, Clone)]
+pub struct TableOptions {
+    /// Sampling fraction for each offline uniform sample (default 10%).
+    pub sample_fraction: f64,
+    /// Batch size in sample rows (default 1000).
+    pub batch_size: usize,
+    /// RNG seed for sample drawing.
+    pub seed: u64,
+    /// Number of independent offline samples (default 1).
+    pub num_samples: usize,
+    /// Sample rotation across queries (default fixed).
+    pub rotation: SampleRotation,
+    /// Inference-engine configuration.
+    pub config: VerdictConfig,
+    /// Storage tier for the cost model.
+    pub tier: StorageTier,
+    /// Cost model.
+    pub cost: CostModel,
+}
+
+impl Default for TableOptions {
+    fn default() -> Self {
+        TableOptions {
+            sample_fraction: 0.1,
+            batch_size: 1000,
+            seed: 0,
+            num_samples: 1,
+            rotation: SampleRotation::Fixed,
+            config: VerdictConfig::default(),
+            tier: StorageTier::Cached,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// The warm-start knobs [`Database::open_with`] accepts: exactly the
+/// configuration the store does *not* persist. Sample identity (seed,
+/// fraction, batch size, sample count) and the engine config always come
+/// from the persisted metadata.
+///
+/// Non-exhaustive — construct with [`OpenOptions::new`] and refine with
+/// the `with_*` methods.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct OpenOptions {
+    /// Foreign-key join policy for the checker (default: no joins).
+    pub join_policy: JoinPolicy,
+    /// Compaction/durability policy for the per-table stores.
+    pub store_policy: StorePolicy,
+    /// Sample rotation, applied to every table (default fixed).
+    pub rotation: SampleRotation,
+    /// Storage tier for the cost model (default cached).
+    pub tier: StorageTier,
+    /// Cost model.
+    pub cost: CostModel,
+}
+
+impl Default for OpenOptions {
+    fn default() -> Self {
+        OpenOptions {
+            join_policy: JoinPolicy::none(),
+            store_policy: StorePolicy::default(),
+            rotation: SampleRotation::Fixed,
+            tier: StorageTier::Cached,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+impl OpenOptions {
+    /// The defaults (see field docs).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the checker's join policy.
+    pub fn with_join_policy(mut self, p: JoinPolicy) -> Self {
+        self.join_policy = p;
+        self
+    }
+
+    /// Sets the per-table stores' compaction/durability policy.
+    pub fn with_store_policy(mut self, p: StorePolicy) -> Self {
+        self.store_policy = p;
+        self
+    }
+
+    /// Sets every table's sample rotation.
+    pub fn with_rotation(mut self, r: SampleRotation) -> Self {
+        self.rotation = r;
+        self
+    }
+
+    /// Sets the storage tier for the cost model.
+    pub fn with_tier(mut self, t: StorageTier) -> Self {
+        self.tier = t;
+        self
+    }
+
+    /// Sets the cost model.
+    pub fn with_cost(mut self, c: CostModel) -> Self {
+        self.cost = c;
+        self
+    }
+}
+
+/// Builder for a [`Database`]. Tables are registered up front; the
+/// catalog is fixed for the database's lifetime.
+pub struct DatabaseBuilder {
+    tables: Vec<(String, Table, TableOptions)>,
+    join_policy: JoinPolicy,
+    persist: Option<PathBuf>,
+    store_policy: StorePolicy,
+}
+
+impl DatabaseBuilder {
+    /// Registers a table under `name` with default [`TableOptions`].
+    pub fn register_table(self, name: &str, table: Table) -> Self {
+        self.register_table_with(name, table, TableOptions::default())
+    }
+
+    /// Registers a table under `name` with explicit options.
+    pub fn register_table_with(mut self, name: &str, table: Table, opts: TableOptions) -> Self {
+        self.tables.push((name.to_owned(), table, opts));
+        self
+    }
+
+    /// Foreign-key join policy for the checker (database-wide).
+    pub fn join_policy(mut self, p: JoinPolicy) -> Self {
+        self.join_policy = p;
+        self
+    }
+
+    /// Persists the whole catalog under `dir`: a `CATALOG` manifest plus
+    /// one per-table store in `tables/<name>/`. Fails at build time if a
+    /// database (or legacy single-table store) already exists there —
+    /// reopen with [`Database::open`].
+    pub fn persist_to(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.persist = Some(dir.into());
+        self
+    }
+
+    /// Overrides the per-table stores' compaction/durability policy.
+    pub fn store_policy(mut self, policy: StorePolicy) -> Self {
+        self.store_policy = policy;
+        self
+    }
+
+    /// Builds the database: validates the catalog, draws every table's
+    /// samples, and (with persistence) writes the manifest and creates the
+    /// per-table stores.
+    pub fn build(self) -> Result<Database> {
+        if self.tables.is_empty() {
+            return Err(Error::Catalog(CatalogError::NoTables));
+        }
+        let mut seen: HashSet<String> = HashSet::new();
+        for (name, _, _) in &self.tables {
+            if !is_valid_table_name(name) {
+                return Err(Error::Catalog(CatalogError::InvalidTableName(name.clone())));
+            }
+            if !seen.insert(name.to_ascii_lowercase()) {
+                return Err(Error::Catalog(CatalogError::DuplicateTable(name.clone())));
+            }
+        }
+        let names: Vec<String> = self.tables.iter().map(|(n, _, _)| n.clone()).collect();
+
+        if let Some(root) = &self.persist {
+            if catalog_exists(root) || SynopsisStore::exists(root) {
+                return Err(Error::Store(verdict_store::StoreError::Mismatch(format!(
+                    "a database or store already exists in {}; open it instead",
+                    root.display()
+                ))));
+            }
+        }
+
+        let mut shards = Vec::with_capacity(self.tables.len());
+        for (name, table, opts) in self.tables {
+            let engines = draw_engines(
+                &table,
+                table.num_rows(),
+                opts.sample_fraction,
+                opts.batch_size,
+                opts.seed,
+                opts.num_samples.max(1),
+                &opts.cost,
+                opts.tier,
+            )?;
+            let schema = SchemaInfo::from_table(&table)?;
+            let meta = SessionMeta {
+                sample_fraction: opts.sample_fraction,
+                batch_size: opts.batch_size as u64,
+                seed: opts.seed,
+                num_samples: opts.num_samples.max(1) as u64,
+                original_rows: table.num_rows() as u64,
+                config: opts.config.clone(),
+            };
+            let mut verdict = Verdict::new(schema, opts.config);
+            let store = match &self.persist {
+                Some(root) => {
+                    let store = SynopsisStore::create(
+                        table_dir(root, &name),
+                        self.store_policy.clone(),
+                        meta.clone(),
+                        &table,
+                        &verdict.export_state(),
+                    )
+                    .map_err(Error::Store)?;
+                    Some(SharedStore::new(store))
+                }
+                None => None,
+            };
+            if let Some(store) = &store {
+                verdict.set_observer(store.observer());
+            }
+            shards.push(Shard::new(
+                &name,
+                table,
+                engines,
+                0,
+                opts.rotation,
+                verdict,
+                store,
+                meta,
+                None,
+            ));
+        }
+        // The manifest is written *last*: it is the commit point of the
+        // build. A crash or failure while the per-table stores were being
+        // created leaves no CATALOG, so `open` cannot pick up a
+        // half-built catalog (it reports "no snapshot" / not-found
+        // instead of a missing-table surprise).
+        if let Some(root) = &self.persist {
+            write_catalog(
+                root,
+                &CatalogManifest {
+                    tables: names.clone(),
+                },
+            )
+            .map_err(Error::Store)?;
+        }
+        Ok(Database {
+            inner: Arc::new(DbInner {
+                shards,
+                names,
+                default_table: None,
+                join_policy: self.join_policy,
+                root: self.persist,
+            }),
+        })
+    }
+}
+
+impl Database {
+    /// Starts an empty catalog builder.
+    pub fn builder() -> DatabaseBuilder {
+        DatabaseBuilder {
+            tables: Vec::new(),
+            join_policy: JoinPolicy::none(),
+            persist: None,
+            store_policy: StorePolicy::default(),
+        }
+    }
+
+    /// Warm-starts a database from a directory previously created with
+    /// [`DatabaseBuilder::persist_to`] — every table's samples are
+    /// redrawn bit-identically and its learned state recovered (newest
+    /// valid snapshot + WAL replay, per table). Equivalent to
+    /// [`Database::open_with`] with default [`OpenOptions`].
+    ///
+    /// A legacy v2 single-table store directory (one created through
+    /// [`crate::SessionBuilder::persist_to`]) also opens: its table is
+    /// named `"t"` and any `FROM` name resolves to it, preserving the
+    /// pre-catalog sessions' behavior.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Database> {
+        Database::open_with(dir, OpenOptions::new())
+    }
+
+    /// [`Database::open`] with explicit [`OpenOptions`] — the knobs the
+    /// store does **not** persist (join policy, store policy, sample
+    /// rotation, cost model, storage tier) and would otherwise reopen at
+    /// their defaults. Everything sample-identity-affecting (seed,
+    /// fraction, batch size, sample count, engine config) comes from the
+    /// persisted metadata and cannot be overridden, exactly like the
+    /// session API's warm start.
+    pub fn open_with(dir: impl AsRef<Path>, opts: OpenOptions) -> Result<Database> {
+        let root = dir.as_ref();
+        if catalog_exists(root) {
+            let manifest = read_catalog(root).map_err(Error::Store)?;
+            let mut shards = Vec::with_capacity(manifest.tables.len());
+            for name in &manifest.tables {
+                let (store, recovered) =
+                    SynopsisStore::open(table_dir(root, name), opts.store_policy.clone())
+                        .map_err(Error::Store)?;
+                shards.push(shard_from_recovered(name, store, recovered, &opts)?);
+            }
+            Ok(Database {
+                inner: Arc::new(DbInner {
+                    shards,
+                    names: manifest.tables,
+                    default_table: None,
+                    join_policy: opts.join_policy,
+                    root: Some(root.to_path_buf()),
+                }),
+            })
+        } else {
+            // Legacy v2 single-table layout: the store files live at the
+            // root itself and carry no table name.
+            let (store, recovered) =
+                SynopsisStore::open(root, opts.store_policy.clone()).map_err(Error::Store)?;
+            let shard = shard_from_recovered("t", store, recovered, &opts)?;
+            Ok(Database {
+                inner: Arc::new(DbInner {
+                    shards: vec![shard],
+                    names: vec!["t".to_owned()],
+                    default_table: Some(0),
+                    join_policy: opts.join_policy,
+                    root: Some(root.to_path_buf()),
+                }),
+            })
+        }
+    }
+
+    /// Wraps one live table (a promoted session) as a single-table
+    /// database. `lenient_from` preserves the pre-catalog sessions'
+    /// behavior of accepting any `FROM` name.
+    pub(crate) fn from_session_parts(
+        parts: SessionParts,
+        name: &str,
+        lenient_from: bool,
+    ) -> Database {
+        let shard = Shard::new(
+            name,
+            parts.table,
+            parts.engines,
+            parts.active,
+            parts.rotation,
+            parts.verdict,
+            parts.store,
+            parts.meta,
+            parts.recovery,
+        );
+        Database {
+            inner: Arc::new(DbInner {
+                shards: vec![shard],
+                names: vec![name.to_owned()],
+                default_table: lenient_from.then_some(0),
+                join_policy: parts.join_policy,
+                root: None,
+            }),
+        }
+    }
+
+    /// The registered table names, in registration order.
+    pub fn table_names(&self) -> &[String] {
+        &self.inner.names
+    }
+
+    /// The root directory of a persistent database.
+    pub fn root_dir(&self) -> Option<&Path> {
+        self.inner.root.as_deref()
+    }
+
+    /// Whether this database writes to durable stores.
+    pub fn is_persistent(&self) -> bool {
+        self.inner.shards.iter().any(|s| s.store.is_some())
+    }
+
+    /// Resolves a table name against the catalog.
+    pub(crate) fn shard(&self, name: &str) -> Result<&Arc<Shard>> {
+        let index =
+            resolve_from(name, &self.inner.names, self.inner.default_table).map_err(Error::Sql)?;
+        Ok(&self.inner.shards[index])
+    }
+
+    /// The shard a wrapper session (exactly one table) talks to.
+    pub(crate) fn sole_shard(&self) -> &Arc<Shard> {
+        debug_assert_eq!(self.inner.shards.len(), 1);
+        &self.inner.shards[0]
+    }
+
+    /// The current base table of `name` (newest published data epoch).
+    /// Cheap: clones an `Arc`, not the rows.
+    pub fn table(&self, name: &str) -> Result<Arc<Table>> {
+        Ok(Arc::clone(&self.shard(name)?.current().data.table))
+    }
+
+    /// The current published snapshot pair of `name` — pin it via
+    /// [`QueryOptions::pinned`] to run a batch of queries against one
+    /// epoch.
+    pub fn snapshot(&self, name: &str) -> Result<SessionSnapshot> {
+        Ok(self.shard(name)?.current())
+    }
+
+    /// The learned-state epoch of `name`'s current snapshot. Monotone.
+    pub fn epoch(&self, name: &str) -> Result<u64> {
+        Ok(self.shard(name)?.current().epoch())
+    }
+
+    /// The data epoch of `name`'s current snapshot: how many ingested
+    /// batches its visible table has absorbed. Monotone.
+    pub fn data_epoch(&self, name: &str) -> Result<u64> {
+        Ok(self.shard(name)?.current().data_epoch())
+    }
+
+    /// The recovery report of `name`, when it was warm-started.
+    pub fn recovery_report(&self, name: &str) -> Result<Option<&RecoveryReport>> {
+        Ok(self.shard(name)?.recovery.as_ref())
+    }
+
+    /// Whether `key`'s table currently publishes a trained model for it.
+    pub fn has_model(&self, key: &QualifiedAggKey) -> Result<bool> {
+        Ok(self.shard(&key.table)?.current().has_model(&key.key))
+    }
+
+    /// Snippets `key`'s table currently retains for it.
+    pub fn synopsis_len(&self, key: &QualifiedAggKey) -> Result<usize> {
+        Ok(self.shard(&key.table)?.current().synopsis_len(&key.key))
+    }
+
+    /// Every aggregate the database has learned anything about, qualified
+    /// by table (deterministic order: tables in registration order, keys
+    /// sorted within a table).
+    pub fn learned_keys(&self) -> Vec<QualifiedAggKey> {
+        let mut out = Vec::new();
+        for (name, shard) in self.inner.names.iter().zip(&self.inner.shards) {
+            let snapshot = shard.current();
+            for key in snapshot.engine.synopsis_keys() {
+                out.push(key.qualify(name));
+            }
+        }
+        out
+    }
+
+    /// Parses, resolves `FROM` against the catalog, checks, plans, and
+    /// answers an ad-hoc SQL query under `opts`. Safe from any number of
+    /// threads; learning serializes only within the addressed table.
+    pub fn query(&self, sql: &str, opts: &QueryOptions) -> Result<QueryOutcome> {
+        let query = parse_query(sql)?;
+        let shard = self.shard(&query.from)?;
+        // Pinned reads are pure functions of their snapshot: they never
+        // touch the store, so they must neither surface nor *consume* a
+        // parked store error (the writer path is promised to see it).
+        if opts.pinned_epoch.is_none() {
+            shard.surface_store_error()?;
+        }
+        if let SupportVerdict::Unsupported(reasons) = check_query(&query, &self.inner.join_policy) {
+            return Ok(QueryOutcome::Unsupported(reasons));
+        }
+        let (snapshot, sample, learn) = pin_snapshot(shard, opts)?;
+        let engine = &snapshot.data.engines[sample];
+        let plan = plan_shared_scan(&query, engine, snapshot.engine.config().nmax)?;
+        let read = run_shared_read(
+            engine,
+            snapshot.engine.view(),
+            &plan,
+            opts.mode,
+            opts.policy,
+            snapshot.engine.epoch(),
+        )?;
+        if learn {
+            shard.absorb_read(&read);
+        }
+        Ok(QueryOutcome::Answered(read.result))
+    }
+
+    /// Prepares a statement: parse → check → resolve → plan template run
+    /// **once**. The returned handle executes repeatedly with only
+    /// literal re-binding — see [`Prepared`].
+    ///
+    /// Unsupported statements fail here (they cannot be served), as do
+    /// placeholders outside predicate-literal positions.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared> {
+        let query = parse_query(sql)?;
+        let shard = self.shard(&query.from)?;
+        if let SupportVerdict::Unsupported(reasons) = check_query(&query, &self.inner.join_policy) {
+            return Err(Error::Unsupported(reasons));
+        }
+        let snapshot = shard.current();
+        let sample_table = snapshot.data.engines[shard.fixed_sample].sample().table();
+        let inner = verdict_sql::prepare_query(&query, sample_table)?;
+        Ok(Prepared::new(Arc::clone(shard), inner, sql.to_owned()))
+    }
+
+    /// Ingests a row batch into `name`'s evolving table. Serialized with
+    /// that table's learn path only — queries on other tables are
+    /// completely unaffected.
+    pub fn ingest(&self, name: &str, rows: &[Vec<Value>]) -> Result<IngestReport> {
+        self.shard(name)?.ingest(rows)
+    }
+
+    /// Offline training pass (Algorithm 1) for `name`, checkpointed when
+    /// persistent.
+    pub fn train(&self, name: &str) -> Result<()> {
+        self.shard(name)?.train()
+    }
+
+    /// Trains every table in the catalog.
+    pub fn train_all(&self) -> Result<()> {
+        for shard in &self.inner.shards {
+            shard.train()?;
+        }
+        Ok(())
+    }
+
+    /// Checkpoints `name`'s learned state into a fresh store snapshot.
+    pub fn checkpoint_table(&self, name: &str) -> Result<()> {
+        self.shard(name)?.checkpoint()
+    }
+
+    /// Checkpoints every table.
+    pub fn checkpoint(&self) -> Result<()> {
+        for shard in &self.inner.shards {
+            shard.checkpoint()?;
+        }
+        Ok(())
+    }
+}
+
+/// Picks the snapshot a query runs against: the caller's pinned pair
+/// (fixed sample, learning skipped — a pinned read is a pure function of
+/// the snapshot) or the shard's current one (rotation advances, learning
+/// on).
+pub(crate) fn pin_snapshot(
+    shard: &Shard,
+    opts: &QueryOptions,
+) -> Result<(SessionSnapshot, usize, bool)> {
+    match &opts.pinned_epoch {
+        Some(snapshot) => {
+            if *snapshot.table_name != *shard.name {
+                return Err(Error::Catalog(CatalogError::SnapshotTableMismatch {
+                    snapshot: snapshot.table_name().to_owned(),
+                    query: shard.name.to_string(),
+                }));
+            }
+            Ok((snapshot.clone(), shard.fixed_sample, false))
+        }
+        None => {
+            let snapshot = shard.current();
+            let sample = shard.pick_sample();
+            Ok((snapshot, sample, true))
+        }
+    }
+}
+
+/// Rebuilds one table's shard from its recovered store: redraw the
+/// original sample from the original row prefix (same seed →
+/// bit-identical draw), re-admit any ingested tail deterministically, and
+/// restore the learned state. Mirrors [`crate::SessionBuilder::open`] +
+/// `build`, per table.
+fn shard_from_recovered(
+    name: &str,
+    store: SynopsisStore,
+    recovered: Recovered,
+    opts: &OpenOptions,
+) -> Result<Arc<Shard>> {
+    let meta = recovered.meta.clone();
+    let engines = draw_engines(
+        &recovered.table,
+        meta.original_rows as usize,
+        meta.sample_fraction,
+        meta.batch_size as usize,
+        meta.seed,
+        meta.num_samples as usize,
+        &opts.cost,
+        opts.tier,
+    )?;
+    // Reuse the *persisted* schema: deriving it from the recovered table
+    // would pick up bounds widened by ingested rows and spuriously reject
+    // the stored state as schema-mismatched.
+    let schema = recovered.state.schema.clone();
+    let mut verdict = Verdict::new(schema, meta.config.clone());
+    verdict
+        .restore_state(recovered.state)
+        .map_err(Error::Core)?;
+    verdict.set_data_epoch(recovered.data_epoch);
+    let shared = SharedStore::new(store);
+    verdict.set_observer(shared.observer());
+    Ok(Shard::new(
+        name,
+        recovered.table,
+        engines,
+        0,
+        opts.rotation,
+        verdict,
+        Some(shared),
+        meta,
+        Some(recovered.report),
+    ))
+}
+
+// Compile-time proof of the headline property: a database handle crosses
+// threads, and so does a pinned snapshot pair.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+    assert_send_sync::<SessionSnapshot>();
+};

@@ -8,45 +8,120 @@
 //! error bounds** — provably never worse than the raw AQP answer
 //! (Theorem 1).
 //!
-//! ## Quickstart
+//! ## Quickstart: a multi-table [`Database`]
+//!
+//! The front door is the [`Database`] catalog: register any number of
+//! tables, query them with `FROM <name>` resolved against the catalog,
+//! and each table learns independently (its own samples, synopsis, and
+//! models — see [`verdict_core::QualifiedAggKey`]).
 //!
 //! ```
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
-//! use verdict::{Mode, SessionBuilder, StopPolicy};
+//! use verdict::{Database, QueryOptions};
 //!
 //! let mut rng = StdRng::seed_from_u64(7);
-//! // A table with a numeric time dimension and a measure.
 //! let spec = verdict::workload::synthetic::SyntheticSpec {
 //!     rows: 20_000,
 //!     ..Default::default()
 //! };
-//! let table = verdict::workload::synthetic::generate_table(&spec, &mut rng);
+//! let orders = verdict::workload::synthetic::generate_table(&spec, &mut rng);
+//! let events = verdict::workload::synthetic::generate_table(&spec, &mut rng);
 //!
-//! let mut session = SessionBuilder::new(table)
-//!     .sample_fraction(0.1)
-//!     .seed(7)
+//! let db = Database::builder()
+//!     .register_table("orders", orders)
+//!     .register_table("events", events)
 //!     .build()
-//!     .expect("session");
+//!     .expect("database");
 //!
-//! // Warm up the synopsis with a few queries, then train.
+//! // Warm up the orders synopsis with a few queries, then train.
+//! let opts = QueryOptions::new();
 //! for lo in [0.0_f64, 2.0, 4.0, 6.0] {
-//!     session
-//!         .execute(&format!("SELECT AVG(m) FROM t WHERE d0 BETWEEN {lo} AND {}", lo + 2.0),
-//!                  Mode::Verdict, StopPolicy::ScanAll)
-//!         .expect("query");
+//!     db.query(
+//!         &format!("SELECT AVG(m) FROM orders WHERE d0 BETWEEN {lo} AND {}", lo + 2.0),
+//!         &opts,
+//!     )
+//!     .expect("query");
 //! }
-//! session.train().expect("train");
+//! db.train("orders").expect("train");
 //!
-//! // New queries now come back with improved (smaller) error bounds.
-//! let result = session
-//!     .execute("SELECT AVG(m) FROM t WHERE d0 BETWEEN 1 AND 3",
-//!              Mode::Verdict, StopPolicy::ScanAll)
+//! // New queries on `orders` now come back with improved error bounds;
+//! // `events` is untouched — tables learn independently.
+//! let result = db
+//!     .query("SELECT AVG(m) FROM orders WHERE d0 BETWEEN 1 AND 3", &opts)
 //!     .expect("query")
 //!     .unwrap_answered();
 //! let cell = &result.rows[0].values[0];
 //! assert!(cell.improved.error <= cell.raw_error);
 //! ```
+//!
+//! ## Prepared statements: the serving path
+//!
+//! Repeated query shapes skip the SQL layer entirely:
+//! [`Database::prepare`] runs parse → check → resolve → plan-template
+//! once, and every execution afterwards only re-binds literals.
+//!
+//! ```
+//! # use rand::rngs::StdRng;
+//! # use rand::SeedableRng;
+//! # use verdict::{Database, QueryOptions};
+//! # let mut rng = StdRng::seed_from_u64(7);
+//! # let spec = verdict::workload::synthetic::SyntheticSpec {
+//! #     rows: 5_000,
+//! #     ..Default::default()
+//! # };
+//! # let orders = verdict::workload::synthetic::generate_table(&spec, &mut rng);
+//! # let db = Database::builder().register_table("orders", orders).build().unwrap();
+//! let stmt = db
+//!     .prepare("SELECT AVG(m) FROM orders WHERE d0 BETWEEN ? AND ?")
+//!     .expect("prepare");
+//! for lo in [1.0_f64, 3.0, 5.0] {
+//!     let out = stmt
+//!         .bind(&[lo.into(), (lo + 2.0).into()])
+//!         .expect("bind")
+//!         .run(&QueryOptions::new())
+//!         .expect("run")
+//!         .unwrap_answered();
+//!     assert_eq!(out.rows.len(), 1);
+//! }
+//! ```
+//!
+//! ## Persistence
+//!
+//! [`DatabaseBuilder::persist_to`] persists the whole catalog under one
+//! directory (a `CATALOG` manifest plus one crash-safe store per table);
+//! [`Database::open`] warm-starts every table from it with bit-identical
+//! learned state — the first query after a restart already enjoys the
+//! error bounds the previous process earned
+//! (`cargo run --release --example catalog`).
+//!
+//! ## Evolving tables
+//!
+//! Tables are not frozen: [`Database::ingest`] appends row batches
+//! through the full stack — table growth, sample maintenance at the
+//! correct inclusion probability, WAL-logged recovery, and automatic
+//! Lemma-3 widening of every stored snippet — serialized only within the
+//! addressed table, so queries on other tables never stall
+//! (`cargo run --release --example ingest`).
+//!
+//! ## Migrating from the session API
+//!
+//! [`VerdictSession`] (serial, one table) and [`ConcurrentSession`]
+//! (multi-threaded, one table) remain as single-table fronts; the
+//! concurrent session is literally a thin wrapper over a one-table
+//! [`Database`]. To move code over:
+//!
+//! - `SessionBuilder::new(t).build()` → `Database::builder()
+//!   .register_table("t", t).build()`; per-table knobs (sample fraction,
+//!   seed, …) move into [`TableOptions`].
+//! - `session.execute(sql, mode, policy)` → `db.query(sql,
+//!   &QueryOptions::new().with_mode(mode).with_policy(policy))`.
+//! - `SessionBuilder::open(dir)` → [`Database::open`] — a legacy
+//!   single-table store directory opens as a one-table database (table
+//!   name `"t"`, any `FROM` accepted).
+//! - An existing session promotes in place:
+//!   [`VerdictSession::into_database`] /
+//!   [`ConcurrentSession::into_database`].
 //!
 //! ## Crate map
 //!
@@ -54,34 +129,25 @@
 //! |---|---|
 //! | [`verdict_core`] | snippets, synopsis, kernel, learning, inference, validation, append, read/learn split |
 //! | [`verdict_aqp`] | uniform samples, online aggregation, time-bound engine, cost model |
-//! | [`verdict_sql`] | parser, supported-query checker, snippet decomposition |
+//! | [`verdict_sql`] | parser (with `?` placeholders), supported-query checker, catalog name resolution, snippet decomposition, prepared plan templates |
 //! | [`verdict_storage`] | columnar tables, predicates, exact aggregation, FK joins |
-//! | [`verdict_store`] | durable synopsis store: snippet log, snapshots, crash recovery |
-//! | [`verdict_workload`] | synthetic / TPC-H-style / Customer1-style generators |
+//! | [`verdict_store`] | durable stores: snippet log, snapshots, crash recovery, the v3 catalog manifest |
+//! | [`verdict_workload`] | synthetic / TPC-H-style / Customer1-style / multi-table generators |
 //! | [`verdict_stats`], [`verdict_linalg`] | math substrates |
 //!
-//! ## Persistence
-//!
-//! Sessions can outlive the process. [`SessionBuilder::persist_to`]
-//! attaches a durable synopsis store: every observed snippet is logged,
-//! and training checkpoints the full model state. [`SessionBuilder::open`]
-//! warm-starts a session from such a store — the first query after reopen
-//! already enjoys the tightened error bounds the previous session earned
-//! (`cargo run --example persistence`).
-//!
-//! ## Evolving tables
-//!
-//! Tables are not frozen: [`VerdictSession::ingest`] (and
-//! [`ConcurrentSession::ingest`]) appends row batches through the full
-//! stack — table growth, sample maintenance at the correct inclusion
-//! probability, WAL-logged recovery, and automatic Lemma-3 widening of
-//! every stored snippet so stale answers keep honest error bounds until
-//! the next retrain (`cargo run --example ingest`).
+//! Root-crate layering: [`database`] (catalog + per-table shards) and
+//! [`query`] (options + prepared statements) form the serving front-end;
+//! [`session`] and [`concurrent`] are the single-table compatibility
+//! fronts over the same pipeline.
 
 pub mod concurrent;
+pub mod database;
+pub mod query;
 pub mod session;
 
 pub use concurrent::{ConcurrentSession, SessionSnapshot};
+pub use database::{CatalogError, Database, DatabaseBuilder, OpenOptions, TableOptions};
+pub use query::{Bound, Prepared, QueryOptions};
 pub use session::{
     CellAnswer, IngestReport, Mode, QueryOutcome, QueryResult, ResultRow, SampleRotation,
     SessionBuilder, StopPolicy, VerdictSession,
@@ -97,11 +163,17 @@ pub use verdict_storage as storage;
 pub use verdict_store as store;
 pub use verdict_workload as workload;
 
-/// Errors surfaced by the session layer.
+/// Errors surfaced by the serving layer.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum Error {
-    /// SQL front-end failure.
+    /// SQL front-end failure (parse, resolution, placeholder binding).
     Sql(verdict_sql::SqlError),
+    /// Catalog failure (registration, table lookup, snapshot pinning).
+    Catalog(CatalogError),
+    /// The statement is outside Verdict's supported class (prepare-time;
+    /// ad-hoc queries report this as [`QueryOutcome::Unsupported`]).
+    Unsupported(Vec<verdict_sql::UnsupportedReason>),
     /// Inference-engine failure.
     Core(verdict_core::CoreError),
     /// AQP-engine failure.
@@ -115,6 +187,11 @@ pub enum Error {
 impl From<verdict_sql::SqlError> for Error {
     fn from(e: verdict_sql::SqlError) -> Self {
         Error::Sql(e)
+    }
+}
+impl From<CatalogError> for Error {
+    fn from(e: CatalogError) -> Self {
+        Error::Catalog(e)
     }
 }
 impl From<verdict_core::CoreError> for Error {
@@ -142,6 +219,17 @@ impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Error::Sql(e) => write!(f, "{e}"),
+            Error::Catalog(e) => write!(f, "{e}"),
+            Error::Unsupported(reasons) => {
+                write!(f, "statement is outside the supported class: ")?;
+                for (i, r) in reasons.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{r}")?;
+                }
+                Ok(())
+            }
             Error::Core(e) => write!(f, "{e}"),
             Error::Aqp(e) => write!(f, "{e}"),
             Error::Storage(e) => write!(f, "{e}"),

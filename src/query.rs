@@ -1,0 +1,243 @@
+//! Query execution options and the prepared-statement serving path.
+//!
+//! [`QueryOptions`] replaces the positional `Mode`/`StopPolicy` arguments
+//! of the session API: one struct carries the inference mode, the stop
+//! policy, and an optional pinned snapshot, and new knobs can be added
+//! without breaking callers (the struct is `#[non_exhaustive]`; build it
+//! with the `with_*` methods).
+//!
+//! [`Prepared`] is the hot serving path for repeated query shapes:
+//! [`crate::Database::prepare`] runs parse → check → resolve →
+//! plan-template **once**; every [`Prepared::bind`] + [`Bound::run`]
+//! afterwards only substitutes literals into the compiled plan, picks a
+//! snapshot, and scans — the lexer, parser, checker, and decomposer are
+//! never touched again. Answers are bit-identical to ad-hoc
+//! [`crate::Database::query`] of the same statement with the literals
+//! inlined (the `prepare` benchmark asserts this).
+
+use std::sync::Arc;
+
+use verdict_aqp::AqpEngine;
+use verdict_sql::{ParamKind, PreparedQuery};
+use verdict_storage::{distinct_group_keys, GroupKey, Value};
+
+use crate::database::{pin_snapshot, SessionSnapshot, Shard};
+use crate::session::run_shared_read;
+use crate::{Error, Mode, QueryOutcome, Result, StopPolicy};
+
+/// How one query executes: inference mode, stop policy, and (optionally)
+/// a pinned snapshot.
+///
+/// Non-exhaustive — construct with [`QueryOptions::new`] /
+/// [`Default::default`] and refine with the `with_*` methods:
+///
+/// ```ignore
+/// let opts = QueryOptions::new()
+///     .with_mode(Mode::Verdict)
+///     .with_policy(StopPolicy::RelativeErrorBound { target: 0.025, delta: 0.95 });
+/// ```
+#[derive(Clone)]
+#[non_exhaustive]
+pub struct QueryOptions {
+    /// Whether inference improves answers (default [`Mode::Verdict`]).
+    pub mode: Mode,
+    /// When the sample scan stops (default [`StopPolicy::ScanAll`]).
+    pub policy: StopPolicy,
+    /// Pin the read to a previously captured snapshot pair: the query is
+    /// answered entirely from that epoch's learned state **and** data
+    /// version, learning is skipped, and the rotation counter does not
+    /// advance — a pure function of the snapshot, bit-reproducible
+    /// regardless of concurrent writers or ingests. The snapshot must
+    /// come from the table the query addresses.
+    pub pinned_epoch: Option<SessionSnapshot>,
+}
+
+impl Default for QueryOptions {
+    fn default() -> Self {
+        QueryOptions {
+            mode: Mode::Verdict,
+            policy: StopPolicy::ScanAll,
+            pinned_epoch: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for QueryOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryOptions")
+            .field("mode", &format_args!("{}", self.mode))
+            .field("policy", &format_args!("{}", self.policy))
+            .field(
+                "pinned_epoch",
+                &self.pinned_epoch.as_ref().map(|s| s.epoch()),
+            )
+            .finish()
+    }
+}
+
+impl QueryOptions {
+    /// The defaults: `Mode::Verdict`, `StopPolicy::ScanAll`, no pin.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Shorthand for the baseline mode (raw AQP answers, no learning).
+    pub fn no_learn() -> Self {
+        Self::new().with_mode(Mode::NoLearn)
+    }
+
+    /// Sets the inference mode.
+    pub fn with_mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the stop policy.
+    pub fn with_policy(mut self, policy: StopPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Pins the read to `snapshot` (see [`QueryOptions::pinned_epoch`]).
+    pub fn pinned(mut self, snapshot: SessionSnapshot) -> Self {
+        self.pinned_epoch = Some(snapshot);
+        self
+    }
+}
+
+/// A statement prepared by [`crate::Database::prepare`]: the whole SQL
+/// layer's work, done once and frozen.
+///
+/// `Send + Sync + Clone` — one prepared handle can serve any number of
+/// threads concurrently; each [`Prepared::bind`] / [`Bound::run`] pair is
+/// an independent execution against the table's current (or a pinned)
+/// snapshot.
+#[derive(Clone)]
+pub struct Prepared {
+    shard: Arc<Shard>,
+    inner: PreparedQuery,
+    sql: String,
+}
+
+impl std::fmt::Debug for Prepared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Prepared")
+            .field("sql", &self.sql)
+            .field("table", &self.table_name())
+            .field("placeholders", &self.placeholder_count())
+            .finish()
+    }
+}
+
+impl Prepared {
+    pub(crate) fn new(shard: Arc<Shard>, inner: PreparedQuery, sql: String) -> Prepared {
+        Prepared { shard, inner, sql }
+    }
+
+    /// The original statement text.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// The catalog table the statement resolved to.
+    pub fn table_name(&self) -> &str {
+        &self.shard.name
+    }
+
+    /// Number of `?` placeholders the statement binds.
+    pub fn placeholder_count(&self) -> usize {
+        self.inner.placeholder_count()
+    }
+
+    /// Binds the placeholders, validating count and value kinds eagerly:
+    /// a wrong parameter count or a parameter whose type cannot fit its
+    /// column returns a typed error here, before any scan work.
+    pub fn bind(&self, params: &[Value]) -> Result<Bound<'_>> {
+        if params.len() != self.inner.placeholder_count() {
+            return Err(Error::Sql(verdict_sql::SqlError::PlaceholderCount {
+                expected: self.inner.placeholder_count(),
+                got: params.len(),
+            }));
+        }
+        for (i, (kind, value)) in self.inner.param_kinds().iter().zip(params).enumerate() {
+            if *kind == ParamKind::Numeric && !matches!(value, Value::Num(_)) {
+                return Err(Error::Sql(verdict_sql::SqlError::PlaceholderType {
+                    index: i,
+                    message: format!("numeric column placeholder bound with {value}"),
+                }));
+            }
+        }
+        Ok(Bound {
+            prepared: self,
+            params: params.to_vec(),
+        })
+    }
+}
+
+/// A prepared statement with its parameters bound, ready to run (any
+/// number of times).
+pub struct Bound<'a> {
+    prepared: &'a Prepared,
+    params: Vec<Value>,
+}
+
+impl std::fmt::Debug for Bound<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bound")
+            .field("sql", &self.prepared.sql)
+            .field("params", &self.params)
+            .finish()
+    }
+}
+
+impl Bound<'_> {
+    /// Executes against the table's current snapshot (or the one pinned
+    /// in `opts`): substitute literals into the compiled plan, enumerate
+    /// groups if the statement has a `GROUP BY`, run the one shared scan,
+    /// absorb what was learned. No SQL-layer work happens here.
+    pub fn run(&self, opts: &QueryOptions) -> Result<QueryOutcome> {
+        let shard = &self.prepared.shard;
+        // Same contract as `Database::query`: pinned reads are pure and
+        // must not consume a parked store error meant for the writer.
+        if opts.pinned_epoch.is_none() {
+            shard.surface_store_error()?;
+        }
+        let (snapshot, sample, learn) = pin_snapshot(shard, opts)?;
+        let engine = &snapshot.data.engines[sample];
+        let sample_table = engine.sample().table();
+        let prepared = &self.prepared.inner;
+
+        let base = prepared.bind(sample_table, &self.params)?;
+        let group_keys: Vec<GroupKey> = if prepared.group_cols().is_empty() {
+            Vec::new()
+        } else {
+            distinct_group_keys(sample_table, &base, prepared.group_cols())
+                .map_err(Error::Storage)?
+        };
+        let plan = prepared.plan_bound(
+            base,
+            sample_table,
+            &group_keys,
+            snapshot.engine.config().nmax,
+        )?;
+        let read = run_shared_read(
+            engine,
+            snapshot.engine.view(),
+            &plan,
+            opts.mode,
+            opts.policy,
+            snapshot.engine.epoch(),
+        )?;
+        if learn {
+            shard.absorb_read(&read);
+        }
+        Ok(QueryOutcome::Answered(read.result))
+    }
+}
+
+// A prepared handle is part of the serving surface: it must cross threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Prepared>();
+    assert_send_sync::<QueryOptions>();
+};

@@ -82,9 +82,11 @@ use verdict_core::{
 };
 use verdict_sql::checker::JoinPolicy;
 use verdict_sql::{
-    check_query, decompose, parse_query, plan_scan, Combiner, Query, ScanPlan, SnippetSpec,
-    SupportVerdict, UnsupportedReason,
+    check_query, parse_query, plan_scan, Combiner, Query, ScanPlan, SupportVerdict,
+    UnsupportedReason,
 };
+#[cfg(feature = "legacy-executor")]
+use verdict_sql::{decompose, SnippetSpec};
 use verdict_storage::{distinct_group_keys, AggregateFn, Expr, GroupKey, Predicate, Table, Value};
 use verdict_store::{RecoveryReport, SessionMeta, SharedStore, StorePolicy, SynopsisStore};
 
@@ -129,7 +131,11 @@ pub enum SampleRotation {
 }
 
 /// Whether inference improves answers (`Verdict`) or not (`NoLearn`).
+///
+/// Non-exhaustive: future engine generations may add modes, so downstream
+/// matches must keep a wildcard arm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Mode {
     /// Baseline: raw AQP answers only.
     NoLearn,
@@ -137,8 +143,21 @@ pub enum Mode {
     Verdict,
 }
 
+impl std::fmt::Display for Mode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Mode::NoLearn => "no-learn",
+            Mode::Verdict => "verdict",
+        })
+    }
+}
+
 /// When to stop scanning sample batches for a snippet.
+///
+/// Non-exhaustive: new stop policies may be added, so downstream matches
+/// must keep a wildcard arm.
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub enum StopPolicy {
     /// Scan the entire sample (most accurate raw answer).
     ScanAll,
@@ -156,6 +175,19 @@ pub enum StopPolicy {
     /// Scan whatever fits in this simulated time budget (time-bound
     /// engines, §7 / Appendix C.2).
     TimeBudgetNs(f64),
+}
+
+impl std::fmt::Display for StopPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StopPolicy::ScanAll => f.write_str("scan-all"),
+            StopPolicy::RelativeErrorBound { target, delta } => {
+                write!(f, "rel-err(target={target}, delta={delta})")
+            }
+            StopPolicy::TupleBudget(n) => write!(f, "tuples({n})"),
+            StopPolicy::TimeBudgetNs(ns) => write!(f, "time({ns}ns)"),
+        }
+    }
 }
 
 /// One aggregate cell of the result set.
@@ -416,29 +448,16 @@ impl SessionBuilder {
             Some(r) => r.meta.original_rows as usize,
             None => self.table.num_rows(),
         };
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut engines = Vec::with_capacity(self.num_samples);
-        for _ in 0..self.num_samples {
-            let sample = Sample::uniform_prefix(
-                &self.table,
-                original_rows,
-                self.sample_fraction,
-                self.batch_size,
-                &mut rng,
-            )
-            .map_err(Error::Aqp)?;
-            engines.push(OnlineAggregation::new(sample, self.cost.clone(), self.tier));
-        }
-        if self.table.num_rows() > original_rows {
-            // Re-admission reads straight from the grown table: the
-            // sample adopts the table's dictionaries and stores admitted
-            // rows as raw codes, exactly as the live ingest path did.
-            for (i, engine) in engines.iter_mut().enumerate() {
-                engine
-                    .absorb_appended(&self.table, original_rows as u64, self.seed, i as u64)
-                    .map_err(Error::Aqp)?;
-            }
-        }
+        let engines = draw_engines(
+            &self.table,
+            original_rows,
+            self.sample_fraction,
+            self.batch_size,
+            self.seed,
+            self.num_samples,
+            &self.cost,
+            self.tier,
+        )?;
         // The dimension universe is fixed at session creation. A warm
         // start must reuse the *persisted* schema: deriving it from the
         // recovered table would pick up bounds widened by ingested rows
@@ -628,7 +647,29 @@ impl VerdictSession {
     /// funneling learning through one serialized writer. The current
     /// learned state becomes the first published snapshot.
     pub fn into_concurrent(self) -> crate::ConcurrentSession {
-        crate::ConcurrentSession::from_parts(SessionParts {
+        crate::ConcurrentSession::from_parts(self.into_parts())
+    }
+
+    /// Promotes this session into a one-table [`crate::Database`] whose
+    /// table is registered under `name` — the migration path from the
+    /// session API to the catalog API. The current learned state becomes
+    /// the table's first published snapshot; unlike the session wrappers,
+    /// `FROM` then resolves *strictly* against `name`.
+    pub fn into_database(self, name: &str) -> Result<crate::Database> {
+        if !verdict_store::catalog::is_valid_table_name(name) {
+            return Err(Error::Catalog(crate::CatalogError::InvalidTableName(
+                name.to_owned(),
+            )));
+        }
+        Ok(crate::Database::from_session_parts(
+            self.into_parts(),
+            name,
+            false,
+        ))
+    }
+
+    fn into_parts(self) -> SessionParts {
+        SessionParts {
             table: self.table,
             engines: self.engines,
             active: self.active,
@@ -638,7 +679,7 @@ impl VerdictSession {
             store: self.store,
             meta: self.meta,
             recovery: self.recovery,
-        })
+        }
     }
 
     /// The inference engine.
@@ -880,12 +921,14 @@ impl VerdictSession {
     /// independent lock-step scan per snippet (aggregate × group), exactly
     /// as `execute` worked before the shared-scan refactor.
     ///
-    /// Kept as the reference implementation: the parity test suite holds
-    /// [`VerdictSession::execute`] to this path's answers cell for cell,
-    /// and the `groupby_scaling` benchmark measures the `O(G × A)` → `O(1)`
-    /// scan reduction against it. Note the legacy cost accounting: each
-    /// snippet re-scans the sample, so a time budget is spent *per
-    /// snippet*, not per query.
+    /// Kept as the reference implementation behind the `legacy-executor`
+    /// cargo feature (off by default — this is not a serving path): the
+    /// parity test suite holds [`VerdictSession::execute`] to this path's
+    /// answers cell for cell, and the `groupby_scaling` benchmark measures
+    /// the `O(G × A)` → `O(1)` scan reduction against it. Note the legacy
+    /// cost accounting: each snippet re-scans the sample, so a time budget
+    /// is spent *per snippet*, not per query.
+    #[cfg(feature = "legacy-executor")]
     pub fn execute_legacy(
         &mut self,
         sql: &str,
@@ -963,6 +1006,45 @@ impl VerdictSession {
             }
         }
     }
+}
+
+/// Draws a table's maintained offline samples exactly as every session
+/// generation has: one shared RNG across the `num_samples` draws (draw
+/// order is load-bearing — it is what makes a warm start's redraw
+/// bit-identical), the *original* row prefix sampled uniformly, then any
+/// appended tail re-admitted through the deterministic per-row admission
+/// the ingest path uses. Shared by [`SessionBuilder::build`] and the
+/// [`crate::Database`] builder/open paths.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn draw_engines(
+    table: &Table,
+    original_rows: usize,
+    sample_fraction: f64,
+    batch_size: usize,
+    seed: u64,
+    num_samples: usize,
+    cost: &CostModel,
+    tier: StorageTier,
+) -> Result<Vec<OnlineAggregation>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut engines = Vec::with_capacity(num_samples);
+    for _ in 0..num_samples {
+        let sample =
+            Sample::uniform_prefix(table, original_rows, sample_fraction, batch_size, &mut rng)
+                .map_err(Error::Aqp)?;
+        engines.push(OnlineAggregation::new(sample, cost.clone(), tier));
+    }
+    if table.num_rows() > original_rows {
+        // Re-admission reads straight from the grown table: the sample
+        // adopts the table's dictionaries and stores admitted rows as raw
+        // codes, exactly as the live ingest path did.
+        for (i, engine) in engines.iter_mut().enumerate() {
+            engine
+                .absorb_appended(table, original_rows as u64, seed, i as u64)
+                .map_err(Error::Aqp)?;
+        }
+    }
+    Ok(engines)
 }
 
 /// Enumerates the group values present in the sample's answer set (the
@@ -1325,6 +1407,7 @@ pub(crate) fn run_shared_read(
     })
 }
 
+#[cfg(feature = "legacy-executor")]
 impl VerdictSession {
     /// Answers one snippet under the given mode and stop policy.
     fn answer_snippet(
@@ -1551,6 +1634,7 @@ fn evaluate_live_cells(
 /// Group-key equality by value *identity*: numeric parts compare by bits
 /// (so a NaN key equals itself and a run of snippets for one NaN group
 /// reassembles into one result row), with `-0.0` folded into `0.0`.
+#[cfg(feature = "legacy-executor")]
 fn same_group(a: &Option<GroupKey>, b: &Option<GroupKey>) -> bool {
     fn num_bits(v: f64) -> u64 {
         (if v == 0.0 { 0.0f64 } else { v }).to_bits()
@@ -1626,11 +1710,13 @@ fn combine_improved(
 }
 
 /// One internal primitive: `AVG(expr)` or `FREQ(*)` with its model key.
+#[cfg(feature = "legacy-executor")]
 struct Primitive {
     key: AggKey,
     expr: Option<Expr>,
 }
 
+#[cfg(feature = "legacy-executor")]
 impl Primitive {
     fn estimator_agg(&self) -> AggregateFn {
         match (&self.key, &self.expr) {
@@ -1646,11 +1732,13 @@ impl Primitive {
 /// legacy per-snippet executor; the shared-scan path gets the same
 /// mapping (deduplicated) from [`verdict_sql::plan_scan`]. Both recombine
 /// through the same [`combine_raw`] / [`combine_improved`] functions.
+#[cfg(feature = "legacy-executor")]
 struct SnippetPlan {
     primitives: Vec<Primitive>,
     combiner: Combiner,
 }
 
+#[cfg(feature = "legacy-executor")]
 impl SnippetPlan {
     fn for_aggregate(agg: &AggregateFn) -> SnippetPlan {
         match agg {

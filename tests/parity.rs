@@ -8,6 +8,12 @@
 //! *same* planner→scan→infer core against a published snapshot, the suite
 //! also holds multithreaded reads at a fixed epoch to the serial path,
 //! bit for bit.
+//!
+//! Requires the `legacy-executor` feature (the reference executor is off
+//! by default). Workspace builds enable it through the bench crate, so
+//! plain `cargo test` at the workspace root runs this suite; a
+//! package-only `cargo test -p verdict` compiles it empty.
+#![cfg(feature = "legacy-executor")]
 
 use proptest::prelude::*;
 use verdict::aqp::AqpEngine;
