@@ -69,6 +69,7 @@ pub struct SharedScanDriver<'e> {
     cells: Vec<CellAcc>,
     n_groups: usize,
     n_scanned: u64,
+    n_matched: u64,
     next_batch: usize,
     selbuf: Vec<bool>,
 }
@@ -114,6 +115,7 @@ impl OnlineAggregation {
             cells,
             n_groups,
             n_scanned: 0,
+            n_matched: 0,
             next_batch: 0,
             selbuf: Vec::new(),
         })
@@ -137,6 +139,7 @@ impl SharedScanDriver<'_> {
                 continue;
             }
             let row = start + i;
+            self.n_matched += 1;
             let group = match &self.indexer {
                 None => 0,
                 Some(ix) => match ix.group_of(row) {
@@ -171,6 +174,17 @@ impl SharedScanDriver<'_> {
     /// Number of primitive streams per group.
     pub fn num_primitives(&self) -> usize {
         self.prims.len()
+    }
+
+    /// Sample rows that passed the base predicate so far (before the
+    /// group lookup — rows whose key the N_max cap dropped still count).
+    pub fn rows_matched(&self) -> u64 {
+        self.n_matched
+    }
+
+    /// Batches consumed so far.
+    pub fn batches_stepped(&self) -> usize {
+        self.next_batch
     }
 
     /// Batches remaining.

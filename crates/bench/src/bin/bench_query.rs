@@ -1,0 +1,162 @@
+//! Query-path perf trajectory: runs the groupby workload with the full
+//! observability stack attached and emits `BENCH_query.json` — exact
+//! latency percentiles, scan throughput, the learn-path share of query
+//! time, and the measured overhead of having metrics on at all.
+//!
+//! ```text
+//! cargo run --release -p verdict-bench --bin bench_query
+//! ```
+//!
+//! The JSON is printed to stdout (prefixed `BENCH_query.json`) and
+//! written to `BENCH_query.json` in the working directory.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use verdict::obs::MetricsHub;
+use verdict::{Mode, QueryOutcome, SessionBuilder, StopPolicy, VerdictSession};
+use verdict_storage::{ColumnDef, Schema, Table};
+
+const ROWS: usize = 40_000;
+const GROUPS: usize = 16;
+const QUERIES: usize = 300;
+
+fn base_table() -> Table {
+    let schema = Schema::new(vec![
+        ColumnDef::numeric_dimension("x"),
+        ColumnDef::categorical_dimension("grp"),
+        ColumnDef::measure("v"),
+    ])
+    .unwrap();
+    let mut t = Table::new(schema);
+    let mut state = 7u64;
+    for i in 0..ROWS {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+        t.push_row(vec![
+            ((i % 100) as f64).into(),
+            format!("g{}", i % GROUPS).as_str().into(),
+            (10.0 + 5.0 * u + (i % 100) as f64 / 50.0).into(),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+fn build_session(metrics: Option<Arc<MetricsHub>>) -> VerdictSession {
+    let mut builder = SessionBuilder::new(base_table())
+        .sample_fraction(0.2)
+        .batch_size(500)
+        .seed(3);
+    if let Some(hub) = metrics {
+        builder = builder.metrics(hub);
+    }
+    builder.build().unwrap()
+}
+
+/// The workload: alternating grouped and banded aggregates, all learning.
+fn workload_sql(k: usize) -> String {
+    if k.is_multiple_of(3) {
+        "SELECT grp, AVG(v), SUM(v) FROM t GROUP BY grp".to_string()
+    } else {
+        let lo = (k * 7) % 90;
+        format!("SELECT AVG(v) FROM t WHERE x BETWEEN {lo} AND {}", lo + 10)
+    }
+}
+
+/// Runs the full workload; returns (per-query ns, total tuples scanned).
+fn run_workload(session: &mut VerdictSession) -> (Vec<u64>, u64) {
+    let mut lat = Vec::with_capacity(QUERIES);
+    let mut tuples = 0u64;
+    for k in 0..QUERIES {
+        match session
+            .execute(&workload_sql(k), Mode::Verdict, StopPolicy::ScanAll)
+            .unwrap()
+        {
+            QueryOutcome::Answered(r) => {
+                lat.push(u64::try_from(r.elapsed.as_nanos()).unwrap_or(u64::MAX));
+                tuples += r.tuples_scanned as u64;
+            }
+            QueryOutcome::Unsupported(_) => unreachable!("workload is supported"),
+        }
+    }
+    (lat, tuples)
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Builds a fresh session (same seed, so identical work every time),
+/// warms it up, trains, then times the full workload.
+fn timed_run(metrics: Option<Arc<MetricsHub>>) -> (Vec<u64>, u64, std::time::Duration) {
+    let mut session = build_session(metrics);
+    for k in 0..20 {
+        session
+            .execute(&workload_sql(k), Mode::Verdict, StopPolicy::ScanAll)
+            .unwrap();
+    }
+    session.train().unwrap();
+    let t0 = Instant::now();
+    let (lat, tuples) = run_workload(&mut session);
+    (lat, tuples, t0.elapsed())
+}
+
+const ARM_REPS: usize = 5;
+
+fn main() {
+    // Instrumented run: the numbers that go into the trajectory.
+    let hub = Arc::new(MetricsHub::new());
+    let (mut lat, tuples, wall) = timed_run(Some(Arc::clone(&hub)));
+    lat.sort_unstable();
+    let total_ns: u64 = lat.iter().sum();
+    let snap = hub.snapshot();
+    // Learn-path share from the registry's own stage sums — absorb time
+    // over total query time, across the whole run.
+    let stage_sum = |name: &str| snap.histogram(name, Some("t")).map_or(0, |h| h.sum);
+    let learn_share = stage_sum("verdict_stage_absorb_ns") as f64
+        / stage_sum("verdict_query_latency_ns").max(1) as f64;
+    let tuples_per_sec = tuples as f64 / wall.as_secs_f64();
+
+    // Disabled-path overhead check: min-of-N fresh sessions per arm
+    // (identical deterministic work each rep), summed per-query time on
+    // vs off. Single-shot walls swing ±10%+ on a busy host; the min of
+    // repeated runs is the stable comparator.
+    let arm_min = |metrics_on: bool| {
+        (0..ARM_REPS)
+            .map(|_| {
+                let hub = metrics_on.then(|| Arc::new(MetricsHub::new()));
+                let (lat, _, wall) = timed_run(hub);
+                (lat.iter().sum::<u64>(), wall)
+            })
+            .min()
+            .unwrap()
+    };
+    let (on_total, on_wall) = std::cmp::min(arm_min(true), (total_ns, wall));
+    let (plain_total, plain_wall) = arm_min(false);
+    let overhead_pct = (on_total as f64 / plain_total.max(1) as f64 - 1.0) * 100.0;
+
+    let json = format!(
+        "{{\"bench\":\"query\",\"rows\":{ROWS},\"groups\":{GROUPS},\"queries\":{QUERIES},\
+         \"p50_ns\":{},\"p90_ns\":{},\"p99_ns\":{},\"mean_ns\":{:.0},\
+         \"tuples_per_sec\":{:.0},\"learn_path_share\":{:.4},\
+         \"metrics_on_wall_ms\":{:.2},\"metrics_off_wall_ms\":{:.2},\
+         \"metrics_overhead_pct\":{:.2}}}",
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.90),
+        percentile(&lat, 0.99),
+        total_ns as f64 / lat.len() as f64,
+        tuples_per_sec,
+        learn_share,
+        on_wall.as_secs_f64() * 1e3,
+        plain_wall.as_secs_f64() * 1e3,
+        overhead_pct,
+    );
+    println!("BENCH_query.json {json}");
+    if let Err(e) = std::fs::write("BENCH_query.json", format!("{json}\n")) {
+        eprintln!("could not write BENCH_query.json: {e}");
+    }
+}

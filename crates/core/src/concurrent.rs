@@ -92,6 +92,17 @@ impl EngineSnapshot {
         self.synopses.get(key).map_or(0, |s| s.len())
     }
 
+    /// Total snippets retained across every key (the synopsis-size gauge
+    /// the observability layer exports).
+    pub fn synopsis_total_snippets(&self) -> usize {
+        self.synopses.values().map(|s| s.len()).sum()
+    }
+
+    /// Number of distinct keys with a retained synopsis.
+    pub fn synopsis_num_keys(&self) -> usize {
+        self.synopses.len()
+    }
+
     /// Every key the snapshot retains a synopsis for, sorted (the map
     /// itself has no stable order).
     pub fn synopsis_keys(&self) -> Vec<AggKey> {

@@ -345,6 +345,12 @@ impl Verdict {
         self.synopses.get(key).map_or(0, |s| s.len())
     }
 
+    /// Total snippets retained across every key (the synopsis-size gauge
+    /// the observability layer exports).
+    pub fn synopsis_total_snippets(&self) -> usize {
+        self.synopses.values().map(|s| s.len()).sum()
+    }
+
     /// Whether a trained model exists for `key`.
     pub fn has_model(&self, key: &AggKey) -> bool {
         self.models.contains_key(key)

@@ -1,0 +1,302 @@
+//! Point-in-time snapshots of the registry and their renderings.
+
+use crate::hub::{bucket_mid, HISTOGRAM_BUCKETS};
+
+/// One counter's value at snapshot time.
+#[derive(Clone, Debug)]
+pub struct CounterSnapshot {
+    /// Metric name (`verdict_*_total`).
+    pub name: String,
+    /// Value of the `table` label, if the series is per-table.
+    pub table: Option<String>,
+    /// Counter value.
+    pub value: u64,
+}
+
+/// One gauge's value at snapshot time.
+#[derive(Clone, Debug)]
+pub struct GaugeSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Value of the `table` label, if the series is per-table.
+    pub table: Option<String>,
+    /// Gauge value.
+    pub value: f64,
+}
+
+/// One histogram's state at snapshot time, with percentile extraction.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Metric name.
+    pub name: String,
+    /// Value of the `table` label, if the series is per-table.
+    pub table: Option<String>,
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of recorded observations.
+    pub sum: u64,
+    /// Per-bucket counts; bucket `i` covers `[2^i, 2^(i+1))`.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    pub(crate) fn from_parts(
+        name: String,
+        table: Option<String>,
+        count: u64,
+        sum: u64,
+        buckets: [u64; HISTOGRAM_BUCKETS],
+    ) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name,
+            table,
+            count,
+            sum,
+            buckets: buckets.to_vec(),
+        }
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) as the geometric midpoint of the
+    /// bucket holding that rank — resolution is ~±50% by construction.
+    /// `None` when the histogram is empty.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(bucket_mid(i));
+            }
+        }
+        // Unreachable if count == sum(buckets), but be safe under racy reads.
+        Some(bucket_mid(HISTOGRAM_BUCKETS - 1))
+    }
+
+    /// Mean of recorded observations (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+}
+
+/// A point-in-time typed tree of every registered metric, captured by
+/// [`crate::MetricsHub::snapshot`]. Series are sorted by name then table
+/// label, so [`MetricsSnapshot::to_text`] and [`MetricsSnapshot::to_json`]
+/// are stable across runs.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    /// All counters, sorted by (name, table).
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges, sorted by (name, table).
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms, sorted by (name, table).
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+fn series(name: &str, table: &Option<String>) -> String {
+    match table {
+        Some(t) => format!("{name}{{table=\"{t}\"}}"),
+        None => name.to_string(),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Shortest round-trip isn't needed; {v} prints enough digits.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter's value by name and optional `table` label.
+    pub fn counter(&self, name: &str, table: Option<&str>) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name && c.table.as_deref() == table)
+            .map(|c| c.value)
+    }
+
+    /// Looks up a gauge's value by name and optional `table` label.
+    pub fn gauge(&self, name: &str, table: Option<&str>) -> Option<f64> {
+        self.gauges
+            .iter()
+            .find(|g| g.name == name && g.table.as_deref() == table)
+            .map(|g| g.value)
+    }
+
+    /// Looks up a histogram by name and optional `table` label.
+    pub fn histogram(&self, name: &str, table: Option<&str>) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|h| h.name == name && h.table.as_deref() == table)
+    }
+
+    /// Prometheus-style text exposition: one `# TYPE` line per metric
+    /// name, then one line per series. Histograms expose `_count`,
+    /// `_sum`, and precomputed `_p50`/`_p90`/`_p99` summary lines (the
+    /// raw buckets stay in the typed tree / JSON).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let mut last_name = "";
+        for c in &self.counters {
+            if c.name != last_name {
+                out.push_str(&format!("# TYPE {} counter\n", c.name));
+                last_name = &c.name;
+            }
+            out.push_str(&format!("{} {}\n", series(&c.name, &c.table), c.value));
+        }
+        last_name = "";
+        for g in &self.gauges {
+            if g.name != last_name {
+                out.push_str(&format!("# TYPE {} gauge\n", g.name));
+                last_name = &g.name;
+            }
+            out.push_str(&format!("{} {}\n", series(&g.name, &g.table), g.value));
+        }
+        last_name = "";
+        for h in &self.histograms {
+            if h.name != last_name {
+                out.push_str(&format!("# TYPE {} histogram\n", h.name));
+                last_name = &h.name;
+            }
+            let count_name = format!("{}_count", h.name);
+            let sum_name = format!("{}_sum", h.name);
+            out.push_str(&format!("{} {}\n", series(&count_name, &h.table), h.count));
+            out.push_str(&format!("{} {}\n", series(&sum_name, &h.table), h.sum));
+            for (q, tag) in [(0.50, "p50"), (0.90, "p90"), (0.99, "p99")] {
+                if let Some(v) = h.percentile(q) {
+                    let qname = format!("{}_{tag}", h.name);
+                    out.push_str(&format!("{} {}\n", series(&qname, &h.table), v));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON rendering of the whole tree (hand-rolled — this crate has no
+    /// dependencies). Histograms carry `count`, `sum`, `mean`, and
+    /// `p50`/`p90`/`p99`; empty histograms render those as `null`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":[");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"table\":{},\"value\":{}}}",
+                json_escape(&c.name),
+                match &c.table {
+                    Some(t) => format!("\"{}\"", json_escape(t)),
+                    None => "null".to_string(),
+                },
+                c.value
+            ));
+        }
+        out.push_str("],\"gauges\":[");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"table\":{},\"value\":{}}}",
+                json_escape(&g.name),
+                match &g.table {
+                    Some(t) => format!("\"{}\"", json_escape(t)),
+                    None => "null".to_string(),
+                },
+                json_f64(g.value)
+            ));
+        }
+        out.push_str("],\"histograms\":[");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let opt = |v: Option<f64>| v.map(json_f64).unwrap_or_else(|| "null".to_string());
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"table\":{},\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+                json_escape(&h.name),
+                match &h.table {
+                    Some(t) => format!("\"{}\"", json_escape(t)),
+                    None => "null".to_string(),
+                },
+                h.count,
+                h.sum,
+                opt(h.mean()),
+                opt(h.percentile(0.50)),
+                opt(h.percentile(0.90)),
+                opt(h.percentile(0.99)),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MetricsHub;
+
+    #[test]
+    fn text_and_json_are_stable_and_well_formed() {
+        let hub = MetricsHub::new();
+        hub.table_counter("verdict_queries_started_total", "t")
+            .add(3);
+        hub.table_counter("verdict_queries_started_total", "u")
+            .add(1);
+        hub.gauge("verdict_tables").set(2.0);
+        hub.table_histogram("verdict_query_ns", "t").record(1024);
+        let snap = hub.snapshot();
+
+        let text = snap.to_text();
+        assert!(text.contains("# TYPE verdict_queries_started_total counter"));
+        assert!(text.contains("verdict_queries_started_total{table=\"t\"} 3"));
+        assert!(text.contains("verdict_queries_started_total{table=\"u\"} 1"));
+        assert!(text.contains("verdict_tables 2"));
+        assert!(text.contains("verdict_query_ns_count{table=\"t\"} 1"));
+        assert!(text.contains("verdict_query_ns_p50{table=\"t\"}"));
+
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"counters\":["));
+        assert!(json.contains("\"name\":\"verdict_query_ns\""));
+        assert!(json.contains("\"count\":1"));
+        // Same hub, same snapshot ordering → identical rendering.
+        assert_eq!(text, hub.snapshot().to_text());
+    }
+
+    #[test]
+    fn lookup_helpers_distinguish_labels() {
+        let hub = MetricsHub::new();
+        hub.counter("verdict_global_total").add(7);
+        hub.table_counter("verdict_global_total", "t").add(2);
+        let snap = hub.snapshot();
+        assert_eq!(snap.counter("verdict_global_total", None), Some(7));
+        assert_eq!(snap.counter("verdict_global_total", Some("t")), Some(2));
+        assert_eq!(snap.counter("verdict_global_total", Some("zzz")), None);
+        assert_eq!(snap.gauge("missing", None), None);
+    }
+}

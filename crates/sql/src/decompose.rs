@@ -88,6 +88,8 @@ pub fn decompose(
 pub(crate) struct GroupExpansion {
     pub(crate) groups: Vec<(Option<GroupKey>, Predicate)>,
     pub(crate) truncated: bool,
+    /// Groups the `N_max` cap dropped (0 when not truncated).
+    pub(crate) groups_dropped: usize,
 }
 
 pub(crate) fn expand_groups(
@@ -101,6 +103,7 @@ pub(crate) fn expand_groups(
         return Ok(GroupExpansion {
             groups: vec![(None, base_predicate.clone())],
             truncated: false,
+            groups_dropped: 0,
         });
     }
     let mut groups = Vec::new();
@@ -123,7 +126,11 @@ pub(crate) fn expand_groups(
         }
         groups.push((Some(key.clone()), predicate));
     }
-    Ok(GroupExpansion { groups, truncated })
+    Ok(GroupExpansion {
+        groups,
+        truncated,
+        groups_dropped: group_keys.len().saturating_sub(nmax),
+    })
 }
 
 /// The grouping column names of a checked query (must be plain columns).
@@ -212,6 +219,9 @@ pub struct ScanPlan {
     pub aggregates: Vec<AggregateSpec>,
     /// Whether the `N_max` cap dropped groups.
     pub truncated: bool,
+    /// How many groups the `N_max` cap dropped (0 when not truncated) —
+    /// exported by the observability layer so capped answers are visible.
+    pub groups_dropped: usize,
 }
 
 impl ScanPlan {
@@ -323,6 +333,7 @@ pub(crate) fn assemble_scan_plan(
 ) -> Result<ScanPlan> {
     let expansion = expand_groups(table, &base_predicate, &group_cols, group_keys, nmax)?;
     let truncated = expansion.truncated;
+    let groups_dropped = expansion.groups_dropped;
     let (groups, group_predicates) = expansion.groups.into_iter().unzip();
 
     Ok(ScanPlan {
@@ -333,6 +344,7 @@ pub(crate) fn assemble_scan_plan(
         primitives,
         aggregates,
         truncated,
+        groups_dropped,
     })
 }
 

@@ -100,7 +100,9 @@ pub mod tablecodec;
 
 pub use catalog::{read_catalog, write_catalog, CatalogManifest};
 pub use snapshot::{SessionMeta, Snapshot};
-pub use store::{Recovered, RecoveryReport, SharedStore, StorePolicy, SynopsisStore};
+pub use store::{
+    Recovered, RecoveryReport, SharedStore, SnapshotReceipt, StorePolicy, StoreStats, SynopsisStore,
+};
 
 /// Errors raised by the durable store.
 #[derive(Debug)]

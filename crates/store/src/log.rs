@@ -346,14 +346,16 @@ impl SnippetLog {
         self.appended_since_reset
     }
 
-    /// Appends one record and flushes it to the OS.
+    /// Appends one record and flushes it to the OS, returning the number
+    /// of bytes the record occupied on disk (frame header included) —
+    /// the store's WAL byte accounting is derived from this value.
     ///
     /// A failed append rolls the file back to its last known-good length,
     /// so a partially written frame can never sit under records appended
     /// later (which recovery would then silently drop as a torn tail). If
     /// the rollback itself fails, the log is poisoned and refuses all
     /// further writes.
-    pub fn append(&mut self, record: &LogRecord) -> Result<()> {
+    pub fn append(&mut self, record: &LogRecord) -> Result<u64> {
         if self.poisoned {
             return Err(StoreError::Corrupt(format!(
                 "{} is poisoned by an earlier failed append; reopen the store",
@@ -387,7 +389,7 @@ impl SnippetLog {
         }
         self.len += frame.len() as u64;
         self.appended_since_reset += 1;
-        Ok(())
+        Ok(frame.len() as u64)
     }
 
     /// Durably syncs all appended records to disk (fsync).

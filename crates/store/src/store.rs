@@ -43,6 +43,38 @@ impl Default for StorePolicy {
     }
 }
 
+/// Cumulative I/O accounting for one store, kept since open/create. This
+/// is the single source of truth for WAL and checkpoint instrumentation:
+/// the serving layer polls it (and diffs it around operations) rather
+/// than running its own clocks next to the store's writes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Records appended to the WAL (snippets + ingest batches).
+    pub wal_appends: u64,
+    /// Bytes those appends occupied on disk (frame headers included).
+    pub wal_bytes: u64,
+    /// Snapshot generations written (explicit checkpoints and policy
+    /// compactions alike).
+    pub snapshots: u64,
+    /// Bytes written by those snapshots (snapshot files plus any folded
+    /// table generations).
+    pub snapshot_bytes: u64,
+    /// Total wall-clock nanoseconds spent writing snapshots.
+    pub snapshot_ns: u64,
+}
+
+/// What one [`SynopsisStore::snapshot`] / `snapshot_encoded` call wrote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotReceipt {
+    /// The new snapshot generation.
+    pub generation: u64,
+    /// Bytes written (snapshot file, plus the folded table generation if
+    /// ingests were pending).
+    pub bytes_written: u64,
+    /// Wall-clock time the snapshot took.
+    pub elapsed: std::time::Duration,
+}
+
 /// What [`SynopsisStore::open`] recovered.
 #[derive(Debug)]
 pub struct Recovered {
@@ -98,6 +130,7 @@ pub struct SynopsisStore {
     data_epoch: u64,
     schema_fp: u64,
     table_fp: u64,
+    stats: StoreStats,
     sticky_error: Option<StoreError>,
     /// Advisory single-writer lock on `LOCK`, held for the store's
     /// lifetime. The OS releases it when the process dies, so a crashed
@@ -193,6 +226,7 @@ impl SynopsisStore {
             data_epoch: 0,
             schema_fp,
             table_fp,
+            stats: StoreStats::default(),
             sticky_error: None,
             _lock: lock,
         })
@@ -325,6 +359,7 @@ impl SynopsisStore {
             data_epoch: replayed_data_epoch,
             schema_fp: fingerprint(&state.schema),
             table_fp,
+            stats: StoreStats::default(),
             sticky_error: None,
             _lock: lock,
         };
@@ -371,6 +406,11 @@ impl SynopsisStore {
         self.data_epoch
     }
 
+    /// Cumulative I/O accounting since this store was opened or created.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
     /// Appends one snippet observation to the log, returning its sequence
     /// number.
     pub fn append_snippet(
@@ -386,10 +426,12 @@ impl SynopsisStore {
             region: region.clone(),
             observation,
         });
-        self.log.append(&record)?;
+        let bytes = self.log.append(&record)?;
         if self.policy.sync_appends {
             self.log.sync()?;
         }
+        self.stats.wal_appends += 1;
+        self.stats.wal_bytes += bytes;
         self.next_seq += 1;
         Ok(seq)
     }
@@ -410,10 +452,12 @@ impl SynopsisStore {
             rows: rows.to_vec(),
             adjustments: adjustments.to_vec(),
         });
-        self.log.append(&record)?;
+        let bytes = self.log.append(&record)?;
         if self.policy.sync_appends {
             self.log.sync()?;
         }
+        self.stats.wal_appends += 1;
+        self.stats.wal_bytes += bytes;
         self.next_seq += 1;
         self.data_epoch += 1;
         self.table_dirty = true;
@@ -428,6 +472,8 @@ impl SynopsisStore {
 
     /// Writes a new snapshot generation folding everything appended so
     /// far, truncates the log, and prunes old generations per policy.
+    /// Returns a receipt with the generation, bytes written, and elapsed
+    /// wall-clock — the instrumentation source for checkpoint reporting.
     ///
     /// Snapshots carry only session metadata and learned state; `table`
     /// is written out as a fresh table generation **only when ingest
@@ -439,7 +485,7 @@ impl SynopsisStore {
         meta: SessionMeta,
         state: &EngineState,
         table: &Table,
-    ) -> Result<u64> {
+    ) -> Result<SnapshotReceipt> {
         self.snapshot_encoded(meta, fingerprint(&state.schema), &state.to_bytes(), table)
     }
 
@@ -452,13 +498,15 @@ impl SynopsisStore {
         schema_fp: u64,
         state_bytes: &[u8],
         table: &Table,
-    ) -> Result<u64> {
+    ) -> Result<SnapshotReceipt> {
         if schema_fp != self.schema_fp {
             return Err(StoreError::Mismatch(
                 "snapshot state schema differs from the store's schema".into(),
             ));
         }
+        let started = std::time::Instant::now();
         let gen = self.current_gen + 1;
+        let mut bytes_written = 0u64;
         // Fold pending ingests into a new table generation first: if the
         // table write fails, no snapshot references it, and if the crash
         // lands between the two writes, recovery uses the old snapshot →
@@ -467,8 +515,9 @@ impl SynopsisStore {
             self.table_fp = write_table_file(&self.dir, gen, table)?;
             self.current_table_gen = gen;
             self.table_dirty = false;
+            bytes_written += file_len(&table_path(&self.dir, gen));
         }
-        write_snapshot(
+        let snap_path = write_snapshot(
             &self.dir,
             gen,
             self.next_seq - 1,
@@ -478,13 +527,22 @@ impl SynopsisStore {
             self.data_epoch,
             state_bytes,
         )?;
+        bytes_written += file_len(&snap_path);
         self.current_gen = gen;
         // The snapshot now covers every logged record; a crash past this
         // point replays nothing (seq <= last_seq), so truncating the log
         // is safe whether or not it completes.
         self.log.reset()?;
         self.prune_generations()?;
-        Ok(gen)
+        let elapsed = started.elapsed();
+        self.stats.snapshots += 1;
+        self.stats.snapshot_bytes += bytes_written;
+        self.stats.snapshot_ns += elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        Ok(SnapshotReceipt {
+            generation: gen,
+            bytes_written,
+            elapsed,
+        })
     }
 
     fn prune_generations(&self) -> Result<()> {
@@ -537,6 +595,12 @@ impl SynopsisStore {
     pub fn park_error(&mut self, e: StoreError) {
         self.sticky_error.get_or_insert(e);
     }
+}
+
+/// Size of a file just written by the store; 0 only if it vanished from
+/// under us (byte accounting degrades, correctness does not).
+fn file_len(path: &Path) -> u64 {
+    std::fs::metadata(path).map(|m| m.len()).unwrap_or(0)
 }
 
 /// Clonable, thread-safe handle to a [`SynopsisStore`], used to share the
@@ -691,10 +755,16 @@ mod tests {
             engine.observe(&Snippet::new(AggKey::avg("v"), r.clone()), obs);
             store.append_snippet(&AggKey::avg("v"), &r, obs).unwrap();
         }
-        let gen = store
+        let receipt = store
             .snapshot(meta(), &engine.export_state(), &small_table())
             .unwrap();
-        assert_eq!(gen, 1);
+        assert_eq!(receipt.generation, 1);
+        assert!(receipt.bytes_written > 0);
+        let stats = store.stats();
+        assert_eq!(stats.wal_appends, 5);
+        assert!(stats.wal_bytes > 0);
+        assert_eq!(stats.snapshots, 1);
+        assert_eq!(stats.snapshot_bytes, receipt.bytes_written);
         // Two more appends after the snapshot.
         for i in 5..7 {
             let r = region(i as f64 * 10.0, i as f64 * 10.0 + 8.0);

@@ -34,10 +34,12 @@
 
 use std::sync::Arc;
 
+use verdict_obs::{MetricsSnapshot, QueryLog, QueryTrace};
 use verdict_storage::{Table, Value};
 use verdict_store::RecoveryReport;
 
 use crate::database::Database;
+use crate::metrics::CheckpointReport;
 use crate::query::QueryOptions;
 use crate::session::{IngestReport, SessionParts};
 use crate::{Mode, QueryOutcome, Result, StopPolicy};
@@ -188,9 +190,29 @@ impl ConcurrentSession {
 
     /// Checkpoints the full learned state into a fresh snapshot
     /// generation and truncates the log (folding any WAL-pending ingests
-    /// into a new table generation). No-op without a store.
-    pub fn checkpoint(&self) -> Result<()> {
+    /// into a new table generation). No-op without a store — the report
+    /// is all zeros then.
+    pub fn checkpoint(&self) -> Result<CheckpointReport> {
         self.db.checkpoint()
+    }
+
+    /// A point-in-time snapshot of every registered metric, when the
+    /// originating session was built with a metrics hub
+    /// ([`crate::SessionBuilder::metrics`]).
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.db.metrics_snapshot()
+    }
+
+    /// The bounded query log, when one was configured via
+    /// [`crate::SessionBuilder::query_log`].
+    pub fn query_log(&self) -> Option<&Arc<QueryLog>> {
+        self.db.query_log()
+    }
+
+    /// The most recent `n` query traces, newest first (empty without a
+    /// configured query log).
+    pub fn recent_queries(&self, n: usize) -> Vec<Arc<QueryTrace>> {
+        self.db.recent_queries(n)
     }
 }
 

@@ -52,10 +52,12 @@ use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use verdict_aqp::{AqpEngine, CostModel, OnlineAggregation, StorageTier};
 use verdict_core::concurrent::{EngineSnapshot, Learner};
 use verdict_core::{AggKey, QualifiedAggKey, SchemaInfo, Verdict, VerdictConfig};
+use verdict_obs::{MetricsHub, MetricsSnapshot, QueryLog, QueryTrace, ScanTrace, Stopwatch};
 use verdict_sql::checker::JoinPolicy;
 use verdict_sql::{check_query, parse_query, resolve_from, SupportVerdict};
 use verdict_storage::{Table, Value};
@@ -65,10 +67,11 @@ use verdict_store::{
     SharedStore, StorePolicy, SynopsisStore,
 };
 
+use crate::metrics::{CheckpointReport, TableObs};
 use crate::query::{Prepared, QueryOptions};
 use crate::session::{
-    draw_engines, plan_shared_scan, prepare_ingest, run_shared_read, IngestReport, ReadOutcome,
-    SampleRotation, SessionParts,
+    draw_engines, plan_shared_scan, prepare_ingest, query_trace, run_shared_read,
+    widening_magnitude, IngestReport, ReadOutcome, SampleRotation, SessionParts, StagePrelude,
 };
 use crate::{Error, QueryOutcome, Result};
 
@@ -219,6 +222,9 @@ pub(crate) struct Shard {
     store: Option<SharedStore>,
     writer: Mutex<Writer>,
     recovery: Option<RecoveryReport>,
+    /// This table's observability endpoint (no-op when the database was
+    /// built without metrics / query log).
+    pub(crate) obs: TableObs,
 }
 
 impl Shard {
@@ -234,6 +240,7 @@ impl Shard {
         store: Option<SharedStore>,
         meta: SessionMeta,
         recovery: Option<RecoveryReport>,
+        obs: TableObs,
     ) -> Arc<Shard> {
         let data = Arc::new(DataSet {
             data_epoch: verdict.data_epoch(),
@@ -257,6 +264,7 @@ impl Shard {
             store,
             writer: Mutex::new(Writer { learner, meta }),
             recovery,
+            obs,
         })
     }
 
@@ -333,34 +341,52 @@ impl Shard {
     fn train(&self) -> Result<()> {
         self.surface_store_error()?;
         let mut writer = self.lock_writer();
+        let sw = Stopwatch::started_if(self.obs.tracing());
         writer.learner.train().map_err(Error::Core)?;
+        self.obs.record_train(Duration::from_nanos(sw.elapsed_ns()));
         self.publish_locked(&writer, None);
-        self.snapshot_now(&mut writer).map_err(Error::Store)
+        self.snapshot_now(&mut writer).map_err(Error::Store)?;
+        Ok(())
     }
 
     /// Checkpoints the learned state into a fresh snapshot generation and
-    /// truncates the log. No-op without a store.
-    fn checkpoint(&self) -> Result<()> {
+    /// truncates the log. All-zero report without a store.
+    fn checkpoint(&self) -> Result<CheckpointReport> {
         self.surface_store_error()?;
         let mut writer = self.lock_writer();
-        self.snapshot_now(&mut writer).map_err(Error::Store)
+        let receipt = self.snapshot_now(&mut writer).map_err(Error::Store)?;
+        Ok(receipt
+            .as_ref()
+            .map(CheckpointReport::from_receipt)
+            .unwrap_or_default())
     }
 
     /// The one store-snapshot path (explicit checkpoints and piggybacked
     /// compaction). Caller holds the writer lock, so neither the encoded
     /// state nor the current data set can move underneath the write.
-    fn snapshot_now(&self, writer: &mut Writer) -> verdict_store::Result<()> {
+    /// Metric recording lives here, so piggybacked compactions count the
+    /// same way explicit checkpoints do.
+    fn snapshot_now(
+        &self,
+        writer: &mut Writer,
+    ) -> verdict_store::Result<Option<verdict_store::SnapshotReceipt>> {
         let Some(store) = &self.store else {
-            return Ok(());
+            return Ok(None);
         };
         let table = Arc::clone(&self.current().data.table);
         let engine = writer.learner.engine();
         let schema_fp = verdict_core::persist::fingerprint(engine.schema());
         let state_bytes = engine.state_bytes();
-        store
-            .lock()
-            .snapshot_encoded(writer.meta.clone(), schema_fp, &state_bytes, &table)?;
-        Ok(())
+        let (receipt, stats) = {
+            let mut guard = store.lock();
+            let receipt =
+                guard.snapshot_encoded(writer.meta.clone(), schema_fp, &state_bytes, &table)?;
+            (receipt, guard.stats())
+        };
+        self.obs
+            .record_checkpoint(&CheckpointReport::from_receipt(&receipt));
+        self.obs.refresh_store(stats);
+        Ok(Some(receipt))
     }
 
     /// Folds the log into a fresh snapshot when the store's compaction
@@ -383,6 +409,7 @@ impl Shard {
     /// involved at all).
     fn ingest(&self, rows: &[Vec<Value>]) -> Result<IngestReport> {
         self.surface_store_error()?;
+        let t0 = Instant::now();
         let mut writer = self.lock_writer();
         let snapshot = self.current();
         if rows.is_empty() {
@@ -393,6 +420,10 @@ impl Shard {
                 adjusted_snippets: 0,
                 skipped_keys: Vec::new(),
                 data_epoch: snapshot.data_epoch(),
+                elapsed: t0.elapsed(),
+                refit_elapsed: Duration::ZERO,
+                wal_bytes: 0,
+                widening_magnitude: 0.0,
             });
         }
         let old = &snapshot.data;
@@ -405,12 +436,18 @@ impl Shard {
             old.engines[self.fixed_sample].sample().table(),
             rows,
         )?;
-        if let Some(store) = &self.store {
-            store
-                .lock()
+        // WAL byte accounting is the store's own cumulative counter
+        // (delta across the append) — no second measurement.
+        let wal_bytes = if let Some(store) = &self.store {
+            let mut guard = store.lock();
+            let before = guard.stats().wal_bytes;
+            guard
                 .append_ingest(rows, &prepared.adjustments)
                 .map_err(Error::Store)?;
-        }
+            guard.stats().wal_bytes - before
+        } else {
+            0
+        };
         // Build the next data set copy-on-write: the table clones once,
         // each sample's rows clone on its first admission.
         let mut table = (*old.table).clone();
@@ -434,14 +471,37 @@ impl Shard {
         let data_epoch = data.data_epoch;
         self.publish_locked(&writer, Some(data));
         self.maybe_compact(&mut writer);
-        Ok(IngestReport {
+        let report = IngestReport {
             appended_rows: rows.len(),
             admitted_rows,
             adjusted_keys: prepared.adjustments.len(),
             adjusted_snippets,
             skipped_keys: prepared.skipped_keys,
             data_epoch,
-        })
+            elapsed: t0.elapsed(),
+            refit_elapsed: prepared.refit_elapsed,
+            wal_bytes,
+            widening_magnitude: widening_magnitude(&prepared.adjustments),
+        };
+        self.obs.record_ingest(&report);
+        drop(writer);
+        self.refresh_engine_gauges(&self.current());
+        Ok(report)
+    }
+
+    /// Re-publishes the engine-state gauges from a published snapshot.
+    /// No-op without a metrics hub.
+    pub(crate) fn refresh_engine_gauges(&self, snapshot: &SessionSnapshot) {
+        self.obs.refresh_engine(
+            snapshot.engine.synopsis_total_snippets(),
+            snapshot.engine.synopsis_num_keys(),
+            snapshot.data.engines[self.fixed_sample]
+                .sample()
+                .table()
+                .num_rows(),
+            snapshot.engine.epoch(),
+            snapshot.data.data_epoch,
+        );
     }
 }
 
@@ -455,6 +515,10 @@ struct DbInner {
     join_policy: JoinPolicy,
     /// Root directory of a persistent catalog (v3 layout), if any.
     root: Option<PathBuf>,
+    /// The attached metrics hub, if any (every shard registered on it).
+    metrics: Option<Arc<MetricsHub>>,
+    /// The database-wide query log, if any (shared by every shard).
+    query_log: Option<Arc<QueryLog>>,
 }
 
 /// A multi-table database handle: the catalog of learned tables.
@@ -533,6 +597,11 @@ pub struct OpenOptions {
     pub tier: StorageTier,
     /// Cost model.
     pub cost: CostModel,
+    /// Metrics hub for every table's series (default none — metrics
+    /// fully disabled).
+    pub metrics: Option<Arc<MetricsHub>>,
+    /// Shared query log for every table (default none).
+    pub query_log: Option<Arc<QueryLog>>,
 }
 
 impl Default for OpenOptions {
@@ -543,6 +612,8 @@ impl Default for OpenOptions {
             rotation: SampleRotation::Fixed,
             tier: StorageTier::Cached,
             cost: CostModel::default(),
+            metrics: None,
+            query_log: None,
         }
     }
 }
@@ -582,6 +653,18 @@ impl OpenOptions {
         self.cost = c;
         self
     }
+
+    /// Attaches a metrics hub (see [`DatabaseBuilder::metrics`]).
+    pub fn with_metrics(mut self, hub: Arc<MetricsHub>) -> Self {
+        self.metrics = Some(hub);
+        self
+    }
+
+    /// Attaches a bounded query log (see [`DatabaseBuilder::query_log`]).
+    pub fn with_query_log(mut self, capacity: usize) -> Self {
+        self.query_log = Some(Arc::new(QueryLog::new(capacity)));
+        self
+    }
 }
 
 /// Builder for a [`Database`]. Tables are registered up front; the
@@ -591,6 +674,8 @@ pub struct DatabaseBuilder {
     join_policy: JoinPolicy,
     persist: Option<PathBuf>,
     store_policy: StorePolicy,
+    metrics: Option<Arc<MetricsHub>>,
+    query_log: Option<Arc<QueryLog>>,
 }
 
 impl DatabaseBuilder {
@@ -623,6 +708,24 @@ impl DatabaseBuilder {
     /// Overrides the per-table stores' compaction/durability policy.
     pub fn store_policy(mut self, policy: StorePolicy) -> Self {
         self.store_policy = policy;
+        self
+    }
+
+    /// Attaches a metrics hub: every table registers its series
+    /// (labelled `table="<name>"`) on it at build time and updates them
+    /// lock-free from then on. Without a hub (the default) the metrics
+    /// path is a true no-op — no atomics touched, no stage clocks read.
+    pub fn metrics(mut self, hub: Arc<MetricsHub>) -> Self {
+        self.metrics = Some(hub);
+        self
+    }
+
+    /// Attaches one database-wide bounded query log: every answered
+    /// query (any table, ad-hoc or prepared) pushes a
+    /// [`verdict_obs::QueryTrace`] into a ring holding the most recent
+    /// `capacity` traces. Off by default.
+    pub fn query_log(mut self, capacity: usize) -> Self {
+        self.query_log = Some(Arc::new(QueryLog::new(capacity)));
         self
     }
 
@@ -692,6 +795,7 @@ impl DatabaseBuilder {
             if let Some(store) = &store {
                 verdict.set_observer(store.observer());
             }
+            let obs = TableObs::new(self.metrics.clone(), self.query_log.clone(), &name);
             shards.push(Shard::new(
                 &name,
                 table,
@@ -702,6 +806,7 @@ impl DatabaseBuilder {
                 store,
                 meta,
                 None,
+                obs,
             ));
         }
         // The manifest is written *last*: it is the commit point of the
@@ -725,6 +830,8 @@ impl DatabaseBuilder {
                 default_table: None,
                 join_policy: self.join_policy,
                 root: self.persist,
+                metrics: self.metrics,
+                query_log: self.query_log,
             }),
         })
     }
@@ -738,6 +845,8 @@ impl Database {
             join_policy: JoinPolicy::none(),
             persist: None,
             store_policy: StorePolicy::default(),
+            metrics: None,
+            query_log: None,
         }
     }
 
@@ -780,6 +889,8 @@ impl Database {
                     default_table: None,
                     join_policy: opts.join_policy,
                     root: Some(root.to_path_buf()),
+                    metrics: opts.metrics,
+                    query_log: opts.query_log,
                 }),
             })
         } else {
@@ -795,6 +906,8 @@ impl Database {
                     default_table: Some(0),
                     join_policy: opts.join_policy,
                     root: Some(root.to_path_buf()),
+                    metrics: opts.metrics,
+                    query_log: opts.query_log,
                 }),
             })
         }
@@ -808,6 +921,8 @@ impl Database {
         name: &str,
         lenient_from: bool,
     ) -> Database {
+        let metrics = parts.obs.hub().cloned();
+        let query_log = parts.obs.log().cloned();
         let shard = Shard::new(
             name,
             parts.table,
@@ -818,6 +933,7 @@ impl Database {
             parts.store,
             parts.meta,
             parts.recovery,
+            parts.obs,
         );
         Database {
             inner: Arc::new(DbInner {
@@ -826,6 +942,8 @@ impl Database {
                 default_table: lenient_from.then_some(0),
                 join_policy: parts.join_policy,
                 root: None,
+                metrics,
+                query_log,
             }),
         }
     }
@@ -915,6 +1033,7 @@ impl Database {
     /// answers an ad-hoc SQL query under `opts`. Safe from any number of
     /// threads; learning serializes only within the addressed table.
     pub fn query(&self, sql: &str, opts: &QueryOptions) -> Result<QueryOutcome> {
+        let t0 = Instant::now();
         let query = parse_query(sql)?;
         let shard = self.shard(&query.from)?;
         // Pinned reads are pure functions of their snapshot: they never
@@ -923,12 +1042,23 @@ impl Database {
         if opts.pinned_epoch.is_none() {
             shard.surface_store_error()?;
         }
+        shard.obs.query_started();
         if let SupportVerdict::Unsupported(reasons) = check_query(&query, &self.inner.join_policy) {
+            shard.obs.query_unsupported();
             return Ok(QueryOutcome::Unsupported(reasons));
         }
+        let tracing = shard.obs.tracing();
+        let parse_ns = if tracing {
+            t0.elapsed().as_nanos() as u64
+        } else {
+            0
+        };
+        let plan_sw = Stopwatch::started_if(tracing);
         let (snapshot, sample, learn) = pin_snapshot(shard, opts)?;
         let engine = &snapshot.data.engines[sample];
         let plan = plan_shared_scan(&query, engine, snapshot.engine.config().nmax)?;
+        let plan_ns = plan_sw.elapsed_ns();
+        let mut scan = tracing.then(ScanTrace::default);
         let read = run_shared_read(
             engine,
             snapshot.engine.view(),
@@ -936,11 +1066,36 @@ impl Database {
             opts.mode,
             opts.policy,
             snapshot.engine.epoch(),
+            scan.as_mut(),
         )?;
+        let absorb_sw = Stopwatch::started_if(tracing);
         if learn {
             shard.absorb_read(&read);
         }
-        Ok(QueryOutcome::Answered(read.result))
+        let absorb_ns = absorb_sw.elapsed_ns();
+        let mut result = read.result;
+        result.elapsed = t0.elapsed();
+        if let Some(scan) = scan {
+            shard.obs.record_query(
+                query_trace(
+                    &shard.name,
+                    Some(sql),
+                    false,
+                    opts.mode,
+                    snapshot.data_epoch(),
+                    &result,
+                    &scan,
+                    StagePrelude {
+                        parse_ns,
+                        plan_ns,
+                        absorb_ns,
+                    },
+                ),
+                plan.groups_dropped,
+            );
+            shard.refresh_engine_gauges(&snapshot);
+        }
+        Ok(QueryOutcome::Answered(result))
     }
 
     /// Prepares a statement: parse → check → resolve → plan template run
@@ -982,17 +1137,45 @@ impl Database {
         Ok(())
     }
 
-    /// Checkpoints `name`'s learned state into a fresh store snapshot.
-    pub fn checkpoint_table(&self, name: &str) -> Result<()> {
+    /// Checkpoints `name`'s learned state into a fresh store snapshot,
+    /// reporting how much work the store actually did (zero for an
+    /// in-memory table).
+    pub fn checkpoint_table(&self, name: &str) -> Result<CheckpointReport> {
         self.shard(name)?.checkpoint()
     }
 
-    /// Checkpoints every table.
-    pub fn checkpoint(&self) -> Result<()> {
+    /// Checkpoints every table; the report aggregates over all of them.
+    pub fn checkpoint(&self) -> Result<CheckpointReport> {
+        let mut report = CheckpointReport::default();
         for shard in &self.inner.shards {
-            shard.checkpoint()?;
+            report.absorb(&shard.checkpoint()?);
         }
-        Ok(())
+        Ok(report)
+    }
+
+    /// A point-in-time snapshot of every registered metric, or `None`
+    /// when the database was built without a
+    /// [`DatabaseBuilder::metrics`] hub. Render it with
+    /// [`verdict_obs::MetricsSnapshot::to_text`] (Prometheus-style) or
+    /// [`verdict_obs::MetricsSnapshot::to_json`].
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.inner.metrics.as_ref().map(|hub| hub.snapshot())
+    }
+
+    /// The shared bounded query log, when one was configured via
+    /// [`DatabaseBuilder::query_log`]. All tables feed the same ring.
+    pub fn query_log(&self) -> Option<&Arc<QueryLog>> {
+        self.inner.query_log.as_ref()
+    }
+
+    /// The most recent `n` query traces, newest first (empty without a
+    /// configured query log).
+    pub fn recent_queries(&self, n: usize) -> Vec<Arc<QueryTrace>> {
+        self.inner
+            .query_log
+            .as_ref()
+            .map(|log| log.recent(n))
+            .unwrap_or_default()
     }
 }
 
@@ -1065,6 +1248,7 @@ fn shard_from_recovered(
         Some(shared),
         meta,
         Some(recovered.report),
+        TableObs::new(opts.metrics.clone(), opts.query_log.clone(), name),
     ))
 }
 

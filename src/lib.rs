@@ -133,20 +133,37 @@
 //! | [`verdict_storage`] | columnar tables, predicates, exact aggregation, FK joins |
 //! | [`verdict_store`] | durable stores: snippet log, snapshots, crash recovery, the v3 catalog manifest |
 //! | [`verdict_workload`] | synthetic / TPC-H-style / Customer1-style / multi-table generators |
+//! | [`verdict_obs`] | zero-dependency metrics registry, pipeline tracing, query log |
 //! | [`verdict_stats`], [`verdict_linalg`] | math substrates |
 //!
 //! Root-crate layering: [`database`] (catalog + per-table shards) and
 //! [`query`] (options + prepared statements) form the serving front-end;
 //! [`session`] and [`concurrent`] are the single-table compatibility
-//! fronts over the same pipeline.
+//! fronts over the same pipeline; [`metrics`] binds the zero-dependency
+//! observability primitives of [`verdict_obs`] to every pipeline stage.
+//!
+//! ## Observability
+//!
+//! Attach a [`verdict_obs::MetricsHub`] and/or a bounded query log at
+//! build time ([`DatabaseBuilder::metrics`] /
+//! [`DatabaseBuilder::query_log`], same on [`SessionBuilder`]) and the
+//! engine reports per-table counters, gauges, and latency histograms
+//! plus a per-query [`verdict_obs::QueryTrace`]; snapshot them with
+//! [`Database::metrics_snapshot`] (Prometheus-style text or JSON) and
+//! [`Database::recent_queries`]. Metrics observe the pipeline — they
+//! never change an answer, and when disabled (the default) the hot path
+//! touches no atomics and reads no stage clocks
+//! (`cargo run --release --example observability`).
 
 pub mod concurrent;
 pub mod database;
+pub mod metrics;
 pub mod query;
 pub mod session;
 
 pub use concurrent::{ConcurrentSession, SessionSnapshot};
 pub use database::{CatalogError, Database, DatabaseBuilder, OpenOptions, TableOptions};
+pub use metrics::CheckpointReport;
 pub use query::{Bound, Prepared, QueryOptions};
 pub use session::{
     CellAnswer, IngestReport, Mode, QueryOutcome, QueryResult, ResultRow, SampleRotation,
@@ -157,6 +174,7 @@ pub use session::{
 pub use verdict_aqp as aqp;
 pub use verdict_core as core;
 pub use verdict_linalg as linalg;
+pub use verdict_obs as obs;
 pub use verdict_sql as sql;
 pub use verdict_stats as stats;
 pub use verdict_storage as storage;

@@ -16,13 +16,15 @@
 //! inlined (the `prepare` benchmark asserts this).
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use verdict_aqp::AqpEngine;
+use verdict_obs::{ScanTrace, Stopwatch};
 use verdict_sql::{ParamKind, PreparedQuery};
 use verdict_storage::{distinct_group_keys, GroupKey, Value};
 
 use crate::database::{pin_snapshot, SessionSnapshot, Shard};
-use crate::session::run_shared_read;
+use crate::session::{query_trace, run_shared_read, StagePrelude};
 use crate::{Error, Mode, QueryOutcome, Result, StopPolicy};
 
 /// How one query executes: inference mode, stop policy, and (optionally)
@@ -196,12 +198,19 @@ impl Bound<'_> {
     /// groups if the statement has a `GROUP BY`, run the one shared scan,
     /// absorb what was learned. No SQL-layer work happens here.
     pub fn run(&self, opts: &QueryOptions) -> Result<QueryOutcome> {
+        let t0 = Instant::now();
         let shard = &self.prepared.shard;
         // Same contract as `Database::query`: pinned reads are pure and
         // must not consume a parked store error meant for the writer.
         if opts.pinned_epoch.is_none() {
             shard.surface_store_error()?;
         }
+        shard.obs.query_started();
+        let tracing = shard.obs.tracing();
+        // The SQL layer was paid at prepare time: the serving path has no
+        // parse stage, so `parse_ns` stays 0 and binding + group
+        // enumeration + plan instantiation all count as planning.
+        let plan_sw = Stopwatch::started_if(tracing);
         let (snapshot, sample, learn) = pin_snapshot(shard, opts)?;
         let engine = &snapshot.data.engines[sample];
         let sample_table = engine.sample().table();
@@ -220,6 +229,8 @@ impl Bound<'_> {
             &group_keys,
             snapshot.engine.config().nmax,
         )?;
+        let plan_ns = plan_sw.elapsed_ns();
+        let mut scan = tracing.then(ScanTrace::default);
         let read = run_shared_read(
             engine,
             snapshot.engine.view(),
@@ -227,11 +238,36 @@ impl Bound<'_> {
             opts.mode,
             opts.policy,
             snapshot.engine.epoch(),
+            scan.as_mut(),
         )?;
+        let absorb_sw = Stopwatch::started_if(tracing);
         if learn {
             shard.absorb_read(&read);
         }
-        Ok(QueryOutcome::Answered(read.result))
+        let absorb_ns = absorb_sw.elapsed_ns();
+        let mut result = read.result;
+        result.elapsed = t0.elapsed();
+        if let Some(scan) = scan {
+            shard.obs.record_query(
+                query_trace(
+                    &shard.name,
+                    None,
+                    true,
+                    opts.mode,
+                    snapshot.data_epoch(),
+                    &result,
+                    &scan,
+                    StagePrelude {
+                        parse_ns: 0,
+                        plan_ns,
+                        absorb_ns,
+                    },
+                ),
+                plan.groups_dropped,
+            );
+            shard.refresh_engine_gauges(&snapshot);
+        }
+        Ok(QueryOutcome::Answered(result))
     }
 }
 

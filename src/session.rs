@@ -68,6 +68,8 @@
 //! retrain (`cargo run --release --example ingest`).
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -80,6 +82,9 @@ use verdict_core::{
     AggKey, EngineStats, EngineView, ImprovedAnswer, Observation, Region, SchemaInfo, Snippet,
     Verdict, VerdictConfig,
 };
+use verdict_obs::{
+    MetricsHub, MetricsSnapshot, QueryLog, QueryTrace, ScanTrace, StageTimings, Stopwatch,
+};
 use verdict_sql::checker::JoinPolicy;
 use verdict_sql::{
     check_query, parse_query, plan_scan, Combiner, Query, ScanPlan, SupportVerdict,
@@ -90,6 +95,7 @@ use verdict_sql::{decompose, SnippetSpec};
 use verdict_storage::{distinct_group_keys, AggregateFn, Expr, GroupKey, Predicate, Table, Value};
 use verdict_store::{RecoveryReport, SessionMeta, SharedStore, StorePolicy, SynopsisStore};
 
+use crate::metrics::{CheckpointReport, TableObs};
 use crate::{Error, Result};
 
 /// What one [`VerdictSession::ingest`] (or
@@ -113,6 +119,19 @@ pub struct IngestReport {
     pub skipped_keys: Vec<AggKey>,
     /// The engine's data epoch after this batch.
     pub data_epoch: u64,
+    /// Wall-clock for the whole ingest call (validation → commit).
+    pub elapsed: Duration,
+    /// Wall-clock spent staging the synopsis rewrites and model refits
+    /// (step 3 below) — the learn-side share of `elapsed`.
+    pub refit_elapsed: Duration,
+    /// WAL bytes this batch appended (0 on a non-persistent session).
+    /// Measured by the store itself ([`verdict_store::StoreStats`]), not
+    /// by a second clock here.
+    pub wal_bytes: u64,
+    /// Total Lemma-3 widening applied: `Σ(|µ_k| + η_k)` over the batch's
+    /// adjustments, in aggregate value units. `0.0` means the append
+    /// predates any learning (nothing to widen).
+    pub widening_magnitude: f64,
 }
 
 /// How a multi-sample session picks the offline sample each query scans.
@@ -232,6 +251,10 @@ pub struct QueryResult {
     /// [`crate::ConcurrentSession`], the epoch of the published snapshot
     /// that answered every cell.
     pub epoch: u64,
+    /// Real wall-clock for the query, measured the same way on the
+    /// serial, concurrent, and prepared paths (entry to answer). Always
+    /// populated — callers don't need a metrics hub for basic timing.
+    pub elapsed: Duration,
 }
 
 /// Outcome of `execute`: answered, or classified unsupported.
@@ -276,6 +299,8 @@ pub struct SessionBuilder {
     persist: Option<PathBuf>,
     store_policy: StorePolicy,
     recovered: Option<RecoveredState>,
+    metrics: Option<Arc<MetricsHub>>,
+    query_log: Option<Arc<QueryLog>>,
 }
 
 /// What [`SessionBuilder::open`] carried out of recovery, held until
@@ -310,6 +335,8 @@ impl SessionBuilder {
             persist: None,
             store_policy: StorePolicy::default(),
             recovered: None,
+            metrics: None,
+            query_log: None,
         }
     }
 
@@ -343,6 +370,8 @@ impl SessionBuilder {
             rotation: SampleRotation::Fixed,
             persist: Some(path.to_path_buf()),
             store_policy: StorePolicy::default(),
+            metrics: None,
+            query_log: None,
             recovered: Some(RecoveredState {
                 store: SharedStore::new(store),
                 state: recovered.state,
@@ -367,6 +396,23 @@ impl SessionBuilder {
     /// Overrides the store's compaction/durability policy.
     pub fn store_policy(mut self, policy: StorePolicy) -> Self {
         self.store_policy = policy;
+        self
+    }
+
+    /// Attaches a metrics hub: the session registers its per-table
+    /// series on it at build time and updates them lock-free from then
+    /// on. Without a hub (the default) the metrics path is a true no-op
+    /// — no atomics touched, no stage clocks read.
+    pub fn metrics(mut self, hub: Arc<MetricsHub>) -> Self {
+        self.metrics = Some(hub);
+        self
+    }
+
+    /// Attaches a bounded in-memory query log: every answered query
+    /// pushes a [`verdict_obs::QueryTrace`] into a ring holding the most
+    /// recent `capacity` traces (oldest evicted). Off by default.
+    pub fn query_log(mut self, capacity: usize) -> Self {
+        self.query_log = Some(Arc::new(QueryLog::new(capacity)));
         self
     }
 
@@ -555,6 +601,10 @@ impl SessionBuilder {
         if let Some(store) = &store {
             verdict.set_observer(store.observer());
         }
+        // The serial session serves its one anonymous table as `t`
+        // (matching the `FROM t` its queries use), so its series carry
+        // that label.
+        let obs = TableObs::new(self.metrics, self.query_log, "t");
         Ok(VerdictSession {
             table: self.table,
             engines,
@@ -565,6 +615,7 @@ impl SessionBuilder {
             store,
             meta,
             recovery,
+            obs,
         })
     }
 
@@ -586,6 +637,7 @@ pub struct VerdictSession {
     store: Option<SharedStore>,
     meta: SessionMeta,
     recovery: Option<RecoveryReport>,
+    obs: TableObs,
 }
 
 /// The pieces a [`VerdictSession`] decomposes into when it is promoted to
@@ -600,6 +652,7 @@ pub(crate) struct SessionParts {
     pub(crate) store: Option<SharedStore>,
     pub(crate) meta: SessionMeta,
     pub(crate) recovery: Option<RecoveryReport>,
+    pub(crate) obs: TableObs,
 }
 
 impl VerdictSession {
@@ -679,6 +732,7 @@ impl VerdictSession {
             store: self.store,
             meta: self.meta,
             recovery: self.recovery,
+            obs: self.obs,
         }
     }
 
@@ -716,30 +770,45 @@ impl VerdictSession {
     }
 
     /// Checkpoints the full learned state into a fresh snapshot
-    /// generation and truncates the snippet log. No-op without a store.
+    /// generation and truncates the snippet log, reporting what was
+    /// written (duration and bytes come from the store's own receipt —
+    /// the same numbers the metrics layer records). No-op without a
+    /// store: the report is all zeros.
     ///
     /// Also surfaces any error a background log append or deferred
     /// compaction hit since the last checkpoint (the observer hook has no
     /// error channel of its own).
-    pub fn checkpoint(&mut self) -> Result<()> {
+    pub fn checkpoint(&mut self) -> Result<CheckpointReport> {
         self.surface_store_error()?;
-        self.snapshot_now().map_err(Error::Store)
+        let receipt = self.snapshot_now().map_err(Error::Store)?;
+        Ok(receipt
+            .as_ref()
+            .map(CheckpointReport::from_receipt)
+            .unwrap_or_default())
     }
 
     /// The one snapshot-writing path, shared by explicit checkpoints and
     /// query-piggybacked compaction (which park the error instead of
-    /// propagating it). No-op without a store. Ingested batches pending in
-    /// the WAL are folded into a fresh table generation here.
-    fn snapshot_now(&mut self) -> verdict_store::Result<()> {
+    /// propagating it). `None` without a store. Ingested batches pending
+    /// in the WAL are folded into a fresh table generation here. Metric
+    /// recording lives here too, so piggybacked compactions count the
+    /// same way explicit checkpoints do.
+    fn snapshot_now(&mut self) -> verdict_store::Result<Option<verdict_store::SnapshotReceipt>> {
         let Some(store) = &self.store else {
-            return Ok(());
+            return Ok(None);
         };
         let schema_fp = verdict_core::persist::fingerprint(self.verdict.schema());
         let state_bytes = self.verdict.state_bytes();
-        store
-            .lock()
-            .snapshot_encoded(self.meta.clone(), schema_fp, &state_bytes, &self.table)?;
-        Ok(())
+        let (receipt, stats) = {
+            let mut guard = store.lock();
+            let receipt =
+                guard.snapshot_encoded(self.meta.clone(), schema_fp, &state_bytes, &self.table)?;
+            (receipt, guard.stats())
+        };
+        self.obs
+            .record_checkpoint(&CheckpointReport::from_receipt(&receipt));
+        self.obs.refresh_store(stats);
+        Ok(Some(receipt))
     }
 
     /// Surfaces any parked store error (failed background append or
@@ -757,8 +826,32 @@ impl VerdictSession {
     /// checkpoint afterwards, so the (expensive) trained models are on
     /// disk and a restarted session warm-starts without refitting.
     pub fn train(&mut self) -> Result<()> {
+        let sw = Stopwatch::started_if(self.obs.tracing());
         self.verdict.train().map_err(Error::Core)?;
-        self.checkpoint()
+        self.obs.record_train(Duration::from_nanos(sw.elapsed_ns()));
+        self.checkpoint()?;
+        Ok(())
+    }
+
+    /// A snapshot of every metric series this session's hub holds, or
+    /// `None` when the session was built without
+    /// [`SessionBuilder::metrics`]. Render with
+    /// [`verdict_obs::MetricsSnapshot::to_text`] /
+    /// [`verdict_obs::MetricsSnapshot::to_json`].
+    pub fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.obs.hub().map(|h| h.snapshot())
+    }
+
+    /// The query log, when one was attached with
+    /// [`SessionBuilder::query_log`].
+    pub fn query_log(&self) -> Option<&Arc<QueryLog>> {
+        self.obs.log()
+    }
+
+    /// The `n` most recent query traces, newest first (empty without a
+    /// query log).
+    pub fn recent_queries(&self, n: usize) -> Vec<Arc<QueryTrace>> {
+        self.obs.log().map(|l| l.recent(n)).unwrap_or_default()
     }
 
     /// Applies a data-append adjustment (Appendix D, Lemma 3) to the
@@ -813,6 +906,7 @@ impl VerdictSession {
     /// [`VerdictSession::train`] re-tightens from fresh observations.
     pub fn ingest(&mut self, rows: &[Vec<Value>]) -> Result<IngestReport> {
         self.surface_store_error()?;
+        let t0 = Instant::now();
         if rows.is_empty() {
             return Ok(IngestReport {
                 appended_rows: 0,
@@ -821,6 +915,10 @@ impl VerdictSession {
                 adjusted_snippets: 0,
                 skipped_keys: Vec::new(),
                 data_epoch: self.verdict.data_epoch(),
+                elapsed: t0.elapsed(),
+                refit_elapsed: Duration::ZERO,
+                wal_bytes: 0,
+                widening_magnitude: 0.0,
             });
         }
         // All fallible work first (validation, shift estimation, staged
@@ -832,12 +930,18 @@ impl VerdictSession {
             self.engines[self.active].sample().table(),
             rows,
         )?;
-        if let Some(store) = &self.store {
-            store
-                .lock()
+        // WAL byte accounting comes from the store's own cumulative
+        // counters (delta across the append), not a second measurement.
+        let wal_bytes = if let Some(store) = &self.store {
+            let mut guard = store.lock();
+            let before = guard.stats().wal_bytes;
+            guard
                 .append_ingest(rows, &prepared.adjustments)
                 .map_err(Error::Store)?;
-        }
+            guard.stats().wal_bytes - before
+        } else {
+            0
+        };
         self.table.push_rows(rows).map_err(Error::Storage)?;
         let mut admitted_rows = Vec::with_capacity(self.engines.len());
         for (i, engine) in self.engines.iter_mut().enumerate() {
@@ -854,14 +958,33 @@ impl VerdictSession {
         }
         let adjusted_snippets = self.verdict.commit_ingest(prepared.staged);
         self.maybe_compact();
-        Ok(IngestReport {
+        let report = IngestReport {
             appended_rows: rows.len(),
             admitted_rows,
             adjusted_keys: prepared.adjustments.len(),
             adjusted_snippets,
             skipped_keys: prepared.skipped_keys,
             data_epoch: self.verdict.data_epoch(),
-        })
+            elapsed: t0.elapsed(),
+            refit_elapsed: prepared.refit_elapsed,
+            wal_bytes,
+            widening_magnitude: widening_magnitude(&prepared.adjustments),
+        };
+        self.obs.record_ingest(&report);
+        self.refresh_engine_gauges();
+        Ok(report)
+    }
+
+    /// Re-publishes the engine-state gauges (synopsis/sample sizes,
+    /// epochs). No-op without a metrics hub.
+    fn refresh_engine_gauges(&self) {
+        self.obs.refresh_engine(
+            self.verdict.synopsis_total_snippets(),
+            self.verdict.synopsis_keys().len(),
+            self.engines[self.active].sample().table().num_rows(),
+            self.verdict.epoch(),
+            self.verdict.data_epoch(),
+        );
     }
 
     /// Exact (ground-truth) answer for an aggregate over the *base* table;
@@ -880,33 +1003,68 @@ impl VerdictSession {
     /// away because persisting something else failed afterwards.
     pub fn execute(&mut self, sql: &str, mode: Mode, policy: StopPolicy) -> Result<QueryOutcome> {
         self.surface_store_error()?;
+        let t0 = Instant::now();
+        let tracing = self.obs.tracing();
+        self.obs.query_started();
+        let sw = Stopwatch::started_if(tracing);
         let query = parse_query(sql)?;
         if let SupportVerdict::Unsupported(reasons) = check_query(&query, &self.join_policy) {
+            self.obs.query_unsupported();
             return Ok(QueryOutcome::Unsupported(reasons));
         }
+        let parse_ns = sw.elapsed_ns();
+        let sw = Stopwatch::started_if(tracing);
         let plan = self.plan(&query)?;
+        let plan_ns = sw.elapsed_ns();
+        let epoch = self.verdict.epoch();
         // Read path: answer every cell from immutable state (the engine's
         // current view). The read neither observes nor bumps counters —
         // it returns what the learn path should absorb.
+        let mut scan = tracing.then(ScanTrace::default);
         let read = run_shared_read(
             &self.engines[self.active],
             self.verdict.view(),
             &plan,
             mode,
             policy,
-            self.verdict.epoch(),
+            epoch,
+            scan.as_mut(),
         )?;
         // Learn path (serialized trivially here — `&mut self`): fold the
         // counter delta in, then record the raw snippet observations in
         // the same per-snippet order Algorithm 2 produces (this is what
         // appends to the WAL on persistent sessions).
+        let sw = Stopwatch::started_if(tracing);
         self.verdict.merge_read_stats(read.stats);
         for (snippet, obs) in &read.recorded {
             self.verdict.observe(snippet, *obs);
         }
         self.maybe_compact();
+        let absorb_ns = sw.elapsed_ns();
         self.advance_rotation();
-        Ok(QueryOutcome::Answered(read.result))
+        let mut result = read.result;
+        result.elapsed = t0.elapsed();
+        if let Some(scan) = scan {
+            self.obs.record_query(
+                query_trace(
+                    "t",
+                    Some(sql),
+                    false,
+                    mode,
+                    self.verdict.data_epoch(),
+                    &result,
+                    &scan,
+                    StagePrelude {
+                        parse_ns,
+                        plan_ns,
+                        absorb_ns,
+                    },
+                ),
+                plan.groups_dropped,
+            );
+            self.refresh_engine_gauges();
+        }
+        Ok(QueryOutcome::Answered(result))
     }
 
     /// Advances the active sample after an answered query when the session
@@ -936,6 +1094,7 @@ impl VerdictSession {
         policy: StopPolicy,
     ) -> Result<QueryOutcome> {
         self.surface_store_error()?;
+        let t0 = Instant::now();
         let query = parse_query(sql)?;
         if let SupportVerdict::Unsupported(reasons) = check_query(&query, &self.join_policy) {
             return Ok(QueryOutcome::Unsupported(reasons));
@@ -976,6 +1135,7 @@ impl VerdictSession {
             simulated_ns,
             truncated: decomposed.truncated,
             epoch,
+            elapsed: t0.elapsed(),
         }))
     }
 
@@ -1068,6 +1228,66 @@ fn enumerate_groups(query: &Query, sample_table: &Table) -> Result<Vec<GroupKey>
     distinct_group_keys(sample_table, &base_pred, &cols).map_err(Error::Storage)
 }
 
+/// The stage clocks the serving layer measures around the shared read
+/// (the executor fills scan/infer itself via [`ScanTrace`]). `parse_ns`
+/// is 0 on the prepared path.
+pub(crate) struct StagePrelude {
+    pub(crate) parse_ns: u64,
+    pub(crate) plan_ns: u64,
+    pub(crate) absorb_ns: u64,
+}
+
+/// Folds the serving-layer stage clocks, the executor's [`ScanTrace`],
+/// and the answered result into one [`QueryTrace`] (sequence number
+/// assigned when the log accepts it). Shared by the serial, concurrent,
+/// and prepared serving paths, so every path's traces agree on field
+/// semantics.
+#[allow(clippy::too_many_arguments)] // one call site per serving path; a struct would just rename the args
+pub(crate) fn query_trace(
+    table: &str,
+    sql: Option<&str>,
+    prepared: bool,
+    mode: Mode,
+    data_epoch: u64,
+    result: &QueryResult,
+    scan: &ScanTrace,
+    stages: StagePrelude,
+) -> QueryTrace {
+    QueryTrace {
+        seq: 0,
+        table: table.to_owned(),
+        sql: sql.map(str::to_owned),
+        prepared,
+        mode: mode.to_string(),
+        epoch: result.epoch,
+        data_epoch,
+        tuples_scanned: result.tuples_scanned as u64,
+        batches: scan.batches,
+        cells: scan.cells,
+        cells_frozen_early: scan.cells_frozen_early,
+        snippets_observed: scan.snippets_observed,
+        stages: StageTimings {
+            parse_ns: stages.parse_ns,
+            plan_ns: stages.plan_ns,
+            scan_ns: scan.scan_ns,
+            infer_ns: scan.infer_ns,
+            absorb_ns: stages.absorb_ns,
+        },
+        elapsed_ns: u64::try_from(result.elapsed.as_nanos()).unwrap_or(u64::MAX),
+    }
+}
+
+/// Total Lemma-3 widening one ingest batch applied: `Σ(|µ_k| + η_k)`
+/// over its adjustments, in aggregate value units.
+pub(crate) fn widening_magnitude(
+    adjustments: &[(AggKey, verdict_core::append::AppendAdjustment)],
+) -> f64 {
+    adjustments
+        .iter()
+        .map(|(_, a)| a.mu_shift.abs() + a.eta)
+        .sum()
+}
+
 /// Plans one shared scan for a checked query against one engine's sample
 /// (shared by the serial and concurrent sessions).
 pub(crate) fn plan_shared_scan(
@@ -1097,6 +1317,10 @@ pub(crate) struct PreparedIngest {
     pub(crate) skipped_keys: Vec<AggKey>,
     /// The staged engine-side rewrites, ready to commit.
     pub(crate) staged: verdict_core::StagedIngest,
+    /// Wall-clock spent staging the rewrites + refits — measured here,
+    /// once, for both session flavors (the report and the metrics layer
+    /// read this same value).
+    pub(crate) refit_elapsed: Duration,
 }
 
 /// Validates `rows` and stages the full engine-side effect of ingesting
@@ -1125,12 +1349,15 @@ pub(crate) fn prepare_ingest(
         old_rows,
         rows.len(),
     );
+    let refit_t0 = Instant::now();
     let staged = verdict.stage_ingest(&adjustments).map_err(Error::Core)?;
+    let refit_elapsed = refit_t0.elapsed();
     Ok(PreparedIngest {
         old_rows,
         adjustments,
         skipped_keys,
         staged,
+        refit_elapsed,
     })
 }
 
@@ -1223,6 +1450,7 @@ pub(crate) fn run_shared_read(
     mode: Mode,
     policy: StopPolicy,
     epoch: u64,
+    mut trace: Option<&mut ScanTrace>,
 ) -> Result<ReadOutcome> {
     let mut stats = EngineStats::default();
     let num_groups = plan.groups.len();
@@ -1231,7 +1459,7 @@ pub(crate) fn run_shared_read(
     if num_cells == 0 {
         // A grouped query whose predicate selects no sample rows: no
         // result rows, and (exactly like the per-snippet path) nothing
-        // to scan.
+        // to scan. A requested trace stays all-zero.
         return Ok(ReadOutcome {
             result: QueryResult {
                 rows: Vec::new(),
@@ -1239,6 +1467,7 @@ pub(crate) fn run_shared_read(
                 simulated_ns: engine.simulated_ns(0),
                 truncated: plan.truncated,
                 epoch,
+                elapsed: Duration::ZERO,
             },
             recorded: Vec::new(),
             stats,
@@ -1293,6 +1522,16 @@ pub(crate) fn run_shared_read(
     // scan position.
     let mut last_unmet: Vec<(usize, FrozenCell)> = Vec::new();
 
+    // Tracing clocks (no-ops when untraced — a disabled Stopwatch never
+    // reads the OS clock): the whole scan+infer region is timed once,
+    // inference passes are timed individually, and scan time is the
+    // difference. Cells frozen before the scan's natural end are what
+    // the stop policy bought.
+    let tracing = trace.is_some();
+    let loop_sw = Stopwatch::started_if(tracing);
+    let mut infer_ns = 0u64;
+    let mut frozen_early = 0u64;
+
     loop {
         if !driver.step() {
             break;
@@ -1308,9 +1547,11 @@ pub(crate) fn run_shared_read(
             StopPolicy::RelativeErrorBound { target, delta } => {
                 // Evaluate every live cell against the bound; freeze
                 // those that meet it.
+                let infer_sw = Stopwatch::started_if(tracing);
                 let evaluated = evaluate_live_cells(
                     view, &mut stats, plan, &driver, &prim_keys, &regions, mode, n_base, &frozen,
                 );
+                infer_ns += infer_sw.elapsed_ns();
                 last_unmet.clear();
                 for (cell, snapshot) in evaluated {
                     let bound = snapshot.improved.bound(delta);
@@ -1319,6 +1560,7 @@ pub(crate) fn run_shared_read(
                     if met {
                         frozen[cell] = Some(snapshot);
                         live -= 1;
+                        frozen_early += 1;
                     } else {
                         last_unmet.push((cell, snapshot));
                     }
@@ -1335,6 +1577,7 @@ pub(crate) fn run_shared_read(
     // (sample exhausted under RelativeErrorBound), reuse its
     // snapshots rather than repeating the inference pass.
     let final_scanned = driver.tuples_scanned();
+    let infer_sw = Stopwatch::started_if(tracing);
     let finalized: Vec<(usize, FrozenCell)> =
         if !last_unmet.is_empty() && last_unmet[0].1.scanned == final_scanned {
             last_unmet
@@ -1343,10 +1586,18 @@ pub(crate) fn run_shared_read(
                 view, &mut stats, plan, &driver, &prim_keys, &regions, mode, n_base, &frozen,
             )
         };
+    infer_ns += infer_sw.elapsed_ns();
     for (cell, snapshot) in finalized {
         frozen[cell] = Some(snapshot);
     }
     let tuples_scanned = driver.tuples_scanned();
+    if let Some(t) = trace.as_deref_mut() {
+        t.scan_ns = loop_sw.elapsed_ns().saturating_sub(infer_ns);
+        t.infer_ns = infer_ns;
+        t.batches = driver.batches_stepped() as u64;
+        t.cells = num_cells as u64;
+        t.cells_frozen_early = frozen_early;
+    }
     drop(driver);
 
     // Collect the raw primitive observations the synopsis should record
@@ -1369,6 +1620,10 @@ pub(crate) fn run_shared_read(
                 }
             }
         }
+    }
+
+    if let Some(t) = trace {
+        t.snippets_observed = recorded.len() as u64;
     }
 
     // One real scan: the cost model charges the single pass, not the
@@ -1401,6 +1656,9 @@ pub(crate) fn run_shared_read(
             simulated_ns,
             truncated: plan.truncated,
             epoch,
+            // Stamped by the serving layer: wall-clock spans the whole
+            // call (parse/pin/absorb included), not just the scan.
+            elapsed: Duration::ZERO,
         },
         recorded,
         stats,
