@@ -8,30 +8,63 @@
 //! the sample once, evaluating the query's *base* predicate and extracting
 //! each row's group index in the same pass, and routes every matching row
 //! to a (group × primitive) grid of accumulators. Scan work is therefore
-//! independent of `G × A`:
+//! independent of `G × A`.
 //!
-//! - selection: one [`CompiledPredicate::fill_matches`] bitmap per batch
-//!   (the group equality predicates of the decomposition never run —
-//!   grouping is one hash lookup per matching row via [`GroupIndexer`]);
-//! - `AVG(e)` primitives push the row's expression value into the matching
-//!   group's Welford accumulator — O(1) per row, because a row belongs to
-//!   exactly one group;
-//! - `FREQ(*)` primitives bump the matching group's counter; the non-match
-//!   zero-pushes of the per-snippet estimator collapse into the indicator
-//!   closed form (`verdict_stats::indicator_mean_se`), so they cost
-//!   nothing.
+//! # Execution kernels
 //!
-//! Per-cell estimates come from the same functions the per-snippet
-//! estimator uses, so both executors agree bit for bit — property-tested
-//! in the root crate's parity suite.
+//! Two interchangeable kernels drive the scan ([`ScanKernel`]):
+//!
+//! - **Chunked** (default): each sample batch is split at
+//!   [`verdict_storage::CHUNK_ROWS`] boundaries. Per chunk the driver
+//!   first consults the table's zone maps
+//!   ([`CompiledPredicate::classify_chunk`]): a chunk that cannot match
+//!   is skipped without touching data (its rows still count as scanned —
+//!   the scan *considered* them, exactly like an all-zero mask). Otherwise
+//!   [`CompiledPredicate::fill_mask`] evaluates every conjunct as a
+//!   branch-free tight loop into a `u64` selection bitmap, group keys are
+//!   resolved per-chunk from raw dictionary codes
+//!   ([`GroupIndexer::fill_groups`], reading the bit-packed code mirror
+//!   when one exists), and the accumulator grid consumes the whole chunk
+//!   under the mask — with a dense fast path when the mask is all-ones.
+//! - **RowWise**: the original per-row reference path, kept for parity
+//!   testing and benchmarking.
+//!
+//! # Bit-parity contract
+//!
+//! Both kernels produce *bit-identical* results: the same answers, the
+//! same error bounds, the same `tuples_scanned`. This holds because the
+//! selection mask is exact, zone classification is conservative and sound
+//! (`NoRows`/`AllRows` only when provable), group resolution is
+//! semantically identical, and every Welford accumulator receives its
+//! values in ascending row order within the chunk sequence — the only
+//! reordering is *across* independent accumulators, which cannot change
+//! any per-cell result. `FREQ` counters are bulk-added per chunk
+//! (integer addition is associative). Per-cell estimates come from the
+//! same functions the per-snippet estimator uses, so all three executors
+//! agree bit for bit — property-tested in the root crate's parity suites.
+
+use std::sync::Arc;
 
 use verdict_stats::Welford;
+use verdict_storage::chunk::{chunk_segments, SelectionMask, ZoneMaps};
 use verdict_storage::expr::CompiledExpr;
+use verdict_storage::predicate::ChunkMatch;
 use verdict_storage::{AggregateFn, CompiledPredicate, GroupIndexer, GroupKey, Predicate};
 
 use crate::engine::RawAnswer;
 use crate::estimator::{avg_estimate, freq_estimate};
 use crate::{AqpEngine, AqpError, OnlineAggregation, Result, Sample};
+
+/// Which executor loop a [`SharedScanDriver`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScanKernel {
+    /// Typed columnar chunk execution: selection bitmaps, zone-map chunk
+    /// skipping, per-chunk group resolution (the default).
+    #[default]
+    Chunked,
+    /// The per-row reference path (parity baseline).
+    RowWise,
+}
 
 /// What one shared scan computes: the query's base predicate, its group
 /// columns and enumerated group keys, and the deduplicated primitive
@@ -48,15 +81,12 @@ pub struct ScanSpec<'a> {
     pub primitives: &'a [AggregateFn],
 }
 
-enum Prim<'e> {
-    Avg(CompiledExpr<'e>),
-    Freq,
-}
-
-/// Accumulator of one (group × primitive) grid cell.
-enum CellAcc {
-    Avg(Welford),
-    Freq(u64),
+/// Kind and same-kind slot of one primitive stream, mapping the public
+/// `(group, primitive)` cell addressing onto the split accumulator grids.
+#[derive(Clone, Copy)]
+enum PrimSlot {
+    Avg(usize),
+    Freq(usize),
 }
 
 /// One in-flight shared scan over a sample.
@@ -64,14 +94,29 @@ pub struct SharedScanDriver<'e> {
     sample: &'e Sample,
     pred: CompiledPredicate<'e>,
     indexer: Option<GroupIndexer<'e>>,
-    prims: Vec<Prim<'e>>,
-    /// Group-major `(group × primitive)` accumulator grid.
-    cells: Vec<CellAcc>,
+    /// Per-primitive routing into the grids below.
+    slots: Vec<PrimSlot>,
+    /// Compiled expression per AVG slot, plus the raw column slice when
+    /// the expression is a bare column (the streaming fast path).
+    avg_exprs: Vec<CompiledExpr<'e>>,
+    avg_cols: Vec<Option<&'e [f64]>>,
+    /// Group-major Welford grid: `group * n_avg + avg_slot`.
+    avg_cells: Vec<Welford>,
+    /// Group-major indicator counters: `group * n_freq + freq_slot`.
+    freq_cells: Vec<u64>,
+    n_avg: usize,
+    n_freq: usize,
     n_groups: usize,
     n_scanned: u64,
     n_matched: u64,
     next_batch: usize,
-    selbuf: Vec<bool>,
+    kernel: ScanKernel,
+    /// Zone maps of the sample table, fetched on first chunked step.
+    zones: Option<Arc<ZoneMaps>>,
+    chunks_scanned: u64,
+    chunks_pruned: u64,
+    mask: SelectionMask,
+    gbuf: Vec<u32>,
 }
 
 impl OnlineAggregation {
@@ -88,41 +133,70 @@ impl OnlineAggregation {
                 spec.groups.len(),
             )
         };
-        let mut prims = Vec::with_capacity(spec.primitives.len());
+        let mut slots = Vec::with_capacity(spec.primitives.len());
+        let mut avg_exprs = Vec::new();
         for agg in spec.primitives {
-            prims.push(match agg {
-                AggregateFn::Avg(e) => Prim::Avg(e.compile(table)?),
-                AggregateFn::Freq => Prim::Freq,
+            match agg {
+                AggregateFn::Avg(e) => {
+                    slots.push(PrimSlot::Avg(avg_exprs.len()));
+                    avg_exprs.push(e.compile(table)?);
+                }
+                AggregateFn::Freq => {
+                    let n_freq = slots
+                        .iter()
+                        .filter(|s| matches!(s, PrimSlot::Freq(_)))
+                        .count();
+                    slots.push(PrimSlot::Freq(n_freq));
+                }
                 other => {
                     return Err(AqpError::InvalidConfig(format!(
                         "shared-scan primitives are AVG/FREQ, got {}",
                         other.label()
                     )))
                 }
-            });
+            }
         }
-        let cells = (0..n_groups * prims.len())
-            .map(|i| match prims[i % prims.len()] {
-                Prim::Avg(_) => CellAcc::Avg(Welford::new()),
-                Prim::Freq => CellAcc::Freq(0),
-            })
-            .collect();
+        let n_avg = avg_exprs.len();
+        let n_freq = slots.len() - n_avg;
+        let avg_cols = avg_exprs.iter().map(CompiledExpr::as_col).collect();
         Ok(SharedScanDriver {
             sample: self.sample(),
             pred,
             indexer,
-            prims,
-            cells,
+            slots,
+            avg_exprs,
+            avg_cols,
+            avg_cells: vec![Welford::new(); n_groups * n_avg],
+            freq_cells: vec![0; n_groups * n_freq],
+            n_avg,
+            n_freq,
             n_groups,
             n_scanned: 0,
             n_matched: 0,
             next_batch: 0,
-            selbuf: Vec::new(),
+            kernel: ScanKernel::default(),
+            zones: None,
+            chunks_scanned: 0,
+            chunks_pruned: 0,
+            mask: SelectionMask::new(),
+            gbuf: Vec::new(),
         })
     }
 }
 
 impl SharedScanDriver<'_> {
+    /// Selects the executor kernel. Call before the first
+    /// [`SharedScanDriver::step`]; both kernels are bit-identical, so
+    /// switching mid-scan is harmless but pointless.
+    pub fn set_kernel(&mut self, kernel: ScanKernel) {
+        self.kernel = kernel;
+    }
+
+    /// The active executor kernel.
+    pub fn kernel(&self) -> ScanKernel {
+        self.kernel
+    }
+
     /// Consumes the next batch; `false` once the sample is exhausted.
     pub fn step(&mut self) -> bool {
         if self.next_batch >= self.sample.num_batches() {
@@ -130,12 +204,22 @@ impl SharedScanDriver<'_> {
         }
         let range = self.sample.batch_range(self.next_batch);
         self.next_batch += 1;
-        let start = range.start;
         self.n_scanned += range.len() as u64;
-        self.pred.fill_matches(range, &mut self.selbuf);
-        let n_prims = self.prims.len();
-        for (i, &is_match) in self.selbuf.iter().enumerate() {
-            if !is_match {
+        match self.kernel {
+            ScanKernel::RowWise => self.step_rowwise(range),
+            ScanKernel::Chunked => self.step_chunked(range),
+        }
+        true
+    }
+
+    /// The per-row reference path: one mask per batch, one hash lookup
+    /// and one accumulator push per matching row.
+    fn step_rowwise(&mut self, range: std::ops::Range<usize>) {
+        let start = range.start;
+        self.pred.fill_mask(range.clone(), &mut self.mask);
+        let mask = std::mem::take(&mut self.mask);
+        for i in 0..range.len() {
+            if !mask.get(i) {
                 continue;
             }
             let row = start + i;
@@ -148,20 +232,222 @@ impl SharedScanDriver<'_> {
                     None => continue,
                 },
             };
-            let base = group * n_prims;
-            for (p, prim) in self.prims.iter().enumerate() {
-                match (prim, &mut self.cells[base + p]) {
-                    (Prim::Avg(expr), CellAcc::Avg(w)) => w.push(expr.eval(row)),
-                    (Prim::Freq, CellAcc::Freq(m)) => *m += 1,
-                    _ => unreachable!("grid layout matches primitive kinds"),
+            self.route_row(row, group);
+        }
+        self.mask = mask;
+    }
+
+    /// Pushes one matching row into every primitive stream of `group`.
+    #[inline]
+    fn route_row(&mut self, row: usize, group: usize) {
+        let abase = group * self.n_avg;
+        for s in 0..self.n_avg {
+            let x = match self.avg_cols[s] {
+                Some(data) => data[row],
+                None => self.avg_exprs[s].eval(row),
+            };
+            self.avg_cells[abase + s].push(x);
+        }
+        let fbase = group * self.n_freq;
+        for f in &mut self.freq_cells[fbase..fbase + self.n_freq] {
+            *f += 1;
+        }
+    }
+
+    /// The chunked kernel: zone-classify each chunk segment, fill a
+    /// selection bitmap only when needed, resolve groups per chunk, and
+    /// consume whole segments under the mask.
+    fn step_chunked(&mut self, range: std::ops::Range<usize>) {
+        let zones = match &self.zones {
+            Some(z) => Arc::clone(z),
+            None => {
+                let z = self.sample.table().zone_maps();
+                self.zones = Some(Arc::clone(&z));
+                z
+            }
+        };
+        for (chunk, seg) in chunk_segments(range) {
+            self.chunks_scanned += 1;
+            match self.pred.classify_chunk(&zones, chunk) {
+                ChunkMatch::NoRows => {
+                    // Equivalent to an all-zero mask: no row matches, so
+                    // no accumulator moves. The rows still count as
+                    // scanned (`n_scanned` covers the whole batch).
+                    self.chunks_pruned += 1;
+                }
+                ChunkMatch::AllRows => self.consume_dense(seg, &zones),
+                ChunkMatch::SomeRows => {
+                    self.pred.fill_mask(seg.clone(), &mut self.mask);
+                    if self.mask.all_ones() {
+                        self.consume_dense(seg, &zones);
+                    } else if self.mask.any() {
+                        self.consume_masked(seg, &zones);
+                    }
                 }
             }
         }
-        true
+    }
+
+    /// Resolves the group index of every row in `seg` into `gbuf`,
+    /// reading the bit-packed code mirror when the group-by is a single
+    /// narrow categorical column with one available.
+    fn fill_group_buf(&mut self, seg: std::ops::Range<usize>, zones: &ZoneMaps) {
+        let ix = self.indexer.as_ref().expect("grouped path");
+        if let Some((col, lut)) = ix.dense_cat_lut() {
+            if let Some(packed) = zones.packed_codes(col) {
+                self.gbuf.clear();
+                self.gbuf.reserve(seg.len());
+                for row in seg {
+                    let code = packed.get(row) as usize;
+                    self.gbuf
+                        .push(lut.get(code).copied().unwrap_or(GroupIndexer::NO_GROUP));
+                }
+                return;
+            }
+        }
+        ix.fill_groups(seg, &mut self.gbuf);
+    }
+
+    /// Consumes a segment every row of which matches (all-ones mask).
+    fn consume_dense(&mut self, seg: std::ops::Range<usize>, zones: &ZoneMaps) {
+        self.n_matched += seg.len() as u64;
+        if self.indexer.is_none() {
+            // Ungrouped: stream each AVG column straight into its single
+            // Welford chain; FREQ counters bulk-add the row count.
+            for s in 0..self.n_avg {
+                match self.avg_cols[s] {
+                    Some(data) => {
+                        let w = &mut self.avg_cells[s];
+                        for &x in &data[seg.clone()] {
+                            w.push(x);
+                        }
+                    }
+                    None => {
+                        for row in seg.clone() {
+                            let x = self.avg_exprs[s].eval(row);
+                            self.avg_cells[s].push(x);
+                        }
+                    }
+                }
+            }
+            for f in &mut self.freq_cells[..self.n_freq] {
+                *f += seg.len() as u64;
+            }
+            return;
+        }
+        self.fill_group_buf(seg.clone(), zones);
+        let gbuf = std::mem::take(&mut self.gbuf);
+        for s in 0..self.n_avg {
+            match self.avg_cols[s] {
+                Some(data) => {
+                    for (&g, &x) in gbuf.iter().zip(&data[seg.clone()]) {
+                        if g != GroupIndexer::NO_GROUP {
+                            self.avg_cells[g as usize * self.n_avg + s].push(x);
+                        }
+                    }
+                }
+                None => {
+                    for (i, &g) in gbuf.iter().enumerate() {
+                        if g != GroupIndexer::NO_GROUP {
+                            let x = self.avg_exprs[s].eval(seg.start + i);
+                            self.avg_cells[g as usize * self.n_avg + s].push(x);
+                        }
+                    }
+                }
+            }
+        }
+        for s in 0..self.n_freq {
+            for &g in &gbuf {
+                if g != GroupIndexer::NO_GROUP {
+                    self.freq_cells[g as usize * self.n_freq + s] += 1;
+                }
+            }
+        }
+        self.gbuf = gbuf;
+    }
+
+    /// Consumes a segment under a partial selection mask.
+    fn consume_masked(&mut self, seg: std::ops::Range<usize>, zones: &ZoneMaps) {
+        let mask = std::mem::take(&mut self.mask);
+        let matched = mask.count_ones();
+        self.n_matched += matched;
+        if self.indexer.is_none() {
+            for s in 0..self.n_avg {
+                match self.avg_cols[s] {
+                    Some(data) => {
+                        let chunk = &data[seg.clone()];
+                        let w = &mut self.avg_cells[s];
+                        mask.for_each_set(|i| w.push(chunk[i]));
+                    }
+                    None => {
+                        let (exprs, cells) = (&self.avg_exprs, &mut self.avg_cells);
+                        mask.for_each_set(|i| cells[s].push(exprs[s].eval(seg.start + i)));
+                    }
+                }
+            }
+            for f in &mut self.freq_cells[..self.n_freq] {
+                *f += matched;
+            }
+            self.mask = mask;
+            return;
+        }
+        // Sparse grouped segments: one group lookup per *surviving* row
+        // beats materialising a group index for every row in the segment.
+        // Per-cell push order is unchanged (ascending rows), so results
+        // stay bit-identical with the dense path below.
+        if (matched as usize) * 4 < seg.len() {
+            mask.for_each_set(|i| {
+                let row = seg.start + i;
+                let group = match self.indexer.as_ref().expect("grouped path").group_of(row) {
+                    Some(g) => g,
+                    None => return,
+                };
+                self.route_row(row, group);
+            });
+            self.mask = mask;
+            return;
+        }
+        self.fill_group_buf(seg.clone(), zones);
+        let gbuf = std::mem::take(&mut self.gbuf);
+        for s in 0..self.n_avg {
+            match self.avg_cols[s] {
+                Some(data) => {
+                    let chunk = &data[seg.clone()];
+                    let (n_avg, cells) = (self.n_avg, &mut self.avg_cells);
+                    mask.for_each_set(|i| {
+                        let g = gbuf[i];
+                        if g != GroupIndexer::NO_GROUP {
+                            cells[g as usize * n_avg + s].push(chunk[i]);
+                        }
+                    });
+                }
+                None => {
+                    let (n_avg, cells, exprs) = (self.n_avg, &mut self.avg_cells, &self.avg_exprs);
+                    mask.for_each_set(|i| {
+                        let g = gbuf[i];
+                        if g != GroupIndexer::NO_GROUP {
+                            cells[g as usize * n_avg + s].push(exprs[s].eval(seg.start + i));
+                        }
+                    });
+                }
+            }
+        }
+        for s in 0..self.n_freq {
+            let (n_freq, cells) = (self.n_freq, &mut self.freq_cells);
+            mask.for_each_set(|i| {
+                let g = gbuf[i];
+                if g != GroupIndexer::NO_GROUP {
+                    cells[g as usize * n_freq + s] += 1;
+                }
+            });
+        }
+        self.gbuf = gbuf;
+        self.mask = mask;
     }
 
     /// Sample rows visited so far — the cost of the *one* scan, which is
     /// what the session charges to `tuples_scanned` / the cost model.
+    /// Rows in zone-pruned chunks count: the scan considered them.
     pub fn tuples_scanned(&self) -> usize {
         self.n_scanned as usize
     }
@@ -173,13 +459,23 @@ impl SharedScanDriver<'_> {
 
     /// Number of primitive streams per group.
     pub fn num_primitives(&self) -> usize {
-        self.prims.len()
+        self.slots.len()
     }
 
     /// Sample rows that passed the base predicate so far (before the
     /// group lookup — rows whose key the N_max cap dropped still count).
     pub fn rows_matched(&self) -> u64 {
         self.n_matched
+    }
+
+    /// Chunk segments visited so far (chunked kernel only).
+    pub fn chunks_scanned(&self) -> u64 {
+        self.chunks_scanned
+    }
+
+    /// Chunk segments skipped by zone maps (chunked kernel only).
+    pub fn chunks_pruned(&self) -> u64 {
+        self.chunks_pruned
     }
 
     /// Batches consumed so far.
@@ -196,9 +492,13 @@ impl SharedScanDriver<'_> {
     /// standard error the per-snippet [`crate::BatchEstimator`] would
     /// report for the equivalent single-cell query after the same batches.
     pub fn raw(&self, group: usize, primitive: usize) -> RawAnswer {
-        let (answer, error) = match &self.cells[group * self.prims.len() + primitive] {
-            CellAcc::Avg(w) => avg_estimate(self.n_scanned, w),
-            CellAcc::Freq(m) => freq_estimate(self.n_scanned, *m),
+        let (answer, error) = match self.slots[primitive] {
+            PrimSlot::Avg(s) => {
+                avg_estimate(self.n_scanned, &self.avg_cells[group * self.n_avg + s])
+            }
+            PrimSlot::Freq(s) => {
+                freq_estimate(self.n_scanned, self.freq_cells[group * self.n_freq + s])
+            }
         };
         RawAnswer {
             answer,
@@ -240,58 +540,143 @@ mod tests {
     }
 
     /// The shared driver's cells must equal independent per-cell
-    /// estimators over the per-group predicates, batch for batch.
+    /// estimators over the per-group predicates, batch for batch — with
+    /// either kernel.
     #[test]
     fn grid_matches_per_cell_estimators() {
+        for kernel in [ScanKernel::Chunked, ScanKernel::RowWise] {
+            let e = engine(5_000, 0.5);
+            let table = e.sample().table();
+            let pred = Predicate::between("x", 100.0, 4_000.0);
+            let cols = vec!["g".to_owned()];
+            let keys = distinct_group_keys(table, &pred, &cols).unwrap();
+            assert_eq!(keys.len(), 3);
+            let prims = vec![AggregateFn::Avg(Expr::col("v")), AggregateFn::Freq];
+            let mut driver = e
+                .shared_scan(&ScanSpec {
+                    predicate: &pred,
+                    group_cols: &cols,
+                    groups: &keys,
+                    primitives: &prims,
+                })
+                .unwrap();
+            driver.set_kernel(kernel);
+
+            // Reference: one estimator per (group × primitive) with the
+            // group equality folded into the predicate.
+            let mut refs: Vec<BatchEstimator<'_>> = Vec::new();
+            for key in &keys {
+                let code = match key[0] {
+                    verdict_storage::Value::Cat(c) => c,
+                    _ => panic!("categorical key"),
+                };
+                let cell_pred = pred.clone().and(Predicate::cat_eq("g", code));
+                for agg in &prims {
+                    refs.push(
+                        BatchEstimator::new(table, e.sample().base_rows(), agg, &cell_pred)
+                            .unwrap(),
+                    );
+                }
+            }
+
+            let mut batch = 0;
+            while driver.step() {
+                let range = e.sample().batch_range(batch);
+                batch += 1;
+                for est in refs.iter_mut() {
+                    est.consume(range.clone());
+                }
+                for g in 0..keys.len() {
+                    for p in 0..prims.len() {
+                        let shared = driver.raw(g, p);
+                        let (ans, err) = refs[g * prims.len() + p].current();
+                        assert_eq!(
+                            shared.answer.to_bits(),
+                            ans.to_bits(),
+                            "{kernel:?} g{g} p{p}"
+                        );
+                        assert_eq!(
+                            shared.error.to_bits(),
+                            err.to_bits(),
+                            "{kernel:?} g{g} p{p}"
+                        );
+                    }
+                }
+            }
+            assert_eq!(driver.tuples_scanned(), e.sample().len());
+        }
+    }
+
+    /// Both kernels agree bit for bit on every cell, and the chunked one
+    /// reports chunk counters.
+    #[test]
+    fn kernels_are_bit_identical() {
         let e = engine(5_000, 0.5);
         let table = e.sample().table();
         let pred = Predicate::between("x", 100.0, 4_000.0);
         let cols = vec!["g".to_owned()];
         let keys = distinct_group_keys(table, &pred, &cols).unwrap();
-        assert_eq!(keys.len(), 3);
         let prims = vec![AggregateFn::Avg(Expr::col("v")), AggregateFn::Freq];
-        let mut driver = e
-            .shared_scan(&ScanSpec {
-                predicate: &pred,
-                group_cols: &cols,
-                groups: &keys,
-                primitives: &prims,
-            })
-            .unwrap();
-
-        // Reference: one estimator per (group × primitive) with the group
-        // equality folded into the predicate.
-        let mut refs: Vec<BatchEstimator<'_>> = Vec::new();
-        for key in &keys {
-            let code = match key[0] {
-                verdict_storage::Value::Cat(c) => c,
-                _ => panic!("categorical key"),
-            };
-            let cell_pred = pred.clone().and(Predicate::cat_eq("g", code));
-            for agg in &prims {
-                refs.push(
-                    BatchEstimator::new(table, e.sample().base_rows(), agg, &cell_pred).unwrap(),
-                );
+        let spec = ScanSpec {
+            predicate: &pred,
+            group_cols: &cols,
+            groups: &keys,
+            primitives: &prims,
+        };
+        let mut chunked = e.shared_scan(&spec).unwrap();
+        let mut rowwise = e.shared_scan(&spec).unwrap();
+        rowwise.set_kernel(ScanKernel::RowWise);
+        assert_eq!(chunked.kernel(), ScanKernel::Chunked);
+        loop {
+            let a = chunked.step();
+            let b = rowwise.step();
+            assert_eq!(a, b);
+            if !a {
+                break;
             }
-        }
-
-        let mut batch = 0;
-        while driver.step() {
-            let range = e.sample().batch_range(batch);
-            batch += 1;
-            for est in refs.iter_mut() {
-                est.consume(range.clone());
-            }
+            assert_eq!(chunked.rows_matched(), rowwise.rows_matched());
             for g in 0..keys.len() {
                 for p in 0..prims.len() {
-                    let shared = driver.raw(g, p);
-                    let (ans, err) = refs[g * prims.len() + p].current();
-                    assert_eq!(shared.answer.to_bits(), ans.to_bits(), "g{g} p{p}");
-                    assert_eq!(shared.error.to_bits(), err.to_bits(), "g{g} p{p}");
+                    let (ca, ra) = (chunked.raw(g, p), rowwise.raw(g, p));
+                    assert_eq!(ca.answer.to_bits(), ra.answer.to_bits(), "g{g} p{p}");
+                    assert_eq!(ca.error.to_bits(), ra.error.to_bits(), "g{g} p{p}");
+                    assert_eq!(ca.tuples_scanned, ra.tuples_scanned);
                 }
             }
         }
-        assert_eq!(driver.tuples_scanned(), e.sample().len());
+        assert!(chunked.chunks_scanned() > 0);
+        assert_eq!(rowwise.chunks_scanned(), 0);
+    }
+
+    /// Zone maps must prune chunks on an order-preserving sample with a
+    /// selective predicate — without changing any answer.
+    #[test]
+    fn zone_maps_prune_ordered_full_scan() {
+        let t = base(6_000);
+        let s = Sample::full(&t, 512).unwrap();
+        let e = OnlineAggregation::new(s, CostModel::default(), StorageTier::Cached);
+        // Rows are ordered by x, so most chunks sit wholly outside.
+        let pred = Predicate::between("x", 2_000.0, 2_200.0);
+        let prims = vec![AggregateFn::Avg(Expr::col("v")), AggregateFn::Freq];
+        let spec = ScanSpec {
+            predicate: &pred,
+            group_cols: &[],
+            groups: &[],
+            primitives: &prims,
+        };
+        let mut chunked = e.shared_scan(&spec).unwrap();
+        let mut rowwise = e.shared_scan(&spec).unwrap();
+        rowwise.set_kernel(ScanKernel::RowWise);
+        while chunked.step() {}
+        while rowwise.step() {}
+        assert!(chunked.chunks_pruned() > 0, "ordered scan must prune");
+        assert_eq!(chunked.rows_matched(), rowwise.rows_matched());
+        for p in 0..prims.len() {
+            let (ca, ra) = (chunked.raw(0, p), rowwise.raw(0, p));
+            assert_eq!(ca.answer.to_bits(), ra.answer.to_bits());
+            assert_eq!(ca.error.to_bits(), ra.error.to_bits());
+        }
+        assert_eq!(chunked.tuples_scanned(), rowwise.tuples_scanned());
     }
 
     #[test]

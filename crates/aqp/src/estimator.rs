@@ -24,6 +24,7 @@
 //! bit for bit.
 
 use verdict_stats::{indicator_mean_se, Welford};
+use verdict_storage::chunk::SelectionMask;
 use verdict_storage::expr::CompiledExpr;
 use verdict_storage::{AggregateFn, CompiledPredicate, Predicate, Table};
 
@@ -65,7 +66,7 @@ pub struct BatchEstimator<'t> {
     /// Column-bound predicate, evaluated per batch.
     pred: CompiledPredicate<'t>,
     /// Per-batch selection bitmap scratch.
-    selbuf: Vec<bool>,
+    selbuf: SelectionMask,
     /// Accumulator over matching rows only (AVG).
     matched: Welford,
     /// Accumulator over all scanned rows of `z_i` (SUM).
@@ -99,7 +100,7 @@ impl<'t> BatchEstimator<'t> {
             kind,
             expr,
             pred,
-            selbuf: Vec::new(),
+            selbuf: SelectionMask::new(),
             matched: Welford::new(),
             scanned: Welford::new(),
             n_scanned: 0,
@@ -112,25 +113,27 @@ impl<'t> BatchEstimator<'t> {
     pub fn consume(&mut self, range: std::ops::Range<usize>) {
         let start = range.start;
         self.n_scanned += range.len() as u64;
-        self.pred.fill_matches(range, &mut self.selbuf);
+        self.pred.fill_mask(range, &mut self.selbuf);
         match self.kind {
             Kind::Avg => {
                 let expr = self.expr.as_ref().expect("AVG has expr");
-                for (i, &is_match) in self.selbuf.iter().enumerate() {
-                    if is_match {
-                        self.matched.push(expr.eval(start + i));
-                    }
-                }
+                let matched = &mut self.matched;
+                self.selbuf
+                    .for_each_set(|i| matched.push(expr.eval(start + i)));
             }
             Kind::Sum => {
                 let expr = self.expr.as_ref().expect("SUM has expr");
-                for (i, &is_match) in self.selbuf.iter().enumerate() {
-                    let z = if is_match { expr.eval(start + i) } else { 0.0 };
+                for i in 0..self.selbuf.len() {
+                    let z = if self.selbuf.get(i) {
+                        expr.eval(start + i)
+                    } else {
+                        0.0
+                    };
                     self.scanned.push(z);
                 }
             }
             Kind::Count | Kind::Freq => {
-                self.n_matched += self.selbuf.iter().filter(|&&m| m).count() as u64;
+                self.n_matched += self.selbuf.count_ones();
             }
         }
     }

@@ -20,7 +20,7 @@ pub mod sample;
 pub mod stratified;
 
 pub use cost::{CostModel, SimulatedClock, StorageTier};
-pub use driver::{ScanSpec, SharedScanDriver};
+pub use driver::{ScanKernel, ScanSpec, SharedScanDriver};
 pub use engine::{AqpEngine, OnlineAggregation, RawAnswer, TimeBoundEngine};
 pub use estimator::BatchEstimator;
 pub use sample::{appended_row_admitted, Sample};

@@ -51,6 +51,12 @@ pub struct ScanTrace {
     pub cells_frozen_early: u64,
     /// Snippets recorded for the synopsis by this query.
     pub snippets_observed: u64,
+    /// Chunk segments visited by the chunked kernel (0 row-wise).
+    pub chunks: u64,
+    /// Chunk segments skipped via zone maps without touching data.
+    pub chunks_pruned: u64,
+    /// Rows that passed the query's base predicate.
+    pub rows_matched: u64,
 }
 
 /// One query's trace: per-stage timings plus engine facts. Stored in the
@@ -82,6 +88,12 @@ pub struct QueryTrace {
     pub cells_frozen_early: u64,
     /// Snippets recorded for the synopsis.
     pub snippets_observed: u64,
+    /// Chunk segments the scan visited (0 under the row-wise kernel).
+    pub chunks: u64,
+    /// Chunk segments skipped via zone maps without touching data.
+    pub chunks_pruned: u64,
+    /// Rows that passed the query's base predicate.
+    pub rows_matched: u64,
     /// Per-stage wall-clock.
     pub stages: StageTimings,
     /// Total wall-clock for the query, nanoseconds.
@@ -219,6 +231,9 @@ mod tests {
             cells: 0,
             cells_frozen_early: 0,
             snippets_observed: 0,
+            chunks: 0,
+            chunks_pruned: 0,
+            rows_matched: 0,
             stages: StageTimings::default(),
             elapsed_ns: 0,
         }

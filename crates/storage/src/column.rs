@@ -1,6 +1,7 @@
 //! Columnar storage with dictionary encoding for categorical data.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::{Result, StorageError, Value};
 
@@ -12,13 +13,17 @@ pub enum Column {
     /// Dictionary-encoded categorical storage: codes plus the dictionary
     /// mapping codes to labels (codes without a label are valid — generated
     /// datasets often use raw integer categories).
+    ///
+    /// Labels are `Arc<str>` shared between the forward dictionary and the
+    /// reverse index, so building the index — on bulk load, warm start, or
+    /// clone — bumps refcounts instead of copying every string.
     Categorical {
         /// Per-row dictionary codes.
         codes: Vec<u32>,
         /// Code → label dictionary (may be sparse).
-        labels: Vec<String>,
-        /// Label → code reverse index.
-        index: HashMap<String, u32>,
+        labels: Vec<Arc<str>>,
+        /// Label → code reverse index (shares storage with `labels`).
+        index: HashMap<Arc<str>, u32>,
     },
 }
 
@@ -43,12 +48,15 @@ impl Column {
     }
 
     /// Categorical column from codes and an optional dictionary (bulk load
-    /// / persistence). The reverse index is rebuilt from `labels`.
+    /// / persistence). The reverse index *shares* label storage with the
+    /// dictionary — each entry is an `Arc` refcount bump, not a `String`
+    /// copy, so warm starts stop re-allocating dictionaries.
     pub fn from_categorical(codes: Vec<u32>, labels: Vec<String>) -> Self {
+        let labels: Vec<Arc<str>> = labels.into_iter().map(Arc::from).collect();
         let index = labels
             .iter()
             .enumerate()
-            .map(|(i, l)| (l.clone(), i as u32))
+            .map(|(i, l)| (Arc::clone(l), i as u32))
             .collect();
         Column::Categorical {
             codes,
@@ -59,7 +67,7 @@ impl Column {
 
     /// The dictionary labels of a categorical column (`None` for numeric
     /// columns). Codes without a label are valid and simply not covered.
-    pub fn labels(&self) -> Option<&[String]> {
+    pub fn labels(&self) -> Option<&[Arc<str>]> {
         match self {
             Column::Categorical { labels, .. } => Some(labels),
             Column::Numeric(_) => None,
@@ -98,12 +106,13 @@ impl Column {
                 },
                 Value::Str(s),
             ) => {
-                let code = match index.get(&s) {
+                let code = match index.get(s.as_str()) {
                     Some(&c) => c,
                     None => {
                         let c = labels.len() as u32;
-                        labels.push(s.clone());
-                        index.insert(s, c);
+                        let shared: Arc<str> = Arc::from(s);
+                        labels.push(Arc::clone(&shared));
+                        index.insert(shared, c);
                         c
                     }
                 };
@@ -158,7 +167,7 @@ impl Column {
     /// Resolves a dictionary code to its label, if one was recorded.
     pub fn label_of(&self, code: u32) -> Option<&str> {
         match self {
-            Column::Categorical { labels, .. } => labels.get(code as usize).map(|s| s.as_str()),
+            Column::Categorical { labels, .. } => labels.get(code as usize).map(|s| &**s),
             Column::Numeric(_) => None,
         }
     }

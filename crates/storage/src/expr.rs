@@ -246,11 +246,22 @@ enum Node<'t> {
     Neg(Box<Node<'t>>),
 }
 
-impl CompiledExpr<'_> {
+impl<'t> CompiledExpr<'t> {
     /// Evaluates at row `row`.
     #[inline]
     pub fn eval(&self, row: usize) -> f64 {
         eval_node(&self.node, row)
+    }
+
+    /// The raw column slice when the expression is a bare column
+    /// reference, letting chunked kernels stream values without the
+    /// per-row expression-tree walk. `eval(row) == as_col().unwrap()[row]`
+    /// bit-for-bit whenever this returns `Some`.
+    pub fn as_col(&self) -> Option<&'t [f64]> {
+        match self.node {
+            Node::Col(data) => Some(data),
+            _ => None,
+        }
     }
 }
 

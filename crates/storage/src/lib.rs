@@ -13,10 +13,16 @@
 //!   attributes (§2.2, e.g. `revenue * discount`);
 //! - [`predicate`]: conjunctive selection predicates (ranges over numeric
 //!   dimensions, IN-sets over categorical ones) matching Verdict's supported
-//!   `where` clauses, compilable to column-bound form for vectorized
-//!   per-batch evaluation;
+//!   `where` clauses, compilable to column-bound form whose `fill_mask`
+//!   kernels evaluate each conjunct as a branch-free loop over a chunk
+//!   into a `u64` selection bitmap;
+//! - [`chunk`]: the columnar chunk format — 1024-row batches, selection
+//!   bitmaps, per-chunk min/max zone maps (scan skipping now; the
+//!   groundwork for partition pruning later), and bit-packed dictionary
+//!   codes for low-cardinality categorical columns;
 //! - [`scan`]: shared-scan building blocks — one-pass group-key
-//!   enumeration and row → group-index mapping;
+//!   enumeration and row → group-index mapping, with a dense
+//!   code → group lookup table for single-column categorical group-bys;
 //! - [`aggregate`]: exact AVG/SUM/COUNT/FREQ evaluation (ground truth for
 //!   experiments);
 //! - [`join`]: foreign-key hash joins between a fact table and dimension
@@ -25,6 +31,7 @@
 
 pub mod aggregate;
 pub mod catalog;
+pub mod chunk;
 pub mod column;
 pub mod expr;
 pub mod join;
@@ -36,9 +43,12 @@ pub mod value;
 
 pub use aggregate::{eval_group_by, AggregateFn, GroupKey};
 pub use catalog::Catalog;
+pub use chunk::{
+    chunk_segments, CatZone, Chunk, NumZone, PackedCodes, SelectionMask, ZoneMaps, CHUNK_ROWS,
+};
 pub use column::Column;
 pub use expr::Expr;
-pub use predicate::{CompiledPredicate, Predicate};
+pub use predicate::{ChunkMatch, CompiledPredicate, Predicate};
 pub use scan::{distinct_group_keys, GroupIndexer};
 pub use schema::{AttributeRole, ColumnDef, ColumnType, Schema};
 pub use table::Table;

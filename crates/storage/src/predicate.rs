@@ -5,9 +5,19 @@
 //! `in` operator; disjunctions and textual `LIKE` filters are unsupported.
 //! [`Predicate`] mirrors exactly that class: a conjunction of numeric range
 //! constraints and categorical membership constraints.
+//!
+//! Compiled form: [`Predicate::compile`] binds the normal form to a table's
+//! raw column slices. Chunked scans then call
+//! [`CompiledPredicate::fill_mask`], which evaluates each conjunct as a
+//! branch-free tight loop over a chunk segment, ANDing 64-row words into a
+//! [`SelectionMask`]; [`CompiledPredicate::classify_chunk`] consults
+//! per-chunk zone maps first so chunks that cannot match are skipped
+//! without touching their data. Both are *exact*: the mask selects
+//! precisely the rows per-row [`CompiledPredicate::matches`] would.
 
 use std::collections::BTreeMap;
 
+use crate::chunk::{SelectionMask, ZoneMaps};
 use crate::{Result, StorageError, Table};
 
 /// A numeric interval constraint with per-bound inclusivity.
@@ -307,14 +317,25 @@ impl Predicate {
     pub fn compile<'t>(&self, table: &'t Table) -> Result<CompiledPredicate<'t>> {
         let mut constraints = Vec::new();
         for (col, constraint) in self.normal_form()? {
+            let col_index = table.schema().index_of(&col)?;
             match constraint {
                 ColumnConstraint::Range(range) => {
-                    let data = table.column(&col)?.numeric()?;
-                    constraints.push(CompiledConstraint::Range { data, range });
+                    let data = table.column_at(col_index).numeric()?;
+                    constraints.push(CompiledConstraint::Range {
+                        col_index,
+                        data,
+                        range,
+                    });
                 }
                 ColumnConstraint::In(codes) => {
-                    let data = table.column(&col)?.categorical()?;
-                    constraints.push(CompiledConstraint::In { data, codes });
+                    let data = table.column_at(col_index).categorical()?;
+                    let bitset = CodeBitset::build(&codes);
+                    constraints.push(CompiledConstraint::In {
+                        col_index,
+                        data,
+                        codes,
+                        bitset,
+                    });
                 }
             }
         }
@@ -322,10 +343,48 @@ impl Predicate {
     }
 }
 
+/// A dense membership bitset over allowed dictionary codes, used by the
+/// mask kernels to turn IN-set membership into one shift-and-AND per row.
+/// Only built for narrow code spaces; wide IN-sets fall back to binary
+/// search (identical semantics either way).
+struct CodeBitset {
+    words: Vec<u64>,
+}
+
+impl CodeBitset {
+    /// Largest code worth a dense bitset: 4096 codes = 64 words = 512 B.
+    const MAX_CODE: u32 = 4095;
+
+    fn build(codes: &[u32]) -> Option<CodeBitset> {
+        let max = codes.iter().copied().max()?;
+        if max > Self::MAX_CODE {
+            return None;
+        }
+        let mut words = vec![0u64; (max as usize >> 6) + 1];
+        for &c in codes {
+            words[(c >> 6) as usize] |= 1u64 << (c & 63);
+        }
+        Some(CodeBitset { words })
+    }
+
+    /// Membership test; codes beyond the bitset are absent by definition.
+    #[inline]
+    fn contains(&self, c: u32) -> u64 {
+        let wi = (c >> 6) as usize;
+        if wi < self.words.len() {
+            self.words[wi] >> (c & 63) & 1
+        } else {
+            0
+        }
+    }
+}
+
 /// One normal-form constraint bound to its column slice.
 enum CompiledConstraint<'t> {
     /// Numeric interval over a `f64` column.
     Range {
+        /// Schema index of the column (for zone-map lookups).
+        col_index: usize,
         /// The column data.
         data: &'t [f64],
         /// The interval.
@@ -333,10 +392,14 @@ enum CompiledConstraint<'t> {
     },
     /// Membership over a dictionary-coded column (codes sorted).
     In {
+        /// Schema index of the column (for zone-map lookups).
+        col_index: usize,
         /// The column data (codes).
         data: &'t [u32],
         /// Allowed codes, sorted.
         codes: Vec<u32>,
+        /// Dense membership bitset when the code space is narrow.
+        bitset: Option<CodeBitset>,
     },
 }
 
@@ -345,13 +408,25 @@ pub struct CompiledPredicate<'t> {
     constraints: Vec<CompiledConstraint<'t>>,
 }
 
+/// How a chunk relates to a predicate according to its zone maps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkMatch {
+    /// No row in the chunk can match: skip it (≡ an all-zero mask).
+    NoRows,
+    /// Every row in the chunk matches: dense fast path (≡ an all-one
+    /// mask).
+    AllRows,
+    /// The zones cannot decide; run the mask kernels.
+    SomeRows,
+}
+
 impl CompiledPredicate<'_> {
     /// Evaluates the predicate at one row.
     #[inline]
     pub fn matches(&self, row: usize) -> bool {
         self.constraints.iter().all(|c| match c {
-            CompiledConstraint::Range { data, range } => range.contains(data[row]),
-            CompiledConstraint::In { data, codes } => match codes.as_slice() {
+            CompiledConstraint::Range { data, range, .. } => range.contains(data[row]),
+            CompiledConstraint::In { data, codes, .. } => match codes.as_slice() {
                 [] => false,
                 [only] => data[row] == *only,
                 many => many.binary_search(&data[row]).is_ok(),
@@ -359,37 +434,175 @@ impl CompiledPredicate<'_> {
         })
     }
 
-    /// Fills `out` with the selection bitmap for the rows in `range`,
-    /// column-at-a-time: `out` is resized to `range.len()` and `out[i]`
-    /// reports whether row `range.start + i` matches. Each constraint
-    /// sweeps its own contiguous column slice, which the compiler can
-    /// auto-vectorize; rows rejected by an earlier constraint are still
-    /// touched but cost one AND.
-    pub fn fill_matches(&self, range: std::ops::Range<usize>, out: &mut Vec<bool>) {
-        out.clear();
-        out.resize(range.len(), true);
+    /// Fills `out` with the selection bitmap for the rows in `range`:
+    /// `out` covers `range.len()` bits and bit `i` reports whether row
+    /// `range.start + i` matches. Each conjunct runs as a branch-free
+    /// tight loop over its contiguous column slice, building one `u64`
+    /// per 64 rows and ANDing it into the mask.
+    pub fn fill_mask(&self, range: std::ops::Range<usize>, out: &mut SelectionMask) {
+        out.reset_ones(range.len());
+        let words = out.words_mut();
         for c in &self.constraints {
             match c {
-                CompiledConstraint::Range { data, range: r } => {
-                    for (flag, &x) in out.iter_mut().zip(&data[range.clone()]) {
-                        *flag &= r.contains(x);
+                CompiledConstraint::Range { data, range: r, .. } => {
+                    let seg = &data[range.clone()];
+                    match (r.lo_inclusive, r.hi_inclusive) {
+                        (true, true) => and_range::<true, true>(words, seg, r.lo, r.hi),
+                        (true, false) => and_range::<true, false>(words, seg, r.lo, r.hi),
+                        (false, true) => and_range::<false, true>(words, seg, r.lo, r.hi),
+                        (false, false) => and_range::<false, false>(words, seg, r.lo, r.hi),
                     }
                 }
-                CompiledConstraint::In { data, codes } => match codes.as_slice() {
-                    [] => out.iter_mut().for_each(|f| *f = false),
-                    [only] => {
-                        for (flag, &c) in out.iter_mut().zip(&data[range.clone()]) {
-                            *flag &= c == *only;
-                        }
+                CompiledConstraint::In {
+                    data,
+                    codes,
+                    bitset,
+                    ..
+                } => {
+                    let seg = &data[range.clone()];
+                    match (codes.as_slice(), bitset) {
+                        ([], _) => words.fill(0),
+                        ([only], _) => and_eq(words, seg, *only),
+                        (_, Some(bits)) => and_in_bitset(words, seg, bits),
+                        (many, None) => and_in_search(words, seg, many),
                     }
-                    many => {
-                        for (flag, &c) in out.iter_mut().zip(&data[range.clone()]) {
-                            *flag &= many.binary_search(&c).is_ok();
-                        }
-                    }
-                },
+                }
             }
         }
+    }
+
+    /// Classifies chunk `chunk` against the predicate using zone maps
+    /// only — no row data is touched. Conservative and sound: `NoRows`
+    /// is returned only when provably no row matches, `AllRows` only
+    /// when provably every row matches; anything uncertain is
+    /// `SomeRows`.
+    pub fn classify_chunk(&self, zones: &ZoneMaps, chunk: usize) -> ChunkMatch {
+        let mut all = true;
+        for c in &self.constraints {
+            match c {
+                CompiledConstraint::Range {
+                    col_index,
+                    range: r,
+                    ..
+                } => {
+                    let Some(z) = zones.num_zone(*col_index, chunk) else {
+                        return ChunkMatch::SomeRows;
+                    };
+                    // Disjoint: the whole zone sits below lo or above hi.
+                    // An all-NaN chunk has min=+inf/max=-inf and lands
+                    // here whenever the range is bounded — sound, since
+                    // NaN never matches a range.
+                    let below = if r.lo_inclusive {
+                        z.max < r.lo
+                    } else {
+                        z.max <= r.lo
+                    };
+                    let above = if r.hi_inclusive {
+                        z.min > r.hi
+                    } else {
+                        z.min >= r.hi
+                    };
+                    if below || above {
+                        return ChunkMatch::NoRows;
+                    }
+                    // Containment: both zone endpoints inside the
+                    // interval covers everything between; NaNs break it.
+                    if z.has_nan || !r.contains(z.min) || !r.contains(z.max) {
+                        all = false;
+                    }
+                }
+                CompiledConstraint::In {
+                    col_index, codes, ..
+                } => {
+                    if codes.is_empty() {
+                        return ChunkMatch::NoRows;
+                    }
+                    let Some(z) = zones.cat_zone(*col_index, chunk) else {
+                        return ChunkMatch::SomeRows;
+                    };
+                    // First allowed code at or above the zone minimum.
+                    let lo = codes.partition_point(|&c| c < z.min_code);
+                    if lo >= codes.len() || codes[lo] > z.max_code {
+                        return ChunkMatch::NoRows;
+                    }
+                    // Full coverage: `codes` is sorted and unique, so
+                    // hitting both zone endpoints exactly `span` apart
+                    // means every code in [min, max] is allowed.
+                    let span = (z.max_code - z.min_code) as usize;
+                    let covered = codes[lo] == z.min_code
+                        && lo + span < codes.len()
+                        && codes[lo + span] == z.max_code;
+                    if !covered {
+                        all = false;
+                    }
+                }
+            }
+        }
+        if all {
+            ChunkMatch::AllRows
+        } else {
+            ChunkMatch::SomeRows
+        }
+    }
+}
+
+/// ANDs `lo (<|<=) x (<|<=) hi` over `data` into `words`, 64 rows per
+/// word. Comparisons become integer bit ops — no per-row branches.
+fn and_range<const LO_INC: bool, const HI_INC: bool>(
+    words: &mut [u64],
+    data: &[f64],
+    lo: f64,
+    hi: f64,
+) {
+    for (wi, w) in words.iter_mut().enumerate() {
+        let start = wi * 64;
+        let end = (start + 64).min(data.len());
+        let mut m = 0u64;
+        for (bit, &x) in data[start..end].iter().enumerate() {
+            let lo_ok = if LO_INC { x >= lo } else { x > lo };
+            let hi_ok = if HI_INC { x <= hi } else { x < hi };
+            m |= u64::from(lo_ok & hi_ok) << bit;
+        }
+        *w &= m;
+    }
+}
+
+/// ANDs `code == only` over `data` into `words`.
+fn and_eq(words: &mut [u64], data: &[u32], only: u32) {
+    for (wi, w) in words.iter_mut().enumerate() {
+        let start = wi * 64;
+        let end = (start + 64).min(data.len());
+        let mut m = 0u64;
+        for (bit, &c) in data[start..end].iter().enumerate() {
+            m |= u64::from(c == only) << bit;
+        }
+        *w &= m;
+    }
+}
+
+/// ANDs dense-bitset membership over `data` into `words`.
+fn and_in_bitset(words: &mut [u64], data: &[u32], bits: &CodeBitset) {
+    for (wi, w) in words.iter_mut().enumerate() {
+        let start = wi * 64;
+        let end = (start + 64).min(data.len());
+        let mut m = 0u64;
+        for (bit, &c) in data[start..end].iter().enumerate() {
+            m |= bits.contains(c) << bit;
+        }
+        *w &= m;
+    }
+}
+
+/// Binary-search membership fallback for wide IN-sets.
+fn and_in_search(words: &mut [u64], data: &[u32], codes: &[u32]) {
+    for (wi, w) in words.iter_mut().enumerate() {
+        let start = wi * 64;
+        let end = (start + 64).min(data.len());
+        let mut m = 0u64;
+        for (bit, &c) in data[start..end].iter().enumerate() {
+            m |= u64::from(codes.binary_search(&c).is_ok()) << bit;
+        }
+        *w &= m;
     }
 }
 
@@ -530,21 +743,153 @@ mod tests {
     }
 
     #[test]
-    fn fill_matches_agrees_with_per_row_matches() {
+    fn fill_mask_agrees_with_per_row_matches() {
         let t = table();
         let us = t.column("region").unwrap().code_of("us").unwrap();
-        let p = Predicate::between("week", 2.0, 5.0).and(Predicate::cat_eq("region", us));
+        let eu = t.column("region").unwrap().code_of("eu").unwrap();
+        let preds = [
+            Predicate::True,
+            Predicate::between("week", 2.0, 5.0).and(Predicate::cat_eq("region", us)),
+            Predicate::cat_in("region", vec![us, eu]),
+            Predicate::cat_in("region", vec![]),
+            Predicate::greater_than("week", 2.0, false),
+        ];
+        let mut mask = SelectionMask::new();
+        for p in &preds {
+            let c = p.compile(&t).unwrap();
+            for (start, end) in [(0, 5), (1, 4), (3, 3), (4, 5)] {
+                c.fill_mask(start..end, &mut mask);
+                assert_eq!(mask.len(), end - start);
+                for i in 0..mask.len() {
+                    assert_eq!(
+                        mask.get(i),
+                        c.matches(start + i),
+                        "{p:?} range {start}..{end} offset {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A bigger table exercising whole 64-row mask words, wide IN-set
+    /// fallback, and NaN data.
+    fn wide_table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::numeric_dimension("x"),
+            ColumnDef::categorical_dimension("c"),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..300usize {
+            let x = if i % 97 == 0 {
+                f64::NAN
+            } else {
+                (i % 50) as f64
+            };
+            t.push_row(vec![x.into(), format!("k{}", i % 40).as_str().into()])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn fill_mask_matches_per_row_on_word_boundaries() {
+        let t = wide_table();
+        let p = Predicate::between("x", 5.0, 30.0)
+            .and(Predicate::cat_in("c", (0..20).step_by(3).collect()));
         let c = p.compile(&t).unwrap();
-        let mut buf = Vec::new();
-        for (start, end) in [(0, 5), (1, 4), (3, 3), (4, 5)] {
-            c.fill_matches(start..end, &mut buf);
-            assert_eq!(buf.len(), end - start);
-            for (i, &flag) in buf.iter().enumerate() {
+        let mut mask = SelectionMask::new();
+        for (start, end) in [(0, 300), (1, 129), (63, 65), (64, 128), (190, 300)] {
+            c.fill_mask(start..end, &mut mask);
+            for i in 0..mask.len() {
                 assert_eq!(
-                    flag,
+                    mask.get(i),
                     c.matches(start + i),
-                    "range {start}..{end} offset {i}"
+                    "rows {start}..{end} @ {i}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn code_bitset_and_search_agree() {
+        let codes: Vec<u32> = vec![1, 5, 7, 130, 4000];
+        let bits = CodeBitset::build(&codes).expect("narrow enough");
+        for c in 0..=4100u32 {
+            assert_eq!(
+                bits.contains(c) == 1,
+                codes.binary_search(&c).is_ok(),
+                "code {c}"
+            );
+        }
+        // Beyond the cap there is no bitset; the search path serves.
+        assert!(CodeBitset::build(&[0, 5000]).is_none());
+        assert!(CodeBitset::build(&[]).is_none());
+    }
+
+    #[test]
+    fn classify_chunk_is_sound_and_prunes() {
+        // 3000 rows ordered by x: chunk 0 holds x∈[0,1023], chunk 1
+        // x∈[1024,2047], chunk 2 x∈[2048,2999].
+        let schema = Schema::new(vec![
+            ColumnDef::numeric_dimension("x"),
+            ColumnDef::categorical_dimension("c"),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..3000usize {
+            t.push_row(vec![
+                (i as f64).into(),
+                format!("k{}", i / 1500).as_str().into(),
+            ])
+            .unwrap();
+        }
+        let zones = t.zone_maps();
+        let p = Predicate::between("x", 1100.0, 1200.0);
+        let c = p.compile(&t).unwrap();
+        assert_eq!(c.classify_chunk(&zones, 0), ChunkMatch::NoRows);
+        assert_eq!(c.classify_chunk(&zones, 1), ChunkMatch::SomeRows);
+        assert_eq!(c.classify_chunk(&zones, 2), ChunkMatch::NoRows);
+
+        // A range covering a whole chunk classifies AllRows.
+        let p = Predicate::between("x", 1024.0, 2047.0);
+        let c = p.compile(&t).unwrap();
+        assert_eq!(c.classify_chunk(&zones, 1), ChunkMatch::AllRows);
+        // Exclusive upper bound at the zone max is not full coverage.
+        let p = Predicate::greater_than("x", 1024.0, true)
+            .and(Predicate::less_than("x", 2047.0, false));
+        let c = p.compile(&t).unwrap();
+        assert_eq!(c.classify_chunk(&zones, 1), ChunkMatch::SomeRows);
+
+        // Categorical: chunk 0 is all "k0"; chunk 2 all "k1".
+        let k0 = t.column("c").unwrap().code_of("k0").unwrap();
+        let k1 = t.column("c").unwrap().code_of("k1").unwrap();
+        let c = Predicate::cat_eq("c", k0).compile(&t).unwrap();
+        assert_eq!(c.classify_chunk(&zones, 0), ChunkMatch::AllRows);
+        assert_eq!(c.classify_chunk(&zones, 2), ChunkMatch::NoRows);
+        let c = Predicate::cat_in("c", vec![k0, k1]).compile(&t).unwrap();
+        assert_eq!(c.classify_chunk(&zones, 1), ChunkMatch::AllRows);
+        let c = Predicate::cat_in("c", vec![]).compile(&t).unwrap();
+        assert_eq!(c.classify_chunk(&zones, 0), ChunkMatch::NoRows);
+
+        // Every classification agrees with brute-force row evaluation.
+        use crate::chunk::{chunk_segments, CHUNK_ROWS};
+        let preds = [
+            Predicate::between("x", 1100.0, 1200.0),
+            Predicate::between("x", 1024.0, 2047.0),
+            Predicate::cat_eq("c", k0),
+            Predicate::True,
+        ];
+        for p in &preds {
+            let c = p.compile(&t).unwrap();
+            for (chunk, seg) in chunk_segments(0..t.num_rows()) {
+                assert_eq!(chunk, seg.start / CHUNK_ROWS);
+                let matched = seg.clone().filter(|&r| c.matches(r)).count();
+                match c.classify_chunk(&zones, chunk) {
+                    ChunkMatch::NoRows => assert_eq!(matched, 0, "{p:?} chunk {chunk}"),
+                    ChunkMatch::AllRows => assert_eq!(matched, seg.len(), "{p:?} chunk {chunk}"),
+                    ChunkMatch::SomeRows => {}
+                }
             }
         }
     }

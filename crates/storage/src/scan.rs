@@ -64,10 +64,18 @@ pub fn distinct_group_keys(
 /// per-group equality predicate for every (row × group) pair.
 pub struct GroupIndexer<'t> {
     cols: Vec<GroupCol<'t>>,
+    /// Schema indices of the group columns, aligned with `cols` (lets the
+    /// chunked scan find per-chunk artifacts like packed codes).
+    col_indices: Vec<usize>,
     /// Key parts (numeric bits / categorical codes) → group index. The
     /// overwhelmingly common single-column `GROUP BY` gets a scalar-keyed
     /// map so the per-row lookup allocates nothing.
     map: KeyMap,
+    /// Dense code → group-index table for a single categorical group
+    /// column with a narrow dictionary: `lut[code]` is the group index or
+    /// [`GroupIndexer::NO_GROUP`]. Replaces the per-row hash lookup in
+    /// the chunked kernel's hottest loop.
+    lut: Option<Vec<u32>>,
 }
 
 enum KeyMap {
@@ -106,8 +114,10 @@ impl<'t> GroupIndexer<'t> {
     /// position.
     pub fn new(table: &'t Table, group_cols: &[String], keys: &[GroupKey]) -> Result<Self> {
         let mut cols = Vec::with_capacity(group_cols.len());
+        let mut col_indices = Vec::with_capacity(group_cols.len());
         for name in group_cols {
             let col = table.column(name)?;
+            col_indices.push(table.schema().index_of(name)?);
             cols.push(match col {
                 Column::Numeric(_) => GroupCol::Num(col.numeric()?),
                 Column::Categorical { .. } => GroupCol::Cat(col.categorical()?),
@@ -167,7 +177,35 @@ impl<'t> GroupIndexer<'t> {
                 }
             }
         }
-        Ok(GroupIndexer { cols, map })
+        let lut = Self::build_lut(&cols, &map);
+        Ok(GroupIndexer {
+            cols,
+            col_indices,
+            map,
+            lut,
+        })
+    }
+
+    /// Sentinel group index in [`GroupIndexer::fill_groups`] output and
+    /// the dense LUT: the row belongs to no indexed group.
+    pub const NO_GROUP: u32 = u32::MAX;
+
+    /// Largest dictionary code worth a dense LUT (256 KiB of `u32`).
+    const LUT_MAX_CODE: u64 = 1 << 16;
+
+    fn build_lut(cols: &[GroupCol<'_>], map: &KeyMap) -> Option<Vec<u32>> {
+        let (KeyMap::One(m), [GroupCol::Cat(_)]) = (map, cols) else {
+            return None;
+        };
+        let max = m.keys().copied().max().unwrap_or(0);
+        if max >= Self::LUT_MAX_CODE || m.values().any(|&gi| gi >= Self::NO_GROUP as usize) {
+            return None;
+        }
+        let mut lut = vec![Self::NO_GROUP; max as usize + 1];
+        for (&code, &gi) in m {
+            lut[code as usize] = gi as u32;
+        }
+        Some(lut)
     }
 
     /// The group index of `row`, or `None` when the row's key was not
@@ -185,6 +223,37 @@ impl<'t> GroupIndexer<'t> {
                     .collect::<Option<_>>()?;
                 m.get(&parts).copied()
             }
+        }
+    }
+
+    /// The dense `code → group` table and the schema index of the group
+    /// column, when this is a single-categorical group-by with a narrow
+    /// dictionary. The chunked kernel pairs it with a table's bit-packed
+    /// code mirror to resolve groups straight from raw codes.
+    pub fn dense_cat_lut(&self) -> Option<(usize, &[u32])> {
+        self.lut.as_deref().map(|lut| (self.col_indices[0], lut))
+    }
+
+    /// Resolves group indices for every row of `range` in one pass,
+    /// writing one entry per row into `out` ([`GroupIndexer::NO_GROUP`]
+    /// for unindexed keys). Semantically identical to calling
+    /// [`GroupIndexer::group_of`] per row; the single-categorical fast
+    /// path reads raw codes through the dense LUT.
+    pub fn fill_groups(&self, range: std::ops::Range<usize>, out: &mut Vec<u32>) {
+        out.clear();
+        out.reserve(range.len());
+        if let (Some(lut), [GroupCol::Cat(codes)]) = (self.lut.as_deref(), self.cols.as_slice()) {
+            for &c in &codes[range] {
+                out.push(lut.get(c as usize).copied().unwrap_or(Self::NO_GROUP));
+            }
+            return;
+        }
+        for row in range {
+            out.push(
+                self.group_of(row)
+                    .and_then(|g| u32::try_from(g).ok())
+                    .unwrap_or(Self::NO_GROUP),
+            );
         }
     }
 }
@@ -318,6 +387,41 @@ mod tests {
             (0..t.num_rows()).all(|r| idx.group_of(r) != Some(nan_gi)),
             "no row may route to the NaN group"
         );
+    }
+
+    #[test]
+    fn fill_groups_agrees_with_group_of() {
+        let t = table();
+        for cols in [
+            vec!["region".to_owned()],                    // dense LUT path
+            vec!["week".to_owned()],                      // numeric: no LUT
+            vec!["week".to_owned(), "region".to_owned()], // multi-column
+        ] {
+            let keys = distinct_group_keys(&t, &Predicate::True, &cols).unwrap();
+            // Drop the last key so NO_GROUP shows up too.
+            let capped = &keys[..keys.len() - 1];
+            for keyset in [&keys[..], capped] {
+                let idx = GroupIndexer::new(&t, &cols, keyset).unwrap();
+                let mut out = Vec::new();
+                for range in [0..t.num_rows(), 2..4, 3..3] {
+                    idx.fill_groups(range.clone(), &mut out);
+                    assert_eq!(out.len(), range.len());
+                    for (i, row) in range.enumerate() {
+                        let expect = idx
+                            .group_of(row)
+                            .map_or(GroupIndexer::NO_GROUP, |g| g as u32);
+                        assert_eq!(out[i], expect, "cols {cols:?} row {row}");
+                    }
+                }
+                if cols.len() == 1 && cols[0] == "region" {
+                    let (ci, lut) = idx.dense_cat_lut().expect("single-cat LUT");
+                    assert_eq!(ci, t.schema().index_of("region").unwrap());
+                    assert!(!lut.is_empty());
+                } else {
+                    assert!(idx.dense_cat_lut().is_none());
+                }
+            }
+        }
     }
 
     #[test]

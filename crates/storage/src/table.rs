@@ -1,7 +1,8 @@
 //! Row-appendable columnar tables.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, Mutex, OnceLock};
 
+use crate::chunk::ZoneMaps;
 use crate::{Column, ColumnType, Result, Schema, StorageError, Value};
 
 /// Lazily computed per-column statistics, cached on the table and
@@ -17,7 +18,7 @@ struct ColumnStats {
 }
 
 /// An in-memory columnar table.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Table {
     schema: Schema,
     columns: Vec<Column>,
@@ -25,6 +26,23 @@ pub struct Table {
     /// One lazily filled stats slot per column; a mutation replaces the
     /// slot with an empty one (see [`Table::invalidate_stats`]).
     stats: Vec<OnceLock<ColumnStats>>,
+    /// Per-chunk zone maps, built lazily on first chunked scan. Unlike
+    /// `stats`, appends do *not* clear this cache: zone maps extend
+    /// incrementally (min/max is associative), so [`Table::zone_maps`]
+    /// scans only the tail rows appended since the last access.
+    zones: Mutex<Option<Arc<ZoneMaps>>>,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Self {
+        Table {
+            schema: self.schema.clone(),
+            columns: self.columns.clone(),
+            rows: self.rows,
+            stats: self.stats.clone(),
+            zones: Mutex::new(self.zones.lock().expect("zone cache poisoned").clone()),
+        }
+    }
 }
 
 impl Table {
@@ -44,6 +62,7 @@ impl Table {
             columns,
             rows: 0,
             stats,
+            zones: Mutex::new(None),
         }
     }
 
@@ -86,6 +105,7 @@ impl Table {
             columns,
             rows,
             stats,
+            zones: Mutex::new(None),
         })
     }
 
@@ -273,6 +293,43 @@ impl Table {
         Ok(())
     }
 
+    /// A typed view of chunk `index` ([`crate::chunk::CHUNK_ROWS`] rows,
+    /// the last chunk possibly short).
+    pub fn chunk(&self, index: usize) -> crate::chunk::Chunk<'_> {
+        let start = index * crate::chunk::CHUNK_ROWS;
+        let end = (start + crate::chunk::CHUNK_ROWS).min(self.rows);
+        crate::chunk::Chunk::new(index, start..end, &self.columns)
+    }
+
+    /// Iterates every chunk of the table in order.
+    pub fn chunks(&self) -> impl Iterator<Item = crate::chunk::Chunk<'_>> {
+        (0..self.rows.div_ceil(crate::chunk::CHUNK_ROWS)).map(|i| self.chunk(i))
+    }
+
+    /// Per-chunk zone maps covering every current row.
+    ///
+    /// Built on first use; subsequent calls after an append extend the
+    /// cached maps by scanning only the rows past the last fully-covered
+    /// chunk — whole-column bound recomputation never happens on the
+    /// ingest path, and stale bounds can never be served (coverage is
+    /// checked against `num_rows` on every access).
+    pub fn zone_maps(&self) -> Arc<ZoneMaps> {
+        let mut slot = self.zones.lock().expect("zone cache poisoned");
+        match slot.as_ref() {
+            Some(zm) if zm.rows_covered() == self.rows => Arc::clone(zm),
+            Some(zm) => {
+                let next = Arc::new(zm.extended(&self.columns, self.rows));
+                *slot = Some(Arc::clone(&next));
+                next
+            }
+            None => {
+                let fresh = Arc::new(ZoneMaps::build(&self.columns, self.rows));
+                *slot = Some(Arc::clone(&fresh));
+                fresh
+            }
+        }
+    }
+
     /// Distinct-code count of a categorical column. Cached; appends
     /// invalidate the cache.
     pub fn column_cardinality(&self, name: &str) -> Result<usize> {
@@ -402,5 +459,53 @@ mod tests {
         t.push_row(vec![0.5.into(), "us".into(), 1.0.into()])
             .unwrap();
         assert_eq!(t.column_bounds("week").unwrap(), (0.5, 9.0));
+    }
+
+    /// Regression: the cached zone maps must never serve stale bounds
+    /// after an ingest. Rows appended into the partially-filled last
+    /// chunk (and beyond it) carry values outside the old bounds; a
+    /// predicate selecting only those values must still classify the
+    /// extended chunks as matchable — a stale cache would prune them and
+    /// silently drop the appended rows from every scan.
+    #[test]
+    fn zone_maps_extend_after_ingest_instead_of_pruning_stale_bounds() {
+        use crate::chunk::CHUNK_ROWS;
+        use crate::{ChunkMatch, Predicate};
+        let schema = Schema::new(vec![
+            ColumnDef::numeric_dimension("x"),
+            ColumnDef::measure("v"),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        // 1.5 chunks of x ∈ [0, 10): the last chunk is half full.
+        let initial = CHUNK_ROWS + CHUNK_ROWS / 2;
+        for i in 0..initial {
+            t.push_row(vec![((i % 10) as f64).into(), 1.0.into()])
+                .unwrap();
+        }
+        let old = t.zone_maps();
+        assert_eq!(old.rows_covered(), initial);
+        // Straddling append: fills the rest of chunk 1 and spills into
+        // chunk 2, all with x = 100 — far outside the cached bounds.
+        let batch: Vec<Vec<Value>> = (0..CHUNK_ROWS)
+            .map(|_| vec![100.0.into(), 2.0.into()])
+            .collect();
+        t.push_rows(&batch).unwrap();
+        let fresh = t.zone_maps();
+        assert_eq!(fresh.rows_covered(), t.num_rows());
+        assert_eq!(fresh.num_chunks(), 3);
+        // Chunk 0 predates the append: its bounds are untouched.
+        assert_eq!(fresh.num_zone(0, 0).unwrap().max, 9.0);
+        // Chunks 1 and 2 absorbed the new rows: a predicate matching
+        // only appended values must not be pruned there.
+        let pred = Predicate::between("x", 50.0, 150.0).compile(&t).unwrap();
+        assert_eq!(pred.classify_chunk(&fresh, 0), ChunkMatch::NoRows);
+        for c in 1..3 {
+            assert_ne!(
+                pred.classify_chunk(&fresh, c),
+                ChunkMatch::NoRows,
+                "stale bounds pruned extended chunk {c}"
+            );
+        }
     }
 }

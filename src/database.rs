@@ -54,7 +54,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use verdict_aqp::{AqpEngine, CostModel, OnlineAggregation, StorageTier};
+use verdict_aqp::{AqpEngine, CostModel, OnlineAggregation, ScanKernel, StorageTier};
 use verdict_core::concurrent::{EngineSnapshot, Learner};
 use verdict_core::{AggKey, QualifiedAggKey, SchemaInfo, Verdict, VerdictConfig};
 use verdict_obs::{MetricsHub, MetricsSnapshot, QueryLog, QueryTrace, ScanTrace, Stopwatch};
@@ -225,6 +225,8 @@ pub(crate) struct Shard {
     /// This table's observability endpoint (no-op when the database was
     /// built without metrics / query log).
     pub(crate) obs: TableObs,
+    /// Scan execution kernel every query on this table runs under.
+    pub(crate) scan_kernel: ScanKernel,
 }
 
 impl Shard {
@@ -241,6 +243,7 @@ impl Shard {
         meta: SessionMeta,
         recovery: Option<RecoveryReport>,
         obs: TableObs,
+        scan_kernel: ScanKernel,
     ) -> Arc<Shard> {
         let data = Arc::new(DataSet {
             data_epoch: verdict.data_epoch(),
@@ -265,6 +268,7 @@ impl Shard {
             writer: Mutex::new(Writer { learner, meta }),
             recovery,
             obs,
+            scan_kernel,
         })
     }
 
@@ -602,6 +606,8 @@ pub struct OpenOptions {
     pub metrics: Option<Arc<MetricsHub>>,
     /// Shared query log for every table (default none).
     pub query_log: Option<Arc<QueryLog>>,
+    /// Scan execution kernel for every table (default chunked).
+    pub scan_kernel: ScanKernel,
 }
 
 impl Default for OpenOptions {
@@ -614,6 +620,7 @@ impl Default for OpenOptions {
             cost: CostModel::default(),
             metrics: None,
             query_log: None,
+            scan_kernel: ScanKernel::default(),
         }
     }
 }
@@ -665,6 +672,12 @@ impl OpenOptions {
         self.query_log = Some(Arc::new(QueryLog::new(capacity)));
         self
     }
+
+    /// Sets every table's scan kernel (see [`DatabaseBuilder::scan_kernel`]).
+    pub fn with_scan_kernel(mut self, kernel: ScanKernel) -> Self {
+        self.scan_kernel = kernel;
+        self
+    }
 }
 
 /// Builder for a [`Database`]. Tables are registered up front; the
@@ -676,6 +689,7 @@ pub struct DatabaseBuilder {
     store_policy: StorePolicy,
     metrics: Option<Arc<MetricsHub>>,
     query_log: Option<Arc<QueryLog>>,
+    scan_kernel: ScanKernel,
 }
 
 impl DatabaseBuilder {
@@ -726,6 +740,14 @@ impl DatabaseBuilder {
     /// `capacity` traces. Off by default.
     pub fn query_log(mut self, capacity: usize) -> Self {
         self.query_log = Some(Arc::new(QueryLog::new(capacity)));
+        self
+    }
+
+    /// Scan execution kernel for every table (default
+    /// [`ScanKernel::Chunked`]); the row-wise kernel is the bit-identical
+    /// reference path.
+    pub fn scan_kernel(mut self, kernel: ScanKernel) -> Self {
+        self.scan_kernel = kernel;
         self
     }
 
@@ -807,6 +829,7 @@ impl DatabaseBuilder {
                 meta,
                 None,
                 obs,
+                self.scan_kernel,
             ));
         }
         // The manifest is written *last*: it is the commit point of the
@@ -847,6 +870,7 @@ impl Database {
             store_policy: StorePolicy::default(),
             metrics: None,
             query_log: None,
+            scan_kernel: ScanKernel::default(),
         }
     }
 
@@ -934,6 +958,7 @@ impl Database {
             parts.meta,
             parts.recovery,
             parts.obs,
+            parts.scan_kernel,
         );
         Database {
             inner: Arc::new(DbInner {
@@ -1066,6 +1091,7 @@ impl Database {
             opts.mode,
             opts.policy,
             snapshot.engine.epoch(),
+            shard.scan_kernel,
             scan.as_mut(),
         )?;
         let absorb_sw = Stopwatch::started_if(tracing);
@@ -1249,6 +1275,7 @@ fn shard_from_recovered(
         meta,
         Some(recovered.report),
         TableObs::new(opts.metrics.clone(), opts.query_log.clone(), name),
+        opts.scan_kernel,
     ))
 }
 

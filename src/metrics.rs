@@ -21,6 +21,9 @@
 //! | `verdict_queries_answered` | queries that produced a [`crate::QueryResult`] |
 //! | `verdict_queries_unsupported` | queries classified outside the supported class |
 //! | `verdict_tuples_scanned_total` | sample tuples visited by shared scans |
+//! | `verdict_scan_chunks_total` | chunk segments visited by the chunked scan kernel |
+//! | `verdict_scan_chunks_pruned_total` | chunk segments skipped via zone maps without touching data |
+//! | `verdict_rows_matched_total` | scanned rows that passed the base predicate |
 //! | `verdict_cells_total` | result cells (groups × aggregates) answered |
 //! | `verdict_cells_frozen_early_total` | cells that met the stop policy before the scan ended |
 //! | `verdict_snippets_observed_total` | raw observations absorbed into the synopsis |
@@ -32,7 +35,9 @@
 //! Histograms (log₂ buckets, nanoseconds unless noted):
 //! `verdict_query_latency_ns`, per-stage `verdict_stage_{parse,plan,scan,
 //! infer,absorb}_ns`, `verdict_ingest_latency_ns`, `verdict_refit_ns`,
-//! `verdict_checkpoint_ns`, `verdict_train_ns`.
+//! `verdict_checkpoint_ns`, `verdict_train_ns`, and
+//! `verdict_scan_selectivity_pct` (percent of scanned rows that matched
+//! the base predicate, one sample per answered query).
 //!
 //! Gauges (last written value): `verdict_synopsis_snippets`,
 //! `verdict_synopsis_keys`, `verdict_sample_rows`, `verdict_epoch`,
@@ -101,6 +106,10 @@ struct Handles {
     stage_infer_ns: Histogram,
     stage_absorb_ns: Histogram,
     tuples_scanned: Counter,
+    scan_chunks: Counter,
+    scan_chunks_pruned: Counter,
+    rows_matched: Counter,
+    scan_selectivity_pct: Histogram,
     cells: Counter,
     cells_frozen_early: Counter,
     snippets_observed: Counter,
@@ -139,6 +148,10 @@ impl Handles {
             stage_infer_ns: hub.table_histogram("verdict_stage_infer_ns", table),
             stage_absorb_ns: hub.table_histogram("verdict_stage_absorb_ns", table),
             tuples_scanned: hub.table_counter("verdict_tuples_scanned_total", table),
+            scan_chunks: hub.table_counter("verdict_scan_chunks_total", table),
+            scan_chunks_pruned: hub.table_counter("verdict_scan_chunks_pruned_total", table),
+            rows_matched: hub.table_counter("verdict_rows_matched_total", table),
+            scan_selectivity_pct: hub.table_histogram("verdict_scan_selectivity_pct", table),
             cells: hub.table_counter("verdict_cells_total", table),
             cells_frozen_early: hub.table_counter("verdict_cells_frozen_early_total", table),
             snippets_observed: hub.table_counter("verdict_snippets_observed_total", table),
@@ -227,6 +240,12 @@ impl TableObs {
             h.stage_infer_ns.record(trace.stages.infer_ns);
             h.stage_absorb_ns.record(trace.stages.absorb_ns);
             h.tuples_scanned.add(trace.tuples_scanned);
+            h.scan_chunks.add(trace.chunks);
+            h.scan_chunks_pruned.add(trace.chunks_pruned);
+            h.rows_matched.add(trace.rows_matched);
+            if let Some(sel) = (trace.rows_matched * 100).checked_div(trace.tuples_scanned) {
+                h.scan_selectivity_pct.record(sel);
+            }
             h.cells.add(trace.cells);
             h.cells_frozen_early.add(trace.cells_frozen_early);
             h.snippets_observed.add(trace.snippets_observed);

@@ -238,6 +238,7 @@ impl Bound<'_> {
             opts.mode,
             opts.policy,
             snapshot.engine.epoch(),
+            shard.scan_kernel,
             scan.as_mut(),
         )?;
         let absorb_sw = Stopwatch::started_if(tracing);

@@ -75,8 +75,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use verdict_aqp::{
-    AqpEngine, AqpError, CostModel, OnlineAggregation, Sample, ScanSpec, SharedScanDriver,
-    StorageTier,
+    AqpEngine, AqpError, CostModel, OnlineAggregation, Sample, ScanKernel, ScanSpec,
+    SharedScanDriver, StorageTier,
 };
 use verdict_core::{
     AggKey, EngineStats, EngineView, ImprovedAnswer, Observation, Region, SchemaInfo, Snippet,
@@ -301,6 +301,7 @@ pub struct SessionBuilder {
     recovered: Option<RecoveredState>,
     metrics: Option<Arc<MetricsHub>>,
     query_log: Option<Arc<QueryLog>>,
+    scan_kernel: ScanKernel,
 }
 
 /// What [`SessionBuilder::open`] carried out of recovery, held until
@@ -337,6 +338,7 @@ impl SessionBuilder {
             recovered: None,
             metrics: None,
             query_log: None,
+            scan_kernel: ScanKernel::default(),
         }
     }
 
@@ -372,6 +374,7 @@ impl SessionBuilder {
             store_policy: StorePolicy::default(),
             metrics: None,
             query_log: None,
+            scan_kernel: ScanKernel::default(),
             recovered: Some(RecoveredState {
                 store: SharedStore::new(store),
                 state: recovered.state,
@@ -413,6 +416,15 @@ impl SessionBuilder {
     /// recent `capacity` traces (oldest evicted). Off by default.
     pub fn query_log(mut self, capacity: usize) -> Self {
         self.query_log = Some(Arc::new(QueryLog::new(capacity)));
+        self
+    }
+
+    /// Scan execution kernel (default [`ScanKernel::Chunked`]): the
+    /// chunked kernel evaluates predicates as branch-free bitmap fills
+    /// over 1024-row chunks and prunes chunks via zone maps; the row-wise
+    /// kernel is the reference path. Both are bit-identical.
+    pub fn scan_kernel(mut self, kernel: ScanKernel) -> Self {
+        self.scan_kernel = kernel;
         self
     }
 
@@ -616,6 +628,7 @@ impl SessionBuilder {
             meta,
             recovery,
             obs,
+            scan_kernel: self.scan_kernel,
         })
     }
 
@@ -638,6 +651,7 @@ pub struct VerdictSession {
     meta: SessionMeta,
     recovery: Option<RecoveryReport>,
     obs: TableObs,
+    scan_kernel: ScanKernel,
 }
 
 /// The pieces a [`VerdictSession`] decomposes into when it is promoted to
@@ -653,6 +667,7 @@ pub(crate) struct SessionParts {
     pub(crate) meta: SessionMeta,
     pub(crate) recovery: Option<RecoveryReport>,
     pub(crate) obs: TableObs,
+    pub(crate) scan_kernel: ScanKernel,
 }
 
 impl VerdictSession {
@@ -733,6 +748,7 @@ impl VerdictSession {
             meta: self.meta,
             recovery: self.recovery,
             obs: self.obs,
+            scan_kernel: self.scan_kernel,
         }
     }
 
@@ -1028,6 +1044,7 @@ impl VerdictSession {
             mode,
             policy,
             epoch,
+            self.scan_kernel,
             scan.as_mut(),
         )?;
         // Learn path (serialized trivially here — `&mut self`): fold the
@@ -1266,6 +1283,9 @@ pub(crate) fn query_trace(
         cells: scan.cells,
         cells_frozen_early: scan.cells_frozen_early,
         snippets_observed: scan.snippets_observed,
+        chunks: scan.chunks,
+        chunks_pruned: scan.chunks_pruned,
+        rows_matched: scan.rows_matched,
         stages: StageTimings {
             parse_ns: stages.parse_ns,
             plan_ns: stages.plan_ns,
@@ -1443,6 +1463,7 @@ pub(crate) struct ReadOutcome {
 /// is the planner→scan→infer core both [`VerdictSession::execute`] and
 /// [`crate::ConcurrentSession`] drive; `epoch` is stamped into the result
 /// so callers can tell which learned state answered.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_shared_read(
     engine: &OnlineAggregation,
     view: EngineView<'_>,
@@ -1450,6 +1471,7 @@ pub(crate) fn run_shared_read(
     mode: Mode,
     policy: StopPolicy,
     epoch: u64,
+    kernel: ScanKernel,
     mut trace: Option<&mut ScanTrace>,
 ) -> Result<ReadOutcome> {
     let mut stats = EngineStats::default();
@@ -1501,6 +1523,7 @@ pub(crate) fn run_shared_read(
             primitives: &plan.primitives,
         })
         .map_err(Error::Aqp)?;
+    driver.set_kernel(kernel);
 
     // The stop policy bounds the *one* query-wide scan: a tuple or
     // time budget buys one prefix of the sample regardless of how many
@@ -1597,6 +1620,9 @@ pub(crate) fn run_shared_read(
         t.batches = driver.batches_stepped() as u64;
         t.cells = num_cells as u64;
         t.cells_frozen_early = frozen_early;
+        t.chunks = driver.chunks_scanned();
+        t.chunks_pruned = driver.chunks_pruned();
+        t.rows_matched = driver.rows_matched();
     }
     drop(driver);
 

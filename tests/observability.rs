@@ -108,6 +108,15 @@ fn serial_session_reports_metrics_and_traces() {
     assert_eq!(c("verdict_train_total"), 1);
     assert!(c("verdict_tuples_scanned_total") > 0);
     assert!(c("verdict_snippets_observed_total") >= ANSWERED as u64);
+    // The default chunked kernel reports its chunk walk, and every
+    // AVG-between query matched at least one sampled row.
+    assert!(c("verdict_scan_chunks_total") > 0);
+    assert!(c("verdict_rows_matched_total") > 0);
+    assert!(c("verdict_rows_matched_total") <= c("verdict_tuples_scanned_total"));
+    let sel = snap
+        .histogram("verdict_scan_selectivity_pct", Some("t"))
+        .unwrap();
+    assert_eq!(sel.count, ANSWERED as u64);
 
     // Latency histogram counts exactly the answered queries.
     let lat = snap
@@ -138,6 +147,8 @@ fn serial_session_reports_metrics_and_traces() {
         assert!(t.stages.total_ns() <= t.elapsed_ns);
         assert!(t.tuples_scanned > 0);
         assert!(t.cells >= 1);
+        assert!(t.chunks > 0, "chunked kernel walks chunk segments");
+        assert!(t.rows_matched > 0 && t.rows_matched <= t.tuples_scanned);
     }
 }
 
