@@ -42,6 +42,22 @@
 //! (integer addition is associative). Per-cell estimates come from the
 //! same functions the per-snippet estimator uses, so all three executors
 //! agree bit for bit — property-tested in the root crate's parity suites.
+//!
+//! # Batch partials and ordered merge
+//!
+//! The canonical accumulation of a cell is a *left fold of per-batch
+//! partials in batch-index order*: [`SharedScanDriver::scan_batch`]
+//! scans one batch into an owned [`BatchPartial`] (a private
+//! group × primitive grid plus the batch's counters), and
+//! [`SharedScanDriver::merge_partial`] folds partials into the running
+//! grids with [`Welford::merge`], strictly in batch order.
+//! [`SharedScanDriver::step`] is exactly scan-then-merge, so the serial
+//! scan *is* the fold reference; the work-stealing morsel scheduler
+//! ([`crate::parallel_scan`]) computes the same partials on worker
+//! threads and merges them in the same order, which is why answers,
+//! errors, and `tuples_scanned` are bit-identical at every thread count.
+//! [`crate::BatchEstimator::consume`] folds the same per-batch Welford
+//! partial into its state, keeping the per-snippet path in lockstep.
 
 use std::sync::Arc;
 
@@ -89,6 +105,44 @@ enum PrimSlot {
     Freq(usize),
 }
 
+/// One batch's contribution to a shared scan: a private
+/// (group × primitive) accumulator grid plus the batch's counters.
+///
+/// Partials are produced by [`SharedScanDriver::scan_batch`] — on any
+/// thread, in any order — and folded into the running grids by
+/// [`SharedScanDriver::merge_partial`] strictly in batch-index order, so
+/// the merged state is a pure function of the batch sequence.
+#[derive(Debug)]
+pub struct BatchPartial {
+    /// Which batch this partial covers.
+    batch: usize,
+    /// Welford partial per `group * n_avg + avg_slot` cell.
+    avg: Vec<Welford>,
+    /// Indicator counts per `group * n_freq + freq_slot` cell.
+    freq: Vec<u64>,
+    rows_scanned: u64,
+    rows_matched: u64,
+    chunks_scanned: u64,
+    chunks_pruned: u64,
+}
+
+impl BatchPartial {
+    /// Which batch this partial covers.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+}
+
+/// Counters saved across a [`SharedScanDriver::scan_batch`] call while
+/// the kernels write into a fresh per-batch grid.
+struct SavedGrids {
+    avg: Vec<Welford>,
+    freq: Vec<u64>,
+    matched: u64,
+    chunks_scanned: u64,
+    chunks_pruned: u64,
+}
+
 /// One in-flight shared scan over a sample.
 pub struct SharedScanDriver<'e> {
     sample: &'e Sample,
@@ -111,6 +165,13 @@ pub struct SharedScanDriver<'e> {
     n_matched: u64,
     next_batch: usize,
     kernel: ScanKernel,
+    /// Per-partition verdicts for partitioned samples: `true` means the
+    /// predicate provably matches no row of that partition, so its
+    /// batches skip the kernels entirely (the rows still count as
+    /// scanned — pruning must not change any estimate).
+    partition_pruned: Vec<bool>,
+    partitions: u64,
+    partitions_pruned: u64,
     /// Zone maps of the sample table, fetched on first chunked step.
     zones: Option<Arc<ZoneMaps>>,
     chunks_scanned: u64,
@@ -159,6 +220,16 @@ impl OnlineAggregation {
         let n_avg = avg_exprs.len();
         let n_freq = slots.len() - n_avg;
         let avg_cols = avg_exprs.iter().map(CompiledExpr::as_col).collect();
+        // Classify every partition once up front; batches of a `NoRows`
+        // partition never reach the kernels.
+        let partition_pruned: Vec<bool> = match self.sample().partition_map() {
+            None => Vec::new(),
+            Some(map) => (0..map.num_partitions())
+                .map(|p| pred.classify_partition(map.part(p)) == ChunkMatch::NoRows)
+                .collect(),
+        };
+        let partitions = partition_pruned.len() as u64;
+        let partitions_pruned = partition_pruned.iter().filter(|&&b| b).count() as u64;
         Ok(SharedScanDriver {
             sample: self.sample(),
             pred,
@@ -175,6 +246,9 @@ impl OnlineAggregation {
             n_matched: 0,
             next_batch: 0,
             kernel: ScanKernel::default(),
+            partition_pruned,
+            partitions,
+            partitions_pruned,
             zones: None,
             chunks_scanned: 0,
             chunks_pruned: 0,
@@ -198,18 +272,101 @@ impl SharedScanDriver<'_> {
     }
 
     /// Consumes the next batch; `false` once the sample is exhausted.
+    ///
+    /// Exactly [`SharedScanDriver::scan_batch`] of the merge cursor's
+    /// batch followed by [`SharedScanDriver::merge_partial`] — the serial
+    /// reference for the ordered-merge fold.
     pub fn step(&mut self) -> bool {
-        if self.next_batch >= self.sample.num_batches() {
-            return false;
+        match self.scan_batch(self.next_batch) {
+            Some(partial) => {
+                self.merge_partial(&partial);
+                true
+            }
+            None => false,
         }
-        let range = self.sample.batch_range(self.next_batch);
-        self.next_batch += 1;
-        self.n_scanned += range.len() as u64;
+    }
+
+    /// Scans batch `index` into an owned [`BatchPartial`] without
+    /// touching the running grids or the merge cursor; `None` past the
+    /// end of the sample. Safe to call for any batch in any order — this
+    /// is the worker half of the morsel scheduler.
+    pub fn scan_batch(&mut self, index: usize) -> Option<BatchPartial> {
+        if index >= self.sample.num_batches() {
+            return None;
+        }
+        let range = self.sample.batch_range(index);
+        let rows = range.len() as u64;
+        // Partition pruning: a batch of a provably-disjoint partition
+        // yields the exact partial the kernels would produce (no row can
+        // match), minus the chunk work. Its rows still count as scanned.
+        if let Some(p) = self.sample.batch_partition(index) {
+            if self.partition_pruned[p as usize] {
+                return Some(BatchPartial {
+                    batch: index,
+                    avg: vec![Welford::new(); self.n_groups * self.n_avg],
+                    freq: vec![0; self.n_groups * self.n_freq],
+                    rows_scanned: rows,
+                    rows_matched: 0,
+                    chunks_scanned: 0,
+                    chunks_pruned: 0,
+                });
+            }
+        }
+        let saved = self.begin_partial();
         match self.kernel {
             ScanKernel::RowWise => self.step_rowwise(range),
             ScanKernel::Chunked => self.step_chunked(range),
         }
-        true
+        Some(self.end_partial(saved, index, rows))
+    }
+
+    /// Swaps fresh per-batch grids and zeroed counters into place so the
+    /// unchanged kernel paths accumulate one batch's partial.
+    fn begin_partial(&mut self) -> SavedGrids {
+        SavedGrids {
+            avg: std::mem::replace(
+                &mut self.avg_cells,
+                vec![Welford::new(); self.n_groups * self.n_avg],
+            ),
+            freq: std::mem::replace(&mut self.freq_cells, vec![0; self.n_groups * self.n_freq]),
+            matched: std::mem::take(&mut self.n_matched),
+            chunks_scanned: std::mem::take(&mut self.chunks_scanned),
+            chunks_pruned: std::mem::take(&mut self.chunks_pruned),
+        }
+    }
+
+    /// Restores the running grids and packages the per-batch state the
+    /// kernels just produced.
+    fn end_partial(&mut self, saved: SavedGrids, index: usize, rows: u64) -> BatchPartial {
+        BatchPartial {
+            batch: index,
+            avg: std::mem::replace(&mut self.avg_cells, saved.avg),
+            freq: std::mem::replace(&mut self.freq_cells, saved.freq),
+            rows_scanned: rows,
+            rows_matched: std::mem::replace(&mut self.n_matched, saved.matched),
+            chunks_scanned: std::mem::replace(&mut self.chunks_scanned, saved.chunks_scanned),
+            chunks_pruned: std::mem::replace(&mut self.chunks_pruned, saved.chunks_pruned),
+        }
+    }
+
+    /// Folds one batch's partial into the running grids and advances the
+    /// merge cursor. Partials must arrive in batch-index order — the
+    /// caller (serial [`SharedScanDriver::step`] or the morsel
+    /// coordinator) enforces this; it is what makes the merged state
+    /// independent of which thread scanned which batch.
+    pub fn merge_partial(&mut self, partial: &BatchPartial) {
+        debug_assert_eq!(partial.batch, self.next_batch, "out-of-order merge");
+        self.next_batch += 1;
+        self.n_scanned += partial.rows_scanned;
+        self.n_matched += partial.rows_matched;
+        self.chunks_scanned += partial.chunks_scanned;
+        self.chunks_pruned += partial.chunks_pruned;
+        for (cell, part) in self.avg_cells.iter_mut().zip(&partial.avg) {
+            cell.merge(part);
+        }
+        for (cell, part) in self.freq_cells.iter_mut().zip(&partial.freq) {
+            *cell += part;
+        }
     }
 
     /// The per-row reference path: one mask per batch, one hash lookup
@@ -478,6 +635,17 @@ impl SharedScanDriver<'_> {
         self.chunks_pruned
     }
 
+    /// Partitions of the sample's layout (0 when unpartitioned).
+    pub fn partitions(&self) -> u64 {
+        self.partitions
+    }
+
+    /// Partitions the predicate provably rejects; their batches skip the
+    /// kernels entirely while their rows still count as scanned.
+    pub fn partitions_pruned(&self) -> u64 {
+        self.partitions_pruned
+    }
+
     /// Batches consumed so far.
     pub fn batches_stepped(&self) -> usize {
         self.next_batch
@@ -646,6 +814,70 @@ mod tests {
         }
         assert!(chunked.chunks_scanned() > 0);
         assert_eq!(rowwise.chunks_scanned(), 0);
+    }
+
+    /// A partitioned sample with a selective range predicate must prune
+    /// most partitions — and still agree bit for bit with unpruned
+    /// per-cell estimators that scan every batch, with pruned rows
+    /// counting toward tuples scanned.
+    #[test]
+    fn partition_pruning_is_bit_transparent() {
+        let t = base(8_000);
+        let spec =
+            verdict_storage::PartitionSpec::range("x", (1..8).map(|i| (i * 1000) as f64).collect());
+        let mut rng = StdRng::seed_from_u64(29);
+        let s = Sample::uniform_partitioned(&t, spec, 0.5, 100, &mut rng).unwrap();
+        let e = OnlineAggregation::new(s, CostModel::default(), StorageTier::Cached);
+        let table = e.sample().table();
+        // Only partition 2 (x in [2000, 3000)) can match.
+        let pred = Predicate::between("x", 2_100.0, 2_700.0);
+        let cols = vec!["g".to_owned()];
+        let keys = distinct_group_keys(table, &pred, &cols).unwrap();
+        let prims = vec![AggregateFn::Avg(Expr::col("v")), AggregateFn::Freq];
+        let mut driver = e
+            .shared_scan(&ScanSpec {
+                predicate: &pred,
+                group_cols: &cols,
+                groups: &keys,
+                primitives: &prims,
+            })
+            .unwrap();
+        assert_eq!(driver.partitions(), 8);
+        assert_eq!(driver.partitions_pruned(), 7);
+
+        let mut refs: Vec<BatchEstimator<'_>> = Vec::new();
+        for key in &keys {
+            let code = match key[0] {
+                verdict_storage::Value::Cat(c) => c,
+                _ => panic!("categorical key"),
+            };
+            let cell_pred = pred.clone().and(Predicate::cat_eq("g", code));
+            for agg in &prims {
+                refs.push(
+                    BatchEstimator::new(table, e.sample().base_rows(), agg, &cell_pred).unwrap(),
+                );
+            }
+        }
+        let mut batch = 0;
+        while driver.step() {
+            let range = e.sample().batch_range(batch);
+            batch += 1;
+            for est in refs.iter_mut() {
+                est.consume(range.clone());
+            }
+            for g in 0..keys.len() {
+                for p in 0..prims.len() {
+                    let shared = driver.raw(g, p);
+                    let (ans, err) = refs[g * prims.len() + p].current();
+                    assert_eq!(shared.answer.to_bits(), ans.to_bits(), "g{g} p{p}");
+                    assert_eq!(shared.error.to_bits(), err.to_bits(), "g{g} p{p}");
+                }
+            }
+        }
+        // Pruned batches never touched the chunk machinery, yet every
+        // sampled row counts as scanned.
+        assert_eq!(driver.tuples_scanned(), e.sample().len());
+        assert!(driver.rows_matched() > 0);
     }
 
     /// Zone maps must prune chunks on an order-preserving sample with a

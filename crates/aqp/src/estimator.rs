@@ -110,6 +110,13 @@ impl<'t> BatchEstimator<'t> {
     }
 
     /// Feeds the rows in `range` (a batch of the sample).
+    ///
+    /// Accumulation is canonically *per batch*: each call folds a fresh
+    /// per-batch Welford partial into the running state with
+    /// [`Welford::merge`], in call order. This is the same
+    /// batch-partial + ordered-merge structure the shared-scan driver
+    /// (and its parallel morsel scheduler) uses, so all executors agree
+    /// bit for bit regardless of how many threads scanned the batches.
     pub fn consume(&mut self, range: std::ops::Range<usize>) {
         let start = range.start;
         self.n_scanned += range.len() as u64;
@@ -117,20 +124,23 @@ impl<'t> BatchEstimator<'t> {
         match self.kind {
             Kind::Avg => {
                 let expr = self.expr.as_ref().expect("AVG has expr");
-                let matched = &mut self.matched;
+                let mut batch = Welford::new();
                 self.selbuf
-                    .for_each_set(|i| matched.push(expr.eval(start + i)));
+                    .for_each_set(|i| batch.push(expr.eval(start + i)));
+                self.matched.merge(&batch);
             }
             Kind::Sum => {
                 let expr = self.expr.as_ref().expect("SUM has expr");
+                let mut batch = Welford::new();
                 for i in 0..self.selbuf.len() {
                     let z = if self.selbuf.get(i) {
                         expr.eval(start + i)
                     } else {
                         0.0
                     };
-                    self.scanned.push(z);
+                    batch.push(z);
                 }
+                self.scanned.merge(&batch);
             }
             Kind::Count | Kind::Freq => {
                 self.n_matched += self.selbuf.count_ones();

@@ -13,12 +13,14 @@
 //! ([`crate::SharedScanDriver`], [`crate::engine::Session`]), never in the
 //! sample itself.
 
+use std::ops::Range;
 use std::sync::Arc;
 
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use verdict_storage::Table;
+use verdict_storage::{PartitionMap, PartitionSpec, Table};
 
+use crate::stratified::{stratum_slots, Allocation};
 use crate::{AqpError, Result};
 
 /// A uniform row-level random sample of a base table.
@@ -28,6 +30,48 @@ pub struct Sample {
     base_rows: usize,
     fraction: f64,
     batch_size: usize,
+    /// Partition-clustered batch layout; `None` for unpartitioned samples.
+    layout: Option<Arc<PartitionLayout>>,
+}
+
+/// The partition structure of a sample drawn with
+/// [`Sample::uniform_partitioned`].
+///
+/// Sampled rows are gathered *clustered by partition*, so each explicit
+/// batch holds rows of exactly one partition and carries that partition's
+/// id. The [`PartitionMap`] is built over the sampled rows themselves
+/// (the gathered table inherits the base table's dictionaries verbatim,
+/// so its code space — and therefore any predicate compiled against the
+/// sample — lines up with the summaries). A scan can then skip every
+/// batch of a partition the predicate provably rejects, without touching
+/// a chunk.
+///
+/// Rows admitted later by [`Sample::absorb_appended`] sit past
+/// `covered_rows` in plain stride batches with no partition tag; they are
+/// never pruned, which keeps pruning sound as the sample grows without
+/// rewriting draw-time batches.
+#[derive(Debug)]
+pub struct PartitionLayout {
+    /// Row span of each explicit (draw-time) batch, in scan order.
+    batches: Vec<Range<usize>>,
+    /// The partition each explicit batch's rows belong to.
+    batch_partitions: Vec<u32>,
+    /// Sample rows covered by the explicit batches.
+    covered_rows: usize,
+    /// Routing + per-partition summaries over the sampled rows.
+    map: PartitionMap,
+}
+
+impl PartitionLayout {
+    /// Routing and per-partition summaries over the sampled rows.
+    pub fn map(&self) -> &PartitionMap {
+        &self.map
+    }
+
+    /// Number of draw-time (partition-tagged) batches.
+    pub fn num_explicit_batches(&self) -> usize {
+        self.batches.len()
+    }
 }
 
 impl Sample {
@@ -88,6 +132,100 @@ impl Sample {
             base_rows: n,
             fraction,
             batch_size,
+            layout: None,
+        })
+    }
+
+    /// Draws a partitioned uniform sample: rows are routed by `spec`,
+    /// each partition is sampled proportionally to its size (a partition
+    /// is a stratum under [`Allocation::Proportional`], with every
+    /// non-empty partition guaranteed at least one row), and the sampled
+    /// rows are gathered clustered by partition so each batch belongs to
+    /// exactly one partition.
+    ///
+    /// Batches are then *interleaved deterministically* across partitions
+    /// (batch `j` of a `b`-batch partition sorts at key `(j + ½)/b`) so
+    /// any scan prefix covers all partitions near-proportionally — an
+    /// online-aggregation prefix stays a roughly self-weighted sample
+    /// instead of reading partitions one after another.
+    pub fn uniform_partitioned<R: Rng>(
+        base: &Table,
+        spec: PartitionSpec,
+        fraction: f64,
+        batch_size: usize,
+        rng: &mut R,
+    ) -> Result<Sample> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(AqpError::InvalidConfig(format!(
+                "sample fraction must be in (0,1], got {fraction}"
+            )));
+        }
+        if batch_size == 0 {
+            return Err(AqpError::InvalidConfig(
+                "batch size must be positive".into(),
+            ));
+        }
+        let n = base.num_rows();
+        let router = PartitionMap::build(base, spec.clone()).map_err(AqpError::Storage)?;
+        let routed = router.route(base, 0..n).map_err(AqpError::Storage)?;
+        let mut part_rows: Vec<Vec<usize>> = vec![Vec::new(); router.num_partitions()];
+        for (r, &p) in routed.iter().enumerate() {
+            part_rows[p as usize].push(r);
+        }
+        // Select per partition, concatenating partition-clustered.
+        let n_parts = part_rows.iter().filter(|r| !r.is_empty()).count();
+        let mut selected: Vec<usize> = Vec::new();
+        let mut spans: Vec<(u32, Range<usize>)> = Vec::new();
+        for (p, rows) in part_rows.iter().enumerate() {
+            let want = stratum_slots(
+                Allocation::Proportional,
+                rows.len(),
+                n,
+                fraction,
+                n_parts,
+                1,
+            );
+            if want == 0 {
+                continue;
+            }
+            let mut rows = rows.clone();
+            rows.shuffle(rng);
+            rows.truncate(want);
+            let start = selected.len();
+            selected.extend(rows);
+            spans.push((p as u32, start..selected.len()));
+        }
+        let table = base.gather(&selected).map_err(AqpError::Storage)?;
+        // Cut each partition's span into batches and interleave.
+        let mut keyed: Vec<(f64, u32, usize, Range<usize>)> = Vec::new();
+        for (p, span) in &spans {
+            let b = span.len().div_ceil(batch_size);
+            for j in 0..b {
+                let s = span.start + j * batch_size;
+                let e = (s + batch_size).min(span.end);
+                keyed.push(((j as f64 + 0.5) / b as f64, *p, j, s..e));
+            }
+        }
+        keyed.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let batches: Vec<Range<usize>> = keyed.iter().map(|k| k.3.clone()).collect();
+        let batch_partitions: Vec<u32> = keyed.iter().map(|k| k.1).collect();
+        // Summaries over the sampled rows themselves: the gathered table
+        // shares the base table's dictionary codes, so they are sound
+        // against predicates compiled on the sample — and tighter than
+        // base-table summaries.
+        let map = PartitionMap::build(&table, spec).map_err(AqpError::Storage)?;
+        let covered_rows = table.num_rows();
+        Ok(Sample {
+            table: Arc::new(table),
+            base_rows: n,
+            fraction,
+            batch_size,
+            layout: Some(Arc::new(PartitionLayout {
+                batches,
+                batch_partitions,
+                covered_rows,
+                map,
+            })),
         })
     }
 
@@ -156,6 +294,7 @@ impl Sample {
             base_rows,
             fraction,
             batch_size,
+            layout: None,
         })
     }
 
@@ -172,6 +311,7 @@ impl Sample {
             base_rows: base.num_rows(),
             fraction: 1.0,
             batch_size,
+            layout: None,
         })
     }
 
@@ -211,16 +351,53 @@ impl Sample {
         self.batch_size
     }
 
-    /// Number of batches (last batch may be short).
+    /// Number of batches (last batch may be short). For a partitioned
+    /// sample: the explicit draw-time batches plus stride batches over
+    /// any rows admitted later by [`Sample::absorb_appended`].
     pub fn num_batches(&self) -> usize {
-        self.len().div_ceil(self.batch_size)
+        match self.layout.as_deref() {
+            None => self.len().div_ceil(self.batch_size),
+            Some(l) => l.batches.len() + (self.len() - l.covered_rows).div_ceil(self.batch_size),
+        }
     }
 
     /// Row range `[start, end)` of batch `i`.
-    pub fn batch_range(&self, i: usize) -> std::ops::Range<usize> {
-        let start = i * self.batch_size;
-        let end = ((i + 1) * self.batch_size).min(self.len());
-        start..end
+    pub fn batch_range(&self, i: usize) -> Range<usize> {
+        match self.layout.as_deref() {
+            None => {
+                let start = i * self.batch_size;
+                let end = ((i + 1) * self.batch_size).min(self.len());
+                start..end
+            }
+            Some(l) => {
+                if let Some(r) = l.batches.get(i) {
+                    r.clone()
+                } else {
+                    let k = i - l.batches.len();
+                    let start = l.covered_rows + k * self.batch_size;
+                    let end = (start + self.batch_size).min(self.len());
+                    start..end
+                }
+            }
+        }
+    }
+
+    /// The partition layout, if this sample was drawn partitioned.
+    pub fn partition_layout(&self) -> Option<&PartitionLayout> {
+        self.layout.as_deref()
+    }
+
+    /// Routing + per-partition summaries over the sampled rows, if
+    /// partitioned.
+    pub fn partition_map(&self) -> Option<&PartitionMap> {
+        self.layout.as_deref().map(PartitionLayout::map)
+    }
+
+    /// The partition batch `i`'s rows belong to. `None` when the sample
+    /// is unpartitioned or `i` is an ingest-tail stride batch (tail rows
+    /// carry no tag and are never pruned).
+    pub fn batch_partition(&self, i: usize) -> Option<u32> {
+        self.layout.as_deref()?.batch_partitions.get(i).copied()
     }
 }
 
@@ -488,6 +665,84 @@ mod tests {
         assert!(disagree > 100, "streams nearly identical: {disagree}");
         assert!(!appended_row_admitted(7, 0, 9, 0.0));
         assert!(appended_row_admitted(7, 0, 9, 1.0));
+    }
+
+    #[test]
+    fn partitioned_batches_are_partition_pure() {
+        let t = base(2000);
+        let spec = PartitionSpec::range("x", vec![500.0, 1000.0, 1500.0]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = Sample::uniform_partitioned(&t, spec, 0.3, 32, &mut rng).unwrap();
+        let layout = s.partition_layout().expect("partitioned");
+        let map = layout.map();
+        // Every explicit batch's rows all route to the batch's partition,
+        // and the batches tile the sample exactly once.
+        let mut seen = vec![false; s.len()];
+        for i in 0..s.num_batches() {
+            let p = s.batch_partition(i).expect("no ingest tail yet");
+            let routed = map.route(s.table(), s.batch_range(i)).unwrap();
+            assert!(routed.iter().all(|&q| q == p), "batch {i} impure");
+            for r in s.batch_range(i) {
+                assert!(!seen[r], "row {r} in two batches");
+                seen[r] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "batches must cover the sample");
+        // Proportional sizing: each quarter-sized partition gets roughly
+        // a quarter of the sample.
+        let total: u64 = map.parts().iter().map(|p| p.rows()).sum();
+        assert_eq!(total as usize, s.len());
+        for p in map.parts() {
+            let share = p.rows() as f64 / total as f64;
+            assert!((share - 0.25).abs() < 0.05, "share {share}");
+        }
+    }
+
+    #[test]
+    fn partitioned_batches_interleave_partitions() {
+        // A scan prefix must mix partitions, not drain them in order.
+        let t = base(4000);
+        let spec = PartitionSpec::range("x", vec![1000.0, 2000.0, 3000.0]);
+        let mut rng = StdRng::seed_from_u64(13);
+        let s = Sample::uniform_partitioned(&t, spec, 0.5, 50, &mut rng).unwrap();
+        let prefix = s.num_batches() / 3;
+        let mut hit = std::collections::HashSet::new();
+        for i in 0..prefix {
+            hit.insert(s.batch_partition(i).unwrap());
+        }
+        assert_eq!(hit.len(), 4, "prefix of {prefix} batches misses partitions");
+    }
+
+    #[test]
+    fn partitioned_absorb_appends_untagged_tail_batches() {
+        let mut t = base(1000);
+        let spec = PartitionSpec::range("x", vec![500.0]);
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut s = Sample::uniform_partitioned(&t, spec, 0.4, 25, &mut rng).unwrap();
+        let explicit = s.num_batches();
+        let drawn = s.len();
+        for i in 0..800 {
+            t.push_row(vec![((1000 + i) as f64).into(), 1.0.into()])
+                .unwrap();
+        }
+        let admitted = s.absorb_appended(&t, 1000, 17, 0).unwrap();
+        assert!(admitted > 0);
+        assert_eq!(s.len(), drawn + admitted);
+        assert_eq!(
+            s.num_batches(),
+            explicit + admitted.div_ceil(25),
+            "tail rows must land in stride batches"
+        );
+        // Tail batches carry no partition tag and tile the tail rows.
+        let mut covered = 0usize;
+        for i in explicit..s.num_batches() {
+            assert_eq!(s.batch_partition(i), None);
+            covered += s.batch_range(i).len();
+        }
+        assert_eq!(covered, admitted);
+        assert_eq!(s.batch_range(explicit).start, drawn);
+        // Explicit batches are untouched by growth.
+        assert!(s.batch_partition(0).is_some());
     }
 
     #[test]

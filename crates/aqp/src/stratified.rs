@@ -27,6 +27,31 @@ pub enum Allocation {
     Equal,
 }
 
+/// Sample slots one stratum receives under `allocation`, capped at the
+/// stratum's own size. Shared by [`stratified`] and the per-partition
+/// sizing of [`Sample::uniform_partitioned`]: a partition is a stratum,
+/// so proportional allocation makes the partitioned sample self-weighting
+/// while guaranteeing every non-empty partition representation.
+///
+/// [`Sample::uniform_partitioned`]: crate::Sample::uniform_partitioned
+pub fn stratum_slots(
+    allocation: Allocation,
+    stratum_rows: usize,
+    total_rows: usize,
+    fraction: f64,
+    n_strata: usize,
+    min_per_stratum: usize,
+) -> usize {
+    let total_slots = ((total_rows as f64 * fraction).round() as usize).max(n_strata);
+    match allocation {
+        Allocation::Proportional => {
+            ((stratum_rows as f64 * fraction).round() as usize).max(min_per_stratum)
+        }
+        Allocation::Equal => (total_slots / n_strata).max(min_per_stratum),
+    }
+    .min(stratum_rows)
+}
+
 /// Draws a sample of `fraction` of `base`, stratified by the categorical
 /// column `stratify_by`, with at least `min_per_stratum` rows from every
 /// non-empty stratum. Rows are shuffled so batch prefixes remain mixed.
@@ -58,17 +83,17 @@ pub fn stratified<R: Rng>(
         return Err(AqpError::InvalidConfig("empty base table".into()));
     }
 
-    let total_slots = ((base.num_rows() as f64 * fraction).round() as usize).max(strata.len());
-    let mut selected: Vec<usize> = Vec::with_capacity(total_slots);
     let n_strata = strata.len();
+    let mut selected: Vec<usize> = Vec::new();
     for rows in strata.values() {
-        let want = match allocation {
-            Allocation::Proportional => {
-                ((rows.len() as f64 * fraction).round() as usize).max(min_per_stratum)
-            }
-            Allocation::Equal => (total_slots / n_strata).max(min_per_stratum),
-        }
-        .min(rows.len());
+        let want = stratum_slots(
+            allocation,
+            rows.len(),
+            base.num_rows(),
+            fraction,
+            n_strata,
+            min_per_stratum,
+        );
         let mut rows = rows.clone();
         rows.shuffle(rng);
         selected.extend(rows.into_iter().take(want));

@@ -15,8 +15,123 @@
 
 use verdict_stats::{mean, variance};
 
+use crate::region::Region;
 use crate::snippet::Observation;
 use crate::synopsis::QuerySynopsis;
+
+/// Value bounds of one dimension column over the rows an ingest event
+/// touched — the appended batch itself unioned with the existing summaries
+/// of the partitions that received it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DimBounds {
+    /// Numeric column: observed `[min, max]` plus a NaN flag. With
+    /// `has_nan` set the bounds cannot prove disjointness (a NaN value is
+    /// outside every interval but the rows still shifted the aggregate).
+    Num {
+        /// Smallest touched value.
+        min: f64,
+        /// Largest touched value.
+        max: f64,
+        /// Whether any touched value was NaN.
+        has_nan: bool,
+    },
+    /// Categorical column: the exact sorted set of touched codes.
+    Cat {
+        /// Sorted, deduplicated dictionary codes.
+        codes: Vec<u32>,
+    },
+}
+
+/// Per-column bounds covering everything an ingest event touched, keyed by
+/// dimension name. Built by the session from the partition summaries of
+/// the receiving partitions; consumed by
+/// [`Region::disjoint_from`](crate::Region::disjoint_from) to skip the
+/// Lemma 3 widening for snippet regions provably unaffected by the append.
+///
+/// Soundness contract: the bounds must **cover** every appended row (and,
+/// because old snippets are reinterpreted against the *updated* partition
+/// contents, every pre-existing row of the receiving partitions). Columns
+/// with no entry are treated as unbounded — absent evidence never proves
+/// disjointness.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IngestBounds {
+    dims: Vec<(String, DimBounds)>,
+}
+
+impl IngestBounds {
+    /// Empty bounds (proves nothing disjoint).
+    pub fn new() -> Self {
+        IngestBounds::default()
+    }
+
+    /// Widens (or creates) the numeric bounds for `name`.
+    pub fn add_numeric(&mut self, name: &str, min: f64, max: f64, has_nan: bool) {
+        match self.entry(name) {
+            Some(DimBounds::Num {
+                min: m,
+                max: x,
+                has_nan: n,
+            }) => {
+                *m = m.min(min);
+                *x = x.max(max);
+                *n = *n || has_nan;
+            }
+            Some(DimBounds::Cat { .. }) => {
+                // Kind conflict: degrade to "unbounded" by removing the
+                // entry — never prove disjointness from confused evidence.
+                self.dims.retain(|(d, _)| d != name);
+            }
+            None => self
+                .dims
+                .push((name.to_owned(), DimBounds::Num { min, max, has_nan })),
+        }
+    }
+
+    /// Unions `codes` into the categorical bounds for `name`.
+    pub fn add_codes(&mut self, name: &str, codes: &[u32]) {
+        match self.entry(name) {
+            Some(DimBounds::Cat { codes: present }) => {
+                for &c in codes {
+                    if let Err(pos) = present.binary_search(&c) {
+                        present.insert(pos, c);
+                    }
+                }
+            }
+            Some(DimBounds::Num { .. }) => {
+                self.dims.retain(|(d, _)| d != name);
+            }
+            None => {
+                let mut sorted = codes.to_vec();
+                sorted.sort_unstable();
+                sorted.dedup();
+                self.dims
+                    .push((name.to_owned(), DimBounds::Cat { codes: sorted }));
+            }
+        }
+    }
+
+    /// The bounds recorded for `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&DimBounds> {
+        self.dims.iter().find(|(d, _)| d == name).map(|(_, b)| b)
+    }
+
+    /// Number of bounded columns.
+    pub fn len(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether no column is bounded.
+    pub fn is_empty(&self) -> bool {
+        self.dims.is_empty()
+    }
+
+    fn entry(&mut self, name: &str) -> Option<&mut DimBounds> {
+        self.dims
+            .iter_mut()
+            .find(|(d, _)| d == name)
+            .map(|(_, b)| b)
+    }
+}
 
 /// The estimated shift distribution and table sizes for one append event.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -126,6 +241,27 @@ impl AppendAdjustment {
         adjusted
     }
 
+    /// Like [`AppendAdjustment::adjust_synopsis`], but rewrites only the
+    /// observations whose region satisfies `widen` (partition-aware
+    /// Lemma 3: a snippet region provably disjoint from every value the
+    /// ingest touched keeps its answer *and* its error — drift in one
+    /// partition must not widen bounds everywhere). Returns the number of
+    /// snippets rewritten.
+    pub fn adjust_synopsis_where(
+        &self,
+        synopsis: &mut QuerySynopsis,
+        mut widen: impl FnMut(&Region) -> bool,
+    ) -> usize {
+        let mut adjusted = 0;
+        for (region, obs) in synopsis.entries_mut() {
+            if widen(region) {
+                *obs = self.adjust(*obs);
+                adjusted += 1;
+            }
+        }
+        adjusted
+    }
+
     /// Whether applying this adjustment is a no-op (`µ = 0`, `η = 0`).
     pub fn is_identity(&self) -> bool {
         self.mu_shift == 0.0 && self.eta == 0.0
@@ -218,6 +354,60 @@ mod tests {
         let o = syn.find(&region).unwrap();
         assert!((o.answer - 2.0).abs() < 1e-12);
         assert!(o.error > 0.1);
+    }
+
+    #[test]
+    fn selective_adjustment_skips_disjoint_regions() {
+        let schema = SchemaInfo::new(vec![DimensionSpec::numeric("x", 0.0, 100.0)]).unwrap();
+        let low = Region::from_predicate(&schema, &Predicate::between("x", 0.0, 10.0)).unwrap();
+        let high = Region::from_predicate(&schema, &Predicate::between("x", 80.0, 90.0)).unwrap();
+        let mut syn = QuerySynopsis::new(10);
+        syn.record(low.clone(), Observation::new(1.0, 0.1));
+        syn.record(high.clone(), Observation::new(2.0, 0.2));
+        let adj = AppendAdjustment {
+            mu_shift: 5.0,
+            eta: 1.0,
+            old_rows: 50,
+            appended_rows: 50,
+        };
+        // Ingest confined to x ∈ [82, 88]: only the high region widens.
+        let mut bounds = IngestBounds::new();
+        bounds.add_numeric("x", 82.0, 88.0, false);
+        let n = adj.adjust_synopsis_where(&mut syn, |r| !r.disjoint_from(&schema, &bounds));
+        assert_eq!(n, 1);
+        let lo = syn.find(&low).unwrap();
+        assert_eq!(lo.answer, 1.0);
+        assert_eq!(lo.error, 0.1);
+        let hi = syn.find(&high).unwrap();
+        assert!((hi.answer - 4.5).abs() < 1e-12); // 2 + 5·0.5
+        assert!(hi.error > 0.2);
+    }
+
+    #[test]
+    fn ingest_bounds_merge_and_conflict() {
+        let mut b = IngestBounds::new();
+        b.add_numeric("x", 5.0, 10.0, false);
+        b.add_numeric("x", 2.0, 7.0, true);
+        assert_eq!(
+            b.get("x"),
+            Some(&DimBounds::Num {
+                min: 2.0,
+                max: 10.0,
+                has_nan: true
+            })
+        );
+        b.add_codes("g", &[3, 1]);
+        b.add_codes("g", &[2, 3]);
+        assert_eq!(
+            b.get("g"),
+            Some(&DimBounds::Cat {
+                codes: vec![1, 2, 3]
+            })
+        );
+        // A kind conflict erases the entry: unbounded, never wrong.
+        b.add_codes("x", &[0]);
+        assert_eq!(b.get("x"), None);
+        assert_eq!(b.len(), 1);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::sync::Arc;
 
 use verdict_stats::normal::confidence_multiplier;
 
-use crate::append::AppendAdjustment;
+use crate::append::{AppendAdjustment, IngestBounds};
 use crate::covariance::AggMode;
 use crate::inference::TrainedModel;
 use crate::learning::learn_params;
@@ -482,13 +482,41 @@ impl Verdict {
     /// `AggKey`), because WAL replay re-applies the same slice in the same
     /// order and the states must match bit for bit.
     pub fn stage_ingest(&self, adjustments: &[(AggKey, AppendAdjustment)]) -> Result<StagedIngest> {
+        self.stage_ingest_filtered(adjustments, None)
+    }
+
+    /// [`Verdict::stage_ingest`] with partition-aware widening: when
+    /// `bounds` describes the values the append touched (the batch unioned
+    /// with its receiving partitions' summaries), `AVG` snippets whose
+    /// region is provably disjoint from those bounds keep their answer and
+    /// error untouched ([`Region::disjoint_from`]) — drift confined to one
+    /// partition no longer widens every stored snippet.
+    ///
+    /// `FREQ(*)` snippets are always widened regardless of `bounds`: any
+    /// append changes the relative-frequency denominator `|r| + |r_a|`, so
+    /// no region is unaffected. `bounds = None` is exactly
+    /// [`Verdict::stage_ingest`]. Determinism contract is unchanged: the
+    /// rewrite set is a pure function of (key order, bounds, stored
+    /// regions), so replaying the same slice with the same bounds yields a
+    /// bit-identical state.
+    pub fn stage_ingest_filtered(
+        &self,
+        adjustments: &[(AggKey, AppendAdjustment)],
+        bounds: Option<&IngestBounds>,
+    ) -> Result<StagedIngest> {
         let mut entries = Vec::with_capacity(adjustments.len());
         let mut adjusted = 0usize;
         for (key, adjustment) in adjustments {
             match self.synopses.get(key) {
                 Some(synopsis) => {
                     let mut synopsis = (**synopsis).clone();
-                    adjusted += adjustment.adjust_synopsis(&mut synopsis);
+                    adjusted += match bounds {
+                        Some(b) if !key.is_freq() => adjustment
+                            .adjust_synopsis_where(&mut synopsis, |r| {
+                                !r.disjoint_from(&self.schema, b)
+                            }),
+                        _ => adjustment.adjust_synopsis(&mut synopsis),
+                    };
                     let model = fit_model(&self.schema, &self.config, key, &synopsis)?;
                     entries.push((key.clone(), Some(Arc::new(synopsis)), model.map(Arc::new)));
                 }
@@ -869,6 +897,47 @@ mod tests {
         );
         let imp = v.improve(&s, Observation::new(3.0, 0.4));
         assert!(!imp.used_model);
+    }
+
+    #[test]
+    fn filtered_ingest_widens_only_touched_regions() {
+        let mut v = Verdict::new(schema(), VerdictConfig::default());
+        v.observe(&snippet(0.0, 10.0), Observation::new(1.0, 0.1));
+        v.observe(&snippet(80.0, 90.0), Observation::new(2.0, 0.1));
+        let low = Region::from_predicate(&schema(), &Predicate::between("t", 0.0, 10.0)).unwrap();
+        let high = Region::from_predicate(&schema(), &Predicate::between("t", 80.0, 90.0)).unwrap();
+        v.observe(
+            &Snippet::new(AggKey::Freq, low.clone()),
+            Observation::new(0.1, 0.05),
+        );
+        let adjustments = vec![
+            (
+                AggKey::avg("v"),
+                AppendAdjustment {
+                    mu_shift: 4.0,
+                    eta: 0.5,
+                    old_rows: 50,
+                    appended_rows: 50,
+                },
+            ),
+            (AggKey::Freq, AppendAdjustment::freq_worst_case(50, 50)),
+        ];
+        // Append confined to t ∈ [85, 88]: the low AVG region is provably
+        // untouched; FREQ widens regardless (its denominator changed).
+        let mut bounds = IngestBounds::new();
+        bounds.add_numeric("t", 85.0, 88.0, false);
+        let staged = v
+            .stage_ingest_filtered(&adjustments, Some(&bounds))
+            .unwrap();
+        assert_eq!(v.commit_ingest(staged), 2);
+        let syn = v.synopsis(&AggKey::avg("v")).unwrap();
+        let lo = syn.find(&low).unwrap();
+        assert_eq!((lo.answer, lo.error), (1.0, 0.1));
+        let hi = syn.find(&high).unwrap();
+        assert!((hi.answer - 4.0).abs() < 1e-12); // 2 + 4·0.5
+        assert!(hi.error > 0.1);
+        let f = v.synopsis(&AggKey::Freq).unwrap().find(&low).unwrap();
+        assert!(f.error > 0.05, "FREQ widens even in untouched regions");
     }
 
     #[test]

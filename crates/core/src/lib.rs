@@ -44,6 +44,7 @@ pub mod snippet;
 pub mod synopsis;
 pub mod validation;
 
+pub use append::{AppendAdjustment, DimBounds, IngestBounds};
 pub use concurrent::{EngineSnapshot, Learner, SnapshotCell};
 pub use config::VerdictConfig;
 pub use engine::{EngineStats, EngineView, ImprovedAnswer, SnippetObserver, StagedIngest, Verdict};

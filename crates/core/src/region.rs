@@ -11,6 +11,7 @@
 use verdict_storage::predicate::ColumnConstraint;
 use verdict_storage::Predicate;
 
+use crate::append::{DimBounds, IngestBounds};
 use crate::{CoreError, Result};
 
 /// Kind and domain of one dimension attribute.
@@ -288,6 +289,51 @@ impl Region {
         })
     }
 
+    /// Whether this region is **provably disjoint** from the values in
+    /// `bounds` — no tuple whose dimension values fall inside `bounds` can
+    /// satisfy the region's predicate. Used by the partition-aware ingest
+    /// path: a snippet whose region is disjoint from everything an append
+    /// touched needs no Lemma 3 widening.
+    ///
+    /// Conservative by construction: a dimension with no recorded bounds, a
+    /// kind mismatch, a NaN-bearing numeric bound, or a universal
+    /// categorical constraint never proves disjointness. Only a numeric
+    /// interval strictly outside `[min, max]` or a categorical set with an
+    /// empty intersection does.
+    pub fn disjoint_from(&self, schema: &SchemaInfo, bounds: &IngestBounds) -> bool {
+        for (c, d) in self.constraints.iter().zip(schema.dims()) {
+            match (c, bounds.get(&d.name)) {
+                (DimConstraint::Range { lo, hi }, Some(DimBounds::Num { min, max, has_nan }))
+                    if !has_nan && (max < lo || min > hi) =>
+                {
+                    return true;
+                }
+                (DimConstraint::Set(Some(set)), Some(DimBounds::Cat { codes })) => {
+                    // Both sides sorted; empty intersection → disjoint.
+                    let mut i = 0;
+                    let mut j = 0;
+                    let mut overlap = false;
+                    while i < set.len() && j < codes.len() {
+                        match set[i].cmp(&codes[j]) {
+                            std::cmp::Ordering::Less => i += 1,
+                            std::cmp::Ordering::Greater => j += 1,
+                            std::cmp::Ordering::Equal => {
+                                overlap = true;
+                                break;
+                            }
+                        }
+                    }
+                    if !overlap {
+                        return true;
+                    }
+                }
+                // Universal set, missing bounds, kind mismatch: no proof.
+                _ => {}
+            }
+        }
+        false
+    }
+
     /// Size of the categorical overlap `|F_{i,k} ∩ F_{j,k}|` on dimension
     /// `idx` (both operands may be the universal set).
     pub fn set_overlap(&self, other: &Region, idx: usize, cardinality: u32) -> f64 {
@@ -431,5 +477,51 @@ mod tests {
     fn numeric_indices_listed() {
         let s = schema();
         assert_eq!(s.numeric_indices(), vec![0]);
+    }
+
+    #[test]
+    fn disjoint_from_numeric_bounds() {
+        let s = schema();
+        let r = Region::from_predicate(&s, &Predicate::between("week", 10.0, 20.0)).unwrap();
+        let mut above = IngestBounds::new();
+        above.add_numeric("week", 30.0, 40.0, false);
+        assert!(r.disjoint_from(&s, &above));
+        let mut below = IngestBounds::new();
+        below.add_numeric("week", 0.0, 9.0, false);
+        assert!(r.disjoint_from(&s, &below));
+        let mut touching = IngestBounds::new();
+        touching.add_numeric("week", 20.0, 40.0, false);
+        assert!(!r.disjoint_from(&s, &touching), "closed endpoints overlap");
+    }
+
+    #[test]
+    fn disjoint_from_is_conservative() {
+        let s = schema();
+        let r = Region::from_predicate(&s, &Predicate::between("week", 10.0, 20.0)).unwrap();
+        // No bounds recorded at all → cannot prove disjointness.
+        assert!(!r.disjoint_from(&s, &IngestBounds::new()));
+        // NaN-bearing bounds never prove disjointness.
+        let mut nan = IngestBounds::new();
+        nan.add_numeric("week", 30.0, 40.0, true);
+        assert!(!r.disjoint_from(&s, &nan));
+        // Bounds on a different column prove nothing about `week`.
+        let mut other = IngestBounds::new();
+        other.add_numeric("elsewhere", 30.0, 40.0, false);
+        assert!(!r.disjoint_from(&s, &other));
+    }
+
+    #[test]
+    fn disjoint_from_categorical_bounds() {
+        let s = schema();
+        let r = Region::from_predicate(&s, &Predicate::cat_in("region", vec![0, 1])).unwrap();
+        let mut miss = IngestBounds::new();
+        miss.add_codes("region", &[2, 3]);
+        assert!(r.disjoint_from(&s, &miss));
+        let mut hit = IngestBounds::new();
+        hit.add_codes("region", &[1, 2]);
+        assert!(!r.disjoint_from(&s, &hit));
+        // The universal set overlaps everything the schema admits.
+        let full = Region::full(&s);
+        assert!(!full.disjoint_from(&s, &miss));
     }
 }

@@ -94,6 +94,16 @@ impl QuerySynopsis {
         self.entries.iter_mut().map(|e| &mut e.observation)
     }
 
+    /// Like [`QuerySynopsis::observations_mut`], but each observation is
+    /// paired with its (immutable) region, so an adjustment can be applied
+    /// selectively — e.g. only to snippets whose region can overlap an
+    /// ingested batch (partition-aware Lemma 3).
+    pub fn entries_mut(&mut self) -> impl Iterator<Item = (&Region, &mut Observation)> {
+        self.entries
+            .iter_mut()
+            .map(|e| (&e.region, &mut e.observation))
+    }
+
     /// Records a snippet observation.
     ///
     /// If an identical region is already present, the entry is refreshed:

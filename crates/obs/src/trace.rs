@@ -57,6 +57,15 @@ pub struct ScanTrace {
     pub chunks_pruned: u64,
     /// Rows that passed the query's base predicate.
     pub rows_matched: u64,
+    /// Morsels claimed by parallel scan workers (0 on a serial scan).
+    pub morsels: u64,
+    /// Morsels a worker stole from another worker's deque.
+    pub morsels_stolen: u64,
+    /// Horizontal partitions of the scanned sample (0 unpartitioned).
+    pub partitions: u64,
+    /// Partitions whose batches were skipped wholesale (summary provably
+    /// disjoint from the predicate).
+    pub partitions_pruned: u64,
 }
 
 /// One query's trace: per-stage timings plus engine facts. Stored in the
@@ -94,6 +103,14 @@ pub struct QueryTrace {
     pub chunks_pruned: u64,
     /// Rows that passed the query's base predicate.
     pub rows_matched: u64,
+    /// Morsels claimed by parallel scan workers (0 on a serial scan).
+    pub morsels: u64,
+    /// Morsels stolen across worker deques.
+    pub morsels_stolen: u64,
+    /// Horizontal partitions of the scanned sample (0 unpartitioned).
+    pub partitions: u64,
+    /// Partitions skipped wholesale by partition-level summaries.
+    pub partitions_pruned: u64,
     /// Per-stage wall-clock.
     pub stages: StageTimings,
     /// Total wall-clock for the query, nanoseconds.
@@ -234,6 +251,10 @@ mod tests {
             chunks: 0,
             chunks_pruned: 0,
             rows_matched: 0,
+            morsels: 0,
+            morsels_stolen: 0,
+            partitions: 0,
+            partitions_pruned: 0,
             stages: StageTimings::default(),
             elapsed_ns: 0,
         }

@@ -20,6 +20,9 @@
 //!   bitmaps, per-chunk min/max zone maps (scan skipping now; the
 //!   groundwork for partition pruning later), and bit-packed dictionary
 //!   codes for low-cardinality categorical columns;
+//! - [`partition`]: horizontal range/hash partitions with partition-level
+//!   min/max + code-set summaries, so whole partitions can be skipped or
+//!   classified dense before any chunk is touched;
 //! - [`scan`]: shared-scan building blocks — one-pass group-key
 //!   enumeration and row → group-index mapping, with a dense
 //!   code → group lookup table for single-column categorical group-bys;
@@ -35,6 +38,7 @@ pub mod chunk;
 pub mod column;
 pub mod expr;
 pub mod join;
+pub mod partition;
 pub mod predicate;
 pub mod scan;
 pub mod schema;
@@ -48,6 +52,7 @@ pub use chunk::{
 };
 pub use column::Column;
 pub use expr::Expr;
+pub use partition::{ColumnSummary, PartitionInfo, PartitionMap, PartitionScheme, PartitionSpec};
 pub use predicate::{ChunkMatch, CompiledPredicate, Predicate};
 pub use scan::{distinct_group_keys, GroupIndexer};
 pub use schema::{AttributeRole, ColumnDef, ColumnType, Schema};

@@ -18,6 +18,7 @@
 use std::collections::BTreeMap;
 
 use crate::chunk::{SelectionMask, ZoneMaps};
+use crate::partition::{ColumnSummary, PartitionInfo};
 use crate::{Result, StorageError, Table};
 
 /// A numeric interval constraint with per-bound inclusivity.
@@ -532,6 +533,90 @@ impl CompiledPredicate<'_> {
                     let covered = codes[lo] == z.min_code
                         && lo + span < codes.len()
                         && codes[lo + span] == z.max_code;
+                    if !covered {
+                        all = false;
+                    }
+                }
+            }
+        }
+        if all {
+            ChunkMatch::AllRows
+        } else {
+            ChunkMatch::SomeRows
+        }
+    }
+
+    /// Classifies a whole partition against the predicate using its
+    /// partition-level summaries — [`classify_chunk`] lifted one level,
+    /// with the same soundness contract. A `NoRows` partition can be
+    /// skipped without touching any of its chunks; an `AllRows` one is
+    /// provably dense. The summaries must come from a table sharing this
+    /// predicate's schema and dictionary code space.
+    ///
+    /// [`classify_chunk`]: CompiledPredicate::classify_chunk
+    pub fn classify_partition(&self, part: &PartitionInfo) -> ChunkMatch {
+        if part.rows() == 0 {
+            return ChunkMatch::NoRows;
+        }
+        let mut all = true;
+        for c in &self.constraints {
+            match c {
+                CompiledConstraint::Range {
+                    col_index,
+                    range: r,
+                    ..
+                } => {
+                    let Some(ColumnSummary::Num { min, max, has_nan }) = part.summary(*col_index)
+                    else {
+                        // Missing or type-mismatched summary: undecidable.
+                        all = false;
+                        continue;
+                    };
+                    // Same disjointness test as the chunk zones; an
+                    // all-NaN partition (min=+inf/max=-inf) lands here
+                    // for any bounded range.
+                    let below = if r.lo_inclusive {
+                        *max < r.lo
+                    } else {
+                        *max <= r.lo
+                    };
+                    let above = if r.hi_inclusive {
+                        *min > r.hi
+                    } else {
+                        *min >= r.hi
+                    };
+                    if below || above {
+                        return ChunkMatch::NoRows;
+                    }
+                    if *has_nan || !r.contains(*min) || !r.contains(*max) {
+                        all = false;
+                    }
+                }
+                CompiledConstraint::In {
+                    col_index, codes, ..
+                } => {
+                    if codes.is_empty() {
+                        return ChunkMatch::NoRows;
+                    }
+                    let Some(ColumnSummary::Cat { codes: present }) = part.summary(*col_index)
+                    else {
+                        all = false;
+                        continue;
+                    };
+                    // Unlike chunk zones, the summary holds the exact
+                    // code *set*, so membership is decided per code.
+                    let mut any = false;
+                    let mut covered = true;
+                    for p in present {
+                        if codes.binary_search(p).is_ok() {
+                            any = true;
+                        } else {
+                            covered = false;
+                        }
+                    }
+                    if !any {
+                        return ChunkMatch::NoRows;
+                    }
                     if !covered {
                         all = false;
                     }

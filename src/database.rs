@@ -60,7 +60,7 @@ use verdict_core::{AggKey, QualifiedAggKey, SchemaInfo, Verdict, VerdictConfig};
 use verdict_obs::{MetricsHub, MetricsSnapshot, QueryLog, QueryTrace, ScanTrace, Stopwatch};
 use verdict_sql::checker::JoinPolicy;
 use verdict_sql::{check_query, parse_query, resolve_from, SupportVerdict};
-use verdict_storage::{Table, Value};
+use verdict_storage::{PartitionMap, Table, Value};
 use verdict_store::catalog::{catalog_exists, is_valid_table_name, table_dir};
 use verdict_store::{
     read_catalog, write_catalog, CatalogManifest, Recovered, RecoveryReport, SessionMeta,
@@ -70,8 +70,9 @@ use verdict_store::{
 use crate::metrics::{CheckpointReport, TableObs};
 use crate::query::{Prepared, QueryOptions};
 use crate::session::{
-    draw_engines, plan_shared_scan, prepare_ingest, query_trace, run_shared_read,
-    widening_magnitude, IngestReport, ReadOutcome, SampleRotation, SessionParts, StagePrelude,
+    default_parallelism, draw_engines, plan_shared_scan, prepare_ingest, query_trace,
+    run_shared_read, widening_magnitude, IngestReport, ReadOutcome, SampleRotation, SessionParts,
+    StagePrelude,
 };
 use crate::{Error, QueryOutcome, Result};
 
@@ -199,6 +200,11 @@ impl SessionSnapshot {
 pub(crate) struct Writer {
     pub(crate) learner: Learner,
     pub(crate) meta: SessionMeta,
+    /// Base-table partition map of a promoted partitioned session (kept
+    /// current across ingests; `None` for unpartitioned tables). Scopes
+    /// each ingest's Lemma-3 widening to the regions its partitions can
+    /// reach.
+    pub(crate) partitions: Option<PartitionMap>,
 }
 
 /// One table's full runtime: published snapshot pair, serialized writer,
@@ -227,6 +233,9 @@ pub(crate) struct Shard {
     pub(crate) obs: TableObs,
     /// Scan execution kernel every query on this table runs under.
     pub(crate) scan_kernel: ScanKernel,
+    /// Worker-thread count for this table's morsel-parallel shared scans
+    /// (1 = serial).
+    pub(crate) parallelism: usize,
 }
 
 impl Shard {
@@ -244,6 +253,8 @@ impl Shard {
         recovery: Option<RecoveryReport>,
         obs: TableObs,
         scan_kernel: ScanKernel,
+        parallelism: usize,
+        partitions: Option<PartitionMap>,
     ) -> Arc<Shard> {
         let data = Arc::new(DataSet {
             data_epoch: verdict.data_epoch(),
@@ -265,10 +276,15 @@ impl Shard {
             next_sample: AtomicUsize::new(active),
             current: Mutex::new(current),
             store,
-            writer: Mutex::new(Writer { learner, meta }),
+            writer: Mutex::new(Writer {
+                learner,
+                meta,
+                partitions,
+            }),
             recovery,
             obs,
             scan_kernel,
+            parallelism: parallelism.max(1),
         })
     }
 
@@ -439,6 +455,7 @@ impl Shard {
             &old.table,
             old.engines[self.fixed_sample].sample().table(),
             rows,
+            writer.partitions.as_ref(),
         )?;
         // WAL byte accounting is the store's own cumulative counter
         // (delta across the append) — no second measurement.
@@ -456,6 +473,12 @@ impl Shard {
         // each sample's rows clone on its first admission.
         let mut table = (*old.table).clone();
         table.push_rows(rows).map_err(Error::Storage)?;
+        // Route the appended rows into the partition map so the next
+        // ingest's bounds see this batch's contribution (a batch may
+        // split across several partitions; only those summaries extend).
+        if let Some(map) = &mut writer.partitions {
+            map.extend(&table).map_err(Error::Storage)?;
+        }
         let mut engines = old.engines.clone();
         let mut admitted_rows = Vec::with_capacity(engines.len());
         for (i, engine) in engines.iter_mut().enumerate() {
@@ -608,6 +631,8 @@ pub struct OpenOptions {
     pub query_log: Option<Arc<QueryLog>>,
     /// Scan execution kernel for every table (default chunked).
     pub scan_kernel: ScanKernel,
+    /// Worker threads per shared scan (default: available cores).
+    pub parallelism: usize,
 }
 
 impl Default for OpenOptions {
@@ -621,6 +646,7 @@ impl Default for OpenOptions {
             metrics: None,
             query_log: None,
             scan_kernel: ScanKernel::default(),
+            parallelism: default_parallelism(),
         }
     }
 }
@@ -678,6 +704,13 @@ impl OpenOptions {
         self.scan_kernel = kernel;
         self
     }
+
+    /// Sets the worker-thread count for every table's shared scans (see
+    /// [`DatabaseBuilder::parallelism`]).
+    pub fn with_parallelism(mut self, n: usize) -> Self {
+        self.parallelism = n.max(1);
+        self
+    }
 }
 
 /// Builder for a [`Database`]. Tables are registered up front; the
@@ -690,6 +723,7 @@ pub struct DatabaseBuilder {
     metrics: Option<Arc<MetricsHub>>,
     query_log: Option<Arc<QueryLog>>,
     scan_kernel: ScanKernel,
+    parallelism: usize,
 }
 
 impl DatabaseBuilder {
@@ -751,6 +785,15 @@ impl DatabaseBuilder {
         self
     }
 
+    /// Worker threads per shared scan for every table (default: available
+    /// cores; clamped to at least 1). Thread count never changes answers:
+    /// partials merge in batch-index order, so results are bit-identical
+    /// to a serial scan.
+    pub fn parallelism(mut self, n: usize) -> Self {
+        self.parallelism = n.max(1);
+        self
+    }
+
     /// Builds the database: validates the catalog, draws every table's
     /// samples, and (with persistence) writes the manifest and creates the
     /// per-table stores.
@@ -789,6 +832,7 @@ impl DatabaseBuilder {
                 opts.num_samples.max(1),
                 &opts.cost,
                 opts.tier,
+                None,
             )?;
             let schema = SchemaInfo::from_table(&table)?;
             let meta = SessionMeta {
@@ -830,6 +874,8 @@ impl DatabaseBuilder {
                 None,
                 obs,
                 self.scan_kernel,
+                self.parallelism,
+                None,
             ));
         }
         // The manifest is written *last*: it is the commit point of the
@@ -871,6 +917,7 @@ impl Database {
             metrics: None,
             query_log: None,
             scan_kernel: ScanKernel::default(),
+            parallelism: default_parallelism(),
         }
     }
 
@@ -959,6 +1006,8 @@ impl Database {
             parts.recovery,
             parts.obs,
             parts.scan_kernel,
+            parts.parallelism,
+            parts.partitions,
         );
         Database {
             inner: Arc::new(DbInner {
@@ -1092,6 +1141,7 @@ impl Database {
             opts.policy,
             snapshot.engine.epoch(),
             shard.scan_kernel,
+            shard.parallelism,
             scan.as_mut(),
         )?;
         let absorb_sw = Stopwatch::started_if(tracing);
@@ -1252,6 +1302,7 @@ fn shard_from_recovered(
         meta.num_samples as usize,
         &opts.cost,
         opts.tier,
+        None,
     )?;
     // Reuse the *persisted* schema: deriving it from the recovered table
     // would pick up bounds widened by ingested rows and spuriously reject
@@ -1276,6 +1327,8 @@ fn shard_from_recovered(
         Some(recovered.report),
         TableObs::new(opts.metrics.clone(), opts.query_log.clone(), name),
         opts.scan_kernel,
+        opts.parallelism,
+        None,
     ))
 }
 

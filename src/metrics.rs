@@ -23,6 +23,9 @@
 //! | `verdict_tuples_scanned_total` | sample tuples visited by shared scans |
 //! | `verdict_scan_chunks_total` | chunk segments visited by the chunked scan kernel |
 //! | `verdict_scan_chunks_pruned_total` | chunk segments skipped via zone maps without touching data |
+//! | `verdict_scan_morsels_total` | morsels claimed by parallel scan workers |
+//! | `verdict_scan_morsels_stolen_total` | morsels stolen across worker deques |
+//! | `verdict_partitions_pruned_total` | sample partitions skipped wholesale via partition summaries |
 //! | `verdict_rows_matched_total` | scanned rows that passed the base predicate |
 //! | `verdict_cells_total` | result cells (groups × aggregates) answered |
 //! | `verdict_cells_frozen_early_total` | cells that met the stop policy before the scan ended |
@@ -108,6 +111,9 @@ struct Handles {
     tuples_scanned: Counter,
     scan_chunks: Counter,
     scan_chunks_pruned: Counter,
+    scan_morsels: Counter,
+    scan_morsels_stolen: Counter,
+    partitions_pruned: Counter,
     rows_matched: Counter,
     scan_selectivity_pct: Histogram,
     cells: Counter,
@@ -150,6 +156,9 @@ impl Handles {
             tuples_scanned: hub.table_counter("verdict_tuples_scanned_total", table),
             scan_chunks: hub.table_counter("verdict_scan_chunks_total", table),
             scan_chunks_pruned: hub.table_counter("verdict_scan_chunks_pruned_total", table),
+            scan_morsels: hub.table_counter("verdict_scan_morsels_total", table),
+            scan_morsels_stolen: hub.table_counter("verdict_scan_morsels_stolen_total", table),
+            partitions_pruned: hub.table_counter("verdict_partitions_pruned_total", table),
             rows_matched: hub.table_counter("verdict_rows_matched_total", table),
             scan_selectivity_pct: hub.table_histogram("verdict_scan_selectivity_pct", table),
             cells: hub.table_counter("verdict_cells_total", table),
@@ -242,6 +251,9 @@ impl TableObs {
             h.tuples_scanned.add(trace.tuples_scanned);
             h.scan_chunks.add(trace.chunks);
             h.scan_chunks_pruned.add(trace.chunks_pruned);
+            h.scan_morsels.add(trace.morsels);
+            h.scan_morsels_stolen.add(trace.morsels_stolen);
+            h.partitions_pruned.add(trace.partitions_pruned);
             h.rows_matched.add(trace.rows_matched);
             if let Some(sel) = (trace.rows_matched * 100).checked_div(trace.tuples_scanned) {
                 h.scan_selectivity_pct.record(sel);

@@ -239,6 +239,7 @@ impl Bound<'_> {
             opts.policy,
             snapshot.engine.epoch(),
             shard.scan_kernel,
+            shard.parallelism,
             scan.as_mut(),
         )?;
         let absorb_sw = Stopwatch::started_if(tracing);

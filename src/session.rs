@@ -75,12 +75,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use verdict_aqp::{
-    AqpEngine, AqpError, CostModel, OnlineAggregation, Sample, ScanKernel, ScanSpec,
+    parallel_scan, AqpEngine, AqpError, CostModel, OnlineAggregation, Sample, ScanKernel, ScanSpec,
     SharedScanDriver, StorageTier,
 };
 use verdict_core::{
-    AggKey, EngineStats, EngineView, ImprovedAnswer, Observation, Region, SchemaInfo, Snippet,
-    Verdict, VerdictConfig,
+    AggKey, EngineStats, EngineView, ImprovedAnswer, IngestBounds, Observation, Region, SchemaInfo,
+    Snippet, Verdict, VerdictConfig,
 };
 use verdict_obs::{
     MetricsHub, MetricsSnapshot, QueryLog, QueryTrace, ScanTrace, StageTimings, Stopwatch,
@@ -92,7 +92,10 @@ use verdict_sql::{
 };
 #[cfg(feature = "legacy-executor")]
 use verdict_sql::{decompose, SnippetSpec};
-use verdict_storage::{distinct_group_keys, AggregateFn, Expr, GroupKey, Predicate, Table, Value};
+use verdict_storage::{
+    distinct_group_keys, AggregateFn, ColumnSummary, Expr, GroupKey, PartitionMap, PartitionSpec,
+    Predicate, Table, Value,
+};
 use verdict_store::{RecoveryReport, SessionMeta, SharedStore, StorePolicy, SynopsisStore};
 
 use crate::metrics::{CheckpointReport, TableObs};
@@ -302,6 +305,16 @@ pub struct SessionBuilder {
     metrics: Option<Arc<MetricsHub>>,
     query_log: Option<Arc<QueryLog>>,
     scan_kernel: ScanKernel,
+    partition: Option<PartitionSpec>,
+    parallelism: usize,
+}
+
+/// Worker threads a builder defaults to: all available cores (1 when the
+/// host cannot report its core count).
+pub(crate) fn default_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// What [`SessionBuilder::open`] carried out of recovery, held until
@@ -339,6 +352,8 @@ impl SessionBuilder {
             metrics: None,
             query_log: None,
             scan_kernel: ScanKernel::default(),
+            partition: None,
+            parallelism: default_parallelism(),
         }
     }
 
@@ -375,6 +390,8 @@ impl SessionBuilder {
             metrics: None,
             query_log: None,
             scan_kernel: ScanKernel::default(),
+            partition: None,
+            parallelism: default_parallelism(),
             recovered: Some(RecoveredState {
                 store: SharedStore::new(store),
                 state: recovered.state,
@@ -425,6 +442,35 @@ impl SessionBuilder {
     /// kernel is the reference path. Both are bit-identical.
     pub fn scan_kernel(mut self, kernel: ScanKernel) -> Self {
         self.scan_kernel = kernel;
+        self
+    }
+
+    /// Partitions every maintained sample horizontally by `spec` (range
+    /// or hash on one column, [`verdict_storage::PartitionSpec`]). Each
+    /// partition carries a min/max + code-set summary, so a query whose
+    /// predicate is provably disjoint from a partition skips all of its
+    /// batches without touching a chunk, and ingest widens only the
+    /// synopses of regions the touched partitions can overlap
+    /// (partition-aware Lemma 3).
+    ///
+    /// Incompatible with [`SessionBuilder::persist_to`] /
+    /// [`SessionBuilder::open`]: the partition spec is not part of the
+    /// persisted session metadata, so a recovered session could not
+    /// redraw the same partitioned sample. `build()` refuses the
+    /// combination.
+    pub fn partition_by(mut self, spec: PartitionSpec) -> Self {
+        self.partition = Some(spec);
+        self
+    }
+
+    /// Worker threads for one query's shared scan (default: all
+    /// available cores). The scan is morsel-driven with work stealing;
+    /// partials merge in deterministic batch order, so answers, error
+    /// bounds, and synopsis bytes are bit-identical at every setting —
+    /// `parallelism(1)` runs the scan inline with zero scheduler
+    /// overhead.
+    pub fn parallelism(mut self, n: usize) -> Self {
+        self.parallelism = n.max(1);
         self
     }
 
@@ -506,6 +552,24 @@ impl SessionBuilder {
             Some(r) => r.meta.original_rows as usize,
             None => self.table.num_rows(),
         };
+        // Partitioning and persistence are mutually exclusive: the spec
+        // is not part of SessionMeta, so a warm start (or WAL replay)
+        // would redraw an unpartitioned sample and apply unfiltered
+        // Lemma-3 widenings — silently diverging from the live session.
+        if self.partition.is_some() && (self.persist.is_some() || self.recovered.is_some()) {
+            return Err(Error::Aqp(AqpError::InvalidConfig(
+                "partition_by cannot be combined with persist_to/open: the partition \
+                 spec is not persisted, so recovery could not rebuild the same \
+                 partitioned sample"
+                    .into(),
+            )));
+        }
+        let partitions = match &self.partition {
+            Some(spec) => {
+                Some(PartitionMap::build(&self.table, spec.clone()).map_err(Error::Storage)?)
+            }
+            None => None,
+        };
         let engines = draw_engines(
             &self.table,
             original_rows,
@@ -515,6 +579,7 @@ impl SessionBuilder {
             self.num_samples,
             &self.cost,
             self.tier,
+            self.partition.as_ref(),
         )?;
         // The dimension universe is fixed at session creation. A warm
         // start must reuse the *persisted* schema: deriving it from the
@@ -629,6 +694,8 @@ impl SessionBuilder {
             recovery,
             obs,
             scan_kernel: self.scan_kernel,
+            partitions,
+            parallelism: self.parallelism,
         })
     }
 
@@ -652,6 +719,11 @@ pub struct VerdictSession {
     recovery: Option<RecoveryReport>,
     obs: TableObs,
     scan_kernel: ScanKernel,
+    /// Base-table partition map (summaries over the *base* rows): routes
+    /// ingested batches and bounds the partition-aware Lemma-3 widening.
+    /// The per-sample maps pruning reads live inside each [`Sample`].
+    partitions: Option<PartitionMap>,
+    parallelism: usize,
 }
 
 /// The pieces a [`VerdictSession`] decomposes into when it is promoted to
@@ -668,6 +740,8 @@ pub(crate) struct SessionParts {
     pub(crate) recovery: Option<RecoveryReport>,
     pub(crate) obs: TableObs,
     pub(crate) scan_kernel: ScanKernel,
+    pub(crate) partitions: Option<PartitionMap>,
+    pub(crate) parallelism: usize,
 }
 
 impl VerdictSession {
@@ -749,7 +823,20 @@ impl VerdictSession {
             recovery: self.recovery,
             obs: self.obs,
             scan_kernel: self.scan_kernel,
+            partitions: self.partitions,
+            parallelism: self.parallelism,
         }
+    }
+
+    /// The base-table partition map, when the session was built with
+    /// [`SessionBuilder::partition_by`].
+    pub fn partition_map(&self) -> Option<&PartitionMap> {
+        self.partitions.as_ref()
+    }
+
+    /// Worker threads one query's shared scan uses.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// The inference engine.
@@ -945,6 +1032,7 @@ impl VerdictSession {
             &self.table,
             self.engines[self.active].sample().table(),
             rows,
+            self.partitions.as_ref(),
         )?;
         // WAL byte accounting comes from the store's own cumulative
         // counters (delta across the append), not a second measurement.
@@ -959,6 +1047,12 @@ impl VerdictSession {
             0
         };
         self.table.push_rows(rows).map_err(Error::Storage)?;
+        if let Some(map) = &mut self.partitions {
+            // Route the appended rows: only the receiving partitions'
+            // row counts and summaries move (cross-partition batches
+            // split row-by-row; bystander partitions stay bit-identical).
+            map.extend(&self.table).map_err(Error::Storage)?;
+        }
         let mut admitted_rows = Vec::with_capacity(self.engines.len());
         for (i, engine) in self.engines.iter_mut().enumerate() {
             admitted_rows.push(
@@ -1045,6 +1139,7 @@ impl VerdictSession {
             policy,
             epoch,
             self.scan_kernel,
+            self.parallelism,
             scan.as_mut(),
         )?;
         // Learn path (serialized trivially here — `&mut self`): fold the
@@ -1202,13 +1297,27 @@ pub(crate) fn draw_engines(
     num_samples: usize,
     cost: &CostModel,
     tier: StorageTier,
+    partition: Option<&PartitionSpec>,
 ) -> Result<Vec<OnlineAggregation>> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut engines = Vec::with_capacity(num_samples);
     for _ in 0..num_samples {
-        let sample =
-            Sample::uniform_prefix(table, original_rows, sample_fraction, batch_size, &mut rng)
-                .map_err(Error::Aqp)?;
+        let sample = match partition {
+            // Partitioned draws sample the whole current table: partitions
+            // never combine with persistence, so there is no recovered
+            // tail (`original_rows == table.num_rows()`) to re-admit.
+            Some(spec) => Sample::uniform_partitioned(
+                table,
+                spec.clone(),
+                sample_fraction,
+                batch_size,
+                &mut rng,
+            ),
+            None => {
+                Sample::uniform_prefix(table, original_rows, sample_fraction, batch_size, &mut rng)
+            }
+        }
+        .map_err(Error::Aqp)?;
         engines.push(OnlineAggregation::new(sample, cost.clone(), tier));
     }
     if table.num_rows() > original_rows {
@@ -1286,6 +1395,10 @@ pub(crate) fn query_trace(
         chunks: scan.chunks,
         chunks_pruned: scan.chunks_pruned,
         rows_matched: scan.rows_matched,
+        morsels: scan.morsels,
+        morsels_stolen: scan.morsels_stolen,
+        partitions: scan.partitions,
+        partitions_pruned: scan.partitions_pruned,
         stages: StageTimings {
             parse_ns: stages.parse_ns,
             plan_ns: stages.plan_ns,
@@ -1354,6 +1467,7 @@ pub(crate) fn prepare_ingest(
     table: &Table,
     sample_table: &Table,
     rows: &[Vec<Value>],
+    partitions: Option<&PartitionMap>,
 ) -> Result<PreparedIngest> {
     // Validation surface: materializing the batch as its own table both
     // validates every row (atomically) and gives the shift estimator
@@ -1369,8 +1483,17 @@ pub(crate) fn prepare_ingest(
         old_rows,
         rows.len(),
     );
+    // Partition-aware Lemma 3: bound what this batch touches, so AVG
+    // snippets over provably-disjoint regions keep their answers and
+    // error bounds (FREQ always widens — the denominator changed).
+    let bounds = match partitions {
+        Some(map) => Some(ingest_bounds(map, &batch_table).map_err(Error::Storage)?),
+        None => None,
+    };
     let refit_t0 = Instant::now();
-    let staged = verdict.stage_ingest(&adjustments).map_err(Error::Core)?;
+    let staged = verdict
+        .stage_ingest_filtered(&adjustments, bounds.as_ref())
+        .map_err(Error::Core)?;
     let refit_elapsed = refit_t0.elapsed();
     Ok(PreparedIngest {
         old_rows,
@@ -1379,6 +1502,44 @@ pub(crate) fn prepare_ingest(
         staged,
         refit_elapsed,
     })
+}
+
+/// Bounds covering everything a partitioned ingest touches, per column:
+/// the batch is routed through a throwaway [`PartitionMap`] built over
+/// the batch table (routing is a pure function of the cell value, so it
+/// agrees with the session map), and each receiving partition
+/// contributes the union of its *current* summary with the batch's own —
+/// exactly the post-ingest contents of the touched partitions. Old
+/// snippets are reinterpreted against the updated relation, so the
+/// pre-existing rows of a receiving partition count as "touched"; rows
+/// in partitions the batch never reaches do not shift any disjoint
+/// region's aggregate.
+pub(crate) fn ingest_bounds(
+    map: &PartitionMap,
+    batch_table: &Table,
+) -> verdict_storage::Result<IngestBounds> {
+    let batch_map = PartitionMap::build(batch_table, map.spec().clone())?;
+    let mut bounds = IngestBounds::new();
+    for p in 0..batch_map.num_partitions() {
+        if batch_map.part(p).rows() == 0 {
+            continue;
+        }
+        for (col, def) in batch_table.schema().columns().iter().enumerate() {
+            for part in [batch_map.part(p), map.part(p)] {
+                match part.summary(col) {
+                    // Skip the empty-partition identity (+inf, -inf): it
+                    // describes no rows and must not prove anything
+                    // (min > max would read as disjoint).
+                    Some(ColumnSummary::Num { min, max, has_nan }) if min <= max || *has_nan => {
+                        bounds.add_numeric(&def.name, *min, *max, *has_nan);
+                    }
+                    Some(ColumnSummary::Cat { codes }) => bounds.add_codes(&def.name, codes),
+                    _ => {}
+                }
+            }
+        }
+    }
+    Ok(bounds)
 }
 
 /// Estimates one ingested batch's Lemma-3 adjustment per synopsis
@@ -1472,6 +1633,7 @@ pub(crate) fn run_shared_read(
     policy: StopPolicy,
     epoch: u64,
     kernel: ScanKernel,
+    parallelism: usize,
     mut trace: Option<&mut ScanTrace>,
 ) -> Result<ReadOutcome> {
     let mut stats = EngineStats::default();
@@ -1515,14 +1677,13 @@ pub(crate) fn run_shared_read(
         .collect();
 
     let scan_groups: Vec<GroupKey> = plan.groups.iter().flatten().cloned().collect();
-    let mut driver = engine
-        .shared_scan(&ScanSpec {
-            predicate: &plan.base_predicate,
-            group_cols: &plan.group_cols,
-            groups: &scan_groups,
-            primitives: &plan.primitives,
-        })
-        .map_err(Error::Aqp)?;
+    let spec = ScanSpec {
+        predicate: &plan.base_predicate,
+        group_cols: &plan.group_cols,
+        groups: &scan_groups,
+        primitives: &plan.primitives,
+    };
+    let mut driver = engine.shared_scan(&spec).map_err(Error::Aqp)?;
     driver.set_kernel(kernel);
 
     // The stop policy bounds the *one* query-wide scan: a tuple or
@@ -1533,6 +1694,27 @@ pub(crate) fn run_shared_read(
         StopPolicy::TupleBudget(n) => n,
         StopPolicy::TimeBudgetNs(ns) => engine.cost_model().tuples_within(ns, engine.tier()).max(1),
         _ => usize::MAX,
+    };
+
+    // Budgeted scans stop at a fixed tuple prefix, so the batch prefix is
+    // known up front: telling the scheduler keeps workers from scanning
+    // batches the serial loop would never reach. (Every batch contributes
+    // its full row count to `tuples_scanned` — pruned partitions
+    // included — so the prefix is exact, not a heuristic.)
+    let max_batches = if tuple_cap == usize::MAX {
+        usize::MAX
+    } else {
+        let sample = engine.sample();
+        let mut cum = 0usize;
+        let mut prefix = sample.num_batches();
+        for i in 0..sample.num_batches() {
+            cum += sample.batch_range(i).len();
+            if cum >= tuple_cap {
+                prefix = i + 1;
+                break;
+            }
+        }
+        prefix
     };
 
     // Per-cell stop tracking: a frozen cell holds the snapshot it had
@@ -1555,24 +1737,31 @@ pub(crate) fn run_shared_read(
     let mut infer_ns = 0u64;
     let mut frozen_early = 0u64;
 
-    loop {
-        if !driver.step() {
-            break;
-        }
-        let scanned = driver.tuples_scanned();
-        match policy {
-            StopPolicy::ScanAll => {}
+    // Morsel-parallel shared scan: workers scan batch partials on their
+    // own cursors while the coordinator merges them in batch-index order
+    // and runs the stop policy after every ordered merge — the same
+    // sequence of merged states the serial loop walks, so answers,
+    // errors, and stop points are bit-identical at any thread count.
+    let pstats = parallel_scan(
+        &mut driver,
+        parallelism,
+        max_batches,
+        || {
+            let mut d = engine.shared_scan(&spec).ok()?;
+            d.set_kernel(kernel);
+            Some(d)
+        },
+        |d| match policy {
+            StopPolicy::ScanAll => true,
             StopPolicy::TupleBudget(_) | StopPolicy::TimeBudgetNs(_) => {
-                if scanned >= tuple_cap {
-                    break;
-                }
+                d.tuples_scanned() < tuple_cap
             }
             StopPolicy::RelativeErrorBound { target, delta } => {
                 // Evaluate every live cell against the bound; freeze
                 // those that meet it.
                 let infer_sw = Stopwatch::started_if(tracing);
                 let evaluated = evaluate_live_cells(
-                    view, &mut stats, plan, &driver, &prim_keys, &regions, mode, n_base, &frozen,
+                    view, &mut stats, plan, d, &prim_keys, &regions, mode, n_base, &frozen,
                 );
                 infer_ns += infer_sw.elapsed_ns();
                 last_unmet.clear();
@@ -1588,12 +1777,10 @@ pub(crate) fn run_shared_read(
                         last_unmet.push((cell, snapshot));
                     }
                 }
-                if live == 0 {
-                    break;
-                }
+                live > 0
             }
-        }
-    }
+        },
+    );
 
     // Finalize the cells still live at the end of the scan. If the
     // loop's last evaluation already ran at this exact scan position
@@ -1623,6 +1810,10 @@ pub(crate) fn run_shared_read(
         t.chunks = driver.chunks_scanned();
         t.chunks_pruned = driver.chunks_pruned();
         t.rows_matched = driver.rows_matched();
+        t.morsels = pstats.morsels;
+        t.morsels_stolen = pstats.morsels_stolen;
+        t.partitions = driver.partitions();
+        t.partitions_pruned = driver.partitions_pruned();
     }
     drop(driver);
 
