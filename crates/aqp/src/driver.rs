@@ -131,6 +131,14 @@ impl BatchPartial {
     pub fn batch(&self) -> usize {
         self.batch
     }
+
+    /// The same partial re-addressed to `batch` — how the out-of-core
+    /// driver maps a partial computed at a segment-local batch index back
+    /// to its global batch index before the ordered merge.
+    pub(crate) fn renumbered(mut self, batch: usize) -> BatchPartial {
+        self.batch = batch;
+        self
+    }
 }
 
 /// Counters saved across a [`SharedScanDriver::scan_batch`] call while
@@ -184,7 +192,17 @@ impl OnlineAggregation {
     /// Starts a shared scan answering every (group × primitive) cell of
     /// one query from a single pass over this engine's sample.
     pub fn shared_scan<'e>(&'e self, spec: &ScanSpec<'_>) -> Result<SharedScanDriver<'e>> {
-        let table = self.sample().table();
+        SharedScanDriver::over_sample(self.sample(), spec)
+    }
+}
+
+impl<'e> SharedScanDriver<'e> {
+    /// Starts a shared scan directly over `sample`. This is what
+    /// [`OnlineAggregation::shared_scan`] does; the out-of-core driver
+    /// also calls it per faulted segment (a segment is itself a small
+    /// resident [`Sample`]).
+    pub fn over_sample(sample: &'e Sample, spec: &ScanSpec<'_>) -> Result<SharedScanDriver<'e>> {
+        let table = sample.table();
         let pred = spec.predicate.compile(table)?;
         let (indexer, n_groups) = if spec.group_cols.is_empty() {
             (None, 1)
@@ -222,7 +240,7 @@ impl OnlineAggregation {
         let avg_cols = avg_exprs.iter().map(CompiledExpr::as_col).collect();
         // Classify every partition once up front; batches of a `NoRows`
         // partition never reach the kernels.
-        let partition_pruned: Vec<bool> = match self.sample().partition_map() {
+        let partition_pruned: Vec<bool> = match sample.partition_map() {
             None => Vec::new(),
             Some(map) => (0..map.num_partitions())
                 .map(|p| pred.classify_partition(map.part(p)) == ChunkMatch::NoRows)
@@ -231,7 +249,7 @@ impl OnlineAggregation {
         let partitions = partition_pruned.len() as u64;
         let partitions_pruned = partition_pruned.iter().filter(|&&b| b).count() as u64;
         Ok(SharedScanDriver {
-            sample: self.sample(),
+            sample,
             pred,
             indexer,
             slots,
@@ -301,15 +319,7 @@ impl SharedScanDriver<'_> {
         // match), minus the chunk work. Its rows still count as scanned.
         if let Some(p) = self.sample.batch_partition(index) {
             if self.partition_pruned[p as usize] {
-                return Some(BatchPartial {
-                    batch: index,
-                    avg: vec![Welford::new(); self.n_groups * self.n_avg],
-                    freq: vec![0; self.n_groups * self.n_freq],
-                    rows_scanned: rows,
-                    rows_matched: 0,
-                    chunks_scanned: 0,
-                    chunks_pruned: 0,
-                });
+                return Some(self.empty_partial(index, rows));
             }
         }
         let saved = self.begin_partial();
@@ -318,6 +328,23 @@ impl SharedScanDriver<'_> {
             ScanKernel::Chunked => self.step_chunked(range),
         }
         Some(self.end_partial(saved, index, rows))
+    }
+
+    /// The exact partial a kernel pass would produce over `rows` rows
+    /// none of which can match: zeroed grids, rows counted as scanned.
+    /// This is what partition pruning emits — for the resident path
+    /// (above) and for the out-of-core driver, which prunes from base
+    /// partition summaries without faulting the segment in.
+    pub(crate) fn empty_partial(&self, batch: usize, rows: u64) -> BatchPartial {
+        BatchPartial {
+            batch,
+            avg: vec![Welford::new(); self.n_groups * self.n_avg],
+            freq: vec![0; self.n_groups * self.n_freq],
+            rows_scanned: rows,
+            rows_matched: 0,
+            chunks_scanned: 0,
+            chunks_pruned: 0,
+        }
     }
 
     /// Swaps fresh per-batch grids and zeroed counters into place so the
@@ -673,6 +700,86 @@ impl SharedScanDriver<'_> {
             error,
             tuples_scanned: self.n_scanned as usize,
         }
+    }
+}
+
+/// The executor interface the morsel scheduler and the session's read
+/// path drive: produce per-batch partials on any thread in any order,
+/// fold them in batch order, and report the running grid and counters.
+///
+/// Implemented by [`SharedScanDriver`] (fully-resident samples) and
+/// [`crate::PagedScanDriver`] (out-of-core samples, which fault segments
+/// through a [`verdict_storage::PartitionStore`]). Both satisfy the same
+/// bit-parity contract: the merged state after batch `k` is a pure
+/// function of the batch sequence, independent of thread count.
+pub trait ScanDriver {
+    /// Selects the executor kernel (before the first step).
+    fn set_kernel(&mut self, kernel: ScanKernel);
+    /// Consumes the next batch serially; `false` once exhausted.
+    fn step(&mut self) -> bool;
+    /// Scans batch `index` into an owned partial (worker half).
+    fn scan_batch(&mut self, index: usize) -> Option<BatchPartial>;
+    /// Folds one partial in batch order (coordinator half).
+    fn merge_partial(&mut self, partial: &BatchPartial);
+    /// Current raw answer of cell `(group, primitive)`.
+    fn raw(&self, group: usize, primitive: usize) -> RawAnswer;
+    /// Sample rows visited so far.
+    fn tuples_scanned(&self) -> usize;
+    /// Rows that passed the base predicate so far.
+    fn rows_matched(&self) -> u64;
+    /// Chunk segments visited (chunked kernel only).
+    fn chunks_scanned(&self) -> u64;
+    /// Chunk segments skipped by zone maps.
+    fn chunks_pruned(&self) -> u64;
+    /// Partitions of the sample's layout (0 when unpartitioned).
+    fn partitions(&self) -> u64;
+    /// Partitions the predicate provably rejects.
+    fn partitions_pruned(&self) -> u64;
+    /// Batches merged so far.
+    fn batches_stepped(&self) -> usize;
+    /// Batches remaining.
+    fn batches_remaining(&self) -> usize;
+}
+
+impl ScanDriver for SharedScanDriver<'_> {
+    fn set_kernel(&mut self, kernel: ScanKernel) {
+        SharedScanDriver::set_kernel(self, kernel)
+    }
+    fn step(&mut self) -> bool {
+        SharedScanDriver::step(self)
+    }
+    fn scan_batch(&mut self, index: usize) -> Option<BatchPartial> {
+        SharedScanDriver::scan_batch(self, index)
+    }
+    fn merge_partial(&mut self, partial: &BatchPartial) {
+        SharedScanDriver::merge_partial(self, partial)
+    }
+    fn raw(&self, group: usize, primitive: usize) -> RawAnswer {
+        SharedScanDriver::raw(self, group, primitive)
+    }
+    fn tuples_scanned(&self) -> usize {
+        SharedScanDriver::tuples_scanned(self)
+    }
+    fn rows_matched(&self) -> u64 {
+        SharedScanDriver::rows_matched(self)
+    }
+    fn chunks_scanned(&self) -> u64 {
+        SharedScanDriver::chunks_scanned(self)
+    }
+    fn chunks_pruned(&self) -> u64 {
+        SharedScanDriver::chunks_pruned(self)
+    }
+    fn partitions(&self) -> u64 {
+        SharedScanDriver::partitions(self)
+    }
+    fn partitions_pruned(&self) -> u64 {
+        SharedScanDriver::partitions_pruned(self)
+    }
+    fn batches_stepped(&self) -> usize {
+        SharedScanDriver::batches_stepped(self)
+    }
+    fn batches_remaining(&self) -> usize {
+        SharedScanDriver::batches_remaining(self)
     }
 }
 

@@ -2,7 +2,7 @@
 
 use verdict_storage::{AggregateFn, Predicate};
 
-use crate::{BatchEstimator, CostModel, Result, Sample, StorageTier};
+use crate::{AqpError, BatchEstimator, CostModel, Result, Sample, StorageTier};
 
 /// A raw approximate answer as produced by the AQP engine: the paper's
 /// `(θ, β)` pair plus the work accounting used by the cost model.
@@ -76,9 +76,33 @@ impl OnlineAggregation {
             .absorb_appended(base, first_row_index, seed, sample_index)
     }
 
+    /// Admits one ingested batch into this engine's paged sample tail
+    /// (see [`Sample::paged_absorb_appended`]). Returns the rows admitted.
+    pub fn paged_absorb_appended(
+        &mut self,
+        batch: &verdict_storage::Table,
+        first_row_index: u64,
+        seed: u64,
+        sample_index: u64,
+    ) -> Result<usize> {
+        self.sample
+            .paged_absorb_appended(batch, first_row_index, seed, sample_index)
+    }
+
     /// Starts an online-aggregation session for one snippet. Each call to
     /// [`Session::step`] consumes one batch and yields the refined answer.
     pub fn session<'e>(&'e self, agg: &AggregateFn, predicate: &Predicate) -> Result<Session<'e>> {
+        if self.sample.is_paged() {
+            // A paged sample's `table()` is the zero-row resolution table;
+            // the single-snippet estimator would silently scan nothing.
+            // Paged execution goes through the shared-scan path
+            // (`crate::paged::PagedScanDriver`) instead.
+            return Err(AqpError::InvalidConfig(
+                "single-snippet sessions are not supported on a paged sample; \
+                 use the shared scan driver"
+                    .into(),
+            ));
+        }
         let estimator =
             BatchEstimator::new(self.sample.table(), self.sample.base_rows(), agg, predicate)?;
         Ok(Session {

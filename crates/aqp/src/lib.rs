@@ -16,14 +16,16 @@ pub mod cost;
 pub mod driver;
 pub mod engine;
 pub mod estimator;
+pub mod paged;
 pub mod parallel;
 pub mod sample;
 pub mod stratified;
 
 pub use cost::{CostModel, SimulatedClock, StorageTier};
-pub use driver::{BatchPartial, ScanKernel, ScanSpec, SharedScanDriver};
+pub use driver::{BatchPartial, ScanDriver, ScanKernel, ScanSpec, SharedScanDriver};
 pub use engine::{AqpEngine, OnlineAggregation, RawAnswer, TimeBoundEngine};
 pub use estimator::BatchEstimator;
+pub use paged::{PagedLayout, PagedRep, PagedScanDriver, SegmentLoader};
 pub use parallel::{parallel_scan, ParallelScanStats};
 pub use sample::{appended_row_admitted, PartitionLayout, Sample};
 pub use stratified::{stratified, stratum_slots, Allocation};

@@ -18,20 +18,27 @@ use std::sync::Arc;
 
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use verdict_storage::{PartitionMap, PartitionSpec, Table};
+use verdict_storage::{GroupKey, GroupKeyCollector, PartitionMap, PartitionSpec, Predicate, Table};
 
+use crate::paged::PagedRep;
 use crate::stratified::{stratum_slots, Allocation};
 use crate::{AqpError, Result};
 
 /// A uniform row-level random sample of a base table.
 #[derive(Debug, Clone)]
 pub struct Sample {
+    /// The sampled rows — or, for a paged sample, the zero-row
+    /// *resolution table* (schema + full dictionaries) every planning
+    /// step (predicate compilation, label/code resolution, group-key
+    /// binding) runs against while the rows themselves stay on disk.
     table: Arc<Table>,
     base_rows: usize,
     fraction: f64,
     batch_size: usize,
     /// Partition-clustered batch layout; `None` for unpartitioned samples.
     layout: Option<Arc<PartitionLayout>>,
+    /// Demand-paged representation; `None` for resident samples.
+    paged: Option<Arc<PagedRep>>,
 }
 
 /// The partition structure of a sample drawn with
@@ -133,6 +140,7 @@ impl Sample {
             fraction,
             batch_size,
             layout: None,
+            paged: None,
         })
     }
 
@@ -226,6 +234,7 @@ impl Sample {
                 covered_rows,
                 map,
             })),
+            paged: None,
         })
     }
 
@@ -295,6 +304,60 @@ impl Sample {
             fraction,
             batch_size,
             layout: None,
+            paged: None,
+        })
+    }
+
+    /// Wraps an already-shared table as a resident sample without copying
+    /// it. The out-of-core driver uses this to treat one pinned partition
+    /// segment (or the ingest tail) as a tiny standalone sample so the
+    /// ordinary resident executor can scan it.
+    pub fn from_shared(
+        table: Arc<Table>,
+        base_rows: usize,
+        fraction: f64,
+        batch_size: usize,
+    ) -> Sample {
+        debug_assert!(batch_size > 0, "batch size must be positive");
+        Sample {
+            table,
+            base_rows,
+            fraction,
+            batch_size,
+            layout: None,
+            paged: None,
+        }
+    }
+
+    /// Assembles a demand-paged sample: no sampled rows are resident —
+    /// `resolution` is a zero-row table carrying the schema and the full
+    /// categorical dictionaries (so planning works), and `rep` describes
+    /// how to fault any partition's segment in on demand.
+    pub fn paged(resolution: Table, base_rows: usize, rep: PagedRep) -> Result<Sample> {
+        if !(rep.fraction > 0.0 && rep.fraction <= 1.0) {
+            return Err(AqpError::InvalidConfig(format!(
+                "sample fraction must be in (0,1], got {}",
+                rep.fraction
+            )));
+        }
+        if rep.batch_size == 0 {
+            return Err(AqpError::InvalidConfig(
+                "batch size must be positive".into(),
+            ));
+        }
+        if resolution.num_rows() != 0 {
+            return Err(AqpError::InvalidConfig(
+                "the paged resolution table must have zero rows".into(),
+            ));
+        }
+        let (fraction, batch_size) = (rep.fraction, rep.batch_size);
+        Ok(Sample {
+            table: Arc::new(resolution),
+            base_rows,
+            fraction,
+            batch_size,
+            layout: None,
+            paged: Some(Arc::new(rep)),
         })
     }
 
@@ -312,6 +375,7 @@ impl Sample {
             fraction: 1.0,
             batch_size,
             layout: None,
+            paged: None,
         })
     }
 
@@ -336,14 +400,19 @@ impl Sample {
         self.fraction
     }
 
-    /// Number of sampled rows.
+    /// Number of sampled rows. For a paged sample the rows are not
+    /// resident, but their count is fixed by the layout (plus the
+    /// resident ingest tail).
     pub fn len(&self) -> usize {
-        self.table.num_rows()
+        match &self.paged {
+            None => self.table.num_rows(),
+            Some(rep) => rep.layout.covered_rows + rep.tail.num_rows(),
+        }
     }
 
     /// Whether the sample is empty.
     pub fn is_empty(&self) -> bool {
-        self.table.num_rows() == 0
+        self.len() == 0
     }
 
     /// Batch size in rows.
@@ -355,14 +424,30 @@ impl Sample {
     /// sample: the explicit draw-time batches plus stride batches over
     /// any rows admitted later by [`Sample::absorb_appended`].
     pub fn num_batches(&self) -> usize {
+        if let Some(rep) = &self.paged {
+            return rep.layout.batches.len() + rep.tail.num_rows().div_ceil(self.batch_size);
+        }
         match self.layout.as_deref() {
             None => self.len().div_ceil(self.batch_size),
             Some(l) => l.batches.len() + (self.len() - l.covered_rows).div_ceil(self.batch_size),
         }
     }
 
-    /// Row range `[start, end)` of batch `i`.
+    /// Row range `[start, end)` of batch `i`. For a paged sample the
+    /// range is expressed in the *materialized* row order (segments
+    /// concatenated in partition-id order, tail last) — exactly the
+    /// coordinates [`Sample::materialize_resident`] produces.
     pub fn batch_range(&self, i: usize) -> Range<usize> {
+        if let Some(rep) = &self.paged {
+            if let Some((p, local)) = rep.layout.batches.get(i) {
+                let s = rep.layout.seg_start[*p as usize];
+                return s + local.start..s + local.end;
+            }
+            let k = i - rep.layout.batches.len();
+            let start = rep.layout.covered_rows + k * self.batch_size;
+            let end = (start + self.batch_size).min(self.len());
+            return start..end;
+        }
         match self.layout.as_deref() {
             None => {
                 let start = i * self.batch_size;
@@ -397,7 +482,181 @@ impl Sample {
     /// is unpartitioned or `i` is an ingest-tail stride batch (tail rows
     /// carry no tag and are never pruned).
     pub fn batch_partition(&self, i: usize) -> Option<u32> {
+        if let Some(rep) = &self.paged {
+            return rep.layout.batches.get(i).map(|(p, _)| *p);
+        }
         self.layout.as_deref()?.batch_partitions.get(i).copied()
+    }
+
+    /// Whether this sample is demand-paged (rows faulted in per
+    /// partition rather than resident).
+    pub fn is_paged(&self) -> bool {
+        self.paged.is_some()
+    }
+
+    /// The demand-paged representation, if any.
+    pub fn paged_rep(&self) -> Option<&Arc<PagedRep>> {
+        self.paged.as_ref()
+    }
+
+    /// The resident ingest tail of a paged sample (rows admitted by
+    /// [`Sample::paged_absorb_appended`] after the draw).
+    pub fn paged_tail(&self) -> Option<&Table> {
+        self.paged.as_deref().map(|rep| rep.tail.as_ref())
+    }
+
+    /// Materializes a paged sample into an ordinary resident partitioned
+    /// sample: every partition's segment is faulted in and concatenated
+    /// in partition-id order, the ingest tail appended last — exactly the
+    /// row order [`Sample::batch_range`] reports for the paged form, so
+    /// scanning either representation visits identical rows in identical
+    /// batch geometry. Returns a plain clone when already resident.
+    ///
+    /// This is the parity oracle: answers, error bounds, and stop points
+    /// of a paged scan must be bit-identical to a scan of the
+    /// materialized sample.
+    pub fn materialize_resident(&self) -> Result<Sample> {
+        let Some(rep) = &self.paged else {
+            return Ok(self.clone());
+        };
+        // Resolution clone: zero rows, full dictionaries — segment codes
+        // land verbatim.
+        let mut table = self.table.as_ref().clone();
+        for (p, want) in rep.layout.part_want.iter().enumerate() {
+            if *want == 0 {
+                continue;
+            }
+            let seg = rep.derive_segment(p as u32).map_err(AqpError::Storage)?;
+            table.append(&seg).map_err(AqpError::Storage)?;
+        }
+        let covered_rows = table.num_rows();
+        debug_assert_eq!(covered_rows, rep.layout.covered_rows);
+        let spec = rep
+            .map
+            .read()
+            .expect("partition map lock poisoned")
+            .spec()
+            .clone();
+        let map = PartitionMap::build(&table, spec).map_err(AqpError::Storage)?;
+        let mut batches = Vec::with_capacity(rep.layout.batches.len());
+        let mut batch_partitions = Vec::with_capacity(rep.layout.batches.len());
+        for (p, local) in &rep.layout.batches {
+            let s = rep.layout.seg_start[*p as usize];
+            batches.push(s + local.start..s + local.end);
+            batch_partitions.push(*p);
+        }
+        table.append(&rep.tail).map_err(AqpError::Storage)?;
+        Ok(Sample {
+            table: Arc::new(table),
+            base_rows: self.base_rows,
+            fraction: self.fraction,
+            batch_size: self.batch_size,
+            layout: Some(Arc::new(PartitionLayout {
+                batches,
+                batch_partitions,
+                covered_rows,
+                map,
+            })),
+            paged: None,
+        })
+    }
+
+    /// Paged counterpart of [`Sample::absorb_appended`]: admits the rows
+    /// of an ingested `batch` (absolute base-table indices starting at
+    /// `first_row_index`) into the resident ingest tail, using the same
+    /// pure per-row admission function — so a warm-started paged session
+    /// rebuilds the identical tail from WAL replay.
+    ///
+    /// The resolution table and tail adopt `batch`'s dictionaries first,
+    /// so tail codes stay aligned with the session code space even when
+    /// an unadmitted row introduced a new label.
+    pub fn paged_absorb_appended(
+        &mut self,
+        batch: &Table,
+        first_row_index: u64,
+        seed: u64,
+        sample_index: u64,
+    ) -> Result<usize> {
+        let fraction = self.fraction;
+        let Some(rep) = &mut self.paged else {
+            return Err(AqpError::InvalidConfig(
+                "paged_absorb_appended called on a resident sample".into(),
+            ));
+        };
+        Arc::make_mut(&mut self.table)
+            .sync_dictionaries_from(batch)
+            .map_err(AqpError::Storage)?;
+        let rep = Arc::make_mut(rep);
+        let tail = Arc::make_mut(&mut rep.tail);
+        tail.sync_dictionaries_from(batch)
+            .map_err(AqpError::Storage)?;
+        let mut admitted = 0usize;
+        for r in 0..batch.num_rows() {
+            if appended_row_admitted(seed, sample_index, first_row_index + r as u64, fraction) {
+                tail.push_row(batch.row(r)).map_err(AqpError::Storage)?;
+                admitted += 1;
+            }
+        }
+        self.base_rows = first_row_index as usize + batch.num_rows();
+        Ok(admitted)
+    }
+
+    /// Enumerates the distinct group keys of a paged sample's rows
+    /// matching `predicate`, faulting in one partition segment at a time
+    /// (never more than one non-tail segment resident on this path).
+    /// Partitions whose base summaries provably reject the predicate are
+    /// skipped without I/O — sound because no row of theirs can match.
+    ///
+    /// The result is key-sorted, exactly what one-pass enumeration over
+    /// the materialized sample yields.
+    pub fn paged_distinct_group_keys(
+        &self,
+        predicate: &Predicate,
+        group_cols: &[String],
+    ) -> Result<Vec<GroupKey>> {
+        let Some(rep) = &self.paged else {
+            return Err(AqpError::InvalidConfig(
+                "paged_distinct_group_keys called on a resident sample".into(),
+            ));
+        };
+        let pruned = rep
+            .pruned_partitions(predicate, &self.table)
+            .map_err(AqpError::Storage)?;
+        let mut collector = GroupKeyCollector::new(group_cols);
+        for (p, want) in rep.layout.part_want.iter().enumerate() {
+            if *want == 0 || pruned[p] {
+                continue;
+            }
+            let pin = rep.pin_segment(p as u32).map_err(AqpError::Storage)?;
+            collector
+                .observe(pin.table(), predicate)
+                .map_err(AqpError::Storage)?;
+        }
+        collector
+            .observe(&rep.tail, predicate)
+            .map_err(AqpError::Storage)?;
+        Ok(collector.finish())
+    }
+
+    /// Streams every resident-at-the-time fragment of a paged sample —
+    /// each partition's segment in partition-id order, then the ingest
+    /// tail — through `f`, pinning one segment at a time. Fragment
+    /// boundaries are an artifact of paging; concatenated, the fragments
+    /// are exactly the materialized sample's rows in order.
+    pub fn paged_visit(&self, mut f: impl FnMut(&Table) -> Result<()>) -> Result<()> {
+        let Some(rep) = &self.paged else {
+            return Err(AqpError::InvalidConfig(
+                "paged_visit called on a resident sample".into(),
+            ));
+        };
+        for (p, want) in rep.layout.part_want.iter().enumerate() {
+            if *want == 0 {
+                continue;
+            }
+            let pin = rep.pin_segment(p as u32).map_err(AqpError::Storage)?;
+            f(pin.table())?;
+        }
+        f(&rep.tail)
     }
 }
 

@@ -29,6 +29,8 @@ fn meta() -> SessionMeta {
         num_samples: 1,
         original_rows: 5_000,
         config: VerdictConfig::default(),
+        partition_spec: None,
+        paged: false,
     }
 }
 

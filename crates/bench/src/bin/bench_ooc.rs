@@ -1,0 +1,275 @@
+//! Out-of-core partition cache: throughput and latency versus memory
+//! budget at three table scales, plus the two correctness gates the
+//! cache must never trade away — bit-identical answers at every budget,
+//! and zero partition-file I/O for a fully-pruned band query. Emits
+//! `BENCH_ooc.json`.
+//!
+//! ```text
+//! cargo run --release -p verdict-bench --bin bench_ooc
+//! ```
+//!
+//! Each scale builds demand-paged sessions (range-partitioned on `week`,
+//! 16 partitions, persisted) at three budgets: *tight* (the sampled
+//! columns are ~4x larger than the cache), *half*, and *unbounded*
+//! (everything resident after first touch). The same query workload runs
+//! at each budget; answers are fingerprinted to IEEE bits and asserted
+//! identical across budgets before any number is reported.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use verdict::{Mode, QueryResult, SessionBuilder, StopPolicy, VerdictSession};
+use verdict_storage::{ColumnDef, PartitionSpec, Schema, Table, Value};
+
+const SCALES: [(u64, usize); 3] = [(1, 16_384), (4, 65_536), (16, 262_144)];
+const PARTITIONS: usize = 16;
+const REPS: usize = 4;
+
+const WORKLOAD: [&str; 6] = [
+    "SELECT AVG(rev) FROM t WHERE week BETWEEN 5 AND 40",
+    "SELECT SUM(rev), COUNT(*) FROM t WHERE week BETWEEN 30 AND 90",
+    "SELECT region, AVG(rev) FROM t WHERE week BETWEEN 1 AND 100 GROUP BY region",
+    "SELECT COUNT(*) FROM t WHERE region IN ('r2', 'r5') AND week BETWEEN 10 AND 55",
+    "SELECT AVG(rev) FROM t WHERE week BETWEEN 61 AND 67",
+    "SELECT SUM(rev) FROM t WHERE week BETWEEN 88 AND 100",
+];
+
+/// `week` uniform over 1..=100 (range-partitionable), `region` 8 labels,
+/// `rev` the measure.
+fn bench_table(rows: usize) -> Table {
+    let regions = ["r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7"];
+    let schema = Schema::new(vec![
+        ColumnDef::numeric_dimension("week"),
+        ColumnDef::categorical_dimension("region"),
+        ColumnDef::measure("rev"),
+    ])
+    .unwrap();
+    let mut t = Table::new(schema);
+    let mut state = 0x9e3779b97f4a7c15u64;
+    for i in 0..rows {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+        let week = 1.0 + (i % 100) as f64;
+        let rev = 20.0 + 6.0 * (week / 9.0).cos() + 10.0 * u;
+        t.push_row(vec![
+            Value::from(week),
+            regions[i % regions.len()].into(),
+            rev.into(),
+        ])
+        .unwrap();
+    }
+    t
+}
+
+fn session(dir: &PathBuf, rows: usize, budget: u64) -> VerdictSession {
+    let _ = std::fs::remove_dir_all(dir);
+    let cuts: Vec<f64> = (1..PARTITIONS)
+        .map(|p| (100 * p / PARTITIONS) as f64)
+        .collect();
+    let s = SessionBuilder::new(bench_table(rows))
+        .sample_fraction(0.25)
+        .batch_size(1_024)
+        .seed(17)
+        .parallelism(2)
+        .partition_by(PartitionSpec::range("week", cuts))
+        .persist_to(dir)
+        .memory_budget(budget)
+        .query_log(8)
+        .build()
+        .expect("paged session");
+    assert!(s.is_paged());
+    s
+}
+
+/// IEEE-bit fingerprint of a result: the parity gate across budgets.
+fn fingerprint(r: &QueryResult, out: &mut String) {
+    for row in &r.rows {
+        if let Some(key) = &row.group {
+            for v in key.iter() {
+                match v {
+                    Value::Num(x) => write!(out, "n{:016x}|", x.to_bits()).unwrap(),
+                    other => write!(out, "{other}|").unwrap(),
+                }
+            }
+        }
+        for c in &row.values {
+            write!(
+                out,
+                "[{:016x} {:016x} {}]",
+                c.improved.answer.to_bits(),
+                c.improved.error.to_bits(),
+                c.tuples_scanned
+            )
+            .unwrap();
+        }
+    }
+    out.push('\n');
+}
+
+struct BudgetRun {
+    fingerprint: String,
+    tuples_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    hit_rate: f64,
+    evictions: u64,
+    resident_bytes: u64,
+}
+
+/// Runs the workload `REPS` times at one budget, recording per-query
+/// latency and the end-of-run cache counters. The fingerprint covers
+/// rep 0 only — later reps hit evolved learned state, identically
+/// evolved at every budget, but one rep is enough for the parity gate.
+fn run_budget(dir: &PathBuf, rows: usize, budget: u64) -> BudgetRun {
+    let mut s = session(dir, rows, budget);
+    let mut fp = String::new();
+    let mut latencies_ns: Vec<u64> = Vec::new();
+    let mut tuples = 0u64;
+    let t0 = Instant::now();
+    for rep in 0..REPS {
+        for sql in WORKLOAD {
+            let r = s
+                .execute(sql, Mode::Verdict, StopPolicy::ScanAll)
+                .expect("query")
+                .unwrap_answered();
+            tuples += r.tuples_scanned as u64;
+            latencies_ns.push(u64::try_from(r.elapsed.as_nanos()).unwrap_or(u64::MAX));
+            if rep == 0 {
+                fingerprint(&r, &mut fp);
+            }
+        }
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let c = s.partition_cache().expect("paged session has a cache");
+    latencies_ns.sort_unstable();
+    let pct = |q: f64| -> f64 {
+        let idx = ((latencies_ns.len() - 1) as f64 * q).round() as usize;
+        latencies_ns[idx] as f64 / 1e6
+    };
+    let run = BudgetRun {
+        fingerprint: fp,
+        tuples_per_sec: tuples as f64 / wall,
+        p50_ms: pct(0.50),
+        p99_ms: pct(0.99),
+        hit_rate: c.hits as f64 / (c.hits + c.misses).max(1) as f64,
+        evictions: c.evictions,
+        resident_bytes: c.resident_bytes,
+    };
+    let _ = std::fs::remove_dir_all(dir);
+    run
+}
+
+/// The prune gate: a band disjoint from every partition summary must be
+/// answered with zero faults and zero bytes read, pruning all 16
+/// partitions from summaries alone.
+fn pruned_band_gate(dir: &PathBuf, rows: usize) -> (u64, u64, f64) {
+    let mut s = session(dir, rows, u64::MAX);
+    let before = s.partition_cache().unwrap();
+    let r = s
+        .execute(
+            "SELECT COUNT(*) FROM t WHERE week BETWEEN 500 AND 900",
+            Mode::Verdict,
+            StopPolicy::ScanAll,
+        )
+        .expect("pruned query")
+        .unwrap_answered();
+    assert_eq!(r.rows[0].values[0].raw_answer, 0.0);
+    let delta = s.partition_cache().unwrap().since(&before);
+    assert_eq!(
+        (delta.misses, delta.bytes_faulted),
+        (0, 0),
+        "a fully-pruned band must read zero partition files: {delta:?}"
+    );
+    let trace = &s.recent_queries(1)[0];
+    assert_eq!(trace.partitions_pruned, trace.partitions);
+    let prune_rate = trace.partitions_pruned as f64 / trace.partitions.max(1) as f64;
+    let _ = std::fs::remove_dir_all(dir);
+    (delta.misses, delta.bytes_faulted, prune_rate)
+}
+
+fn main() {
+    let tmp = std::env::temp_dir().join(format!("verdict-bench-ooc-{}", std::process::id()));
+    let mut scale_cells = Vec::new();
+    for (factor, rows) in SCALES {
+        // Size the tight budget off the real resident footprint: warm an
+        // unbounded cache, read its gauge, then rerun at 1/4 and 1/2.
+        let dir = tmp.join(format!("probe-{factor}x"));
+        let mut probe = session(&dir, rows, u64::MAX);
+        probe
+            .execute(
+                "SELECT COUNT(*) FROM t WHERE week BETWEEN 1 AND 100",
+                Mode::Verdict,
+                StopPolicy::ScanAll,
+            )
+            .expect("probe")
+            .unwrap_answered();
+        let full_bytes = probe.partition_cache().unwrap().resident_bytes;
+        drop(probe);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let budgets = [
+            ("tight", full_bytes / 4),
+            ("half", full_bytes / 2),
+            ("unbounded", u64::MAX),
+        ];
+        let mut runs = Vec::new();
+        for (name, budget) in budgets {
+            let dir = tmp.join(format!("run-{factor}x-{name}"));
+            let run = run_budget(&dir, rows, budget);
+            runs.push((name, budget, run));
+        }
+        let reference = runs[2].2.fingerprint.clone();
+        for (name, _, run) in &runs {
+            assert_eq!(
+                run.fingerprint, reference,
+                "{factor}x scale: answers at the {name} budget diverged from fully-resident"
+            );
+        }
+        let tight = &runs[0].2;
+        assert!(
+            tight.evictions > 0,
+            "{factor}x scale: a 4x-over-budget workload must evict"
+        );
+        assert!(
+            tight.resident_bytes < full_bytes,
+            "{factor}x scale: tight residency must stay under the full footprint"
+        );
+        let cells: Vec<String> = runs
+            .iter()
+            .map(|(name, budget, r)| {
+                format!(
+                    "{{\"budget\":\"{name}\",\"budget_bytes\":{budget},\"tps\":{:.0},\
+                     \"p50_ms\":{:.3},\"p99_ms\":{:.3},\"cache_hit_rate\":{:.4},\
+                     \"evictions\":{},\"resident_bytes\":{}}}",
+                    r.tuples_per_sec, r.p50_ms, r.p99_ms, r.hit_rate, r.evictions, r.resident_bytes,
+                )
+            })
+            .collect();
+        scale_cells.push(format!(
+            "{{\"scale\":\"{factor}x\",\"rows\":{rows},\"resident_full_bytes\":{full_bytes},\
+             \"parity\":\"bit-identical\",\"budgets\":[{}]}}",
+            cells.join(","),
+        ));
+    }
+
+    let prune_dir = tmp.join("prune");
+    let (prune_misses, prune_bytes, prune_rate) = pruned_band_gate(&prune_dir, SCALES[1].1);
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let json = format!(
+        "{{\"bench\":\"ooc\",\"partitions\":{PARTITIONS},\"reps\":{REPS},\
+         \"workload_queries\":{},\
+         \"scales\":[{}],\
+         \"pruned_band\":{{\"misses\":{prune_misses},\"bytes_faulted\":{prune_bytes},\
+         \"prune_without_io_rate\":{prune_rate:.4}}}}}",
+        WORKLOAD.len(),
+        scale_cells.join(","),
+    );
+    println!("BENCH_ooc.json {json}");
+    if let Err(e) = std::fs::write("BENCH_ooc.json", format!("{json}\n")) {
+        eprintln!("could not write BENCH_ooc.json: {e}");
+    }
+}

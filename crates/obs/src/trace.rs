@@ -66,6 +66,13 @@ pub struct ScanTrace {
     /// Partitions whose batches were skipped wholesale (summary provably
     /// disjoint from the predicate).
     pub partitions_pruned: u64,
+    /// Out-of-core segment pins served from the partition cache (0 on a
+    /// fully-resident sample).
+    pub partition_cache_hits: u64,
+    /// Out-of-core segment pins that faulted the segment from disk.
+    pub partition_cache_misses: u64,
+    /// Bytes faulted in from partition files by this query's scan.
+    pub partition_bytes_faulted: u64,
 }
 
 /// One query's trace: per-stage timings plus engine facts. Stored in the
@@ -111,6 +118,12 @@ pub struct QueryTrace {
     pub partitions: u64,
     /// Partitions skipped wholesale by partition-level summaries.
     pub partitions_pruned: u64,
+    /// Out-of-core segment pins served from the partition cache.
+    pub partition_cache_hits: u64,
+    /// Out-of-core segment pins that faulted the segment from disk.
+    pub partition_cache_misses: u64,
+    /// Bytes faulted in from partition files by this query's scan.
+    pub partition_bytes_faulted: u64,
     /// Per-stage wall-clock.
     pub stages: StageTimings,
     /// Total wall-clock for the query, nanoseconds.
@@ -255,6 +268,9 @@ mod tests {
             morsels_stolen: 0,
             partitions: 0,
             partitions_pruned: 0,
+            partition_cache_hits: 0,
+            partition_cache_misses: 0,
+            partition_bytes_faulted: 0,
             stages: StageTimings::default(),
             elapsed_ns: 0,
         }

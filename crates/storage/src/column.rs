@@ -87,6 +87,23 @@ impl Column {
         self.len() == 0
     }
 
+    /// Approximate heap footprint in bytes: row payloads plus dictionary
+    /// label storage (the reverse index shares the labels' `Arc`s, so it
+    /// contributes only its table slots).
+    pub fn heap_bytes(&self) -> u64 {
+        match self {
+            Column::Numeric(v) => (v.len() * std::mem::size_of::<f64>()) as u64,
+            Column::Categorical { codes, labels, .. } => {
+                let label_bytes: usize = labels.iter().map(|l| l.len()).sum();
+                (codes.len() * std::mem::size_of::<u32>()
+                    + label_bytes
+                    // Two pointers-worth of bookkeeping per label: the
+                    // forward Arc slot and the reverse-index entry.
+                    + labels.len() * 2 * std::mem::size_of::<usize>()) as u64
+            }
+        }
+    }
+
     /// Appends a value, dictionary-encoding strings.
     pub fn push(&mut self, v: Value) -> Result<()> {
         match (self, v) {

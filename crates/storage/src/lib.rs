@@ -40,6 +40,7 @@ pub mod expr;
 pub mod join;
 pub mod partition;
 pub mod predicate;
+pub mod pstore;
 pub mod scan;
 pub mod schema;
 pub mod table;
@@ -54,7 +55,8 @@ pub use column::Column;
 pub use expr::Expr;
 pub use partition::{ColumnSummary, PartitionInfo, PartitionMap, PartitionScheme, PartitionSpec};
 pub use predicate::{ChunkMatch, CompiledPredicate, Predicate};
-pub use scan::{distinct_group_keys, GroupIndexer};
+pub use pstore::{CacheCounters, PartitionStore, SegmentKey, SegmentPin};
+pub use scan::{distinct_group_keys, GroupIndexer, GroupKeyCollector};
 pub use schema::{AttributeRole, ColumnDef, ColumnType, Schema};
 pub use table::Table;
 pub use value::Value;
@@ -70,6 +72,9 @@ pub enum StorageError {
     SchemaMismatch(String),
     /// An expression was applied to an incompatible column type.
     TypeError(String),
+    /// An out-of-core segment could not be faulted in (I/O or decode
+    /// failure surfaced by the paging loader).
+    Io(String),
 }
 
 impl std::fmt::Display for StorageError {
@@ -79,6 +84,7 @@ impl std::fmt::Display for StorageError {
             StorageError::UnknownTable(t) => write!(f, "unknown table: {t}"),
             StorageError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
             StorageError::TypeError(m) => write!(f, "type error: {m}"),
+            StorageError::Io(m) => write!(f, "io error: {m}"),
         }
     }
 }

@@ -165,6 +165,16 @@ impl PartitionInfo {
     pub fn summary(&self, col: usize) -> Option<&ColumnSummary> {
         self.summaries.get(col)
     }
+
+    /// All per-column summaries, in schema order (for persistence).
+    pub fn summaries(&self) -> &[ColumnSummary] {
+        &self.summaries
+    }
+
+    /// Reassembles a partition from persisted state.
+    pub fn from_parts(rows: u64, summaries: Vec<ColumnSummary>) -> PartitionInfo {
+        PartitionInfo { rows, summaries }
+    }
 }
 
 /// The routing and summary state of one partitioned table.
@@ -287,6 +297,41 @@ impl PartitionMap {
         Ok(touched)
     }
 
+    /// Absorbs a standalone ingest batch: routes every row of `batch` (a
+    /// table holding *only* the appended rows, dictionary-consistent with
+    /// the partitioned relation), bumps the receiving partitions' row
+    /// counts, and widens their summaries. The out-of-core ingest path
+    /// uses this — the full base table is not resident, so
+    /// [`PartitionMap::extend`] has nothing to diff against. Returns the
+    /// sorted ids of the partitions that received rows.
+    pub fn extend_batch(&mut self, batch: &Table) -> Result<Vec<u32>> {
+        let n = batch.num_rows();
+        let routed = self.route(batch, 0..n)?;
+        let schema_cols = batch.schema().len();
+        let mut touched: Vec<u32> = Vec::new();
+        for (row, &p) in routed.iter().enumerate() {
+            let part = &mut self.parts[p as usize];
+            part.rows += 1;
+            for col in 0..schema_cols {
+                match batch.column_at(col) {
+                    crate::Column::Numeric(_) => {
+                        let x = batch.column_at(col).numeric()?[row];
+                        part.summaries[col].observe_num(x);
+                    }
+                    crate::Column::Categorical { .. } => {
+                        let c = batch.column_at(col).categorical()?[row];
+                        part.summaries[col].observe_cat(c);
+                    }
+                }
+            }
+            if let Err(at) = touched.binary_search(&p) {
+                touched.insert(at, p);
+            }
+        }
+        self.rows_covered += n;
+        Ok(touched)
+    }
+
     /// The partition a numeric value routes to.
     fn route_num(&self, x: f64) -> u32 {
         match &self.spec.scheme {
@@ -348,6 +393,62 @@ impl PartitionMap {
     /// All partitions in id order.
     pub fn parts(&self) -> &[PartitionInfo] {
         &self.parts
+    }
+
+    /// Reassembles a map from persisted state: `spec` + per-partition
+    /// counts and summaries, validated against `schema` (the routing
+    /// column must exist and match the scheme's type requirements, and
+    /// every partition must carry one type-correct summary per column).
+    pub fn from_parts(
+        schema: &crate::Schema,
+        spec: PartitionSpec,
+        rows_covered: usize,
+        parts: Vec<PartitionInfo>,
+    ) -> Result<PartitionMap> {
+        let col_index = schema.index_of(spec.column())?;
+        let ty = schema.columns()[col_index].ty;
+        if matches!(spec.scheme(), PartitionScheme::Range { .. }) && ty != ColumnType::Numeric {
+            return Err(StorageError::TypeError(format!(
+                "range partitioning requires a numeric column, {} is categorical",
+                spec.column()
+            )));
+        }
+        if parts.len() != spec.num_partitions() {
+            return Err(StorageError::SchemaMismatch(format!(
+                "partition map holds {} partitions but the spec defines {}",
+                parts.len(),
+                spec.num_partitions()
+            )));
+        }
+        for (p, part) in parts.iter().enumerate() {
+            if part.summaries.len() != schema.len() {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "partition {p} carries {} column summaries for a {}-column schema",
+                    part.summaries.len(),
+                    schema.len()
+                )));
+            }
+            for (def, summary) in schema.columns().iter().zip(&part.summaries) {
+                let ok = matches!(
+                    (def.ty, summary),
+                    (ColumnType::Numeric, ColumnSummary::Num { .. })
+                        | (ColumnType::Categorical, ColumnSummary::Cat { .. })
+                );
+                if !ok {
+                    return Err(StorageError::TypeError(format!(
+                        "partition {p} summary type mismatch on column {}",
+                        def.name
+                    )));
+                }
+            }
+        }
+        Ok(PartitionMap {
+            spec,
+            col_index,
+            cat_column: ty == ColumnType::Categorical,
+            rows_covered,
+            parts,
+        })
     }
 }
 

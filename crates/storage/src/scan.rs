@@ -56,6 +56,64 @@ pub fn distinct_group_keys(
         .collect())
 }
 
+/// Incremental [`distinct_group_keys`]: accumulates the distinct group
+/// keys of many table fragments observed one at a time, in any order.
+///
+/// The out-of-core path cannot hand [`distinct_group_keys`] one resident
+/// table — segments are faulted in one at a time under the memory budget.
+/// Feeding every segment (and the ingest tail) through
+/// [`GroupKeyCollector::observe`] yields exactly the keys the one-pass
+/// enumeration would have found on the fully-resident sample, in the
+/// same key-sorted order: the accumulator is the same canonicalized
+/// `BTreeSet`, and set union is order-insensitive.
+pub struct GroupKeyCollector {
+    group_cols: Vec<String>,
+    keys: BTreeSet<Vec<OrdValue>>,
+}
+
+impl GroupKeyCollector {
+    /// A collector over the named group columns.
+    pub fn new(group_cols: &[String]) -> Self {
+        GroupKeyCollector {
+            group_cols: group_cols.to_vec(),
+            keys: BTreeSet::new(),
+        }
+    }
+
+    /// Folds in the keys of `fragment`'s rows matching `predicate`.
+    pub fn observe(&mut self, fragment: &Table, predicate: &Predicate) -> Result<()> {
+        let pred = predicate.compile(fragment)?;
+        let cols: Vec<&Column> = self
+            .group_cols
+            .iter()
+            .map(|c| fragment.column(c))
+            .collect::<Result<_>>()?;
+        for row in 0..fragment.num_rows() {
+            if !pred.matches(row) {
+                continue;
+            }
+            // Same -0.0 canonicalization as `distinct_group_keys`.
+            let key: Vec<OrdValue> = cols
+                .iter()
+                .map(|c| match c.get(row) {
+                    Value::Num(v) => OrdValue(Value::Num(if v == 0.0 { 0.0 } else { v })),
+                    other => OrdValue(other),
+                })
+                .collect();
+            self.keys.insert(key);
+        }
+        Ok(())
+    }
+
+    /// The accumulated keys, sorted exactly like [`distinct_group_keys`].
+    pub fn finish(self) -> Vec<GroupKey> {
+        self.keys
+            .into_iter()
+            .map(|k| k.into_iter().map(|v| v.0).collect())
+            .collect()
+    }
+}
+
 /// Maps rows to group indices during a shared scan.
 ///
 /// Built once per query from the group columns and the enumerated group
@@ -299,6 +357,37 @@ mod tests {
                     .map(|(k, _)| k)
                     .collect();
                 assert_eq!(fast, slow, "cols {cols:?} pred {pred:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn collector_over_fragments_matches_one_pass_enumeration() {
+        let t = table();
+        // Split the table into two dictionary-consistent fragments, the
+        // way paged segments share their session's dictionary.
+        let mut frags = [
+            Table::new(t.schema().clone()),
+            Table::new(t.schema().clone()),
+        ];
+        for f in frags.iter_mut() {
+            f.sync_dictionaries_from(&t).unwrap();
+        }
+        for r in 0..t.num_rows() {
+            let f = if r < 3 { 0 } else { 1 };
+            frags[f].push_row(t.row(r)).unwrap();
+        }
+        for cols in [
+            vec!["region".to_owned()],
+            vec!["week".to_owned(), "region".to_owned()],
+        ] {
+            for pred in [Predicate::True, Predicate::between("week", 1.0, 2.0)] {
+                let mut collector = GroupKeyCollector::new(&cols);
+                // Observe out of order: union is order-insensitive.
+                collector.observe(&frags[1], &pred).unwrap();
+                collector.observe(&frags[0], &pred).unwrap();
+                let expect = distinct_group_keys(&t, &pred, &cols).unwrap();
+                assert_eq!(collector.finish(), expect, "cols {cols:?} pred {pred:?}");
             }
         }
     }

@@ -1,6 +1,6 @@
 //! Row-appendable columnar tables.
 
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, OnceLock, RwLock};
 
 use crate::chunk::ZoneMaps;
 use crate::{Column, ColumnType, Result, Schema, StorageError, Value};
@@ -30,7 +30,12 @@ pub struct Table {
     /// `stats`, appends do *not* clear this cache: zone maps extend
     /// incrementally (min/max is associative), so [`Table::zone_maps`]
     /// scans only the tail rows appended since the last access.
-    zones: Mutex<Option<Arc<ZoneMaps>>>,
+    ///
+    /// An `RwLock` rather than a `Mutex`: once the cache covers every
+    /// row (the steady state between ingests), concurrent scan workers
+    /// clone the `Arc` under a shared read lock instead of serializing
+    /// on one mutex at every batch.
+    zones: RwLock<Option<Arc<ZoneMaps>>>,
 }
 
 impl Clone for Table {
@@ -40,7 +45,7 @@ impl Clone for Table {
             columns: self.columns.clone(),
             rows: self.rows,
             stats: self.stats.clone(),
-            zones: Mutex::new(self.zones.lock().expect("zone cache poisoned").clone()),
+            zones: RwLock::new(self.zones.read().expect("zone cache poisoned").clone()),
         }
     }
 }
@@ -62,7 +67,7 @@ impl Table {
             columns,
             rows: 0,
             stats,
-            zones: Mutex::new(None),
+            zones: RwLock::new(None),
         }
     }
 
@@ -105,7 +110,7 @@ impl Table {
             columns,
             rows,
             stats,
-            zones: Mutex::new(None),
+            zones: RwLock::new(None),
         })
     }
 
@@ -314,8 +319,20 @@ impl Table {
     /// ingest path, and stale bounds can never be served (coverage is
     /// checked against `num_rows` on every access).
     pub fn zone_maps(&self) -> Arc<ZoneMaps> {
-        let mut slot = self.zones.lock().expect("zone cache poisoned");
+        // Fast path: a warm, fully-covering cache is served under the
+        // shared read lock — parallel workers never contend.
+        {
+            let slot = self.zones.read().expect("zone cache poisoned");
+            if let Some(zm) = slot.as_ref() {
+                if zm.rows_covered() == self.rows {
+                    return Arc::clone(zm);
+                }
+            }
+        }
+        let mut slot = self.zones.write().expect("zone cache poisoned");
         match slot.as_ref() {
+            // Another writer may have filled the cache between our read
+            // and write acquisitions.
             Some(zm) if zm.rows_covered() == self.rows => Arc::clone(zm),
             Some(zm) => {
                 let next = Arc::new(zm.extended(&self.columns, self.rows));
@@ -328,6 +345,14 @@ impl Table {
                 fresh
             }
         }
+    }
+
+    /// Approximate heap footprint of the row data in bytes (column
+    /// payloads plus dictionary labels) — the unit the out-of-core
+    /// partition cache budgets in. Schema and cached statistics are not
+    /// counted; they are negligible next to the columns.
+    pub fn heap_bytes(&self) -> u64 {
+        self.columns.iter().map(Column::heap_bytes).sum()
     }
 
     /// Distinct-code count of a categorical column. Cached; appends

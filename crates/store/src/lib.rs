@@ -78,6 +78,32 @@
 //!       released automatically by the OS on process death)
 //! ```
 //!
+//! ## Out-of-core partitions (format v4)
+//!
+//! A session built with `partition_by` + `persist_to` goes **paged**: the
+//! base table's rows never live in `table-<gen>.vtab` generations at all.
+//! Instead each partition's rows sit in an append-only column file,
+//! `part-<id>.vcol` (see [`partfile`] for the exact frame layout), and
+//! the snapshot body carries a [`PagedState`] — the partition map with
+//! per-partition summaries, the frozen create-time cardinalities the
+//! sample segments draw over, the zero-row *resolution* table holding
+//! the schema and full categorical dictionaries, and each sample's
+//! resident ingest tail. Queries fault partition segments in on demand
+//! under a byte budget; partitions whose summaries exclude the predicate
+//! are pruned without opening their files at all.
+//!
+//! Ingest stays WAL-first: the row batch lands in `wal.vlog` (tag 2, as
+//! in v2), then write-extends **only** the `part-<id>.vcol` files that
+//! actually received rows, stamping each appended record with the
+//! batch's WAL sequence. Recovery after a crash heals torn part-file
+//! tails by frame CRC (exactly like the WAL's own tail), verifies each
+//! file's record-0 CRC against the manifest fingerprint, and re-appends
+//! any WAL ingest batch whose sequence is missing from a partition's
+//! file — record-level idempotence, so a batch that "won the crash" in
+//! some partitions and lost it in others converges without double
+//! appends. Answers after recovery are bit-identical to a session that
+//! never crashed.
+//!
 //! Snapshots carry only the session metadata and learned state; the
 //! (potentially large) base table lives in immutable generation files
 //! bound to each snapshot by generation number and FNV-1a fingerprint. A
@@ -94,14 +120,17 @@
 pub mod catalog;
 pub mod crc;
 pub mod log;
+pub mod partfile;
 pub mod snapshot;
 pub mod store;
 pub mod tablecodec;
 
 pub use catalog::{read_catalog, write_catalog, CatalogManifest};
+pub use partfile::{read_part_rows, PagedState, PartScan};
 pub use snapshot::{SessionMeta, Snapshot};
 pub use store::{
-    Recovered, RecoveryReport, SharedStore, SnapshotReceipt, StorePolicy, StoreStats, SynopsisStore,
+    PagedRecovered, Recovered, RecoveryReport, SharedStore, SnapshotReceipt, StorePolicy,
+    StoreStats, SynopsisStore,
 };
 
 /// Errors raised by the durable store.

@@ -1,0 +1,730 @@
+//! Partition column files (`part-<id>.vcol`) — store format v4.
+//!
+//! An out-of-core ("paged") store keeps the base table's rows in one
+//! append-only column file per partition instead of monolithic
+//! `table-<gen>.vtab` generations. A scan then faults in only the
+//! partitions it needs, and ingest write-extends only the files of the
+//! partitions that actually received rows.
+//!
+//! ```text
+//! part-<id>.vcol:
+//!   magic     8B  "VDBLPCOL"
+//!   version   u32 = 1
+//!   partition u32   the partition id the file serves
+//!   records (append-only):
+//!     len u32 | crc u32 | payload          (crc over payload)
+//!     payload = seq u64 | rows u32 | columns
+//!       seq     0 for the create-time record, else the WAL sequence of
+//!               the ingest batch that appended these rows — replay after
+//!               a crash re-appends a batch only to partitions whose file
+//!               does not already hold its seq (record-level idempotence)
+//!       columns in schema order, column-major: numeric = rows × f64
+//!               bits, categorical = rows × u32 dictionary codes (labels
+//!               live in the snapshot's resolution table, never here)
+//! ```
+//!
+//! Torn tails — a crash mid-append — are detected by the frame CRC and
+//! truncated away at open, exactly like the WAL; everything before the
+//! tear is intact because records are strictly appended. Create-time
+//! rows are always record 0, so the first `original_rows[p]` decoded
+//! rows are the draw domain of partition `p`'s sample segment no matter
+//! how many ingest records follow.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+use verdict_core::persist::{Decoder, Encoder, PersistResult};
+use verdict_storage::{
+    Column, ColumnSummary, ColumnType, PartitionInfo, PartitionMap, PartitionScheme, PartitionSpec,
+    Schema, Table,
+};
+
+use crate::crc::crc32;
+use crate::snapshot::sync_dir;
+use crate::tablecodec::{decode_table, encode_table};
+use crate::{Result, StoreError};
+
+/// File magic for partition column files.
+pub const PART_MAGIC: [u8; 8] = *b"VDBLPCOL";
+/// Current partition-file format version.
+pub const PART_VERSION: u32 = 1;
+/// Header length: magic + version + partition id.
+const PART_HEADER_LEN: u64 = 16;
+
+/// Path of partition `p`'s column file inside `dir`.
+pub fn part_path(dir: &Path, p: u32) -> PathBuf {
+    dir.join(format!("part-{p:06}.vcol"))
+}
+
+/// Parses a partition id out of a part file name.
+pub fn parse_part_number(name: &str) -> Option<u32> {
+    name.strip_prefix("part-")?
+        .strip_suffix(".vcol")?
+        .parse()
+        .ok()
+}
+
+/// Whether `name` is a partition column file.
+pub fn is_part_file(name: &str) -> bool {
+    parse_part_number(name).is_some()
+}
+
+/// All partition ids with a column file in `dir`, ascending.
+pub fn list_part_files(dir: &Path) -> Result<Vec<u32>> {
+    let mut parts = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(p) = entry.file_name().to_str().and_then(parse_part_number) {
+            parts.push(p);
+        }
+    }
+    parts.sort_unstable();
+    Ok(parts)
+}
+
+/// Encodes one record's payload: `seq`, then rows `range` of `fragment`
+/// column-major (numeric f64 bits, categorical u32 codes — labels stay
+/// in the resolution table).
+fn encode_record_payload(seq: u64, fragment: &Table, range: Range<usize>) -> Vec<u8> {
+    let mut enc = Encoder::new();
+    enc.put_u64(seq);
+    enc.put_u32(range.len() as u32);
+    for (i, def) in fragment.schema().columns().iter().enumerate() {
+        let col = fragment.column_at(i);
+        match def.ty {
+            ColumnType::Numeric => {
+                let data = col.numeric().expect("schema says numeric");
+                for &x in &data[range.clone()] {
+                    enc.put_f64(x);
+                }
+            }
+            ColumnType::Categorical => {
+                let codes = col.categorical().expect("schema says categorical");
+                for &c in &codes[range.clone()] {
+                    enc.put_u32(c);
+                }
+            }
+        }
+    }
+    enc.into_bytes()
+}
+
+fn frame(payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(8 + payload.len());
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&crc32(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    bytes
+}
+
+/// Creates partition `p`'s column file holding `fragment` as its
+/// create-time record (seq 0), atomically (temp + fsync + rename +
+/// directory fsync). Returns the record's CRC, the file's contribution
+/// to the store's part fingerprint.
+pub fn write_part_file(dir: &Path, p: u32, fragment: &Table) -> Result<u32> {
+    let payload = encode_record_payload(0, fragment, 0..fragment.num_rows());
+    let rec_crc = crc32(&payload);
+    let mut bytes = Vec::with_capacity(PART_HEADER_LEN as usize + 8 + payload.len());
+    bytes.extend_from_slice(&PART_MAGIC);
+    bytes.extend_from_slice(&PART_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&p.to_le_bytes());
+    bytes.extend_from_slice(&frame(&payload));
+    let final_path = part_path(dir, p);
+    let tmp_path = final_path.with_extension("vcol.tmp");
+    {
+        let mut f = File::create(&tmp_path)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp_path, &final_path)?;
+    sync_dir(dir)?;
+    Ok(rec_crc)
+}
+
+/// Appends rows `range` of `fragment` to partition `p`'s file as one
+/// record tagged with the ingest batch's WAL `seq`, fsyncing the file.
+/// The WAL record is written first, so a crash here recovers by replay:
+/// the record either survives whole (its seq is then skipped) or is a
+/// torn tail truncated at open and re-appended.
+pub fn append_part_record(
+    dir: &Path,
+    p: u32,
+    seq: u64,
+    fragment: &Table,
+    range: Range<usize>,
+) -> Result<()> {
+    let payload = encode_record_payload(seq, fragment, range);
+    let mut f = OpenOptions::new().append(true).open(part_path(dir, p))?;
+    f.write_all(&frame(&payload))?;
+    f.sync_all()?;
+    Ok(())
+}
+
+/// What a validating walk of one partition file found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartScan {
+    /// The partition id the header declares.
+    pub partition: u32,
+    /// Total rows across valid records.
+    pub rows: u64,
+    /// Sequence numbers of the valid records, in file order (first is
+    /// always 0, the create-time record).
+    pub seqs: Vec<u64>,
+    /// CRC of the create-time record (fingerprint contribution).
+    pub record0_crc: u32,
+    /// File length covered by the header + valid records.
+    pub valid_len: u64,
+    /// Torn/corrupt trailing bytes after the last valid record.
+    pub torn_bytes: u64,
+}
+
+/// Walks partition `p`'s file, validating the header and every frame.
+/// Stops at the first short/corrupt frame (a torn append) and reports
+/// its length as `torn_bytes` — everything before it is intact.
+pub fn scan_part_file(dir: &Path, p: u32) -> Result<PartScan> {
+    let mut bytes = Vec::new();
+    File::open(part_path(dir, p))?.read_to_end(&mut bytes)?;
+    if bytes.len() < PART_HEADER_LEN as usize {
+        return Err(StoreError::Corrupt(format!(
+            "partition file {p} shorter than its header"
+        )));
+    }
+    if bytes[..8] != PART_MAGIC {
+        return Err(StoreError::Corrupt(format!(
+            "bad magic in partition file {p}"
+        )));
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != PART_VERSION {
+        return Err(StoreError::Corrupt(format!(
+            "unsupported partition-file version {version}"
+        )));
+    }
+    let partition = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    if partition != p {
+        return Err(StoreError::Corrupt(format!(
+            "partition file {p} declares partition {partition}"
+        )));
+    }
+    let mut pos = PART_HEADER_LEN as usize;
+    let mut rows = 0u64;
+    let mut seqs = Vec::new();
+    let mut record0_crc = None;
+    while pos + 8 <= bytes.len() {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else {
+            break; // short write: torn tail
+        };
+        if crc32(payload) != crc || payload.len() < 12 {
+            break; // corrupt frame: treat as torn
+        }
+        let seq = u64::from_le_bytes(payload[..8].try_into().unwrap());
+        let n = u32::from_le_bytes(payload[8..12].try_into().unwrap());
+        if record0_crc.is_none() {
+            if seq != 0 {
+                return Err(StoreError::Corrupt(format!(
+                    "partition file {p} first record has seq {seq}, expected the \
+                     create-time record"
+                )));
+            }
+            record0_crc = Some(crc32(payload));
+        }
+        rows += u64::from(n);
+        seqs.push(seq);
+        pos += 8 + len;
+    }
+    let Some(record0_crc) = record0_crc else {
+        return Err(StoreError::Corrupt(format!(
+            "partition file {p} holds no valid create-time record"
+        )));
+    };
+    Ok(PartScan {
+        partition,
+        rows,
+        seqs,
+        record0_crc,
+        valid_len: pos as u64,
+        torn_bytes: (bytes.len() - pos) as u64,
+    })
+}
+
+/// Scans partition `p`'s file and truncates any torn tail away, so
+/// subsequent appends extend from the last whole record.
+pub fn open_part_file(dir: &Path, p: u32) -> Result<PartScan> {
+    let scan = scan_part_file(dir, p)?;
+    if scan.torn_bytes > 0 {
+        let f = OpenOptions::new().write(true).open(part_path(dir, p))?;
+        f.set_len(scan.valid_len)?;
+        f.sync_all()?;
+    }
+    Ok(scan)
+}
+
+/// Reads partition `p`'s rows — create-time record first, then ingest
+/// records in append order — into a table shaped like `proto` (schema
+/// and categorical dictionaries come from `proto`; the file holds only
+/// codes). Stops early once `min_rows` rows are decoded, so a segment
+/// fault over the create-time prefix does not pay for the ingest tail.
+/// Invalid trailing frames are treated as end-of-file (the open-time
+/// truncation already removed torn tails; a live reader stays tolerant).
+pub fn read_part_rows(dir: &Path, p: u32, proto: &Table, min_rows: usize) -> Result<Table> {
+    let mut bytes = Vec::new();
+    File::open(part_path(dir, p))?.read_to_end(&mut bytes)?;
+    if bytes.len() < PART_HEADER_LEN as usize
+        || bytes[..8] != PART_MAGIC
+        || u32::from_le_bytes(bytes[8..12].try_into().unwrap()) != PART_VERSION
+        || u32::from_le_bytes(bytes[12..16].try_into().unwrap()) != p
+    {
+        return Err(StoreError::Corrupt(format!(
+            "partition file {p} has a bad header"
+        )));
+    }
+    let schema = proto.schema().clone();
+    let mut numeric: Vec<Vec<f64>> = Vec::with_capacity(schema.len());
+    let mut codes: Vec<Vec<u32>> = Vec::with_capacity(schema.len());
+    for _ in schema.columns() {
+        numeric.push(Vec::new());
+        codes.push(Vec::new());
+    }
+    let mut pos = PART_HEADER_LEN as usize;
+    let mut rows = 0usize;
+    while pos + 8 <= bytes.len() && rows < min_rows {
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let Some(payload) = bytes.get(pos + 8..pos + 8 + len) else {
+            break;
+        };
+        if crc32(payload) != crc || payload.len() < 12 {
+            break;
+        }
+        let n = u32::from_le_bytes(payload[8..12].try_into().unwrap()) as usize;
+        let mut dec = Decoder::new(&payload[12..]);
+        for (i, def) in schema.columns().iter().enumerate() {
+            match def.ty {
+                ColumnType::Numeric => {
+                    let out = &mut numeric[i];
+                    for _ in 0..n {
+                        out.push(dec.take_f64().map_err(|e| {
+                            StoreError::Corrupt(format!("partition file {p} record body: {e}"))
+                        })?);
+                    }
+                }
+                ColumnType::Categorical => {
+                    let out = &mut codes[i];
+                    for _ in 0..n {
+                        out.push(dec.take_u32().map_err(|e| {
+                            StoreError::Corrupt(format!("partition file {p} record body: {e}"))
+                        })?);
+                    }
+                }
+            }
+        }
+        rows += n;
+        pos += 8 + len;
+    }
+    let mut columns = Vec::with_capacity(schema.len());
+    for (i, def) in schema.columns().iter().enumerate() {
+        match def.ty {
+            ColumnType::Numeric => {
+                columns.push(Column::from_numeric(std::mem::take(&mut numeric[i])))
+            }
+            ColumnType::Categorical => {
+                let labels: Vec<String> = proto
+                    .column_at(i)
+                    .labels()
+                    .expect("proto schema says categorical")
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect();
+                let col_codes = std::mem::take(&mut codes[i]);
+                if let Some(&bad) = col_codes.iter().find(|&&c| c as usize >= labels.len()) {
+                    return Err(StoreError::Corrupt(format!(
+                        "partition file {p} holds code {bad} but the resolution \
+                         dictionary has {} labels",
+                        labels.len()
+                    )));
+                }
+                columns.push(Column::from_categorical(col_codes, labels));
+            }
+        }
+    }
+    Table::from_columns(schema, columns)
+        .map_err(|e| StoreError::Corrupt(format!("partition file {p} rows: {e}")))
+}
+
+/// The store's part fingerprint: FNV-1a over every partition's id and
+/// create-time record CRC, in partition order. Binds a paged snapshot to
+/// the create-time data exactly like `table_fp` binds a resident one to
+/// its table generation — ingest appends do not perturb it (they are
+/// covered by WAL sequencing instead).
+pub fn part_fingerprint(record0_crcs: &[u32]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for (p, &crc) in record0_crcs.iter().enumerate() {
+        for byte in (p as u32)
+            .to_le_bytes()
+            .into_iter()
+            .chain(crc.to_le_bytes())
+        {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Paged-state codec: the snapshot body section a paged store carries in
+// place of a table generation reference.
+// ---------------------------------------------------------------------
+
+/// Encodes a [`PartitionSpec`].
+pub fn encode_partition_spec(spec: &PartitionSpec, enc: &mut Encoder) {
+    enc.put_str(spec.column());
+    match spec.scheme() {
+        PartitionScheme::Range { bounds } => {
+            enc.put_u8(0);
+            enc.put_len(bounds.len());
+            for &b in bounds {
+                enc.put_f64(b);
+            }
+        }
+        PartitionScheme::Hash { partitions } => {
+            enc.put_u8(1);
+            enc.put_len(*partitions);
+        }
+    }
+}
+
+/// Decodes a [`PartitionSpec`].
+pub fn decode_partition_spec(dec: &mut Decoder<'_>) -> PersistResult<PartitionSpec> {
+    let column = dec.take_str()?;
+    match dec.take_u8()? {
+        0 => {
+            let n = dec.take_len()?;
+            let mut bounds = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                bounds.push(dec.take_f64()?);
+            }
+            Ok(PartitionSpec::range(&column, bounds))
+        }
+        1 => Ok(PartitionSpec::hash(&column, dec.take_len()?)),
+        t => Err(verdict_core::persist::PersistError::Corrupt(format!(
+            "PartitionScheme tag {t}"
+        ))),
+    }
+}
+
+fn encode_summary(summary: &ColumnSummary, enc: &mut Encoder) {
+    match summary {
+        ColumnSummary::Num { min, max, has_nan } => {
+            enc.put_u8(0);
+            enc.put_f64(*min);
+            enc.put_f64(*max);
+            enc.put_bool(*has_nan);
+        }
+        ColumnSummary::Cat { codes } => {
+            enc.put_u8(1);
+            enc.put_len(codes.len());
+            for &c in codes {
+                enc.put_u32(c);
+            }
+        }
+    }
+}
+
+fn decode_summary(dec: &mut Decoder<'_>) -> PersistResult<ColumnSummary> {
+    match dec.take_u8()? {
+        0 => Ok(ColumnSummary::Num {
+            min: dec.take_f64()?,
+            max: dec.take_f64()?,
+            has_nan: dec.take_bool()?,
+        }),
+        1 => {
+            let n = dec.take_len()?;
+            let mut codes = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                codes.push(dec.take_u32()?);
+            }
+            Ok(ColumnSummary::Cat { codes })
+        }
+        t => Err(verdict_core::persist::PersistError::Corrupt(format!(
+            "ColumnSummary tag {t}"
+        ))),
+    }
+}
+
+/// Encodes a [`PartitionMap`] (spec, rows covered, per-partition counts
+/// and summaries).
+pub fn encode_partition_map(map: &PartitionMap, enc: &mut Encoder) {
+    encode_partition_spec(map.spec(), enc);
+    enc.put_u64(map.rows_covered() as u64);
+    enc.put_len(map.num_partitions());
+    for part in map.parts() {
+        enc.put_u64(part.rows());
+        enc.put_len(part.summaries().len());
+        for s in part.summaries() {
+            encode_summary(s, enc);
+        }
+    }
+}
+
+/// Decodes a [`PartitionMap`], validating it against `schema`.
+pub fn decode_partition_map(schema: &Schema, dec: &mut Decoder<'_>) -> Result<PartitionMap> {
+    let spec = decode_partition_spec(dec)?;
+    let rows_covered = dec.take_u64()? as usize;
+    let n = dec.take_len()?;
+    let mut parts = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let rows = dec.take_u64()?;
+        let s = dec.take_len()?;
+        let mut summaries = Vec::with_capacity(s.min(1 << 10));
+        for _ in 0..s {
+            summaries.push(decode_summary(dec)?);
+        }
+        parts.push(PartitionInfo::from_parts(rows, summaries));
+    }
+    PartitionMap::from_parts(schema, spec, rows_covered, parts)
+        .map_err(|e| StoreError::Corrupt(format!("partition map: {e}")))
+}
+
+/// Everything a paged snapshot persists in place of a base-table
+/// generation: the routing map (summaries included, extended through
+/// every folded ingest), the frozen create-time per-partition
+/// cardinalities the sample draws are defined over, the zero-row
+/// resolution table carrying the full categorical dictionaries, the
+/// base-table row count at snapshot time, and each sample's resident
+/// ingest tail.
+#[derive(Debug, Clone)]
+pub struct PagedState {
+    /// Routing + per-partition summaries of the whole base table.
+    pub map: PartitionMap,
+    /// Create-time rows per partition (frozen at create; the sample
+    /// draw domain).
+    pub original_part_rows: Vec<u64>,
+    /// Zero-row table holding the schema and full dictionaries.
+    pub resolution: Table,
+    /// Base-table rows folded into this snapshot (create + ingests).
+    pub total_rows: u64,
+    /// Per-sample resident ingest tails, in sample order.
+    pub tails: Vec<Table>,
+}
+
+/// Encodes a [`PagedState`].
+pub fn encode_paged_state(state: &PagedState, enc: &mut Encoder) {
+    encode_table(&state.resolution, enc);
+    enc.put_u64(state.total_rows);
+    enc.put_len(state.original_part_rows.len());
+    for &n in &state.original_part_rows {
+        enc.put_u64(n);
+    }
+    encode_partition_map(&state.map, enc);
+    enc.put_len(state.tails.len());
+    for tail in &state.tails {
+        encode_table(tail, enc);
+    }
+}
+
+/// Decodes a [`PagedState`].
+pub fn decode_paged_state(dec: &mut Decoder<'_>) -> Result<PagedState> {
+    let resolution = decode_table(dec)?;
+    if resolution.num_rows() != 0 {
+        return Err(StoreError::Corrupt(format!(
+            "paged resolution table holds {} rows, expected none",
+            resolution.num_rows()
+        )));
+    }
+    let total_rows = dec.take_u64()?;
+    let n = dec.take_len()?;
+    let mut original_part_rows = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        original_part_rows.push(dec.take_u64()?);
+    }
+    let map = decode_partition_map(resolution.schema(), dec)?;
+    if map.num_partitions() != original_part_rows.len() {
+        return Err(StoreError::Corrupt(format!(
+            "paged state covers {} partitions but lists {} create-time counts",
+            map.num_partitions(),
+            original_part_rows.len()
+        )));
+    }
+    let t = dec.take_len()?;
+    let mut tails = Vec::with_capacity(t.min(1 << 10));
+    for _ in 0..t {
+        let tail = decode_table(dec)?;
+        if tail.schema() != resolution.schema() {
+            return Err(StoreError::Corrupt(
+                "paged tail schema differs from the resolution schema".into(),
+            ));
+        }
+        tails.push(tail);
+    }
+    Ok(PagedState {
+        map,
+        original_part_rows,
+        resolution,
+        total_rows,
+        tails,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verdict_storage::{ColumnDef, Value};
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("verdict-part-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn table(n: usize, offset: usize) -> Table {
+        let schema = Schema::new(vec![
+            ColumnDef::numeric_dimension("x"),
+            ColumnDef::categorical_dimension("g"),
+            ColumnDef::measure("v"),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema);
+        for i in 0..n {
+            let g = ["a", "b", "c"][(offset + i) % 3];
+            t.push_row(vec![
+                Value::Num((offset + i) as f64),
+                Value::Str(g.to_owned()),
+                Value::Num(((offset + i) % 7) as f64),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn create_append_scan_read_roundtrip() {
+        let dir = tempdir("roundtrip");
+        let base = table(40, 0);
+        write_part_file(&dir, 3, &base).unwrap();
+        let extra = table(10, 40);
+        append_part_record(&dir, 3, 7, &extra, 0..10).unwrap();
+        let scan = scan_part_file(&dir, 3).unwrap();
+        assert_eq!(scan.partition, 3);
+        assert_eq!(scan.rows, 50);
+        assert_eq!(scan.seqs, vec![0, 7]);
+        assert_eq!(scan.torn_bytes, 0);
+        let back = read_part_rows(&dir, 3, &base, usize::MAX).unwrap();
+        assert_eq!(back.num_rows(), 50);
+        assert_eq!(
+            back.column("x").unwrap().numeric().unwrap()[..40],
+            base.column("x").unwrap().numeric().unwrap()[..]
+        );
+        assert_eq!(back.column("x").unwrap().numeric().unwrap()[40], 40.0);
+        // Early stop: the create-time prefix alone.
+        let prefix = read_part_rows(&dir, 3, &base, 40).unwrap();
+        assert_eq!(prefix.num_rows(), 40);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_reappendable() {
+        let dir = tempdir("torn");
+        let base = table(20, 0);
+        write_part_file(&dir, 0, &base).unwrap();
+        let whole = std::fs::read(part_path(&dir, 0)).unwrap();
+        append_part_record(&dir, 0, 5, &table(8, 20), 0..8).unwrap();
+        let full = std::fs::read(part_path(&dir, 0)).unwrap();
+        // Tear the appended record at every prefix length: recovery must
+        // always fall back to the create-time record alone.
+        for cut in whole.len() + 1..full.len() {
+            std::fs::write(part_path(&dir, 0), &full[..cut]).unwrap();
+            let scan = open_part_file(&dir, 0).unwrap();
+            assert_eq!(scan.seqs, vec![0], "cut {cut}");
+            assert_eq!(scan.rows, 20, "cut {cut}");
+            assert_eq!(scan.torn_bytes, (cut - whole.len()) as u64, "cut {cut}");
+            // The truncation leaves a file appends can extend again.
+            append_part_record(&dir, 0, 5, &table(8, 20), 0..8).unwrap();
+            let healed = scan_part_file(&dir, 0).unwrap();
+            assert_eq!(healed.seqs, vec![0, 5], "cut {cut}");
+            assert_eq!(healed.rows, 28, "cut {cut}");
+            std::fs::write(part_path(&dir, 0), &full).unwrap();
+        }
+    }
+
+    #[test]
+    fn corrupt_record_detected_as_tear() {
+        let dir = tempdir("corrupt");
+        write_part_file(&dir, 1, &table(10, 0)).unwrap();
+        append_part_record(&dir, 1, 2, &table(5, 10), 0..5).unwrap();
+        let mut bytes = std::fs::read(part_path(&dir, 1)).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(part_path(&dir, 1), &bytes).unwrap();
+        let scan = open_part_file(&dir, 1).unwrap();
+        assert_eq!(scan.seqs, vec![0]);
+        assert!(scan.torn_bytes > 0);
+    }
+
+    #[test]
+    fn bad_header_refused() {
+        let dir = tempdir("header");
+        write_part_file(&dir, 2, &table(4, 0)).unwrap();
+        let mut bytes = std::fs::read(part_path(&dir, 2)).unwrap();
+        bytes[0] ^= 0xFF;
+        std::fs::write(part_path(&dir, 2), &bytes).unwrap();
+        assert!(matches!(
+            scan_part_file(&dir, 2),
+            Err(StoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn paged_state_roundtrip() {
+        let t = table(60, 0);
+        let spec = PartitionSpec::range("x", vec![20.0, 40.0]);
+        let map = PartitionMap::build(&t, spec).unwrap();
+        let mut resolution = Table::new(t.schema().clone());
+        resolution.sync_dictionaries_from(&t).unwrap();
+        let state = PagedState {
+            original_part_rows: vec![20, 20, 20],
+            resolution: resolution.clone(),
+            total_rows: 60,
+            tails: vec![resolution.clone(), resolution],
+            map,
+        };
+        let mut enc = Encoder::new();
+        encode_paged_state(&state, &mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = decode_paged_state(&mut dec).unwrap();
+        assert!(dec.is_exhausted());
+        assert_eq!(back.map, state.map);
+        assert_eq!(back.original_part_rows, state.original_part_rows);
+        assert_eq!(back.total_rows, state.total_rows);
+        assert_eq!(back.resolution.schema(), state.resolution.schema());
+        assert_eq!(back.resolution.num_rows(), 0);
+        assert_eq!(
+            back.resolution.column("g").unwrap().labels().unwrap(),
+            state.resolution.column("g").unwrap().labels().unwrap()
+        );
+        assert_eq!(back.tails.len(), 2);
+        assert_eq!(
+            back.tails[0].column("g").unwrap().labels().unwrap(),
+            state.tails[0].column("g").unwrap().labels().unwrap()
+        );
+    }
+
+    #[test]
+    fn part_fingerprint_tracks_create_records() {
+        let dir = tempdir("fp");
+        let c0 = write_part_file(&dir, 0, &table(10, 0)).unwrap();
+        let c1 = write_part_file(&dir, 1, &table(10, 10)).unwrap();
+        let fp = part_fingerprint(&[c0, c1]);
+        // Ingest appends leave the fingerprint unchanged.
+        append_part_record(&dir, 0, 3, &table(2, 20), 0..2).unwrap();
+        let s0 = scan_part_file(&dir, 0).unwrap();
+        let s1 = scan_part_file(&dir, 1).unwrap();
+        assert_eq!(part_fingerprint(&[s0.record0_crc, s1.record0_crc]), fp);
+        assert_ne!(part_fingerprint(&[c1, c0]), fp);
+    }
+}

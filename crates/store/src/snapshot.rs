@@ -13,9 +13,10 @@ use std::path::{Path, PathBuf};
 
 use verdict_core::persist::{Decoder, Encoder, Persist};
 use verdict_core::{EngineState, VerdictConfig};
-use verdict_storage::Table;
+use verdict_storage::{PartitionSpec, Table};
 
 use crate::crc::crc32;
+use crate::partfile::{decode_paged_state, encode_paged_state, PagedState};
 use crate::tablecodec::{decode_table, encode_table};
 use crate::{Result, StoreError};
 
@@ -23,8 +24,13 @@ use crate::{Result, StoreError};
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"VDBLSNAP";
 /// Current snapshot format version (v2 added the table generation to the
 /// header and the data epoch + original row count to the body, replacing
-/// v1's write-once table assumption).
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// v1's write-once table assumption; v3 added the partition spec + paged
+/// flag to the session metadata and an optional paged-state section —
+/// partition map, resolution dictionaries, and per-sample ingest tails —
+/// carried in place of a base-table generation reference). Version-2
+/// files are still read: they simply decode with no partition spec and
+/// `paged = false`.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Session construction parameters persisted alongside the learned state,
 /// so [`crate::SynopsisStore::open`] can rebuild an identical session —
@@ -45,8 +51,34 @@ pub struct SessionMeta {
     /// the (grown) table, then re-admit the appended tail — reproducing
     /// the live session's maintained sample bit for bit.
     pub original_rows: u64,
+    /// How the base table is partitioned, when `partition_by` was
+    /// configured; persisted so a warm start rebuilds an identical
+    /// [`verdict_storage::PartitionMap`] without the caller re-supplying
+    /// the spec.
+    pub partition_spec: Option<PartitionSpec>,
+    /// Whether the store is paged (out-of-core): the base table lives in
+    /// per-partition column files and the snapshot carries a
+    /// [`PagedState`] section instead of referencing a table generation.
+    pub paged: bool,
     /// Engine configuration.
     pub config: VerdictConfig,
+}
+
+impl SessionMeta {
+    /// Decodes the version-2 body layout, which predates partitioned and
+    /// paged stores.
+    fn decode_v2(dec: &mut Decoder<'_>) -> verdict_core::persist::PersistResult<SessionMeta> {
+        Ok(SessionMeta {
+            sample_fraction: dec.take_f64()?,
+            batch_size: dec.take_u64()?,
+            seed: dec.take_u64()?,
+            num_samples: dec.take_u64()?,
+            original_rows: dec.take_u64()?,
+            partition_spec: None,
+            paged: false,
+            config: VerdictConfig::decode(dec)?,
+        })
+    }
 }
 
 impl Persist for SessionMeta {
@@ -56,6 +88,14 @@ impl Persist for SessionMeta {
         enc.put_u64(self.seed);
         enc.put_u64(self.num_samples);
         enc.put_u64(self.original_rows);
+        match &self.partition_spec {
+            None => enc.put_u8(0),
+            Some(spec) => {
+                enc.put_u8(1);
+                crate::partfile::encode_partition_spec(spec, enc);
+            }
+        }
+        enc.put_bool(self.paged);
         self.config.encode(enc);
     }
 
@@ -66,6 +106,16 @@ impl Persist for SessionMeta {
             seed: dec.take_u64()?,
             num_samples: dec.take_u64()?,
             original_rows: dec.take_u64()?,
+            partition_spec: match dec.take_u8()? {
+                0 => None,
+                1 => Some(crate::partfile::decode_partition_spec(dec)?),
+                t => {
+                    return Err(verdict_core::persist::PersistError::Corrupt(format!(
+                        "partition-spec presence tag {t}"
+                    )))
+                }
+            },
+            paged: dec.take_bool()?,
             config: VerdictConfig::decode(dec)?,
         })
     }
@@ -88,6 +138,9 @@ pub struct Snapshot {
     pub data_epoch: u64,
     /// The engine's learned state.
     pub state: EngineState,
+    /// Out-of-core state (partition map, resolution dictionaries, sample
+    /// tails); present exactly when `meta.paged`.
+    pub paged: Option<PagedState>,
 }
 
 fn encode_snapshot_body(
@@ -95,21 +148,42 @@ fn encode_snapshot_body(
     table_fp: u64,
     data_epoch: u64,
     state_bytes: &[u8],
+    paged: Option<&PagedState>,
 ) -> Vec<u8> {
+    debug_assert_eq!(
+        meta.paged,
+        paged.is_some(),
+        "meta.paged must announce the paged-state section"
+    );
     let mut enc = Encoder::new();
     meta.encode(&mut enc);
     enc.put_u64(table_fp);
     enc.put_u64(data_epoch);
+    if let Some(state) = paged {
+        // The paged section precedes the engine state: both are
+        // self-delimiting, but the engine state is appended as raw
+        // pre-encoded bytes, so it must come last.
+        encode_paged_state(state, &mut enc);
+    }
     enc.put_bytes(state_bytes);
     enc.into_bytes()
 }
 
 impl Snapshot {
-    fn decode_body(last_seq: u64, table_gen: u64, body: &[u8]) -> Result<Snapshot> {
+    fn decode_body(version: u32, last_seq: u64, table_gen: u64, body: &[u8]) -> Result<Snapshot> {
         let mut dec = Decoder::new(body);
-        let meta = SessionMeta::decode(&mut dec)?;
+        let meta = if version == 2 {
+            SessionMeta::decode_v2(&mut dec)?
+        } else {
+            SessionMeta::decode(&mut dec)?
+        };
         let table_fp = dec.take_u64()?;
         let data_epoch = dec.take_u64()?;
+        let paged = if meta.paged {
+            Some(decode_paged_state(&mut dec)?)
+        } else {
+            None
+        };
         let state = EngineState::decode(&mut dec)?;
         if !dec.is_exhausted() {
             return Err(StoreError::Corrupt(format!(
@@ -124,6 +198,7 @@ impl Snapshot {
             table_fp,
             data_epoch,
             state,
+            paged,
         })
     }
 }
@@ -279,8 +354,9 @@ pub fn write_snapshot(
     table_fp: u64,
     data_epoch: u64,
     state_bytes: &[u8],
+    paged: Option<&PagedState>,
 ) -> Result<PathBuf> {
-    let body = encode_snapshot_body(meta, table_fp, data_epoch, state_bytes);
+    let body = encode_snapshot_body(meta, table_fp, data_epoch, state_bytes, paged);
     let mut bytes = Vec::with_capacity(40 + body.len());
     bytes.extend_from_slice(&SNAPSHOT_MAGIC);
     bytes.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
@@ -315,7 +391,7 @@ pub fn read_snapshot(path: &Path) -> Result<Snapshot> {
         return Err(StoreError::Corrupt("bad snapshot magic".into()));
     }
     let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
-    if version != SNAPSHOT_VERSION {
+    if version != 2 && version != SNAPSHOT_VERSION {
         return Err(StoreError::Corrupt(format!(
             "unsupported snapshot version {version}"
         )));
@@ -333,7 +409,7 @@ pub fn read_snapshot(path: &Path) -> Result<Snapshot> {
     if crc32(body) != body_crc {
         return Err(StoreError::Corrupt("snapshot checksum mismatch".into()));
     }
-    Snapshot::decode_body(last_seq, table_gen, body)
+    Snapshot::decode_body(version, last_seq, table_gen, body)
 }
 
 /// Reads only the table generation out of a snapshot's header (cheap peek
@@ -347,7 +423,7 @@ pub fn snapshot_table_gen(path: &Path) -> Result<u64> {
         return Err(StoreError::Corrupt("bad snapshot magic".into()));
     }
     let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
-    if version != SNAPSHOT_VERSION {
+    if version != 2 && version != SNAPSHOT_VERSION {
         return Err(StoreError::Corrupt(format!(
             "unsupported snapshot version {version}"
         )));
@@ -409,11 +485,14 @@ mod tests {
                 seed: 9,
                 num_samples: 1,
                 original_rows: 50,
+                partition_spec: None,
+                paged: false,
                 config: VerdictConfig::default(),
             },
             table_fp: 0xDEAD_BEEF_F00D_CAFE,
             data_epoch: 2,
             state: engine.export_state(),
+            paged: None,
         }
     }
 
@@ -430,6 +509,7 @@ mod tests {
             snap.table_fp,
             snap.data_epoch,
             &snap.state.to_bytes(),
+            None,
         )
         .unwrap();
         let back = read_snapshot(&snapshot_path(&dir, 3)).unwrap();
@@ -479,6 +559,7 @@ mod tests {
             snap.table_fp,
             snap.data_epoch,
             &snap.state.to_bytes(),
+            None,
         )
         .unwrap();
         let mut bytes = std::fs::read(&path).unwrap();
@@ -501,6 +582,7 @@ mod tests {
             snap.table_fp,
             snap.data_epoch,
             &snap.state.to_bytes(),
+            None,
         )
         .unwrap();
         let bytes = std::fs::read(&path).unwrap();
@@ -524,6 +606,7 @@ mod tests {
                 snap.table_fp,
                 snap.data_epoch,
                 &snap.state.to_bytes(),
+                None,
             )
             .unwrap();
         }

@@ -8,9 +8,12 @@ use verdict_core::append::AppendAdjustment;
 use verdict_core::persist::{fingerprint, Persist};
 use verdict_core::snippet::{AggKey, Observation, Snippet};
 use verdict_core::{EngineState, Region, SnippetObserver, Verdict};
-use verdict_storage::{Table, Value};
+use verdict_storage::{PartitionMap, Table, Value};
 
 use crate::log::{IngestRecord, LogRecord, SnippetLog, SnippetRecord};
+use crate::partfile::{
+    append_part_record, is_part_file, open_part_file, part_fingerprint, write_part_file, PagedState,
+};
 use crate::snapshot::{
     is_table_file, list_generations, list_table_generations, read_snapshot, read_table_file,
     snapshot_path, snapshot_table_gen, table_path, write_snapshot, write_table_file, SessionMeta,
@@ -88,8 +91,41 @@ pub struct Recovered {
     /// Data epoch after replay (snapshot's folded ingests + replayed
     /// ingest records).
     pub data_epoch: u64,
+    /// Out-of-core recovery state; present exactly when the store is
+    /// paged (`meta.paged`). For a paged store `table` above is the
+    /// zero-row resolution table — the base rows stay in their partition
+    /// files.
+    pub paged: Option<PagedRecovered>,
     /// Forensics of the recovery.
     pub report: RecoveryReport,
+}
+
+/// What [`SynopsisStore::open`] recovered for a paged (out-of-core)
+/// store, on top of the common [`Recovered`] fields.
+#[derive(Debug)]
+pub struct PagedRecovered {
+    /// Partition routing map covering create-time rows plus every ingest
+    /// (folded and replayed alike).
+    pub map: PartitionMap,
+    /// Create-time rows per partition — the frozen domain the offline
+    /// sample segments are drawn over.
+    pub original_part_rows: Vec<u64>,
+    /// Zero-row resolution table: schema plus the full categorical
+    /// dictionaries, extended through every replayed ingest.
+    pub resolution: Table,
+    /// Base-table rows the loaded snapshot had folded (before the
+    /// replayed batches below). Anchors the global row indices of
+    /// replayed batches for sample re-admission.
+    pub total_rows_at_snapshot: u64,
+    /// Per-sample resident ingest tails, as of the loaded snapshot.
+    pub tails: Vec<Table>,
+    /// Ingest batches replayed from the WAL (newest snapshot onward), in
+    /// sequence order, coded against `resolution`'s dictionaries. The
+    /// session re-admits these into each sample's tail exactly as the
+    /// live session did.
+    pub replayed_batches: Vec<Table>,
+    /// Torn bytes truncated from partition files at open.
+    pub part_torn_bytes: u64,
 }
 
 /// Details of one recovery pass.
@@ -129,7 +165,14 @@ pub struct SynopsisStore {
     /// Ingested batches this store has logged or folded.
     data_epoch: u64,
     schema_fp: u64,
+    /// For a resident store, the fingerprint of the current table
+    /// generation; for a paged store, the partition-file fingerprint
+    /// (FNV over every partition's create-time record CRC).
     table_fp: u64,
+    /// Whether this store is paged (out-of-core): base rows live in
+    /// `part-<id>.vcol` files, snapshots carry a [`PagedState`] section,
+    /// and no table generations are written.
+    paged: bool,
     stats: StoreStats,
     sticky_error: Option<StoreError>,
     /// Advisory single-writer lock on `LOCK`, held for the store's
@@ -178,8 +221,42 @@ impl SynopsisStore {
         state: &EngineState,
     ) -> Result<SynopsisStore> {
         let dir = dir.into();
-        std::fs::create_dir_all(&dir)?;
-        if SynopsisStore::exists(&dir) {
+        if meta.paged {
+            return Err(StoreError::Mismatch(
+                "meta says paged; use SynopsisStore::create_paged".into(),
+            ));
+        }
+        let lock = SynopsisStore::prepare_create(&dir)?;
+        // Table generation 0 is the original base table; later ingests
+        // accumulate in the WAL and fold into fresh generations at
+        // checkpoint time.
+        let table_fp = write_table_file(&dir, 0, table)?;
+        let schema_fp = fingerprint(&state.schema);
+        write_snapshot(&dir, 0, 0, 0, &meta, table_fp, 0, &state.to_bytes(), None)?;
+        let log = SnippetLog::create(dir.join("wal.vlog"))?;
+        Ok(SynopsisStore {
+            dir,
+            policy,
+            log,
+            next_seq: 1,
+            current_gen: 0,
+            current_table_gen: 0,
+            table_dirty: false,
+            data_epoch: 0,
+            schema_fp,
+            table_fp,
+            paged: false,
+            stats: StoreStats::default(),
+            sticky_error: None,
+            _lock: lock,
+        })
+    }
+
+    /// Shared pre-flight for `create`/`create_paged`: refuses an existing
+    /// or half-dismantled store, then takes the writer lock.
+    fn prepare_create(dir: &Path) -> Result<std::fs::File> {
+        std::fs::create_dir_all(dir)?;
+        if SynopsisStore::exists(dir) {
             return Err(StoreError::Mismatch(format!(
                 "a synopsis store already exists in {}; open it instead",
                 dir.display()
@@ -189,10 +266,10 @@ impl SynopsisStore {
         // remains of an earlier store (e.g. snapshots deleted by hand);
         // creating here would truncate a log that may hold live records.
         let mut leftovers: Vec<String> = vec!["wal.vlog".into()];
-        if let Ok(entries) = std::fs::read_dir(&dir) {
+        if let Ok(entries) = std::fs::read_dir(dir) {
             for entry in entries.flatten() {
                 if let Some(name) = entry.file_name().to_str() {
-                    if is_table_file(name) {
+                    if is_table_file(name) || is_part_file(name) {
                         leftovers.push(name.to_owned());
                     }
                 }
@@ -207,15 +284,79 @@ impl SynopsisStore {
                 )));
             }
         }
-        let lock = SynopsisStore::acquire_lock(&dir)?;
-        // Table generation 0 is the original base table; later ingests
-        // accumulate in the WAL and fold into fresh generations at
-        // checkpoint time.
-        let table_fp = write_table_file(&dir, 0, table)?;
+        SynopsisStore::acquire_lock(dir)
+    }
+
+    /// Creates a fresh **paged** (out-of-core) store: the base table is
+    /// split by `meta.partition_spec` into one `part-<id>.vcol` column
+    /// file per partition, and the initial snapshot carries the paged
+    /// state — partition map, resolution dictionaries, and one empty
+    /// ingest tail per sample — instead of a table generation. Returns
+    /// the store and the paged state the session scaffolds its partition
+    /// map, loader, and sample tails from.
+    pub fn create_paged(
+        dir: impl Into<PathBuf>,
+        policy: StorePolicy,
+        meta: SessionMeta,
+        table: &Table,
+        state: &EngineState,
+    ) -> Result<(SynopsisStore, PagedState)> {
+        let dir = dir.into();
+        let Some(spec) = meta.partition_spec.clone() else {
+            return Err(StoreError::Mismatch(
+                "a paged store needs a partition spec in its session metadata".into(),
+            ));
+        };
+        if !meta.paged {
+            return Err(StoreError::Mismatch(
+                "create_paged requires meta.paged".into(),
+            ));
+        }
+        let lock = SynopsisStore::prepare_create(&dir)?;
+        let map = PartitionMap::build(table, spec)
+            .map_err(|e| StoreError::Mismatch(format!("partitioning the base table: {e}")))?;
+        let routed = map
+            .route(table, 0..table.num_rows())
+            .map_err(|e| StoreError::Mismatch(format!("routing the base table: {e}")))?;
+        let mut by_part: Vec<Vec<usize>> = vec![Vec::new(); map.num_partitions()];
+        for (row, &p) in routed.iter().enumerate() {
+            by_part[p as usize].push(row);
+        }
+        let mut record0_crcs = Vec::with_capacity(by_part.len());
+        let mut original_part_rows = Vec::with_capacity(by_part.len());
+        for (p, rows) in by_part.iter().enumerate() {
+            let fragment = table
+                .gather(rows)
+                .map_err(|e| StoreError::Mismatch(format!("slicing partition {p}: {e}")))?;
+            record0_crcs.push(write_part_file(&dir, p as u32, &fragment)?);
+            original_part_rows.push(rows.len() as u64);
+        }
+        let table_fp = part_fingerprint(&record0_crcs);
+        let mut resolution = Table::new(table.schema().clone());
+        resolution
+            .sync_dictionaries_from(table)
+            .map_err(|e| StoreError::Mismatch(format!("building the resolution table: {e}")))?;
+        let paged_state = PagedState {
+            map,
+            original_part_rows,
+            resolution: resolution.clone(),
+            total_rows: table.num_rows() as u64,
+            tails: vec![resolution; meta.num_samples as usize],
+        };
         let schema_fp = fingerprint(&state.schema);
-        write_snapshot(&dir, 0, 0, 0, &meta, table_fp, 0, &state.to_bytes())?;
+        write_snapshot(
+            &dir,
+            0,
+            0,
+            0,
+            &meta,
+            table_fp,
+            0,
+            &state.to_bytes(),
+            Some(&paged_state),
+        )?;
         let log = SnippetLog::create(dir.join("wal.vlog"))?;
-        Ok(SynopsisStore {
+        let store = SynopsisStore {
             dir,
             policy,
             log,
@@ -226,10 +367,12 @@ impl SynopsisStore {
             data_epoch: 0,
             schema_fp,
             table_fp,
+            paged: true,
             stats: StoreStats::default(),
             sticky_error: None,
             _lock: lock,
-        })
+        };
+        Ok((store, paged_state))
     }
 
     /// Opens an existing store: loads the newest valid snapshot (falling
@@ -270,6 +413,9 @@ impl SynopsisStore {
                 dir.display()
             )));
         };
+        if snapshot.meta.paged {
+            return SynopsisStore::open_paged(dir, policy, lock, gen, snapshot, skipped);
+        }
 
         let (mut table, table_fp) = read_table_file(&dir, snapshot.table_gen)?;
         if snapshot.table_fp != table_fp {
@@ -287,6 +433,7 @@ impl SynopsisStore {
             table_fp: _,
             data_epoch: mut replayed_data_epoch,
             state,
+            paged: _,
         } = snapshot;
 
         // Replay records the snapshot has not folded yet — through a real
@@ -359,6 +506,7 @@ impl SynopsisStore {
             data_epoch: replayed_data_epoch,
             schema_fp: fingerprint(&state.schema),
             table_fp,
+            paged: false,
             stats: StoreStats::default(),
             sticky_error: None,
             _lock: lock,
@@ -370,6 +518,193 @@ impl SynopsisStore {
                 table,
                 state,
                 data_epoch: replayed_data_epoch,
+                paged: None,
+                report,
+            },
+        ))
+    }
+
+    /// The paged half of [`SynopsisStore::open`]: heals and fingerprints
+    /// every partition file, then replays surviving WAL records. Snippet
+    /// records replay exactly as in the resident path. Each ingest record
+    /// is rebuilt as a batch table coded against the snapshot's
+    /// resolution dictionaries (string re-insertion is deterministic, so
+    /// codes come out identical to the live session's), routed through
+    /// the partition map, and re-appended **idempotently** to partition
+    /// files: a partition whose file already holds the record's sequence
+    /// — the append won the crash — is skipped, so replay never
+    /// duplicates rows no matter where the crash landed.
+    fn open_paged(
+        dir: PathBuf,
+        policy: StorePolicy,
+        lock: std::fs::File,
+        gen: u64,
+        snapshot: Snapshot,
+        skipped: Vec<u64>,
+    ) -> Result<(SynopsisStore, Recovered)> {
+        let Snapshot {
+            last_seq,
+            table_gen,
+            meta,
+            table_fp: snap_fp,
+            data_epoch: mut replayed_data_epoch,
+            state,
+            paged,
+        } = snapshot;
+        let Some(paged_state) = paged else {
+            return Err(StoreError::Corrupt(
+                "paged snapshot carries no paged-state section".into(),
+            ));
+        };
+        let PagedState {
+            mut map,
+            original_part_rows,
+            mut resolution,
+            total_rows,
+            tails,
+        } = paged_state;
+
+        // Heal (truncate torn tails) and fingerprint every partition
+        // file, and learn which ingest sequences each file already holds.
+        let mut record0_crcs = Vec::with_capacity(map.num_partitions());
+        let mut part_seqs: Vec<std::collections::HashSet<u64>> =
+            Vec::with_capacity(map.num_partitions());
+        let mut part_torn_bytes = 0u64;
+        for p in 0..map.num_partitions() {
+            let scan = open_part_file(&dir, p as u32)?;
+            record0_crcs.push(scan.record0_crc);
+            part_torn_bytes += scan.torn_bytes;
+            part_seqs.push(scan.seqs.iter().copied().collect());
+        }
+        let table_fp = part_fingerprint(&record0_crcs);
+        if snap_fp != table_fp {
+            return Err(StoreError::Mismatch(format!(
+                "snapshot generation {gen} was written against different partition \
+                 files (fingerprint {snap_fp:#x} vs {table_fp:#x})"
+            )));
+        }
+
+        let (log, scan) = SnippetLog::open(dir.join("wal.vlog"))?;
+        let mut engine = Verdict::new(state.schema.clone(), meta.config.clone());
+        engine
+            .restore_state(state)
+            .map_err(|e| StoreError::Corrupt(format!("snapshot state rejected: {e}")))?;
+        let mut replayed = 0u64;
+        let mut ingests_replayed = 0u64;
+        let mut rows_appended = 0u64;
+        let mut already_folded = 0u64;
+        let mut max_seq = last_seq;
+        let mut replayed_batches = Vec::new();
+        for record in &scan.records {
+            max_seq = max_seq.max(record.seq());
+            if record.seq() <= last_seq {
+                already_folded += 1;
+                continue;
+            }
+            match record {
+                LogRecord::Snippet(r) => {
+                    engine.observe(
+                        &Snippet::new(r.key.clone(), r.region.clone()),
+                        r.observation,
+                    );
+                }
+                LogRecord::Ingest(r) => {
+                    let mut batch = resolution.clone();
+                    batch.push_rows(&r.rows).map_err(|e| {
+                        StoreError::Corrupt(format!("ingest record seq {} replay: {e}", r.seq))
+                    })?;
+                    resolution.sync_dictionaries_from(&batch).map_err(|e| {
+                        StoreError::Corrupt(format!(
+                            "ingest record seq {} dictionary sync: {e}",
+                            r.seq
+                        ))
+                    })?;
+                    let routed = map.route(&batch, 0..batch.num_rows()).map_err(|e| {
+                        StoreError::Corrupt(format!("ingest record seq {} routing: {e}", r.seq))
+                    })?;
+                    map.extend_batch(&batch).map_err(|e| {
+                        StoreError::Corrupt(format!("ingest record seq {} summaries: {e}", r.seq))
+                    })?;
+                    let mut by_part: std::collections::BTreeMap<u32, Vec<usize>> =
+                        std::collections::BTreeMap::new();
+                    for (row, &p) in routed.iter().enumerate() {
+                        by_part.entry(p).or_default().push(row);
+                    }
+                    for (p, rows) in by_part {
+                        if part_seqs[p as usize].contains(&r.seq) {
+                            continue; // this append won the crash; do not duplicate
+                        }
+                        let fragment = batch.gather(&rows).map_err(|e| {
+                            StoreError::Corrupt(format!(
+                                "ingest record seq {} partition {p}: {e}",
+                                r.seq
+                            ))
+                        })?;
+                        append_part_record(&dir, p, r.seq, &fragment, 0..rows.len())?;
+                        part_seqs[p as usize].insert(r.seq);
+                    }
+                    for (key, adjustment) in &r.adjustments {
+                        engine.apply_append(key, adjustment).map_err(|e| {
+                            StoreError::Corrupt(format!(
+                                "ingest record seq {} refit of {key:?}: {e}",
+                                r.seq
+                            ))
+                        })?;
+                    }
+                    ingests_replayed += 1;
+                    rows_appended += r.rows.len() as u64;
+                    replayed_data_epoch += 1;
+                    replayed_batches.push(batch);
+                }
+            }
+            replayed += 1;
+        }
+        let state = engine.export_state();
+
+        let report = RecoveryReport {
+            snapshot_gen: gen,
+            snapshot_last_seq: last_seq,
+            records_replayed: replayed,
+            ingests_replayed,
+            rows_appended,
+            records_already_folded: already_folded,
+            torn_bytes: scan.torn_bytes,
+            skipped_generations: skipped,
+        };
+        let store = SynopsisStore {
+            dir,
+            policy,
+            log,
+            next_seq: max_seq + 1,
+            current_gen: gen,
+            current_table_gen: table_gen,
+            // Replayed ingests are already durable in the partition files;
+            // a paged snapshot never folds a table generation anyway.
+            table_dirty: false,
+            data_epoch: replayed_data_epoch,
+            schema_fp: fingerprint(&state.schema),
+            table_fp,
+            paged: true,
+            stats: StoreStats::default(),
+            sticky_error: None,
+            _lock: lock,
+        };
+        Ok((
+            store,
+            Recovered {
+                meta,
+                table: resolution.clone(),
+                state,
+                data_epoch: replayed_data_epoch,
+                paged: Some(PagedRecovered {
+                    map,
+                    original_part_rows,
+                    resolution,
+                    total_rows_at_snapshot: total_rows,
+                    tails,
+                    replayed_batches,
+                    part_torn_bytes,
+                }),
                 report,
             },
         ))
@@ -464,6 +799,46 @@ impl SynopsisStore {
         Ok(seq)
     }
 
+    /// Whether this store is paged (out-of-core).
+    pub fn is_paged(&self) -> bool {
+        self.paged
+    }
+
+    /// Write-extends the partition files an ingest batch touched. Call
+    /// **after** [`SynopsisStore::append_ingest`] for the same batch:
+    /// the WAL record (sequence `seq`) is the durability anchor, and the
+    /// per-partition records written here are tagged with it so crash
+    /// replay re-appends the batch only to partitions whose file missed
+    /// it. `routed` assigns each batch row to its partition (see
+    /// [`verdict_storage::PartitionMap::extend_batch`]); only partitions
+    /// that actually received rows have their file opened or written.
+    pub fn append_parts(&mut self, seq: u64, batch: &Table, routed: &[u32]) -> Result<()> {
+        if !self.paged {
+            return Err(StoreError::Mismatch(
+                "append_parts on a store without partition files".into(),
+            ));
+        }
+        if routed.len() != batch.num_rows() {
+            return Err(StoreError::Mismatch(format!(
+                "routing covers {} rows but the batch holds {}",
+                routed.len(),
+                batch.num_rows()
+            )));
+        }
+        let mut by_part: std::collections::BTreeMap<u32, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (row, &p) in routed.iter().enumerate() {
+            by_part.entry(p).or_default().push(row);
+        }
+        for (p, rows) in by_part {
+            let fragment = batch
+                .gather(&rows)
+                .map_err(|e| StoreError::Mismatch(format!("slicing partition {p}: {e}")))?;
+            append_part_record(&self.dir, p, seq, &fragment, 0..rows.len())?;
+        }
+        Ok(())
+    }
+
     /// Whether the compaction policy asks for a snapshot now.
     pub fn needs_compaction(&self) -> bool {
         self.log.appended_since_reset() >= self.policy.compact_after_records
@@ -499,6 +874,11 @@ impl SynopsisStore {
         state_bytes: &[u8],
         table: &Table,
     ) -> Result<SnapshotReceipt> {
+        if self.paged {
+            return Err(StoreError::Mismatch(
+                "paged store: use snapshot_paged".into(),
+            ));
+        }
         if schema_fp != self.schema_fp {
             return Err(StoreError::Mismatch(
                 "snapshot state schema differs from the store's schema".into(),
@@ -526,8 +906,67 @@ impl SynopsisStore {
             self.table_fp,
             self.data_epoch,
             state_bytes,
+            None,
         )?;
         bytes_written += file_len(&snap_path);
+        self.finish_snapshot(gen, bytes_written, started)
+    }
+
+    /// The paged counterpart of [`SynopsisStore::snapshot_encoded`]. A
+    /// paged checkpoint never folds a table generation — the base rows
+    /// are already durable in their partition files (every
+    /// [`SynopsisStore::append_parts`] fsyncs) — so the snapshot carries
+    /// the paged state (partition map, resolution dictionaries, sample
+    /// tails) and compaction cost scales with the synopsis plus the map,
+    /// never the data.
+    pub fn snapshot_paged(
+        &mut self,
+        meta: SessionMeta,
+        schema_fp: u64,
+        state_bytes: &[u8],
+        paged: &PagedState,
+    ) -> Result<SnapshotReceipt> {
+        if !self.paged {
+            return Err(StoreError::Mismatch(
+                "snapshot_paged on a store without partition files".into(),
+            ));
+        }
+        if schema_fp != self.schema_fp {
+            return Err(StoreError::Mismatch(
+                "snapshot state schema differs from the store's schema".into(),
+            ));
+        }
+        if !meta.paged {
+            return Err(StoreError::Mismatch(
+                "snapshot_paged requires meta.paged".into(),
+            ));
+        }
+        let started = std::time::Instant::now();
+        let gen = self.current_gen + 1;
+        let snap_path = write_snapshot(
+            &self.dir,
+            gen,
+            self.next_seq - 1,
+            self.current_table_gen,
+            &meta,
+            self.table_fp,
+            self.data_epoch,
+            state_bytes,
+            Some(paged),
+        )?;
+        self.table_dirty = false;
+        let bytes_written = file_len(&snap_path);
+        self.finish_snapshot(gen, bytes_written, started)
+    }
+
+    /// Common tail of a checkpoint: the new generation is in place, so
+    /// truncate the log, prune old generations, and account the write.
+    fn finish_snapshot(
+        &mut self,
+        gen: u64,
+        bytes_written: u64,
+        started: std::time::Instant,
+    ) -> Result<SnapshotReceipt> {
         self.current_gen = gen;
         // The snapshot now covers every logged record; a crash past this
         // point replays nothing (seq <= last_seq), so truncating the log
@@ -686,6 +1125,8 @@ mod tests {
             seed: 1,
             num_samples: 1,
             original_rows: 20,
+            partition_spec: None,
+            paged: false,
             config: VerdictConfig::default(),
         }
     }
@@ -931,6 +1372,244 @@ mod tests {
         assert!(matches!(
             SynopsisStore::open(&dir, StorePolicy::default()),
             Err(StoreError::Io(_) | StoreError::NotFound(_))
+        ));
+    }
+
+    // ----------------------------------------------------------------
+    // Paged (out-of-core) stores.
+    // ----------------------------------------------------------------
+
+    use verdict_storage::PartitionSpec;
+
+    fn paged_meta() -> SessionMeta {
+        SessionMeta {
+            partition_spec: Some(PartitionSpec::range("t", vec![7.0, 14.0])),
+            paged: true,
+            ..meta()
+        }
+    }
+
+    fn fresh_paged_store(name: &str) -> (PathBuf, SynopsisStore, PagedState) {
+        let dir = tempdir(name);
+        let engine = Verdict::new(schema_info(), VerdictConfig::default());
+        let (store, paged) = SynopsisStore::create_paged(
+            &dir,
+            StorePolicy::default(),
+            paged_meta(),
+            &small_table(),
+            &engine.export_state(),
+        )
+        .unwrap();
+        (dir, store, paged)
+    }
+
+    fn ingest_rows(lo: usize, n: usize) -> Vec<Vec<Value>> {
+        (lo..lo + n)
+            .map(|i| vec![Value::Num((i % 20) as f64), Value::Num(2.0)])
+            .collect()
+    }
+
+    #[test]
+    fn paged_create_writes_part_files_not_table_generations() {
+        let (dir, store, paged) = fresh_paged_store("paged-create");
+        assert!(store.is_paged());
+        assert_eq!(paged.map.num_partitions(), 3);
+        assert_eq!(paged.original_part_rows, vec![7, 7, 6]);
+        assert_eq!(paged.total_rows, 20);
+        assert_eq!(paged.tails.len(), 1);
+        assert_eq!(paged.resolution.num_rows(), 0);
+        assert_eq!(list_table_generations(&dir).unwrap(), Vec::<u64>::new());
+        for p in 0..3 {
+            assert!(crate::partfile::part_path(&dir, p).exists(), "part {p}");
+        }
+        // Rows round-trip partition by partition.
+        let back = crate::partfile::read_part_rows(&dir, 0, &paged.resolution, usize::MAX).unwrap();
+        assert_eq!(back.num_rows(), 7);
+        assert!(back
+            .column("t")
+            .unwrap()
+            .numeric()
+            .unwrap()
+            .iter()
+            .all(|&t| t < 7.0));
+    }
+
+    #[test]
+    fn paged_open_recovers_and_replays_ingests() {
+        let (dir, mut store, paged) = fresh_paged_store("paged-open");
+        // One snippet + two ingest batches, WAL first then part files —
+        // exactly the live session's ordering.
+        store
+            .append_snippet(
+                &AggKey::avg("v"),
+                &region(0.0, 10.0),
+                Observation::new(5.0, 0.2),
+            )
+            .unwrap();
+        let mut map = paged.map.clone();
+        for lo in [0usize, 8] {
+            let rows = ingest_rows(lo, 8);
+            let seq = store.append_ingest(&rows, &[]).unwrap();
+            let mut batch = paged.resolution.clone();
+            batch.push_rows(&rows).unwrap();
+            let routed = map.route(&batch, 0..batch.num_rows()).unwrap();
+            map.extend_batch(&batch).unwrap();
+            store.append_parts(seq, &batch, &routed).unwrap();
+        }
+        drop(store);
+
+        let (store, recovered) = SynopsisStore::open(&dir, StorePolicy::default()).unwrap();
+        assert!(store.is_paged());
+        let rec = recovered.paged.expect("paged recovery state");
+        assert_eq!(recovered.report.ingests_replayed, 2);
+        assert_eq!(recovered.report.rows_appended, 16);
+        assert_eq!(rec.replayed_batches.len(), 2);
+        assert_eq!(rec.total_rows_at_snapshot, 20);
+        assert_eq!(rec.original_part_rows, vec![7, 7, 6]);
+        // The map was extended through replay to cover the ingested rows.
+        assert_eq!(rec.map.rows_covered(), 36);
+        // Replay did NOT duplicate the already-durable part appends: each
+        // file holds the create record plus at most one record per seq.
+        let mut rows_on_disk = 0;
+        for p in 0..3u32 {
+            let scan = crate::partfile::scan_part_file(&dir, p).unwrap();
+            let mut seqs = scan.seqs.clone();
+            seqs.dedup();
+            assert_eq!(seqs, scan.seqs, "partition {p} holds duplicate seqs");
+            rows_on_disk += scan.rows;
+        }
+        assert_eq!(rows_on_disk, 20 + 16);
+        assert_eq!(recovered.table.num_rows(), 0, "resolution table is empty");
+    }
+
+    #[test]
+    fn paged_crash_between_wal_and_part_appends_heals() {
+        // Simulate the worst crash: the WAL record landed but only SOME
+        // partition files got their append (and the last one is torn).
+        let (dir, mut store, paged) = fresh_paged_store("paged-crash");
+        let rows = ingest_rows(0, 12);
+        let seq = store.append_ingest(&rows, &[]).unwrap();
+        let mut batch = paged.resolution.clone();
+        batch.push_rows(&rows).unwrap();
+        let mut map = paged.map.clone();
+        let routed = map.route(&batch, 0..batch.num_rows()).unwrap();
+        map.extend_batch(&batch).unwrap();
+        // Append to partition 0 only; partitions 1 and 2 never see the
+        // batch. Then tear partition 0's record mid-frame.
+        let p0_rows: Vec<usize> = routed
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p == 0)
+            .map(|(i, _)| i)
+            .collect();
+        let fragment = batch.gather(&p0_rows).unwrap();
+        let before = std::fs::metadata(crate::partfile::part_path(&dir, 0))
+            .unwrap()
+            .len();
+        crate::partfile::append_part_record(&dir, 0, seq, &fragment, 0..p0_rows.len()).unwrap();
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(crate::partfile::part_path(&dir, 0))
+            .unwrap();
+        f.set_len(before + 5).unwrap(); // torn mid-header
+        drop(f);
+        drop(store);
+
+        let (_, recovered) = SynopsisStore::open(&dir, StorePolicy::default()).unwrap();
+        let rec = recovered.paged.unwrap();
+        assert!(rec.part_torn_bytes > 0);
+        assert_eq!(recovered.report.ingests_replayed, 1);
+        // After recovery every partition holds the batch exactly once.
+        let mut rows_on_disk = 0;
+        for p in 0..3u32 {
+            let scan = crate::partfile::scan_part_file(&dir, p).unwrap();
+            assert_eq!(scan.torn_bytes, 0, "partition {p} still torn");
+            rows_on_disk += scan.rows;
+        }
+        assert_eq!(rows_on_disk, 20 + 12);
+        assert_eq!(rec.map.rows_covered(), 32);
+    }
+
+    #[test]
+    fn paged_snapshot_folds_log_and_reopens_identically() {
+        let (dir, mut store, paged) = fresh_paged_store("paged-snap");
+        let mut engine = Verdict::new(schema_info(), VerdictConfig::default());
+        engine.restore_state(engine.export_state()).unwrap();
+        let rows = ingest_rows(0, 10);
+        let seq = store.append_ingest(&rows, &[]).unwrap();
+        let mut batch = paged.resolution.clone();
+        batch.push_rows(&rows).unwrap();
+        let mut map = paged.map.clone();
+        let routed = map.route(&batch, 0..batch.num_rows()).unwrap();
+        map.extend_batch(&batch).unwrap();
+        store.append_parts(seq, &batch, &routed).unwrap();
+        // Checkpoint with the extended paged state, as the session would.
+        let folded = PagedState {
+            map: map.clone(),
+            original_part_rows: paged.original_part_rows.clone(),
+            resolution: paged.resolution.clone(),
+            total_rows: 30,
+            tails: paged.tails.clone(),
+        };
+        let state = engine.export_state();
+        let receipt = store
+            .snapshot_paged(
+                paged_meta(),
+                fingerprint(&state.schema),
+                &state.to_bytes(),
+                &folded,
+            )
+            .unwrap();
+        assert_eq!(receipt.generation, 1);
+        // Mixing up the entry points is refused.
+        assert!(matches!(
+            store.snapshot_encoded(
+                paged_meta(),
+                fingerprint(&state.schema),
+                &state.to_bytes(),
+                &small_table()
+            ),
+            Err(StoreError::Mismatch(_))
+        ));
+        drop(store);
+
+        let (store, recovered) = SynopsisStore::open(&dir, StorePolicy::default()).unwrap();
+        assert_eq!(recovered.report.snapshot_gen, 1);
+        assert_eq!(recovered.report.records_replayed, 0, "log was folded");
+        let rec = recovered.paged.unwrap();
+        assert_eq!(rec.total_rows_at_snapshot, 30);
+        assert_eq!(rec.map.rows_covered(), 30);
+        assert!(rec.replayed_batches.is_empty());
+        assert_eq!(store.data_epoch(), 1);
+    }
+
+    #[test]
+    fn create_paged_requires_spec_and_flag() {
+        let dir = tempdir("paged-guards");
+        let engine = Verdict::new(schema_info(), VerdictConfig::default());
+        let no_spec = SessionMeta {
+            paged: true,
+            ..meta()
+        };
+        assert!(matches!(
+            SynopsisStore::create_paged(
+                &dir,
+                StorePolicy::default(),
+                no_spec,
+                &small_table(),
+                &engine.export_state(),
+            ),
+            Err(StoreError::Mismatch(_))
+        ));
+        assert!(matches!(
+            SynopsisStore::create(
+                &dir,
+                StorePolicy::default(),
+                paged_meta(),
+                &small_table(),
+                &engine.export_state(),
+            ),
+            Err(StoreError::Mismatch(_))
         ));
     }
 }

@@ -101,6 +101,8 @@ fn fuzz_meta() -> SessionMeta {
         seed: 3,
         num_samples: 1,
         original_rows: 30,
+        partition_spec: None,
+        paged: false,
         config: VerdictConfig::default(),
     }
 }

@@ -51,7 +51,7 @@
 use std::collections::HashSet;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
 use std::time::{Duration, Instant};
 
 use verdict_aqp::{AqpEngine, CostModel, OnlineAggregation, ScanKernel, StorageTier};
@@ -60,19 +60,19 @@ use verdict_core::{AggKey, QualifiedAggKey, SchemaInfo, Verdict, VerdictConfig};
 use verdict_obs::{MetricsHub, MetricsSnapshot, QueryLog, QueryTrace, ScanTrace, Stopwatch};
 use verdict_sql::checker::JoinPolicy;
 use verdict_sql::{check_query, parse_query, resolve_from, SupportVerdict};
-use verdict_storage::{PartitionMap, Table, Value};
+use verdict_storage::{PartitionMap, PartitionStore, Table, Value};
 use verdict_store::catalog::{catalog_exists, is_valid_table_name, table_dir};
 use verdict_store::{
-    read_catalog, write_catalog, CatalogManifest, Recovered, RecoveryReport, SessionMeta,
-    SharedStore, StorePolicy, SynopsisStore,
+    read_catalog, write_catalog, CatalogManifest, PagedState, Recovered, RecoveryReport,
+    SessionMeta, SharedStore, StorePolicy, SynopsisStore,
 };
 
 use crate::metrics::{CheckpointReport, TableObs};
 use crate::query::{Prepared, QueryOptions};
 use crate::session::{
-    default_parallelism, draw_engines, plan_shared_scan, prepare_ingest, query_trace,
-    run_shared_read, widening_magnitude, IngestReport, ReadOutcome, SampleRotation, SessionParts,
-    StagePrelude,
+    build_paged_engines, default_parallelism, draw_engines, plan_shared_scan, prepare_ingest,
+    prepare_ingest_paged, query_trace, run_shared_read, widening_magnitude, IngestReport,
+    PagedRuntime, ReadOutcome, SampleRotation, SessionParts, StagePrelude,
 };
 use crate::{Error, QueryOutcome, Result};
 
@@ -205,6 +205,9 @@ pub(crate) struct Writer {
     /// each ingest's Lemma-3 widening to the regions its partitions can
     /// reach.
     pub(crate) partitions: Option<PartitionMap>,
+    /// Out-of-core runtime of a demand-paged table (promoted paged
+    /// session or a reopened paged store); `None` for resident tables.
+    pub(crate) paged: Option<PagedRuntime>,
 }
 
 /// One table's full runtime: published snapshot pair, serialized writer,
@@ -255,6 +258,7 @@ impl Shard {
         scan_kernel: ScanKernel,
         parallelism: usize,
         partitions: Option<PartitionMap>,
+        paged: Option<PagedRuntime>,
     ) -> Arc<Shard> {
         let data = Arc::new(DataSet {
             data_epoch: verdict.data_epoch(),
@@ -280,6 +284,7 @@ impl Shard {
                 learner,
                 meta,
                 partitions,
+                paged,
             }),
             recovery,
             obs,
@@ -393,14 +398,33 @@ impl Shard {
         let Some(store) = &self.store else {
             return Ok(None);
         };
-        let table = Arc::clone(&self.current().data.table);
+        let data = Arc::clone(&self.current().data);
         let engine = writer.learner.engine();
         let schema_fp = verdict_core::persist::fingerprint(engine.schema());
         let state_bytes = engine.state_bytes();
         let (receipt, stats) = {
             let mut guard = store.lock();
-            let receipt =
-                guard.snapshot_encoded(writer.meta.clone(), schema_fp, &state_bytes, &table)?;
+            let receipt = if let Some(rt) = &writer.paged {
+                let state = PagedState {
+                    map: rt.map.read().expect("partition map poisoned").clone(),
+                    original_part_rows: rt.original_part_rows.clone(),
+                    resolution: (*data.table).clone(),
+                    total_rows: rt.total_rows,
+                    tails: data
+                        .engines
+                        .iter()
+                        .map(|e| {
+                            e.sample()
+                                .paged_tail()
+                                .expect("paged shard engines carry tails")
+                                .clone()
+                        })
+                        .collect(),
+                };
+                guard.snapshot_paged(writer.meta.clone(), schema_fp, &state_bytes, &state)?
+            } else {
+                guard.snapshot_encoded(writer.meta.clone(), schema_fp, &state_bytes, &data.table)?
+            };
             (receipt, guard.stats())
         };
         self.obs
@@ -445,6 +469,9 @@ impl Shard {
                 wal_bytes: 0,
                 widening_magnitude: 0.0,
             });
+        }
+        if writer.paged.is_some() {
+            return self.ingest_paged(&mut writer, &snapshot, rows, t0);
         }
         let old = &snapshot.data;
         // All fallible work first (validation, shift estimation, staged
@@ -516,16 +543,103 @@ impl Shard {
         Ok(report)
     }
 
+    /// Out-of-core ingest: the batch is WAL-logged then write-extends only
+    /// the touched partition files; no sampled row moves. Mirrors
+    /// [`crate::VerdictSession`]'s paged ingest under this shard's writer
+    /// lock, publishing the next data set copy-on-write (the resolution
+    /// table only syncs dictionaries; each engine's resident tail admits
+    /// its rows through the same pure per-row admission function).
+    fn ingest_paged(
+        &self,
+        writer: &mut Writer,
+        snapshot: &SessionSnapshot,
+        rows: &[Vec<Value>],
+        t0: Instant,
+    ) -> Result<IngestReport> {
+        let old = &snapshot.data;
+        let (map_arc, total_rows) = {
+            let rt = writer.paged.as_ref().expect("caller checked");
+            (Arc::clone(&rt.map), rt.total_rows)
+        };
+        let (prepared, batch, routed) = {
+            let map = map_arc.read().expect("partition map poisoned");
+            prepare_ingest_paged(
+                writer.learner.engine(),
+                &old.table,
+                old.engines[self.fixed_sample].sample(),
+                &map,
+                total_rows,
+                rows,
+            )?
+        };
+        // Paged shards are persistent by construction.
+        let store = self.store.as_ref().expect("paged shards have a store");
+        let wal_bytes = {
+            let mut guard = store.lock();
+            let before = guard.stats().wal_bytes;
+            let seq = guard
+                .append_ingest(rows, &prepared.adjustments)
+                .map_err(Error::Store)?;
+            guard
+                .append_parts(seq, &batch, &routed)
+                .map_err(Error::Store)?;
+            guard.stats().wal_bytes - before
+        };
+        map_arc
+            .write()
+            .expect("partition map poisoned")
+            .extend_batch(&batch)
+            .map_err(Error::Storage)?;
+        let mut table = (*old.table).clone();
+        table
+            .sync_dictionaries_from(&batch)
+            .map_err(Error::Storage)?;
+        let mut engines = old.engines.clone();
+        let mut admitted_rows = Vec::with_capacity(engines.len());
+        for (i, engine) in engines.iter_mut().enumerate() {
+            admitted_rows.push(
+                engine
+                    .paged_absorb_appended(&batch, total_rows, writer.meta.seed, i as u64)
+                    .map_err(Error::Aqp)?,
+            );
+        }
+        let adjusted_snippets = writer.learner.engine_mut().commit_ingest(prepared.staged);
+        writer.learner.republish();
+        writer.paged.as_mut().expect("caller checked").total_rows += rows.len() as u64;
+        let data = Arc::new(DataSet {
+            data_epoch: old.data_epoch + 1,
+            table: Arc::new(table),
+            engines,
+        });
+        let data_epoch = data.data_epoch;
+        self.publish_locked(writer, Some(data));
+        self.maybe_compact(writer);
+        let report = IngestReport {
+            appended_rows: rows.len(),
+            admitted_rows,
+            adjusted_keys: prepared.adjustments.len(),
+            adjusted_snippets,
+            skipped_keys: prepared.skipped_keys,
+            data_epoch,
+            elapsed: t0.elapsed(),
+            refit_elapsed: prepared.refit_elapsed,
+            wal_bytes,
+            widening_magnitude: widening_magnitude(&prepared.adjustments),
+        };
+        self.obs.record_ingest(&report);
+        self.refresh_engine_gauges(&self.current());
+        Ok(report)
+    }
+
     /// Re-publishes the engine-state gauges from a published snapshot.
     /// No-op without a metrics hub.
     pub(crate) fn refresh_engine_gauges(&self, snapshot: &SessionSnapshot) {
         self.obs.refresh_engine(
             snapshot.engine.synopsis_total_snippets(),
             snapshot.engine.synopsis_num_keys(),
-            snapshot.data.engines[self.fixed_sample]
-                .sample()
-                .table()
-                .num_rows(),
+            // `len()` counts covered + tail rows on a paged sample, whose
+            // resident `table()` is the zero-row resolution.
+            snapshot.data.engines[self.fixed_sample].sample().len(),
             snapshot.engine.epoch(),
             snapshot.data.data_epoch,
         );
@@ -633,6 +747,9 @@ pub struct OpenOptions {
     pub scan_kernel: ScanKernel,
     /// Worker threads per shared scan (default: available cores).
     pub parallelism: usize,
+    /// Partition-cache byte budget for out-of-core (paged) tables
+    /// (default: effectively unbounded). Ignored for resident tables.
+    pub memory_budget: Option<u64>,
 }
 
 impl Default for OpenOptions {
@@ -647,6 +764,7 @@ impl Default for OpenOptions {
             query_log: None,
             scan_kernel: ScanKernel::default(),
             parallelism: default_parallelism(),
+            memory_budget: None,
         }
     }
 }
@@ -709,6 +827,14 @@ impl OpenOptions {
     /// [`DatabaseBuilder::parallelism`]).
     pub fn with_parallelism(mut self, n: usize) -> Self {
         self.parallelism = n.max(1);
+        self
+    }
+
+    /// Bounds the partition cache of reopened out-of-core tables to
+    /// `bytes` (see [`crate::SessionBuilder::memory_budget`]). Answers
+    /// never change with the budget — only how often segments fault in.
+    pub fn with_memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes);
         self
     }
 }
@@ -842,6 +968,8 @@ impl DatabaseBuilder {
                 num_samples: opts.num_samples.max(1) as u64,
                 original_rows: table.num_rows() as u64,
                 config: opts.config.clone(),
+                partition_spec: None,
+                paged: false,
             };
             let mut verdict = Verdict::new(schema, opts.config);
             let store = match &self.persist {
@@ -875,6 +1003,7 @@ impl DatabaseBuilder {
                 obs,
                 self.scan_kernel,
                 self.parallelism,
+                None,
                 None,
             ));
         }
@@ -1008,6 +1137,7 @@ impl Database {
             parts.scan_kernel,
             parts.parallelism,
             parts.partitions,
+            parts.paged,
         );
         Database {
             inner: Arc::new(DbInner {
@@ -1144,6 +1274,9 @@ impl Database {
             shard.parallelism,
             scan.as_mut(),
         )?;
+        if engine.sample().is_paged() {
+            shard.obs.record_partition_cache(&read.cache);
+        }
         let absorb_sw = Stopwatch::started_if(tracing);
         if learn {
             shard.absorb_read(&read);
@@ -1293,17 +1426,53 @@ fn shard_from_recovered(
     opts: &OpenOptions,
 ) -> Result<Arc<Shard>> {
     let meta = recovered.meta.clone();
-    let engines = draw_engines(
-        &recovered.table,
-        meta.original_rows as usize,
-        meta.sample_fraction,
-        meta.batch_size as usize,
-        meta.seed,
-        meta.num_samples as usize,
-        &opts.cost,
-        opts.tier,
-        None,
-    )?;
+    let dir = store.dir().to_path_buf();
+    // Out-of-core table: no rows to redraw from — rebuild the identical
+    // partition map and demand-paged engines from the recovered paged
+    // state (segments re-derive from the same frozen per-partition draw).
+    let (table, engines, paged) = match recovered.paged {
+        Some(pr) => {
+            let total_rows = pr.total_rows_at_snapshot
+                + pr.replayed_batches
+                    .iter()
+                    .map(|b| b.num_rows() as u64)
+                    .sum::<u64>();
+            let runtime = PagedRuntime {
+                map: Arc::new(RwLock::new(pr.map)),
+                store: Arc::new(PartitionStore::new(opts.memory_budget.unwrap_or(u64::MAX))),
+                original_part_rows: pr.original_part_rows,
+                total_rows,
+            };
+            let engines = build_paged_engines(
+                &dir,
+                &runtime,
+                &pr.resolution,
+                pr.total_rows_at_snapshot,
+                pr.tails,
+                &pr.replayed_batches,
+                meta.sample_fraction,
+                meta.batch_size as usize,
+                meta.seed,
+                &opts.cost,
+                opts.tier,
+            )?;
+            (pr.resolution, engines, Some(runtime))
+        }
+        None => {
+            let engines = draw_engines(
+                &recovered.table,
+                meta.original_rows as usize,
+                meta.sample_fraction,
+                meta.batch_size as usize,
+                meta.seed,
+                meta.num_samples as usize,
+                &opts.cost,
+                opts.tier,
+                None,
+            )?;
+            (recovered.table, engines, None)
+        }
+    };
     // Reuse the *persisted* schema: deriving it from the recovered table
     // would pick up bounds widened by ingested rows and spuriously reject
     // the stored state as schema-mismatched.
@@ -1317,7 +1486,7 @@ fn shard_from_recovered(
     verdict.set_observer(shared.observer());
     Ok(Shard::new(
         name,
-        recovered.table,
+        table,
         engines,
         0,
         opts.rotation,
@@ -1329,6 +1498,7 @@ fn shard_from_recovered(
         opts.scan_kernel,
         opts.parallelism,
         None,
+        paged,
     ))
 }
 

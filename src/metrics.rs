@@ -26,6 +26,9 @@
 //! | `verdict_scan_morsels_total` | morsels claimed by parallel scan workers |
 //! | `verdict_scan_morsels_stolen_total` | morsels stolen across worker deques |
 //! | `verdict_partitions_pruned_total` | sample partitions skipped wholesale via partition summaries |
+//! | `verdict_partition_cache_hits_total` | out-of-core segment pins served from the partition cache |
+//! | `verdict_partition_cache_misses_total` | out-of-core segment pins that faulted the segment from disk |
+//! | `verdict_partition_cache_evictions_total` | cached segments evicted to stay under the memory budget |
 //! | `verdict_rows_matched_total` | scanned rows that passed the base predicate |
 //! | `verdict_cells_total` | result cells (groups × aggregates) answered |
 //! | `verdict_cells_frozen_early_total` | cells that met the stop policy before the scan ended |
@@ -45,7 +48,9 @@
 //! Gauges (last written value): `verdict_synopsis_snippets`,
 //! `verdict_synopsis_keys`, `verdict_sample_rows`, `verdict_epoch`,
 //! `verdict_data_epoch`, `verdict_widening_magnitude` (Lemma-3
-//! `Σ(|µ|+η)` of the most recent ingest), and the store poll
+//! `Σ(|µ|+η)` of the most recent ingest),
+//! `verdict_partitions_resident_bytes` (bytes of paged sample segments
+//! currently cached in memory), and the store poll
 //! `verdict_wal_appends`, `verdict_wal_bytes`,
 //! `verdict_store_snapshots`, `verdict_store_snapshot_bytes`.
 
@@ -53,6 +58,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use verdict_obs::{Counter, Gauge, Histogram, MetricsHub, QueryLog, QueryTrace};
+use verdict_storage::CacheCounters;
 use verdict_store::StoreStats;
 
 use crate::session::IngestReport;
@@ -114,6 +120,10 @@ struct Handles {
     scan_morsels: Counter,
     scan_morsels_stolen: Counter,
     partitions_pruned: Counter,
+    partition_cache_hits: Counter,
+    partition_cache_misses: Counter,
+    partition_cache_evictions: Counter,
+    partitions_resident_bytes: Gauge,
     rows_matched: Counter,
     scan_selectivity_pct: Histogram,
     cells: Counter,
@@ -159,6 +169,12 @@ impl Handles {
             scan_morsels: hub.table_counter("verdict_scan_morsels_total", table),
             scan_morsels_stolen: hub.table_counter("verdict_scan_morsels_stolen_total", table),
             partitions_pruned: hub.table_counter("verdict_partitions_pruned_total", table),
+            partition_cache_hits: hub.table_counter("verdict_partition_cache_hits_total", table),
+            partition_cache_misses: hub
+                .table_counter("verdict_partition_cache_misses_total", table),
+            partition_cache_evictions: hub
+                .table_counter("verdict_partition_cache_evictions_total", table),
+            partitions_resident_bytes: hub.table_gauge("verdict_partitions_resident_bytes", table),
             rows_matched: hub.table_counter("verdict_rows_matched_total", table),
             scan_selectivity_pct: hub.table_histogram("verdict_scan_selectivity_pct", table),
             cells: hub.table_counter("verdict_cells_total", table),
@@ -281,6 +297,18 @@ impl TableObs {
             h.refit_ns.record(duration_ns(report.refit_elapsed));
             h.widening_magnitude.set(report.widening_magnitude);
             h.data_epoch.set(report.data_epoch as f64);
+        }
+    }
+
+    /// One shared scan's partition-cache activity (`delta` is the
+    /// counter movement during that scan; `resident_bytes` is the cache
+    /// occupancy after it).
+    pub(crate) fn record_partition_cache(&self, delta: &CacheCounters) {
+        if let Some(h) = &self.handles {
+            h.partition_cache_hits.add(delta.hits);
+            h.partition_cache_misses.add(delta.misses);
+            h.partition_cache_evictions.add(delta.evictions);
+            h.partitions_resident_bytes.set(delta.resident_bytes as f64);
         }
     }
 

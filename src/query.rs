@@ -219,6 +219,14 @@ impl Bound<'_> {
         let base = prepared.bind(sample_table, &self.params)?;
         let group_keys: Vec<GroupKey> = if prepared.group_cols().is_empty() {
             Vec::new()
+        } else if engine.sample().is_paged() {
+            // A paged sample's resident table is the zero-row resolution;
+            // enumerate by streaming segments (pruned partitions skipped
+            // without I/O).
+            engine
+                .sample()
+                .paged_distinct_group_keys(&base, prepared.group_cols())
+                .map_err(Error::Aqp)?
         } else {
             distinct_group_keys(sample_table, &base, prepared.group_cols())
                 .map_err(Error::Storage)?
@@ -242,6 +250,9 @@ impl Bound<'_> {
             shard.parallelism,
             scan.as_mut(),
         )?;
+        if engine.sample().is_paged() {
+            shard.obs.record_partition_cache(&read.cache);
+        }
         let absorb_sw = Stopwatch::started_if(tracing);
         if learn {
             shard.absorb_read(&read);

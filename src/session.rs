@@ -68,15 +68,15 @@
 //! retrain (`cargo run --release --example ingest`).
 
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use verdict_aqp::{
-    parallel_scan, AqpEngine, AqpError, CostModel, OnlineAggregation, Sample, ScanKernel, ScanSpec,
-    SharedScanDriver, StorageTier,
+    parallel_scan, AqpEngine, AqpError, CostModel, OnlineAggregation, PagedRep, Sample, ScanDriver,
+    ScanKernel, ScanSpec, SegmentLoader, StorageTier,
 };
 use verdict_core::{
     AggKey, EngineStats, EngineView, ImprovedAnswer, IngestBounds, Observation, Region, SchemaInfo,
@@ -93,10 +93,13 @@ use verdict_sql::{
 #[cfg(feature = "legacy-executor")]
 use verdict_sql::{decompose, SnippetSpec};
 use verdict_storage::{
-    distinct_group_keys, AggregateFn, ColumnSummary, Expr, GroupKey, PartitionMap, PartitionSpec,
-    Predicate, Table, Value,
+    distinct_group_keys, AggregateFn, CacheCounters, ColumnSummary, Expr, GroupKey, PartitionMap,
+    PartitionSpec, PartitionStore, Predicate, StorageError, Table, Value,
 };
-use verdict_store::{RecoveryReport, SessionMeta, SharedStore, StorePolicy, SynopsisStore};
+use verdict_store::{
+    read_part_rows, PagedRecovered, PagedState, RecoveryReport, SessionMeta, SharedStore,
+    StorePolicy, SynopsisStore,
+};
 
 use crate::metrics::{CheckpointReport, TableObs};
 use crate::{Error, Result};
@@ -307,6 +310,7 @@ pub struct SessionBuilder {
     scan_kernel: ScanKernel,
     partition: Option<PartitionSpec>,
     parallelism: usize,
+    memory_budget: Option<u64>,
 }
 
 /// Worker threads a builder defaults to: all available cores (1 when the
@@ -330,6 +334,10 @@ struct RecoveredState {
     /// Ingested batches the recovered state has folded (snapshot +
     /// replayed WAL ingest records).
     data_epoch: u64,
+    /// Out-of-core recovery state, present exactly when the opened store
+    /// is paged: partition map, resolution dictionaries, per-sample
+    /// ingest tails, and the WAL batches to re-admit.
+    paged: Option<PagedRecovered>,
 }
 
 impl SessionBuilder {
@@ -354,6 +362,7 @@ impl SessionBuilder {
             scan_kernel: ScanKernel::default(),
             partition: None,
             parallelism: default_parallelism(),
+            memory_budget: None,
         }
     }
 
@@ -392,12 +401,14 @@ impl SessionBuilder {
             scan_kernel: ScanKernel::default(),
             partition: None,
             parallelism: default_parallelism(),
+            memory_budget: None,
             recovered: Some(RecoveredState {
                 store: SharedStore::new(store),
                 state: recovered.state,
                 report: recovered.report,
                 meta,
                 data_epoch: recovered.data_epoch,
+                paged: recovered.paged,
             }),
         })
     }
@@ -453,13 +464,30 @@ impl SessionBuilder {
     /// synopses of regions the touched partitions can overlap
     /// (partition-aware Lemma 3).
     ///
-    /// Incompatible with [`SessionBuilder::persist_to`] /
-    /// [`SessionBuilder::open`]: the partition spec is not part of the
-    /// persisted session metadata, so a recovered session could not
-    /// redraw the same partitioned sample. `build()` refuses the
-    /// combination.
+    /// Combined with [`SessionBuilder::persist_to`], the session becomes
+    /// **out-of-core**: the base table is split into one columnar
+    /// `part-<id>.vcol` file per partition, the spec is persisted in the
+    /// session metadata, and every sample is served demand-paged through
+    /// a [`verdict_storage::PartitionStore`] buffer manager under the
+    /// [`SessionBuilder::memory_budget`]. A warm start
+    /// ([`SessionBuilder::open`]) rebuilds the identical partition map
+    /// and sample draw from the manifest — do not also call
+    /// `partition_by` on an opened builder; the spec comes from the
+    /// store.
     pub fn partition_by(mut self, spec: PartitionSpec) -> Self {
         self.partition = Some(spec);
+        self
+    }
+
+    /// Byte budget for resident (cached) sample segments of an
+    /// out-of-core session — the [`verdict_storage::PartitionStore`]
+    /// evicts least-recently-used unpinned segments down to this bound.
+    /// Answers are bit-identical at any budget ≥ one partition; only
+    /// fault traffic changes. Unlimited when unset. `build()` refuses
+    /// the knob on sessions that are not out-of-core
+    /// (`partition_by` + `persist_to`, or `open` of a paged store).
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.memory_budget = Some(bytes);
         self
     }
 
@@ -552,35 +580,51 @@ impl SessionBuilder {
             Some(r) => r.meta.original_rows as usize,
             None => self.table.num_rows(),
         };
-        // Partitioning and persistence are mutually exclusive: the spec
-        // is not part of SessionMeta, so a warm start (or WAL replay)
-        // would redraw an unpartitioned sample and apply unfiltered
-        // Lemma-3 widenings — silently diverging from the live session.
-        if self.partition.is_some() && (self.persist.is_some() || self.recovered.is_some()) {
+        // An opened store already knows its partition spec (and whether
+        // it is paged); a second spec from the builder could silently
+        // disagree with the files on disk — refuse.
+        if self.partition.is_some() && self.recovered.is_some() {
             return Err(Error::Aqp(AqpError::InvalidConfig(
-                "partition_by cannot be combined with persist_to/open: the partition \
-                 spec is not persisted, so recovery could not rebuild the same \
-                 partitioned sample"
+                "partition_by cannot be combined with open(): a persisted session's \
+                 partition spec comes from the store's manifest"
                     .into(),
             )));
         }
+        // `partition_by` + `persist_to` on a fresh build = out-of-core:
+        // partitions become columnar files, samples are demand-paged.
+        let paged_create = self.partition.is_some() && self.persist.is_some();
+        let paged_open = self.recovered.as_ref().is_some_and(|r| r.meta.paged);
+        if self.memory_budget.is_some() && !(paged_create || paged_open) {
+            return Err(Error::Aqp(AqpError::InvalidConfig(
+                "memory_budget only applies to out-of-core sessions \
+                 (partition_by + persist_to, or open() of a paged store)"
+                    .into(),
+            )));
+        }
+        let budget = self.memory_budget.unwrap_or(u64::MAX);
         let partitions = match &self.partition {
-            Some(spec) => {
+            // A paged session's routing map lives inside the runtime
+            // (shared with every sample), not in this resident-side slot.
+            Some(spec) if !paged_create => {
                 Some(PartitionMap::build(&self.table, spec.clone()).map_err(Error::Storage)?)
             }
-            None => None,
+            _ => None,
         };
-        let engines = draw_engines(
-            &self.table,
-            original_rows,
-            self.sample_fraction,
-            self.batch_size,
-            self.seed,
-            self.num_samples,
-            &self.cost,
-            self.tier,
-            self.partition.as_ref(),
-        )?;
+        let mut engines = if paged_create || paged_open {
+            Vec::new() // built below, once the partition files exist
+        } else {
+            draw_engines(
+                &self.table,
+                original_rows,
+                self.sample_fraction,
+                self.batch_size,
+                self.seed,
+                self.num_samples,
+                &self.cost,
+                self.tier,
+                self.partition.as_ref(),
+            )?
+        };
         // The dimension universe is fixed at session creation. A warm
         // start must reuse the *persisted* schema: deriving it from the
         // recovered table would pick up bounds widened by ingested rows
@@ -596,9 +640,19 @@ impl SessionBuilder {
             num_samples: self.num_samples as u64,
             original_rows: original_rows as u64,
             config: self.config.clone(),
+            partition_spec: match &self.recovered {
+                Some(r) => r.meta.partition_spec.clone(),
+                None if paged_create => self.partition.clone(),
+                None => None,
+            },
+            paged: paged_create || paged_open,
         };
         let mut verdict = Verdict::new(schema, self.config);
 
+        let mut paged_runtime: Option<PagedRuntime> = None;
+        // For an out-of-core session this becomes the zero-row resolution
+        // table (schema + dictionaries); the base rows live on disk.
+        let mut resolution_table: Option<Table> = None;
         let (store, recovery) = match (self.recovered, &self.persist) {
             (
                 Some(RecoveredState {
@@ -607,6 +661,7 @@ impl SessionBuilder {
                     report,
                     meta: opened_meta,
                     data_epoch,
+                    paged,
                 }),
                 persist,
             ) => {
@@ -660,18 +715,89 @@ impl SessionBuilder {
                 }
                 verdict.restore_state(state).map_err(Error::Core)?;
                 verdict.set_data_epoch(data_epoch);
+                if let Some(pr) = paged {
+                    // Warm start of an out-of-core session: rebuild the
+                    // runtime from the manifest (identical map, identical
+                    // draw), seed each sample with its snapshot tail, then
+                    // re-admit the replayed WAL batches exactly as the
+                    // live session did.
+                    let dir = store.lock().dir().to_path_buf();
+                    let total_rows = pr.total_rows_at_snapshot
+                        + pr.replayed_batches
+                            .iter()
+                            .map(|b| b.num_rows() as u64)
+                            .sum::<u64>();
+                    let runtime = PagedRuntime {
+                        map: Arc::new(RwLock::new(pr.map)),
+                        store: Arc::new(PartitionStore::new(budget)),
+                        original_part_rows: pr.original_part_rows,
+                        total_rows,
+                    };
+                    engines = build_paged_engines(
+                        &dir,
+                        &runtime,
+                        &pr.resolution,
+                        pr.total_rows_at_snapshot,
+                        pr.tails,
+                        &pr.replayed_batches,
+                        self.sample_fraction,
+                        self.batch_size,
+                        self.seed,
+                        &self.cost,
+                        self.tier,
+                    )?;
+                    resolution_table = Some(pr.resolution);
+                    paged_runtime = Some(runtime);
+                }
                 (Some(store), Some(report))
             }
             (None, Some(path)) => {
-                let store = SynopsisStore::create(
-                    path,
-                    self.store_policy,
-                    meta.clone(),
-                    &self.table,
-                    &verdict.export_state(),
-                )
-                .map_err(Error::Store)?;
-                (Some(SharedStore::new(store)), None)
+                if paged_create {
+                    let (store, paged_state) = SynopsisStore::create_paged(
+                        path,
+                        self.store_policy,
+                        meta.clone(),
+                        &self.table,
+                        &verdict.export_state(),
+                    )
+                    .map_err(Error::Store)?;
+                    let dir = store.dir().to_path_buf();
+                    let runtime = PagedRuntime {
+                        map: Arc::new(RwLock::new(paged_state.map)),
+                        store: Arc::new(PartitionStore::new(budget)),
+                        original_part_rows: paged_state.original_part_rows,
+                        total_rows: paged_state.total_rows,
+                    };
+                    // The session keeps only the zero-row resolution
+                    // table resident; the base rows stay in their
+                    // partition files from here on.
+                    engines = build_paged_engines(
+                        &dir,
+                        &runtime,
+                        &paged_state.resolution,
+                        runtime.total_rows,
+                        paged_state.tails,
+                        &[],
+                        self.sample_fraction,
+                        self.batch_size,
+                        self.seed,
+                        &self.cost,
+                        self.tier,
+                    )?;
+                    resolution_table = Some(paged_state.resolution);
+                    paged_runtime = Some(runtime);
+                    (Some(SharedStore::new(store)), None)
+                } else {
+                    let store = SynopsisStore::create(
+                        path,
+                        self.store_policy,
+                        meta.clone(),
+                        &self.table,
+                        &verdict.export_state(),
+                    )
+                    .map_err(Error::Store)?;
+                    (Some(SharedStore::new(store)), None)
+                }
             }
             (None, None) => (None, None),
         };
@@ -683,7 +809,7 @@ impl SessionBuilder {
         // that label.
         let obs = TableObs::new(self.metrics, self.query_log, "t");
         Ok(VerdictSession {
-            table: self.table,
+            table: resolution_table.unwrap_or(self.table),
             engines,
             active: 0,
             rotation: self.rotation,
@@ -696,6 +822,7 @@ impl SessionBuilder {
             scan_kernel: self.scan_kernel,
             partitions,
             parallelism: self.parallelism,
+            paged: paged_runtime,
         })
     }
 
@@ -724,6 +851,104 @@ pub struct VerdictSession {
     /// The per-sample maps pruning reads live inside each [`Sample`].
     partitions: Option<PartitionMap>,
     parallelism: usize,
+    /// Out-of-core runtime (paged sessions only): the shared partition
+    /// map, the segment buffer manager, and the evolving row count. For
+    /// a paged session `table` above is the zero-row resolution table.
+    paged: Option<PagedRuntime>,
+}
+
+/// The shared out-of-core machinery of a paged session: every sample's
+/// [`PagedRep`] holds `Arc`s of the same map and buffer manager, so
+/// ingest-time map extension is visible to later scans and all samples
+/// compete under one byte budget.
+pub(crate) struct PagedRuntime {
+    /// Routing + per-partition summaries over the whole base table
+    /// (create rows + every ingest). `RwLock`: scans read, ingest writes.
+    pub(crate) map: Arc<RwLock<PartitionMap>>,
+    /// Buffer manager caching derived sample segments under the budget.
+    pub(crate) store: Arc<PartitionStore>,
+    /// Create-time rows per partition — the frozen sample-draw domain.
+    pub(crate) original_part_rows: Vec<u64>,
+    /// Base-table rows (create + ingested): what `exact()` normalizes by
+    /// and where the next ingest's global row indices start.
+    pub(crate) total_rows: u64,
+}
+
+/// Per-sample draw seed of an out-of-core session: FNV-1a over the
+/// session seed and the sample index. The segment shuffle seed inside
+/// [`PagedRep`] mixes only `(draw_seed, partition)`, so without this
+/// outer mix every sample of a multi-sample session would draw identical
+/// segments — correlated errors, exactly what multiple samples exist to
+/// avoid.
+pub(crate) fn paged_draw_seed(seed: u64, sample_index: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for word in [seed, sample_index] {
+        for byte in word.to_le_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+    h
+}
+
+/// Builds the demand-paged engines of an out-of-core session — shared by
+/// fresh create, warm open, and the [`crate::Database`] open path. The
+/// loader faults a partition's base rows from its `part-<id>.vcol` file,
+/// decoding against the resolution prototype (a dictionary superset of
+/// every create-time fragment) and stopping at the create-time row count
+/// so ingested appends never enter the draw. `tails` seeds each sample's
+/// resident ingest tail (zero-row at create, the snapshot's tail on a
+/// warm open) with `base_rows` the row count that tail state corresponds
+/// to; `replayed` WAL batches are then re-admitted in order, exactly as
+/// the live session absorbed them.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_paged_engines(
+    dir: &Path,
+    runtime: &PagedRuntime,
+    resolution: &Table,
+    base_rows: u64,
+    tails: Vec<Table>,
+    replayed: &[Table],
+    sample_fraction: f64,
+    batch_size: usize,
+    seed: u64,
+    cost: &CostModel,
+    tier: StorageTier,
+) -> Result<Vec<OnlineAggregation>> {
+    let proto = resolution.clone();
+    let opr = runtime.original_part_rows.clone();
+    let dir = dir.to_path_buf();
+    let loader: Arc<SegmentLoader> = Arc::new(move |p: u32| {
+        read_part_rows(&dir, p, &proto, opr[p as usize] as usize)
+            .map_err(|e| StorageError::Io(format!("partition {p}: {e}")))
+    });
+    let mut engines = Vec::with_capacity(tails.len());
+    for (i, tail) in tails.into_iter().enumerate() {
+        let rep = PagedRep::new(
+            Arc::clone(&runtime.store),
+            Arc::clone(&loader),
+            Arc::clone(&runtime.map),
+            paged_draw_seed(seed, i as u64),
+            i as u32,
+            sample_fraction,
+            batch_size,
+            runtime.original_part_rows.clone(),
+            tail,
+        );
+        let sample =
+            Sample::paged(resolution.clone(), base_rows as usize, rep).map_err(Error::Aqp)?;
+        engines.push(OnlineAggregation::new(sample, cost.clone(), tier));
+    }
+    let mut first = base_rows;
+    for batch in replayed {
+        for (i, engine) in engines.iter_mut().enumerate() {
+            engine
+                .paged_absorb_appended(batch, first, seed, i as u64)
+                .map_err(Error::Aqp)?;
+        }
+        first += batch.num_rows() as u64;
+    }
+    Ok(engines)
 }
 
 /// The pieces a [`VerdictSession`] decomposes into when it is promoted to
@@ -742,6 +967,7 @@ pub(crate) struct SessionParts {
     pub(crate) scan_kernel: ScanKernel,
     pub(crate) partitions: Option<PartitionMap>,
     pub(crate) parallelism: usize,
+    pub(crate) paged: Option<PagedRuntime>,
 }
 
 impl VerdictSession {
@@ -825,6 +1051,7 @@ impl VerdictSession {
             scan_kernel: self.scan_kernel,
             partitions: self.partitions,
             parallelism: self.parallelism,
+            paged: self.paged,
         }
     }
 
@@ -832,6 +1059,19 @@ impl VerdictSession {
     /// [`SessionBuilder::partition_by`].
     pub fn partition_map(&self) -> Option<&PartitionMap> {
         self.partitions.as_ref()
+    }
+
+    /// Whether this session serves its samples out-of-core
+    /// (demand-paged partition files under a memory budget).
+    pub fn is_paged(&self) -> bool {
+        self.paged.is_some()
+    }
+
+    /// Cumulative partition-cache counters of an out-of-core session
+    /// (`None` on a resident session): hits, misses, evictions, bytes
+    /// faulted, and the resident-bytes gauge.
+    pub fn partition_cache(&self) -> Option<CacheCounters> {
+        self.paged.as_ref().map(|rt| rt.store.counters())
     }
 
     /// Worker threads one query's shared scan uses.
@@ -904,8 +1144,32 @@ impl VerdictSession {
         let state_bytes = self.verdict.state_bytes();
         let (receipt, stats) = {
             let mut guard = store.lock();
-            let receipt =
-                guard.snapshot_encoded(self.meta.clone(), schema_fp, &state_bytes, &self.table)?;
+            let receipt = match &self.paged {
+                Some(rt) => {
+                    // A paged snapshot carries the out-of-core state —
+                    // map, resolution dictionaries, per-sample ingest
+                    // tails — instead of a table generation; the base
+                    // rows are already durable in their partition files.
+                    let state = PagedState {
+                        map: rt.map.read().expect("partition map poisoned").clone(),
+                        original_part_rows: rt.original_part_rows.clone(),
+                        resolution: self.table.clone(),
+                        total_rows: rt.total_rows,
+                        tails: self
+                            .engines
+                            .iter()
+                            .map(|e| e.sample().paged_tail().expect("paged session").clone())
+                            .collect(),
+                    };
+                    guard.snapshot_paged(self.meta.clone(), schema_fp, &state_bytes, &state)?
+                }
+                None => guard.snapshot_encoded(
+                    self.meta.clone(),
+                    schema_fp,
+                    &state_bytes,
+                    &self.table,
+                )?,
+            };
             (receipt, guard.stats())
         };
         self.obs
@@ -1024,6 +1288,9 @@ impl VerdictSession {
                 widening_magnitude: 0.0,
             });
         }
+        if self.paged.is_some() {
+            return self.ingest_paged(rows, t0);
+        }
         // All fallible work first (validation, shift estimation, staged
         // synopsis rewrites + model refits), shared with the concurrent
         // path; see `prepare_ingest` for the ordering rationale.
@@ -1085,21 +1352,116 @@ impl VerdictSession {
         Ok(report)
     }
 
+    /// The out-of-core half of [`VerdictSession::ingest`]: identical
+    /// contract, WAL-first ordering. The batch is coded against the
+    /// resolution table (so partition files hold globally valid
+    /// dictionary codes), the ingest WAL record anchors durability, then
+    /// only the touched partitions' files are write-extended
+    /// ([`verdict_store::SynopsisStore::append_parts`]) before the map,
+    /// the resolution dictionaries, and every sample tail absorb the
+    /// rows. Crash replay re-appends the batch only to partition files
+    /// that missed it, so memory and disk stay mutually consistent.
+    fn ingest_paged(&mut self, rows: &[Vec<Value>], t0: Instant) -> Result<IngestReport> {
+        let (map_arc, total_rows) = {
+            let rt = self.paged.as_ref().expect("caller checked");
+            (Arc::clone(&rt.map), rt.total_rows)
+        };
+        let (prepared, batch, routed) = {
+            let map = map_arc.read().expect("partition map poisoned");
+            prepare_ingest_paged(
+                &self.verdict,
+                &self.table,
+                self.engines[self.active].sample(),
+                &map,
+                total_rows,
+                rows,
+            )?
+        };
+        // Paged sessions are persistent by construction.
+        let store = self.store.as_ref().expect("paged sessions have a store");
+        let wal_bytes = {
+            let mut guard = store.lock();
+            let before = guard.stats().wal_bytes;
+            let seq = guard
+                .append_ingest(rows, &prepared.adjustments)
+                .map_err(Error::Store)?;
+            guard
+                .append_parts(seq, &batch, &routed)
+                .map_err(Error::Store)?;
+            guard.stats().wal_bytes - before
+        };
+        map_arc
+            .write()
+            .expect("partition map poisoned")
+            .extend_batch(&batch)
+            .map_err(Error::Storage)?;
+        self.table
+            .sync_dictionaries_from(&batch)
+            .map_err(Error::Storage)?;
+        let mut admitted_rows = Vec::with_capacity(self.engines.len());
+        for (i, engine) in self.engines.iter_mut().enumerate() {
+            admitted_rows.push(
+                engine
+                    .paged_absorb_appended(&batch, total_rows, self.meta.seed, i as u64)
+                    .map_err(Error::Aqp)?,
+            );
+        }
+        let adjusted_snippets = self.verdict.commit_ingest(prepared.staged);
+        self.paged.as_mut().expect("caller checked").total_rows += rows.len() as u64;
+        self.maybe_compact();
+        let report = IngestReport {
+            appended_rows: rows.len(),
+            admitted_rows,
+            adjusted_keys: prepared.adjustments.len(),
+            adjusted_snippets,
+            skipped_keys: prepared.skipped_keys,
+            data_epoch: self.verdict.data_epoch(),
+            elapsed: t0.elapsed(),
+            refit_elapsed: prepared.refit_elapsed,
+            wal_bytes,
+            widening_magnitude: widening_magnitude(&prepared.adjustments),
+        };
+        self.obs.record_ingest(&report);
+        self.refresh_engine_gauges();
+        Ok(report)
+    }
+
     /// Re-publishes the engine-state gauges (synopsis/sample sizes,
     /// epochs). No-op without a metrics hub.
     fn refresh_engine_gauges(&self) {
         self.obs.refresh_engine(
             self.verdict.synopsis_total_snippets(),
             self.verdict.synopsis_keys().len(),
-            self.engines[self.active].sample().table().num_rows(),
+            // `len()` counts covered + tail rows on a paged sample, whose
+            // resident `table()` is the zero-row resolution.
+            self.engines[self.active].sample().len(),
             self.verdict.epoch(),
             self.verdict.data_epoch(),
         );
     }
 
     /// Exact (ground-truth) answer for an aggregate over the *base* table;
-    /// used by experiments to report actual errors.
+    /// used by experiments to report actual errors. On an out-of-core
+    /// session this streams every partition file back in (an experiment
+    /// convenience, deliberately not budget-bounded — ground truth needs
+    /// the whole relation).
     pub fn exact(&self, agg: &AggregateFn, predicate: &Predicate) -> Result<f64> {
+        if let Some(rt) = &self.paged {
+            let store = self.store.as_ref().expect("paged sessions have a store");
+            let dir = store.lock().dir().to_path_buf();
+            let mut full = self.table.clone();
+            let map = rt.map.read().expect("partition map poisoned");
+            for p in 0..map.num_partitions() {
+                let rows = map.part(p).rows() as usize;
+                if rows == 0 {
+                    continue;
+                }
+                let frag =
+                    read_part_rows(&dir, p as u32, &self.table, rows).map_err(Error::Store)?;
+                full.append(&frag).map_err(Error::Storage)?;
+            }
+            return agg.eval_exact(&full, predicate).map_err(Error::Storage);
+        }
         agg.eval_exact(&self.table, predicate)
             .map_err(Error::Storage)
     }
@@ -1142,6 +1504,9 @@ impl VerdictSession {
             self.parallelism,
             scan.as_mut(),
         )?;
+        if self.paged.is_some() {
+            self.obs.record_partition_cache(&read.cache);
+        }
         // Learn path (serialized trivially here — `&mut self`): fold the
         // counter delta in, then record the raw snippet observations in
         // the same per-snippet order Algorithm 2 produces (this is what
@@ -1216,7 +1581,7 @@ impl VerdictSession {
         let epoch = self.verdict.epoch();
 
         let sample_table = self.engines[self.active].sample().table();
-        let group_keys = enumerate_groups(&query, sample_table)?;
+        let group_keys = enumerate_groups(&query, self.engines[self.active].sample())?;
         let nmax = self.verdict.config().nmax;
         let decomposed = decompose(&query, sample_table, &group_keys, nmax)?;
 
@@ -1334,13 +1699,15 @@ pub(crate) fn draw_engines(
 }
 
 /// Enumerates the group values present in the sample's answer set (the
-/// AQP engine's result set determines the groups, §2.3) in one pass.
-fn enumerate_groups(query: &Query, sample_table: &Table) -> Result<Vec<GroupKey>> {
+/// AQP engine's result set determines the groups, §2.3) in one pass. A
+/// paged sample streams its segments (pruning from map summaries first);
+/// a resident sample scans its table.
+fn enumerate_groups(query: &Query, sample: &Sample) -> Result<Vec<GroupKey>> {
     if query.group_by.is_empty() {
         return Ok(Vec::new());
     }
     let base_pred = match &query.where_clause {
-        Some(w) => verdict_sql::resolve::to_predicate(w, sample_table)?,
+        Some(w) => verdict_sql::resolve::to_predicate(w, sample.table())?,
         None => Predicate::True,
     };
     let cols: Vec<String> = query
@@ -1351,7 +1718,13 @@ fn enumerate_groups(query: &Query, sample_table: &Table) -> Result<Vec<GroupKey>
             _ => None,
         })
         .collect();
-    distinct_group_keys(sample_table, &base_pred, &cols).map_err(Error::Storage)
+    if sample.is_paged() {
+        sample
+            .paged_distinct_group_keys(&base_pred, &cols)
+            .map_err(Error::Aqp)
+    } else {
+        distinct_group_keys(sample.table(), &base_pred, &cols).map_err(Error::Storage)
+    }
 }
 
 /// The stage clocks the serving layer measures around the shared read
@@ -1399,6 +1772,9 @@ pub(crate) fn query_trace(
         morsels_stolen: scan.morsels_stolen,
         partitions: scan.partitions,
         partitions_pruned: scan.partitions_pruned,
+        partition_cache_hits: scan.partition_cache_hits,
+        partition_cache_misses: scan.partition_cache_misses,
+        partition_bytes_faulted: scan.partition_bytes_faulted,
         stages: StageTimings {
             parse_ns: stages.parse_ns,
             plan_ns: stages.plan_ns,
@@ -1428,9 +1804,11 @@ pub(crate) fn plan_shared_scan(
     engine: &OnlineAggregation,
     nmax: usize,
 ) -> Result<ScanPlan> {
-    let sample_table = engine.sample().table();
-    let group_keys = enumerate_groups(query, sample_table)?;
-    Ok(plan_scan(query, sample_table, &group_keys, nmax)?)
+    let sample = engine.sample();
+    let group_keys = enumerate_groups(query, sample)?;
+    // `table()` is the resolution table on a paged sample — zero rows,
+    // but planning only needs the schema and dictionaries.
+    Ok(plan_scan(query, sample.table(), &group_keys, nmax)?)
 }
 
 /// Everything fallible about one ingest, computed up front: the batch
@@ -1504,6 +1882,135 @@ pub(crate) fn prepare_ingest(
     })
 }
 
+/// The out-of-core counterpart of [`prepare_ingest`], shared by the
+/// serial session and the database shard. On top of the resident
+/// preparation it (a) codes the batch against the *resolution* table so
+/// the rows written to partition files carry globally valid dictionary
+/// codes, (b) streams the paged sample segment-by-segment (then the
+/// tail) for the `AVG` shift estimates — identical values, in identical
+/// order, to evaluating the materialized sample, so the WAL-logged
+/// adjustments are independent of the memory budget — and (c) routes
+/// every batch row to its partition for the write-extend.
+pub(crate) fn prepare_ingest_paged(
+    verdict: &Verdict,
+    resolution: &Table,
+    sample: &Sample,
+    map: &PartitionMap,
+    total_rows: u64,
+    rows: &[Vec<Value>],
+) -> Result<(PreparedIngest, Table, Vec<u32>)> {
+    let mut batch = resolution.clone();
+    batch.push_rows(rows).map_err(Error::Storage)?;
+    let old_rows = total_rows as usize;
+    let (adjustments, skipped_keys) = compute_ingest_adjustments_paged(
+        &verdict.synopsis_keys(),
+        sample,
+        &batch,
+        old_rows,
+        rows.len(),
+    )?;
+    let bounds = ingest_bounds(map, &batch).map_err(Error::Storage)?;
+    let refit_t0 = Instant::now();
+    let staged = verdict
+        .stage_ingest_filtered(&adjustments, Some(&bounds))
+        .map_err(Error::Core)?;
+    let refit_elapsed = refit_t0.elapsed();
+    let routed = map
+        .route(&batch, 0..batch.num_rows())
+        .map_err(Error::Storage)?;
+    Ok((
+        PreparedIngest {
+            old_rows,
+            adjustments,
+            skipped_keys,
+            staged,
+            refit_elapsed,
+        },
+        batch,
+        routed,
+    ))
+}
+
+/// The per-key synopsis adjustments for one ingested batch, plus the
+/// keys that had to be skipped (unevaluable expressions).
+pub(crate) type IngestAdjustments = (
+    Vec<(AggKey, verdict_core::append::AppendAdjustment)>,
+    Vec<AggKey>,
+);
+
+/// [`compute_ingest_adjustments`] for a paged sample: `AVG` old-value
+/// columns are gathered in one streaming pass over the segments (then
+/// the tail) instead of one resident evaluation — same rows, same order,
+/// same estimates. A key whose expression fails to compile against any
+/// fragment is skipped, exactly like the resident path.
+fn compute_ingest_adjustments_paged(
+    keys: &[AggKey],
+    sample: &Sample,
+    batch_table: &Table,
+    old_rows: usize,
+    appended_rows: usize,
+) -> Result<IngestAdjustments> {
+    use verdict_core::append::AppendAdjustment;
+    let parsed: Vec<Option<Expr>> = keys
+        .iter()
+        .map(|k| match k {
+            AggKey::Avg(expr_str) => Expr::parse(expr_str).ok(),
+            _ => None,
+        })
+        .collect();
+    // One pass over all fragments for all AVG keys together: faulting
+    // every segment once per key would multiply the I/O by the synopsis
+    // width.
+    let mut old_values: Vec<Option<Vec<f64>>> = parsed
+        .iter()
+        .map(|p| p.as_ref().map(|_| Vec::new()))
+        .collect();
+    sample
+        .paged_visit(|frag| {
+            for (expr, vals) in parsed.iter().zip(old_values.iter_mut()) {
+                let (Some(expr), Some(acc)) = (expr, vals.as_mut()) else {
+                    continue;
+                };
+                match eval_expr_column(expr, frag) {
+                    Some(mut v) => acc.append(&mut v),
+                    None => *vals = None,
+                }
+            }
+            Ok(())
+        })
+        .map_err(Error::Aqp)?;
+    let mut adjustments = Vec::with_capacity(keys.len());
+    let mut skipped = Vec::new();
+    for ((key, expr), old) in keys.iter().zip(parsed.iter()).zip(old_values) {
+        match key {
+            AggKey::Freq => adjustments.push((
+                key.clone(),
+                AppendAdjustment::freq_worst_case(old_rows, appended_rows),
+            )),
+            AggKey::Avg(_) => {
+                let adjustment = match (expr, old) {
+                    (Some(expr), Some(old_values)) => {
+                        eval_expr_column(expr, batch_table).map(|new_values| {
+                            AppendAdjustment::estimate(
+                                &old_values,
+                                &new_values,
+                                old_rows,
+                                appended_rows,
+                            )
+                        })
+                    }
+                    _ => None,
+                };
+                match adjustment {
+                    Some(a) => adjustments.push((key.clone(), a)),
+                    None => skipped.push(key.clone()),
+                }
+            }
+        }
+    }
+    Ok((adjustments, skipped))
+}
+
 /// Bounds covering everything a partitioned ingest touches, per column:
 /// the batch is routed through a throwaway [`PartitionMap`] built over
 /// the batch table (routing is a pure function of the cell value, so it
@@ -1564,10 +2071,7 @@ pub(crate) fn compute_ingest_adjustments(
     batch_table: &Table,
     old_rows: usize,
     appended_rows: usize,
-) -> (
-    Vec<(AggKey, verdict_core::append::AppendAdjustment)>,
-    Vec<AggKey>,
-) {
+) -> IngestAdjustments {
     use verdict_core::append::AppendAdjustment;
     let mut adjustments = Vec::with_capacity(keys.len());
     let mut skipped = Vec::new();
@@ -1616,6 +2120,9 @@ pub(crate) struct ReadOutcome {
     pub(crate) result: QueryResult,
     pub(crate) recorded: Vec<(Snippet, Observation)>,
     pub(crate) stats: EngineStats,
+    /// Partition-cache delta of this query's scan (all-zero on a
+    /// resident sample; `resident_bytes` is the gauge value after).
+    pub(crate) cache: CacheCounters,
 }
 
 /// Runs one shared scan to answer every cell of `plan` under the given
@@ -1636,10 +2143,7 @@ pub(crate) fn run_shared_read(
     parallelism: usize,
     mut trace: Option<&mut ScanTrace>,
 ) -> Result<ReadOutcome> {
-    let mut stats = EngineStats::default();
-    let num_groups = plan.groups.len();
-    let num_aggs = plan.aggregates.len();
-    let num_cells = num_groups * num_aggs;
+    let num_cells = plan.groups.len() * plan.aggregates.len();
     if num_cells == 0 {
         // A grouped query whose predicate selects no sample rows: no
         // result rows, and (exactly like the per-snippet path) nothing
@@ -1654,11 +2158,10 @@ pub(crate) fn run_shared_read(
                 elapsed: Duration::ZERO,
             },
             recorded: Vec::new(),
-            stats,
+            stats: EngineStats::default(),
+            cache: CacheCounters::default(),
         });
     }
-
-    let n_base = engine.sample().base_rows() as f64;
 
     // Model keys of the primitive streams and regions of the groups.
     let prim_keys: Vec<AggKey> = plan
@@ -1683,8 +2186,99 @@ pub(crate) fn run_shared_read(
         groups: &scan_groups,
         primitives: &plan.primitives,
     };
+
+    if engine.sample().is_paged() {
+        // Out-of-core: the paged driver pins segments per batch, prunes
+        // cold partitions from map summaries alone, and latches fault
+        // failures so the morsel coordinator always completes
+        // structurally. Same scan-and-finalize core, so answers match
+        // the resident path bit for bit.
+        let rep = Arc::clone(engine.sample().paged_rep().expect("paged sample"));
+        let before = rep.partition_store().counters();
+        let mut driver = engine.paged_scan(&spec).map_err(Error::Aqp)?;
+        driver.set_kernel(kernel);
+        let sink = driver.error_sink();
+        let mut out = scan_and_finalize(
+            engine,
+            view,
+            plan,
+            mode,
+            policy,
+            epoch,
+            parallelism,
+            trace.as_deref_mut(),
+            driver,
+            || {
+                let mut d = engine.paged_scan(&spec).ok()?;
+                d.set_kernel(kernel);
+                // Worker faults surface on the coordinator's latch.
+                d.set_error_sink(Arc::clone(&sink));
+                Some(d)
+            },
+            &prim_keys,
+            &regions,
+        )?;
+        if let Some(e) = sink.lock().expect("error latch poisoned").take() {
+            return Err(Error::Storage(e));
+        }
+        let delta = rep.partition_store().counters().since(&before);
+        if let Some(t) = trace {
+            t.partition_cache_hits = delta.hits;
+            t.partition_cache_misses = delta.misses;
+            t.partition_bytes_faulted = delta.bytes_faulted;
+        }
+        out.cache = delta;
+        return Ok(out);
+    }
+
     let mut driver = engine.shared_scan(&spec).map_err(Error::Aqp)?;
     driver.set_kernel(kernel);
+    scan_and_finalize(
+        engine,
+        view,
+        plan,
+        mode,
+        policy,
+        epoch,
+        parallelism,
+        trace,
+        driver,
+        || {
+            let mut d = engine.shared_scan(&spec).ok()?;
+            d.set_kernel(kernel);
+            Some(d)
+        },
+        &prim_keys,
+        &regions,
+    )
+}
+
+/// The executor core shared by the resident and out-of-core read paths:
+/// drives one morsel-parallel scan of `driver` (worker cursors from
+/// `make_scanner`), runs the stop policy after every ordered merge, and
+/// finalizes every cell. Generic over [`ScanDriver`], so the paged and
+/// resident drivers walk the exact same sequence of merged states —
+/// which is what makes their answers bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn scan_and_finalize<D: ScanDriver, F: Fn() -> Option<D> + Sync>(
+    engine: &OnlineAggregation,
+    view: EngineView<'_>,
+    plan: &ScanPlan,
+    mode: Mode,
+    policy: StopPolicy,
+    epoch: u64,
+    parallelism: usize,
+    mut trace: Option<&mut ScanTrace>,
+    mut driver: D,
+    make_scanner: F,
+    prim_keys: &[AggKey],
+    regions: &[Option<Region>],
+) -> Result<ReadOutcome> {
+    let mut stats = EngineStats::default();
+    let num_groups = plan.groups.len();
+    let num_aggs = plan.aggregates.len();
+    let num_cells = num_groups * num_aggs;
+    let n_base = engine.sample().base_rows() as f64;
 
     // The stop policy bounds the *one* query-wide scan: a tuple or
     // time budget buys one prefix of the sample regardless of how many
@@ -1746,11 +2340,7 @@ pub(crate) fn run_shared_read(
         &mut driver,
         parallelism,
         max_batches,
-        || {
-            let mut d = engine.shared_scan(&spec).ok()?;
-            d.set_kernel(kernel);
-            Some(d)
-        },
+        make_scanner,
         |d| match policy {
             StopPolicy::ScanAll => true,
             StopPolicy::TupleBudget(_) | StopPolicy::TimeBudgetNs(_) => {
@@ -1761,7 +2351,7 @@ pub(crate) fn run_shared_read(
                 // those that meet it.
                 let infer_sw = Stopwatch::started_if(tracing);
                 let evaluated = evaluate_live_cells(
-                    view, &mut stats, plan, d, &prim_keys, &regions, mode, n_base, &frozen,
+                    view, &mut stats, plan, d, prim_keys, regions, mode, n_base, &frozen,
                 );
                 infer_ns += infer_sw.elapsed_ns();
                 last_unmet.clear();
@@ -1793,7 +2383,7 @@ pub(crate) fn run_shared_read(
             last_unmet
         } else {
             evaluate_live_cells(
-                view, &mut stats, plan, &driver, &prim_keys, &regions, mode, n_base, &frozen,
+                view, &mut stats, plan, &driver, prim_keys, regions, mode, n_base, &frozen,
             )
         };
     infer_ns += infer_sw.elapsed_ns();
@@ -1879,6 +2469,8 @@ pub(crate) fn run_shared_read(
         },
         recorded,
         stats,
+        // The paged wrapper overwrites this with the real delta.
+        cache: CacheCounters::default(),
     })
 }
 
@@ -2017,11 +2609,11 @@ fn cell_prim_indices(spec: &verdict_sql::AggregateSpec) -> impl Iterator<Item = 
 /// counter bumps land in `stats`. Returns `(cell index, snapshot)`
 /// pairs; cell indices are group-major (`g * num_aggs + a`).
 #[allow(clippy::too_many_arguments)]
-fn evaluate_live_cells(
+fn evaluate_live_cells<D: ScanDriver>(
     view: EngineView<'_>,
     stats: &mut EngineStats,
     plan: &ScanPlan,
-    driver: &SharedScanDriver<'_>,
+    driver: &D,
     prim_keys: &[AggKey],
     regions: &[Option<Region>],
     mode: Mode,

@@ -1,0 +1,445 @@
+//! Out-of-core (demand-paged) parity and durability guarantees through
+//! the public session API.
+//!
+//! The partition cache is a pure performance lever: answers, error
+//! bounds, stop points, and learned state must be **bit-identical** at
+//! any memory budget (from "one partition barely fits" to "everything
+//! resident") and at any thread count — the budget may only change how
+//! often segments fault in, never what a query computes. Warm restarts
+//! rebuild the identical partition map and sample geometry from the
+//! manifest, and torn partition-file tails (a crash mid-append) heal
+//! from the WAL on open without changing a single answer.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use verdict::{Mode, QueryResult, SessionBuilder, StopPolicy, VerdictSession};
+use verdict_storage::{AggregateFn, Expr, PartitionSpec, Predicate, Table, Value};
+
+const REGIONS: [&str; 10] = ["r0", "r1", "r2", "r3", "r4", "r5", "r6", "r7", "r8", "r9"];
+
+/// A deterministic table: numeric `week` dimension (1..=25), categorical
+/// `region` dimension (10 labels), `rev` measure.
+fn base_table(rows: usize) -> Table {
+    let schema = verdict_storage::Schema::new(vec![
+        verdict_storage::ColumnDef::numeric_dimension("week"),
+        verdict_storage::ColumnDef::categorical_dimension("region"),
+        verdict_storage::ColumnDef::measure("rev"),
+    ])
+    .unwrap();
+    let mut t = Table::new(schema);
+    let mut state = 0x9e3779b97f4a7c15u64;
+    for i in 0..rows {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+        let week = 1.0 + (i % 25) as f64;
+        let region = REGIONS[i % REGIONS.len()];
+        let rev = 50.0 + 10.0 * (week / 4.0).sin() + 8.0 * (u - 0.5);
+        t.push_row(vec![week.into(), region.into(), rev.into()])
+            .unwrap();
+    }
+    t
+}
+
+fn temp_store(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("verdict-ooc-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// An out-of-core session: range-partitioned on `week` (4 partitions),
+/// persisted to `dir`, partition cache bounded to `budget` bytes.
+fn paged_session(dir: &PathBuf, rows: usize, budget: u64, threads: usize) -> VerdictSession {
+    let s = SessionBuilder::new(base_table(rows))
+        .sample_fraction(0.25)
+        .batch_size(150)
+        .seed(17)
+        .parallelism(threads)
+        .partition_by(PartitionSpec::range("week", vec![6.0, 12.0, 18.0]))
+        .persist_to(dir)
+        .memory_budget(budget)
+        .query_log(16)
+        .build()
+        .unwrap();
+    assert!(
+        s.is_paged(),
+        "partition_by + persist_to must go out-of-core"
+    );
+    s
+}
+
+const POLICIES: [StopPolicy; 4] = [
+    StopPolicy::ScanAll,
+    StopPolicy::TupleBudget(700),
+    StopPolicy::TimeBudgetNs(12_000_000.0),
+    StopPolicy::RelativeErrorBound {
+        target: 0.05,
+        delta: 0.95,
+    },
+];
+
+const QUERIES: [&str; 6] = [
+    "SELECT AVG(rev) FROM t WHERE week BETWEEN 2 AND 9",
+    "SELECT SUM(rev), COUNT(*) FROM t WHERE week BETWEEN 7 AND 20",
+    "SELECT region, AVG(rev) FROM t WHERE week BETWEEN 1 AND 25 GROUP BY region",
+    "SELECT week, COUNT(*) FROM t WHERE region IN ('r1', 'r4', 'r7') GROUP BY week",
+    "SELECT AVG(rev), SUM(rev) FROM t WHERE week = 13",
+    "SELECT COUNT(*) FROM t WHERE week BETWEEN 19 AND 25",
+];
+
+/// A bit-exact fingerprint of a query result: group keys, raw and
+/// improved answers/errors (as IEEE bits), per-cell scan positions.
+fn fingerprint(r: &QueryResult) -> String {
+    use std::fmt::Write;
+    let mut out = format!("truncated={} tuples={}\n", r.truncated, r.tuples_scanned);
+    for row in &r.rows {
+        match &row.group {
+            None => out.push_str("<all>"),
+            Some(key) => {
+                for v in key.iter() {
+                    match v {
+                        Value::Num(x) => write!(out, "n{:016x}|", x.to_bits()).unwrap(),
+                        other => write!(out, "{other}|").unwrap(),
+                    }
+                }
+            }
+        }
+        for c in &row.values {
+            write!(
+                out,
+                " [{:016x} {:016x} {:016x} {:016x} {} {}]",
+                c.raw_answer.to_bits(),
+                c.raw_error.to_bits(),
+                c.improved.answer.to_bits(),
+                c.improved.error.to_bits(),
+                c.improved.used_model,
+                c.tuples_scanned,
+            )
+            .unwrap();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn run(session: &mut VerdictSession, sql: &str, policy: StopPolicy) -> String {
+    let r = session
+        .execute(sql, Mode::Verdict, policy)
+        .expect("query")
+        .unwrap_answered();
+    fingerprint(&r)
+}
+
+/// The whole (query × policy) grid on one session, in one fixed order —
+/// learning is on, so the sequence exercises evolving state too.
+fn run_grid(session: &mut VerdictSession) -> Vec<String> {
+    let mut out = Vec::new();
+    for sql in QUERIES {
+        for policy in POLICIES {
+            out.push(run(session, sql, policy));
+        }
+    }
+    out
+}
+
+/// Answers, error bounds, and stop points are bit-identical at every
+/// cache budget (1 byte / a-couple-of-segments / unbounded) and every
+/// thread count. Only the cache counters may differ.
+#[test]
+fn budget_never_changes_answers() {
+    for threads in [1usize, 2, 4] {
+        let mut reference: Option<Vec<String>> = None;
+        for (tag, budget) in [(0u32, 1u64), (1, 20_000), (2, u64::MAX)] {
+            let dir = temp_store(&format!("budget-{threads}-{tag}"));
+            let mut s = paged_session(&dir, 6_000, budget, threads);
+            let got = run_grid(&mut s);
+            match &reference {
+                None => reference = Some(got),
+                Some(want) => {
+                    assert_eq!(
+                        want, &got,
+                        "answers diverged at budget {budget}, {threads} threads"
+                    );
+                }
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// The acceptance shape: a sampled table ~4x larger than the budget
+/// answers bit-identically to the fully-resident configuration, while
+/// the cache demonstrably thrashes (evictions happen and residency is
+/// held near the budget, not near the full sample size).
+#[test]
+fn four_x_larger_than_budget_matches_fully_resident() {
+    let dir_small = temp_store("fourx-small");
+    let dir_big = temp_store("fourx-big");
+    // 20k rows, 25% sample: four ~1250-row segments of 3 columns.
+    let mut small = paged_session(&dir_small, 20_000, 32_000, 2);
+    let mut big = paged_session(&dir_big, 20_000, u64::MAX, 2);
+    let a = run_grid(&mut small);
+    let b = run_grid(&mut big);
+    assert_eq!(a, b, "budgeted answers must match fully-resident answers");
+    let c = small.partition_cache().expect("paged session has a cache");
+    assert!(c.evictions > 0, "a 4x-over-budget scan must evict: {c:?}");
+    assert!(
+        c.misses >= c.evictions,
+        "an eviction can only follow a fault: {c:?}"
+    );
+    assert!(
+        c.misses > 4,
+        "4 partitions re-faulting across the grid must miss repeatedly: {c:?}"
+    );
+    let full = big.partition_cache().expect("paged session has a cache");
+    assert!(
+        c.resident_bytes < full.resident_bytes,
+        "budgeted residency ({}) must stay below everything-fits residency ({})",
+        c.resident_bytes,
+        full.resident_bytes
+    );
+    assert_eq!(full.evictions, 0, "unbounded cache must never evict");
+    let _ = std::fs::remove_dir_all(&dir_small);
+    let _ = std::fs::remove_dir_all(&dir_big);
+}
+
+/// A predicate band provably disjoint from every partition summary is
+/// answered without touching a single partition file; a band inside one
+/// partition faults exactly that partition's segment.
+#[test]
+fn pruned_band_reads_zero_partition_files() {
+    let dir = temp_store("prune");
+    let mut s = paged_session(&dir, 6_000, u64::MAX, 1);
+    let before = s.partition_cache().unwrap();
+    let r = s
+        .execute(
+            "SELECT COUNT(*) FROM t WHERE week BETWEEN 100 AND 200",
+            Mode::Verdict,
+            StopPolicy::ScanAll,
+        )
+        .unwrap()
+        .unwrap_answered();
+    let after = s.partition_cache().unwrap();
+    assert_eq!(r.rows[0].values[0].raw_answer, 0.0);
+    let delta = after.since(&before);
+    assert_eq!(
+        (delta.misses, delta.hits, delta.bytes_faulted),
+        (0, 0, 0),
+        "a fully-pruned query must do zero partition I/O: {delta:?}"
+    );
+    // The trace agrees: all four partitions pruned, nothing faulted.
+    let t = &s.recent_queries(1)[0];
+    assert_eq!(t.partitions, 4);
+    assert_eq!(t.partitions_pruned, 4);
+    assert_eq!(t.partition_cache_misses, 0);
+    assert_eq!(t.partition_bytes_faulted, 0);
+
+    // Weeks 1..=5 live in partition 0 only: exactly one segment faults.
+    let before = s.partition_cache().unwrap();
+    s.execute(
+        "SELECT AVG(rev) FROM t WHERE week BETWEEN 1 AND 5",
+        Mode::Verdict,
+        StopPolicy::ScanAll,
+    )
+    .unwrap()
+    .unwrap_answered();
+    let delta = s.partition_cache().unwrap().since(&before);
+    assert_eq!(
+        delta.misses, 1,
+        "one in-band partition, one fault: {delta:?}"
+    );
+    assert!(delta.bytes_faulted > 0);
+    let t = &s.recent_queries(1)[0];
+    assert_eq!(t.partitions_pruned, 3);
+    assert_eq!(t.partition_cache_misses, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Warm restart: `partition_by` composes with `persist_to`/`open` — a
+/// reopened out-of-core session rebuilds the identical partition map and
+/// sample geometry from the manifest and keeps answering bit-identically
+/// to a twin session that never shut down, across further ingests, at a
+/// different (tiny) reopen budget.
+#[test]
+fn warm_restart_is_bit_identical_to_uninterrupted_twin() {
+    let dir = temp_store("warm");
+    let dir_twin = temp_store("warm-twin");
+    let ingest_batch = |k: u64| -> Vec<Vec<Value>> {
+        (0..40u64)
+            .map(|i| {
+                let week = 1.0 + ((i + 3 * k) % 25) as f64;
+                let region = REGIONS[((i + k) % 10) as usize];
+                let rev = 40.0 + (i as f64) * 0.25 + k as f64;
+                vec![week.into(), region.into(), rev.into()]
+            })
+            .collect()
+    };
+    let mut twin = paged_session(&dir_twin, 6_000, u64::MAX, 2);
+    {
+        let mut s = paged_session(&dir, 6_000, u64::MAX, 2);
+        for session in [&mut s, &mut twin] {
+            run(session, QUERIES[0], StopPolicy::ScanAll);
+            session.ingest(&ingest_batch(0)).expect("ingest");
+            run(session, QUERIES[2], StopPolicy::TupleBudget(700));
+            session.ingest(&ingest_batch(1)).expect("ingest");
+        }
+        // `s` drops here: the WAL holds both ingests, the partition
+        // files hold their routed rows.
+    }
+    let mut reopened = SessionBuilder::open(&dir)
+        .expect("open")
+        .memory_budget(25_000)
+        .build()
+        .expect("warm session");
+    assert!(reopened.is_paged(), "paged-ness must survive reopen");
+    // Identical answers on the full grid, a further identical ingest, and
+    // identical ground truth from the partition files.
+    assert_eq!(run_grid(&mut reopened), run_grid(&mut twin));
+    reopened.ingest(&ingest_batch(2)).expect("ingest");
+    twin.ingest(&ingest_batch(2)).expect("ingest");
+    assert_eq!(run_grid(&mut reopened), run_grid(&mut twin));
+    let agg = AggregateFn::Avg(Expr::col("rev"));
+    let p = Predicate::between("week", 3.0, 21.0);
+    assert_eq!(
+        reopened.exact(&agg, &p).unwrap().to_bits(),
+        twin.exact(&agg, &p).unwrap().to_bits(),
+        "exact() must stream identical partition files"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir_twin);
+}
+
+/// Crash-fuzz of torn partition-file appends: truncating the tail of
+/// every `part-*.vcol` (a crash mid-append after the WAL landed) must
+/// heal on open — the WAL re-appends the lost fragments — leaving
+/// answers and ground truth bit-identical to an untorn reopen.
+#[test]
+fn torn_partition_file_tails_heal_from_the_wal() {
+    let dir = temp_store("torn");
+    {
+        let mut s = paged_session(&dir, 4_000, u64::MAX, 1);
+        run(&mut s, QUERIES[1], StopPolicy::ScanAll);
+        // One row per week: every partition receives an ingest append.
+        let rows: Vec<Vec<Value>> = (0..50u64)
+            .map(|i| {
+                let week = 1.0 + (i % 25) as f64;
+                vec![
+                    week.into(),
+                    REGIONS[(i % 10) as usize].into(),
+                    (60.0 + i as f64).into(),
+                ]
+            })
+            .collect();
+        s.ingest(&rows).expect("ingest");
+        run(&mut s, QUERIES[0], StopPolicy::ScanAll);
+    }
+    // The untorn oracle: copy the store, reopen, record the grid.
+    let copy_store = |src: &PathBuf, dst: &PathBuf| {
+        std::fs::create_dir_all(dst).unwrap();
+        for entry in std::fs::read_dir(src).unwrap() {
+            let entry = entry.unwrap();
+            if entry.file_type().unwrap().is_file() {
+                std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+            }
+        }
+    };
+    let clean_dir = temp_store("torn-clean");
+    copy_store(&dir, &clean_dir);
+    // The store's lock file must not leak into copies as a held lock;
+    // opening below re-acquires per directory, so copies are fine.
+    let mut clean = SessionBuilder::open(&clean_dir).unwrap().build().unwrap();
+    let want = run_grid(&mut clean);
+    let agg = AggregateFn::Sum(Expr::col("rev"));
+    let want_exact = clean.exact(&agg, &Predicate::True).unwrap().to_bits();
+    drop(clean);
+
+    for torn in [1u64, 9, 33, 57] {
+        let torn_dir = temp_store(&format!("torn-{torn}"));
+        copy_store(&dir, &torn_dir);
+        for entry in std::fs::read_dir(&torn_dir).unwrap() {
+            let path = entry.unwrap().path();
+            let name = path.file_name().unwrap().to_string_lossy().into_owned();
+            if name.starts_with("part-") && name.ends_with(".vcol") {
+                let len = std::fs::metadata(&path).unwrap().len();
+                let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+                file.set_len(len.saturating_sub(torn)).unwrap();
+            }
+        }
+        let mut s = SessionBuilder::open(&torn_dir)
+            .unwrap_or_else(|e| panic!("open after {torn} torn bytes: {e}"))
+            .build()
+            .unwrap_or_else(|e| panic!("build after {torn} torn bytes: {e}"));
+        assert!(s.is_paged());
+        assert_eq!(
+            run_grid(&mut s),
+            want,
+            "answers diverged after tearing {torn} bytes off every partition file"
+        );
+        assert_eq!(
+            s.exact(&agg, &Predicate::True).unwrap().to_bits(),
+            want_exact,
+            "ground truth diverged after tearing {torn} bytes"
+        );
+        let _ = std::fs::remove_dir_all(&torn_dir);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&clean_dir);
+}
+
+/// Turns one generated tuple into a supported SQL statement + policy.
+fn random_query(spec: (u32, u32, u32, u32, usize)) -> (String, StopPolicy) {
+    let (lo, width, agg_mask, group, policy) = spec;
+    let mut aggs: Vec<&str> = Vec::new();
+    if agg_mask & 1 != 0 {
+        aggs.push("AVG(rev)");
+    }
+    if agg_mask & 2 != 0 {
+        aggs.push("SUM(rev)");
+    }
+    if agg_mask & 4 != 0 {
+        aggs.push("COUNT(*)");
+    }
+    let (prefix, group_by) = match group {
+        1 => ("region, ", " GROUP BY region"),
+        2 => ("week, ", " GROUP BY week"),
+        _ => ("", ""),
+    };
+    let sql = format!(
+        "SELECT {prefix}{} FROM t WHERE week BETWEEN {lo} AND {}{group_by}",
+        aggs.join(", "),
+        lo + width
+    );
+    (sql, POLICIES[policy])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    /// Property: for arbitrary supported query sequences (learning on,
+    /// so state evolves query to query), a one-byte-budget session and
+    /// an unbounded one return bit-identical results at 2 worker
+    /// threads.
+    #[test]
+    fn prop_random_queries_identical_across_budgets(
+        specs in prop::collection::vec((0u32..20, 1u32..=25, 1u32..8, 0u32..3, 0usize..4), 3..6),
+    ) {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        static CASE: AtomicU32 = AtomicU32::new(0);
+        let case = CASE.fetch_add(1, Ordering::Relaxed);
+        let dir_a = temp_store(&format!("prop-a-{case}"));
+        let dir_b = temp_store(&format!("prop-b-{case}"));
+        let mut tight = paged_session(&dir_a, 6_000, 1, 2);
+        let mut loose = paged_session(&dir_b, 6_000, u64::MAX, 2);
+        for spec in specs {
+            let (sql, policy) = random_query(spec);
+            let a = run(&mut tight, &sql, policy);
+            let b = run(&mut loose, &sql, policy);
+            prop_assert_eq!(a, b);
+        }
+        drop(tight);
+        drop(loose);
+        let _ = std::fs::remove_dir_all(&dir_a);
+        let _ = std::fs::remove_dir_all(&dir_b);
+    }
+}
