@@ -1,0 +1,224 @@
+//! Serving-layer throughput: a closed-loop client fleet against a live
+//! `verdict-server` over loopback TCP — real sockets, real frames, real
+//! admission control. Sweeps 1/2/4/8 client threads and reports QPS,
+//! client-observed p50/p99 latency, the shed rate under a deliberately
+//! tight admission bound, and the answer-cache hit rate. Emits
+//! `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release -p verdict-bench --bin bench_serve
+//! ```
+//!
+//! Each thread cycles through a small pool of distinct learn-path
+//! statements, so the first pass misses (and pays the scan) while later
+//! passes hit the answer cache — the steady state a dashboard fleet
+//! produces. The admission bound is 2 with policy `Shed`: once the
+//! fleet outnumbers the bound, overflow learn-path *misses* get the
+//! typed `Overloaded` response (counted, not retried), while cache hits
+//! bypass admission entirely — which is why the shed rate stays low
+//! even at 8 threads. `host_cores` is recorded so a 1-core run is
+//! self-documenting rather than a silent pass.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use verdict::workload::multi::{orders_table, TwoTableSpec};
+use verdict::{Database, TableOptions};
+use verdict_client::{Client, ClientError};
+use verdict_server::wire::WireOptions;
+use verdict_server::{serve, OverflowPolicy, ServerConfig};
+
+const ROWS: usize = 16_384;
+const REQUESTS_PER_THREAD: usize = 120;
+const STATEMENT_POOL: usize = 16;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const ADMISSION_LIMIT: u64 = 2;
+
+fn fixture_db() -> Arc<Database> {
+    let table = orders_table(&TwoTableSpec {
+        orders_rows: ROWS,
+        events_rows: 1,
+        seed: 5,
+    });
+    Arc::new(
+        Database::builder()
+            .register_table_with(
+                "orders",
+                table,
+                TableOptions {
+                    sample_fraction: 0.2,
+                    batch_size: 512,
+                    seed: 5,
+                    ..Default::default()
+                },
+            )
+            .build()
+            .expect("bench database"),
+    )
+}
+
+fn statement(slot: usize) -> String {
+    let lo = 4.0 * slot as f64;
+    format!(
+        "SELECT AVG(amount) FROM orders WHERE day BETWEEN {lo} AND {}",
+        lo + 22.0
+    )
+}
+
+struct FleetRun {
+    answered: u64,
+    shed: u64,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    cache_hit_rate: f64,
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn run_fleet(threads: usize) -> FleetRun {
+    // Fresh database and server per fleet size: every sweep point sees
+    // the same cold cache and the same admission state.
+    let db = fixture_db();
+    let server = serve(
+        db,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: threads.min(4),
+            admission_limit: ADMISSION_LIMIT,
+            overflow: OverflowPolicy::Shed,
+            cache_capacity: 1024,
+        },
+    )
+    .expect("bind bench server");
+    let addr = server.addr();
+
+    let t0 = Instant::now();
+    let results: Vec<(Vec<f64>, u64, u64)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                s.spawn(move || {
+                    let mut client = Client::connect(addr).expect("bench client connect");
+                    let mut latencies_us = Vec::with_capacity(REQUESTS_PER_THREAD);
+                    let mut answered = 0u64;
+                    let mut shed = 0u64;
+                    for i in 0..REQUESTS_PER_THREAD {
+                        let sql = statement((worker + i) % STATEMENT_POOL);
+                        let q0 = Instant::now();
+                        match client.query(&sql, WireOptions::default()) {
+                            Ok(_) => {
+                                latencies_us.push(q0.elapsed().as_secs_f64() * 1e6);
+                                answered += 1;
+                            }
+                            Err(ClientError::Overloaded { .. }) => shed += 1,
+                            Err(e) => panic!("bench query failed: {e}"),
+                        }
+                    }
+                    let _ = client.close();
+                    (latencies_us, answered, shed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("fleet thread"))
+            .collect()
+    });
+    let wall = t0.elapsed().as_secs_f64();
+
+    let snap = server.metrics().hub().snapshot();
+    let hits = snap
+        .counter("verdict_server_cache_hits_total", None)
+        .unwrap_or(0);
+    let misses = snap
+        .counter("verdict_server_cache_misses_total", None)
+        .unwrap_or(0);
+    server.shutdown();
+
+    let mut latencies: Vec<f64> = results
+        .iter()
+        .flat_map(|(l, _, _)| l.iter().copied())
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let answered: u64 = results.iter().map(|(_, a, _)| a).sum();
+    let shed: u64 = results.iter().map(|(_, _, s)| s).sum();
+    assert_eq!(
+        answered + shed,
+        (threads * REQUESTS_PER_THREAD) as u64,
+        "every request must be answered or typed-shed"
+    );
+    assert!(answered > 0, "a fleet must get answers");
+    FleetRun {
+        answered,
+        shed,
+        qps: answered as f64 / wall,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+        cache_hit_rate: if hits + misses > 0 {
+            hits as f64 / (hits + misses) as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+fn main() {
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut cells = Vec::new();
+    let mut hit_rate_8t = 0.0f64;
+    for &threads in &THREADS {
+        let r = run_fleet(threads);
+        println!(
+            "threads={threads:>2} qps={:>8.0} p50={:>7.0}us p99={:>8.0}us shed_rate={:.3} cache_hit_rate={:.3}",
+            r.qps,
+            r.p50_us,
+            r.p99_us,
+            r.shed as f64 / (r.answered + r.shed) as f64,
+            r.cache_hit_rate,
+        );
+        if threads == 8 {
+            hit_rate_8t = r.cache_hit_rate;
+        }
+        cells.push(format!(
+            "{{\"threads\":{threads},\"qps\":{:.0},\"p50_us\":{:.1},\"p99_us\":{:.1},\
+             \"shed_rate\":{:.4},\"cache_hit_rate\":{:.4},\"answered\":{},\"shed\":{}}}",
+            r.qps,
+            r.p50_us,
+            r.p99_us,
+            r.shed as f64 / (r.answered + r.shed) as f64,
+            r.cache_hit_rate,
+            r.answered,
+            r.shed,
+        ));
+    }
+
+    // With a 16-statement pool and 120 requests per thread, the steady
+    // state is overwhelmingly cache hits; well below that means the
+    // cache is not doing its job. (Host-independent: hits depend on the
+    // request mix, not on core count.)
+    assert!(
+        hit_rate_8t >= 0.5,
+        "8-thread fleet over a 16-statement pool must exceed 50% cache hits, got {hit_rate_8t:.3}"
+    );
+
+    let json = format!(
+        "{{\"bench\":\"serve\",\"rows\":{ROWS},\"requests_per_thread\":{REQUESTS_PER_THREAD},\
+         \"statement_pool\":{STATEMENT_POOL},\"admission_limit\":{ADMISSION_LIMIT},\
+         \"host_cores\":{host_cores},\
+         \"fleets\":[{}]}}",
+        cells.join(","),
+    );
+    println!("BENCH_serve.json {json}");
+    if let Err(e) = std::fs::write("BENCH_serve.json", format!("{json}\n")) {
+        eprintln!("could not write BENCH_serve.json: {e}");
+    }
+}

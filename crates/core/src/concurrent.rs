@@ -48,6 +48,7 @@ use crate::{Result, VerdictConfig};
 pub struct EngineSnapshot {
     pub(crate) epoch: u64,
     pub(crate) data_epoch: u64,
+    pub(crate) model_epoch: u64,
     pub(crate) schema: SchemaInfo,
     pub(crate) config: VerdictConfig,
     /// Per-key state is shared with the engine via `Arc`: publishing
@@ -70,6 +71,17 @@ impl EngineSnapshot {
     /// only against the table/sample version with the same data epoch.
     pub fn data_epoch(&self) -> u64 {
         self.data_epoch
+    }
+
+    /// The model epoch the frozen state was cut at: how many
+    /// answer-affecting mutations (train / append adjustment / ingest /
+    /// forget / restore) the engine had applied. Unlike
+    /// [`EngineSnapshot::epoch`], synopsis observes do *not* move it, so
+    /// two snapshots with equal `(model_epoch, data_epoch)` answer every
+    /// query bit-identically — the invariant a memoizing answer cache
+    /// keys on.
+    pub fn model_epoch(&self) -> u64 {
+        self.model_epoch
     }
 
     /// The dimension universe.
@@ -139,6 +151,7 @@ impl Verdict {
         EngineSnapshot {
             epoch: self.epoch(),
             data_epoch: self.data_epoch(),
+            model_epoch: self.model_epoch(),
             schema: self.schema().clone(),
             config: self.config().clone(),
             synopses: self.synopses_cloned(),

@@ -114,6 +114,16 @@ pub struct Verdict {
     /// snapshots carry it so a pinned concurrent read can be matched to
     /// the exact table/sample version it answered from.
     data_epoch: u64,
+    /// Monotone version of the *answer-affecting* state: bumped only by
+    /// mutations that can change what a future query returns — training
+    /// (models refit), append adjustments and ingest commits (bounds
+    /// widened, data changed), forget, and state restore. Recording a
+    /// snippet into the synopsis does **not** bump it: snippets influence
+    /// answers only after the next train. Two reads at the same
+    /// `(model_epoch, data_epoch)` pair therefore return bit-identical
+    /// answers, which is the invariant the serving layer's answer cache
+    /// is keyed on.
+    model_epoch: u64,
     observer: Option<Box<dyn SnippetObserver + Send>>,
 }
 
@@ -275,6 +285,7 @@ impl Verdict {
             stats: EngineStats::default(),
             epoch: 0,
             data_epoch: 0,
+            model_epoch: 0,
             observer: None,
         }
     }
@@ -300,6 +311,14 @@ impl Verdict {
     /// ingest events its state has folded).
     pub fn set_data_epoch(&mut self, data_epoch: u64) {
         self.data_epoch = data_epoch;
+    }
+
+    /// The current model epoch: how many answer-affecting mutations
+    /// (train / append adjustment / ingest commit / forget / restore)
+    /// this engine has applied (see the `model_epoch` field). Monotone;
+    /// *not* bumped by synopsis observes.
+    pub fn model_epoch(&self) -> u64 {
+        self.model_epoch
     }
 
     /// Folds a read path's counter delta into the engine's stats (see
@@ -399,6 +418,7 @@ impl Verdict {
     /// Trains the model for one aggregate function.
     pub fn train_key(&mut self, key: &AggKey) -> Result<()> {
         self.epoch += 1;
+        self.model_epoch += 1;
         let Some(synopsis) = self.synopses.get(key) else {
             return Ok(());
         };
@@ -467,6 +487,7 @@ impl Verdict {
         // bump (manual adjustments are not ingest events).
         self.install_staged(staged);
         self.epoch += 1;
+        self.model_epoch += 1;
         Ok(adjusted)
     }
 
@@ -537,6 +558,7 @@ impl Verdict {
         self.install_staged(staged);
         self.data_epoch += 1;
         self.epoch += 1;
+        self.model_epoch += 1;
         adjusted
     }
 
@@ -589,6 +611,7 @@ impl Verdict {
     /// Drops all learned state for `key` (tests, resets).
     pub fn forget(&mut self, key: &AggKey) {
         self.epoch += 1;
+        self.model_epoch += 1;
         self.synopses.remove(key);
         self.models.remove(key);
     }
@@ -652,6 +675,7 @@ impl Verdict {
             .collect();
         self.stats = state.stats;
         self.epoch += 1;
+        self.model_epoch += 1;
         Ok(())
     }
 }

@@ -83,8 +83,10 @@ pub struct QueryTrace {
     pub seq: u64,
     /// Catalog table the query addressed.
     pub table: String,
-    /// Statement text (`None` on the prepared path — the template's text
-    /// lives on the `Prepared` handle, not in every trace).
+    /// Statement text. The prepared path stamps the template's SQL (with
+    /// `?` placeholders, not the bound literals), so server-side logs
+    /// stay attributable; `None` only for producers with no statement
+    /// text at all.
     pub sql: Option<String>,
     /// Whether this execution came through a prepared statement.
     pub prepared: bool,

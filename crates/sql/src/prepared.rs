@@ -19,10 +19,13 @@
 //! purpose: ingest can extend a dictionary, and the prepared path must
 //! keep agreeing with the ad-hoc path afterwards.
 
-use verdict_storage::{AggregateFn, ColumnType, GroupKey, Predicate, Table, Value};
+use verdict_core::persist::{fingerprint_bytes, Encoder};
+use verdict_storage::{AggregateFn, ColumnType, Expr, GroupKey, Predicate, Table, Value};
 
 use crate::ast::{CmpOp, Query, ScalarExpr, WherePred};
-use crate::decompose::{assemble_scan_plan, group_columns, plan_aggregates, AggregateSpec};
+use crate::decompose::{
+    assemble_scan_plan, group_columns, plan_aggregates, AggregateSpec, Combiner,
+};
 use crate::{Result, ScanPlan, SqlError};
 
 /// What a placeholder slot accepts at bind time.
@@ -102,6 +105,9 @@ pub struct PreparedQuery {
     template: PredTemplate,
     /// Accepted kind per placeholder index.
     params: Vec<ParamKind>,
+    /// Stable fingerprint of the compiled plan (see
+    /// [`PreparedQuery::fingerprint`]), computed once at prepare time.
+    fingerprint: u64,
 }
 
 impl PreparedQuery {
@@ -113,6 +119,23 @@ impl PreparedQuery {
     /// The accepted kind of each placeholder, by index.
     pub fn param_kinds(&self) -> &[ParamKind] {
         &self.params
+    }
+
+    /// Stable 64-bit fingerprint of the compiled plan template.
+    ///
+    /// Computed at prepare time as [`fingerprint_bytes`] (the workspace's
+    /// FNV-1a) over a canonical byte encoding of *everything* the plan
+    /// is: group columns, deduplicated primitive streams, aggregate
+    /// wiring, the full `WHERE` template (constants, labels, codes, and
+    /// placeholder positions all distinguished), and the placeholder
+    /// kinds. Two prepared statements with equal fingerprints therefore
+    /// compute the same answer for the same bound parameters against the
+    /// same table state — the property a server-side plan + answer cache
+    /// keys on. The encoding is deterministic and process-independent
+    /// (no hash-map iteration order, no addresses), so fingerprints are
+    /// stable across runs and hosts.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     /// The statement's `GROUP BY` columns (empty when ungrouped). Callers
@@ -217,13 +240,209 @@ pub fn prepare_query(query: &Query, table: &Table) -> Result<PreparedQuery> {
             })
         })
         .collect::<Result<Vec<ParamKind>>>()?;
+    let fingerprint = plan_fingerprint(&group_cols, &primitives, &aggregates, &template, &params);
     Ok(PreparedQuery {
         group_cols,
         primitives,
         aggregates,
         template,
         params,
+        fingerprint,
     })
+}
+
+/// Canonical plan encoding fed to [`fingerprint_bytes`]. Every variant
+/// writes a distinct tag before its payload, so structurally different
+/// plans can never encode to the same bytes (tag + length-prefixed
+/// strings make the encoding prefix-free).
+fn plan_fingerprint(
+    group_cols: &[String],
+    primitives: &[AggregateFn],
+    aggregates: &[AggregateSpec],
+    template: &PredTemplate,
+    params: &[ParamKind],
+) -> u64 {
+    let mut enc = Encoder::new();
+    enc.put_len(group_cols.len());
+    for col in group_cols {
+        enc.put_str(col);
+    }
+    enc.put_len(primitives.len());
+    for agg in primitives {
+        encode_aggregate(&mut enc, agg);
+    }
+    enc.put_len(aggregates.len());
+    for spec in aggregates {
+        enc.put_u64(spec.agg_index as u64);
+        encode_aggregate(&mut enc, &spec.agg);
+        enc.put_u8(match spec.combiner {
+            Combiner::Avg => 0,
+            Combiner::Count => 1,
+            Combiner::Sum => 2,
+            Combiner::Freq => 3,
+        });
+        encode_opt_index(&mut enc, spec.avg_prim);
+        encode_opt_index(&mut enc, spec.freq_prim);
+    }
+    encode_template(&mut enc, template);
+    enc.put_len(params.len());
+    for kind in params {
+        enc.put_u8(match kind {
+            ParamKind::Numeric => 0,
+            ParamKind::Categorical => 1,
+        });
+    }
+    fingerprint_bytes(&enc.into_bytes())
+}
+
+fn encode_opt_index(enc: &mut Encoder, idx: Option<usize>) {
+    match idx {
+        Some(i) => {
+            enc.put_bool(true);
+            enc.put_u64(i as u64);
+        }
+        None => enc.put_bool(false),
+    }
+}
+
+fn encode_aggregate(enc: &mut Encoder, agg: &AggregateFn) {
+    match agg {
+        AggregateFn::Avg(e) => {
+            enc.put_u8(0);
+            encode_expr(enc, e);
+        }
+        AggregateFn::Sum(e) => {
+            enc.put_u8(1);
+            encode_expr(enc, e);
+        }
+        AggregateFn::Count => enc.put_u8(2),
+        AggregateFn::Freq => enc.put_u8(3),
+    }
+}
+
+fn encode_expr(enc: &mut Encoder, expr: &Expr) {
+    match expr {
+        Expr::Col(name) => {
+            enc.put_u8(0);
+            enc.put_str(name);
+        }
+        Expr::Const(v) => {
+            enc.put_u8(1);
+            enc.put_f64(*v);
+        }
+        Expr::Add(l, r) => {
+            enc.put_u8(2);
+            encode_expr(enc, l);
+            encode_expr(enc, r);
+        }
+        Expr::Sub(l, r) => {
+            enc.put_u8(3);
+            encode_expr(enc, l);
+            encode_expr(enc, r);
+        }
+        Expr::Mul(l, r) => {
+            enc.put_u8(4);
+            encode_expr(enc, l);
+            encode_expr(enc, r);
+        }
+        Expr::Div(l, r) => {
+            enc.put_u8(5);
+            encode_expr(enc, l);
+            encode_expr(enc, r);
+        }
+        Expr::Neg(inner) => {
+            enc.put_u8(6);
+            encode_expr(enc, inner);
+        }
+    }
+}
+
+fn encode_num_slot(enc: &mut Encoder, slot: &NumSlot) {
+    match slot {
+        NumSlot::Const(v) => {
+            enc.put_u8(0);
+            enc.put_f64(*v);
+        }
+        NumSlot::Param(i) => {
+            enc.put_u8(1);
+            enc.put_u64(*i as u64);
+        }
+    }
+}
+
+fn encode_cat_slot(enc: &mut Encoder, slot: &CatSlot) {
+    match slot {
+        CatSlot::Label(s) => {
+            enc.put_u8(0);
+            enc.put_str(s);
+        }
+        CatSlot::Code(c) => {
+            enc.put_u8(1);
+            enc.put_u32(*c);
+        }
+        CatSlot::Param(i) => {
+            enc.put_u8(2);
+            enc.put_u64(*i as u64);
+        }
+    }
+}
+
+fn encode_template(enc: &mut Encoder, t: &PredTemplate) {
+    match t {
+        PredTemplate::True => enc.put_u8(0),
+        PredTemplate::And(l, r) => {
+            enc.put_u8(1);
+            encode_template(enc, l);
+            encode_template(enc, r);
+        }
+        PredTemplate::Between { col, lo, hi } => {
+            enc.put_u8(2);
+            enc.put_str(col);
+            encode_num_slot(enc, lo);
+            encode_num_slot(enc, hi);
+        }
+        PredTemplate::Less {
+            col,
+            bound,
+            inclusive,
+        } => {
+            enc.put_u8(3);
+            enc.put_str(col);
+            encode_num_slot(enc, bound);
+            enc.put_bool(*inclusive);
+        }
+        PredTemplate::Greater {
+            col,
+            bound,
+            inclusive,
+        } => {
+            enc.put_u8(4);
+            enc.put_str(col);
+            encode_num_slot(enc, bound);
+            enc.put_bool(*inclusive);
+        }
+        PredTemplate::NumEq { col, value } => {
+            enc.put_u8(5);
+            enc.put_str(col);
+            encode_num_slot(enc, value);
+        }
+        PredTemplate::CatIn { col, items } => {
+            enc.put_u8(6);
+            enc.put_str(col);
+            enc.put_len(items.len());
+            for item in items {
+                encode_cat_slot(enc, item);
+            }
+        }
+        PredTemplate::CatComplement { col, items } => {
+            enc.put_u8(7);
+            enc.put_str(col);
+            enc.put_len(items.len());
+            for item in items {
+                encode_cat_slot(enc, item);
+            }
+        }
+    }
 }
 
 fn reject_placeholders(e: &ScalarExpr, place: &str) -> Result<()> {

@@ -1,0 +1,142 @@
+//! Serving a database over the wire: start a `verdict-server` on an
+//! ephemeral port, connect a `verdict-client`, and walk the protocol —
+//! handshake, prepare → bind → run loop, an ingest that invalidates the
+//! answer cache, and a cache-hit demonstration with latency numbers.
+//!
+//! ```text
+//! cargo run --release --example server
+//! ```
+
+use std::sync::Arc;
+
+use verdict::workload::multi::{orders_table, TwoTableSpec};
+use verdict::{Database, TableOptions};
+use verdict_client::Client;
+use verdict_server::wire::{WireOptions, WireOutcome};
+use verdict_server::{serve, ServerConfig};
+
+fn main() {
+    // ── A database worth serving ─────────────────────────────────────
+    let table = orders_table(&TwoTableSpec {
+        orders_rows: 20_000,
+        events_rows: 1,
+        seed: 7,
+    });
+    let db = Arc::new(
+        Database::builder()
+            .register_table_with(
+                "orders",
+                table,
+                TableOptions {
+                    sample_fraction: 0.2,
+                    batch_size: 500,
+                    seed: 7,
+                    ..Default::default()
+                },
+            )
+            .build()
+            .expect("database"),
+    );
+
+    // ── Serve it on an ephemeral loopback port ───────────────────────
+    let server =
+        serve(Arc::clone(&db), "127.0.0.1:0", ServerConfig::default()).expect("bind server");
+    println!("serving on {}", server.addr());
+
+    let mut client = Client::connect(server.addr()).expect("connect");
+
+    // ── Handshake: the catalog travels in `hello` ────────────────────
+    let hello = client.hello().expect("hello");
+    let t = &hello.tables[0];
+    println!(
+        "hello: protocol v{}, table `{}` ({} rows, {} columns)",
+        hello.protocol,
+        t.name,
+        t.rows,
+        t.columns.len()
+    );
+    assert_eq!(t.name, "orders");
+    assert_eq!(t.rows, 20_000);
+
+    // ── Prepare once, bind + run many times ──────────────────────────
+    let stmt = client
+        .prepare("SELECT AVG(amount) FROM orders WHERE day BETWEEN ? AND ?")
+        .expect("prepare");
+    println!(
+        "prepared stmt #{} on `{}` (fingerprint {:#018x})",
+        stmt.stmt, stmt.table, stmt.fingerprint
+    );
+    for lo in [5.0_f64, 25.0, 45.0, 65.0] {
+        let bound = client
+            .bind(stmt.stmt, &[lo.into(), (lo + 15.0).into()])
+            .expect("bind");
+        let answer = client.run(bound, WireOptions::default()).expect("run");
+        let WireOutcome::Answered(result) = &answer.outcome else {
+            panic!("expected an answer");
+        };
+        let cell = &result.rows[0].values[0];
+        println!(
+            "  day in [{lo:>4.1}, {:>4.1}]  avg = {:>7.2} ± {:>5.2}  ({} tuples, {} µs)",
+            lo + 15.0,
+            cell.answer,
+            cell.error,
+            result.tuples_scanned,
+            answer.elapsed_ns / 1_000,
+        );
+        assert!(!answer.cached);
+    }
+
+    // ── The answer cache: an identical rerun skips the scan ──────────
+    let sql = "SELECT AVG(amount) FROM orders WHERE day BETWEEN 10 AND 40";
+    let miss = client.query(sql, WireOptions::default()).expect("miss");
+    let hit = client.query(sql, WireOptions::default()).expect("hit");
+    assert!(!miss.cached && hit.cached);
+    assert_eq!(miss.outcome_bytes, hit.outcome_bytes);
+    println!(
+        "cache: miss {} µs → hit {} µs (identical bytes, no scan)",
+        miss.elapsed_ns / 1_000,
+        hit.elapsed_ns / 1_000,
+    );
+    assert!(
+        hit.elapsed_ns < miss.elapsed_ns,
+        "a cache hit must be cheaper than its miss"
+    );
+
+    // ── Ingest moves the data epoch and voids the cache ──────────────
+    let report = client
+        .ingest(
+            "orders",
+            &[
+                vec![12.0.into(), "east".into(), 180.0.into()],
+                vec![33.0.into(), "west".into(), 175.0.into()],
+            ],
+        )
+        .expect("ingest");
+    println!(
+        "ingest: +{} rows (data epoch → {})",
+        report.appended_rows, report.data_epoch
+    );
+    let after = client.query(sql, WireOptions::default()).expect("rerun");
+    assert!(
+        !after.cached,
+        "ingest must invalidate the cached answer for the table"
+    );
+    println!("rerun after ingest: cached = {} (fresh scan)", after.cached);
+
+    // ── Server-side metrics, over the wire ───────────────────────────
+    let metrics = client.metrics_json().expect("metrics");
+    for series in [
+        "verdict_server_requests_total",
+        "verdict_server_cache_hits_total",
+    ] {
+        assert!(metrics.contains(series), "metrics must report {series}");
+    }
+    println!(
+        "metrics: {} bytes of JSON, serving counters included",
+        metrics.len()
+    );
+
+    client.close().expect("close");
+    server.shutdown();
+    println!("server drained and shut down cleanly");
+}

@@ -60,7 +60,7 @@ use verdict_core::{AggKey, QualifiedAggKey, SchemaInfo, Verdict, VerdictConfig};
 use verdict_obs::{MetricsHub, MetricsSnapshot, QueryLog, QueryTrace, ScanTrace, Stopwatch};
 use verdict_sql::checker::JoinPolicy;
 use verdict_sql::{check_query, parse_query, resolve_from, SupportVerdict};
-use verdict_storage::{PartitionMap, PartitionStore, Table, Value};
+use verdict_storage::{PartitionMap, PartitionStore, Schema, Table, Value};
 use verdict_store::catalog::{catalog_exists, is_valid_table_name, table_dir};
 use verdict_store::{
     read_catalog, write_catalog, CatalogManifest, PagedState, Recovered, RecoveryReport,
@@ -161,6 +161,15 @@ impl SessionSnapshot {
     /// The data epoch of the pinned table/sample version.
     pub fn data_epoch(&self) -> u64 {
         self.data.data_epoch
+    }
+
+    /// The model epoch of the pinned learned state (see
+    /// [`EngineSnapshot::model_epoch`]): bumped only by answer-affecting
+    /// mutations (train / ingest / restore), never by synopsis observes.
+    /// Two snapshots of one table with equal
+    /// `(model_epoch, data_epoch)` answer every query bit-identically.
+    pub fn model_epoch(&self) -> u64 {
+        self.engine.model_epoch()
     }
 
     /// The pinned learned state.
@@ -315,6 +324,16 @@ impl Shard {
             engine: writer.learner.snapshot(),
             data,
         };
+    }
+
+    /// Whether repeated identical queries against one snapshot are
+    /// bit-reproducible without consuming serving state: true under
+    /// `Fixed` rotation (or a single sample, where rotation is a no-op).
+    /// Round-robin rotation makes each run consume the rotation counter,
+    /// so answers may legitimately differ run to run — a memoizing
+    /// answer cache must not engage there.
+    pub(crate) fn deterministic_serving(&self) -> bool {
+        matches!(self.rotation, SampleRotation::Fixed) || self.num_samples == 1
     }
 
     /// Which sample the next live query scans: round-robin advances one
@@ -1157,6 +1176,38 @@ impl Database {
         &self.inner.names
     }
 
+    /// The schema of `name`'s current base table: column names, physical
+    /// types, and dimension/measure roles — everything a serving layer's
+    /// `hello` handshake needs to advertise the catalog without reaching
+    /// into catalog internals.
+    ///
+    /// ```
+    /// use verdict::storage::{AttributeRole, ColumnDef, Schema, Table};
+    /// use verdict::Database;
+    ///
+    /// let schema = Schema::new(vec![
+    ///     ColumnDef::numeric_dimension("x"),
+    ///     ColumnDef::measure("v"),
+    /// ])
+    /// .unwrap();
+    /// let mut t = Table::new(schema);
+    /// for i in 0..32 {
+    ///     t.push_row(vec![(i as f64).into(), (2.0 * i as f64).into()])
+    ///         .unwrap();
+    /// }
+    /// let db = Database::builder().register_table("t", t).build().unwrap();
+    ///
+    /// let schema = db.table_schema("t").unwrap();
+    /// let names: Vec<&str> =
+    ///     schema.columns().iter().map(|c| c.name.as_str()).collect();
+    /// assert_eq!(names, ["x", "v"]);
+    /// assert_eq!(schema.column("v").unwrap().role, AttributeRole::Measure);
+    /// assert!(db.table_schema("nope").is_err());
+    /// ```
+    pub fn table_schema(&self, name: &str) -> Result<Schema> {
+        Ok(self.shard(name)?.current().table().schema().clone())
+    }
+
     /// The root directory of a persistent database.
     pub fn root_dir(&self) -> Option<&Path> {
         self.inner.root.as_deref()
@@ -1202,6 +1253,23 @@ impl Database {
     /// batches its visible table has absorbed. Monotone.
     pub fn data_epoch(&self, name: &str) -> Result<u64> {
         Ok(self.shard(name)?.current().data_epoch())
+    }
+
+    /// The model epoch of `name`'s current snapshot (see
+    /// [`SessionSnapshot::model_epoch`]): moves only when training,
+    /// ingest, or a state restore changes what queries answer — the
+    /// validity token a serving-layer answer cache pairs with
+    /// [`Database::data_epoch`]. Monotone.
+    pub fn model_epoch(&self, name: &str) -> Result<u64> {
+        Ok(self.shard(name)?.current().model_epoch())
+    }
+
+    /// The metrics hub this database registers its series on (set via
+    /// [`DatabaseBuilder::metrics`] / [`OpenOptions::with_metrics`]), so a
+    /// layer above — e.g. a network server — can publish its own series
+    /// next to the engine's in one snapshot. `None` when metrics are off.
+    pub fn metrics_hub(&self) -> Option<&Arc<MetricsHub>> {
+        self.inner.metrics.as_ref()
     }
 
     /// The recovery report of `name`, when it was warm-started.

@@ -151,6 +151,38 @@ impl Prepared {
         self.inner.placeholder_count()
     }
 
+    /// The accepted kind of each placeholder, by index.
+    pub fn param_kinds(&self) -> &[ParamKind] {
+        self.inner.param_kinds()
+    }
+
+    /// Stable 64-bit fingerprint of the compiled plan
+    /// ([`verdict_sql::PreparedQuery::fingerprint`]): equal fingerprints
+    /// mean structurally identical plans, so `(table, fingerprint,
+    /// bound literals)` identifies an answer up to table state. Stable
+    /// across processes and hosts — usable as a persistent cache key.
+    pub fn plan_fingerprint(&self) -> u64 {
+        self.inner.fingerprint()
+    }
+
+    /// The table's current answer-cache validity token:
+    /// `Some((model_epoch, data_epoch))` when repeated runs of one
+    /// statement are bit-reproducible (fixed sample rotation), `None`
+    /// when round-robin rotation makes each run consume the rotation
+    /// counter. Two runs bracketed by equal tokens returned identical
+    /// bytes — and conversely, any training, ingest, or restore in
+    /// between moves the token. A memoizing cache stores an answer under
+    /// the token observed around its run and serves it only while the
+    /// live token still matches; staleness is impossible by
+    /// construction.
+    pub fn cache_token(&self) -> Option<(u64, u64)> {
+        if !self.shard.deterministic_serving() {
+            return None;
+        }
+        let snapshot = self.shard.current();
+        Some((snapshot.model_epoch(), snapshot.data_epoch()))
+    }
+
     /// Binds the placeholders, validating count and value kinds eagerly:
     /// a wrong parameter count or a parameter whose type cannot fit its
     /// column returns a typed error here, before any scan work.
@@ -264,7 +296,7 @@ impl Bound<'_> {
             shard.obs.record_query(
                 query_trace(
                     &shard.name,
-                    None,
+                    Some(&self.prepared.sql),
                     true,
                     opts.mode,
                     snapshot.data_epoch(),

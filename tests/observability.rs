@@ -202,15 +202,19 @@ fn database_labels_tables_and_flags_prepared_path() {
         Some(1)
     );
 
-    // Prepared executions trace with the flag set, no SQL text (it lives
-    // on the handle), and no parse stage.
+    // Prepared executions trace with the flag set, the template SQL
+    // (placeholders, not bound literals — so logs stay attributable
+    // without leaking parameters), and no parse stage.
     let traces = db.recent_queries(10);
     assert_eq!(traces.len(), 4);
     let prepared: Vec<_> = traces.iter().filter(|t| t.prepared).collect();
     assert_eq!(prepared.len(), 2);
     for t in &prepared {
         assert_eq!(t.table, "orders");
-        assert!(t.sql.is_none());
+        assert_eq!(
+            t.sql.as_deref(),
+            Some("SELECT AVG(rev) FROM orders WHERE week BETWEEN ? AND ?")
+        );
         assert_eq!(t.stages.parse_ns, 0);
         assert!(t.stages.plan_ns > 0);
     }
